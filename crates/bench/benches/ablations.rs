@@ -1,0 +1,179 @@
+//! Ablations of the cluster-model design choices called out in DESIGN.md:
+//! each bench measures the *virtual* outcome difference (printed once) and
+//! the host cost of the ablated run.
+
+use azurebench::alg3_queue::{run_alg3, QueueOp};
+use azurebench::BenchConfig;
+use azsim_client::VirtualEnv;
+use azsim_client::{QueueClient, TableClient};
+use azsim_core::Simulation;
+use azsim_fabric::{Cluster, ClusterParams};
+use azsim_storage::{Entity, PropValue};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn cfg_with(params: ClusterParams) -> BenchConfig {
+    let mut c = BenchConfig::paper().with_scale(0.01).with_workers(vec![2]);
+    c.params = params;
+    c
+}
+
+/// Ablation 1: the 16 KB GetMessage quirk on/off (Figure 6c anomaly).
+fn ablate_get16k(c: &mut Criterion) {
+    PRINT_ONCE.call_once(|| {
+        let on = run_alg3(&cfg_with(ClusterParams::default()), 2);
+        let off = run_alg3(
+            &cfg_with(ClusterParams {
+                quirk_get16k: false,
+                ..ClusterParams::default()
+            }),
+            2,
+        );
+        eprintln!(
+            "# ablation get16k: 16KB Get per-op {:.2} ms (on) vs {:.2} ms (off)",
+            on[&(16 << 10, QueueOp::Get)].1 * 1e3,
+            off[&(16 << 10, QueueOp::Get)].1 * 1e3
+        );
+    });
+    let mut g = c.benchmark_group("ablations/get16k");
+    g.sample_size(10);
+    for (name, quirk) in [("on", true), ("off", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &quirk, |b, &quirk| {
+            let cfg = cfg_with(ClusterParams {
+                quirk_get16k: quirk,
+                ..ClusterParams::default()
+            });
+            b.iter(|| black_box(run_alg3(&cfg, 2)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2: 3-replica strong consistency vs a single replica. With one
+/// replica the paper's Peek < Put < Get cost ordering collapses.
+fn ablate_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations/replication");
+    g.sample_size(10);
+    for (name, params) in [
+        ("three_replicas", ClusterParams::default()),
+        ("single_replica", ClusterParams::single_replica()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, params| {
+            let cfg = cfg_with(params.clone());
+            b.iter(|| {
+                let r = run_alg3(&cfg, 2);
+                let size = 32 << 10;
+                let (peek, put, get) = (
+                    r[&(size, QueueOp::Peek)].1,
+                    r[&(size, QueueOp::Put)].1,
+                    r[&(size, QueueOp::Get)].1,
+                );
+                black_box((peek, put, get))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 3: one shared queue vs one queue per worker — the paper's
+/// headline recommendation. Measures virtual completion time of draining
+/// the same total load both ways.
+fn ablate_single_vs_multi_queue(c: &mut Criterion) {
+    let run = |shared: bool| {
+        let sim = Simulation::new(Cluster::with_defaults(), 3);
+        let workers = 8usize;
+        let per = 25usize;
+        let report = sim.run_workers(workers, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let name = if shared {
+                "only".to_owned()
+            } else {
+                format!("q{}", ctx.id().0)
+            };
+            let q = QueueClient::new(&env, name);
+            q.create().unwrap();
+            for i in 0..per {
+                q.put_message(Bytes::from(vec![i as u8; 1024])).unwrap();
+            }
+            while let Some(m) = q.get_message().unwrap() {
+                q.delete_message(&m).unwrap();
+            }
+        });
+        report.end_time
+    };
+    PRINT_ONCE.call_once(|| {});
+    eprintln!(
+        "# ablation queues: shared completes at {}, separate at {}",
+        run(true),
+        run(false)
+    );
+    let mut g = c.benchmark_group("ablations/queue_topology");
+    g.sample_size(10);
+    for (name, shared) in [("single_shared", true), ("per_worker", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &shared, |b, &shared| {
+            b.iter(|| black_box(run(shared)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 4: all entities in ONE table partition vs per-worker
+/// partitions — the 500 entities/s wall (plus retry storms) vs clean
+/// scaling.
+fn ablate_partitioning(c: &mut Criterion) {
+    let run = |hot: bool| {
+        let params = ClusterParams {
+            throttle_burst: 10.0,
+            account_tx_rate: 1e9,
+            ..ClusterParams::default()
+        };
+        let sim = Simulation::new(Cluster::new(params), 4);
+        let workers = 16usize;
+        let per = 20usize;
+        let report = sim.run_workers(workers, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let t = TableClient::new(&env, "abl");
+            t.create_table().unwrap();
+            let pk = if hot {
+                "hot".to_owned()
+            } else {
+                format!("p{}", ctx.id().0)
+            };
+            for i in 0..per {
+                t.insert(
+                    Entity::new(&pk, format!("{}-{i}", ctx.id().0))
+                        .with("v", PropValue::I64(i as i64)),
+                )
+                .unwrap();
+            }
+        });
+        (report.end_time, report.model.metrics().total_throttled())
+    };
+    let (hot_t, hot_throttled) = run(true);
+    let (cold_t, cold_throttled) = run(false);
+    eprintln!(
+        "# ablation partitioning: hot partition {} ({} throttles) vs per-worker {} ({} throttles)",
+        hot_t, hot_throttled, cold_t, cold_throttled
+    );
+    let mut g = c.benchmark_group("ablations/partitioning");
+    g.sample_size(10);
+    for (name, hot) in [("one_hot_partition", true), ("per_worker_partitions", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &hot, |b, &hot| {
+            b.iter(|| black_box(run(hot)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_get16k,
+    ablate_replication,
+    ablate_single_vs_multi_queue,
+    ablate_partitioning
+);
+criterion_main!(benches);

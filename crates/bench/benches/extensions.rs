@@ -1,0 +1,124 @@
+//! Benchmarks of the beyond-the-paper extensions: YCSB workloads, the
+//! MapReduce runtime, and the caching service.
+
+use azurebench::ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};
+use azurebench::BenchConfig;
+use azsim_cache::{CacheClient, CacheCluster};
+use azsim_client::VirtualEnv;
+use azsim_core::runtime::ActorFn;
+use azsim_core::{SimTime, Simulation};
+use azsim_fabric::Cluster;
+use azsim_framework::{MapReduce, MapReduceJob};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_ycsb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/ycsb");
+    g.sample_size(10);
+    let bench = BenchConfig::paper();
+    let ycsb = YcsbConfig {
+        records: 200,
+        ops_per_worker: 100,
+        value_size: 1 << 10,
+        ..YcsbConfig::default()
+    };
+    for wl in [YcsbWorkload::A, YcsbWorkload::C, YcsbWorkload::F] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(wl.label()),
+            &wl,
+            |b, &wl| b.iter(|| black_box(run_ycsb(&bench, &ycsb, wl, 4))),
+        );
+    }
+    g.finish();
+}
+
+struct WordCount;
+impl MapReduceJob for WordCount {
+    type MapIn = String;
+    type Key = String;
+    type Value = u64;
+    type Out = (String, u64);
+    fn map(&self, input: &String) -> Vec<(String, u64)> {
+        input.split_whitespace().map(|w| (w.to_owned(), 1)).collect()
+    }
+    fn reduce(&self, key: &String, values: Vec<u64>) -> (String, u64) {
+        (key.clone(), values.into_iter().sum())
+    }
+}
+
+fn bench_mapreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/mapreduce");
+    g.sample_size(10);
+    g.bench_function("wordcount_8maps_3workers", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(Cluster::with_defaults(), 5);
+            let docs: Vec<String> = (0..8)
+                .map(|i| format!("alpha beta gamma delta doc{i} alpha beta"))
+                .collect();
+            let mut actors: Vec<ActorFn<'_, Cluster, usize>> = Vec::new();
+            let driver_docs = docs.clone();
+            actors.push(Box::new(move |ctx| {
+                let env = VirtualEnv::new(ctx);
+                let mr = MapReduce::new(&env, "wc", WordCount, 2);
+                mr.init().unwrap();
+                mr.run_driver(driver_docs).unwrap().len()
+            }));
+            for _ in 0..3 {
+                actors.push(Box::new(|ctx| {
+                    let env = VirtualEnv::new(ctx);
+                    let mr = MapReduce::new(&env, "wc", WordCount, 2);
+                    mr.init().unwrap();
+                    mr.run_worker(4, Duration::from_secs(1)).unwrap();
+                    0
+                }));
+            }
+            black_box(sim.run(actors).results[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/cache");
+    g.bench_function("raw_put_get", |b| {
+        let cache = CacheCluster::new(8, 1 << 24);
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("k{}", i % 1000);
+            let mut c = cache.lock();
+            c.put(SimTime(i), &key, payload.clone(), None);
+            black_box(c.get(SimTime(i), &key))
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("cache_aside_vs_table_in_sim", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(Cluster::with_defaults(), 6);
+            let shared = CacheCluster::new(4, 1 << 20);
+            let report = sim.run_workers(4, move |ctx| {
+                let env = VirtualEnv::new(ctx);
+                let cache = CacheClient::new(&env, Arc::clone(&shared));
+                let mut hits = 0;
+                for i in 0..50 {
+                    let key = format!("k{}", i % 10);
+                    if cache.get(&key).is_some() {
+                        hits += 1;
+                    } else {
+                        cache.put(&key, Bytes::from(vec![0u8; 256]), None);
+                    }
+                }
+                hits
+            });
+            black_box(report.results)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ycsb, bench_mapreduce, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! One Criterion benchmark per paper table/figure, at reduced scale.
+//!
+//! These measure the *cost of regenerating* each artifact (and keep every
+//! figure path exercised under `cargo bench`); the full-scale figure data
+//! reported in `EXPERIMENTS.md` comes from the `figures` binary.
+
+use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, fig9, BenchConfig};
+use azsim_client::VirtualEnv;
+use azsim_core::Simulation;
+use azsim_fabric::Cluster;
+use azsim_framework::QueueBarrier;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cfg() -> BenchConfig {
+    BenchConfig::paper().with_scale(0.01).with_workers(vec![2])
+}
+
+fn bench_table1_vm_catalog(c: &mut Criterion) {
+    c.bench_function("figures/table1_vm_catalog", |b| {
+        b.iter(|| black_box(azsim_compute::vm::render_table1()))
+    });
+}
+
+fn bench_fig4_fig5_blob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    // Figures 4 and 5 come from the same Algorithm 1 sweep.
+    g.bench_function("fig4_fig5_blob_alg1", |b| {
+        let cfg = cfg();
+        b.iter(|| black_box(alg1_blob::run_alg1(&cfg, 2)))
+    });
+    g.finish();
+}
+
+fn bench_fig6_queue_separate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_queue_separate_alg3", |b| {
+        let cfg = cfg();
+        b.iter(|| black_box(alg3_queue::run_alg3(&cfg, 2)))
+    });
+    g.finish();
+}
+
+fn bench_fig7_queue_shared(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_queue_shared_alg4", |b| {
+        let cfg = cfg();
+        b.iter(|| black_box(alg4_queue::run_alg4(&cfg, 2)))
+    });
+    g.finish();
+}
+
+fn bench_fig8_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_table_alg5", |b| {
+        let cfg = cfg();
+        b.iter(|| black_box(alg5_table::run_alg5(&cfg, 2)))
+    });
+    g.finish();
+}
+
+fn bench_fig9_per_op(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9_per_op", |b| {
+        let cfg = cfg();
+        b.iter(|| black_box(fig9::figure_9(&cfg)))
+    });
+    g.finish();
+}
+
+fn bench_alg2_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    // Algorithm 2 is a mechanism, not a figure; measure a full 8-worker,
+    // 3-phase synchronization cycle.
+    g.bench_function("alg2_barrier_8x3", |b| {
+        b.iter(|| {
+            let sim = Simulation::new(Cluster::with_defaults(), 2);
+            let report = sim.run_workers(8, |ctx| {
+                let env = VirtualEnv::new(ctx);
+                let mut bar = QueueBarrier::new(&env, "b", 8)
+                    .with_poll_interval(Duration::from_millis(200));
+                bar.init().unwrap();
+                for _ in 0..3 {
+                    bar.wait().unwrap();
+                }
+            });
+            black_box(report.end_time)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_vm_catalog,
+    bench_fig4_fig5_blob,
+    bench_fig6_queue_separate,
+    bench_fig7_queue_shared,
+    bench_fig8_table,
+    bench_fig9_per_op,
+    bench_alg2_barrier
+);
+criterion_main!(benches);

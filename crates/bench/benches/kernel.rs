@@ -1,0 +1,105 @@
+//! Microbenchmarks of the simulation kernel: how expensive is simulating?
+
+use azsim_core::heap::EventKey;
+use azsim_core::resource::{FifoServer, Pipe, TokenBucket};
+use azsim_core::runtime::{ActorId, Model};
+use azsim_core::{EventHeap, SimTime, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_event_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/event_heap");
+    for n in [1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = EventHeap::new();
+                for i in 0..n {
+                    h.push(
+                        EventKey {
+                            time: SimTime((i as u64 * 2_654_435_761) % 1_000_000),
+                            actor: ActorId(i % 64),
+                            seq: i as u64,
+                        },
+                        i,
+                    );
+                }
+                let mut acc = 0usize;
+                while let Some((_, v)) = h.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_resources(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/resources");
+    g.bench_function("fifo_admit", |b| {
+        let mut s = FifoServer::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(s.admit(SimTime(t), Duration::from_nanos(250)))
+        })
+    });
+    g.bench_function("pipe_transfer_1mb", |b| {
+        let mut p = Pipe::new(1e9);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            black_box(p.transfer(SimTime(t), 1 << 20))
+        })
+    });
+    g.bench_function("token_bucket_acquire", |b| {
+        let mut tb = TokenBucket::new(1e6, 1e6);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10_000;
+            black_box(tb.acquire(SimTime(t), 1.0))
+        })
+    });
+    g.finish();
+}
+
+/// A trivial model so the measured cost is the runtime itself (channel
+/// hops, heap events, context switches) — the per-op overhead every
+/// simulated storage call pays.
+struct NullModel;
+impl Model for NullModel {
+    type Req = u64;
+    type Resp = u64;
+    fn handle(&mut self, now: SimTime, _actor: ActorId, req: u64) -> (SimTime, u64) {
+        (now + Duration::from_micros(1), req)
+    }
+}
+
+fn bench_virtual_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/virtual_runtime");
+    g.sample_size(10);
+    for workers in [1usize, 8, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("roundtrips_1k_per_worker", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let sim = Simulation::new(NullModel, 1);
+                    let report = sim.run_workers(workers, |ctx| {
+                        let mut acc = 0u64;
+                        for i in 0..1_000u64 {
+                            acc = acc.wrapping_add(ctx.call(i));
+                        }
+                        acc
+                    });
+                    black_box(report.requests)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_heap, bench_resources, bench_virtual_runtime);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Microbenchmarks of the three storage-service state machines in
+//! isolation (no cluster, no runtime): raw semantic-layer throughput.
+
+use azsim_blob::BlobStore;
+use azsim_core::SimTime;
+use azsim_queue::QueueStore;
+use azsim_storage::{Entity, EtagCondition, PropValue};
+use azsim_table::TableStore;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_queue_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("services/queue");
+    for &size in &[4usize << 10, 48 << 10] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("put", size), &size, |b, &size| {
+            let mut s = QueueStore::new(1, 0.0);
+            s.create_queue("q").unwrap();
+            let payload = Bytes::from(vec![7u8; size]);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1_000_000;
+                black_box(s.put(SimTime(t), "q", payload.clone(), None).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queue_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("services/queue_roundtrip");
+    g.bench_function("put_get_delete_4k", |b| {
+        let mut s = QueueStore::new(1, 0.0);
+        s.create_queue("q").unwrap();
+        let payload = Bytes::from(vec![7u8; 4096]);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            let now = SimTime(t);
+            s.put(now, "q", payload.clone(), None).unwrap();
+            let m = s.get(now, "q", Duration::from_secs(60)).unwrap().unwrap();
+            s.delete_message("q", m.id, m.pop_receipt).unwrap();
+            black_box(m.dequeue_count)
+        })
+    });
+    g.bench_function("peek_hot_queue", |b| {
+        let mut s = QueueStore::new(1, 0.0);
+        s.create_queue("q").unwrap();
+        for i in 0..1_000u32 {
+            s.put(SimTime(i as u64), "q", Bytes::from(vec![0u8; 64]), None)
+                .unwrap();
+        }
+        b.iter(|| black_box(s.peek(SimTime(1_000_000), "q").unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_table_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("services/table");
+    g.bench_function("insert_query_update_delete_4k", |b| {
+        let mut s = TableStore::new();
+        s.create_table("t").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let rk = i.to_string();
+            let e = Entity::new("p", &rk).with("v", PropValue::Binary(Bytes::from(vec![0u8; 4096])));
+            s.insert("t", e.clone()).unwrap();
+            black_box(s.query("t", "p", &rk).unwrap());
+            s.update("t", e, EtagCondition::Any).unwrap();
+            s.delete("t", "p", &rk, EtagCondition::Any).unwrap();
+        })
+    });
+    g.bench_function("partition_scan_1k_rows", |b| {
+        let mut s = TableStore::new();
+        s.create_table("t").unwrap();
+        for i in 0..1_000 {
+            s.insert(
+                "t",
+                Entity::new("p", format!("{i:06}")).with("v", PropValue::I64(i)),
+            )
+            .unwrap();
+        }
+        b.iter(|| black_box(s.query_partition("t", "p").unwrap().len()))
+    });
+    g.finish();
+}
+
+fn bench_blob_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("services/blob");
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("put_block_1mb", |b| {
+        let mut s = BlobStore::new();
+        s.create_container("c").unwrap();
+        let data = Bytes::from(vec![1u8; 1 << 20]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.put_block("c", "b", (i % 1000).to_string(), data.clone())
+                .unwrap();
+        })
+    });
+    g.bench_function("page_write_read_1mb", |b| {
+        let mut s = BlobStore::new();
+        s.create_container("c").unwrap();
+        s.create_page_blob("c", "p", 64 << 20).unwrap();
+        let data = Bytes::from(vec![2u8; 1 << 20]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let off = (i % 64) * (1 << 20);
+            s.put_page("c", "p", off, data.clone()).unwrap();
+            black_box(s.get_page("c", "p", off, 1 << 20).unwrap().len())
+        })
+    });
+    g.bench_function("commit_and_download_16mb", |b| {
+        let mut s = BlobStore::new();
+        s.create_container("c").unwrap();
+        let data = Bytes::from(vec![3u8; 1 << 20]);
+        let ids: Vec<String> = (0..16).map(|i| i.to_string()).collect();
+        for id in &ids {
+            s.put_block("c", "big", id.clone(), data.clone()).unwrap();
+        }
+        s.put_block_list("c", "big", &ids).unwrap();
+        b.iter(|| black_box(s.download("c", "big").unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue_service,
+    bench_queue_roundtrip,
+    bench_table_service,
+    bench_blob_service
+);
+criterion_main!(benches);

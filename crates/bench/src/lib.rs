@@ -1,0 +1,23 @@
+//! # azurebench-benches — Criterion benchmarks for the AzureBench suite
+//!
+//! Four harnesses (see `benches/`):
+//!
+//! * `figures` — one benchmark per paper table/figure, at reduced scale so
+//!   `cargo bench` terminates quickly. The *full-scale* numbers reported in
+//!   `EXPERIMENTS.md` come from the `figures` binary
+//!   (`cargo run --release -p azurebench --bin figures -- all`), not from
+//!   Criterion.
+//! * `kernel` — microbenchmarks of the simulation kernel (event heap,
+//!   queueing resources, virtual-time round-trip cost).
+//! * `services` — microbenchmarks of the three storage-service state
+//!   machines in isolation.
+//! * `ablations` — the design-choice ablations called out in DESIGN.md
+//!   (16 KB quirk, replication factor, shared vs separate queues, table
+//!   partitioning).
+
+/// Shared helper: a small scaled-down benchmark configuration.
+pub fn bench_config() -> azurebench::BenchConfig {
+    azurebench::BenchConfig::paper()
+        .with_scale(0.01)
+        .with_workers(vec![2])
+}

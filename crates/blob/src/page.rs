@@ -1,0 +1,220 @@
+//! Page blobs: fixed-size, 512-byte-aligned random access.
+//!
+//! "A Page blob is created and initialized with a maximum size; pages can
+//! be added at any location in the blob by specifying the offset. The
+//! offset boundary should be divisible by 512, and the total data that can
+//! be updated in one operation is 4 MB. A Page blob can store up to 1 TB."
+//! (paper §IV-A). Unwritten ranges read back as zeros.
+
+use azsim_storage::limits::{MAX_PAGE_BLOB_SIZE, MAX_PAGE_WRITE, PAGE_ALIGNMENT};
+use azsim_storage::{StorageError, StorageResult};
+use bytes::{Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+/// A page blob: a sparse map from 512-byte page index to page contents.
+#[derive(Clone, Debug)]
+pub struct PageBlob {
+    size: u64,
+    pages: BTreeMap<u64, Bytes>,
+    /// Lazily assembled full content, shared by concurrent whole-blob
+    /// downloads; invalidated by writes.
+    download_cache: Option<Bytes>,
+}
+
+impl PageBlob {
+    /// Create a page blob with the given maximum size (multiple of 512,
+    /// at most 1 TB). No storage is consumed until pages are written.
+    pub fn create(size: u64) -> StorageResult<Self> {
+        if size > MAX_PAGE_BLOB_SIZE {
+            return Err(StorageError::BlobTooLarge { size });
+        }
+        if !size.is_multiple_of(PAGE_ALIGNMENT) {
+            return Err(StorageError::InvalidPageRange {
+                offset: 0,
+                length: size,
+            });
+        }
+        Ok(PageBlob {
+            size,
+            pages: BTreeMap::new(),
+            download_cache: None,
+        })
+    }
+
+    /// The blob's fixed maximum size.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of distinct 512-byte pages ever written.
+    pub fn written_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check_range(&self, offset: u64, length: u64) -> StorageResult<()> {
+        let bad = || StorageError::InvalidPageRange { offset, length };
+        if length == 0
+            || !offset.is_multiple_of(PAGE_ALIGNMENT)
+            || !length.is_multiple_of(PAGE_ALIGNMENT)
+            || offset.checked_add(length).is_none_or(|end| end > self.size)
+        {
+            return Err(bad());
+        }
+        Ok(())
+    }
+
+    /// Write a page range. Overlapping earlier writes are overwritten
+    /// (last writer wins at 512-byte granularity).
+    pub fn put_page(&mut self, offset: u64, data: Bytes) -> StorageResult<()> {
+        self.download_cache = None;
+        let length = data.len() as u64;
+        if length > MAX_PAGE_WRITE {
+            return Err(StorageError::InvalidPageRange { offset, length });
+        }
+        self.check_range(offset, length)?;
+        let first = offset / PAGE_ALIGNMENT;
+        let count = length / PAGE_ALIGNMENT;
+        for i in 0..count {
+            let lo = (i * PAGE_ALIGNMENT) as usize;
+            let hi = lo + PAGE_ALIGNMENT as usize;
+            self.pages.insert(first + i, data.slice(lo..hi));
+        }
+        Ok(())
+    }
+
+    /// Read a page range; unwritten pages read as zeros.
+    pub fn get_page(&self, offset: u64, length: u64) -> StorageResult<Bytes> {
+        self.check_range(offset, length)?;
+        let first = offset / PAGE_ALIGNMENT;
+        let count = length / PAGE_ALIGNMENT;
+        let mut out = BytesMut::zeroed(length as usize);
+        for i in 0..count {
+            if let Some(p) = self.pages.get(&(first + i)) {
+                let lo = (i * PAGE_ALIGNMENT) as usize;
+                out[lo..lo + PAGE_ALIGNMENT as usize].copy_from_slice(p);
+            }
+        }
+        Ok(out.freeze())
+    }
+
+    /// Download the entire blob (`openRead()` path): all `size` bytes with
+    /// zeros in unwritten holes. Cached: all concurrent downloads share
+    /// one buffer.
+    pub fn download(&mut self) -> Bytes {
+        if let Some(c) = &self.download_cache {
+            return c.clone();
+        }
+        let out = self
+            .get_page(0, self.size)
+            .unwrap_or_else(|_| Bytes::new());
+        self.download_cache = Some(out.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_validates_size() {
+        assert!(PageBlob::create(0).is_ok());
+        assert!(PageBlob::create(1024).is_ok());
+        assert!(matches!(
+            PageBlob::create(1000),
+            Err(StorageError::InvalidPageRange { .. })
+        ));
+        assert!(matches!(
+            PageBlob::create(MAX_PAGE_BLOB_SIZE + 512),
+            Err(StorageError::BlobTooLarge { .. })
+        ));
+        // Exactly 1 TB is allowed — and consumes no memory until written.
+        let huge = PageBlob::create(MAX_PAGE_BLOB_SIZE).unwrap();
+        assert_eq!(huge.written_pages(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut b = PageBlob::create(4096).unwrap();
+        let data = Bytes::from(vec![7u8; 1024]);
+        b.put_page(512, data.clone()).unwrap();
+        assert_eq!(b.get_page(512, 1024).unwrap(), data);
+        assert_eq!(b.written_pages(), 2);
+    }
+
+    #[test]
+    fn unwritten_ranges_read_zero() {
+        let mut b = PageBlob::create(2048).unwrap();
+        b.put_page(512, Bytes::from(vec![9u8; 512])).unwrap();
+        let all = b.download();
+        assert_eq!(all.len(), 2048);
+        assert!(all[..512].iter().all(|&x| x == 0));
+        assert!(all[512..1024].iter().all(|&x| x == 9));
+        assert!(all[1024..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn alignment_rules_enforced() {
+        let mut b = PageBlob::create(8192).unwrap();
+        // Misaligned offset.
+        assert!(b.put_page(100, Bytes::from(vec![0u8; 512])).is_err());
+        // Misaligned length.
+        assert!(b.put_page(0, Bytes::from(vec![0u8; 100])).is_err());
+        // Empty write.
+        assert!(b.put_page(0, Bytes::new()).is_err());
+        // Past the end.
+        assert!(b.put_page(8192, Bytes::from(vec![0u8; 512])).is_err());
+        assert!(b.put_page(7680, Bytes::from(vec![0u8; 1024])).is_err());
+        // Reads follow the same rules.
+        assert!(b.get_page(1, 512).is_err());
+        assert!(b.get_page(0, 0).is_err());
+        assert!(b.get_page(0, 8704).is_err());
+    }
+
+    #[test]
+    fn write_larger_than_4mb_rejected() {
+        let mut b = PageBlob::create(8 * 1024 * 1024).unwrap();
+        let big = Bytes::from(vec![0u8; (MAX_PAGE_WRITE + PAGE_ALIGNMENT) as usize]);
+        assert!(matches!(
+            b.put_page(0, big),
+            Err(StorageError::InvalidPageRange { .. })
+        ));
+        let ok = Bytes::from(vec![1u8; MAX_PAGE_WRITE as usize]);
+        b.put_page(0, ok).unwrap();
+    }
+
+    #[test]
+    fn overlapping_writes_last_writer_wins() {
+        let mut b = PageBlob::create(2048).unwrap();
+        b.put_page(0, Bytes::from(vec![1u8; 1536])).unwrap();
+        b.put_page(512, Bytes::from(vec![2u8; 512])).unwrap();
+        let out = b.get_page(0, 1536).unwrap();
+        assert!(out[..512].iter().all(|&x| x == 1));
+        assert!(out[512..1024].iter().all(|&x| x == 2));
+        assert!(out[1024..].iter().all(|&x| x == 1));
+    }
+
+    proptest::proptest! {
+        /// Arbitrary aligned writes match a flat reference buffer.
+        #[test]
+        fn prop_matches_reference_model(
+            writes in proptest::collection::vec(
+                (0u64..16, 1u64..8, 0u8..=255), 0..40)
+        ) {
+            const SIZE: u64 = 16 * 512;
+            let mut blob = PageBlob::create(SIZE).unwrap();
+            let mut reference = vec![0u8; SIZE as usize];
+            for (page, len_pages, fill) in writes {
+                let offset = page * 512;
+                let len = (len_pages * 512).min(SIZE - offset);
+                if len == 0 { continue; }
+                let data = vec![fill; len as usize];
+                blob.put_page(offset, Bytes::from(data.clone())).unwrap();
+                reference[offset as usize..(offset + len) as usize]
+                    .copy_from_slice(&data);
+            }
+            let got = blob.download();
+            proptest::prop_assert_eq!(got.as_ref(), reference.as_slice());
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Cache ring, nodes, LRU/TTL semantics, and the timed client.
+
+use azsim_core::SimTime;
+use azsim_storage::PartitionKey;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Hit/miss/eviction counters for the whole cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful gets.
+    pub hits: u64,
+    /// Gets that found nothing (absent or expired).
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped because their TTL elapsed.
+    pub expirations: u64,
+}
+
+struct Entry {
+    value: Bytes,
+    expiry: Option<SimTime>,
+    /// LRU clock value of the last touch.
+    touched: u64,
+}
+
+struct Node {
+    entries: HashMap<String, Entry>,
+    used: u64,
+    capacity: u64,
+}
+
+impl Node {
+    fn new(capacity: u64) -> Self {
+        Node {
+            entries: HashMap::new(),
+            used: 0,
+            capacity,
+        }
+    }
+}
+
+/// A ring of cache nodes with per-node capacity.
+pub struct CacheCluster {
+    nodes: Vec<Node>,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheCluster {
+    /// Build a ring of `nodes` nodes with `capacity_per_node` bytes each.
+    pub fn new(nodes: usize, capacity_per_node: u64) -> Arc<Mutex<Self>> {
+        assert!(nodes > 0 && capacity_per_node > 0);
+        Arc::new(Mutex::new(CacheCluster {
+            nodes: (0..nodes).map(|_| Node::new(capacity_per_node)).collect(),
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }))
+    }
+
+    fn node_for(&self, key: &str) -> usize {
+        // Reuse the storage layer's stable hash for placement.
+        PartitionKey::Queue {
+            queue: key.to_owned(),
+        }
+        .server_index(self.nodes.len())
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.lru_clock += 1;
+        self.lru_clock
+    }
+
+    /// Store `value` under `key` (replacing any previous value) with an
+    /// optional TTL. Oversized values (larger than one node) are rejected
+    /// by returning `false`.
+    pub fn put(&mut self, now: SimTime, key: &str, value: Bytes, ttl: Option<Duration>) -> bool {
+        let n = self.node_for(key);
+        let size = value.len() as u64;
+        if size > self.nodes[n].capacity {
+            return false;
+        }
+        let touched = self.tick();
+        let node = &mut self.nodes[n];
+        if let Some(old) = node.entries.remove(key) {
+            node.used -= old.value.len() as u64;
+        }
+        // Evict LRU entries until the new value fits.
+        while node.used + size > node.capacity {
+            let victim = node
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k.clone())
+                .expect("capacity exceeded with no entries");
+            let e = node.entries.remove(&victim).expect("victim exists");
+            node.used -= e.value.len() as u64;
+            self.stats.evictions += 1;
+        }
+        node.used += size;
+        node.entries.insert(
+            key.to_owned(),
+            Entry {
+                value,
+                expiry: ttl.map(|d| now + d),
+                touched,
+            },
+        );
+        true
+    }
+
+    /// Fetch `key`, refreshing its LRU position. Expired entries count as
+    /// misses and are dropped.
+    pub fn get(&mut self, now: SimTime, key: &str) -> Option<Bytes> {
+        let n = self.node_for(key);
+        let touched = self.tick();
+        let node = &mut self.nodes[n];
+        match node.entries.get_mut(key) {
+            Some(e) if e.expiry.is_none_or(|t| t > now) => {
+                e.touched = touched;
+                self.stats.hits += 1;
+                Some(e.value.clone())
+            }
+            Some(_) => {
+                let e = node.entries.remove(key).expect("entry present");
+                node.used -= e.value.len() as u64;
+                self.stats.expirations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remove `key`; returns whether it was present (expired or not).
+    pub fn remove(&mut self, key: &str) -> bool {
+        let n = self.node_for(key);
+        let node = &mut self.nodes[n];
+        match node.entries.remove(key) {
+            Some(e) => {
+                node.used -= e.value.len() as u64;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Total bytes cached across nodes.
+    pub fn used_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.used).sum()
+    }
+}
+
+/// A timed cache handle for one role instance: every operation charges a
+/// small in-memory round trip through the environment's clock.
+pub struct CacheClient<'e> {
+    env: &'e dyn azsim_client::Environment,
+    cache: Arc<Mutex<CacheCluster>>,
+    rtt: Duration,
+}
+
+impl<'e> CacheClient<'e> {
+    /// Default cache round trip: in-memory, an order of magnitude below a
+    /// storage operation.
+    pub const DEFAULT_RTT: Duration = Duration::from_micros(900);
+
+    /// Bind a client to a shared cache.
+    pub fn new(env: &'e dyn azsim_client::Environment, cache: Arc<Mutex<CacheCluster>>) -> Self {
+        CacheClient {
+            env,
+            cache,
+            rtt: Self::DEFAULT_RTT,
+        }
+    }
+
+    /// Override the modeled round trip.
+    pub fn with_rtt(mut self, rtt: Duration) -> Self {
+        self.rtt = rtt;
+        self
+    }
+
+    /// Timed put.
+    pub fn put(&self, key: &str, value: Bytes, ttl: Option<Duration>) -> bool {
+        self.env.sleep(self.rtt);
+        self.cache.lock().put(self.env.now(), key, value, ttl)
+    }
+
+    /// Timed get.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.env.sleep(self.rtt);
+        self.cache.lock().get(self.env.now(), key)
+    }
+
+    /// Timed remove.
+    pub fn remove(&self, key: &str) -> bool {
+        self.env.sleep(self.rtt);
+        self.cache.lock().remove(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_stats() {
+        let cache = CacheCluster::new(4, 1 << 20);
+        let mut c = cache.lock();
+        assert!(c.put(at(0), "k", Bytes::from_static(b"v"), None));
+        assert_eq!(c.get(at(1), "k"), Some(Bytes::from_static(b"v")));
+        assert_eq!(c.get(at(1), "missing"), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = CacheCluster::new(2, 1 << 20);
+        let mut c = cache.lock();
+        c.put(at(0), "k", Bytes::from_static(b"v"), Some(Duration::from_secs(10)));
+        assert!(c.get(at(9), "k").is_some());
+        assert!(c.get(at(10), "k").is_none(), "expiry is exclusive");
+        assert_eq!(c.stats().expirations, 1);
+        // Space was reclaimed.
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_entries() {
+        // One node so all keys collide; capacity for two 4-byte values.
+        let cache = CacheCluster::new(1, 8);
+        let mut c = cache.lock();
+        c.put(at(0), "a", Bytes::from_static(b"aaaa"), None);
+        c.put(at(0), "b", Bytes::from_static(b"bbbb"), None);
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(c.get(at(1), "a").is_some());
+        c.put(at(2), "c", Bytes::from_static(b"cccc"), None);
+        assert!(c.get(at(3), "a").is_some(), "recently used must survive");
+        assert!(c.get(at(3), "b").is_none(), "LRU entry must be evicted");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_values_rejected_and_replacement_reuses_space() {
+        let cache = CacheCluster::new(1, 10);
+        let mut c = cache.lock();
+        assert!(!c.put(at(0), "big", Bytes::from(vec![0u8; 11]), None));
+        assert!(c.put(at(0), "k", Bytes::from(vec![0u8; 10]), None));
+        // Replacing k must not trip capacity.
+        assert!(c.put(at(0), "k", Bytes::from(vec![1u8; 10]), None));
+        assert_eq!(c.used_bytes(), 10);
+    }
+
+    #[test]
+    fn keys_spread_across_nodes() {
+        let cache = CacheCluster::new(8, 1 << 20);
+        let c = cache.lock();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let key = format!("key-{i}");
+            seen.insert(c.node_for(&key));
+        }
+        assert!(seen.len() >= 6, "placement skewed: {seen:?}");
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let cache = CacheCluster::new(1, 100);
+        let mut c = cache.lock();
+        c.put(at(0), "k", Bytes::from(vec![0u8; 60]), None);
+        assert!(c.remove("k"));
+        assert!(!c.remove("k"));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn cache_cuts_latency_versus_table_in_simulation() {
+        use azsim_client::{Environment, TableClient, VirtualEnv};
+        use azsim_core::Simulation;
+        use azsim_fabric::Cluster;
+        use azsim_storage::{Entity, PropValue};
+
+        // The cache-aside pattern: read-through once, then hits are an
+        // order of magnitude cheaper than table queries.
+        let sim = Simulation::new(Cluster::with_defaults(), 77);
+        let shared = CacheCluster::new(4, 1 << 20);
+        let report = sim.run_workers(4, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let table = TableClient::new(&env, "t");
+            table.create_table().unwrap();
+            let cache = CacheClient::new(&env, Arc::clone(&shared));
+            let me = ctx.id().0;
+            table
+                .insert(Entity::new("p", me.to_string()).with("v", PropValue::I64(me as i64)))
+                .unwrap();
+
+            // Cold read: miss → table → fill.
+            let t0 = env.now();
+            let key = format!("p/{me}");
+            assert!(cache.get(&key).is_none());
+            let (_e, _) = table.query("p", &me.to_string()).unwrap().unwrap();
+            cache.put(&key, Bytes::from(me.to_le_bytes().to_vec()), None);
+            let cold = env.now().saturating_since(t0);
+
+            // Warm read: hit.
+            let t0 = env.now();
+            assert!(cache.get(&key).is_some());
+            let warm = env.now().saturating_since(t0);
+            assert!(
+                cold > warm * 4,
+                "cold {cold:?} must dwarf warm {warm:?}"
+            );
+            warm
+        });
+        assert!(report
+            .results
+            .iter()
+            .all(|w| *w < Duration::from_millis(2)));
+    }
+
+    proptest::proptest! {
+        /// Used bytes always equals the sum of live entry sizes and never
+        /// exceeds capacity, under arbitrary put/get/remove interleavings.
+        #[test]
+        fn prop_accounting_invariants(
+            ops in proptest::collection::vec((0u8..3, 0u8..16, 1usize..64), 1..200)
+        ) {
+            let cache = CacheCluster::new(2, 256);
+            let mut c = cache.lock();
+            for (i, (op, key, size)) in ops.into_iter().enumerate() {
+                let key = format!("k{key}");
+                match op {
+                    0 => { c.put(SimTime(i as u64), &key, Bytes::from(vec![0u8; size]), None); }
+                    1 => { c.get(SimTime(i as u64), &key); }
+                    _ => { c.remove(&key); }
+                }
+                let live: u64 = c.nodes.iter()
+                    .flat_map(|n| n.entries.values())
+                    .map(|e| e.value.len() as u64)
+                    .sum();
+                proptest::prop_assert_eq!(c.used_bytes(), live);
+                for n in &c.nodes {
+                    proptest::prop_assert!(n.used <= n.capacity);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # azsim-cache — the simulated Azure caching service
+//!
+//! "Azure platform also provides a caching service to temporarily hold
+//! data in memory across different servers" (paper §II-B); the paper
+//! excludes it from its benchmarks and lists caches among future work.
+//! This crate models that service (the 2011 AppFabric Cache):
+//!
+//! * a ring of cache nodes; keys map to nodes by stable hash;
+//! * per-node memory capacity with LRU eviction;
+//! * absolute TTLs (expired entries are never returned);
+//! * a [`CacheClient`] that charges a small in-memory round trip through
+//!   an [`azsim_client::Environment`] — an order of magnitude cheaper than
+//!   a storage operation, which is the service's reason to exist.
+//!
+//! Inside the virtual-time runtime, actors execute one at a time, so a
+//! shared [`CacheCluster`] behind a mutex stays deterministic.
+
+pub mod cluster;
+
+pub use cluster::{CacheClient, CacheCluster, CacheStats};

@@ -1,0 +1,89 @@
+//! Execution environments: where a client's calls actually go.
+
+use azsim_core::runtime::ActorCtx;
+use azsim_core::SimTime;
+use azsim_fabric::Cluster;
+use azsim_storage::{StorageOk, StorageRequest, StorageResult};
+use std::time::Duration;
+
+/// A place a storage client can run: provides a clock, a sleep primitive
+/// and a request executor. Implemented by [`VirtualEnv`] (simulated time)
+/// and [`crate::LiveEnv`] (wall-clock time).
+pub trait Environment {
+    /// Current time (virtual in simulation, epoch-relative in live mode).
+    fn now(&self) -> SimTime;
+    /// Block for `d` (virtual or scaled-real).
+    fn sleep(&self, d: Duration);
+    /// Execute one storage request to completion.
+    fn execute(&self, req: StorageRequest) -> StorageResult<StorageOk>;
+    /// The role-instance index this environment belongs to.
+    fn instance(&self) -> usize;
+}
+
+/// Environment backed by the virtual-time runtime: wraps a worker thread's
+/// [`ActorCtx`] over the [`Cluster`] model.
+pub struct VirtualEnv<'a> {
+    ctx: &'a ActorCtx<Cluster>,
+}
+
+impl<'a> VirtualEnv<'a> {
+    /// Wrap an actor context.
+    pub fn new(ctx: &'a ActorCtx<Cluster>) -> Self {
+        VirtualEnv { ctx }
+    }
+
+    /// The underlying actor context (for direct RNG access etc.).
+    pub fn ctx(&self) -> &ActorCtx<Cluster> {
+        self.ctx
+    }
+}
+
+impl Environment for VirtualEnv<'_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.ctx.sleep(d);
+    }
+
+    fn execute(&self, req: StorageRequest) -> StorageResult<StorageOk> {
+        self.ctx.call(req)
+    }
+
+    fn instance(&self) -> usize {
+        self.ctx.id().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azsim_core::Simulation;
+    use bytes::Bytes;
+
+    #[test]
+    fn virtual_env_routes_through_simulation() {
+        let sim = Simulation::new(Cluster::with_defaults(), 1);
+        let report = sim.run_workers(2, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            assert_eq!(env.instance(), ctx.id().0);
+            env.execute(StorageRequest::CreateQueue {
+                queue: format!("q{}", env.instance()),
+            })
+            .unwrap();
+            env.execute(StorageRequest::PutMessage {
+                queue: format!("q{}", env.instance()),
+                data: Bytes::from_static(b"hello"),
+                ttl: None,
+            })
+            .unwrap();
+            let before = env.now();
+            env.sleep(Duration::from_secs(1));
+            assert_eq!(env.now(), before + Duration::from_secs(1));
+            env.now()
+        });
+        assert!(report.results.iter().all(|t| *t > SimTime::ZERO));
+        assert_eq!(report.model.metrics().total_completed(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! # azsim-client — SDK-style clients for the simulated Azure storage
+//!
+//! The counterpart of the 2011 Azure SDK's `CloudBlobClient`,
+//! `CloudQueueClient` and `CloudTableClient`: blocking, typed wrappers over
+//! the request protocol, with the paper's retry behaviour (sleep one second
+//! on `ServerBusy`, then retry) built in.
+//!
+//! Clients are generic over an [`Environment`]:
+//!
+//! * [`VirtualEnv`] runs against the virtual-time simulation — a worker
+//!   role's blocking code executes in simulated time (the benchmark mode);
+//! * [`live::LiveEnv`] runs against the very same [`azsim_fabric::Cluster`]
+//!   in real (optionally time-scaled) wall-clock time — the mode the
+//!   interactive examples use.
+
+pub mod blob;
+pub mod env;
+pub mod live;
+pub mod queue;
+pub mod retry;
+pub mod table;
+
+pub use blob::BlobClient;
+pub use env::{Environment, VirtualEnv};
+pub use live::{LiveCluster, LiveEnv};
+pub use queue::QueueClient;
+pub use retry::RetryPolicy;
+pub use table::TableClient;

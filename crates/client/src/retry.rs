@@ -1,0 +1,155 @@
+//! Retry policy: the paper's behaviour on throttling.
+//!
+//! "When we run into such exceptions, the worker sleeps for a second before
+//! retrying the same operation" (paper §IV-C).
+
+use crate::env::Environment;
+use azsim_storage::{StorageError, StorageOk, StorageRequest, StorageResult};
+use std::time::Duration;
+
+/// Retry configuration for `ServerBusy` responses.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts (including the first). `1` disables retries.
+    pub max_attempts: usize,
+    /// Sleep between attempts (the paper uses one second).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 120,
+            backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Execute `req` against `env`, sleeping and retrying on `ServerBusy`
+    /// until it succeeds, fails with a non-retryable error, or attempts run
+    /// out.
+    pub fn run(&self, env: &dyn Environment, req: &StorageRequest) -> StorageResult<StorageOk> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match env.execute(req.clone()) {
+                Err(StorageError::ServerBusy { retry_after }) if attempt < self.max_attempts => {
+                    env.sleep(self.backoff.max(retry_after.min(self.backoff)));
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azsim_core::SimTime;
+    use std::cell::{Cell, RefCell};
+
+    /// An environment that fails with ServerBusy a fixed number of times.
+    struct Flaky {
+        failures_left: Cell<usize>,
+        calls: Cell<usize>,
+        slept: RefCell<Vec<Duration>>,
+    }
+
+    impl Environment for Flaky {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn sleep(&self, d: Duration) {
+            self.slept.borrow_mut().push(d);
+        }
+        fn execute(&self, _req: StorageRequest) -> StorageResult<StorageOk> {
+            self.calls.set(self.calls.get() + 1);
+            if self.failures_left.get() > 0 {
+                self.failures_left.set(self.failures_left.get() - 1);
+                Err(StorageError::ServerBusy {
+                    retry_after: Duration::from_millis(100),
+                })
+            } else {
+                Ok(StorageOk::Ack)
+            }
+        }
+        fn instance(&self) -> usize {
+            0
+        }
+    }
+
+    fn flaky(failures: usize) -> Flaky {
+        Flaky {
+            failures_left: Cell::new(failures),
+            calls: Cell::new(0),
+            slept: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn req() -> StorageRequest {
+        StorageRequest::GetMessageCount { queue: "q".into() }
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let env = flaky(3);
+        let policy = RetryPolicy::default();
+        policy.run(&env, &req()).unwrap();
+        assert_eq!(env.calls.get(), 4);
+        assert_eq!(env.slept.borrow().len(), 3);
+        // Paper behaviour: a one-second sleep before each retry.
+        assert!(env.slept.borrow().iter().all(|d| *d == Duration::from_millis(100)
+            || *d == Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let env = flaky(100);
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            backoff: Duration::from_secs(1),
+        };
+        let r = policy.run(&env, &req());
+        assert!(matches!(r, Err(StorageError::ServerBusy { .. })));
+        assert_eq!(env.calls.get(), 5);
+    }
+
+    #[test]
+    fn no_retry_policy_fails_fast() {
+        let env = flaky(1);
+        let r = RetryPolicy::none().run(&env, &req());
+        assert!(r.is_err());
+        assert_eq!(env.calls.get(), 1);
+        assert!(env.slept.borrow().is_empty());
+    }
+
+    #[test]
+    fn non_retryable_errors_pass_through() {
+        struct AlwaysMissing;
+        impl Environment for AlwaysMissing {
+            fn now(&self) -> SimTime {
+                SimTime::ZERO
+            }
+            fn sleep(&self, _d: Duration) {
+                panic!("must not sleep on non-retryable errors");
+            }
+            fn execute(&self, _req: StorageRequest) -> StorageResult<StorageOk> {
+                Err(StorageError::QueueNotFound("q".into()))
+            }
+            fn instance(&self) -> usize {
+                0
+            }
+        }
+        let r = RetryPolicy::default().run(&AlwaysMissing, &req());
+        assert!(matches!(r, Err(StorageError::QueueNotFound(_))));
+    }
+}

@@ -1,0 +1,206 @@
+//! `CloudTableClient` analogue, bound to one table.
+
+use crate::env::Environment;
+use crate::retry::RetryPolicy;
+use azsim_storage::{
+    ETag, Entity, EtagCondition, StorageOk, StorageRequest, StorageResult, TableBatchOp,
+};
+
+/// A client bound to one table.
+pub struct TableClient<'e> {
+    env: &'e dyn Environment,
+    table: String,
+    policy: RetryPolicy,
+}
+
+impl<'e> TableClient<'e> {
+    /// Bind a client to `table`.
+    pub fn new(env: &'e dyn Environment, table: impl Into<String>) -> Self {
+        TableClient {
+            env,
+            table: table.into(),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Replace the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The bound table name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    fn run(&self, req: StorageRequest) -> StorageResult<StorageOk> {
+        self.policy.run(self.env, &req)
+    }
+
+    /// Create the table (idempotent).
+    pub fn create_table(&self) -> StorageResult<()> {
+        self.run(StorageRequest::CreateTable {
+            table: self.table.clone(),
+        })
+        .map(|_| ())
+    }
+
+    /// Delete the table and all entities.
+    pub fn delete_table(&self) -> StorageResult<()> {
+        self.run(StorageRequest::DeleteTable {
+            table: self.table.clone(),
+        })
+        .map(|_| ())
+    }
+
+    /// Insert a new entity (`AddRow` in the paper's pseudocode).
+    pub fn insert(&self, entity: Entity) -> StorageResult<ETag> {
+        match self.run(StorageRequest::InsertEntity {
+            table: self.table.clone(),
+            entity,
+        })? {
+            StorageOk::Tag(t) => Ok(t),
+            other => unreachable!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Point query by key pair (`Query` in the paper's pseudocode).
+    pub fn query(&self, partition: &str, row: &str) -> StorageResult<Option<(Entity, ETag)>> {
+        match self.run(StorageRequest::QueryEntity {
+            table: self.table.clone(),
+            partition: partition.to_owned(),
+            row: row.to_owned(),
+        })? {
+            StorageOk::Entity(e) => Ok(e),
+            other => unreachable!("unexpected response {other:?}"),
+        }
+    }
+
+    /// All entities of one partition, row-key ordered.
+    pub fn query_partition(&self, partition: &str) -> StorageResult<Vec<(Entity, ETag)>> {
+        match self.run(StorageRequest::QueryPartition {
+            table: self.table.clone(),
+            partition: partition.to_owned(),
+        })? {
+            StorageOk::Entities(es) => Ok(es),
+            other => unreachable!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Unconditional update — the paper's wildcard-`*` ETag flavour.
+    pub fn update(&self, entity: Entity) -> StorageResult<ETag> {
+        self.update_if(entity, EtagCondition::Any)
+    }
+
+    /// Conditional update.
+    pub fn update_if(&self, entity: Entity, condition: EtagCondition) -> StorageResult<ETag> {
+        match self.run(StorageRequest::UpdateEntity {
+            table: self.table.clone(),
+            entity,
+            condition,
+        })? {
+            StorageOk::Tag(t) => Ok(t),
+            other => unreachable!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Execute an entity-group transaction: up to 100 operations against
+    /// one partition, applied atomically (all or nothing).
+    pub fn execute_batch(
+        &self,
+        partition: &str,
+        ops: Vec<TableBatchOp>,
+    ) -> StorageResult<Vec<Option<ETag>>> {
+        match self.run(StorageRequest::ExecuteBatch {
+            table: self.table.clone(),
+            partition: partition.to_owned(),
+            ops,
+        })? {
+            StorageOk::BatchTags(tags) => Ok(tags),
+            other => unreachable!("unexpected response {other:?}"),
+        }
+    }
+
+    /// Unconditional delete.
+    pub fn delete_entity(&self, partition: &str, row: &str) -> StorageResult<()> {
+        self.delete_entity_if(partition, row, EtagCondition::Any)
+    }
+
+    /// Conditional delete.
+    pub fn delete_entity_if(
+        &self,
+        partition: &str,
+        row: &str,
+        condition: EtagCondition,
+    ) -> StorageResult<()> {
+        self.run(StorageRequest::DeleteEntity {
+            table: self.table.clone(),
+            partition: partition.to_owned(),
+            row: row.to_owned(),
+            condition,
+        })
+        .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::VirtualEnv;
+    use azsim_core::Simulation;
+    use azsim_fabric::Cluster;
+    use azsim_storage::PropValue;
+
+    #[test]
+    fn table_crud_via_client() {
+        let sim = Simulation::new(Cluster::with_defaults(), 17);
+        sim.run_workers(1, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let t = TableClient::new(&env, "results");
+            t.create_table().unwrap();
+
+            let e = Entity::new("p0", "r0").with("score", PropValue::I64(10));
+            let tag = t.insert(e).unwrap();
+
+            let (got, got_tag) = t.query("p0", "r0").unwrap().unwrap();
+            assert_eq!(got.properties["score"], PropValue::I64(10));
+            assert_eq!(got_tag, tag);
+
+            let e2 = Entity::new("p0", "r0").with("score", PropValue::I64(20));
+            let tag2 = t.update(e2).unwrap();
+            assert_ne!(tag, tag2);
+
+            // Stale conditional update fails.
+            let e3 = Entity::new("p0", "r0").with("score", PropValue::I64(30));
+            assert!(t.update_if(e3, EtagCondition::Match(tag)).is_err());
+
+            t.delete_entity("p0", "r0").unwrap();
+            assert!(t.query("p0", "r0").unwrap().is_none());
+            t.delete_table().unwrap();
+        });
+    }
+
+    #[test]
+    fn per_worker_partitions_like_algorithm_5() {
+        let n = 4usize;
+        let rows = 20usize;
+        let sim = Simulation::new(Cluster::with_defaults(), 23);
+        let report = sim.run_workers(n, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let t = TableClient::new(&env, "bench");
+            t.create_table().unwrap();
+            let pk = format!("role-{}", env.instance());
+            for r in 0..rows {
+                t.insert(Entity::new(&pk, r.to_string()).with("v", PropValue::I64(r as i64)))
+                    .unwrap();
+            }
+            t.query_partition(&pk).unwrap().len()
+        });
+        assert!(report.results.iter().all(|&len| len == rows));
+        assert_eq!(
+            report.model.table_store().entity_count("bench").unwrap(),
+            n * rows
+        );
+    }
+}

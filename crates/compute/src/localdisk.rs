@@ -1,0 +1,175 @@
+//! Per-instance local storage.
+//!
+//! Each role instance gets VM-local disk (paper Table I: 20 GB on Extra
+//! Small up to 2 040 GB on Extra Large). The paper deliberately excludes
+//! it from the storage benchmarks ("similar to writing to the local hard
+//! disk") — but applications use it for scratch space, so the platform
+//! model provides it: named local resources with a capacity limit and a
+//! simple sequential-bandwidth cost model. Local storage is ephemeral: it
+//! does not survive the instance and is *not* shared between instances.
+//!
+//! Operations return the modeled I/O [`Duration`] so callers in virtual
+//! time can `ctx.sleep(d)` it (and live-mode callers can ignore it).
+
+use crate::vm::VmSize;
+use azsim_storage::{StorageError, StorageResult};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A role instance's local disk.
+#[derive(Clone, Debug)]
+pub struct LocalDisk {
+    capacity: u64,
+    used: u64,
+    files: HashMap<String, Bytes>,
+    read_bw: f64,
+    write_bw: f64,
+}
+
+impl LocalDisk {
+    /// The local disk of a `vm`-sized instance (capacity from Table I;
+    /// 2011-era commodity disk bandwidths: ~100 MB/s read, ~80 MB/s write).
+    pub fn for_vm(vm: VmSize) -> Self {
+        LocalDisk {
+            capacity: vm.disk_gb() as u64 * (1 << 30),
+            used: 0,
+            files: HashMap::new(),
+            read_bw: 100.0 * (1 << 20) as f64,
+            write_bw: 80.0 * (1 << 20) as f64,
+        }
+    }
+
+    /// A disk with explicit capacity and bandwidths (tests, local
+    /// resources smaller than the full disk).
+    pub fn with_limits(capacity: u64, read_bw: f64, write_bw: f64) -> Self {
+        assert!(read_bw > 0.0 && write_bw > 0.0);
+        LocalDisk {
+            capacity,
+            used: 0,
+            files: HashMap::new(),
+            read_bw,
+            write_bw,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently used.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Write (create or replace) a file; returns the modeled I/O time.
+    /// Fails with `BlobTooLarge` when the write would exceed capacity.
+    pub fn write(&mut self, name: &str, data: Bytes) -> StorageResult<Duration> {
+        let new = data.len() as u64;
+        let old = self.files.get(name).map(|f| f.len() as u64).unwrap_or(0);
+        let used_after = self.used - old + new;
+        if used_after > self.capacity {
+            return Err(StorageError::BlobTooLarge { size: new });
+        }
+        self.used = used_after;
+        self.files.insert(name.to_owned(), data);
+        Ok(azsim_core::time::transfer_time(new, self.write_bw))
+    }
+
+    /// Read a file; returns the contents and the modeled I/O time.
+    pub fn read(&self, name: &str) -> StorageResult<(Bytes, Duration)> {
+        let f = self
+            .files
+            .get(name)
+            .ok_or_else(|| StorageError::BlobNotFound(name.to_owned()))?;
+        Ok((
+            f.clone(),
+            azsim_core::time::transfer_time(f.len() as u64, self.read_bw),
+        ))
+    }
+
+    /// Delete a file (freeing its space).
+    pub fn delete(&mut self, name: &str) -> StorageResult<()> {
+        match self.files.remove(name) {
+            Some(f) => {
+                self.used -= f.len() as u64;
+                Ok(())
+            }
+            None => Err(StorageError::BlobNotFound(name.to_owned())),
+        }
+    }
+
+    /// Names of stored files (sorted).
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_follow_table1() {
+        assert_eq!(LocalDisk::for_vm(VmSize::ExtraSmall).capacity(), 20 << 30);
+        assert_eq!(
+            LocalDisk::for_vm(VmSize::ExtraLarge).capacity(),
+            2040u64 << 30
+        );
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_io_times() {
+        let mut d = LocalDisk::with_limits(1 << 20, 100.0 * (1 << 20) as f64, 50.0 * (1 << 20) as f64);
+        let data = Bytes::from(vec![7u8; 512 << 10]);
+        let w = d.write("scratch", data.clone()).unwrap();
+        // 512 KB at 50 MB/s = 10 ms.
+        assert_eq!(w, Duration::from_millis(10));
+        let (got, r) = d.read("scratch").unwrap();
+        assert_eq!(got, data);
+        // 512 KB at 100 MB/s = 5 ms.
+        assert_eq!(r, Duration::from_millis(5));
+        assert_eq!(d.used(), 512 << 10);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_replacement_reuses_space() {
+        let mut d = LocalDisk::with_limits(1000, 1e6, 1e6);
+        d.write("a", Bytes::from(vec![0u8; 800])).unwrap();
+        // A second file would blow capacity.
+        assert!(matches!(
+            d.write("b", Bytes::from(vec![0u8; 300])),
+            Err(StorageError::BlobTooLarge { .. })
+        ));
+        // Replacing the existing file reuses its space.
+        d.write("a", Bytes::from(vec![1u8; 900])).unwrap();
+        assert_eq!(d.used(), 900);
+        assert_eq!(d.free(), 100);
+    }
+
+    #[test]
+    fn delete_frees_space_and_missing_files_error() {
+        let mut d = LocalDisk::with_limits(1000, 1e6, 1e6);
+        d.write("x", Bytes::from(vec![0u8; 400])).unwrap();
+        d.delete("x").unwrap();
+        assert_eq!(d.used(), 0);
+        assert!(matches!(d.delete("x"), Err(StorageError::BlobNotFound(_))));
+        assert!(matches!(d.read("x"), Err(StorageError::BlobNotFound(_))));
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let mut d = LocalDisk::with_limits(1000, 1e6, 1e6);
+        d.write("zz", Bytes::new()).unwrap();
+        d.write("aa", Bytes::new()).unwrap();
+        assert_eq!(d.list(), vec!["aa", "zz"]);
+    }
+}

@@ -1,0 +1,163 @@
+//! VM provisioning and deployment timing.
+//!
+//! The paper's stated future work: "We will also include resource
+//! provisioning times and application deployment timings." This module
+//! adds that model: a deployment does not start computing at t = 0 — the
+//! fabric controller allocates VMs, copies the service package, boots the
+//! guest OS and starts the role host, and instances come online staggered
+//! (2011-era Azure deployments took ~6–12 minutes for the first instance,
+//! with additional instances following in waves).
+
+use crate::vm::VmSize;
+use azsim_core::rng::stream_rng;
+use rand::Rng;
+use std::time::Duration;
+
+/// Parameters of the provisioning-time model.
+#[derive(Clone, Debug)]
+pub struct ProvisioningModel {
+    /// Fabric-controller allocation plus package copy, paid once per
+    /// deployment.
+    pub base: Duration,
+    /// Per-instance boot + role-host start (scaled by VM size: larger VMs
+    /// take somewhat longer to allocate).
+    pub per_instance: Duration,
+    /// Instances start in waves of this many.
+    pub wave_size: usize,
+    /// Gap between waves.
+    pub wave_gap: Duration,
+    /// Multiplicative jitter (±fraction) on each instance's boot time.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for ProvisioningModel {
+    fn default() -> Self {
+        ProvisioningModel {
+            base: Duration::from_secs(360),         // ~6 minutes
+            per_instance: Duration::from_secs(90),  // boot + role start
+            wave_size: 20,
+            wave_gap: Duration::from_secs(60),
+            jitter: 0.15,
+            seed: 7,
+        }
+    }
+}
+
+impl ProvisioningModel {
+    /// An instantaneous model (provisioning disabled) — the default for
+    /// benchmarks, which measure storage, not deployment.
+    pub fn instant() -> Self {
+        ProvisioningModel {
+            base: Duration::ZERO,
+            per_instance: Duration::ZERO,
+            wave_size: usize::MAX,
+            wave_gap: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// VM-size factor on the per-instance boot time.
+    fn size_factor(vm: VmSize) -> f64 {
+        match vm {
+            VmSize::ExtraSmall => 0.8,
+            VmSize::Small => 1.0,
+            VmSize::Medium => 1.15,
+            VmSize::Large => 1.3,
+            VmSize::ExtraLarge => 1.5,
+        }
+    }
+
+    /// When instance `index` (global across the deployment) of size `vm`
+    /// comes online, measured from deployment submission.
+    pub fn ready_at(&self, index: usize, vm: VmSize) -> Duration {
+        let wave = if self.wave_size == usize::MAX {
+            0
+        } else {
+            index / self.wave_size.max(1)
+        };
+        let boot = self.per_instance.mul_f64(Self::size_factor(vm));
+        let jitter = if self.jitter > 0.0 {
+            let mut rng = stream_rng(self.seed, index as u64);
+            1.0 + rng.random_range(-self.jitter..self.jitter)
+        } else {
+            1.0
+        };
+        self.base + self.wave_gap * wave as u32 + boot.mul_f64(jitter)
+    }
+
+    /// Time until the *whole* deployment of `instances` instances of `vm`
+    /// is online (the application deployment timing the paper planned to
+    /// report).
+    pub fn deployment_ready(&self, instances: usize, vm: VmSize) -> Duration {
+        (0..instances)
+            .map(|i| self.ready_at(i, vm))
+            .max()
+            .unwrap_or(self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_model_is_zero() {
+        let m = ProvisioningModel::instant();
+        assert_eq!(m.ready_at(0, VmSize::Small), Duration::ZERO);
+        assert_eq!(m.deployment_ready(100, VmSize::ExtraLarge), Duration::ZERO);
+    }
+
+    #[test]
+    fn first_instance_takes_minutes() {
+        let m = ProvisioningModel::default();
+        let t = m.ready_at(0, VmSize::Small);
+        assert!(t >= Duration::from_secs(300), "{t:?} too fast for 2011 Azure");
+        assert!(t <= Duration::from_secs(700), "{t:?} unreasonably slow");
+    }
+
+    #[test]
+    fn waves_stagger_large_deployments() {
+        let m = ProvisioningModel {
+            jitter: 0.0,
+            ..ProvisioningModel::default()
+        };
+        let first_wave = m.ready_at(0, VmSize::Small);
+        let second_wave = m.ready_at(20, VmSize::Small);
+        assert_eq!(second_wave - first_wave, Duration::from_secs(60));
+        // Whole-deployment readiness is bounded by the last wave.
+        let all = m.deployment_ready(96, VmSize::Small);
+        assert_eq!(all, m.ready_at(95, VmSize::Small));
+        assert!(all > first_wave + Duration::from_secs(3 * 60));
+    }
+
+    #[test]
+    fn bigger_vms_boot_slower() {
+        let m = ProvisioningModel {
+            jitter: 0.0,
+            ..ProvisioningModel::default()
+        };
+        assert!(m.ready_at(0, VmSize::ExtraLarge) > m.ready_at(0, VmSize::Small));
+        assert!(m.ready_at(0, VmSize::Small) > m.ready_at(0, VmSize::ExtraSmall));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = ProvisioningModel::default();
+        let a = m.ready_at(3, VmSize::Small);
+        let b = m.ready_at(3, VmSize::Small);
+        assert_eq!(a, b);
+        let nominal = ProvisioningModel {
+            jitter: 0.0,
+            ..ProvisioningModel::default()
+        }
+        .ready_at(3, VmSize::Small);
+        let lo = nominal.mul_f64(0.84);
+        let hi = nominal.mul_f64(1.16);
+        // base + boot*j: only the boot part jitters, so stay within the
+        // whole-duration envelope.
+        assert!(a >= lo.min(nominal) - Duration::from_secs(20) && a <= hi + Duration::from_secs(20));
+    }
+}

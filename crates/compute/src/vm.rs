@@ -1,0 +1,157 @@
+//! Virtual-machine configurations (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// The VM sizes available for web- and worker-role instances (paper
+/// Table I), plus the 2011-era per-size NIC allocation used by the network
+/// model (Table I itself lists only CPU, memory and disk; the NIC figures
+/// follow Microsoft's published per-size bandwidth allocations of the
+/// period: 5 Mbps shared for Extra Small, then 100/200/400/800 Mbps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmSize {
+    /// Shared core, 768 MB RAM, 20 GB disk.
+    ExtraSmall,
+    /// 1 core, 1.75 GB RAM, 225 GB disk.
+    Small,
+    /// 2 cores, 3.5 GB RAM, 490 GB disk.
+    Medium,
+    /// 4 cores, 7 GB RAM, 1000 GB disk.
+    Large,
+    /// 8 cores, 14 GB RAM, 2040 GB disk.
+    ExtraLarge,
+}
+
+impl VmSize {
+    /// All sizes, smallest first (Table I row order).
+    pub const ALL: [VmSize; 5] = [
+        VmSize::ExtraSmall,
+        VmSize::Small,
+        VmSize::Medium,
+        VmSize::Large,
+        VmSize::ExtraLarge,
+    ];
+
+    /// CPU cores (`None` = shared core, the Extra Small instance).
+    pub fn cores(self) -> Option<u32> {
+        match self {
+            VmSize::ExtraSmall => None,
+            VmSize::Small => Some(1),
+            VmSize::Medium => Some(2),
+            VmSize::Large => Some(4),
+            VmSize::ExtraLarge => Some(8),
+        }
+    }
+
+    /// Memory in megabytes.
+    pub fn memory_mb(self) -> u32 {
+        match self {
+            VmSize::ExtraSmall => 768,
+            VmSize::Small => 1_792,  // 1.75 GB
+            VmSize::Medium => 3_584, // 3.5 GB
+            VmSize::Large => 7_168,  // 7 GB
+            VmSize::ExtraLarge => 14_336, // 14 GB
+        }
+    }
+
+    /// Local storage in gigabytes.
+    pub fn disk_gb(self) -> u32 {
+        match self {
+            VmSize::ExtraSmall => 20,
+            VmSize::Small => 225,
+            VmSize::Medium => 490,
+            VmSize::Large => 1_000,
+            VmSize::ExtraLarge => 2_040,
+        }
+    }
+
+    /// NIC bandwidth in bytes per second (network model).
+    pub fn nic_bandwidth(self) -> f64 {
+        let mbps = match self {
+            VmSize::ExtraSmall => 5.0,
+            VmSize::Small => 100.0,
+            VmSize::Medium => 200.0,
+            VmSize::Large => 400.0,
+            VmSize::ExtraLarge => 800.0,
+        };
+        mbps * 1e6 / 8.0
+    }
+
+    /// Display name matching the paper's Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            VmSize::ExtraSmall => "Extra Small",
+            VmSize::Small => "Small",
+            VmSize::Medium => "Medium",
+            VmSize::Large => "Large",
+            VmSize::ExtraLarge => "Extra Large",
+        }
+    }
+}
+
+/// Render Table I as the paper prints it (the `figures table1` target).
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "VM Size      | CPU Cores | Memory   | Storage\n\
+         -------------+-----------+----------+---------\n",
+    );
+    for vm in VmSize::ALL {
+        let cores = match vm.cores() {
+            None => "Shared".to_owned(),
+            Some(c) => c.to_string(),
+        };
+        let mem = if vm.memory_mb() < 1024 {
+            format!("{} MB", vm.memory_mb())
+        } else {
+            format!("{:.4} GB", vm.memory_mb() as f64 / 1024.0)
+        };
+        out.push_str(&format!(
+            "{:<12} | {:<9} | {:<8} | {} GB\n",
+            vm.name(),
+            cores,
+            mem,
+            vm.disk_gb()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        assert_eq!(VmSize::ExtraSmall.cores(), None);
+        assert_eq!(VmSize::Small.cores(), Some(1));
+        assert_eq!(VmSize::ExtraLarge.cores(), Some(8));
+        assert_eq!(VmSize::ExtraSmall.memory_mb(), 768);
+        assert_eq!(VmSize::Large.memory_mb(), 7 * 1024);
+        assert_eq!(VmSize::Small.disk_gb(), 225);
+        assert_eq!(VmSize::ExtraLarge.disk_gb(), 2040);
+    }
+
+    #[test]
+    fn sizes_are_monotone() {
+        for w in VmSize::ALL.windows(2) {
+            assert!(w[0].memory_mb() < w[1].memory_mb());
+            assert!(w[0].disk_gb() < w[1].disk_gb());
+            assert!(w[0].nic_bandwidth() < w[1].nic_bandwidth());
+        }
+    }
+
+    #[test]
+    fn small_nic_is_100_mbps() {
+        assert_eq!(VmSize::Small.nic_bandwidth(), 12_500_000.0);
+    }
+
+    #[test]
+    fn table1_renders_every_row() {
+        let t = render_table1();
+        for vm in VmSize::ALL {
+            assert!(t.contains(vm.name()), "missing {}", vm.name());
+        }
+        assert!(t.contains("Shared"));
+        assert!(t.contains("768 MB"));
+        assert!(t.contains("2040 GB"));
+    }
+}

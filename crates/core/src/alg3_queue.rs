@@ -1,0 +1,225 @@
+//! Algorithm 3: Queue storage with a **separate queue per worker**
+//! (Figure 6).
+//!
+//! Each worker creates its own queue (`AzureBenchQueue + roleid`), so every
+//! worker gets its own partition — this is the configuration where the
+//! paper observes near-linear (sometimes super-linear) scaling and
+//! recommends "usage of multiple queues as and when possible".
+//!
+//! For each message size (4–48 KB usable), the worker inserts its share of
+//! the 20 000 total messages, peeks them all, then gets-and-deletes them
+//! all. Phase times are measured separately for Put / Peek / Get (the Get
+//! figure includes the delete, as in the paper).
+
+use crate::config::BenchConfig;
+use crate::payload::PayloadGen;
+use crate::report::{Figure, Series};
+use azsim_client::{Environment, QueueClient, VirtualEnv};
+use azsim_core::Simulation;
+use azsim_fabric::Cluster;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The three measured queue operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// `PutMessage`.
+    Put,
+    /// `PeekMessage`.
+    Peek,
+    /// `GetMessage` + `DeleteMessage` (the paper folds the delete in).
+    Get,
+}
+
+impl QueueOp {
+    /// All ops in phase order.
+    pub const ALL: [QueueOp; 3] = [QueueOp::Put, QueueOp::Peek, QueueOp::Get];
+
+    /// Label used in series names.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueOp::Put => "put",
+            QueueOp::Peek => "peek",
+            QueueOp::Get => "get",
+        }
+    }
+}
+
+/// Result of one Algorithm 3 sweep at one worker count: for each
+/// `(message size, op)`, the mean per-worker phase time in seconds and the
+/// mean per-op latency in seconds.
+pub type Alg3Result = HashMap<(usize, QueueOp), (f64, f64)>;
+
+/// Run Algorithm 3 at one worker count.
+pub fn run_alg3(cfg: &BenchConfig, workers: usize) -> Alg3Result {
+    let sizes = cfg.message_sizes();
+    let per_worker = (cfg.queue_messages_total() / workers).max(1);
+    let seed = cfg.seed;
+
+    let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
+    let report = sim.run_workers(workers, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let me = env.instance();
+        let queue = QueueClient::new(&env, format!("AzureBenchQueue{me}"));
+        queue.create().unwrap();
+        let mut gen = PayloadGen::new(seed, me as u64);
+        let mut out: Vec<((usize, QueueOp), f64)> = Vec::new();
+
+        for &size in &sizes {
+            // ---- Put phase ----
+            let t0 = env.now();
+            for _ in 0..per_worker {
+                queue.put_message(gen.bytes(size)).unwrap();
+            }
+            out.push(((size, QueueOp::Put), env.now().saturating_since(t0).as_secs_f64()));
+
+            // ---- Peek phase ----
+            let t0 = env.now();
+            for _ in 0..per_worker {
+                let m = queue.peek_message().unwrap();
+                assert!(m.is_some(), "peek must find a message");
+            }
+            out.push(((size, QueueOp::Peek), env.now().saturating_since(t0).as_secs_f64()));
+
+            // ---- Get (+ delete) phase ----
+            let t0 = env.now();
+            for _ in 0..per_worker {
+                let m = queue
+                    .get_message_with_visibility(Duration::from_secs(3600))
+                    .unwrap()
+                    .expect("queue must not run dry");
+                assert_eq!(m.data.len(), size);
+                queue.delete_message(&m).unwrap();
+            }
+            out.push(((size, QueueOp::Get), env.now().saturating_since(t0).as_secs_f64()));
+        }
+        queue.delete_queue().unwrap();
+        out
+    });
+
+    // Average phase time across workers; per-op mean = phase / count.
+    let mut acc: HashMap<(usize, QueueOp), Vec<f64>> = HashMap::new();
+    for worker in report.results {
+        for (key, secs) in worker {
+            acc.entry(key).or_default().push(secs);
+        }
+    }
+    acc.into_iter()
+        .map(|(key, v)| {
+            let mean_phase = v.iter().sum::<f64>() / v.len() as f64;
+            (key, (mean_phase, mean_phase / per_worker as f64))
+        })
+        .collect()
+}
+
+/// Sweep the worker ladder and produce Figure 6: one sub-figure per
+/// operation, one series per message size, y = mean per-worker phase time.
+pub fn figure_6(cfg: &BenchConfig) -> Vec<Figure> {
+    let sizes = cfg.message_sizes();
+    let mut figs: Vec<Figure> = QueueOp::ALL
+        .iter()
+        .map(|op| {
+            let mut f = Figure::new(
+                format!("fig6-{}", op.label()),
+                format!(
+                    "Queue benchmark, separate queue per worker: {} message",
+                    op.label()
+                ),
+                "workers",
+                "seconds (mean per-worker phase time)",
+            );
+            for &s in &sizes {
+                f.series.push(Series::new(format!("{}KB", s / 1024)));
+            }
+            f
+        })
+        .collect();
+
+    for &w in &cfg.workers {
+        let result = run_alg3(cfg, w);
+        for (oi, op) in QueueOp::ALL.iter().enumerate() {
+            for (si, &size) in sizes.iter().enumerate() {
+                if let Some((phase_secs, _)) = result.get(&(size, *op)) {
+                    figs[oi].series[si].push(w as f64, *phase_secs);
+                }
+            }
+        }
+    }
+    figs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        // 100 messages total, tiny ladder.
+        BenchConfig::paper().with_scale(0.005).with_workers(vec![2])
+    }
+
+    #[test]
+    fn alg3_measures_every_size_and_op() {
+        let cfg = tiny();
+        let r = run_alg3(&cfg, 2);
+        assert_eq!(r.len(), cfg.message_sizes().len() * 3);
+        for ((size, op), (phase, per_op)) in &r {
+            assert!(*phase > 0.0, "{size}/{op:?} phase zero");
+            assert!(*per_op > 0.0 && per_op <= phase);
+        }
+    }
+
+    #[test]
+    fn peek_put_get_ordering_holds_at_every_size() {
+        let cfg = tiny();
+        let r = run_alg3(&cfg, 2);
+        for &size in &cfg.message_sizes() {
+            let put = r[&(size, QueueOp::Put)].1;
+            let peek = r[&(size, QueueOp::Peek)].1;
+            let get = r[&(size, QueueOp::Get)].1;
+            assert!(
+                peek < put && put < get,
+                "size {size}: expected peek {peek} < put {put} < get {get}"
+            );
+        }
+    }
+
+    #[test]
+    fn sixteen_kb_get_anomaly_reproduces() {
+        let cfg = tiny();
+        let r = run_alg3(&cfg, 2);
+        let get = |kb: usize| r[&(kb << 10, QueueOp::Get)].1;
+        // 16 KB Get is slower than both 8 KB and 32 KB.
+        assert!(get(16) > get(8), "16KB {} !> 8KB {}", get(16), get(8));
+        assert!(get(16) > get(32), "16KB {} !> 32KB {}", get(16), get(32));
+    }
+
+    #[test]
+    fn more_workers_shrink_phase_time() {
+        // Fixed total load, separate queues: phase time must drop.
+        let cfg = BenchConfig::paper().with_scale(0.02);
+        let r1 = run_alg3(&cfg, 1);
+        let r8 = run_alg3(&cfg, 8);
+        let size = 32 << 10;
+        assert!(
+            r8[&(size, QueueOp::Put)].0 < r1[&(size, QueueOp::Put)].0 / 4.0,
+            "8 workers {} must be far below 1 worker {}",
+            r8[&(size, QueueOp::Put)].0,
+            r1[&(size, QueueOp::Put)].0
+        );
+    }
+
+    #[test]
+    fn figure6_has_three_subfigures_with_ladders() {
+        let cfg = BenchConfig::paper()
+            .with_scale(0.005)
+            .with_workers(vec![1, 2]);
+        let figs = figure_6(&cfg);
+        assert_eq!(figs.len(), 3);
+        for f in &figs {
+            assert_eq!(f.series.len(), cfg.message_sizes().len());
+            for s in &f.series {
+                assert_eq!(s.points.len(), 2);
+            }
+        }
+    }
+}

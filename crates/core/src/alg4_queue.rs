@@ -1,0 +1,199 @@
+//! Algorithm 4: Queue storage with a **single queue shared by all
+//! workers** (Figure 7).
+//!
+//! All workers hammer one queue (one partition), with a *think time*
+//! between operations modelling an application that touches the queue
+//! intermittently. The total transaction count is held constant across
+//! worker counts — workers proportionately carry out fewer transactions as
+//! their number increases — and the message size is fixed at 32 KB. The
+//! think time is swept from 1 s to 5 s.
+//!
+//! Expected shapes (paper §IV-B): every operation is slower than in the
+//! separate-queue configuration (contention at one partition); op time
+//! *falls* as think time grows (sometimes by almost 2×); and op time falls
+//! as workers grow, because each worker performs fewer of the fixed total
+//! transactions while the queue sustains these access frequencies easily.
+
+use crate::config::BenchConfig;
+use crate::payload::PayloadGen;
+use crate::report::{Figure, Series};
+use azsim_client::{Environment, QueueClient, VirtualEnv};
+use azsim_core::stats::OnlineStats;
+use azsim_core::Simulation;
+use azsim_fabric::Cluster;
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::alg3_queue::QueueOp;
+
+/// Result at one worker count: for each `(think_secs, op)`, the mean
+/// per-operation latency in seconds.
+pub type Alg4Result = HashMap<(u64, QueueOp), f64>;
+
+/// Run Algorithm 4 at one worker count.
+pub fn run_alg4(cfg: &BenchConfig, workers: usize) -> Alg4Result {
+    let think_times = cfg.think_times_secs();
+    let msg_size = cfg.shared_queue_message_size();
+    // Fixed total transactions: each worker runs total/workers iterations
+    // of {put, peek, get+delete}.
+    let iterations = (cfg.queue_messages_total() / 10 / workers).max(1);
+    let seed = cfg.seed;
+
+    let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
+    let report = sim.run_workers(workers, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let me = env.instance();
+        let queue = QueueClient::new(&env, "AzureBenchQueue");
+        queue.create().unwrap();
+        let mut gen = PayloadGen::new(seed, me as u64);
+        let mut stats: HashMap<(u64, QueueOp), OnlineStats> = HashMap::new();
+
+        // Think times carry a small (±2 %) deterministic jitter: real
+        // applications never sleep in perfect lockstep, and the absolute
+        // jitter grows with the think time — which is exactly why longer
+        // think times de-synchronize workers and reduce the burst
+        // contention at the shared partition.
+        let jittered = |ctx: &azsim_core::ActorCtx<Cluster>, base: Duration| {
+            let f: f64 = ctx.with_rng(|r| rand::Rng::random_range(r, -0.02..0.02));
+            base.mul_f64(1.0 + f)
+        };
+        for &think_secs in &think_times {
+            let think = Duration::from_secs(think_secs);
+            for _ in 0..iterations {
+                let t0 = env.now();
+                queue.put_message(gen.bytes(msg_size)).unwrap();
+                stats
+                    .entry((think_secs, QueueOp::Put))
+                    .or_default()
+                    .record(env.now().saturating_since(t0).as_secs_f64());
+                env.sleep(jittered(ctx, think));
+
+                let t0 = env.now();
+                let _ = queue.peek_message().unwrap();
+                stats
+                    .entry((think_secs, QueueOp::Peek))
+                    .or_default()
+                    .record(env.now().saturating_since(t0).as_secs_f64());
+                env.sleep(jittered(ctx, think));
+
+                let t0 = env.now();
+                if let Some(m) = queue
+                    .get_message_with_visibility(Duration::from_secs(3600))
+                    .unwrap()
+                {
+                    queue.delete_message(&m).unwrap();
+                }
+                stats
+                    .entry((think_secs, QueueOp::Get))
+                    .or_default()
+                    .record(env.now().saturating_since(t0).as_secs_f64());
+                env.sleep(jittered(ctx, think));
+            }
+        }
+        stats
+    });
+
+    // Merge workers' stats.
+    let mut merged: HashMap<(u64, QueueOp), OnlineStats> = HashMap::new();
+    for worker in report.results {
+        for (key, s) in worker {
+            merged.entry(key).or_default().merge(&s);
+        }
+    }
+    merged.into_iter().map(|(k, s)| (k, s.mean())).collect()
+}
+
+/// Sweep the worker ladder and produce Figure 7: one sub-figure per
+/// operation, one series per think time, y = mean per-op latency.
+pub fn figure_7(cfg: &BenchConfig) -> Vec<Figure> {
+    let think_times = cfg.think_times_secs();
+    let mut figs: Vec<Figure> = QueueOp::ALL
+        .iter()
+        .map(|op| {
+            let mut f = Figure::new(
+                format!("fig7-{}", op.label()),
+                format!(
+                    "Queue benchmark, single shared queue: {} message",
+                    op.label()
+                ),
+                "workers",
+                "seconds (mean per-op)",
+            );
+            for &t in &think_times {
+                f.series.push(Series::new(format!("think-{t}s")));
+            }
+            f
+        })
+        .collect();
+
+    for &w in &cfg.workers {
+        let result = run_alg4(cfg, w);
+        for (oi, op) in QueueOp::ALL.iter().enumerate() {
+            for (ti, &t) in think_times.iter().enumerate() {
+                if let Some(mean) = result.get(&(t, *op)) {
+                    figs[oi].series[ti].push(w as f64, *mean);
+                }
+            }
+        }
+    }
+    figs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig::paper().with_scale(0.02).with_workers(vec![4])
+        // 40 iterations/worker at w=1
+    }
+
+    #[test]
+    fn alg4_measures_every_think_time_and_op() {
+        let cfg = tiny();
+        let r = run_alg4(&cfg, 4);
+        assert_eq!(r.len(), cfg.think_times_secs().len() * 3);
+        for ((t, op), mean) in &r {
+            assert!(*mean > 0.0, "think {t}/{op:?} zero mean");
+        }
+    }
+
+    #[test]
+    fn op_ordering_survives_contention() {
+        let cfg = tiny();
+        let r = run_alg4(&cfg, 4);
+        for &t in &cfg.think_times_secs() {
+            assert!(r[&(t, QueueOp::Peek)] < r[&(t, QueueOp::Put)]);
+            assert!(r[&(t, QueueOp::Put)] < r[&(t, QueueOp::Get)]);
+        }
+    }
+
+    #[test]
+    fn shared_queue_is_slower_than_separate_queues() {
+        // The paper's comparison of Figures 6 and 7 at equal load.
+        let cfg = BenchConfig::paper().with_scale(0.02);
+        let workers = 8;
+        let shared = run_alg4(&cfg, workers);
+        let separate = crate::alg3_queue::run_alg3(&cfg, workers);
+        let shared_put = shared[&(1, QueueOp::Put)];
+        let separate_put = separate[&(32 << 10, QueueOp::Put)].1;
+        assert!(
+            shared_put >= separate_put,
+            "shared {shared_put} must be ≥ separate {separate_put}"
+        );
+    }
+
+    #[test]
+    fn longer_think_time_never_hurts() {
+        let cfg = BenchConfig::paper().with_scale(0.03).with_workers(vec![8]);
+        let r = run_alg4(&cfg, 8);
+        for op in QueueOp::ALL {
+            let t1 = r[&(1, op)];
+            let t5 = r[&(5, op)];
+            assert!(
+                t5 <= t1 * 1.05,
+                "{op:?}: think 5s ({t5}) must not exceed think 1s ({t1})"
+            );
+        }
+    }
+}

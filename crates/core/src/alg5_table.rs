@@ -1,0 +1,237 @@
+//! Algorithm 5: the Table storage benchmark (Figure 8).
+//!
+//! Each worker owns a separate partition (partition key = role id) of one
+//! shared table and runs four phases over its 500 entities — insert (the
+//! paper's `AddRow`), point query, wildcard-ETag update, delete — repeated
+//! for entity sizes of 4, 8, 16, 32 and 64 KB.
+//!
+//! Expected shapes (paper §IV-C): times are almost flat up to ~4 workers
+//! for all sizes; for 32 and 64 KB entities the times increase drastically
+//! with more workers; update is the most expensive operation, query the
+//! cheapest; and exceeding the per-partition 500 entities/s target yields
+//! ServerBusy, absorbed by the retry-after-one-second policy.
+
+use crate::config::BenchConfig;
+use crate::payload::PayloadGen;
+use crate::report::{Figure, Series};
+use azsim_client::{Environment, TableClient, VirtualEnv};
+use azsim_core::Simulation;
+use azsim_fabric::Cluster;
+use azsim_storage::{Entity, PropValue};
+use std::collections::HashMap;
+
+/// The four measured table operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TableOp {
+    /// Insert (`AddRow`).
+    Insert,
+    /// Point query by key pair.
+    Query,
+    /// Wildcard-ETag update.
+    Update,
+    /// Delete.
+    Delete,
+}
+
+impl TableOp {
+    /// All ops in phase order.
+    pub const ALL: [TableOp; 4] = [
+        TableOp::Insert,
+        TableOp::Query,
+        TableOp::Update,
+        TableOp::Delete,
+    ];
+
+    /// Label used in series names.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableOp::Insert => "insert",
+            TableOp::Query => "query",
+            TableOp::Update => "update",
+            TableOp::Delete => "delete",
+        }
+    }
+}
+
+/// Result at one worker count: for each `(entity size, op)`, mean
+/// per-worker phase seconds and mean per-op seconds.
+pub type Alg5Result = HashMap<(usize, TableOp), (f64, f64)>;
+
+fn entity(pk: &str, rk: usize, gen: &mut PayloadGen, size: usize) -> Entity {
+    Entity::new(pk, rk.to_string()).with("data", PropValue::Binary(gen.bytes(size)))
+}
+
+/// Run Algorithm 5 at one worker count.
+pub fn run_alg5(cfg: &BenchConfig, workers: usize) -> Alg5Result {
+    let sizes = cfg.entity_sizes();
+    let count = cfg.table_entities();
+    let seed = cfg.seed;
+
+    let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
+    let report = sim.run_workers(workers, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let me = env.instance();
+        let table = TableClient::new(&env, "AzureBenchTable");
+        table.create_table().unwrap();
+        let pk = format!("role-{me}");
+        let mut gen = PayloadGen::new(seed, me as u64);
+        let mut out: Vec<((usize, TableOp), f64)> = Vec::new();
+
+        for &size in &sizes {
+            // ---- Insert ----
+            let t0 = env.now();
+            for rk in 0..count {
+                table.insert(entity(&pk, rk, &mut gen, size)).unwrap();
+            }
+            out.push(((size, TableOp::Insert), env.now().saturating_since(t0).as_secs_f64()));
+
+            // ---- Query ----
+            let t0 = env.now();
+            for rk in 0..count {
+                let got = table.query(&pk, &rk.to_string()).unwrap();
+                assert!(got.is_some(), "query must hit");
+            }
+            out.push(((size, TableOp::Query), env.now().saturating_since(t0).as_secs_f64()));
+
+            // ---- Update (wildcard ETag) ----
+            let t0 = env.now();
+            for rk in 0..count {
+                table.update(entity(&pk, rk, &mut gen, size)).unwrap();
+            }
+            out.push(((size, TableOp::Update), env.now().saturating_since(t0).as_secs_f64()));
+
+            // ---- Delete ----
+            let t0 = env.now();
+            for rk in 0..count {
+                table.delete_entity(&pk, &rk.to_string()).unwrap();
+            }
+            out.push(((size, TableOp::Delete), env.now().saturating_since(t0).as_secs_f64()));
+        }
+        out
+    });
+
+    let mut acc: HashMap<(usize, TableOp), Vec<f64>> = HashMap::new();
+    for worker in report.results {
+        for (key, secs) in worker {
+            acc.entry(key).or_default().push(secs);
+        }
+    }
+    acc.into_iter()
+        .map(|(key, v)| {
+            let mean_phase = v.iter().sum::<f64>() / v.len() as f64;
+            (key, (mean_phase, mean_phase / count as f64))
+        })
+        .collect()
+}
+
+/// Sweep the worker ladder and produce Figure 8: one sub-figure per
+/// operation, one series per entity size, y = mean per-worker phase time.
+pub fn figure_8(cfg: &BenchConfig) -> Vec<Figure> {
+    let sizes = cfg.entity_sizes();
+    let mut figs: Vec<Figure> = TableOp::ALL
+        .iter()
+        .map(|op| {
+            let mut f = Figure::new(
+                format!("fig8-{}", op.label()),
+                format!("Table storage: {}", op.label()),
+                "workers",
+                "seconds (mean per-worker phase time)",
+            );
+            for &s in &sizes {
+                f.series.push(Series::new(format!("{}KB", s / 1024)));
+            }
+            f
+        })
+        .collect();
+
+    for &w in &cfg.workers {
+        let result = run_alg5(cfg, w);
+        for (oi, op) in TableOp::ALL.iter().enumerate() {
+            for (si, &size) in sizes.iter().enumerate() {
+                if let Some((phase, _)) = result.get(&(size, *op)) {
+                    figs[oi].series[si].push(w as f64, *phase);
+                }
+            }
+        }
+    }
+    figs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        // 10 entities per worker.
+        BenchConfig::paper().with_scale(0.02).with_workers(vec![2])
+    }
+
+    #[test]
+    fn alg5_measures_every_size_and_op() {
+        let cfg = tiny();
+        let r = run_alg5(&cfg, 2);
+        assert_eq!(r.len(), cfg.entity_sizes().len() * 4);
+        for ((size, op), (phase, per_op)) in &r {
+            assert!(*phase > 0.0, "{size}/{op:?} zero phase");
+            assert!(per_op <= phase);
+        }
+    }
+
+    #[test]
+    fn update_most_expensive_query_cheapest() {
+        let cfg = tiny();
+        let r = run_alg5(&cfg, 2);
+        for &size in &cfg.entity_sizes() {
+            let per_op = |op: TableOp| r[&(size, op)].1;
+            assert!(
+                per_op(TableOp::Query) < per_op(TableOp::Insert),
+                "size {size}: query must be cheapest"
+            );
+            assert!(
+                per_op(TableOp::Update) > per_op(TableOp::Insert),
+                "size {size}: update must exceed insert"
+            );
+            assert!(
+                per_op(TableOp::Update) > per_op(TableOp::Delete),
+                "size {size}: update must be the most expensive"
+            );
+        }
+    }
+
+    #[test]
+    fn big_entities_degrade_with_many_workers() {
+        // 64 KB entities: per-worker phase time at 16 workers must be well
+        // above the 1-worker time (shared table front-end saturates);
+        // 4 KB entities stay comparatively flat.
+        let cfg = BenchConfig::paper().with_scale(0.06);
+        let r1 = run_alg5(&cfg, 1);
+        let r16 = run_alg5(&cfg, 16);
+        let big = 64 << 10;
+        let small = 4 << 10;
+        let degradation_big = r16[&(big, TableOp::Insert)].0 / r1[&(big, TableOp::Insert)].0;
+        let degradation_small = r16[&(small, TableOp::Insert)].0 / r1[&(small, TableOp::Insert)].0;
+        assert!(
+            degradation_big > 2.0,
+            "64KB at 16 workers must degrade: ratio {degradation_big}"
+        );
+        assert!(
+            degradation_big > degradation_small * 1.5,
+            "64KB (×{degradation_big:.2}) must degrade much more than 4KB (×{degradation_small:.2})"
+        );
+    }
+
+    #[test]
+    fn figure8_has_four_subfigures() {
+        let cfg = BenchConfig::paper()
+            .with_scale(0.01)
+            .with_workers(vec![1, 2]);
+        let figs = figure_8(&cfg);
+        assert_eq!(figs.len(), 4);
+        for f in &figs {
+            assert_eq!(f.series.len(), cfg.entity_sizes().len());
+            for s in &f.series {
+                assert_eq!(s.points.len(), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|all]...
+//!         [--scale S] [--workers 1,2,4,...] [--seed N] [--csv DIR]
+//! ```
+//!
+//! With no target, prints usage. `--scale 1.0` (default) reproduces the
+//! paper's workload volumes; smaller scales shrink them proportionally.
+//! `--csv DIR` additionally writes one CSV per figure into `DIR`.
+
+use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, fig9, BenchConfig, Figure};
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    targets: Vec<String>,
+    scale: f64,
+    workers: Option<Vec<usize>>,
+    seed: Option<u64>,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        targets: Vec::new(),
+        scale: 1.0,
+        workers: None,
+        seed: None,
+        csv_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let ws: Result<Vec<usize>, _> = v.split(',').map(|s| s.parse()).collect();
+                args.workers = Some(ws.map_err(|_| format!("bad workers list {v:?}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+            }
+            "--csv" => {
+                args.csv_dir = Some(it.next().ok_or("--csv needs a directory")?);
+            }
+            t if !t.starts_with('-') => args.targets.push(t.to_owned()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn emit(figures: &[Figure], csv_dir: &Option<String>) {
+    for f in figures {
+        println!("{}", f.render_table());
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}.csv", f.id);
+            let mut file = std::fs::File::create(&path).expect("create csv");
+            file.write_all(f.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.targets.is_empty() {
+        eprintln!(
+            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|all]... \
+             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR]"
+        );
+        std::process::exit(2);
+    }
+
+    let mut cfg = BenchConfig::paper().with_scale(args.scale);
+    if let Some(w) = args.workers {
+        cfg = cfg.with_workers(w);
+    }
+    if let Some(s) = args.seed {
+        cfg.seed = s;
+    }
+    eprintln!(
+        "# AzureBench figures — scale {}, workers {:?}, seed {}",
+        cfg.scale, cfg.workers, cfg.seed
+    );
+
+    let want = |t: &str| {
+        args.targets
+            .iter()
+            .any(|x| x == t || x == "all")
+    };
+
+    if want("table1") {
+        println!("# Table I — VM configurations\n{}", azsim_compute::vm::render_table1());
+    }
+    if want("fig4") || want("fig5") {
+        let t = Instant::now();
+        let figs = alg1_blob::figures_4_and_5(&cfg);
+        eprintln!("# alg1 (blob) swept in {:.1?}", t.elapsed());
+        let (fig4, fig5): (Vec<Figure>, Vec<Figure>) =
+            figs.into_iter().partition(|f| f.id.starts_with("fig4"));
+        if want("fig4") {
+            emit(&fig4, &args.csv_dir);
+        }
+        if want("fig5") {
+            emit(&fig5, &args.csv_dir);
+        }
+    }
+    if want("fig6") {
+        let t = Instant::now();
+        let figs = alg3_queue::figure_6(&cfg);
+        eprintln!("# alg3 (queue, separate) swept in {:.1?}", t.elapsed());
+        emit(&figs, &args.csv_dir);
+    }
+    if want("fig7") {
+        let t = Instant::now();
+        let figs = alg4_queue::figure_7(&cfg);
+        eprintln!("# alg4 (queue, shared) swept in {:.1?}", t.elapsed());
+        emit(&figs, &args.csv_dir);
+    }
+    if want("fig8") {
+        let t = Instant::now();
+        let figs = alg5_table::figure_8(&cfg);
+        eprintln!("# alg5 (table) swept in {:.1?}", t.elapsed());
+        emit(&figs, &args.csv_dir);
+    }
+    if want("latency") {
+        let t = Instant::now();
+        let mut report = azurebench::latency::profile_mixed(&cfg, 8, 50);
+        eprintln!("# latency profile swept in {:.1?}", t.elapsed());
+        println!("# latency — per-op distributions (mixed workload, 8 workers)\n{}", report.render());
+    }
+    if want("fig9") {
+        let t = Instant::now();
+        let fig = fig9::figure_9(&cfg);
+        eprintln!("# fig9 (per-op) swept in {:.1?}", t.elapsed());
+        emit(std::slice::from_ref(&fig), &args.csv_dir);
+    }
+}

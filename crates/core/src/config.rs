@@ -1,0 +1,167 @@
+//! Benchmark configuration: worker ladders and workload scaling.
+
+use azsim_fabric::ClusterParams;
+
+/// Configuration shared by every benchmark in the suite.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Master seed (drives data generation and the cluster's randomness).
+    pub seed: u64,
+    /// Worker-role instance counts to sweep (the paper scales to ~100).
+    pub workers: Vec<usize>,
+    /// Workload scale: `1.0` reproduces the paper's volumes (100 MB blobs,
+    /// 20 000 messages, 500 entities); smaller values shrink everything
+    /// proportionally for tests and Criterion benches.
+    pub scale: f64,
+    /// Cluster model parameters.
+    pub params: ClusterParams,
+}
+
+impl BenchConfig {
+    /// The paper's full-scale configuration.
+    pub fn paper() -> Self {
+        BenchConfig {
+            seed: 2012,
+            workers: vec![1, 2, 4, 8, 16, 32, 48, 64, 80, 96],
+            scale: 1.0,
+            params: ClusterParams::default(),
+        }
+    }
+
+    /// A heavily scaled-down configuration for fast test/bench runs.
+    pub fn quick() -> Self {
+        BenchConfig {
+            seed: 2012,
+            workers: vec![1, 4, 16],
+            scale: 0.05,
+            params: ClusterParams::default(),
+        }
+    }
+
+    /// Override the scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Override the worker ladder.
+    pub fn with_workers(mut self, workers: Vec<usize>) -> Self {
+        assert!(!workers.is_empty() && workers.iter().all(|&w| w > 0));
+        self.workers = workers;
+        self
+    }
+
+    /// Scale an integral workload quantity, never below 1.
+    pub fn scaled(&self, full: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(1)
+    }
+
+    // ---- Algorithm 1 (blob) ----
+
+    /// Number of 1 MB chunks per blob (paper: 100, i.e. a 100 MB blob).
+    pub fn blob_chunks(&self) -> usize {
+        self.scaled(100)
+    }
+
+    /// Chunk size in bytes (paper: 1 MB; not scaled — the chunk size is a
+    /// benchmark parameter, not a volume).
+    pub fn chunk_bytes(&self) -> usize {
+        1 << 20
+    }
+
+    /// Upload/download repetitions (paper: 10).
+    pub fn blob_repeats(&self) -> usize {
+        self.scaled(10).min(10)
+    }
+
+    // ---- Algorithm 3 / 4 (queue) ----
+
+    /// Total messages across all workers (paper: 20 000).
+    pub fn queue_messages_total(&self) -> usize {
+        self.scaled(20_000)
+    }
+
+    /// Message sizes swept by Algorithm 3, in bytes (paper: 4–64 KB, with
+    /// 64 KB truncating to the 48 KB usable payload).
+    pub fn message_sizes(&self) -> Vec<usize> {
+        vec![4 << 10, 8 << 10, 16 << 10, 32 << 10, 48 << 10]
+    }
+
+    /// Message size used by the shared-queue benchmark (paper: 32 KB).
+    pub fn shared_queue_message_size(&self) -> usize {
+        32 << 10
+    }
+
+    /// Think times swept by Algorithm 4, in whole seconds (paper: 1–5 s).
+    pub fn think_times_secs(&self) -> Vec<u64> {
+        vec![1, 2, 3, 4, 5]
+    }
+
+    // ---- Algorithm 5 (table) ----
+
+    /// Entities per worker (paper: 500, after backing off from 1 000 which
+    /// tripped the 500 tx/s partition target).
+    pub fn table_entities(&self) -> usize {
+        self.scaled(500)
+    }
+
+    /// Entity sizes swept by Algorithm 5 (paper: 4–64 KB).
+    pub fn entity_sizes(&self) -> Vec<usize> {
+        vec![4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10]
+    }
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_paper_volumes() {
+        let c = BenchConfig::paper();
+        assert_eq!(c.blob_chunks(), 100);
+        assert_eq!(c.chunk_bytes(), 1 << 20);
+        assert_eq!(c.blob_repeats(), 10);
+        assert_eq!(c.queue_messages_total(), 20_000);
+        assert_eq!(c.table_entities(), 500);
+        assert_eq!(c.message_sizes().len(), 5);
+        assert_eq!(c.entity_sizes().len(), 5);
+        assert!(c.workers.contains(&96));
+    }
+
+    #[test]
+    fn message_sizes_respect_usable_payload() {
+        use azsim_storage::limits::MAX_MESSAGE_PAYLOAD;
+        for s in BenchConfig::paper().message_sizes() {
+            assert!(s as u64 <= MAX_MESSAGE_PAYLOAD);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_but_never_to_zero() {
+        let c = BenchConfig::paper().with_scale(0.001);
+        assert_eq!(c.blob_chunks(), 1);
+        assert_eq!(c.queue_messages_total(), 20);
+        assert_eq!(c.table_entities(), 1);
+        assert_eq!(c.blob_repeats(), 1);
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let c = BenchConfig::quick();
+        assert!(c.queue_messages_total() <= 1_000);
+        assert!(c.workers.len() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = BenchConfig::paper().with_scale(0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 9: per-operation time for Table (insert, query, update, delete)
+//! and Queue storage (put, peek, get) services, versus worker count.
+//!
+//! The paper reports "the average time taken by an operation" and concludes
+//! that "the Queue storage scales better than the Table storage as the
+//! number of workers increases". We derive both halves from the same runs
+//! that feed Figures 6 and 8, using a 32 KB queue message and a 32 KB
+//! entity so the payloads are comparable.
+
+use crate::alg3_queue::{run_alg3, QueueOp};
+use crate::alg5_table::{run_alg5, TableOp};
+use crate::config::BenchConfig;
+use crate::report::{Figure, Series};
+
+/// Payload size (bytes) used for the per-op comparison.
+pub const FIG9_PAYLOAD: usize = 32 << 10;
+
+/// Produce Figure 9: seven series (four table ops, three queue ops) of
+/// mean per-operation seconds over the worker ladder.
+pub fn figure_9(cfg: &BenchConfig) -> Figure {
+    let mut fig = Figure::new(
+        "fig9",
+        "Per-operation time for Table and Queue storage",
+        "workers",
+        "seconds (mean per op)",
+    );
+    for op in TableOp::ALL {
+        fig.series.push(Series::new(format!("table-{}", op.label())));
+    }
+    for op in QueueOp::ALL {
+        fig.series.push(Series::new(format!("queue-{}", op.label())));
+    }
+
+    for &w in &cfg.workers {
+        let table = run_alg5(cfg, w);
+        let queue = run_alg3(cfg, w);
+        let x = w as f64;
+        for (i, op) in TableOp::ALL.iter().enumerate() {
+            if let Some((_, per_op)) = table.get(&(FIG9_PAYLOAD, *op)) {
+                fig.series[i].push(x, *per_op);
+            }
+        }
+        for (i, op) in QueueOp::ALL.iter().enumerate() {
+            if let Some((_, per_op)) = queue.get(&(FIG9_PAYLOAD, *op)) {
+                fig.series[TableOp::ALL.len() + i].push(x, *per_op);
+            }
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_has_all_seven_series() {
+        let cfg = BenchConfig::paper()
+            .with_scale(0.01)
+            .with_workers(vec![1, 4]);
+        let fig = figure_9(&cfg);
+        assert_eq!(fig.series.len(), 7);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 2, "series {} incomplete", s.name);
+            assert!(s.points.iter().all(|(_, y)| *y > 0.0));
+        }
+    }
+
+    #[test]
+    fn queue_scales_better_than_table() {
+        // The paper's headline Figure 9 conclusion: as workers grow, table
+        // per-op time degrades more than queue per-op time.
+        let cfg = BenchConfig::paper().with_scale(0.05);
+        let fig = {
+            let cfg = cfg.clone().with_workers(vec![1, 16]);
+            figure_9(&cfg)
+        };
+        let ratio = |name: &str| {
+            let s = fig.series.iter().find(|s| s.name == name).unwrap();
+            s.y_at(16.0).unwrap() / s.y_at(1.0).unwrap()
+        };
+        let table_degradation = ratio("table-insert");
+        let queue_degradation = ratio("queue-put");
+        assert!(
+            table_degradation > queue_degradation,
+            "table ×{table_degradation:.2} must degrade more than queue ×{queue_degradation:.2}"
+        );
+    }
+}

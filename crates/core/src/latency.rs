@@ -1,0 +1,187 @@
+//! Latency-distribution reporting.
+//!
+//! The paper reports per-operation *means*; with the fabric's tracer we
+//! can additionally report full latency distributions (p50/p95/p99) per
+//! operation class — the shape modern storage benchmarks (YCSB, CosBench)
+//! report. [`profile_mixed`] drives a representative mixed workload with
+//! tracing enabled and summarizes it.
+
+use crate::config::BenchConfig;
+use crate::payload::PayloadGen;
+use azsim_client::{BlobClient, Environment, QueueClient, TableClient, VirtualEnv};
+use azsim_core::stats::Samples;
+use azsim_core::Simulation;
+use azsim_fabric::{Cluster, TraceOutcome, Tracer};
+use azsim_storage::{Entity, OpClass, PropValue};
+use std::collections::HashMap;
+
+/// Per-class latency distributions harvested from a trace.
+#[derive(Debug, Default)]
+pub struct LatencyReport {
+    per_class: HashMap<OpClass, Samples>,
+    throttled: u64,
+    failed: u64,
+}
+
+impl LatencyReport {
+    /// Build a report from a trace buffer (successful ops only; throttles
+    /// and failures are counted separately).
+    pub fn from_trace(tracer: &Tracer) -> Self {
+        let mut report = LatencyReport::default();
+        for r in tracer.records() {
+            match r.outcome {
+                TraceOutcome::Ok => report
+                    .per_class
+                    .entry(r.class)
+                    .or_default()
+                    .record(r.latency().as_secs_f64()),
+                TraceOutcome::Throttled => report.throttled += 1,
+                TraceOutcome::Failed => report.failed += 1,
+            }
+        }
+        report
+    }
+
+    /// Distribution for one class, if observed.
+    pub fn samples_mut(&mut self, class: OpClass) -> Option<&mut Samples> {
+        self.per_class.get_mut(&class)
+    }
+
+    /// Number of throttled operations in the trace.
+    pub fn throttled(&self) -> u64 {
+        self.throttled
+    }
+
+    /// Number of failed operations in the trace.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Render an aligned per-class table (count, mean, p50, p95, p99, max),
+    /// classes in label order, latencies in milliseconds.
+    pub fn render(&mut self) -> String {
+        let mut out = format!(
+            "{:<24} | {:>7} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9}\n",
+            "op", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"
+        );
+        let mut classes: Vec<OpClass> = self.per_class.keys().copied().collect();
+        classes.sort_by_key(|c| c.label());
+        for class in classes {
+            let s = self.per_class.get_mut(&class).expect("key just listed");
+            out.push_str(&format!(
+                "{:<24} | {:>7} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3}\n",
+                class.label(),
+                s.len(),
+                s.mean() * 1e3,
+                s.quantile(0.50) * 1e3,
+                s.quantile(0.95) * 1e3,
+                s.quantile(0.99) * 1e3,
+                s.quantile(1.0) * 1e3,
+            ));
+        }
+        if self.throttled > 0 || self.failed > 0 {
+            out.push_str(&format!(
+                "({} throttled, {} failed ops excluded)\n",
+                self.throttled, self.failed
+            ));
+        }
+        out
+    }
+}
+
+/// Drive a mixed blob/queue/table workload with tracing enabled and
+/// return its latency distributions. Deterministic under `cfg.seed`.
+pub fn profile_mixed(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) -> LatencyReport {
+    let seed = cfg.seed;
+    let mut cluster = Cluster::new(cfg.params.clone());
+    cluster.enable_tracing(workers * ops_per_worker * 8 + 1024);
+    let sim = Simulation::new(cluster, seed);
+    let report = sim.run_workers(workers, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let me = env.instance();
+        let blobs = BlobClient::new(&env, "mix");
+        blobs.create_container().unwrap();
+        let queue = QueueClient::new(&env, format!("mix-{me}"));
+        queue.create().unwrap();
+        let table = TableClient::new(&env, "mix");
+        table.create_table().unwrap();
+        let mut gen = PayloadGen::new(seed, me as u64);
+
+        for i in 0..ops_per_worker {
+            // One representative op of each service per iteration.
+            queue.put_message(gen.bytes(8 << 10)).unwrap();
+            if let Some(m) = queue.get_message().unwrap() {
+                queue.delete_message(&m).unwrap();
+            }
+            blobs
+                .upload(&format!("b-{me}-{i}"), gen.bytes(64 << 10))
+                .unwrap();
+            let _ = blobs.download(&format!("b-{me}-{i}")).unwrap();
+            table
+                .insert(
+                    Entity::new(format!("p{me}"), i.to_string())
+                        .with("v", PropValue::Binary(gen.bytes(4 << 10))),
+                )
+                .unwrap();
+            let _ = table.query(&format!("p{me}"), &i.to_string()).unwrap();
+        }
+    });
+    LatencyReport::from_trace(report.model.tracer().expect("tracing enabled"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_profile_covers_all_three_services() {
+        let cfg = BenchConfig::paper();
+        let mut r = profile_mixed(&cfg, 4, 10);
+        for class in [
+            OpClass::QueuePut,
+            OpClass::QueueGet,
+            OpClass::BlobUploadSingle,
+            OpClass::BlobDownload,
+            OpClass::TableInsert,
+            OpClass::TableQuery,
+        ] {
+            let s = r.samples_mut(class).unwrap_or_else(|| panic!("{class:?} missing"));
+            assert_eq!(s.len(), 40, "{class:?}");
+            assert!(s.mean() > 0.0);
+        }
+        assert_eq!(r.failed(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let cfg = BenchConfig::paper();
+        let mut r = profile_mixed(&cfg, 4, 10);
+        let s = r.samples_mut(OpClass::QueueGet).unwrap();
+        let (p50, p95, p99, max) = (
+            s.quantile(0.5),
+            s.quantile(0.95),
+            s.quantile(0.99),
+            s.quantile(1.0),
+        );
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+        assert!(p50 > 0.0);
+    }
+
+    #[test]
+    fn render_contains_header_and_classes() {
+        let cfg = BenchConfig::paper();
+        let mut r = profile_mixed(&cfg, 2, 5);
+        let table = r.render();
+        assert!(table.contains("p99 ms"));
+        assert!(table.contains("queue.put"));
+        assert!(table.contains("table.query"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let cfg = BenchConfig::paper();
+        let mut a = profile_mixed(&cfg, 3, 8);
+        let mut b = profile_mixed(&cfg, 3, 8);
+        assert_eq!(a.render(), b.render());
+    }
+}

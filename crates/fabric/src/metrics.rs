@@ -1,0 +1,104 @@
+//! Server-side operation accounting.
+
+use azsim_core::stats::OnlineStats;
+use azsim_storage::OpClass;
+use std::collections::HashMap;
+
+/// Counters for one operation class.
+#[derive(Clone, Debug, Default)]
+pub struct OpCounter {
+    /// Successfully completed operations.
+    pub completed: u64,
+    /// Operations rejected with `ServerBusy`.
+    pub throttled: u64,
+    /// Operations that failed with a non-throttle error.
+    pub failed: u64,
+    /// Payload bytes received from clients.
+    pub bytes_up: u64,
+    /// Payload bytes sent to clients.
+    pub bytes_down: u64,
+    /// Server-observed latency of completed operations, in seconds.
+    pub latency: OnlineStats,
+}
+
+/// Per-class operation accounting for a whole cluster.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterMetrics {
+    counters: HashMap<OpClass, OpCounter>,
+}
+
+impl ClusterMetrics {
+    /// Fresh metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable counter for a class (created on first use).
+    pub fn counter_mut(&mut self, class: OpClass) -> &mut OpCounter {
+        self.counters.entry(class).or_default()
+    }
+
+    /// Counter for a class, if any operation of that class was seen.
+    pub fn counter(&self, class: OpClass) -> Option<&OpCounter> {
+        self.counters.get(&class)
+    }
+
+    /// Total completed operations across classes.
+    pub fn total_completed(&self) -> u64 {
+        self.counters.values().map(|c| c.completed).sum()
+    }
+
+    /// Total throttled operations across classes.
+    pub fn total_throttled(&self) -> u64 {
+        self.counters.values().map(|c| c.throttled).sum()
+    }
+
+    /// Total payload bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.counters
+            .values()
+            .map(|c| c.bytes_up + c.bytes_down)
+            .sum()
+    }
+
+    /// Iterate over `(class, counter)` pairs in deterministic label order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, &OpCounter)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(k, c)| (*k, c)).collect();
+        v.sort_by_key(|(k, _)| k.label());
+        v.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = ClusterMetrics::new();
+        {
+            let c = m.counter_mut(OpClass::QueuePut);
+            c.completed += 2;
+            c.bytes_up += 100;
+            c.latency.record(0.01);
+        }
+        m.counter_mut(OpClass::QueueGet).throttled += 1;
+        assert_eq!(m.total_completed(), 2);
+        assert_eq!(m.total_throttled(), 1);
+        assert_eq!(m.total_bytes(), 100);
+        assert_eq!(m.counter(OpClass::QueuePut).unwrap().completed, 2);
+        assert!(m.counter(OpClass::TableInsert).is_none());
+    }
+
+    #[test]
+    fn iter_is_deterministically_ordered() {
+        let mut m = ClusterMetrics::new();
+        m.counter_mut(OpClass::TableInsert).completed = 1;
+        m.counter_mut(OpClass::BlobDownload).completed = 1;
+        m.counter_mut(OpClass::QueuePut).completed = 1;
+        let labels: Vec<&str> = m.iter().map(|(k, _)| k.label()).collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted);
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-operation tracing.
+//!
+//! When enabled, the cluster records one [`TraceRecord`] per submitted
+//! operation — issue/completion virtual timestamps, class, actor, payload
+//! sizes, outcome. Traces are the raw material for latency-distribution
+//! analysis (beyond the per-class means in [`crate::ClusterMetrics`]) and
+//! for debugging model behaviour; `to_csv` renders them for external
+//! tooling.
+
+use azsim_core::SimTime;
+use azsim_storage::OpClass;
+
+/// One traced operation.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// Virtual time the request arrived at the cluster.
+    pub issued: SimTime,
+    /// Virtual completion time.
+    pub completed: SimTime,
+    /// Issuing role instance.
+    pub actor: usize,
+    /// Operation class.
+    pub class: OpClass,
+    /// Operation outcome.
+    pub outcome: TraceOutcome,
+    /// Payload bytes client → server.
+    pub bytes_up: u64,
+    /// Payload bytes server → client.
+    pub bytes_down: u64,
+}
+
+/// How a traced operation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Completed successfully.
+    Ok,
+    /// Rejected by a throttle (`ServerBusy`).
+    Throttled,
+    /// Failed with a semantic error.
+    Failed,
+}
+
+impl TraceRecord {
+    /// Operation latency.
+    pub fn latency(&self) -> std::time::Duration {
+        self.completed.saturating_since(self.issued)
+    }
+}
+
+/// A bounded trace buffer (disabled by default; enabling costs one record
+/// per operation).
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer that keeps at most `capacity` records (older operations
+    /// are *not* evicted — the buffer stops recording and counts drops, so
+    /// the retained prefix stays contiguous).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record one operation.
+    pub fn record(&mut self, r: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(r);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained records, in completion-processing order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Operations that arrived after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render as CSV (`issued_s,completed_s,latency_ms,actor,class,outcome,bytes_up,bytes_down`).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("issued_s,completed_s,latency_ms,actor,class,outcome,bytes_up,bytes_down\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:.9},{:.9},{:.6},{},{},{},{},{}\n",
+                r.issued.as_secs_f64(),
+                r.completed.as_secs_f64(),
+                r.latency().as_secs_f64() * 1e3,
+                r.actor,
+                r.class.label(),
+                match r.outcome {
+                    TraceOutcome::Ok => "ok",
+                    TraceOutcome::Throttled => "throttled",
+                    TraceOutcome::Failed => "failed",
+                },
+                r.bytes_up,
+                r.bytes_down
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, class: OpClass) -> TraceRecord {
+        TraceRecord {
+            issued: SimTime(t),
+            completed: SimTime(t + 1_000_000),
+            actor: 0,
+            class,
+            outcome: TraceOutcome::Ok,
+            bytes_up: 10,
+            bytes_down: 20,
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut t = Tracer::with_capacity(2);
+        for i in 0..5 {
+            t.record(rec(i, OpClass::QueuePut));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn latency_is_completion_minus_issue() {
+        let r = rec(5, OpClass::TableQuery);
+        assert_eq!(r.latency(), std::time::Duration::from_millis(1));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Tracer::with_capacity(10);
+        t.record(rec(0, OpClass::QueuePut));
+        t.record(rec(1, OpClass::BlobDownload));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("issued_s,"));
+        assert!(lines[1].contains("queue.put"));
+        assert!(lines[2].contains("blob.download"));
+        assert!(lines[1].contains(",ok,"));
+    }
+}

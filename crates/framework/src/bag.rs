@@ -1,0 +1,283 @@
+//! The end-to-end bag-of-tasks pattern (paper Figure 3).
+//!
+//! A web role submits tasks to the task-assignment queue and polls the
+//! termination-indicator queue for progress; worker roles drain the pool.
+//! Crash tolerance comes for free from visibility timeouts: an abandoned
+//! task reappears and is re-processed, and the superseded worker's late
+//! completion is detected via the pop receipt.
+
+use crate::taskqueue::TaskQueue;
+use crate::termination::TerminationIndicator;
+use azsim_client::Environment;
+use azsim_storage::{StorageError, StorageResult};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Summary of one worker's run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Tasks processed and successfully completed (deleted + signaled).
+    pub processed: usize,
+    /// Tasks whose completion was superseded — this worker took too long
+    /// and the task was re-delivered to someone else.
+    pub superseded: usize,
+    /// Poison tasks moved to the dead-letter queue instead of being
+    /// processed (delivery attempts exceeded the configured limit).
+    pub dead_lettered: usize,
+}
+
+/// A bag-of-tasks application: task queue + termination indicator, plus a
+/// dead-letter queue for *poison tasks* — tasks that crash every worker
+/// that claims them. Without a delivery-attempt limit, such a task would
+/// reappear forever and the job would never drain; with one, the task is
+/// parked on `{base}-dead` (still counted on the indicator so the web role
+/// terminates) for offline inspection.
+pub struct BagOfTasks<'e, T> {
+    /// The task-assignment queue.
+    pub tasks: TaskQueue<'e, T>,
+    /// The termination-indicator queue.
+    pub done: TerminationIndicator<'e>,
+    /// The dead-letter queue for poison tasks.
+    pub dead: TaskQueue<'e, T>,
+    max_attempts: u32,
+}
+
+impl<'e, T: Serialize + DeserializeOwned> BagOfTasks<'e, T> {
+    /// Bind to the queues `{base}-tasks` / `{base}-done` / `{base}-dead`.
+    /// Tasks are dead-lettered after 5 delivery attempts by default.
+    pub fn new(env: &'e dyn Environment, base: &str) -> Self {
+        BagOfTasks {
+            tasks: TaskQueue::new(env, format!("{base}-tasks")),
+            done: TerminationIndicator::new(env, format!("{base}-done")),
+            dead: TaskQueue::new(env, format!("{base}-dead")),
+            max_attempts: 5,
+        }
+    }
+
+    /// Change the delivery-attempt limit before a task is dead-lettered.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n > 0);
+        self.max_attempts = n;
+        self
+    }
+
+    /// Override the per-task processing window.
+    pub fn with_visibility(mut self, d: Duration) -> Self {
+        self.tasks = self.tasks.with_visibility(d);
+        self
+    }
+
+    /// Create all queues (idempotent; every role should call it).
+    pub fn init(&self) -> StorageResult<()> {
+        self.tasks.init()?;
+        self.dead.init()?;
+        self.done.init()
+    }
+
+    /// Web-role side: submit every task; returns how many were submitted.
+    pub fn submit_all(&self, tasks: impl IntoIterator<Item = T>) -> StorageResult<usize> {
+        let mut n = 0;
+        for t in tasks {
+            self.tasks.submit(&t)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Web-role side: block until `expected` completion signals arrived.
+    pub fn wait_all(&self, expected: usize) -> StorageResult<usize> {
+        self.done.wait_for(expected)
+    }
+
+    /// Worker-role side: drain the pool. Gives up after `idle_polls`
+    /// consecutive empty polls separated by `idle_backoff`.
+    ///
+    /// `process` receives the task and its attempt number (> 1 on a retry
+    /// after some worker crashed).
+    pub fn run_worker(
+        &self,
+        idle_polls: usize,
+        idle_backoff: Duration,
+        env: &dyn Environment,
+        mut process: impl FnMut(T, u32),
+    ) -> StorageResult<WorkerReport> {
+        let mut report = WorkerReport::default();
+        let mut idle = 0;
+        while idle < idle_polls {
+            match self.tasks.claim()? {
+                None => {
+                    idle += 1;
+                    env.sleep(idle_backoff);
+                }
+                Some(claimed) => {
+                    idle = 0;
+                    let attempt = claimed.attempt;
+                    if attempt > self.max_attempts {
+                        // Poison task: park it on the dead-letter queue and
+                        // still signal so the web role's count completes.
+                        match self.tasks.complete(&claimed) {
+                            Ok(()) => {
+                                self.dead.submit(&claimed.task)?;
+                                self.done
+                                    .signal(format!("dead-after-{attempt}").into_bytes())?;
+                                report.dead_lettered += 1;
+                            }
+                            Err(StorageError::PopReceiptMismatch) => {
+                                report.superseded += 1;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                        continue;
+                    }
+                    match self.tasks.complete(&claimed) {
+                        Ok(()) => {
+                            process(claimed.task, attempt);
+                            self.done.signal(format!("attempt-{attempt}").into_bytes())?;
+                            report.processed += 1;
+                        }
+                        Err(StorageError::PopReceiptMismatch) => {
+                            // Someone else owns the task now; drop our work.
+                            report.superseded += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azsim_client::VirtualEnv;
+    use azsim_core::runtime::ActorFn;
+    use azsim_core::Simulation;
+    use azsim_fabric::Cluster;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, Clone, PartialEq, Debug)]
+    struct Unit {
+        id: u32,
+    }
+
+    #[test]
+    fn web_plus_workers_complete_everything() {
+        let workers = 5usize;
+        let n_tasks = 30u32;
+        let sim = Simulation::new(Cluster::with_defaults(), 21);
+        let mut actors: Vec<ActorFn<'_, Cluster, (usize, usize)>> = Vec::new();
+        // Web role.
+        actors.push(Box::new(move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "app");
+            bag.init().unwrap();
+            let submitted = bag
+                .submit_all((0..n_tasks).map(|id| Unit { id }))
+                .unwrap();
+            let done = bag.wait_all(submitted).unwrap();
+            (submitted, done)
+        }));
+        // Worker roles.
+        for _ in 0..workers {
+            actors.push(Box::new(move |ctx| {
+                let env = VirtualEnv::new(ctx);
+                let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "app");
+                bag.init().unwrap();
+                let r = bag
+                    .run_worker(3, Duration::from_secs(1), &env, |_task, _attempt| {})
+                    .unwrap();
+                (r.processed, r.superseded)
+            }));
+        }
+        let report = sim.run(actors);
+        let (submitted, done) = report.results[0];
+        assert_eq!(submitted, n_tasks as usize);
+        assert!(done >= n_tasks as usize);
+        let processed: usize = report.results[1..].iter().map(|(p, _)| p).sum();
+        assert_eq!(processed, n_tasks as usize);
+    }
+
+    #[test]
+    fn poison_tasks_are_dead_lettered_not_looped_forever() {
+        // One task payload deterministically "crashes" its processor: the
+        // worker claims it but abandons processing (simulated by never
+        // completing within the window is hard to express with the closure
+        // API, so we exercise the attempt-limit path directly: pre-poison
+        // the message by claiming and abandoning it past the limit).
+        let sim = Simulation::new(Cluster::with_defaults(), 23);
+        let report = sim.run_workers(1, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "poison")
+                .with_max_attempts(3)
+                .with_visibility(Duration::from_secs(2));
+            bag.init().unwrap();
+            bag.submit_all([Unit { id: 666 }, Unit { id: 1 }]).unwrap();
+            // Burn three delivery attempts of whatever comes first in a
+            // deterministic way: claim-and-abandon the poison id.
+            let mut burned = 0;
+            while burned < 3 {
+                if let Some(c) = bag.tasks.claim().unwrap() {
+                    if c.task.id == 666 {
+                        burned += 1; // abandon: no complete()
+                        ctx.sleep(Duration::from_secs(3)); // let it reappear
+                    } else {
+                        bag.tasks.complete(&c).unwrap();
+                        bag.done.signal("ok".as_bytes().to_vec()).unwrap();
+                    }
+                } else {
+                    ctx.sleep(Duration::from_secs(1));
+                }
+            }
+            // Now run the normal worker loop: the poison task arrives with
+            // attempt 4 > 3 and must be dead-lettered, not processed.
+            let mut processed_ids = Vec::new();
+            let r = bag
+                .run_worker(3, Duration::from_secs(1), &env, |t, _a| {
+                    processed_ids.push(t.id);
+                })
+                .unwrap();
+            assert!(!processed_ids.contains(&666), "poison must not be processed");
+            assert_eq!(r.dead_lettered, 1);
+            // The dead-letter queue holds it for inspection.
+            let parked = bag.dead.claim().unwrap().unwrap();
+            assert_eq!(parked.task.id, 666);
+            // And the indicator still accounts for both tasks.
+            assert!(bag.done.count().unwrap() >= 2);
+        });
+        let _ = report;
+    }
+
+    #[test]
+    fn processing_spreads_across_workers() {
+        let workers = 4usize;
+        let n_tasks = 40u32;
+        let sim = Simulation::new(Cluster::with_defaults(), 22);
+        let report = sim.run_workers(workers, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "spread");
+            bag.init().unwrap();
+            if ctx.id().0 == 0 {
+                bag.submit_all((0..n_tasks).map(|id| Unit { id })).unwrap();
+            }
+            let r = bag
+                .run_worker(3, Duration::from_secs(1), &env, |_t, _a| {
+                    // Simulate compute so tasks interleave across workers.
+                    ctx.sleep(Duration::from_millis(200));
+                })
+                .unwrap();
+            r.processed
+        });
+        let total: usize = report.results.iter().sum();
+        assert_eq!(total, n_tasks as usize);
+        // With 40 tasks, 4 workers and equal task cost, nobody should have
+        // grabbed everything.
+        assert!(
+            report.results.iter().all(|&p| p > 0),
+            "work must spread: {:?}",
+            report.results
+        );
+    }
+}

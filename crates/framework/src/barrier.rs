@@ -1,0 +1,171 @@
+//! Algorithm 2: synchronization among worker role instances.
+//!
+//! Azure has no barrier primitive, so the paper builds one from a queue
+//! used as shared memory: each worker puts a marker message, then polls the
+//! *approximate message count* until it reaches the number of workers.
+//!
+//! The subtlety the paper highlights: markers must **not** be deleted (a
+//! worker still inside the polling loop would never see the count reach the
+//! target), so messages accumulate across barrier phases and each phase `k`
+//! waits for `workers × k` messages. Each worker also sleeps one second
+//! between count requests so the polling itself does not throttle the
+//! queue.
+
+use azsim_client::{Environment, QueueClient};
+use azsim_storage::StorageResult;
+use bytes::Bytes;
+use std::time::Duration;
+
+/// A reusable queue-backed barrier for `workers` participants.
+pub struct QueueBarrier<'e> {
+    queue: QueueClient<'e>,
+    env: &'e dyn Environment,
+    workers: usize,
+    sync_count: usize,
+    poll_interval: Duration,
+}
+
+impl<'e> QueueBarrier<'e> {
+    /// Bind a barrier to `queue_name` for `workers` participants. All
+    /// participants must use the same name and count.
+    pub fn new(env: &'e dyn Environment, queue_name: impl Into<String>, workers: usize) -> Self {
+        assert!(workers > 0, "a barrier needs at least one participant");
+        QueueBarrier {
+            queue: QueueClient::new(env, queue_name),
+            env,
+            workers,
+            sync_count: 0,
+            poll_interval: Duration::from_secs(1),
+        }
+    }
+
+    /// Change the polling interval (the paper uses one second).
+    pub fn with_poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = d;
+        self
+    }
+
+    /// Create the underlying queue; idempotent, so every participant can
+    /// (and should) call it.
+    pub fn init(&self) -> StorageResult<()> {
+        self.queue.create()
+    }
+
+    /// Number of completed synchronization phases.
+    pub fn phases(&self) -> usize {
+        self.sync_count
+    }
+
+    /// Enter the barrier and block (in virtual/scaled time) until all
+    /// `workers` participants of this phase have arrived.
+    pub fn wait(&mut self) -> StorageResult<()> {
+        self.sync_count += 1;
+        // Announce arrival. Markers are never deleted — see module docs.
+        self.queue.put_message(Bytes::from_static(b"sync"))?;
+        let target = self.workers * self.sync_count;
+        loop {
+            let arrived = self.queue.message_count()?;
+            if arrived >= target {
+                return Ok(());
+            }
+            self.env.sleep(self.poll_interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azsim_client::VirtualEnv;
+    use azsim_core::{SimTime, Simulation};
+    use azsim_fabric::Cluster;
+
+    #[test]
+    fn all_workers_cross_together() {
+        let n = 8usize;
+        let sim = Simulation::new(Cluster::with_defaults(), 1);
+        let report = sim.run_workers(n, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let mut barrier = QueueBarrier::new(&env, "sync", n);
+            barrier.init().unwrap();
+            // Stagger arrivals: worker i arrives i seconds in.
+            ctx.sleep(Duration::from_secs(ctx.id().0 as u64));
+            let arrived_at = ctx.now();
+            barrier.wait().unwrap();
+            (arrived_at, ctx.now())
+        });
+        // No worker may leave before the last one arrived.
+        let last_arrival = report.results.iter().map(|(a, _)| *a).max().unwrap();
+        for (_, left) in &report.results {
+            assert!(
+                *left >= last_arrival,
+                "worker crossed at {left} before last arrival {last_arrival}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_phases_account_for_leftover_messages() {
+        let n = 4usize;
+        let phases = 3usize;
+        let sim = Simulation::new(Cluster::with_defaults(), 2);
+        let report = sim.run_workers(n, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let mut barrier =
+                QueueBarrier::new(&env, "sync", n).with_poll_interval(Duration::from_millis(100));
+            barrier.init().unwrap();
+            let mut crossings = Vec::new();
+            for p in 0..phases {
+                // Make one worker slow in every phase.
+                if ctx.id().0 == p % n {
+                    ctx.sleep(Duration::from_secs(2));
+                }
+                barrier.wait().unwrap();
+                crossings.push(ctx.now());
+            }
+            assert_eq!(barrier.phases(), phases);
+            crossings
+        });
+        // Phase k's slowest arrival bounds everyone's phase-k crossing.
+        for p in 0..phases {
+            let crossings: Vec<SimTime> = report.results.iter().map(|c| c[p]).collect();
+            let spread = crossings.iter().max().unwrap().saturating_since(*crossings.iter().min().unwrap());
+            // All workers cross within ~one poll interval + op costs.
+            assert!(
+                spread < Duration::from_secs(2),
+                "phase {p} crossings too spread: {spread:?}"
+            );
+        }
+        // Markers accumulate: n per phase.
+        let mut model = report.model;
+        let count = model
+            .queue_store_mut()
+            .approximate_count(report.end_time, "sync")
+            .unwrap();
+        assert_eq!(count, n * phases);
+    }
+
+    #[test]
+    fn single_worker_barrier_is_immediate() {
+        let sim = Simulation::new(Cluster::with_defaults(), 3);
+        let report = sim.run_workers(1, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let mut b = QueueBarrier::new(&env, "solo", 1);
+            b.init().unwrap();
+            b.wait().unwrap();
+            ctx.now()
+        });
+        // One put + one count: well under a second — no poll sleep needed.
+        assert!(report.results[0] < SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_workers_rejected() {
+        let sim = Simulation::new(Cluster::with_defaults(), 4);
+        sim.run_workers(1, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let _ = QueueBarrier::new(&env, "bad", 0);
+        });
+    }
+}

@@ -1,0 +1,121 @@
+//! The termination-indicator queue.
+//!
+//! Because Azure queues are not FIFO, putting an "end of work" marker on
+//! the *task* queue is unsafe — a worker might read it before real tasks
+//! and quit early (paper §IV-B). The recommended pattern is a dedicated
+//! queue where workers signal completed units and the web role polls the
+//! message count to track progress and update the user interface.
+
+use azsim_client::{Environment, QueueClient};
+use azsim_storage::StorageResult;
+use bytes::Bytes;
+use std::time::Duration;
+
+/// A write-mostly signal queue: workers [`signal`](Self::signal) events,
+/// the front end [`count`](Self::count)s or
+/// [`wait_for`](Self::wait_for)s them.
+pub struct TerminationIndicator<'e> {
+    queue: QueueClient<'e>,
+    env: &'e dyn Environment,
+    poll_interval: Duration,
+}
+
+impl<'e> TerminationIndicator<'e> {
+    /// Bind to `queue_name`.
+    pub fn new(env: &'e dyn Environment, queue_name: impl Into<String>) -> Self {
+        TerminationIndicator {
+            queue: QueueClient::new(env, queue_name),
+            env,
+            poll_interval: Duration::from_secs(1),
+        }
+    }
+
+    /// Change the polling interval used by [`wait_for`](Self::wait_for).
+    pub fn with_poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = d;
+        self
+    }
+
+    /// Create the underlying queue (idempotent).
+    pub fn init(&self) -> StorageResult<()> {
+        self.queue.create()
+    }
+
+    /// Signal one completed unit of work, with a small payload describing
+    /// it (phase id, task id — anything the front end may display).
+    pub fn signal(&self, what: impl Into<Bytes>) -> StorageResult<()> {
+        self.queue.put_message(what.into())
+    }
+
+    /// Number of signals so far.
+    pub fn count(&self) -> StorageResult<usize> {
+        self.queue.message_count()
+    }
+
+    /// Block until at least `n` signals have been recorded, polling with a
+    /// one-second back-off (the paper's pattern for progress reporting).
+    pub fn wait_for(&self, n: usize) -> StorageResult<usize> {
+        loop {
+            let c = self.count()?;
+            if c >= n {
+                return Ok(c);
+            }
+            self.env.sleep(self.poll_interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azsim_client::VirtualEnv;
+    use azsim_core::runtime::ActorFn;
+    use azsim_core::Simulation;
+    use azsim_fabric::Cluster;
+
+    #[test]
+    fn web_role_observes_worker_progress() {
+        let workers = 6usize;
+        let sim = Simulation::new(Cluster::with_defaults(), 5);
+        let mut actors: Vec<ActorFn<'_, Cluster, usize>> = Vec::new();
+        // Web role: waits for all workers.
+        actors.push(Box::new(move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let ind = TerminationIndicator::new(&env, "done");
+            ind.init().unwrap();
+            ind.wait_for(workers).unwrap()
+        }));
+        // Workers: do "work" (sleep), then signal.
+        for w in 0..workers {
+            actors.push(Box::new(move |ctx| {
+                let env = VirtualEnv::new(ctx);
+                let ind = TerminationIndicator::new(&env, "done");
+                ind.init().unwrap();
+                ctx.sleep(Duration::from_millis(500 * (w as u64 + 1)));
+                ind.signal(format!("task-{w}").into_bytes()).unwrap();
+                0
+            }));
+        }
+        let report = sim.run(actors);
+        assert_eq!(report.results[0], workers);
+        // The web role finished after the slowest worker signaled.
+        assert!(report.end_time >= azsim_core::SimTime::from_millis(500 * workers as u64));
+    }
+
+    #[test]
+    fn count_reflects_signals() {
+        let sim = Simulation::new(Cluster::with_defaults(), 6);
+        sim.run_workers(1, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let ind = TerminationIndicator::new(&env, "done");
+            ind.init().unwrap();
+            assert_eq!(ind.count().unwrap(), 0);
+            for i in 0..5 {
+                ind.signal(vec![i as u8]).unwrap();
+            }
+            assert_eq!(ind.count().unwrap(), 5);
+            // wait_for returns immediately once satisfied.
+            assert_eq!(ind.wait_for(5).unwrap(), 5);
+        });
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic event heap.
+//!
+//! The coordinator pops events in `(time, actor, per-actor sequence)` order.
+//! The per-actor sequence counter makes the ordering total and *independent
+//! of the host-OS order in which concurrently running actor threads happened
+//! to deliver their messages*, which is what makes the whole simulation
+//! reproducible: the set of events present at any pop is determined by the
+//! simulation history alone, and the key ordering is determined by the
+//! events themselves.
+
+use crate::runtime::ActorId;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A totally ordered event key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Virtual firing time.
+    pub time: SimTime,
+    /// Actor the event belongs to (ties across actors break by id).
+    pub actor: ActorId,
+    /// Per-actor monotonically increasing sequence number (ties within an
+    /// actor break by issue order).
+    pub seq: u64,
+}
+
+struct Entry<T> {
+    key: EventKey,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Min-heap of timestamped events with deterministic total ordering.
+pub struct EventHeap<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// Highest time popped so far; used to enforce monotonicity.
+    watermark: SimTime,
+}
+
+impl<T> Default for EventHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventHeap<T> {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule an event.
+    ///
+    /// Panics if the event is scheduled in the past relative to the last
+    /// popped event — that would mean the simulation violated causality.
+    pub fn push(&mut self, key: EventKey, payload: T) {
+        assert!(
+            key.time >= self.watermark,
+            "event scheduled in the past: {:?} < watermark {:?}",
+            key.time,
+            self.watermark
+        );
+        self.heap.push(Reverse(Entry { key, payload }));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(EventKey, T)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.key.time >= self.watermark);
+        self.watermark = e.key.time;
+        Some((e.key, e.payload))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.key.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: u64, a: usize, s: u64) -> EventKey {
+        EventKey {
+            time: SimTime(t),
+            actor: ActorId(a),
+            seq: s,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(key(30, 0, 0), "c");
+        h.push(key(10, 0, 1), "a");
+        h.push(key(20, 0, 2), "b");
+        assert_eq!(h.pop().unwrap().1, "a");
+        assert_eq!(h.pop().unwrap().1, "b");
+        assert_eq!(h.pop().unwrap().1, "c");
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_actor_then_seq() {
+        let mut h = EventHeap::new();
+        h.push(key(5, 2, 0), "actor2");
+        h.push(key(5, 1, 7), "actor1-late");
+        h.push(key(5, 1, 3), "actor1-early");
+        assert_eq!(h.pop().unwrap().1, "actor1-early");
+        assert_eq!(h.pop().unwrap().1, "actor1-late");
+        assert_eq!(h.pop().unwrap().1, "actor2");
+    }
+
+    #[test]
+    fn peek_time_reports_minimum() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.peek_time(), None);
+        h.push(key(42, 0, 0), ());
+        h.push(key(7, 1, 0), ());
+        assert_eq!(h.peek_time(), Some(SimTime(7)));
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn rejects_events_in_the_past() {
+        let mut h = EventHeap::new();
+        h.push(key(10, 0, 0), ());
+        let _ = h.pop();
+        h.push(key(5, 0, 1), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_monotone() {
+        let mut h = EventHeap::new();
+        h.push(key(1, 0, 0), 1u32);
+        h.push(key(5, 0, 1), 5);
+        assert_eq!(h.pop().unwrap().0.time, SimTime(1));
+        // Scheduling at the watermark (same time as last pop) is allowed.
+        h.push(key(1, 1, 0), 1);
+        h.push(key(3, 0, 2), 3);
+        let mut times = Vec::new();
+        while let Some((k, _)) = h.pop() {
+            times.push(k.time.as_nanos());
+        }
+        assert_eq!(times, vec![1, 3, 5]);
+    }
+
+    proptest::proptest! {
+        /// Pop order is always non-decreasing in time no matter the push order.
+        #[test]
+        fn prop_pops_monotone(mut events in proptest::collection::vec((0u64..1000, 0usize..8), 0..200)) {
+            let mut h = EventHeap::new();
+            for (i, (t, a)) in events.iter().enumerate() {
+                h.push(key(*t, *a, i as u64), ());
+            }
+            let mut last = 0u64;
+            while let Some((k, _)) = h.pop() {
+                proptest::prop_assert!(k.time.as_nanos() >= last);
+                last = k.time.as_nanos();
+            }
+            events.clear();
+        }
+    }
+}

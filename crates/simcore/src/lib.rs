@@ -1,0 +1,34 @@
+//! # azsim-core — discrete-event simulation kernel and virtual-time runtime
+//!
+//! This crate is the foundation of the AzureBench reproduction. It provides:
+//!
+//! * [`SimTime`] — a nanosecond-resolution virtual clock value.
+//! * [`EventHeap`] — a deterministic priority queue of timestamped events
+//!   with total tie-breaking, so simulations are bit-reproducible.
+//! * Queueing resources ([`resource::FifoServer`], [`resource::Pipe`],
+//!   [`resource::TokenBucket`]) used by the cluster model to turn operation
+//!   descriptions into virtual latencies.
+//! * [`runtime::Simulation`] — a conservative virtual-time executor. Each
+//!   simulated role instance is a real OS thread running ordinary blocking
+//!   Rust code; every timed action (a storage call, a think-time sleep) is
+//!   brokered through a coordinator that advances the virtual clock only
+//!   when every thread is parked. Same seed ⇒ identical results.
+//! * [`rng`] — deterministic seed derivation so each simulated actor gets an
+//!   independent, reproducible random stream.
+//! * [`stats`] — small online-statistics helpers shared by the benchmark
+//!   harness.
+//!
+//! The kernel knows nothing about Azure; the storage semantics live in the
+//! `azsim-blob`/`azsim-queue`/`azsim-table` crates and the latency model in
+//! `azsim-fabric`.
+
+pub mod heap;
+pub mod resource;
+pub mod rng;
+pub mod runtime;
+pub mod stats;
+pub mod time;
+
+pub use heap::EventHeap;
+pub use runtime::{ActorCtx, ActorId, Model, Simulation};
+pub use time::SimTime;

@@ -1,0 +1,311 @@
+//! Queueing resources used by the cluster latency model.
+//!
+//! All three resources are *non-preemptive and FIFO-by-arrival*, which is
+//! what allows the runtime to compute a request's completion time
+//! analytically at arrival (a single event per operation): the global event
+//! heap delivers arrivals to each resource in non-decreasing time order, so
+//! `next_free` bookkeeping is exact.
+
+use crate::time::{transfer_time, SimTime};
+use std::time::Duration;
+
+/// A serialized service station (e.g. a partition server's request worker):
+/// requests are served one at a time in arrival order.
+#[derive(Clone, Debug)]
+pub struct FifoServer {
+    next_free: SimTime,
+    busy: Duration,
+    served: u64,
+}
+
+impl Default for FifoServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FifoServer {
+    /// An idle server.
+    pub fn new() -> Self {
+        FifoServer {
+            next_free: SimTime::ZERO,
+            busy: Duration::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Admit a request arriving at `arrival` needing `service` time.
+    /// Returns `(start, end)` of its service interval.
+    pub fn admit(&mut self, arrival: SimTime, service: Duration) -> (SimTime, SimTime) {
+        let start = arrival.max(self.next_free);
+        let end = start + service;
+        self.next_free = end;
+        self.busy += service;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// When the server next becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total service time dispensed (for utilization reporting).
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+/// A serialized byte pipe with fixed bandwidth (a NIC, a per-blob data path,
+/// a front-end uplink). Transfers occupy the pipe back-to-back.
+#[derive(Clone, Debug)]
+pub struct Pipe {
+    bytes_per_sec: f64,
+    inner: FifoServer,
+    bytes: u64,
+}
+
+impl Pipe {
+    /// A pipe with the given bandwidth in bytes per second.
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "pipe bandwidth must be positive");
+        Pipe {
+            bytes_per_sec,
+            inner: FifoServer::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Transfer `bytes` starting no earlier than `arrival`.
+    /// Returns `(start, end)` of the transfer.
+    ///
+    /// A zero-byte transfer is free and does **not** occupy the pipe (it
+    /// must not move `next_free`, or empty acknowledgements would falsely
+    /// serialize unrelated traffic behind their timestamps).
+    pub fn transfer(&mut self, arrival: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        if bytes == 0 {
+            return (arrival, arrival);
+        }
+        self.bytes += bytes;
+        self.inner.admit(arrival, transfer_time(bytes, self.bytes_per_sec))
+    }
+
+    /// Configured bandwidth.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Total bytes moved through the pipe.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes
+    }
+
+    /// When the pipe next becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.inner.next_free()
+    }
+}
+
+/// Outcome of a [`TokenBucket`] admission attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// The request is admitted.
+    Granted,
+    /// The request is rejected; the bucket will have capacity again after
+    /// roughly this long (callers typically surface `ServerBusy` and let the
+    /// client retry).
+    Throttled(Duration),
+}
+
+/// A token-bucket rate limiter operating in virtual time. Models the
+/// documented Azure scalability targets (500 msg/s per queue, 500 entities/s
+/// per table partition, 5 000 tx/s per account, 3 GB/s per account).
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: SimTime,
+    throttled: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec` with capacity `burst`, starting
+    /// full.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0 && burst > 0.0);
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: SimTime::ZERO,
+            throttled: 0,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last_refill {
+            let dt = (now - self.last_refill).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+            self.last_refill = now;
+        }
+    }
+
+    /// Try to take `cost` tokens at virtual time `now`.
+    pub fn acquire(&mut self, now: SimTime, cost: f64) -> Admission {
+        self.refill(now);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            Admission::Granted
+        } else {
+            self.throttled += 1;
+            let deficit = cost - self.tokens;
+            let wait = Duration::from_secs_f64(deficit / self.rate_per_sec);
+            Admission::Throttled(wait)
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Number of rejected acquisitions so far.
+    pub fn throttle_count(&self) -> u64 {
+        self.throttled
+    }
+
+    /// Configured steady-state rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_server_serializes() {
+        let mut s = FifoServer::new();
+        let (a0, e0) = s.admit(SimTime::from_millis(0), Duration::from_millis(10));
+        assert_eq!(a0, SimTime::ZERO);
+        assert_eq!(e0, SimTime::from_millis(10));
+        // Arrives while busy: queued behind the first.
+        let (a1, e1) = s.admit(SimTime::from_millis(5), Duration::from_millis(10));
+        assert_eq!(a1, SimTime::from_millis(10));
+        assert_eq!(e1, SimTime::from_millis(20));
+        // Arrives after idle: starts immediately.
+        let (a2, e2) = s.admit(SimTime::from_millis(100), Duration::from_millis(1));
+        assert_eq!(a2, SimTime::from_millis(100));
+        assert_eq!(e2, SimTime::from_millis(101));
+        assert_eq!(s.served(), 3);
+        assert_eq!(s.busy_time(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn pipe_bandwidth_determines_duration() {
+        let mut p = Pipe::new(1_000_000.0); // 1 MB/s
+        let (_, end) = p.transfer(SimTime::ZERO, 500_000);
+        assert_eq!(end, SimTime::from_millis(500));
+        assert_eq!(p.bytes_transferred(), 500_000);
+        // Second transfer queues behind the first.
+        let (start, _) = p.transfer(SimTime::ZERO, 1);
+        assert_eq!(start, SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_free_and_does_not_occupy_pipe() {
+        let mut p = Pipe::new(1_000.0);
+        let (s, e) = p.transfer(SimTime::from_secs(100), 0);
+        assert_eq!(s, SimTime::from_secs(100));
+        assert_eq!(e, SimTime::from_secs(100));
+        // The pipe is still idle at t=0 for a later-arriving-earlier call.
+        let (s, _) = p.transfer(SimTime::ZERO, 10);
+        assert_eq!(s, SimTime::ZERO);
+        assert_eq!(p.bytes_transferred(), 10);
+    }
+
+    #[test]
+    fn token_bucket_grants_until_empty() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            assert_eq!(b.acquire(SimTime::ZERO, 1.0), Admission::Granted);
+        }
+        match b.acquire(SimTime::ZERO, 1.0) {
+            Admission::Throttled(w) => assert_eq!(w, Duration::from_millis(100)),
+            g => panic!("expected throttle, got {g:?}"),
+        }
+        assert_eq!(b.throttle_count(), 1);
+    }
+
+    #[test]
+    fn token_bucket_refills_over_time() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            assert_eq!(b.acquire(SimTime::ZERO, 1.0), Admission::Granted);
+        }
+        // After 0.3 s, three tokens have come back.
+        let t = SimTime::from_millis(300);
+        assert!((b.available(t) - 3.0).abs() < 1e-9);
+        assert_eq!(b.acquire(t, 3.0), Admission::Granted);
+        assert!(matches!(b.acquire(t, 0.5), Admission::Throttled(_)));
+    }
+
+    #[test]
+    fn token_bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(1000.0, 2.0);
+        assert_eq!(b.acquire(SimTime::ZERO, 2.0), Admission::Granted);
+        // A long idle period refills only to the burst cap.
+        let t = SimTime::from_secs(3600);
+        assert!((b.available(t) - 2.0).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        /// A bucket never admits more than burst + rate*elapsed tokens over
+        /// any prefix of an arbitrary admission schedule.
+        #[test]
+        fn prop_bucket_never_over_admits(
+            steps in proptest::collection::vec((0u64..10_000, 1u32..4), 1..200)
+        ) {
+            let rate = 100.0;
+            let burst = 10.0;
+            let mut b = TokenBucket::new(rate, burst);
+            let mut now = SimTime::ZERO;
+            let mut admitted = 0.0f64;
+            for (advance_us, cost) in steps {
+                now += Duration::from_micros(advance_us);
+                if b.acquire(now, cost as f64) == Admission::Granted {
+                    admitted += cost as f64;
+                }
+                let bound = burst + rate * now.as_secs_f64() + 1e-6;
+                proptest::prop_assert!(admitted <= bound,
+                    "admitted {admitted} exceeds bound {bound}");
+            }
+        }
+
+        /// FIFO server: service intervals never overlap and respect arrival order.
+        #[test]
+        fn prop_fifo_no_overlap(
+            reqs in proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 1..100)
+        ) {
+            let mut sorted = reqs.clone();
+            sorted.sort_by_key(|r| r.0);
+            let mut s = FifoServer::new();
+            let mut last_end = SimTime::ZERO;
+            for (arr, svc) in sorted {
+                let (start, end) = s.admit(SimTime(arr), Duration::from_nanos(svc));
+                proptest::prop_assert!(start >= last_end);
+                proptest::prop_assert!(start >= SimTime(arr));
+                proptest::prop_assert_eq!(end, start + Duration::from_nanos(svc));
+                last_end = end;
+            }
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! Conservative virtual-time executor.
+//!
+//! Benchmark code in this project looks exactly like the paper's worker-role
+//! code: ordinary sequential calls such as `queue.put_message(..)` and
+//! `ctx.sleep(Duration::from_secs(1))`. To run that code against a *modeled*
+//! cluster with a *virtual* clock, each simulated role instance is a real OS
+//! thread holding an [`ActorCtx`]; every timed action is sent to a
+//! coordinator which advances the virtual clock only when **all** actor
+//! threads are parked.
+//!
+//! ## Why this is exact and deterministic
+//!
+//! * User code between two timed actions consumes **zero virtual time**, so
+//!   the only places the clock can advance are inside the coordinator.
+//! * The coordinator pops events in `(time, actor, seq)` order from a
+//!   [`EventHeap`] and wakes at most one thread at a time, waiting for it to
+//!   block again before processing the next event. The interleaving of
+//!   simulated actions is therefore a pure function of the simulation, not
+//!   of host-OS scheduling.
+//! * The cluster model ([`Model::handle`]) sees arrivals in non-decreasing
+//!   virtual-time order, which makes analytic `next_free` bookkeeping in the
+//!   queueing resources exact (see [`crate::resource`]).
+//!
+//! A 100-worker benchmark that would take hours of wall-clock time on the
+//! real service completes in seconds of host time.
+
+use crate::heap::{EventHeap, EventKey};
+use crate::rng::stream_rng;
+use crate::time::SimTime;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use rand::rngs::SmallRng;
+use std::cell::{Cell, RefCell};
+use std::time::Duration;
+
+/// Identifies a simulated actor (role instance) within one simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub usize);
+
+/// The simulated world that actors talk to.
+///
+/// `handle` is invoked by the coordinator when a request *arrives* (in
+/// virtual-arrival order) and must return the request's completion time
+/// together with its response. Implementations mutate their internal state
+/// (storage contents, resource bookkeeping) as a side effect.
+pub trait Model: Send {
+    /// Request type actors submit via [`ActorCtx::call`].
+    type Req: Send;
+    /// Response type returned to the actor.
+    type Resp: Send;
+
+    /// Process a request arriving at `now` from `actor`; return
+    /// `(completion_time, response)` with `completion_time >= now`.
+    fn handle(&mut self, now: SimTime, actor: ActorId, req: Self::Req) -> (SimTime, Self::Resp);
+}
+
+enum Action<Req> {
+    Call(Req),
+    Sleep(Duration),
+    Finished,
+}
+
+struct ToCoord<Req> {
+    actor: usize,
+    action: Action<Req>,
+}
+
+enum Wakeup<Resp> {
+    Response(SimTime, Resp),
+    Timer(SimTime),
+}
+
+/// Handle through which an actor thread interacts with virtual time.
+///
+/// Not `Sync`: each actor owns exactly one context.
+pub struct ActorCtx<M: Model> {
+    id: usize,
+    now: Cell<u64>,
+    calls: Cell<u64>,
+    tx: Sender<ToCoord<M::Req>>,
+    rx: Receiver<Wakeup<M::Resp>>,
+    rng: RefCell<SmallRng>,
+}
+
+impl<M: Model> ActorCtx<M> {
+    /// This actor's id (0-based, dense).
+    pub fn id(&self) -> ActorId {
+        ActorId(self.id)
+    }
+
+    /// Current virtual time as observed by this actor.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now.get())
+    }
+
+    /// Number of [`ActorCtx::call`]s issued so far.
+    pub fn call_count(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Submit a request to the model and block (in virtual time) until its
+    /// response is delivered.
+    pub fn call(&self, req: M::Req) -> M::Resp {
+        self.calls.set(self.calls.get() + 1);
+        self.tx
+            .send(ToCoord {
+                actor: self.id,
+                action: Action::Call(req),
+            })
+            .expect("coordinator gone");
+        match self.rx.recv().expect("coordinator gone") {
+            Wakeup::Response(t, resp) => {
+                self.now.set(t.as_nanos());
+                resp
+            }
+            Wakeup::Timer(_) => unreachable!("timer wakeup while awaiting response"),
+        }
+    }
+
+    /// Advance this actor's clock by `d` without doing any work (the paper's
+    /// *think time*, and the 1 s back-off before retrying a throttled
+    /// operation).
+    pub fn sleep(&self, d: Duration) {
+        self.tx
+            .send(ToCoord {
+                actor: self.id,
+                action: Action::Sleep(d),
+            })
+            .expect("coordinator gone");
+        match self.rx.recv().expect("coordinator gone") {
+            Wakeup::Timer(t) => self.now.set(t.as_nanos()),
+            Wakeup::Response(..) => unreachable!("response wakeup while sleeping"),
+        }
+    }
+
+    /// Run `f` with this actor's deterministic random stream.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+        f(&mut self.rng.borrow_mut())
+    }
+}
+
+/// Sends `Finished` to the coordinator when the actor's closure returns *or
+/// panics*, so a crashing actor can't deadlock the simulation.
+struct FinishGuard<Req> {
+    actor: usize,
+    tx: Sender<ToCoord<Req>>,
+}
+
+impl<Req> Drop for FinishGuard<Req> {
+    fn drop(&mut self) {
+        // The coordinator may already be gone if it panicked first; ignore.
+        let _ = self.tx.send(ToCoord {
+            actor: self.actor,
+            action: Action::Finished,
+        });
+    }
+}
+
+/// A boxed actor body: receives a context reference, returns a result.
+pub type ActorFn<'a, M, R> = Box<dyn FnOnce(&ActorCtx<M>) -> R + Send + 'a>;
+
+/// Outcome of a completed simulation.
+pub struct SimReport<M, R> {
+    /// The model, with all its end-of-run state and counters.
+    pub model: M,
+    /// Per-actor results, indexed by actor id.
+    pub results: Vec<R>,
+    /// Virtual time at which the last event fired.
+    pub end_time: SimTime,
+    /// Total number of model requests processed.
+    pub requests: u64,
+}
+
+/// A virtual-time simulation: a model plus a master seed.
+pub struct Simulation<M: Model> {
+    model: M,
+    seed: u64,
+}
+
+enum Payload<M: Model> {
+    Arrival(M::Req),
+    Deliver(M::Resp),
+    Timer,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Create a simulation over `model` with deterministic seed `seed`.
+    pub fn new(model: M, seed: u64) -> Self {
+        Simulation { model, seed }
+    }
+
+    /// Run `n` identical workers (the common benchmark shape: the paper
+    /// deploys N copies of the same worker role).
+    pub fn run_workers<R, F>(self, n: usize, body: F) -> SimReport<M, R>
+    where
+        R: Send,
+        F: Fn(&ActorCtx<M>) -> R + Send + Sync,
+    {
+        let body = &body;
+        let actors: Vec<ActorFn<'_, M, R>> = (0..n)
+            .map(|_| Box::new(move |ctx: &ActorCtx<M>| body(ctx)) as ActorFn<'_, M, R>)
+            .collect();
+        self.run(actors)
+    }
+
+    /// Run a heterogeneous set of actors (e.g. one web role plus N worker
+    /// roles). Actor ids are assigned by position.
+    pub fn run<'a, R: Send>(mut self, actors: Vec<ActorFn<'a, M, R>>) -> SimReport<M, R> {
+        let n = actors.len();
+        let (tx, rx) = unbounded::<ToCoord<M::Req>>();
+        let mut wake_txs: Vec<Sender<Wakeup<M::Resp>>> = Vec::with_capacity(n);
+        let mut ctxs: Vec<ActorCtx<M>> = Vec::with_capacity(n);
+        for (i, _) in actors.iter().enumerate() {
+            let (wtx, wrx) = bounded::<Wakeup<M::Resp>>(1);
+            wake_txs.push(wtx);
+            ctxs.push(ActorCtx {
+                id: i,
+                now: Cell::new(0),
+                calls: Cell::new(0),
+                tx: tx.clone(),
+                rx: wrx,
+                rng: RefCell::new(stream_rng(self.seed, i as u64)),
+            });
+        }
+        // The coordinator must observe channel closure only through Finished
+        // messages, never rely on sender drops.
+        drop(tx);
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut end_time = SimTime::ZERO;
+        let mut requests = 0u64;
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for ((body, ctx), slot) in actors.into_iter().zip(ctxs).zip(&mut results) {
+                handles.push(s.spawn(move || {
+                    let _guard = FinishGuard {
+                        actor: ctx.id,
+                        tx: ctx.tx.clone(),
+                    };
+                    *slot = Some(body(&ctx));
+                }));
+            }
+
+            let mut heap: EventHeap<Payload<M>> = EventHeap::new();
+            let mut seq = vec![0u64; n];
+            let mut actor_time = vec![SimTime::ZERO; n];
+            let mut running = n;
+            let mut live = n;
+
+            while live > 0 {
+                // Wait for every running actor to block (or finish).
+                while running > 0 {
+                    let msg = rx
+                        .recv()
+                        .expect("all actor channels closed while actors still live");
+                    let a = msg.actor;
+                    let key = |t: SimTime, seq: &mut Vec<u64>| {
+                        let k = EventKey {
+                            time: t,
+                            actor: ActorId(a),
+                            seq: seq[a],
+                        };
+                        seq[a] += 1;
+                        k
+                    };
+                    match msg.action {
+                        Action::Call(req) => {
+                            heap.push(key(actor_time[a], &mut seq), Payload::Arrival(req));
+                            running -= 1;
+                        }
+                        Action::Sleep(d) => {
+                            heap.push(key(actor_time[a] + d, &mut seq), Payload::Timer);
+                            running -= 1;
+                        }
+                        Action::Finished => {
+                            live -= 1;
+                            running -= 1;
+                        }
+                    }
+                }
+                if live == 0 {
+                    break;
+                }
+                // Everyone is parked: advance virtual time by one event.
+                let (k, payload) = heap
+                    .pop()
+                    .expect("deadlock: live actors blocked with no pending events");
+                end_time = k.time;
+                let a = k.actor.0;
+                match payload {
+                    Payload::Arrival(req) => {
+                        requests += 1;
+                        let (done, resp) = self.model.handle(k.time, k.actor, req);
+                        assert!(
+                            done >= k.time,
+                            "model completed a request before it arrived"
+                        );
+                        let dk = EventKey {
+                            time: done,
+                            actor: k.actor,
+                            seq: seq[a],
+                        };
+                        seq[a] += 1;
+                        heap.push(dk, Payload::Deliver(resp));
+                    }
+                    Payload::Deliver(resp) => {
+                        actor_time[a] = k.time;
+                        wake_txs[a]
+                            .send(Wakeup::Response(k.time, resp))
+                            .expect("actor thread gone");
+                        running += 1;
+                    }
+                    Payload::Timer => {
+                        actor_time[a] = k.time;
+                        wake_txs[a]
+                            .send(Wakeup::Timer(k.time))
+                            .expect("actor thread gone");
+                        running += 1;
+                    }
+                }
+            }
+            drop(wake_txs);
+            for h in handles {
+                // Propagate actor panics to the caller.
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+
+        SimReport {
+            model: self.model,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("actor finished without producing a result"))
+                .collect(),
+            end_time,
+            requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A model that echoes the request after a fixed latency plus FIFO
+    /// queueing on a single shared server.
+    struct EchoModel {
+        server: crate::resource::FifoServer,
+        service: Duration,
+        handled: Vec<(u64, usize, u32)>,
+    }
+
+    impl Model for EchoModel {
+        type Req = u32;
+        type Resp = (u32, SimTime);
+        fn handle(&mut self, now: SimTime, actor: ActorId, req: u32) -> (SimTime, Self::Resp) {
+            self.handled.push((now.as_nanos(), actor.0, req));
+            let (_, end) = self.server.admit(now, self.service);
+            (end, (req, end))
+        }
+    }
+
+    fn echo(service_ms: u64) -> EchoModel {
+        EchoModel {
+            server: crate::resource::FifoServer::new(),
+            service: Duration::from_millis(service_ms),
+            handled: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock() {
+        let sim = Simulation::new(echo(1), 0);
+        let report = sim.run_workers(1, |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.sleep(Duration::from_secs(5));
+            assert_eq!(ctx.now(), SimTime::from_secs(5));
+            ctx.sleep(Duration::from_millis(1));
+            ctx.now()
+        });
+        assert_eq!(report.results[0], SimTime::from_millis(5_001));
+        assert_eq!(report.end_time, SimTime::from_millis(5_001));
+        assert_eq!(report.requests, 0);
+    }
+
+    #[test]
+    fn call_returns_model_response_and_advances_clock() {
+        let sim = Simulation::new(echo(10), 0);
+        let report = sim.run_workers(1, |ctx| {
+            let (val, done) = ctx.call(7);
+            assert_eq!(val, 7);
+            assert_eq!(done, SimTime::from_millis(10));
+            assert_eq!(ctx.now(), done);
+            assert_eq!(ctx.call_count(), 1);
+        });
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.model.handled, vec![(0, 0, 7)]);
+    }
+
+    #[test]
+    fn shared_server_queues_concurrent_actors() {
+        // Two actors call at t=0; the single server serializes them: one
+        // completes at 10 ms, the other at 20 ms.
+        let sim = Simulation::new(echo(10), 0);
+        let report = sim.run_workers(2, |ctx| {
+            let (_, done) = ctx.call(ctx.id().0 as u32);
+            done
+        });
+        let mut ends: Vec<u64> = report.results.iter().map(|t| t.as_nanos()).collect();
+        ends.sort_unstable();
+        assert_eq!(
+            ends,
+            vec![
+                SimTime::from_millis(10).as_nanos(),
+                SimTime::from_millis(20).as_nanos()
+            ]
+        );
+        // Arrivals were both at t=0, in actor-id order (deterministic ties).
+        assert_eq!(report.model.handled, vec![(0, 0, 0), (0, 1, 1)]);
+    }
+
+    #[test]
+    fn sequential_calls_from_one_actor_pipeline_correctly() {
+        let sim = Simulation::new(echo(5), 0);
+        let report = sim.run_workers(1, |ctx| {
+            let mut ends = Vec::new();
+            for i in 0..3 {
+                let (_, done) = ctx.call(i);
+                ends.push(done.as_nanos());
+            }
+            ends
+        });
+        assert_eq!(
+            report.results[0],
+            vec![
+                SimTime::from_millis(5).as_nanos(),
+                SimTime::from_millis(10).as_nanos(),
+                SimTime::from_millis(15).as_nanos()
+            ]
+        );
+    }
+
+    #[test]
+    fn heterogeneous_actors_via_run() {
+        let sim = Simulation::new(echo(1), 0);
+        let actors: Vec<ActorFn<'_, EchoModel, u32>> = vec![
+            Box::new(|ctx| {
+                ctx.sleep(Duration::from_secs(1));
+                100
+            }),
+            Box::new(|ctx| ctx.call(5).0),
+        ];
+        let report = sim.run(actors);
+        assert_eq!(report.results, vec![100, 5]);
+    }
+
+    #[test]
+    fn actor_can_finish_without_any_action() {
+        let sim = Simulation::new(echo(1), 0);
+        let report = sim.run_workers(4, |_ctx| 42u8);
+        assert_eq!(report.results, vec![42; 4]);
+        assert_eq!(report.end_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Many actors with random think times and calls: the full model
+        // trace and all results must be identical across runs.
+        let run_once = || {
+            let sim = Simulation::new(echo(3), 1234);
+            let report = sim.run_workers(16, |ctx| {
+                let mut log = Vec::new();
+                for i in 0..20 {
+                    let think: u64 = ctx.with_rng(|r| r.random_range(0..5_000));
+                    ctx.sleep(Duration::from_micros(think));
+                    let (_, done) = ctx.call(i);
+                    log.push(done.as_nanos());
+                }
+                log
+            });
+            (report.model.handled, report.results, report.end_time)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.0, b.0, "model traces differ");
+        assert_eq!(a.1, b.1, "actor results differ");
+        assert_eq!(a.2, b.2, "end times differ");
+    }
+
+    #[test]
+    fn arrivals_reach_model_in_time_order() {
+        let sim = Simulation::new(echo(1), 7);
+        let report = sim.run_workers(8, |ctx| {
+            for i in 0..10 {
+                let think: u64 = ctx.with_rng(|r| r.random_range(0..2_000));
+                ctx.sleep(Duration::from_micros(think));
+                ctx.call(i);
+            }
+        });
+        let times: Vec<u64> = report.model.handled.iter().map(|h| h.0).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "arrivals out of order");
+        assert_eq!(report.requests, 80);
+    }
+
+    #[test]
+    fn panicking_actor_propagates_without_deadlock() {
+        let sim = Simulation::new(echo(1), 0);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_workers(3, |ctx| {
+                if ctx.id().0 == 1 {
+                    panic!("boom");
+                }
+                ctx.sleep(Duration::from_millis(1));
+            })
+        }));
+        assert!(outcome.is_err(), "panic must propagate");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Arbitrary per-actor programs of sleeps and calls are (a)
+        /// deterministic across runs and (b) respect per-actor clock
+        /// monotonicity and model-arrival time ordering.
+        #[test]
+        fn prop_random_programs_deterministic(
+            programs in proptest::collection::vec(
+                proptest::collection::vec((proptest::bool::ANY, 0u64..3_000), 0..15),
+                1..6),
+            seed in 0u64..1_000,
+        ) {
+            let run = |programs: &Vec<Vec<(bool, u64)>>| {
+                let sim = Simulation::new(echo(2), seed);
+                let actors: Vec<ActorFn<'_, EchoModel, Vec<u64>>> = programs
+                    .iter()
+                    .cloned()
+                    .map(|prog| {
+                        Box::new(move |ctx: &ActorCtx<EchoModel>| {
+                            let mut times = Vec::new();
+                            let mut last = ctx.now();
+                            for (is_call, arg) in prog {
+                                if is_call {
+                                    ctx.call(arg as u32);
+                                } else {
+                                    ctx.sleep(Duration::from_micros(arg));
+                                }
+                                // Per-actor clock monotonicity.
+                                assert!(ctx.now() >= last);
+                                last = ctx.now();
+                                times.push(ctx.now().as_nanos());
+                            }
+                            times
+                        }) as ActorFn<'_, EchoModel, Vec<u64>>
+                    })
+                    .collect();
+                let report = sim.run(actors);
+                // Model saw arrivals in non-decreasing time order.
+                let arrivals: Vec<u64> = report.model.handled.iter().map(|h| h.0).collect();
+                assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+                (report.results, report.end_time, report.requests)
+            };
+            let a = run(&programs);
+            let b = run(&programs);
+            proptest::prop_assert_eq!(&a.0, &b.0);
+            proptest::prop_assert_eq!(a.1, b.1);
+            // Total requests equals the number of `call` steps.
+            let calls: u64 = programs.iter()
+                .flat_map(|p| p.iter())
+                .filter(|(is_call, _)| *is_call)
+                .count() as u64;
+            proptest::prop_assert_eq!(a.2, calls);
+        }
+
+        /// The simulation end time equals the latest event fired — never
+        /// earlier than any actor's final clock.
+        #[test]
+        fn prop_end_time_bounds_actor_clocks(
+            sleeps in proptest::collection::vec(0u64..5_000, 1..8)
+        ) {
+            let sim = Simulation::new(echo(1), 3);
+            let sleeps2 = sleeps.clone();
+            let actors: Vec<ActorFn<'_, EchoModel, SimTime>> = sleeps2
+                .into_iter()
+                .map(|us| {
+                    Box::new(move |ctx: &ActorCtx<EchoModel>| {
+                        ctx.sleep(Duration::from_micros(us));
+                        ctx.call(1);
+                        ctx.now()
+                    }) as ActorFn<'_, EchoModel, SimTime>
+                })
+                .collect();
+            let report = sim.run(actors);
+            let max_clock = report.results.iter().max().copied().unwrap();
+            proptest::prop_assert_eq!(report.end_time, max_clock);
+        }
+    }
+
+    #[test]
+    fn per_actor_rngs_differ_but_are_reproducible() {
+        let draws = |seed| {
+            let sim = Simulation::new(echo(1), seed);
+            let report = sim.run_workers(3, |ctx| ctx.with_rng(|r| r.random::<u64>()));
+            report.results
+        };
+        let a = draws(5);
+        let b = draws(5);
+        let c = draws(6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a[0], a[1]);
+    }
+}

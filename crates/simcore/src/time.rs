@@ -1,0 +1,178 @@
+//! Virtual time.
+//!
+//! [`SimTime`] is a nanosecond count since simulation start. All cluster
+//! modelling and benchmark timing is done in this clock; it has no relation
+//! to the host's wall clock, which is what makes runs reproducible and fast.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time; used as a sentinel for "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed duration since `earlier`. Saturates at zero rather than
+    /// panicking so that defensive "how long has it been" code is safe.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when that can legitimately happen.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Convert a byte count and a bandwidth into a transfer duration.
+///
+/// Rounds up to a whole nanosecond so that a nonzero transfer never takes
+/// zero time (which would let an infinite amount of data through a pipe in
+/// one instant).
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> Duration {
+    if bytes == 0 {
+        return Duration::ZERO;
+    }
+    assert!(
+        bytes_per_sec > 0.0,
+        "bandwidth must be positive, got {bytes_per_sec}"
+    );
+    let nanos = (bytes as f64 / bytes_per_sec * 1e9).ceil() as u64;
+    Duration::from_nanos(nanos.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime(2_000_000_000));
+        assert_eq!(SimTime::from_millis(2_000), SimTime::from_secs(2));
+        assert_eq!(SimTime::from_micros(2_000_000), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn add_duration_advances_clock() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t, SimTime::from_millis(1_500));
+        let mut u = SimTime::ZERO;
+        u += Duration::from_nanos(7);
+        assert_eq!(u.as_nanos(), 7);
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(1);
+        assert_eq!(a - b, Duration::from_secs(2));
+        assert_eq!(b.saturating_since(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert_eq!(
+            SimTime::from_secs(1).max(SimTime::from_secs(2)),
+            SimTime::from_secs(2)
+        );
+        assert!(SimTime::MAX > SimTime::from_secs(u32::MAX as u64));
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 1 GB/s is 1 ns exactly.
+        assert_eq!(transfer_time(1, 1e9), Duration::from_nanos(1));
+        // 1 byte at 2 GB/s would be 0.5 ns; must round up to 1 ns.
+        assert_eq!(transfer_time(1, 2e9), Duration::from_nanos(1));
+        // Zero bytes is free.
+        assert_eq!(transfer_time(0, 1.0), Duration::ZERO);
+        // 1 MB at 100 MB/s is 10 ms.
+        assert_eq!(
+            transfer_time(1_000_000, 100_000_000.0),
+            Duration::from_millis(10)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn transfer_time_rejects_zero_bandwidth() {
+        let _ = transfer_time(1, 0.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_millis(1_500).to_string(), "1.500000s");
+    }
+}

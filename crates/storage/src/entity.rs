@@ -1,0 +1,116 @@
+//! Table entity payload types.
+//!
+//! Azure tables are schemaless: an entity is a bag of up to 255 named,
+//! typed properties plus the mandatory `PartitionKey`/`RowKey` pair that
+//! forms its unique key. Two entities in the same table may have different
+//! properties.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A property value. The subset of EDM types the benchmarks and examples
+/// need (the paper stores one binary column of random data).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PropValue {
+    /// Binary payload (`Edm.Binary`).
+    Binary(Bytes),
+    /// UTF-8 string (`Edm.String`).
+    Str(String),
+    /// 64-bit integer (`Edm.Int64`).
+    I64(i64),
+    /// Double (`Edm.Double`).
+    F64(f64),
+    /// Boolean (`Edm.Boolean`).
+    Bool(bool),
+}
+
+impl PropValue {
+    /// Serialized size of the value in bytes, as counted against the 1 MB
+    /// entity limit.
+    pub fn size(&self) -> u64 {
+        match self {
+            PropValue::Binary(b) => b.len() as u64,
+            PropValue::Str(s) => s.len() as u64,
+            PropValue::I64(_) | PropValue::F64(_) => 8,
+            PropValue::Bool(_) => 1,
+        }
+    }
+}
+
+/// A table entity: key pair plus named properties.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entity {
+    /// Partition key — entities sharing it are stored on the same partition
+    /// server (and share the 500 entities/s scalability target).
+    pub partition_key: String,
+    /// Row key — unique within a partition.
+    pub row_key: String,
+    /// Named properties (deterministically ordered for reproducibility).
+    pub properties: BTreeMap<String, PropValue>,
+}
+
+impl Entity {
+    /// Create an entity with no properties.
+    pub fn new(partition_key: impl Into<String>, row_key: impl Into<String>) -> Self {
+        Entity {
+            partition_key: partition_key.into(),
+            row_key: row_key.into(),
+            properties: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style property insertion.
+    pub fn with(mut self, name: impl Into<String>, value: PropValue) -> Self {
+        self.properties.insert(name.into(), value);
+        self
+    }
+
+    /// Number of properties (excluding the key pair).
+    pub fn property_count(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Total serialized size counted against the 1 MB limit: keys plus all
+    /// property names and values.
+    pub fn size(&self) -> u64 {
+        let keys = (self.partition_key.len() + self.row_key.len()) as u64;
+        let props: u64 = self
+            .properties
+            .iter()
+            .map(|(name, v)| name.len() as u64 + v.size())
+            .sum();
+        keys + props
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_keys_names_and_values() {
+        let e = Entity::new("pk", "rk") // 4 bytes of key
+            .with("a", PropValue::I64(0)) // 1 + 8
+            .with("bb", PropValue::Str("xyz".into())); // 2 + 3
+        assert_eq!(e.size(), 4 + 9 + 5);
+        assert_eq!(e.property_count(), 2);
+    }
+
+    #[test]
+    fn binary_and_scalar_sizes() {
+        assert_eq!(PropValue::Binary(Bytes::from(vec![0u8; 100])).size(), 100);
+        assert_eq!(PropValue::I64(5).size(), 8);
+        assert_eq!(PropValue::F64(1.5).size(), 8);
+        assert_eq!(PropValue::Bool(true).size(), 1);
+        assert_eq!(PropValue::Str("ab".into()).size(), 2);
+    }
+
+    #[test]
+    fn with_replaces_duplicate_property() {
+        let e = Entity::new("p", "r")
+            .with("x", PropValue::I64(1))
+            .with("x", PropValue::I64(2));
+        assert_eq!(e.property_count(), 1);
+        assert_eq!(e.properties["x"], PropValue::I64(2));
+    }
+}

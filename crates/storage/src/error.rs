@@ -1,0 +1,167 @@
+//! Error model of the simulated storage services.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Result alias used by every storage operation.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors a storage operation can return.
+///
+/// `ServerBusy` is the throttle signal the paper's benchmarks observe when a
+/// scalability target (500 tx/s per queue/partition, 5 000 tx/s per account)
+/// is exceeded; the SDK's retry policy sleeps one second and retries, just
+/// like the paper's worker code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The request was throttled; retry after roughly the contained delay.
+    ServerBusy {
+        /// Hint for when capacity should be available again.
+        retry_after: Duration,
+    },
+    /// The addressed container does not exist.
+    ContainerNotFound(String),
+    /// The addressed blob does not exist.
+    BlobNotFound(String),
+    /// The addressed queue does not exist.
+    QueueNotFound(String),
+    /// The addressed table does not exist.
+    TableNotFound(String),
+    /// The addressed entity does not exist.
+    EntityNotFound,
+    /// The resource already exists (e.g. inserting a duplicate entity or
+    /// creating an existing container without idempotent semantics).
+    AlreadyExists,
+    /// An ETag precondition failed on a conditional update/delete.
+    PreconditionFailed,
+    /// A message payload exceeded the 48 KB usable limit.
+    MessageTooLarge {
+        /// Size of the rejected payload.
+        size: u64,
+    },
+    /// A block exceeded the 4 MB block limit.
+    BlockTooLarge {
+        /// Size of the rejected block.
+        size: u64,
+    },
+    /// A block list exceeded 50 000 blocks (or the blob would exceed 200 GB).
+    TooManyBlocks {
+        /// Number of blocks in the rejected commit.
+        count: usize,
+    },
+    /// A block id referenced by `PutBlockList` was never staged or committed.
+    UnknownBlockId(String),
+    /// A page write violated the 512-byte alignment rule or the 4 MB
+    /// per-write cap, or fell outside the blob.
+    InvalidPageRange {
+        /// Offending offset.
+        offset: u64,
+        /// Offending length.
+        length: u64,
+    },
+    /// The blob exists but is of the wrong kind for this operation
+    /// (e.g. `PutPage` on a block blob).
+    WrongBlobType,
+    /// An entity exceeded the 1 MB size limit.
+    EntityTooLarge {
+        /// Size of the rejected entity.
+        size: u64,
+    },
+    /// An entity exceeded 255 properties.
+    TooManyProperties {
+        /// Property count of the rejected entity.
+        count: usize,
+    },
+    /// A `DeleteMessage` presented a pop receipt that is no longer current
+    /// (the message timed out and was re-delivered to someone else).
+    PopReceiptMismatch,
+    /// The single-shot blob upload exceeded 64 MB.
+    UploadTooLarge {
+        /// Size of the rejected upload.
+        size: u64,
+    },
+    /// Creating a page blob larger than 1 TB, or similar size violations.
+    BlobTooLarge {
+        /// Requested size.
+        size: u64,
+    },
+}
+
+impl StorageError {
+    /// Whether the error is transient and worth retrying (the paper's
+    /// workers retry only on throttling).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StorageError::ServerBusy { .. })
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ServerBusy { retry_after } => {
+                write!(f, "server busy; retry after {retry_after:?}")
+            }
+            StorageError::ContainerNotFound(n) => write!(f, "container not found: {n}"),
+            StorageError::BlobNotFound(n) => write!(f, "blob not found: {n}"),
+            StorageError::QueueNotFound(n) => write!(f, "queue not found: {n}"),
+            StorageError::TableNotFound(n) => write!(f, "table not found: {n}"),
+            StorageError::EntityNotFound => write!(f, "entity not found"),
+            StorageError::AlreadyExists => write!(f, "resource already exists"),
+            StorageError::PreconditionFailed => write!(f, "ETag precondition failed"),
+            StorageError::MessageTooLarge { size } => {
+                write!(f, "message payload {size} B exceeds 48 KB usable limit")
+            }
+            StorageError::BlockTooLarge { size } => {
+                write!(f, "block of {size} B exceeds 4 MB limit")
+            }
+            StorageError::TooManyBlocks { count } => {
+                write!(f, "block list of {count} exceeds 50000-block limit")
+            }
+            StorageError::UnknownBlockId(id) => write!(f, "unknown block id {id:?}"),
+            StorageError::InvalidPageRange { offset, length } => {
+                write!(f, "invalid page range at offset {offset}, length {length}")
+            }
+            StorageError::WrongBlobType => write!(f, "operation not valid for this blob type"),
+            StorageError::EntityTooLarge { size } => {
+                write!(f, "entity of {size} B exceeds 1 MB limit")
+            }
+            StorageError::TooManyProperties { count } => {
+                write!(f, "{count} properties exceeds 255-property limit")
+            }
+            StorageError::PopReceiptMismatch => write!(f, "pop receipt no longer current"),
+            StorageError::UploadTooLarge { size } => {
+                write!(f, "single-shot upload of {size} B exceeds 64 MB limit")
+            }
+            StorageError::BlobTooLarge { size } => {
+                write!(f, "blob size {size} B exceeds service limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_server_busy_is_retryable() {
+        assert!(StorageError::ServerBusy {
+            retry_after: Duration::from_secs(1)
+        }
+        .is_retryable());
+        assert!(!StorageError::EntityNotFound.is_retryable());
+        assert!(!StorageError::PreconditionFailed.is_retryable());
+        assert!(!StorageError::PopReceiptMismatch.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::MessageTooLarge { size: 65_536 };
+        assert!(e.to_string().contains("65536"));
+        assert!(e.to_string().contains("48 KB"));
+        let e = StorageError::QueueNotFound("q7".into());
+        assert!(e.to_string().contains("q7"));
+    }
+}

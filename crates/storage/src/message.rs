@@ -1,0 +1,62 @@
+//! Queue message payload types.
+
+use azsim_core::SimTime;
+use bytes::Bytes;
+
+/// Unique message identifier within a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(pub u64);
+
+/// A receipt proving a consumer currently "owns" a dequeued (invisible)
+/// message; required to delete it. If the visibility timeout elapses and the
+/// message is re-delivered, the old receipt stops working — that is the
+/// fault-tolerance mechanism the paper's framework relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PopReceipt(pub u64);
+
+/// A message as returned by `GetMessage`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueMessage {
+    /// Stable message id.
+    pub id: MessageId,
+    /// Receipt for the current dequeue; needed by `DeleteMessage`.
+    pub pop_receipt: PopReceipt,
+    /// Message payload (≤ 48 KB usable).
+    pub data: Bytes,
+    /// How many times the message has been dequeued (1 on first delivery).
+    pub dequeue_count: u32,
+    /// When the message was inserted.
+    pub insertion_time: SimTime,
+    /// When the message becomes visible again if not deleted.
+    pub next_visible: SimTime,
+}
+
+/// A message as returned by `PeekMessage` (no receipt — peeking does not
+/// take ownership and leaves the message visible to other consumers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeekedMessage {
+    /// Stable message id.
+    pub id: MessageId,
+    /// Message payload.
+    pub data: Bytes,
+    /// How many times the message has been dequeued so far.
+    pub dequeue_count: u32,
+    /// When the message was inserted.
+    pub insertion_time: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(MessageId(1) < MessageId(2));
+    }
+
+    #[test]
+    fn receipts_compare_by_value() {
+        assert_eq!(PopReceipt(7), PopReceipt(7));
+        assert_ne!(PopReceipt(7), PopReceipt(8));
+    }
+}

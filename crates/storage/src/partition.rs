@@ -1,0 +1,142 @@
+//! Storage partitioning.
+//!
+//! Windows Azure Storage spreads objects over partition servers by a
+//! per-service partition key (paper, Section IV):
+//!
+//! * **Blobs** partition on *container name + blob name* — every individual
+//!   blob can live on a different server, which is why concurrent access to
+//!   many blobs scales.
+//! * **Queues** partition on *queue name* — a queue and all its messages
+//!   live on a single server, which is why a single shared queue is a
+//!   bottleneck (500 msg/s) and the paper recommends one queue per worker.
+//! * **Tables** partition on *(table name, PartitionKey)* — entities of the
+//!   same partition are stored together (500 entities/s per partition).
+
+/// The partition an operation targets. Determines which simulated partition
+/// server serializes it and which throttle bucket it consumes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PartitionKey {
+    /// A blob partition: `(container, blob)`.
+    Blob {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+    },
+    /// A queue partition: the queue name.
+    Queue {
+        /// Queue name.
+        queue: String,
+    },
+    /// A table partition: `(table, partition key)`.
+    Table {
+        /// Table name.
+        table: String,
+        /// Entity partition key.
+        partition: String,
+    },
+    /// Account-level control-plane operations (create/delete
+    /// container/queue/table) that hit the partition master rather than a
+    /// data partition.
+    Control,
+}
+
+impl PartitionKey {
+    /// Stable (FNV-1a) hash of the partition key, used to place the
+    /// partition on a server. Independent of Rust's randomized `HashMap`
+    /// hashing so placement is reproducible across runs and builds.
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1_0000_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        match self {
+            PartitionKey::Blob { container, blob } => {
+                eat(b"blob/");
+                eat(container.as_bytes());
+                eat(b"/");
+                eat(blob.as_bytes());
+            }
+            PartitionKey::Queue { queue } => {
+                eat(b"queue/");
+                eat(queue.as_bytes());
+            }
+            PartitionKey::Table { table, partition } => {
+                eat(b"table/");
+                eat(table.as_bytes());
+                eat(b"/");
+                eat(partition.as_bytes());
+            }
+            PartitionKey::Control => eat(b"control"),
+        }
+        h
+    }
+
+    /// Index of the partition server owning this partition, in a fleet of
+    /// `servers` servers.
+    pub fn server_index(&self, servers: usize) -> usize {
+        assert!(servers > 0, "cluster must have at least one server");
+        (self.stable_hash() % servers as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qk(q: &str) -> PartitionKey {
+        PartitionKey::Queue { queue: q.into() }
+    }
+
+    #[test]
+    fn hash_is_stable_and_distinguishes_keys() {
+        assert_eq!(qk("a").stable_hash(), qk("a").stable_hash());
+        assert_ne!(qk("a").stable_hash(), qk("b").stable_hash());
+        let b1 = PartitionKey::Blob {
+            container: "c".into(),
+            blob: "x".into(),
+        };
+        let t1 = PartitionKey::Table {
+            table: "c".into(),
+            partition: "x".into(),
+        };
+        assert_ne!(b1.stable_hash(), t1.stable_hash(), "service namespaces must differ");
+    }
+
+    #[test]
+    fn separator_prevents_concatenation_collisions() {
+        let a = PartitionKey::Blob {
+            container: "ab".into(),
+            blob: "c".into(),
+        };
+        let b = PartitionKey::Blob {
+            container: "a".into(),
+            blob: "bc".into(),
+        };
+        assert_ne!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn server_index_in_range_and_spread() {
+        let n = 16;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            let idx = qk(&format!("queue-{i}")).server_index(n);
+            assert!(idx < n);
+            seen.insert(idx);
+        }
+        // 256 queues over 16 servers should hit most servers.
+        assert!(seen.len() >= n - 2, "placement badly skewed: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        qk("a").server_index(0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The request/response protocol spoken between SDK clients and the cluster.
+//!
+//! Every operation the paper's Algorithms 1–5 use has a request variant
+//! here. The enum also knows its own [`OpClass`], [`PartitionKey`] and
+//! uplink payload size, which is what the fabric needs to price the request
+//! *before* the service executes it.
+
+use crate::cost::OpClass;
+use crate::entity::Entity;
+use crate::etag::{ETag, EtagCondition};
+use crate::message::{MessageId, PeekedMessage, PopReceipt, QueueMessage};
+use crate::partition::PartitionKey;
+use bytes::Bytes;
+use std::time::Duration;
+
+/// A storage request.
+#[derive(Clone, Debug)]
+pub enum StorageRequest {
+    // --- Blob ---
+    /// Create a container (idempotent: succeeds if it already exists, like
+    /// `CreateIfNotExist`).
+    CreateContainer {
+        /// Container name.
+        container: String,
+    },
+    /// Stage one block (≤ 4 MB) of a block blob.
+    PutBlock {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+        /// Caller-chosen block id (Base64 string in the real API).
+        block_id: String,
+        /// Block contents.
+        data: Bytes,
+    },
+    /// Commit a list of staged/committed blocks as the new blob content.
+    PutBlockList {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+        /// Ordered block ids forming the blob.
+        block_ids: Vec<String>,
+    },
+    /// Single-shot upload of a block blob ≤ 64 MB.
+    UploadBlockBlob {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+        /// Entire blob contents.
+        data: Bytes,
+    },
+    /// Read the `index`-th committed block of a block blob.
+    GetBlock {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+        /// Zero-based committed-block index.
+        index: usize,
+    },
+    /// Download a whole blob (block or page) via the streaming path.
+    DownloadBlob {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+    },
+    /// Create a page blob with a fixed maximum size.
+    CreatePageBlob {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+        /// Maximum size in bytes (≤ 1 TB, 512-aligned).
+        size: u64,
+    },
+    /// Write a 512-aligned page range (≤ 4 MB).
+    PutPage {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+        /// Byte offset (multiple of 512).
+        offset: u64,
+        /// Page contents (length a multiple of 512).
+        data: Bytes,
+    },
+    /// Read a 512-aligned page range (random access: pays a locate step).
+    GetPage {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+        /// Byte offset (multiple of 512).
+        offset: u64,
+        /// Bytes to read.
+        length: u64,
+    },
+    /// Delete a blob.
+    DeleteBlob {
+        /// Container name.
+        container: String,
+        /// Blob name.
+        blob: String,
+    },
+    /// List blob names in a container (sorted).
+    ListBlobs {
+        /// Container name.
+        container: String,
+    },
+    // --- Queue ---
+    /// Create a queue (idempotent).
+    CreateQueue {
+        /// Queue name.
+        queue: String,
+    },
+    /// Delete a queue and all of its messages.
+    DeleteQueue {
+        /// Queue name.
+        queue: String,
+    },
+    /// Enqueue a message (payload ≤ 48 KB usable).
+    PutMessage {
+        /// Queue name.
+        queue: String,
+        /// Payload.
+        data: Bytes,
+        /// Message time-to-live (defaults to the service's 7 days when
+        /// `None`).
+        ttl: Option<Duration>,
+    },
+    /// Dequeue a message: it becomes invisible for `visibility_timeout`.
+    GetMessage {
+        /// Queue name.
+        queue: String,
+        /// How long the message stays invisible unless deleted.
+        visibility_timeout: Duration,
+    },
+    /// Look at the frontmost visible message without taking ownership.
+    PeekMessage {
+        /// Queue name.
+        queue: String,
+    },
+    /// Delete a message previously obtained with `GetMessage`.
+    DeleteMessage {
+        /// Queue name.
+        queue: String,
+        /// Id of the message to delete.
+        id: MessageId,
+        /// Receipt from the dequeue that claimed the message.
+        pop_receipt: PopReceipt,
+    },
+    /// Read the approximate number of messages in a queue (the paper's
+    /// barrier polls this).
+    GetMessageCount {
+        /// Queue name.
+        queue: String,
+    },
+    /// Remove every message from a queue without deleting the queue.
+    ClearQueue {
+        /// Queue name.
+        queue: String,
+    },
+    // --- Table ---
+    /// Create a table (idempotent).
+    CreateTable {
+        /// Table name.
+        table: String,
+    },
+    /// Delete a table and all entities.
+    DeleteTable {
+        /// Table name.
+        table: String,
+    },
+    /// Insert a new entity (fails with `AlreadyExists` on duplicate key).
+    InsertEntity {
+        /// Table name.
+        table: String,
+        /// Entity to insert.
+        entity: Entity,
+    },
+    /// Point query by key pair.
+    QueryEntity {
+        /// Table name.
+        table: String,
+        /// Partition key.
+        partition: String,
+        /// Row key.
+        row: String,
+    },
+    /// Return all entities of one partition (row-key order).
+    QueryPartition {
+        /// Table name.
+        table: String,
+        /// Partition key.
+        partition: String,
+    },
+    /// Replace an existing entity's properties, subject to an ETag
+    /// condition (the paper uses the `*` wildcard).
+    UpdateEntity {
+        /// Table name.
+        table: String,
+        /// Replacement entity (keys select the target).
+        entity: Entity,
+        /// Concurrency condition.
+        condition: EtagCondition,
+    },
+    /// Execute an entity-group transaction: up to 100 operations against
+    /// one partition, applied atomically.
+    ExecuteBatch {
+        /// Table name.
+        table: String,
+        /// Partition key all operations share.
+        partition: String,
+        /// The operations.
+        ops: Vec<TableBatchOp>,
+    },
+    /// Delete an entity, subject to an ETag condition.
+    DeleteEntity {
+        /// Table name.
+        table: String,
+        /// Partition key.
+        partition: String,
+        /// Row key.
+        row: String,
+        /// Concurrency condition.
+        condition: EtagCondition,
+    },
+}
+
+/// One operation inside an entity-group transaction (atomic table batch).
+#[derive(Clone, Debug)]
+pub enum TableBatchOp {
+    /// Insert a new entity.
+    Insert(Entity),
+    /// Replace an entity under an ETag condition.
+    Update(Entity, EtagCondition),
+    /// Delete an entity under an ETag condition.
+    Delete {
+        /// Row key (the partition key comes from the batch).
+        row: String,
+        /// Concurrency condition.
+        condition: EtagCondition,
+    },
+}
+
+impl TableBatchOp {
+    /// Uplink payload bytes of this constituent operation.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            TableBatchOp::Insert(e) | TableBatchOp::Update(e, _) => e.size(),
+            TableBatchOp::Delete { .. } => 0,
+        }
+    }
+}
+
+/// Successful response payloads, one per request family.
+#[derive(Clone, Debug)]
+pub enum StorageOk {
+    /// Operation completed with nothing to return.
+    Ack,
+    /// Block/page/blob bytes.
+    Data(Bytes),
+    /// A dequeued message, or `None` when the queue had no visible message.
+    Message(Option<QueueMessage>),
+    /// A peeked message, or `None`.
+    Peeked(Option<PeekedMessage>),
+    /// Approximate message count.
+    Count(usize),
+    /// An entity with its current ETag, or `None` for a miss on point query.
+    Entity(Option<(Entity, ETag)>),
+    /// Entities of a partition scan, with ETags.
+    Entities(Vec<(Entity, ETag)>),
+    /// Blob names from a container listing.
+    Names(Vec<String>),
+    /// New ETag after insert/update.
+    Tag(ETag),
+    /// Per-operation ETags of an entity-group transaction (None for
+    /// deletes).
+    BatchTags(Vec<Option<ETag>>),
+}
+
+impl StorageRequest {
+    /// The operation class (used by the latency model).
+    pub fn class(&self) -> OpClass {
+        use StorageRequest::*;
+        match self {
+            CreateContainer { .. } => OpClass::BlobCreateContainer,
+            PutBlock { .. } => OpClass::BlobPutBlock,
+            PutBlockList { .. } => OpClass::BlobPutBlockList,
+            UploadBlockBlob { .. } => OpClass::BlobUploadSingle,
+            GetBlock { .. } => OpClass::BlobGetBlock,
+            DownloadBlob { .. } => OpClass::BlobDownload,
+            CreatePageBlob { .. } => OpClass::BlobCreatePage,
+            PutPage { .. } => OpClass::BlobPutPage,
+            GetPage { .. } => OpClass::BlobGetPage,
+            DeleteBlob { .. } => OpClass::BlobDelete,
+            ListBlobs { .. } => OpClass::BlobList,
+            CreateQueue { .. } => OpClass::QueueCreate,
+            DeleteQueue { .. } => OpClass::QueueDelete,
+            PutMessage { .. } => OpClass::QueuePut,
+            GetMessage { .. } => OpClass::QueueGet,
+            PeekMessage { .. } => OpClass::QueuePeek,
+            DeleteMessage { .. } => OpClass::QueueDeleteMsg,
+            GetMessageCount { .. } => OpClass::QueueCount,
+            ClearQueue { .. } => OpClass::QueueClear,
+            CreateTable { .. } => OpClass::TableCreate,
+            DeleteTable { .. } => OpClass::TableDelete,
+            InsertEntity { .. } => OpClass::TableInsert,
+            QueryEntity { .. } => OpClass::TableQuery,
+            QueryPartition { .. } => OpClass::TableQueryPartition,
+            UpdateEntity { .. } => OpClass::TableUpdate,
+            ExecuteBatch { .. } => OpClass::TableBatch,
+            DeleteEntity { .. } => OpClass::TableDeleteEntity,
+        }
+    }
+
+    /// The partition the request targets.
+    pub fn partition(&self) -> PartitionKey {
+        use StorageRequest::*;
+        let blob_key = |c: &str, b: &str| PartitionKey::Blob {
+            container: c.to_owned(),
+            blob: b.to_owned(),
+        };
+        match self {
+            PutBlock {
+                container, blob, ..
+            }
+            | PutBlockList {
+                container, blob, ..
+            }
+            | UploadBlockBlob {
+                container, blob, ..
+            }
+            | GetBlock {
+                container, blob, ..
+            }
+            | DownloadBlob { container, blob }
+            | CreatePageBlob {
+                container, blob, ..
+            }
+            | PutPage {
+                container, blob, ..
+            }
+            | GetPage {
+                container, blob, ..
+            }
+            | DeleteBlob { container, blob } => blob_key(container, blob),
+            PutMessage { queue, .. }
+            | GetMessage { queue, .. }
+            | PeekMessage { queue }
+            | DeleteMessage { queue, .. }
+            | GetMessageCount { queue }
+            | ClearQueue { queue } => PartitionKey::Queue {
+                queue: queue.clone(),
+            },
+            InsertEntity { table, entity } => PartitionKey::Table {
+                table: table.clone(),
+                partition: entity.partition_key.clone(),
+            },
+            UpdateEntity { table, entity, .. } => PartitionKey::Table {
+                table: table.clone(),
+                partition: entity.partition_key.clone(),
+            },
+            QueryEntity {
+                table, partition, ..
+            }
+            | QueryPartition { table, partition }
+            | ExecuteBatch {
+                table, partition, ..
+            }
+            | DeleteEntity {
+                table, partition, ..
+            } => PartitionKey::Table {
+                table: table.clone(),
+                partition: partition.clone(),
+            },
+            CreateContainer { .. }
+            | ListBlobs { .. }
+            | CreateQueue { .. }
+            | DeleteQueue { .. }
+            | CreateTable { .. }
+            | DeleteTable { .. } => PartitionKey::Control,
+        }
+    }
+
+    /// Payload bytes travelling client → server (data-plane payload only;
+    /// fixed per-request protocol overhead is part of the latency model).
+    pub fn payload_bytes_up(&self) -> u64 {
+        use StorageRequest::*;
+        match self {
+            PutBlock { data, .. } | UploadBlockBlob { data, .. } | PutPage { data, .. } => {
+                data.len() as u64
+            }
+            PutMessage { data, .. } => data.len() as u64,
+            PutBlockList { block_ids, .. } => {
+                block_ids.iter().map(|b| b.len() as u64 + 8).sum()
+            }
+            InsertEntity { entity, .. } | UpdateEntity { entity, .. } => entity.size(),
+            ExecuteBatch { ops, .. } => ops.iter().map(|o| o.payload_bytes()).sum(),
+            _ => 0,
+        }
+    }
+}
+
+impl StorageOk {
+    /// Payload bytes travelling server → client.
+    pub fn payload_bytes_down(&self) -> u64 {
+        match self {
+            StorageOk::Data(d) => d.len() as u64,
+            StorageOk::Message(Some(m)) => m.data.len() as u64,
+            StorageOk::Peeked(Some(m)) => m.data.len() as u64,
+            StorageOk::Entity(Some((e, _))) => e.size(),
+            StorageOk::Entities(es) => es.iter().map(|(e, _)| e.size()).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Unwrap `Data`, panicking otherwise (test/helper convenience).
+    pub fn into_data(self) -> Bytes {
+        match self {
+            StorageOk::Data(d) => d,
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::PropValue;
+
+    #[test]
+    fn class_partition_and_bytes_agree_for_queue_put() {
+        let r = StorageRequest::PutMessage {
+            queue: "q1".into(),
+            data: Bytes::from(vec![0u8; 1024]),
+            ttl: None,
+        };
+        assert_eq!(r.class(), OpClass::QueuePut);
+        assert_eq!(
+            r.partition(),
+            PartitionKey::Queue { queue: "q1".into() }
+        );
+        assert_eq!(r.payload_bytes_up(), 1024);
+    }
+
+    #[test]
+    fn blob_requests_partition_on_container_plus_blob() {
+        let a = StorageRequest::PutBlock {
+            container: "c".into(),
+            blob: "b1".into(),
+            block_id: "000".into(),
+            data: Bytes::from_static(b"x"),
+        };
+        let b = StorageRequest::DownloadBlob {
+            container: "c".into(),
+            blob: "b2".into(),
+        };
+        assert_ne!(a.partition(), b.partition());
+        assert_eq!(a.payload_bytes_up(), 1);
+        assert_eq!(b.payload_bytes_up(), 0);
+    }
+
+    #[test]
+    fn control_plane_requests_map_to_control_partition() {
+        for r in [
+            StorageRequest::CreateContainer {
+                container: "c".into(),
+            },
+            StorageRequest::CreateQueue { queue: "q".into() },
+            StorageRequest::CreateTable { table: "t".into() },
+        ] {
+            assert_eq!(r.partition(), PartitionKey::Control);
+            assert!(r.class().is_control());
+        }
+    }
+
+    #[test]
+    fn entity_requests_count_entity_size_up() {
+        let e = Entity::new("p", "r").with("v", PropValue::Binary(Bytes::from(vec![0u8; 4096])));
+        let size = e.size();
+        let r = StorageRequest::InsertEntity {
+            table: "t".into(),
+            entity: e,
+        };
+        assert_eq!(r.payload_bytes_up(), size);
+        assert_eq!(
+            r.partition(),
+            PartitionKey::Table {
+                table: "t".into(),
+                partition: "p".into()
+            }
+        );
+    }
+
+    #[test]
+    fn response_bytes_down() {
+        assert_eq!(
+            StorageOk::Data(Bytes::from(vec![0u8; 77])).payload_bytes_down(),
+            77
+        );
+        assert_eq!(StorageOk::Ack.payload_bytes_down(), 0);
+        assert_eq!(StorageOk::Message(None).payload_bytes_down(), 0);
+        assert_eq!(StorageOk::Count(12).payload_bytes_down(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Data")]
+    fn into_data_panics_on_wrong_variant() {
+        StorageOk::Ack.into_data();
+    }
+}

@@ -1,0 +1,154 @@
+//! Integration: Algorithm 1 (blob benchmark) end to end, plus blob
+//! semantics exercised through the full stack (client → fabric → service)
+//! at small scale.
+
+use azurebench::alg1_blob::{phase, run_alg1, BlobPhase};
+use azurebench::BenchConfig;
+use azsim_client::{BlobClient, VirtualEnv};
+use azsim_core::Simulation;
+use azsim_fabric::{Cluster, ClusterParams};
+use bytes::Bytes;
+
+fn tiny(workers: Vec<usize>) -> BenchConfig {
+    BenchConfig::paper().with_scale(0.05).with_workers(workers)
+}
+
+#[test]
+fn alg1_runs_and_respects_paper_shapes_small_scale() {
+    let cfg = tiny(vec![4]);
+    let aggs = run_alg1(&cfg, 4);
+
+    // Shape 1 (Fig 4): page upload beats block upload.
+    assert!(
+        phase(&aggs, BlobPhase::PageUpload).throughput_mb_s
+            > phase(&aggs, BlobPhase::BlockUpload).throughput_mb_s
+    );
+    // Shape 2 (Fig 5): sequential block reads beat random page reads.
+    assert!(
+        phase(&aggs, BlobPhase::BlockSeqRead).throughput_mb_s
+            > phase(&aggs, BlobPhase::PageRandomRead).throughput_mb_s
+    );
+}
+
+#[test]
+fn download_time_grows_and_throughput_grows_with_workers() {
+    // Fig 4's twin claims: per-worker download time rises with workers
+    // (everyone downloads everything from shared blobs) while aggregate
+    // download throughput also rises.
+    let cfg = tiny(vec![1]);
+    let w1 = run_alg1(&cfg, 1);
+    let w8 = run_alg1(&cfg, 8);
+    let t1 = phase(&w1, BlobPhase::BlockFullDownload).mean_worker_seconds;
+    let t8 = phase(&w8, BlobPhase::BlockFullDownload).mean_worker_seconds;
+    assert!(t8 >= t1 * 0.99, "download time must not shrink: {t1} -> {t8}");
+    let x1 = phase(&w1, BlobPhase::BlockFullDownload).throughput_mb_s;
+    let x8 = phase(&w8, BlobPhase::BlockFullDownload).throughput_mb_s;
+    assert!(x8 > x1 * 2.0, "aggregate throughput must grow: {x1} -> {x8}");
+}
+
+#[test]
+fn upload_time_falls_with_workers() {
+    // Fig 4: per-worker upload time falls as the fixed blob is split over
+    // more uploaders.
+    let cfg = tiny(vec![1]);
+    let w1 = run_alg1(&cfg, 1);
+    let w4 = run_alg1(&cfg, 4);
+    for p in [BlobPhase::PageUpload, BlobPhase::BlockUpload] {
+        let t1 = phase(&w1, p).mean_worker_seconds;
+        let t4 = phase(&w4, p).mean_worker_seconds;
+        assert!(t4 < t1, "{p:?}: upload time must fall: {t1} -> {t4}");
+    }
+}
+
+#[test]
+fn blob_content_integrity_through_full_stack() {
+    // Round-trip content correctness under concurrent chunked upload.
+    let n = 4usize;
+    let chunk = 64 * 1024usize;
+    let sim = Simulation::new(Cluster::new(ClusterParams::default()), 5);
+    let report = sim.run_workers(n, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let c = BlobClient::new(&env, "it");
+        c.create_container().unwrap();
+        let me = ctx.id().0;
+        // Each worker writes a distinct fill pattern into its share.
+        c.put_block("shared", format!("{me:02}"), Bytes::from(vec![me as u8 + 1; chunk]))
+            .unwrap();
+        me
+    });
+    let mut model = report.model;
+    let (_, r) = model.submit(
+        report.end_time,
+        0,
+        &azsim_storage::StorageRequest::PutBlockList {
+            container: "it".into(),
+            blob: "shared".into(),
+            block_ids: (0..n).map(|i| format!("{i:02}")).collect(),
+        },
+    );
+    r.unwrap();
+    let (_, r) = model.submit(
+        report.end_time,
+        0,
+        &azsim_storage::StorageRequest::DownloadBlob {
+            container: "it".into(),
+            blob: "shared".into(),
+        },
+    );
+    let data = match r.unwrap() {
+        azsim_storage::StorageOk::Data(d) => d,
+        other => panic!("expected data, got {other:?}"),
+    };
+    assert_eq!(data.len(), n * chunk);
+    for i in 0..n {
+        assert!(
+            data[i * chunk..(i + 1) * chunk]
+                .iter()
+                .all(|&b| b == i as u8 + 1),
+            "chunk {i} corrupted"
+        );
+    }
+}
+
+#[test]
+fn per_blob_write_pipe_caps_aggregate_upload() {
+    // Many workers writing pages of ONE blob cannot exceed the 60 MB/s
+    // per-blob target by much (burst effects aside), while writing to
+    // DIFFERENT blobs scales past it.
+    let chunk = 1 << 20;
+    let run = |shared: bool| {
+        let sim = Simulation::new(Cluster::new(ClusterParams::default()), 6);
+        let workers = 16usize;
+        let report = sim.run_workers(workers, move |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let c = BlobClient::new(&env, "cap");
+            c.create_container().unwrap();
+            let blob = if shared {
+                "one".to_owned()
+            } else {
+                format!("many-{}", ctx.id().0)
+            };
+            c.create_page_blob(&blob, (8 * chunk) as u64).unwrap();
+            let t0 = ctx.now();
+            for i in 0..8u64 {
+                c.put_page(&blob, i * chunk as u64, Bytes::from(vec![1u8; chunk as usize]))
+                    .unwrap();
+            }
+            (t0, ctx.now())
+        });
+        let start = report.results.iter().map(|(s, _)| *s).min().unwrap();
+        let end = report.results.iter().map(|(_, e)| *e).max().unwrap();
+        let bytes = 16.0 * 8.0; // MB
+        bytes / end.saturating_since(start).as_secs_f64()
+    };
+    let shared = run(true);
+    let separate = run(false);
+    assert!(
+        shared < 75.0,
+        "single-blob upload must respect the ~60 MB/s pipe, got {shared:.1}"
+    );
+    assert!(
+        separate > shared * 1.5,
+        "separate blobs ({separate:.1}) must scale past one blob ({shared:.1})"
+    );
+}

@@ -1,0 +1,77 @@
+//! Integration: reproducibility guarantees of the whole stack — identical
+//! seeds must give bit-identical figures, different seeds must differ.
+
+use azurebench::alg3_queue::{run_alg3, QueueOp};
+use azurebench::alg5_table::run_alg5;
+use azurebench::BenchConfig;
+use azsim_client::VirtualEnv;
+use azsim_core::Simulation;
+use azsim_fabric::Cluster;
+
+#[test]
+fn alg3_is_bit_deterministic() {
+    let cfg = BenchConfig::paper().with_scale(0.01);
+    let a = run_alg3(&cfg, 4);
+    let b = run_alg3(&cfg, 4);
+    assert_eq!(a.len(), b.len());
+    for (k, v) in &a {
+        assert_eq!(v, &b[k], "mismatch at {k:?}");
+    }
+}
+
+#[test]
+fn alg5_is_bit_deterministic() {
+    let cfg = BenchConfig::paper().with_scale(0.01);
+    let a = run_alg5(&cfg, 3);
+    let b = run_alg5(&cfg, 3);
+    for (k, v) in &a {
+        assert_eq!(v, &b[k], "mismatch at {k:?}");
+    }
+}
+
+#[test]
+fn different_seeds_change_fuzzed_behaviour_not_shapes() {
+    let mut cfg_a = BenchConfig::paper().with_scale(0.01);
+    cfg_a.seed = 1;
+    let mut cfg_b = cfg_a.clone();
+    cfg_b.seed = 2;
+    let a = run_alg3(&cfg_a, 2);
+    let b = run_alg3(&cfg_b, 2);
+    // The paper-level shape (peek < put < get) holds under both seeds.
+    for r in [&a, &b] {
+        let size = 32 << 10;
+        assert!(r[&(size, QueueOp::Peek)].1 < r[&(size, QueueOp::Put)].1);
+        assert!(r[&(size, QueueOp::Put)].1 < r[&(size, QueueOp::Get)].1);
+    }
+}
+
+#[test]
+fn full_stack_trace_is_reproducible() {
+    // Drive a mixed workload and compare end times and server metrics.
+    let run = || {
+        let sim = Simulation::new(Cluster::with_defaults(), 12345);
+        let report = sim.run_workers(8, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let q = azsim_client::QueueClient::new(&env, format!("d{}", ctx.id().0 % 3));
+            q.create().unwrap();
+            for i in 0..20u32 {
+                let jitter: u64 = ctx.with_rng(|r| rand::Rng::random_range(r, 0..10_000));
+                ctx.sleep(std::time::Duration::from_micros(jitter));
+                q.put_message(bytes::Bytes::from(i.to_le_bytes().to_vec()))
+                    .unwrap();
+                if let Some(m) = q.get_message().unwrap() {
+                    q.delete_message(&m).unwrap();
+                }
+            }
+            ctx.now()
+        });
+        let completed = report.model.metrics().total_completed();
+        (report.results, report.end_time, completed, report.requests)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "per-worker end times differ");
+    assert_eq!(a.1, b.1, "global end time differs");
+    assert_eq!(a.2, b.2, "op counts differ");
+    assert_eq!(a.3, b.3, "request counts differ");
+}

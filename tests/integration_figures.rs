@@ -1,0 +1,138 @@
+//! Integration: every figure regenerates at reduced scale and exhibits the
+//! paper's qualitative shapes (the six shape claims in DESIGN.md §5).
+
+use azurebench::alg1_blob::{phase, run_alg1, BlobPhase};
+use azurebench::{alg3_queue, alg4_queue, alg5_table, fig9, BenchConfig};
+
+#[test]
+fn all_figures_regenerate_and_render() {
+    let cfg = BenchConfig::paper()
+        .with_scale(0.01)
+        .with_workers(vec![1, 4]);
+
+    let figs = azurebench::alg1_blob::figures_4_and_5(&cfg);
+    assert_eq!(figs.len(), 4);
+    let f6 = alg3_queue::figure_6(&cfg);
+    assert_eq!(f6.len(), 3);
+    let f7 = alg4_queue::figure_7(&cfg);
+    assert_eq!(f7.len(), 3);
+    let f8 = alg5_table::figure_8(&cfg);
+    assert_eq!(f8.len(), 4);
+    let f9 = fig9::figure_9(&cfg);
+    assert_eq!(f9.series.len(), 7);
+
+    // Every figure renders to table and CSV without panicking, with data.
+    for f in figs.iter().chain(&f6).chain(&f7).chain(&f8).chain([&f9]) {
+        let t = f.render_table();
+        assert!(t.contains(&f.id));
+        let csv = f.to_csv();
+        assert!(csv.lines().count() >= 2, "{} csv empty", f.id);
+        for s in &f.series {
+            assert!(!s.points.is_empty(), "{}/{} has no data", f.id, s.name);
+        }
+    }
+
+    // Table I renders too.
+    let t1 = azsim_compute::vm::render_table1();
+    assert!(t1.contains("Extra Large"));
+}
+
+#[test]
+fn shape1_blob_updown_directions() {
+    let cfg = BenchConfig::paper().with_scale(0.05);
+    let w2 = run_alg1(&cfg, 2);
+    let w8 = run_alg1(&cfg, 8);
+    // Download time grows, throughput grows, upload time falls.
+    assert!(
+        phase(&w8, BlobPhase::PageFullDownload).mean_worker_seconds
+            >= phase(&w2, BlobPhase::PageFullDownload).mean_worker_seconds * 0.99
+    );
+    assert!(
+        phase(&w8, BlobPhase::PageFullDownload).throughput_mb_s
+            > phase(&w2, BlobPhase::PageFullDownload).throughput_mb_s
+    );
+    assert!(
+        phase(&w8, BlobPhase::PageUpload).mean_worker_seconds
+            < phase(&w2, BlobPhase::PageUpload).mean_worker_seconds
+    );
+    // Page upload throughput exceeds block upload throughput.
+    assert!(
+        phase(&w8, BlobPhase::PageUpload).throughput_mb_s
+            > phase(&w8, BlobPhase::BlockUpload).throughput_mb_s
+    );
+}
+
+#[test]
+fn shape2_sequential_blocks_beat_random_pages() {
+    let cfg = BenchConfig::paper().with_scale(0.05);
+    let aggs = run_alg1(&cfg, 8);
+    assert!(
+        phase(&aggs, BlobPhase::BlockSeqRead).throughput_mb_s
+            > phase(&aggs, BlobPhase::PageRandomRead).throughput_mb_s
+    );
+}
+
+#[test]
+fn shape3_queue_ordering_and_anomaly_in_figure6() {
+    let cfg = BenchConfig::paper()
+        .with_scale(0.01)
+        .with_workers(vec![2]);
+    let figs = alg3_queue::figure_6(&cfg);
+    let y = |fig: usize, series: &str| figs[fig].series(series).unwrap().y_at(2.0).unwrap();
+    // figs[0]=put, [1]=peek, [2]=get; peek < put < get at 32 KB.
+    assert!(y(1, "32KB") < y(0, "32KB"));
+    assert!(y(0, "32KB") < y(2, "32KB"));
+    // Get anomaly: 16 KB above 8 and 32 KB.
+    assert!(y(2, "16KB") > y(2, "8KB"));
+    assert!(y(2, "16KB") > y(2, "32KB"));
+    // But NOT for put/peek (the anomaly is a Get-only phenomenon).
+    assert!(y(0, "16KB") < y(0, "32KB"));
+    assert!(y(1, "16KB") < y(1, "32KB"));
+}
+
+#[test]
+fn shape4_shared_queue_think_time() {
+    let cfg = BenchConfig::paper()
+        .with_scale(0.03)
+        .with_workers(vec![8]);
+    let figs = alg4_queue::figure_7(&cfg);
+    for f in &figs {
+        let t1 = f.series("think-1s").unwrap().y_at(8.0).unwrap();
+        let t5 = f.series("think-5s").unwrap().y_at(8.0).unwrap();
+        assert!(t5 <= t1 * 1.05, "{}: think-5s {t5} vs think-1s {t1}", f.id);
+    }
+}
+
+#[test]
+fn shape5_table_degradation_for_big_entities() {
+    let cfg = BenchConfig::paper()
+        .with_scale(0.06)
+        .with_workers(vec![1, 16]);
+    let figs = alg5_table::figure_8(&cfg);
+    let insert = &figs[0];
+    let deg = |series: &str| {
+        let s = insert.series(series).unwrap();
+        s.y_at(16.0).unwrap() / s.y_at(1.0).unwrap()
+    };
+    assert!(deg("64KB") > 2.0, "64KB must degrade: ×{:.2}", deg("64KB"));
+    assert!(
+        deg("64KB") > deg("4KB") * 1.5,
+        "64KB (×{:.2}) must degrade much more than 4KB (×{:.2})",
+        deg("64KB"),
+        deg("4KB")
+    );
+}
+
+#[test]
+fn shape6_queue_scales_better_than_table() {
+    let cfg = BenchConfig::paper()
+        .with_scale(0.05)
+        .with_workers(vec![1, 16]);
+    let fig = fig9::figure_9(&cfg);
+    let deg = |name: &str| {
+        let s = fig.series(name).unwrap();
+        s.y_at(16.0).unwrap() / s.y_at(1.0).unwrap()
+    };
+    assert!(deg("table-insert") > deg("queue-put"));
+    assert!(deg("table-update") > deg("queue-get"));
+}

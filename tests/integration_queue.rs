@@ -1,0 +1,135 @@
+//! Integration: Algorithms 3 and 4 (queue benchmarks) plus queue
+//! semantics through the full stack.
+
+use azurebench::alg3_queue::{run_alg3, QueueOp};
+use azurebench::alg4_queue::run_alg4;
+use azurebench::BenchConfig;
+use azsim_client::{QueueClient, VirtualEnv};
+use azsim_core::Simulation;
+use azsim_fabric::{Cluster, ClusterParams};
+use bytes::Bytes;
+use std::time::Duration;
+
+#[test]
+fn fig6_shape_peek_put_get_and_anomaly() {
+    let cfg = BenchConfig::paper().with_scale(0.01);
+    let r = run_alg3(&cfg, 4);
+    for &size in &cfg.message_sizes() {
+        let peek = r[&(size, QueueOp::Peek)].1;
+        let put = r[&(size, QueueOp::Put)].1;
+        let get = r[&(size, QueueOp::Get)].1;
+        assert!(peek < put && put < get, "ordering broken at {size}");
+    }
+    // The 16 KB anomaly: slower than neighbours on both sides.
+    let get = |kb: usize| r[&(kb << 10, QueueOp::Get)].1;
+    assert!(get(16) > get(8) && get(16) > get(32));
+}
+
+#[test]
+fn fig6_put_scales_nearly_linearly_with_separate_queues() {
+    let cfg = BenchConfig::paper().with_scale(0.04);
+    let r1 = run_alg3(&cfg, 1);
+    let r8 = run_alg3(&cfg, 8);
+    let size = 32 << 10;
+    let speedup = r1[&(size, QueueOp::Put)].0 / r8[&(size, QueueOp::Put)].0;
+    assert!(
+        speedup > 6.0,
+        "separate queues must scale nearly linearly, got {speedup:.2}×"
+    );
+}
+
+#[test]
+fn fig7_shared_queue_contention_and_think_time() {
+    let cfg = BenchConfig::paper().with_scale(0.05).with_workers(vec![8]);
+    let shared = run_alg4(&cfg, 8);
+    let separate = run_alg3(&cfg, 8);
+    // Shared-queue ops are at least as slow as separate-queue ops.
+    let sep_put = separate[&(32 << 10, QueueOp::Put)].1;
+    let sh_put = shared[&(1, QueueOp::Put)];
+    assert!(
+        sh_put >= sep_put * 0.999,
+        "shared put {sh_put} must not beat separate put {sep_put}"
+    );
+    // Longer think time never makes ops slower (de-synchronization).
+    for op in QueueOp::ALL {
+        assert!(shared[&(5, op)] <= shared[&(1, op)] * 1.05);
+    }
+}
+
+#[test]
+fn queue_throttle_storms_are_absorbed_by_retry() {
+    // A burst of puts into one queue beyond 500 msg/s: the ops all succeed
+    // (after retries), and server-side metrics show the throttling.
+    let params = ClusterParams {
+        throttle_burst: 10.0,
+        ..ClusterParams::default()
+    };
+    let sim = Simulation::new(Cluster::new(params), 31);
+    let n = 32usize;
+    let report = sim.run_workers(n, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let q = QueueClient::new(&env, "storm");
+        q.create().unwrap();
+        for i in 0..20u32 {
+            q.put_message(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+    });
+    let m = report.model.metrics();
+    assert!(m.total_throttled() > 0, "the storm must hit the 500/s wall");
+    assert_eq!(
+        m.counter(azsim_storage::OpClass::QueuePut).unwrap().completed,
+        (n * 20) as u64
+    );
+    // The retries cost wall-clock: the run takes over a virtual second.
+    assert!(report.end_time > azsim_core::SimTime::from_secs(1));
+}
+
+#[test]
+fn messages_survive_and_reappear_across_the_stack() {
+    let sim = Simulation::new(Cluster::with_defaults(), 32);
+    sim.run_workers(1, |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let q = QueueClient::new(&env, "vis");
+        q.create().unwrap();
+        q.put_message(Bytes::from_static(b"task")).unwrap();
+        let first = q
+            .get_message_with_visibility(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        // Nothing visible inside the window.
+        assert!(q
+            .get_message_with_visibility(Duration::from_secs(5))
+            .unwrap()
+            .is_none());
+        ctx.sleep(Duration::from_secs(6));
+        let second = q.get_message().unwrap().unwrap();
+        assert_eq!(second.id, first.id);
+        assert_eq!(second.dequeue_count, 2);
+        q.delete_message(&second).unwrap();
+    });
+}
+
+#[test]
+fn non_fifo_delivery_is_observable_with_high_fuzz() {
+    let params = ClusterParams {
+        fifo_fuzz: 1.0,
+        ..ClusterParams::default()
+    };
+    let sim = Simulation::new(Cluster::new(params), 33);
+    sim.run_workers(1, |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let q = QueueClient::new(&env, "fifo");
+        q.create().unwrap();
+        for i in 0..6u8 {
+            q.put_message(Bytes::from(vec![i])).unwrap();
+        }
+        let mut order = Vec::new();
+        while let Some(m) = q.get_message().unwrap() {
+            order.push(m.data[0]);
+            q.delete_message(&m).unwrap();
+        }
+        assert_eq!(order.len(), 6, "no loss");
+        let sorted: Vec<u8> = (0..6).collect();
+        assert_ne!(order, sorted, "with fuzz=1.0 delivery must reorder");
+    });
+}

@@ -1,0 +1,151 @@
+//! Integration: Algorithm 5 (table benchmark) plus table semantics through
+//! the full stack.
+
+use azurebench::alg5_table::{run_alg5, TableOp};
+use azurebench::BenchConfig;
+use azsim_client::{TableClient, VirtualEnv};
+use azsim_core::Simulation;
+use azsim_fabric::{Cluster, ClusterParams};
+use azsim_storage::{Entity, EtagCondition, PropValue, StorageError};
+use bytes::Bytes;
+
+#[test]
+fn fig8_shape_update_most_expensive_query_cheapest() {
+    let cfg = BenchConfig::paper().with_scale(0.02);
+    let r = run_alg5(&cfg, 4);
+    for &size in &cfg.entity_sizes() {
+        let per_op = |op: TableOp| r[&(size, op)].1;
+        assert!(per_op(TableOp::Query) < per_op(TableOp::Insert));
+        assert!(per_op(TableOp::Update) > per_op(TableOp::Insert));
+        assert!(per_op(TableOp::Update) > per_op(TableOp::Delete));
+        // Query is the cheapest operation; at 64 KB under contention its
+        // downlink transfer can approach delete's replication cost, so the
+        // strict comparison is asserted where the paper's claim is crisp.
+        if size <= 32 << 10 {
+            assert!(per_op(TableOp::Query) < per_op(TableOp::Delete));
+        }
+    }
+}
+
+#[test]
+fn fig8_flat_until_4_workers_then_big_entities_degrade() {
+    let cfg = BenchConfig::paper().with_scale(0.06);
+    let r1 = run_alg5(&cfg, 1);
+    let r4 = run_alg5(&cfg, 4);
+    let r16 = run_alg5(&cfg, 16);
+    let big = 64 << 10;
+    // Flat-ish to 4 workers.
+    let flat = r4[&(big, TableOp::Insert)].0 / r1[&(big, TableOp::Insert)].0;
+    assert!(flat < 1.6, "should be nearly flat to 4 workers, got ×{flat:.2}");
+    // Drastic beyond.
+    let deg = r16[&(big, TableOp::Insert)].0 / r1[&(big, TableOp::Insert)].0;
+    assert!(deg > 2.0, "64 KB at 16 workers must degrade, got ×{deg:.2}");
+}
+
+#[test]
+fn hot_partition_hits_500_per_sec_wall_and_recovers() {
+    // All workers insert into the SAME partition: the per-partition
+    // 500 entities/s target throttles, the retry policy absorbs it, no
+    // insert is lost (the paper's 1000-entity "server busy" episode).
+    let params = ClusterParams {
+        throttle_burst: 10.0,
+        account_tx_rate: 1e9, // isolate the partition bucket
+        ..ClusterParams::default()
+    };
+    let sim = Simulation::new(Cluster::new(params), 41);
+    let n = 24usize;
+    let per = 25usize;
+    let report = sim.run_workers(n, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let t = TableClient::new(&env, "hot");
+        t.create_table().unwrap();
+        for i in 0..per {
+            t.insert(
+                Entity::new("hot", format!("{}-{}", ctx.id().0, i))
+                    .with("v", PropValue::I64(i as i64)),
+            )
+            .unwrap();
+        }
+    });
+    let m = report.model.metrics();
+    assert!(m.total_throttled() > 0, "hot partition must throttle");
+    assert_eq!(report.model.table_store().entity_count("hot").unwrap(), n * per);
+}
+
+#[test]
+fn etag_protects_against_lost_updates_under_concurrency() {
+    // Two workers race wildcard-vs-conditional updates; the conditional
+    // loser must observe PreconditionFailed rather than clobbering.
+    let sim = Simulation::new(Cluster::with_defaults(), 42);
+    let report = sim.run_workers(2, |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let t = TableClient::new(&env, "race");
+        t.create_table().unwrap();
+        if ctx.id().0 == 0 {
+            // Writer 0: insert, then hold a stale tag over a sleep.
+            let tag = t
+                .insert(Entity::new("p", "r").with("v", PropValue::I64(0)))
+                .unwrap();
+            ctx.sleep(std::time::Duration::from_secs(2));
+            // Worker 1 has updated meanwhile: the stale tag must fail.
+            let res = t.update_if(
+                Entity::new("p", "r").with("v", PropValue::I64(100)),
+                EtagCondition::Match(tag),
+            );
+            assert_eq!(res.unwrap_err(), StorageError::PreconditionFailed);
+            0
+        } else {
+            ctx.sleep(std::time::Duration::from_secs(1));
+            t.update(Entity::new("p", "r").with("v", PropValue::I64(7)))
+                .unwrap();
+            1
+        }
+    });
+    // Final value is worker 1's.
+    let (e, _) = report
+        .model
+        .table_store()
+        .query("race", "p", "r")
+        .unwrap()
+        .unwrap();
+    assert_eq!(e.properties["v"], PropValue::I64(7));
+}
+
+#[test]
+fn payload_integrity_through_full_stack() {
+    let sim = Simulation::new(Cluster::with_defaults(), 43);
+    sim.run_workers(1, |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let t = TableClient::new(&env, "bytes");
+        t.create_table().unwrap();
+        let payload = Bytes::from((0..=255u8).cycle().take(10_000).collect::<Vec<u8>>());
+        t.insert(Entity::new("p", "r").with("data", PropValue::Binary(payload.clone())))
+            .unwrap();
+        let (e, _) = t.query("p", "r").unwrap().unwrap();
+        match &e.properties["data"] {
+            PropValue::Binary(b) => assert_eq!(*b, payload),
+            other => panic!("wrong property type {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn partition_scan_collects_all_workers_rows() {
+    let n = 6usize;
+    let sim = Simulation::new(Cluster::with_defaults(), 44);
+    let report = sim.run_workers(n, move |ctx| {
+        let env = VirtualEnv::new(ctx);
+        let t = TableClient::new(&env, "scan");
+        t.create_table().unwrap();
+        // All workers share one partition, distinct rows.
+        t.insert(
+            Entity::new("all", format!("row-{}", ctx.id().0))
+                .with("v", PropValue::I64(ctx.id().0 as i64)),
+        )
+        .unwrap();
+        ctx.sleep(std::time::Duration::from_secs(1));
+        let rows = t.query_partition("all").unwrap();
+        rows.len()
+    });
+    assert!(report.results.iter().all(|&len| len == n));
+}
