@@ -2,13 +2,13 @@
 //! each bench measures the *virtual* outcome difference (printed once) and
 //! the host cost of the ablated run.
 
-use azurebench::alg3_queue::{run_alg3, QueueOp};
-use azurebench::BenchConfig;
 use azsim_client::VirtualEnv;
 use azsim_client::{QueueClient, TableClient};
 use azsim_core::Simulation;
 use azsim_fabric::{Cluster, ClusterParams};
 use azsim_storage::{Entity, PropValue};
+use azurebench::alg3_queue::{run_alg3, QueueOp};
+use azurebench::BenchConfig;
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -161,7 +161,10 @@ fn ablate_partitioning(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("ablations/partitioning");
     g.sample_size(10);
-    for (name, hot) in [("one_hot_partition", true), ("per_worker_partitions", false)] {
+    for (name, hot) in [
+        ("one_hot_partition", true),
+        ("per_worker_partitions", false),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &hot, |b, &hot| {
             b.iter(|| black_box(run(hot)))
         });

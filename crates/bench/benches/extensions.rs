@@ -1,14 +1,16 @@
 //! Benchmarks of the beyond-the-paper extensions: YCSB workloads, the
-//! MapReduce runtime, and the caching service.
+//! MapReduce runtime, the caching service, and the chaos (fault
+//! injection) scenario.
 
-use azurebench::ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};
-use azurebench::BenchConfig;
 use azsim_cache::{CacheClient, CacheCluster};
 use azsim_client::VirtualEnv;
 use azsim_core::runtime::ActorFn;
 use azsim_core::{SimTime, Simulation};
 use azsim_fabric::Cluster;
 use azsim_framework::{MapReduce, MapReduceJob};
+use azurebench::chaos;
+use azurebench::ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};
+use azurebench::BenchConfig;
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -26,11 +28,9 @@ fn bench_ycsb(c: &mut Criterion) {
         ..YcsbConfig::default()
     };
     for wl in [YcsbWorkload::A, YcsbWorkload::C, YcsbWorkload::F] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(wl.label()),
-            &wl,
-            |b, &wl| b.iter(|| black_box(run_ycsb(&bench, &ycsb, wl, 4))),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(wl.label()), &wl, |b, &wl| {
+            b.iter(|| black_box(run_ycsb(&bench, &ycsb, wl, 4)))
+        });
     }
     g.finish();
 }
@@ -42,7 +42,10 @@ impl MapReduceJob for WordCount {
     type Value = u64;
     type Out = (String, u64);
     fn map(&self, input: &String) -> Vec<(String, u64)> {
-        input.split_whitespace().map(|w| (w.to_owned(), 1)).collect()
+        input
+            .split_whitespace()
+            .map(|w| (w.to_owned(), 1))
+            .collect()
     }
     fn reduce(&self, key: &String, values: Vec<u64>) -> (String, u64) {
         (key.clone(), values.into_iter().sum())
@@ -120,5 +123,31 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ycsb, bench_mapreduce, bench_cache);
+fn bench_chaos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/chaos");
+    g.sample_size(10);
+    let cfg = BenchConfig::paper().with_scale(0.02);
+    for intensity in [0.0, 0.5, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("intensity-{intensity}")),
+            &intensity,
+            |b, &intensity| {
+                b.iter(|| {
+                    let r = black_box(chaos::run_chaos(&cfg, 4, intensity));
+                    assert_eq!(r.lost, 0, "chaos bench must not lose tasks");
+                    r
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ycsb,
+    bench_mapreduce,
+    bench_cache,
+    bench_chaos
+);
 criterion_main!(benches);

@@ -4,11 +4,11 @@
 //! figure path exercised under `cargo bench`); the full-scale figure data
 //! reported in `EXPERIMENTS.md` comes from the `figures` binary.
 
-use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, fig9, BenchConfig};
 use azsim_client::VirtualEnv;
 use azsim_core::Simulation;
 use azsim_fabric::Cluster;
 use azsim_framework::QueueBarrier;
+use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, fig9, BenchConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -84,8 +84,8 @@ fn bench_alg2_barrier(c: &mut Criterion) {
             let sim = Simulation::new(Cluster::with_defaults(), 2);
             let report = sim.run_workers(8, |ctx| {
                 let env = VirtualEnv::new(ctx);
-                let mut bar = QueueBarrier::new(&env, "b", 8)
-                    .with_poll_interval(Duration::from_millis(200));
+                let mut bar =
+                    QueueBarrier::new(&env, "b", 8).with_poll_interval(Duration::from_millis(200));
                 bar.init().unwrap();
                 for _ in 0..3 {
                     bar.wait().unwrap();

@@ -101,5 +101,10 @@ fn bench_virtual_runtime(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_heap, bench_resources, bench_virtual_runtime);
+criterion_group!(
+    benches,
+    bench_event_heap,
+    bench_resources,
+    bench_virtual_runtime
+);
 criterion_main!(benches);

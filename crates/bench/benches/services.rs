@@ -66,7 +66,8 @@ fn bench_table_service(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let rk = i.to_string();
-            let e = Entity::new("p", &rk).with("v", PropValue::Binary(Bytes::from(vec![0u8; 4096])));
+            let e =
+                Entity::new("p", &rk).with("v", PropValue::Binary(Bytes::from(vec![0u8; 4096])));
             s.insert("t", e.clone()).unwrap();
             black_box(s.query("t", "p", &rk).unwrap());
             s.update("t", e, EtagCondition::Any).unwrap();

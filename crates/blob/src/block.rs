@@ -166,7 +166,8 @@ mod tests {
         b.put_block_list(&["x".into()]).unwrap();
         // Recommit referencing the already-committed block plus a new one.
         b.put_block("y".into(), bytes("cd")).unwrap();
-        b.put_block_list(&["x".into(), "y".into(), "x".into()]).unwrap();
+        b.put_block_list(&["x".into(), "y".into(), "x".into()])
+            .unwrap();
         assert_eq!(b.download(), bytes("abcdab"));
     }
 
@@ -186,9 +187,7 @@ mod tests {
         b.put_block("a".into(), bytes("aa")).unwrap();
         b.put_block_list(&["a".into()]).unwrap();
         b.put_block("b".into(), bytes("bb")).unwrap();
-        let err = b
-            .put_block_list(&["a".into(), "nope".into()])
-            .unwrap_err();
+        let err = b.put_block_list(&["a".into(), "nope".into()]).unwrap_err();
         assert_eq!(err, StorageError::UnknownBlockId("nope".into()));
         // Old content intact, staging preserved (commit failed atomically).
         assert_eq!(b.download(), bytes("aa"));
@@ -211,7 +210,9 @@ mod tests {
     #[test]
     fn too_many_blocks_rejected() {
         let mut b = BlockBlob::new();
-        let ids: Vec<String> = (0..MAX_BLOCKS_PER_BLOB + 1).map(|i| i.to_string()).collect();
+        let ids: Vec<String> = (0..MAX_BLOCKS_PER_BLOB + 1)
+            .map(|i| i.to_string())
+            .collect();
         assert!(matches!(
             b.put_block_list(&ids),
             Err(StorageError::TooManyBlocks { .. })
@@ -224,7 +225,8 @@ mod tests {
         for (i, s) in ["x", "y", "z"].iter().enumerate() {
             b.put_block(i.to_string(), bytes(s)).unwrap();
         }
-        b.put_block_list(&["0".into(), "1".into(), "2".into()]).unwrap();
+        b.put_block_list(&["0".into(), "1".into(), "2".into()])
+            .unwrap();
         assert_eq!(b.get_block(1).unwrap(), bytes("y"));
         assert!(matches!(
             b.get_block(3),

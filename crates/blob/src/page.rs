@@ -104,9 +104,7 @@ impl PageBlob {
         if let Some(c) = &self.download_cache {
             return c.clone();
         }
-        let out = self
-            .get_page(0, self.size)
-            .unwrap_or_else(|_| Bytes::new());
+        let out = self.get_page(0, self.size).unwrap_or_else(|_| Bytes::new());
         self.download_cache = Some(out.clone());
         out
     }

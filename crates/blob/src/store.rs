@@ -129,7 +129,10 @@ impl BlobStore {
         if let Some(Blob::Page(_)) = c.get(blob) {
             return Err(StorageError::WrongBlobType);
         }
-        c.insert(blob.to_owned(), Blob::Block(BlockBlob::from_single_upload(data)));
+        c.insert(
+            blob.to_owned(),
+            Blob::Block(BlockBlob::from_single_upload(data)),
+        );
         Ok(())
     }
 
@@ -261,9 +264,13 @@ mod tests {
             s.download("c", "b"),
             Err(StorageError::BlobNotFound(_))
         ));
-        s.put_block_list("c", "b", &["0".into(), "1".into()]).unwrap();
+        s.put_block_list("c", "b", &["0".into(), "1".into()])
+            .unwrap();
         assert_eq!(s.download("c", "b").unwrap(), Bytes::from_static(b"hello"));
-        assert_eq!(s.get_block("c", "b", 1).unwrap(), Bytes::from_static(b"llo"));
+        assert_eq!(
+            s.get_block("c", "b", 1).unwrap(),
+            Bytes::from_static(b"llo")
+        );
         assert_eq!(s.blob_size("c", "b").unwrap(), 5);
         s.delete("c", "b").unwrap();
         assert!(matches!(
@@ -276,7 +283,8 @@ mod tests {
     fn page_blob_end_to_end() {
         let mut s = store_with_container();
         s.create_page_blob("c", "p", 4096).unwrap();
-        s.put_page("c", "p", 1024, Bytes::from(vec![5u8; 512])).unwrap();
+        s.put_page("c", "p", 1024, Bytes::from(vec![5u8; 512]))
+            .unwrap();
         let r = s.get_page("c", "p", 1024, 512).unwrap();
         assert!(r.iter().all(|&x| x == 5));
         assert_eq!(s.download("c", "p").unwrap().len(), 4096);
@@ -297,7 +305,8 @@ mod tests {
             s.upload_block_blob("c", "p", Bytes::from_static(b"x")),
             Err(StorageError::WrongBlobType)
         ));
-        s.upload_block_blob("c", "b", Bytes::from_static(b"x")).unwrap();
+        s.upload_block_blob("c", "b", Bytes::from_static(b"x"))
+            .unwrap();
         assert!(matches!(
             s.put_page("c", "b", 0, Bytes::from(vec![0u8; 512])),
             Err(StorageError::WrongBlobType)
@@ -342,10 +351,13 @@ mod tests {
     #[test]
     fn list_blobs_sorted_and_total_bytes() {
         let mut s = store_with_container();
-        s.upload_block_blob("c", "zz", Bytes::from(vec![0u8; 10])).unwrap();
-        s.upload_block_blob("c", "aa", Bytes::from(vec![0u8; 20])).unwrap();
+        s.upload_block_blob("c", "zz", Bytes::from(vec![0u8; 10]))
+            .unwrap();
+        s.upload_block_blob("c", "aa", Bytes::from(vec![0u8; 20]))
+            .unwrap();
         s.create_page_blob("c", "mm", 1024 * 1024).unwrap();
-        s.put_page("c", "mm", 0, Bytes::from(vec![1u8; 512])).unwrap();
+        s.put_page("c", "mm", 0, Bytes::from(vec![1u8; 512]))
+            .unwrap();
         assert_eq!(s.list_blobs("c").unwrap(), vec!["aa", "mm", "zz"]);
         // 10 + 20 committed block bytes + one written page.
         assert_eq!(s.total_bytes(), 30 + 512);

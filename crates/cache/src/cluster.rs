@@ -233,7 +233,12 @@ mod tests {
     fn ttl_expires_entries() {
         let cache = CacheCluster::new(2, 1 << 20);
         let mut c = cache.lock();
-        c.put(at(0), "k", Bytes::from_static(b"v"), Some(Duration::from_secs(10)));
+        c.put(
+            at(0),
+            "k",
+            Bytes::from_static(b"v"),
+            Some(Duration::from_secs(10)),
+        );
         assert!(c.get(at(9), "k").is_some());
         assert!(c.get(at(10), "k").is_none(), "expiry is exclusive");
         assert_eq!(c.stats().expirations, 1);
@@ -322,16 +327,10 @@ mod tests {
             let t0 = env.now();
             assert!(cache.get(&key).is_some());
             let warm = env.now().saturating_since(t0);
-            assert!(
-                cold > warm * 4,
-                "cold {cold:?} must dwarf warm {warm:?}"
-            );
+            assert!(cold > warm * 4, "cold {cold:?} must dwarf warm {warm:?}");
             warm
         });
-        assert!(report
-            .results
-            .iter()
-            .all(|w| *w < Duration::from_millis(2)));
+        assert!(report.results.iter().all(|w| *w < Duration::from_millis(2)));
     }
 
     proptest::proptest! {

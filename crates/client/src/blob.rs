@@ -1,7 +1,7 @@
 //! `CloudBlobClient` analogue, bound to one container.
 
 use crate::env::Environment;
-use crate::retry::RetryPolicy;
+use crate::resilience::ClientPolicy;
 use azsim_storage::{StorageOk, StorageRequest, StorageResult};
 use bytes::Bytes;
 
@@ -9,7 +9,7 @@ use bytes::Bytes;
 pub struct BlobClient<'e> {
     env: &'e dyn Environment,
     container: String,
-    policy: RetryPolicy,
+    policy: ClientPolicy,
 }
 
 impl<'e> BlobClient<'e> {
@@ -18,13 +18,14 @@ impl<'e> BlobClient<'e> {
         BlobClient {
             env,
             container: container.into(),
-            policy: RetryPolicy::default(),
+            policy: ClientPolicy::default(),
         }
     }
 
-    /// Replace the retry policy.
-    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
-        self.policy = policy;
+    /// Replace the retry policy: a paper-faithful [`crate::RetryPolicy`] or a
+    /// [`crate::ResilientPolicy`] (via [`ClientPolicy`]).
+    pub fn with_policy(mut self, policy: impl Into<ClientPolicy>) -> Self {
+        self.policy = policy.into();
         self
     }
 
@@ -46,7 +47,12 @@ impl<'e> BlobClient<'e> {
     }
 
     /// `PutBlock`: stage one ≤ 4 MB block against `blob`.
-    pub fn put_block(&self, blob: &str, block_id: impl Into<String>, data: Bytes) -> StorageResult<()> {
+    pub fn put_block(
+        &self,
+        blob: &str,
+        block_id: impl Into<String>,
+        data: Bytes,
+    ) -> StorageResult<()> {
         self.run(StorageRequest::PutBlock {
             container: self.container.clone(),
             blob: blob.to_owned(),
@@ -166,9 +172,11 @@ mod tests {
             let env = VirtualEnv::new(ctx);
             let c = BlobClient::new(&env, "data");
             c.create_container().unwrap();
-            c.put_block("b", "00", Bytes::from_static(b"hello ")).unwrap();
+            c.put_block("b", "00", Bytes::from_static(b"hello "))
+                .unwrap();
             c.put_block("b", "01", Bytes::from_static(b"blob")).unwrap();
-            c.put_block_list("b", vec!["00".into(), "01".into()]).unwrap();
+            c.put_block_list("b", vec!["00".into(), "01".into()])
+                .unwrap();
             assert_eq!(c.download("b").unwrap(), Bytes::from_static(b"hello blob"));
             assert_eq!(c.get_block("b", 1).unwrap(), Bytes::from_static(b"blob"));
             c.delete("b").unwrap();

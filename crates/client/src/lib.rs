@@ -17,6 +17,7 @@ pub mod blob;
 pub mod env;
 pub mod live;
 pub mod queue;
+pub mod resilience;
 pub mod retry;
 pub mod table;
 
@@ -24,5 +25,8 @@ pub use blob::BlobClient;
 pub use env::{Environment, VirtualEnv};
 pub use live::{LiveCluster, LiveEnv};
 pub use queue::QueueClient;
+pub use resilience::{
+    BackoffConfig, BreakerConfig, ClientPolicy, ErrorClass, ResilienceStats, ResilientPolicy,
+};
 pub use retry::RetryPolicy;
 pub use table::TableClient;

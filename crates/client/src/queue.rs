@@ -1,7 +1,7 @@
 //! `CloudQueue` analogue.
 
 use crate::env::Environment;
-use crate::retry::RetryPolicy;
+use crate::resilience::ClientPolicy;
 use azsim_storage::message::PeekedMessage;
 use azsim_storage::{QueueMessage, StorageOk, StorageRequest, StorageResult};
 use bytes::Bytes;
@@ -15,7 +15,7 @@ pub const DEFAULT_VISIBILITY: Duration = Duration::from_secs(30);
 pub struct QueueClient<'e> {
     env: &'e dyn Environment,
     name: String,
-    policy: RetryPolicy,
+    policy: ClientPolicy,
 }
 
 impl<'e> QueueClient<'e> {
@@ -24,13 +24,14 @@ impl<'e> QueueClient<'e> {
         QueueClient {
             env,
             name: name.into(),
-            policy: RetryPolicy::default(),
+            policy: ClientPolicy::default(),
         }
     }
 
-    /// Replace the retry policy.
-    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
-        self.policy = policy;
+    /// Replace the retry policy: a paper-faithful [`crate::RetryPolicy`] or a
+    /// [`crate::ResilientPolicy`] (via [`ClientPolicy`]).
+    pub fn with_policy(mut self, policy: impl Into<ClientPolicy>) -> Self {
+        self.policy = policy.into();
         self
     }
 
@@ -42,14 +43,24 @@ impl<'e> QueueClient<'e> {
     /// Create the queue (idempotent).
     pub fn create(&self) -> StorageResult<()> {
         self.policy
-            .run(self.env, &StorageRequest::CreateQueue { queue: self.name.clone() })
+            .run(
+                self.env,
+                &StorageRequest::CreateQueue {
+                    queue: self.name.clone(),
+                },
+            )
             .map(|_| ())
     }
 
     /// Delete the queue and all its messages.
     pub fn delete_queue(&self) -> StorageResult<()> {
         self.policy
-            .run(self.env, &StorageRequest::DeleteQueue { queue: self.name.clone() })
+            .run(
+                self.env,
+                &StorageRequest::DeleteQueue {
+                    queue: self.name.clone(),
+                },
+            )
             .map(|_| ())
     }
 
@@ -105,10 +116,12 @@ impl<'e> QueueClient<'e> {
 
     /// `PeekMessage`: read without claiming.
     pub fn peek_message(&self) -> StorageResult<Option<PeekedMessage>> {
-        match self
-            .policy
-            .run(self.env, &StorageRequest::PeekMessage { queue: self.name.clone() })?
-        {
+        match self.policy.run(
+            self.env,
+            &StorageRequest::PeekMessage {
+                queue: self.name.clone(),
+            },
+        )? {
             StorageOk::Peeked(m) => Ok(m),
             other => unreachable!("unexpected response {other:?}"),
         }
@@ -131,10 +144,12 @@ impl<'e> QueueClient<'e> {
     /// Remove every message without deleting the queue; returns how many
     /// were dropped.
     pub fn clear(&self) -> StorageResult<usize> {
-        match self
-            .policy
-            .run(self.env, &StorageRequest::ClearQueue { queue: self.name.clone() })?
-        {
+        match self.policy.run(
+            self.env,
+            &StorageRequest::ClearQueue {
+                queue: self.name.clone(),
+            },
+        )? {
             StorageOk::Count(n) => Ok(n),
             other => unreachable!("unexpected response {other:?}"),
         }
@@ -142,10 +157,12 @@ impl<'e> QueueClient<'e> {
 
     /// Approximate message count (visible + invisible).
     pub fn message_count(&self) -> StorageResult<usize> {
-        match self
-            .policy
-            .run(self.env, &StorageRequest::GetMessageCount { queue: self.name.clone() })?
-        {
+        match self.policy.run(
+            self.env,
+            &StorageRequest::GetMessageCount {
+                queue: self.name.clone(),
+            },
+        )? {
             StorageOk::Count(c) => Ok(c),
             other => unreachable!("unexpected response {other:?}"),
         }
@@ -199,7 +216,8 @@ mod tests {
             let q = QueueClient::new(&env, "shared");
             q.create().unwrap();
             for i in 0..n_msgs {
-                q.put_message(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+                q.put_message(Bytes::from(i.to_le_bytes().to_vec()))
+                    .unwrap();
             }
             ctx.now()
         });

@@ -43,7 +43,9 @@ impl RetryPolicy {
             attempt += 1;
             match env.execute(req.clone()) {
                 Err(StorageError::ServerBusy { retry_after }) if attempt < self.max_attempts => {
-                    env.sleep(self.backoff.max(retry_after.min(self.backoff)));
+                    // Sleep at least the configured backoff, but honour a
+                    // longer server-provided hint.
+                    env.sleep(self.backoff.max(retry_after));
                 }
                 other => return other,
             }
@@ -106,9 +108,29 @@ mod tests {
         policy.run(&env, &req()).unwrap();
         assert_eq!(env.calls.get(), 4);
         assert_eq!(env.slept.borrow().len(), 3);
-        // Paper behaviour: a one-second sleep before each retry.
-        assert!(env.slept.borrow().iter().all(|d| *d == Duration::from_millis(100)
-            || *d == Duration::from_secs(1)));
+        // Paper behaviour: the server hint (100 ms) is shorter than the
+        // configured backoff, so every sleep is exactly one second.
+        assert!(env
+            .slept
+            .borrow()
+            .iter()
+            .all(|d| *d == Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn longer_server_hint_overrides_backoff() {
+        // retry_after (100 ms) exceeds the configured backoff (10 ms): the
+        // client must wait out the server's hint, not its own shorter default.
+        let env = flaky(2);
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            backoff: Duration::from_millis(10),
+        };
+        policy.run(&env, &req()).unwrap();
+        assert_eq!(
+            *env.slept.borrow(),
+            vec![Duration::from_millis(100), Duration::from_millis(100)]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `CloudTableClient` analogue, bound to one table.
 
 use crate::env::Environment;
-use crate::retry::RetryPolicy;
+use crate::resilience::ClientPolicy;
 use azsim_storage::{
     ETag, Entity, EtagCondition, StorageOk, StorageRequest, StorageResult, TableBatchOp,
 };
@@ -10,7 +10,7 @@ use azsim_storage::{
 pub struct TableClient<'e> {
     env: &'e dyn Environment,
     table: String,
-    policy: RetryPolicy,
+    policy: ClientPolicy,
 }
 
 impl<'e> TableClient<'e> {
@@ -19,13 +19,14 @@ impl<'e> TableClient<'e> {
         TableClient {
             env,
             table: table.into(),
-            policy: RetryPolicy::default(),
+            policy: ClientPolicy::default(),
         }
     }
 
-    /// Replace the retry policy.
-    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
-        self.policy = policy;
+    /// Replace the retry policy: a paper-faithful [`crate::RetryPolicy`] or a
+    /// [`crate::ResilientPolicy`] (via [`ClientPolicy`]).
+    pub fn with_policy(mut self, policy: impl Into<ClientPolicy>) -> Self {
+        self.policy = policy.into();
         self
     }
 

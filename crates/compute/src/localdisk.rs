@@ -128,7 +128,8 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip_with_io_times() {
-        let mut d = LocalDisk::with_limits(1 << 20, 100.0 * (1 << 20) as f64, 50.0 * (1 << 20) as f64);
+        let mut d =
+            LocalDisk::with_limits(1 << 20, 100.0 * (1 << 20) as f64, 50.0 * (1 << 20) as f64);
         let data = Bytes::from(vec![7u8; 512 << 10]);
         let w = d.write("scratch", data.clone()).unwrap();
         // 512 KB at 50 MB/s = 10 ms.

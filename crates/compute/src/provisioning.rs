@@ -35,8 +35,8 @@ pub struct ProvisioningModel {
 impl Default for ProvisioningModel {
     fn default() -> Self {
         ProvisioningModel {
-            base: Duration::from_secs(360),         // ~6 minutes
-            per_instance: Duration::from_secs(90),  // boot + role start
+            base: Duration::from_secs(360),        // ~6 minutes
+            per_instance: Duration::from_secs(90), // boot + role start
             wave_size: 20,
             wave_gap: Duration::from_secs(60),
             jitter: 0.15,
@@ -114,7 +114,10 @@ mod tests {
     fn first_instance_takes_minutes() {
         let m = ProvisioningModel::default();
         let t = m.ready_at(0, VmSize::Small);
-        assert!(t >= Duration::from_secs(300), "{t:?} too fast for 2011 Azure");
+        assert!(
+            t >= Duration::from_secs(300),
+            "{t:?} too fast for 2011 Azure"
+        );
         assert!(t <= Duration::from_secs(700), "{t:?} unreasonably slow");
     }
 
@@ -158,6 +161,8 @@ mod tests {
         let hi = nominal.mul_f64(1.16);
         // base + boot*j: only the boot part jitters, so stay within the
         // whole-duration envelope.
-        assert!(a >= lo.min(nominal) - Duration::from_secs(20) && a <= hi + Duration::from_secs(20));
+        assert!(
+            a >= lo.min(nominal) - Duration::from_secs(20) && a <= hi + Duration::from_secs(20)
+        );
     }
 }

@@ -46,9 +46,9 @@ impl VmSize {
     pub fn memory_mb(self) -> u32 {
         match self {
             VmSize::ExtraSmall => 768,
-            VmSize::Small => 1_792,  // 1.75 GB
-            VmSize::Medium => 3_584, // 3.5 GB
-            VmSize::Large => 7_168,  // 7 GB
+            VmSize::Small => 1_792,       // 1.75 GB
+            VmSize::Medium => 3_584,      // 3.5 GB
+            VmSize::Large => 7_168,       // 7 GB
             VmSize::ExtraLarge => 14_336, // 14 GB
         }
     }

@@ -252,9 +252,7 @@ fn aggregate(
                 // The rep-th sample of this phase on each worker.
                 let samples: Vec<&PhaseSample> = per_worker
                     .iter()
-                    .filter_map(|w| {
-                        w.iter().filter(|s| s.phase == phase).nth(rep)
-                    })
+                    .filter_map(|w| w.iter().filter(|s| s.phase == phase).nth(rep))
                     .collect();
                 if samples.is_empty() {
                     continue;
@@ -277,7 +275,11 @@ fn aggregate(
                 } else {
                     worker_secs.iter().sum::<f64>() / worker_secs.len() as f64
                 },
-                throughput_mb_s: if tput_n == 0 { 0.0 } else { tput_sum / tput_n as f64 },
+                throughput_mb_s: if tput_n == 0 {
+                    0.0
+                } else {
+                    tput_sum / tput_n as f64
+                },
             };
             (phase, agg)
         })
@@ -359,11 +361,7 @@ pub fn run_alg1_wall(cfg: &BenchConfig, workers: usize) -> Duration {
     let chunks = cfg.blob_chunks();
     let _ = chunks;
     let aggs = run_alg1(cfg, workers);
-    Duration::from_secs_f64(
-        aggs.iter()
-            .map(|(_, a)| a.mean_worker_seconds)
-            .sum::<f64>(),
-    )
+    Duration::from_secs_f64(aggs.iter().map(|(_, a)| a.mean_worker_seconds).sum::<f64>())
 }
 
 #[cfg(test)]
@@ -381,10 +379,7 @@ mod tests {
         let aggs = run_alg1(&cfg, 2);
         assert_eq!(aggs.len(), BlobPhase::ALL.len());
         for (p, a) in &aggs {
-            assert!(
-                a.mean_worker_seconds > 0.0,
-                "phase {p:?} has zero duration"
-            );
+            assert!(a.mean_worker_seconds > 0.0, "phase {p:?} has zero duration");
             assert!(a.throughput_mb_s > 0.0, "phase {p:?} has zero throughput");
         }
     }

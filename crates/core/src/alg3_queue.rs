@@ -71,7 +71,10 @@ pub fn run_alg3(cfg: &BenchConfig, workers: usize) -> Alg3Result {
             for _ in 0..per_worker {
                 queue.put_message(gen.bytes(size)).unwrap();
             }
-            out.push(((size, QueueOp::Put), env.now().saturating_since(t0).as_secs_f64()));
+            out.push((
+                (size, QueueOp::Put),
+                env.now().saturating_since(t0).as_secs_f64(),
+            ));
 
             // ---- Peek phase ----
             let t0 = env.now();
@@ -79,7 +82,10 @@ pub fn run_alg3(cfg: &BenchConfig, workers: usize) -> Alg3Result {
                 let m = queue.peek_message().unwrap();
                 assert!(m.is_some(), "peek must find a message");
             }
-            out.push(((size, QueueOp::Peek), env.now().saturating_since(t0).as_secs_f64()));
+            out.push((
+                (size, QueueOp::Peek),
+                env.now().saturating_since(t0).as_secs_f64(),
+            ));
 
             // ---- Get (+ delete) phase ----
             let t0 = env.now();
@@ -91,7 +97,10 @@ pub fn run_alg3(cfg: &BenchConfig, workers: usize) -> Alg3Result {
                 assert_eq!(m.data.len(), size);
                 queue.delete_message(&m).unwrap();
             }
-            out.push(((size, QueueOp::Get), env.now().saturating_since(t0).as_secs_f64()));
+            out.push((
+                (size, QueueOp::Get),
+                env.now().saturating_since(t0).as_secs_f64(),
+            ));
         }
         queue.delete_queue().unwrap();
         out

@@ -83,7 +83,10 @@ pub fn run_alg5(cfg: &BenchConfig, workers: usize) -> Alg5Result {
             for rk in 0..count {
                 table.insert(entity(&pk, rk, &mut gen, size)).unwrap();
             }
-            out.push(((size, TableOp::Insert), env.now().saturating_since(t0).as_secs_f64()));
+            out.push((
+                (size, TableOp::Insert),
+                env.now().saturating_since(t0).as_secs_f64(),
+            ));
 
             // ---- Query ----
             let t0 = env.now();
@@ -91,21 +94,30 @@ pub fn run_alg5(cfg: &BenchConfig, workers: usize) -> Alg5Result {
                 let got = table.query(&pk, &rk.to_string()).unwrap();
                 assert!(got.is_some(), "query must hit");
             }
-            out.push(((size, TableOp::Query), env.now().saturating_since(t0).as_secs_f64()));
+            out.push((
+                (size, TableOp::Query),
+                env.now().saturating_since(t0).as_secs_f64(),
+            ));
 
             // ---- Update (wildcard ETag) ----
             let t0 = env.now();
             for rk in 0..count {
                 table.update(entity(&pk, rk, &mut gen, size)).unwrap();
             }
-            out.push(((size, TableOp::Update), env.now().saturating_since(t0).as_secs_f64()));
+            out.push((
+                (size, TableOp::Update),
+                env.now().saturating_since(t0).as_secs_f64(),
+            ));
 
             // ---- Delete ----
             let t0 = env.now();
             for rk in 0..count {
                 table.delete_entity(&pk, &rk.to_string()).unwrap();
             }
-            out.push(((size, TableOp::Delete), env.now().saturating_since(t0).as_secs_f64()));
+            out.push((
+                (size, TableOp::Delete),
+                env.now().saturating_since(t0).as_secs_f64(),
+            ));
         }
         out
     });

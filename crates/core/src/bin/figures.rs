@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|all]...
+//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|all]...
 //!         [--scale S] [--workers 1,2,4,...] [--seed N] [--csv DIR]
 //! ```
 //!
@@ -9,7 +9,7 @@
 //! paper's workload volumes; smaller scales shrink them proportionally.
 //! `--csv DIR` additionally writes one CSV per figure into `DIR`.
 
-use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, fig9, BenchConfig, Figure};
+use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, BenchConfig, Figure};
 use std::io::Write;
 use std::time::Instant;
 
@@ -78,7 +78,7 @@ fn main() {
     };
     if args.targets.is_empty() {
         eprintln!(
-            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|all]... \
+            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|all]... \
              [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR]"
         );
         std::process::exit(2);
@@ -96,14 +96,13 @@ fn main() {
         cfg.scale, cfg.workers, cfg.seed
     );
 
-    let want = |t: &str| {
-        args.targets
-            .iter()
-            .any(|x| x == t || x == "all")
-    };
+    let want = |t: &str| args.targets.iter().any(|x| x == t || x == "all");
 
     if want("table1") {
-        println!("# Table I — VM configurations\n{}", azsim_compute::vm::render_table1());
+        println!(
+            "# Table I — VM configurations\n{}",
+            azsim_compute::vm::render_table1()
+        );
     }
     if want("fig4") || want("fig5") {
         let t = Instant::now();
@@ -140,12 +139,21 @@ fn main() {
         let t = Instant::now();
         let mut report = azurebench::latency::profile_mixed(&cfg, 8, 50);
         eprintln!("# latency profile swept in {:.1?}", t.elapsed());
-        println!("# latency — per-op distributions (mixed workload, 8 workers)\n{}", report.render());
+        println!(
+            "# latency — per-op distributions (mixed workload, 8 workers)\n{}",
+            report.render()
+        );
     }
     if want("fig9") {
         let t = Instant::now();
         let fig = fig9::figure_9(&cfg);
         eprintln!("# fig9 (per-op) swept in {:.1?}", t.elapsed());
         emit(std::slice::from_ref(&fig), &args.csv_dir);
+    }
+    if want("chaos") {
+        let t = Instant::now();
+        let figs = chaos::figure_chaos(&cfg, 8, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        eprintln!("# chaos (fault injection) swept in {:.1?}", t.elapsed());
+        emit(&figs, &args.csv_dir);
     }
 }

@@ -25,10 +25,12 @@ pub fn figure_9(cfg: &BenchConfig) -> Figure {
         "seconds (mean per op)",
     );
     for op in TableOp::ALL {
-        fig.series.push(Series::new(format!("table-{}", op.label())));
+        fig.series
+            .push(Series::new(format!("table-{}", op.label())));
     }
     for op in QueueOp::ALL {
-        fig.series.push(Series::new(format!("queue-{}", op.label())));
+        fig.series
+            .push(Series::new(format!("queue-{}", op.label())));
     }
 
     for &w in &cfg.workers {

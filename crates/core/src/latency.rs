@@ -36,7 +36,9 @@ impl LatencyReport {
                     .or_default()
                     .record(r.latency().as_secs_f64()),
                 TraceOutcome::Throttled => report.throttled += 1,
-                TraceOutcome::Failed => report.failed += 1,
+                TraceOutcome::Failed | TraceOutcome::Faulted | TraceOutcome::TimedOut => {
+                    report.failed += 1
+                }
             }
         }
         report
@@ -145,7 +147,9 @@ mod tests {
             OpClass::TableInsert,
             OpClass::TableQuery,
         ] {
-            let s = r.samples_mut(class).unwrap_or_else(|| panic!("{class:?} missing"));
+            let s = r
+                .samples_mut(class)
+                .unwrap_or_else(|| panic!("{class:?} missing"));
             assert_eq!(s.len(), 40, "{class:?}");
             assert!(s.mean() > 0.0);
         }

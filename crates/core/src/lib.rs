@@ -24,6 +24,7 @@ pub mod alg1_blob;
 pub mod alg3_queue;
 pub mod alg4_queue;
 pub mod alg5_table;
+pub mod chaos;
 pub mod config;
 pub mod fig9;
 pub mod latency;

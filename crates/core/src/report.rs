@@ -88,10 +88,7 @@ impl Figure {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
-        let mut out = format!(
-            "# {} — {}\n# y: {}\n",
-            self.id, self.title, self.y_label
-        );
+        let mut out = format!("# {} — {}\n# y: {}\n", self.id, self.title, self.y_label);
         let name_w = self
             .series
             .iter()

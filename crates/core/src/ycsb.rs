@@ -262,10 +262,10 @@ pub fn run_ycsb(
                 }
                 YcsbOp::Update => {
                     table
-                        .update(Entity::new(&pk, &rk).with(
-                            "field0",
-                            PropValue::Binary(gen.bytes(value_size)),
-                        ))
+                        .update(
+                            Entity::new(&pk, &rk)
+                                .with("field0", PropValue::Binary(gen.bytes(value_size))),
+                        )
                         .unwrap();
                 }
                 YcsbOp::Insert => {
@@ -274,10 +274,10 @@ pub fn run_ycsb(
                     let id = records + me + (opno as u64) * w;
                     let (pk, rk) = record_key(id + 1_000_000_000);
                     table
-                        .insert(Entity::new(pk, rk).with(
-                            "field0",
-                            PropValue::Binary(gen.bytes(value_size)),
-                        ))
+                        .insert(
+                            Entity::new(pk, rk)
+                                .with("field0", PropValue::Binary(gen.bytes(value_size))),
+                        )
                         .unwrap();
                 }
                 YcsbOp::Scan => {
@@ -353,7 +353,10 @@ mod tests {
         };
         let mild = hits_top10(0.5, &mut rng);
         let strong = hits_top10(0.99, &mut rng);
-        assert!(strong > mild, "higher theta must be more skewed: {strong} vs {mild}");
+        assert!(
+            strong > mild,
+            "higher theta must be more skewed: {strong} vs {mild}"
+        );
     }
 
     #[test]
@@ -362,7 +365,10 @@ mod tests {
         let reads = r[&YcsbOp::Read].count();
         let updates = r[&YcsbOp::Update].count();
         assert_eq!(reads + updates, 100);
-        assert!(reads > 20 && updates > 20, "mix badly skewed: {reads}/{updates}");
+        assert!(
+            reads > 20 && updates > 20,
+            "mix badly skewed: {reads}/{updates}"
+        );
         // Updates replicate; reads do not: updates must be slower.
         assert!(r[&YcsbOp::Update].mean() > r[&YcsbOp::Read].mean());
     }

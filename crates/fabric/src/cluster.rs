@@ -16,6 +16,7 @@
 //! All stages are non-preemptive FIFO resources, so each operation is
 //! priced analytically at arrival (one event per op in the runtime).
 
+use crate::faults::{FaultDecision, FaultInjector, FaultMetrics, FaultPlan};
 use crate::metrics::ClusterMetrics;
 use crate::params::ClusterParams;
 use crate::trace::{TraceOutcome, TraceRecord, Tracer};
@@ -53,6 +54,7 @@ pub struct Cluster {
     nic_bandwidth: HashMap<usize, f64>,
     metrics: ClusterMetrics,
     tracer: Option<Tracer>,
+    faults: FaultInjector,
 }
 
 impl Cluster {
@@ -80,13 +82,17 @@ impl Cluster {
             table_frontend: Pipe::new(params.table_frontend_bandwidth),
             account_up: Pipe::new(params.account_bandwidth),
             account_down: Pipe::new(params.account_bandwidth),
-            account_tx: TokenBucket::new(params.account_tx_rate, params.throttle_burst.max(params.account_tx_rate / 10.0)),
+            account_tx: TokenBucket::new(
+                params.account_tx_rate,
+                params.throttle_burst.max(params.account_tx_rate / 10.0),
+            ),
             queue_buckets: HashMap::new(),
             partition_buckets: HashMap::new(),
             nics: HashMap::new(),
             nic_bandwidth: HashMap::new(),
             metrics: ClusterMetrics::new(),
             tracer: None,
+            faults: FaultInjector::inert(),
             params,
         }
     }
@@ -111,6 +117,18 @@ impl Cluster {
     /// Server-side metrics.
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// Install a fault plan. The default plan is inert; a non-inert plan
+    /// makes the cluster inject the scheduled and probabilistic faults it
+    /// describes. Install before the first request for reproducibility.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultInjector::new(plan);
+    }
+
+    /// Counters of injected faults (all zero under the inert default).
+    pub fn fault_metrics(&self) -> &FaultMetrics {
+        self.faults.metrics()
     }
 
     /// Record one [`TraceRecord`] per operation, keeping at most
@@ -159,7 +177,9 @@ impl Cluster {
             OpClass::BlobGetBlock => p.get_block_overhead,
             OpClass::BlobGetPage => p.get_page_overhead,
             OpClass::BlobDownload => p.download_overhead,
-            OpClass::BlobCreateContainer | OpClass::BlobCreatePage | OpClass::BlobDelete
+            OpClass::BlobCreateContainer
+            | OpClass::BlobCreatePage
+            | OpClass::BlobDelete
             | OpClass::BlobList => Duration::from_millis(1),
             OpClass::QueueCreate | OpClass::QueueDelete | OpClass::QueueClear => {
                 Duration::from_millis(1)
@@ -186,9 +206,10 @@ impl Cluster {
     fn apply(&mut self, now: SimTime, req: &StorageRequest) -> StorageResult<StorageOk> {
         use StorageRequest::*;
         match req {
-            CreateContainer { container } => {
-                self.blobs.create_container(container).map(|_| StorageOk::Ack)
-            }
+            CreateContainer { container } => self
+                .blobs
+                .create_container(container)
+                .map(|_| StorageOk::Ack),
             PutBlock {
                 container,
                 blob,
@@ -254,9 +275,7 @@ impl Cluster {
             DeleteBlob { container, blob } => {
                 self.blobs.delete(container, blob).map(|_| StorageOk::Ack)
             }
-            ListBlobs { container } => {
-                self.blobs.list_blobs(container).map(StorageOk::Names)
-            }
+            ListBlobs { container } => self.blobs.list_blobs(container).map(StorageOk::Names),
             CreateQueue { queue } => self.queues.create_queue(queue).map(|_| StorageOk::Ack),
             DeleteQueue { queue } => self.queues.delete_queue(queue).map(|_| StorageOk::Ack),
             PutMessage { queue, data, ttl } => self
@@ -368,6 +387,31 @@ impl Cluster {
         Ok(())
     }
 
+    /// Record one trace row, if tracing is on.
+    #[allow(clippy::too_many_arguments)]
+    fn trace(
+        &mut self,
+        issued: SimTime,
+        completed: SimTime,
+        actor: usize,
+        class: OpClass,
+        outcome: TraceOutcome,
+        bytes_up: u64,
+        bytes_down: u64,
+    ) {
+        if let Some(tr) = &mut self.tracer {
+            tr.record(TraceRecord {
+                issued,
+                completed,
+                actor,
+                class,
+                outcome,
+                bytes_up,
+                bytes_down,
+            });
+        }
+    }
+
     /// Whether the 16 KB `GetMessage` anomaly applies to this payload.
     fn quirk_applies(&self, class: OpClass, bytes_down: u64) -> bool {
         self.params.quirk_get16k
@@ -393,23 +437,41 @@ impl Cluster {
         let (_, mut t) = self.nic(actor).transfer(now, up);
         t += p_frontend_rtt;
 
+        // Fault injection (inert by default). Faults fire where a real
+        // cluster produces them: storms at the front end, crash/blackout
+        // at the partition server, drops anywhere in between.
+        let sidx = pk.server_index(self.params.servers);
+        match self.faults.decide(t, class, &pk, sidx) {
+            FaultDecision::None => {}
+            FaultDecision::Busy { retry_after } => {
+                self.metrics.counter_mut(class).throttled += 1;
+                let done = t + Duration::from_millis(1);
+                self.trace(now, done, actor, class, TraceOutcome::Throttled, up, 0);
+                return (done, Err(StorageError::ServerBusy { retry_after }));
+            }
+            FaultDecision::Fault { retry_after } => {
+                self.metrics.counter_mut(class).failed += 1;
+                let done = t + Duration::from_millis(1);
+                self.trace(now, done, actor, class, TraceOutcome::Faulted, up, 0);
+                return (done, Err(StorageError::ServerFault { retry_after }));
+            }
+            FaultDecision::Drop { elapsed } => {
+                // The request vanishes; the client's wait expires. No
+                // state transition happens server-side.
+                self.metrics.counter_mut(class).failed += 1;
+                let done = t + elapsed;
+                self.trace(now, done, actor, class, TraceOutcome::TimedOut, up, 0);
+                return (done, Err(StorageError::Timeout { elapsed }));
+            }
+        }
+
         // Documented rate limits.
         if let Err(_wait) = self.throttle(t, class, &pk) {
             let c = self.metrics.counter_mut(class);
             c.throttled += 1;
             // The rejection itself is a fast round trip.
             let done = t + Duration::from_millis(1);
-            if let Some(tr) = &mut self.tracer {
-                tr.record(TraceRecord {
-                    issued: now,
-                    completed: done,
-                    actor,
-                    class,
-                    outcome: TraceOutcome::Throttled,
-                    bytes_up: up,
-                    bytes_down: 0,
-                });
-            }
+            self.trace(now, done, actor, class, TraceOutcome::Throttled, up, 0);
             return (
                 done,
                 Err(StorageError::ServerBusy {
@@ -421,7 +483,6 @@ impl Cluster {
         // Account + server data path for the uplink payload.
         let (_, t2) = self.account_up.transfer(t, up);
         t = t2;
-        let sidx = pk.server_index(self.params.servers);
         let (_, t2) = self.server_rx[sidx].transfer(t, up);
         t = t2;
         // Blob writes additionally cross the per-blob write pipe
@@ -482,12 +543,21 @@ impl Cluster {
                 t += extra;
             }
             // Strong consistency: replicate writes; GetMessage also
-            // propagates visibility state.
+            // propagates visibility state. An injected stall models a
+            // slow secondary holding up the synchronous ack.
             match class.sync_class() {
                 SyncClass::ReadPrimary => {}
-                SyncClass::Replicate => t += self.params.replica_sync,
+                SyncClass::Replicate => {
+                    t += self.params.replica_sync;
+                    if let Some(stall) = self.faults.replica_stall() {
+                        t += stall;
+                    }
+                }
                 SyncClass::ReplicateState => {
-                    t = t + self.params.replica_sync + self.params.state_sync
+                    t = t + self.params.replica_sync + self.params.state_sync;
+                    if let Some(stall) = self.faults.replica_stall() {
+                        t += stall;
+                    }
                 }
             }
         }
@@ -531,21 +601,12 @@ impl Cluster {
             }
             Err(_) => c.failed += 1,
         }
-        if let Some(tr) = &mut self.tracer {
-            tr.record(TraceRecord {
-                issued: now,
-                completed: t,
-                actor,
-                class,
-                outcome: if result.is_ok() {
-                    TraceOutcome::Ok
-                } else {
-                    TraceOutcome::Failed
-                },
-                bytes_up: up,
-                bytes_down: down,
-            });
-        }
+        let outcome = if result.is_ok() {
+            TraceOutcome::Ok
+        } else {
+            TraceOutcome::Failed
+        };
+        self.trace(now, t, actor, class, outcome, up, down);
         (t, result)
     }
 }
@@ -708,7 +769,10 @@ mod tests {
                 hot_throttled += 1;
             }
         }
-        assert!(hot_throttled > 0, "500 entities/s per partition must engage");
+        assert!(
+            hot_throttled > 0,
+            "500 entities/s per partition must engage"
+        );
         // A different partition of the same table is fine.
         let (_, r) = c.submit(at(1), 0, &insert("cold", 0));
         r.unwrap();
@@ -903,10 +967,7 @@ mod tests {
         assert_eq!(r.outcome, crate::trace::TraceOutcome::Ok);
         assert_eq!(r.bytes_up, 256);
         assert!(r.latency() > Duration::ZERO);
-        assert_eq!(
-            tr.records()[2].outcome,
-            crate::trace::TraceOutcome::Failed
-        );
+        assert_eq!(tr.records()[2].outcome, crate::trace::TraceOutcome::Failed);
         let csv = tr.to_csv();
         assert_eq!(csv.lines().count(), 4);
     }
@@ -1048,6 +1109,9 @@ mod tests {
                 throttled += 1;
             }
         }
-        assert!(throttled > 0, "account-level 5000 tx/s analogue must engage");
+        assert!(
+            throttled > 0,
+            "account-level 5000 tx/s analogue must engage"
+        );
     }
 }

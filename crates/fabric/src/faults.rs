@@ -1,0 +1,455 @@
+//! Deterministic, seeded fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] describes *when and where* the cluster misbehaves:
+//!
+//! * **scheduled** events — partition-server crashes with a failover
+//!   window ([`ServerCrash`]), per-partition transient unavailability
+//!   ([`PartitionBlackout`]), and cluster-wide `ServerBusy` storms
+//!   ([`BusyStorm`]) — are pure time windows, reproduced identically on
+//!   every run;
+//! * **probabilistic** events — request timeouts/drops and replica-sync
+//!   stalls — are drawn from a dedicated RNG stream derived from the
+//!   plan's seed, so two runs with the same plan, workload and seed
+//!   observe byte-identical fault sequences.
+//!
+//! The default plan is **inert**: every list empty, every probability
+//! zero. An inert plan is never consulted beyond one boolean check and
+//! draws no randomness, so enabling the subsystem does not perturb
+//! baseline (paper-reproduction) runs in any way.
+//!
+//! Faults surface to clients as the two `StorageError` variants added for
+//! this subsystem: [`StorageError::ServerFault`] for crash/blackout
+//! windows and [`StorageError::Timeout`] for dropped requests, plus extra
+//! [`StorageError::ServerBusy`] results during storms.
+
+use azsim_core::rng::stream_rng;
+use azsim_core::SimTime;
+use azsim_storage::{OpClass, PartitionKey};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// RNG stream id for fault decisions (distinct from the cluster's other
+/// streams, which derive from `ClusterParams::seed`).
+const FAULT_STREAM: u64 = 0xFA17;
+
+/// One partition-server crash: every partition placed on `server` is
+/// unavailable for `failover` after `at` (WAS reassigns its partitions to
+/// other servers; the window models reload + replay).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerCrash {
+    /// Index of the crashed server (`PartitionKey::server_index`).
+    pub server: usize,
+    /// Crash instant.
+    pub at: SimTime,
+    /// How long the partitions stay unavailable.
+    pub failover: Duration,
+}
+
+/// One partition's transient unavailability window (e.g. a partition
+/// being moved, or its log being sealed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionBlackout {
+    /// The affected partition.
+    pub partition: PartitionKey,
+    /// Window start.
+    pub at: SimTime,
+    /// Window length.
+    pub duration: Duration,
+}
+
+/// A window during which every data-plane request is rejected with
+/// `ServerBusy` regardless of the token buckets — an injected throttle
+/// storm, as seen during cluster-wide load spikes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BusyStorm {
+    /// Window start.
+    pub at: SimTime,
+    /// Window length.
+    pub duration: Duration,
+    /// Retry hint returned with the injected rejections.
+    pub retry_after: Duration,
+}
+
+/// A complete fault schedule for one run. Construct with struct-update
+/// syntax over [`FaultPlan::default`], which is inert.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream (independent of the workload seed so
+    /// fault sequences can be varied while the workload is held fixed).
+    pub seed: u64,
+    /// Scheduled server crashes.
+    pub crashes: Vec<ServerCrash>,
+    /// Scheduled per-partition blackouts.
+    pub blackouts: Vec<PartitionBlackout>,
+    /// Scheduled throttle storms.
+    pub busy_storms: Vec<BusyStorm>,
+    /// Probability that a data-plane request is dropped (client observes a
+    /// timeout; the operation never executes).
+    pub timeout_prob: f64,
+    /// The client-side wait modeled for a dropped request.
+    pub timeout: Duration,
+    /// Probability that a replicated write's sync stalls.
+    pub replica_stall_prob: f64,
+    /// Extra latency added by a replica-sync stall.
+    pub replica_stall: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            blackouts: Vec::new(),
+            busy_storms: Vec::new(),
+            timeout_prob: 0.0,
+            timeout: Duration::from_secs(30),
+            replica_stall_prob: 0.0,
+            replica_stall: Duration::from_millis(200),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether this plan can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.crashes.is_empty()
+            && self.blackouts.is_empty()
+            && self.busy_storms.is_empty()
+            && self.timeout_prob <= 0.0
+            && self.replica_stall_prob <= 0.0
+    }
+}
+
+/// What the injector decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Proceed normally.
+    None,
+    /// Reject with `ServerBusy { retry_after }` (storm).
+    Busy {
+        /// Retry hint to return.
+        retry_after: Duration,
+    },
+    /// Reject with `ServerFault { retry_after }` (crash/blackout window);
+    /// the hint is the time remaining in the window.
+    Fault {
+        /// Remaining unavailability.
+        retry_after: Duration,
+    },
+    /// Drop the request; the client observes `Timeout { elapsed }` after
+    /// its wait. The operation does not execute.
+    Drop {
+        /// The modeled client-side wait.
+        elapsed: Duration,
+    },
+}
+
+/// Counters of injected events (all zero under an inert plan).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// `ServerBusy` rejections injected by storms.
+    pub injected_busy: u64,
+    /// `ServerFault` rejections from crash windows.
+    pub crash_faults: u64,
+    /// `ServerFault` rejections from partition blackouts.
+    pub blackout_faults: u64,
+    /// Requests dropped (client timeouts).
+    pub dropped: u64,
+    /// Replica-sync stalls applied.
+    pub replica_stalls: u64,
+}
+
+impl FaultMetrics {
+    /// Total injected faults of all kinds.
+    pub fn total(&self) -> u64 {
+        self.injected_busy
+            + self.crash_faults
+            + self.blackout_faults
+            + self.dropped
+            + self.replica_stalls
+    }
+}
+
+/// Executes a [`FaultPlan`] against the request stream. Owned by the
+/// cluster; consulted once per data-plane request.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    metrics: FaultMetrics,
+    active: bool,
+}
+
+impl FaultInjector {
+    /// Build from a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let active = !plan.is_inert();
+        FaultInjector {
+            rng: stream_rng(plan.seed, FAULT_STREAM),
+            active,
+            metrics: FaultMetrics::default(),
+            plan,
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn inert() -> Self {
+        Self::new(FaultPlan::default())
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counts of injected events so far.
+    pub fn metrics(&self) -> &FaultMetrics {
+        &self.metrics
+    }
+
+    /// Decide the fate of one request arriving at `now` for partition
+    /// `pk` on server `server`. Control-plane operations (create/delete
+    /// of namespaces) are never faulted so harness setup stays reliable.
+    ///
+    /// Decision order mirrors the request path: storm rejection happens
+    /// at the front end (before placement), then crash/blackout at the
+    /// partition server, then in-flight drops, with replica stalls
+    /// handled separately by [`FaultInjector::replica_stall`].
+    pub fn decide(
+        &mut self,
+        now: SimTime,
+        class: OpClass,
+        pk: &PartitionKey,
+        server: usize,
+    ) -> FaultDecision {
+        if !self.active || class.is_control() {
+            return FaultDecision::None;
+        }
+        for storm in &self.plan.busy_storms {
+            if in_window(now, storm.at, storm.duration) {
+                self.metrics.injected_busy += 1;
+                return FaultDecision::Busy {
+                    retry_after: storm.retry_after,
+                };
+            }
+        }
+        for crash in &self.plan.crashes {
+            if crash.server == server && in_window(now, crash.at, crash.failover) {
+                self.metrics.crash_faults += 1;
+                return FaultDecision::Fault {
+                    retry_after: remaining(now, crash.at, crash.failover),
+                };
+            }
+        }
+        for blackout in &self.plan.blackouts {
+            if blackout.partition == *pk && in_window(now, blackout.at, blackout.duration) {
+                self.metrics.blackout_faults += 1;
+                return FaultDecision::Fault {
+                    retry_after: remaining(now, blackout.at, blackout.duration),
+                };
+            }
+        }
+        // Probabilistic drops draw randomness only when the knob is on,
+        // so scheduled-only plans stay RNG-free (and replayable even if
+        // the schedule is edited).
+        if self.plan.timeout_prob > 0.0 && self.rng.random::<f64>() < self.plan.timeout_prob {
+            self.metrics.dropped += 1;
+            return FaultDecision::Drop {
+                elapsed: self.plan.timeout,
+            };
+        }
+        FaultDecision::None
+    }
+
+    /// Extra replica-sync latency for a replicated write, if a stall
+    /// fires. Called only for operations that actually replicate.
+    pub fn replica_stall(&mut self) -> Option<Duration> {
+        if !self.active || self.plan.replica_stall_prob <= 0.0 {
+            return None;
+        }
+        if self.rng.random::<f64>() < self.plan.replica_stall_prob {
+            self.metrics.replica_stalls += 1;
+            Some(self.plan.replica_stall)
+        } else {
+            None
+        }
+    }
+}
+
+fn in_window(now: SimTime, start: SimTime, len: Duration) -> bool {
+    now >= start && now < start + len
+}
+
+fn remaining(now: SimTime, start: SimTime, len: Duration) -> Duration {
+    (start + len).saturating_since(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn queue_pk() -> PartitionKey {
+        PartitionKey::Queue { queue: "q".into() }
+    }
+
+    #[test]
+    fn default_plan_is_inert_and_silent() {
+        let mut inj = FaultInjector::inert();
+        assert!(!inj.is_active());
+        for ms in 0..100 {
+            assert_eq!(
+                inj.decide(at(ms), OpClass::QueuePut, &queue_pk(), 3),
+                FaultDecision::None
+            );
+        }
+        assert_eq!(inj.replica_stall(), None);
+        assert_eq!(inj.metrics().total(), 0);
+    }
+
+    #[test]
+    fn crash_window_faults_only_that_server() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            crashes: vec![ServerCrash {
+                server: 5,
+                at: at(100),
+                failover: Duration::from_millis(50),
+            }],
+            ..FaultPlan::default()
+        });
+        // Before, other server, after: untouched.
+        assert_eq!(
+            inj.decide(at(99), OpClass::QueuePut, &queue_pk(), 5),
+            FaultDecision::None
+        );
+        assert_eq!(
+            inj.decide(at(120), OpClass::QueuePut, &queue_pk(), 4),
+            FaultDecision::None
+        );
+        assert_eq!(
+            inj.decide(at(150), OpClass::QueuePut, &queue_pk(), 5),
+            FaultDecision::None
+        );
+        // Inside the window: faulted, hint = remaining failover.
+        assert_eq!(
+            inj.decide(at(120), OpClass::QueuePut, &queue_pk(), 5),
+            FaultDecision::Fault {
+                retry_after: Duration::from_millis(30)
+            }
+        );
+        assert_eq!(inj.metrics().crash_faults, 1);
+    }
+
+    #[test]
+    fn blackout_faults_only_that_partition() {
+        let other = PartitionKey::Queue { queue: "r".into() };
+        let mut inj = FaultInjector::new(FaultPlan {
+            blackouts: vec![PartitionBlackout {
+                partition: queue_pk(),
+                at: at(10),
+                duration: Duration::from_millis(10),
+            }],
+            ..FaultPlan::default()
+        });
+        assert!(matches!(
+            inj.decide(at(15), OpClass::QueueGet, &queue_pk(), 0),
+            FaultDecision::Fault { .. }
+        ));
+        assert_eq!(
+            inj.decide(at(15), OpClass::QueueGet, &other, 0),
+            FaultDecision::None
+        );
+    }
+
+    #[test]
+    fn storm_rejects_everything_in_window() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            busy_storms: vec![BusyStorm {
+                at: at(0),
+                duration: Duration::from_millis(5),
+                retry_after: Duration::from_millis(250),
+            }],
+            ..FaultPlan::default()
+        });
+        assert_eq!(
+            inj.decide(at(1), OpClass::TableInsert, &queue_pk(), 9),
+            FaultDecision::Busy {
+                retry_after: Duration::from_millis(250)
+            }
+        );
+        assert_eq!(
+            inj.decide(at(6), OpClass::TableInsert, &queue_pk(), 9),
+            FaultDecision::None
+        );
+    }
+
+    #[test]
+    fn control_ops_are_never_faulted() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            busy_storms: vec![BusyStorm {
+                at: at(0),
+                duration: Duration::from_secs(10),
+                retry_after: Duration::from_secs(1),
+            }],
+            timeout_prob: 1.0,
+            ..FaultPlan::default()
+        });
+        assert_eq!(
+            inj.decide(at(1), OpClass::QueueCreate, &queue_pk(), 0),
+            FaultDecision::None
+        );
+    }
+
+    #[test]
+    fn probabilistic_faults_replay_identically_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan {
+                seed,
+                timeout_prob: 0.3,
+                replica_stall_prob: 0.2,
+                ..FaultPlan::default()
+            });
+            let mut seq = Vec::new();
+            for ms in 0..200 {
+                seq.push(matches!(
+                    inj.decide(at(ms), OpClass::QueuePut, &queue_pk(), 0),
+                    FaultDecision::Drop { .. }
+                ));
+                seq.push(inj.replica_stall().is_some());
+            }
+            (seq, *inj.metrics())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds, different faults");
+        let (_, m) = run(7);
+        assert!(m.dropped > 0 && m.replica_stalls > 0);
+    }
+
+    #[test]
+    fn inertness_detection() {
+        assert!(FaultPlan::default().is_inert());
+        assert!(!FaultPlan {
+            timeout_prob: 0.01,
+            ..FaultPlan::default()
+        }
+        .is_inert());
+        assert!(!FaultPlan {
+            crashes: vec![ServerCrash {
+                server: 0,
+                at: SimTime::ZERO,
+                failover: Duration::from_secs(1)
+            }],
+            ..FaultPlan::default()
+        }
+        .is_inert());
+    }
+}

@@ -26,11 +26,15 @@
 //! real time by `azsim-client`'s live mode.
 
 pub mod cluster;
+pub mod faults;
 pub mod metrics;
 pub mod params;
 pub mod trace;
 
 pub use cluster::Cluster;
+pub use faults::{
+    BusyStorm, FaultInjector, FaultMetrics, FaultPlan, PartitionBlackout, ServerCrash,
+};
 pub use metrics::{ClusterMetrics, OpCounter};
 pub use params::ClusterParams;
 pub use trace::{TraceOutcome, TraceRecord, Tracer};

@@ -38,6 +38,10 @@ pub enum TraceOutcome {
     Throttled,
     /// Failed with a semantic error.
     Failed,
+    /// Rejected by an injected server fault (`ServerFault`).
+    Faulted,
+    /// Dropped by fault injection; the client observed a timeout.
+    TimedOut,
 }
 
 impl TraceRecord {
@@ -89,8 +93,9 @@ impl Tracer {
 
     /// Render as CSV (`issued_s,completed_s,latency_ms,actor,class,outcome,bytes_up,bytes_down`).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("issued_s,completed_s,latency_ms,actor,class,outcome,bytes_up,bytes_down\n");
+        let mut out = String::from(
+            "issued_s,completed_s,latency_ms,actor,class,outcome,bytes_up,bytes_down\n",
+        );
         for r in &self.records {
             out.push_str(&format!(
                 "{:.9},{:.9},{:.6},{},{},{},{},{}\n",
@@ -103,6 +108,8 @@ impl Tracer {
                     TraceOutcome::Ok => "ok",
                     TraceOutcome::Throttled => "throttled",
                     TraceOutcome::Failed => "failed",
+                    TraceOutcome::Faulted => "faulted",
+                    TraceOutcome::TimedOut => "timed_out",
                 },
                 r.bytes_up,
                 r.bytes_down

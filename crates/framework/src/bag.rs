@@ -133,7 +133,8 @@ impl<'e, T: Serialize + DeserializeOwned> BagOfTasks<'e, T> {
                     match self.tasks.complete(&claimed) {
                         Ok(()) => {
                             process(claimed.task, attempt);
-                            self.done.signal(format!("attempt-{attempt}").into_bytes())?;
+                            self.done
+                                .signal(format!("attempt-{attempt}").into_bytes())?;
                             report.processed += 1;
                         }
                         Err(StorageError::PopReceiptMismatch) => {
@@ -174,9 +175,7 @@ mod tests {
             let env = VirtualEnv::new(ctx);
             let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "app");
             bag.init().unwrap();
-            let submitted = bag
-                .submit_all((0..n_tasks).map(|id| Unit { id }))
-                .unwrap();
+            let submitted = bag.submit_all((0..n_tasks).map(|id| Unit { id })).unwrap();
             let done = bag.wait_all(submitted).unwrap();
             (submitted, done)
         }));
@@ -239,7 +238,10 @@ mod tests {
                     processed_ids.push(t.id);
                 })
                 .unwrap();
-            assert!(!processed_ids.contains(&666), "poison must not be processed");
+            assert!(
+                !processed_ids.contains(&666),
+                "poison must not be processed"
+            );
             assert_eq!(r.dead_lettered, 1);
             // The dead-letter queue holds it for inspection.
             let parked = bag.dead.claim().unwrap().unwrap();

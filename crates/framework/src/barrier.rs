@@ -129,7 +129,11 @@ mod tests {
         // Phase k's slowest arrival bounds everyone's phase-k crossing.
         for p in 0..phases {
             let crossings: Vec<SimTime> = report.results.iter().map(|c| c[p]).collect();
-            let spread = crossings.iter().max().unwrap().saturating_since(*crossings.iter().min().unwrap());
+            let spread = crossings
+                .iter()
+                .max()
+                .unwrap()
+                .saturating_since(*crossings.iter().min().unwrap());
             // All workers cross within ~one poll interval + op costs.
             assert!(
                 spread < Duration::from_secs(2),

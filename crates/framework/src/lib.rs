@@ -30,7 +30,7 @@ pub mod taskqueue;
 pub mod termination;
 
 pub use bag::{BagOfTasks, WorkerReport};
-pub use mapreduce::{MapReduce, MapReduceJob};
 pub use barrier::QueueBarrier;
+pub use mapreduce::{MapReduce, MapReduceJob};
 pub use taskqueue::{ClaimedTask, TaskQueue};
 pub use termination::TerminationIndicator;

@@ -187,7 +187,8 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
         buckets: usize,
     ) -> StorageResult<()> {
         let pairs = self.job.map(input);
-        let mut by_bucket: Vec<Vec<(J::Key, J::Value)>> = (0..buckets).map(|_| Vec::new()).collect();
+        let mut by_bucket: Vec<Vec<(J::Key, J::Value)>> =
+            (0..buckets).map(|_| Vec::new()).collect();
         for (k, v) in pairs {
             let b = self.job.bucket(&k, buckets);
             by_bucket[b].push((k, v));

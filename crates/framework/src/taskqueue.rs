@@ -5,12 +5,24 @@
 //! limit). A claimed task must be [`completed`](TaskQueue::complete)
 //! within its visibility timeout or it reappears for another worker — the
 //! built-in fault-tolerance mechanism of the shared-task-pool pattern.
+//!
+//! ## Poison messages
+//!
+//! The visibility-timeout loop has a failure mode: a task that *cannot* be
+//! processed (malformed payload, or a payload that reliably crashes its
+//! worker) is re-delivered forever, wasting a worker slot on every cycle.
+//! `TaskQueue` therefore supports **dead-lettering**: undecodable messages
+//! — and, when [`with_max_attempts`](TaskQueue::with_max_attempts) is set,
+//! messages whose dequeue count exceeds the limit — are moved to a
+//! companion `<name>-poison` queue instead of being handed to workers. The
+//! poison queue is created lazily on first use, so clean runs pay nothing.
 
-use azsim_client::{Environment, QueueClient};
+use azsim_client::{ClientPolicy, Environment, QueueClient};
 use azsim_storage::{QueueMessage, StorageError, StorageResult};
 use bytes::Bytes;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use std::cell::Cell;
 use std::marker::PhantomData;
 use std::time::Duration;
 
@@ -28,16 +40,24 @@ pub struct ClaimedTask<T> {
 /// A typed task queue for payload type `T`.
 pub struct TaskQueue<'e, T> {
     queue: QueueClient<'e>,
+    poison: QueueClient<'e>,
     visibility: Duration,
+    max_attempts: Option<u32>,
+    dead_lettered: Cell<u64>,
     _marker: PhantomData<fn() -> T>,
 }
 
 impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
     /// Bind to `queue_name` with a default 2-minute processing window.
     pub fn new(env: &'e dyn Environment, queue_name: impl Into<String>) -> Self {
+        let name = queue_name.into();
+        let poison = QueueClient::new(env, format!("{name}-poison"));
         TaskQueue {
-            queue: QueueClient::new(env, queue_name),
+            queue: QueueClient::new(env, name),
+            poison,
             visibility: Duration::from_secs(120),
+            max_attempts: None,
+            dead_lettered: Cell::new(0),
             _marker: PhantomData,
         }
     }
@@ -45,6 +65,24 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
     /// Change the visibility timeout (the per-task processing window).
     pub fn with_visibility(mut self, d: Duration) -> Self {
         self.visibility = d;
+        self
+    }
+
+    /// Dead-letter tasks once they have been claimed more than
+    /// `max_attempts` times (a claim loop that keeps crashing on one task
+    /// stops re-processing it). Default: unlimited redelivery.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = Some(max_attempts.max(1));
+        self
+    }
+
+    /// Replace the retry policy on the underlying queue clients (e.g. a
+    /// shared [`azsim_client::ResilientPolicy`] when running under fault
+    /// injection). Default: the paper-faithful `RetryPolicy`.
+    pub fn with_policy(mut self, policy: impl Into<ClientPolicy>) -> Self {
+        let policy: ClientPolicy = policy.into();
+        self.queue = self.queue.with_policy(policy.clone());
+        self.poison = self.poison.with_policy(policy);
         self
     }
 
@@ -63,18 +101,59 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
 
     /// Claim the next task, if any. The task stays invisible to other
     /// workers for the visibility timeout.
+    ///
+    /// Poison messages (undecodable payloads, or — with
+    /// [`with_max_attempts`](TaskQueue::with_max_attempts) — tasks
+    /// redelivered too many times) are moved to the `<name>-poison` queue
+    /// and skipped; the claim keeps going until it finds a healthy task or
+    /// drains the queue.
     pub fn claim(&self) -> StorageResult<Option<ClaimedTask<T>>> {
-        match self.queue.get_message_with_visibility(self.visibility)? {
-            None => Ok(None),
-            Some(message) => {
-                let task: T = serde_json::from_slice(&message.data)
-                    .expect("malformed task payload on task queue");
-                Ok(Some(ClaimedTask {
-                    task,
-                    attempt: message.dequeue_count,
-                    message,
-                }))
+        loop {
+            let Some(message) = self.queue.get_message_with_visibility(self.visibility)? else {
+                return Ok(None);
+            };
+            if let Some(max) = self.max_attempts {
+                if message.dequeue_count > max {
+                    self.dead_letter(&message)?;
+                    continue;
+                }
             }
+            match serde_json::from_slice::<T>(&message.data) {
+                Ok(task) => {
+                    return Ok(Some(ClaimedTask {
+                        task,
+                        attempt: message.dequeue_count,
+                        message,
+                    }))
+                }
+                Err(_) => {
+                    self.dead_letter(&message)?;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Move a claimed message to the poison queue and delete the original.
+    fn dead_letter(&self, message: &QueueMessage) -> StorageResult<()> {
+        self.poison.create()?; // idempotent; lazy so clean runs pay nothing
+        self.poison.put_message(message.data.clone())?;
+        self.queue.delete_message(message)?;
+        self.dead_lettered.set(self.dead_lettered.get() + 1);
+        Ok(())
+    }
+
+    /// Messages this handle has dead-lettered.
+    pub fn dead_lettered(&self) -> u64 {
+        self.dead_lettered.get()
+    }
+
+    /// Messages currently parked in the companion poison queue (across all
+    /// handles). Zero if nothing was ever dead-lettered.
+    pub fn dead_letter_count(&self) -> StorageResult<usize> {
+        match self.poison.message_count() {
+            Err(StorageError::QueueNotFound(_)) => Ok(0),
+            other => other,
         }
     }
 
@@ -201,5 +280,59 @@ mod tests {
         all.sort_unstable();
         let expect: Vec<u32> = (0..n_tasks).collect();
         assert_eq!(all, expect, "every task exactly once");
+    }
+
+    #[test]
+    fn malformed_payloads_are_dead_lettered_not_fatal() {
+        let sim = Simulation::new(Cluster::with_defaults(), 10);
+        sim.run_workers(1, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "tasks");
+            tq.init().unwrap();
+            assert_eq!(tq.dead_letter_count().unwrap(), 0);
+            // A buggy producer wrote garbage ahead of a healthy task.
+            let raw = azsim_client::QueueClient::new(&env, "tasks");
+            raw.put_message(Bytes::from_static(b"{not json")).unwrap();
+            tq.submit(&Job {
+                id: 3,
+                input_blob: "b3".into(),
+            })
+            .unwrap();
+            // The claim skips the poison message and returns the real task.
+            let claimed = tq.claim().unwrap().unwrap();
+            assert_eq!(claimed.task.id, 3);
+            tq.complete(&claimed).unwrap();
+            assert_eq!(tq.dead_lettered(), 1);
+            assert_eq!(tq.dead_letter_count().unwrap(), 1);
+            assert_eq!(tq.pending().unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn repeatedly_redelivered_tasks_are_dead_lettered() {
+        let sim = Simulation::new(Cluster::with_defaults(), 11);
+        sim.run_workers(1, |ctx| {
+            let env = VirtualEnv::new(ctx);
+            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "tasks")
+                .with_visibility(Duration::from_secs(1))
+                .with_max_attempts(2);
+            tq.init().unwrap();
+            tq.submit(&Job {
+                id: 9,
+                input_blob: "crashy".into(),
+            })
+            .unwrap();
+            // Two workers claim and "crash" (never complete).
+            for attempt in 1..=2 {
+                let c = tq.claim().unwrap().unwrap();
+                assert_eq!(c.attempt, attempt);
+                ctx.sleep(Duration::from_secs(2));
+            }
+            // The third delivery exceeds max_attempts: parked, not re-run.
+            assert!(tq.claim().unwrap().is_none());
+            assert_eq!(tq.dead_lettered(), 1);
+            assert_eq!(tq.dead_letter_count().unwrap(), 1);
+            assert_eq!(tq.pending().unwrap(), 0);
+        });
     }
 }

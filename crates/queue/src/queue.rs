@@ -67,7 +67,12 @@ impl SimQueue {
 
     /// Enqueue a message. Payload must fit in the 48 KB usable size; the
     /// TTL is capped at the service's 7 days.
-    pub fn put(&mut self, now: SimTime, data: Bytes, ttl: Option<Duration>) -> StorageResult<MessageId> {
+    pub fn put(
+        &mut self,
+        now: SimTime,
+        data: Bytes,
+        ttl: Option<Duration>,
+    ) -> StorageResult<MessageId> {
         if data.len() as u64 > MAX_MESSAGE_PAYLOAD {
             return Err(StorageError::MessageTooLarge {
                 size: data.len() as u64,
@@ -158,8 +163,7 @@ impl SimQueue {
         m.dequeue_count += 1;
         m.next_visible = now + visibility;
         m.current_receipt = Some(receipt);
-        self.parked
-            .push(Reverse((m.next_visible.as_nanos(), id)));
+        self.parked.push(Reverse((m.next_visible.as_nanos(), id)));
         self.total_got += 1;
         Some(QueueMessage {
             id: MessageId(id),
@@ -220,7 +224,12 @@ impl SimQueue {
     /// Lifetime counters `(put, got, deleted, reappeared)` for tests and
     /// fault-tolerance accounting.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (self.total_put, self.total_got, self.total_deleted, self.reappeared)
+        (
+            self.total_put,
+            self.total_got,
+            self.total_deleted,
+            self.reappeared,
+        )
     }
 }
 

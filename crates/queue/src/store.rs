@@ -33,10 +33,11 @@ impl QueueStore {
         if !self.queues.contains_key(name) {
             // Seed each queue from its name so placement of randomness is
             // independent of creation order.
-            let qseed = self.seed ^ azsim_storage::PartitionKey::Queue {
-                queue: name.to_owned(),
-            }
-            .stable_hash();
+            let qseed = self.seed
+                ^ azsim_storage::PartitionKey::Queue {
+                    queue: name.to_owned(),
+                }
+                .stable_hash();
             self.queues
                 .insert(name.to_owned(), SimQueue::new(qseed, self.fifo_fuzz));
         }

@@ -92,7 +92,8 @@ impl Pipe {
             return (arrival, arrival);
         }
         self.bytes += bytes;
-        self.inner.admit(arrival, transfer_time(bytes, self.bytes_per_sec))
+        self.inner
+            .admit(arrival, transfer_time(bytes, self.bytes_per_sec))
     }
 
     /// Configured bandwidth.

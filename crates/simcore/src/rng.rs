@@ -12,8 +12,7 @@ use rand::SeedableRng;
 /// SplitMix64 finalizer (a strong 64-bit mixer, good enough to decorrelate
 /// sequential stream ids).
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -60,9 +59,7 @@ mod tests {
     fn sequential_streams_look_uncorrelated() {
         // Crude sanity check: first draws from 64 consecutive streams should
         // be well spread over the u64 range (no clustering).
-        let firsts: Vec<u64> = (0..64)
-            .map(|s| stream_rng(7, s).random::<u64>())
-            .collect();
+        let firsts: Vec<u64> = (0..64).map(|s| stream_rng(7, s).random::<u64>()).collect();
         let mut sorted = firsts.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -501,7 +501,10 @@ mod tests {
             }
         });
         let times: Vec<u64> = report.model.handled.iter().map(|h| h.0).collect();
-        assert!(times.windows(2).all(|w| w[0] <= w[1]), "arrivals out of order");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals out of order"
+        );
         assert_eq!(report.requests, 80);
     }
 

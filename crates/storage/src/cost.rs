@@ -134,8 +134,7 @@ impl OpClass {
         use OpClass::*;
         matches!(
             self,
-            BlobCreateContainer | BlobList | QueueCreate | QueueDelete | TableCreate
-                | TableDelete
+            BlobCreateContainer | BlobList | QueueCreate | QueueDelete | TableCreate | TableDelete
         )
     }
 
@@ -214,11 +213,33 @@ mod tests {
     fn labels_are_unique() {
         use OpClass::*;
         let all = [
-            BlobCreateContainer, BlobPutBlock, BlobPutBlockList, BlobUploadSingle,
-            BlobGetBlock, BlobDownload, BlobCreatePage, BlobPutPage, BlobGetPage,
-            BlobDelete, BlobList, QueueCreate, QueueDelete, QueuePut, QueueGet, QueuePeek,
-            QueueDeleteMsg, QueueCount, QueueClear, TableCreate, TableDelete, TableInsert,
-            TableQuery, TableQueryPartition, TableUpdate, TableBatch, TableDeleteEntity,
+            BlobCreateContainer,
+            BlobPutBlock,
+            BlobPutBlockList,
+            BlobUploadSingle,
+            BlobGetBlock,
+            BlobDownload,
+            BlobCreatePage,
+            BlobPutPage,
+            BlobGetPage,
+            BlobDelete,
+            BlobList,
+            QueueCreate,
+            QueueDelete,
+            QueuePut,
+            QueueGet,
+            QueuePeek,
+            QueueDeleteMsg,
+            QueueCount,
+            QueueClear,
+            TableCreate,
+            TableDelete,
+            TableInsert,
+            TableQuery,
+            TableQueryPartition,
+            TableUpdate,
+            TableBatch,
+            TableDeleteEntity,
         ];
         let labels: std::collections::HashSet<_> = all.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), all.len());

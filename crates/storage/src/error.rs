@@ -19,6 +19,20 @@ pub enum StorageError {
         /// Hint for when capacity should be available again.
         retry_after: Duration,
     },
+    /// The request (or its response) was lost and the client's wait
+    /// expired. The operation may or may not have executed server-side —
+    /// callers must treat it as ambiguous and retry idempotently.
+    Timeout {
+        /// How long the client waited before giving up.
+        elapsed: Duration,
+    },
+    /// A partition server crashed or the partition is failing over; the
+    /// partition is temporarily unavailable.
+    ServerFault {
+        /// Rough time until the failover window closes and the partition
+        /// is served again.
+        retry_after: Duration,
+    },
     /// The addressed container does not exist.
     ContainerNotFound(String),
     /// The addressed blob does not exist.
@@ -88,10 +102,26 @@ pub enum StorageError {
 }
 
 impl StorageError {
-    /// Whether the error is transient and worth retrying (the paper's
-    /// workers retry only on throttling).
+    /// Whether the error is transient and worth retrying. Throttling is
+    /// the paper's case; timeouts and server faults are the fault-injection
+    /// extensions — all three clear up if the caller waits and retries.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, StorageError::ServerBusy { .. })
+        matches!(
+            self,
+            StorageError::ServerBusy { .. }
+                | StorageError::Timeout { .. }
+                | StorageError::ServerFault { .. }
+        )
+    }
+
+    /// The server's hint for how long to wait before retrying, if the
+    /// error carried one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            StorageError::ServerBusy { retry_after }
+            | StorageError::ServerFault { retry_after } => Some(*retry_after),
+            _ => None,
+        }
     }
 }
 
@@ -100,6 +130,12 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::ServerBusy { retry_after } => {
                 write!(f, "server busy; retry after {retry_after:?}")
+            }
+            StorageError::Timeout { elapsed } => {
+                write!(f, "request timed out after {elapsed:?}")
+            }
+            StorageError::ServerFault { retry_after } => {
+                write!(f, "partition server fault; retry after {retry_after:?}")
             }
             StorageError::ContainerNotFound(n) => write!(f, "container not found: {n}"),
             StorageError::BlobNotFound(n) => write!(f, "blob not found: {n}"),
@@ -146,14 +182,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn only_server_busy_is_retryable() {
+    fn transient_errors_are_retryable() {
         assert!(StorageError::ServerBusy {
             retry_after: Duration::from_secs(1)
+        }
+        .is_retryable());
+        assert!(StorageError::Timeout {
+            elapsed: Duration::from_secs(30)
+        }
+        .is_retryable());
+        assert!(StorageError::ServerFault {
+            retry_after: Duration::from_secs(10)
         }
         .is_retryable());
         assert!(!StorageError::EntityNotFound.is_retryable());
         assert!(!StorageError::PreconditionFailed.is_retryable());
         assert!(!StorageError::PopReceiptMismatch.is_retryable());
+    }
+
+    #[test]
+    fn retry_after_hint_only_where_the_server_provides_one() {
+        assert_eq!(
+            StorageError::ServerFault {
+                retry_after: Duration::from_secs(9)
+            }
+            .retry_after(),
+            Some(Duration::from_secs(9))
+        );
+        assert_eq!(
+            StorageError::Timeout {
+                elapsed: Duration::from_secs(1)
+            }
+            .retry_after(),
+            None
+        );
+        assert_eq!(StorageError::AlreadyExists.retry_after(), None);
     }
 
     #[test]

@@ -105,7 +105,11 @@ mod tests {
             table: "c".into(),
             partition: "x".into(),
         };
-        assert_ne!(b1.stable_hash(), t1.stable_hash(), "service namespaces must differ");
+        assert_ne!(
+            b1.stable_hash(),
+            t1.stable_hash(),
+            "service namespaces must differ"
+        );
     }
 
     #[test]

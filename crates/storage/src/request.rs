@@ -396,9 +396,7 @@ impl StorageRequest {
                 data.len() as u64
             }
             PutMessage { data, .. } => data.len() as u64,
-            PutBlockList { block_ids, .. } => {
-                block_ids.iter().map(|b| b.len() as u64 + 8).sum()
-            }
+            PutBlockList { block_ids, .. } => block_ids.iter().map(|b| b.len() as u64 + 8).sum(),
             InsertEntity { entity, .. } | UpdateEntity { entity, .. } => entity.size(),
             ExecuteBatch { ops, .. } => ops.iter().map(|o| o.payload_bytes()).sum(),
             _ => 0,
@@ -441,10 +439,7 @@ mod tests {
             ttl: None,
         };
         assert_eq!(r.class(), OpClass::QueuePut);
-        assert_eq!(
-            r.partition(),
-            PartitionKey::Queue { queue: "q1".into() }
-        );
+        assert_eq!(r.partition(), PartitionKey::Queue { queue: "q1".into() });
         assert_eq!(r.payload_bytes_up(), 1024);
     }
 

@@ -69,9 +69,9 @@ impl TableStore {
             let r = match op {
                 BatchOp::Insert(e) => self.insert(table, e.clone()).map(Some),
                 BatchOp::Update(e, cond) => self.update(table, e.clone(), *cond).map(Some),
-                BatchOp::Delete { row, condition } => self
-                    .delete(table, partition, row, *condition)
-                    .map(|_| None),
+                BatchOp::Delete { row, condition } => {
+                    self.delete(table, partition, row, *condition).map(|_| None)
+                }
             };
             match r {
                 Ok(t) => tags.push(t),
@@ -146,9 +146,9 @@ mod tests {
                 "t",
                 "p",
                 &[
-                    BatchOp::Insert(e("b", 2)),            // would succeed
+                    BatchOp::Insert(e("b", 2)),                     // would succeed
                     BatchOp::Update(e("a", 3), EtagCondition::Any), // would succeed
-                    BatchOp::Insert(e("a", 4)),            // duplicate → fails
+                    BatchOp::Insert(e("a", 4)),                     // duplicate → fails
                 ],
             )
             .unwrap_err();
@@ -185,7 +185,9 @@ mod tests {
             .execute_batch(
                 "t",
                 "p",
-                &[BatchOp::Insert(Entity::new("other", "r").with("v", PropValue::I64(1)))],
+                &[BatchOp::Insert(
+                    Entity::new("other", "r").with("v", PropValue::I64(1)),
+                )],
             )
             .unwrap_err();
         assert_eq!(err, StorageError::PreconditionFailed);
@@ -198,7 +200,10 @@ mod tests {
             .execute_batch(
                 "t",
                 "p",
-                &[BatchOp::Insert(e("x", 1)), BatchOp::Update(e("x", 2), EtagCondition::Any)],
+                &[
+                    BatchOp::Insert(e("x", 1)),
+                    BatchOp::Update(e("x", 2), EtagCondition::Any),
+                ],
             )
             .unwrap_err();
         assert_eq!(err, StorageError::AlreadyExists);

@@ -116,5 +116,8 @@ fn main() {
          {remaining} left in queue"
     );
     assert_eq!(remaining, 0, "no job may be lost");
-    assert!(redelivered > 0, "the crashes must have caused re-deliveries");
+    assert!(
+        redelivered > 0,
+        "the crashes must have caused re-deliveries"
+    );
 }

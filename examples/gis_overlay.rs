@@ -92,8 +92,7 @@ fn main() {
             let mut tasks = Vec::new();
             for cell in 0..CELLS {
                 for (layer, name) in ["a", "b"].iter().enumerate() {
-                    let rects =
-                        random_layer(u64::from(cell) * 2 + layer as u64, RECTS_PER_LAYER);
+                    let rects = random_layer(u64::from(cell) * 2 + layer as u64, RECTS_PER_LAYER);
                     let payload = serde_json::to_vec(&rects).unwrap();
                     blobs
                         .upload(&format!("cell-{cell}-{name}"), Bytes::from(payload))

@@ -68,9 +68,9 @@ impl MapReduceJob for KMeans {
     }
 
     fn reduce(&self, key: &usize, values: Vec<(f64, f64, u64)>) -> Moved {
-        let (sx, sy, n) = values
-            .into_iter()
-            .fold((0.0, 0.0, 0u64), |acc, v| (acc.0 + v.0, acc.1 + v.1, acc.2 + v.2));
+        let (sx, sy, n) = values.into_iter().fold((0.0, 0.0, 0u64), |acc, v| {
+            (acc.0 + v.0, acc.1 + v.1, acc.2 + v.2)
+        });
         (*key, (sx / n as f64, sy / n as f64), n)
     }
 

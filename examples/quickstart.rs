@@ -64,7 +64,10 @@ fn main() {
         msg.dequeue_count
     );
     queue.delete_message(&msg).unwrap();
-    println!("queue now holds {} messages", queue.message_count().unwrap());
+    println!(
+        "queue now holds {} messages",
+        queue.message_count().unwrap()
+    );
 
     // --- Tables --------------------------------------------------------
     let table = TableClient::new(&env, "runs");

@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion`: the benchmark-definition surface the
+//! `azurebench` bench targets use, with a minimal wall-clock timing loop
+//! instead of criterion's statistical machinery. Each benchmark runs its
+//! routine `sample_size` times (after one warm-up) and prints the mean
+//! iteration time; throughput annotations print derived MB/s.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, one call per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed) so first-touch costs don't skew tiny sample
+        // counts.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.default_samples, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n as u64;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.samples,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.samples,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.samples.max(1) as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / per_iter / (1024.0 * 1024.0);
+            println!(
+                "bench {label:<60} {:>12.3?} /iter  {mbps:>10.1} MiB/s",
+                Duration::from_secs_f64(per_iter)
+            );
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / per_iter;
+            println!(
+                "bench {label:<60} {:>12.3?} /iter  {eps:>10.0} elem/s",
+                Duration::from_secs_f64(per_iter)
+            );
+        }
+        None => {
+            println!(
+                "bench {label:<60} {:>12.3?} /iter",
+                Duration::from_secs_f64(per_iter)
+            );
+        }
+    }
+}
+
+/// Collect benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| 2 * 2));
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for `crossbeam`: only the `channel` module, backed by
+//! `std::sync::mpsc`. The simulator uses channels strictly point-to-point
+//! (coordinator ↔ actor), so mpsc's single-consumer limitation is
+//! invisible here; `Sender` is `Clone` either way.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Send error (receiver disconnected); carries the value back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        // No `T: Debug` bound, matching crossbeam: the payload is opaque.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Receive error (all senders disconnected).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half. Unlike raw mpsc, one type covers both the unbounded
+    /// and bounded (rendezvous/buffered) flavours, as in crossbeam.
+    pub enum Sender<T> {
+        /// From [`unbounded`].
+        Unbounded(mpsc::Sender<T>),
+        /// From [`bounded`].
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking if a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Sender::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_crosses_threads() {
+        let (tx, rx) = channel::bounded(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -2,11 +2,11 @@
 //! semantics exercised through the full stack (client → fabric → service)
 //! at small scale.
 
-use azurebench::alg1_blob::{phase, run_alg1, BlobPhase};
-use azurebench::BenchConfig;
 use azsim_client::{BlobClient, VirtualEnv};
 use azsim_core::Simulation;
 use azsim_fabric::{Cluster, ClusterParams};
+use azurebench::alg1_blob::{phase, run_alg1, BlobPhase};
+use azurebench::BenchConfig;
 use bytes::Bytes;
 
 fn tiny(workers: Vec<usize>) -> BenchConfig {
@@ -40,10 +40,16 @@ fn download_time_grows_and_throughput_grows_with_workers() {
     let w8 = run_alg1(&cfg, 8);
     let t1 = phase(&w1, BlobPhase::BlockFullDownload).mean_worker_seconds;
     let t8 = phase(&w8, BlobPhase::BlockFullDownload).mean_worker_seconds;
-    assert!(t8 >= t1 * 0.99, "download time must not shrink: {t1} -> {t8}");
+    assert!(
+        t8 >= t1 * 0.99,
+        "download time must not shrink: {t1} -> {t8}"
+    );
     let x1 = phase(&w1, BlobPhase::BlockFullDownload).throughput_mb_s;
     let x8 = phase(&w8, BlobPhase::BlockFullDownload).throughput_mb_s;
-    assert!(x8 > x1 * 2.0, "aggregate throughput must grow: {x1} -> {x8}");
+    assert!(
+        x8 > x1 * 2.0,
+        "aggregate throughput must grow: {x1} -> {x8}"
+    );
 }
 
 #[test]
@@ -72,8 +78,12 @@ fn blob_content_integrity_through_full_stack() {
         c.create_container().unwrap();
         let me = ctx.id().0;
         // Each worker writes a distinct fill pattern into its share.
-        c.put_block("shared", format!("{me:02}"), Bytes::from(vec![me as u8 + 1; chunk]))
-            .unwrap();
+        c.put_block(
+            "shared",
+            format!("{me:02}"),
+            Bytes::from(vec![me as u8 + 1; chunk]),
+        )
+        .unwrap();
         me
     });
     let mut model = report.model;
@@ -131,8 +141,12 @@ fn per_blob_write_pipe_caps_aggregate_upload() {
             c.create_page_blob(&blob, (8 * chunk) as u64).unwrap();
             let t0 = ctx.now();
             for i in 0..8u64 {
-                c.put_page(&blob, i * chunk as u64, Bytes::from(vec![1u8; chunk as usize]))
-                    .unwrap();
+                c.put_page(
+                    &blob,
+                    i * chunk as u64,
+                    Bytes::from(vec![1u8; chunk as usize]),
+                )
+                .unwrap();
             }
             (t0, ctx.now())
         });

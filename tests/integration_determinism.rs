@@ -1,12 +1,12 @@
 //! Integration: reproducibility guarantees of the whole stack — identical
 //! seeds must give bit-identical figures, different seeds must differ.
 
-use azurebench::alg3_queue::{run_alg3, QueueOp};
-use azurebench::alg5_table::run_alg5;
-use azurebench::BenchConfig;
 use azsim_client::VirtualEnv;
 use azsim_core::Simulation;
 use azsim_fabric::Cluster;
+use azurebench::alg3_queue::{run_alg3, QueueOp};
+use azurebench::alg5_table::run_alg5;
+use azurebench::BenchConfig;
 
 #[test]
 fn alg3_is_bit_deterministic() {

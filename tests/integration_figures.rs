@@ -74,9 +74,7 @@ fn shape2_sequential_blocks_beat_random_pages() {
 
 #[test]
 fn shape3_queue_ordering_and_anomaly_in_figure6() {
-    let cfg = BenchConfig::paper()
-        .with_scale(0.01)
-        .with_workers(vec![2]);
+    let cfg = BenchConfig::paper().with_scale(0.01).with_workers(vec![2]);
     let figs = alg3_queue::figure_6(&cfg);
     let y = |fig: usize, series: &str| figs[fig].series(series).unwrap().y_at(2.0).unwrap();
     // figs[0]=put, [1]=peek, [2]=get; peek < put < get at 32 KB.
@@ -92,9 +90,7 @@ fn shape3_queue_ordering_and_anomaly_in_figure6() {
 
 #[test]
 fn shape4_shared_queue_think_time() {
-    let cfg = BenchConfig::paper()
-        .with_scale(0.03)
-        .with_workers(vec![8]);
+    let cfg = BenchConfig::paper().with_scale(0.03).with_workers(vec![8]);
     let figs = alg4_queue::figure_7(&cfg);
     for f in &figs {
         let t1 = f.series("think-1s").unwrap().y_at(8.0).unwrap();

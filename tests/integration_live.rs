@@ -19,7 +19,10 @@ fn all_three_services_work_live() {
     let blobs = BlobClient::new(&env, "live");
     blobs.create_container().unwrap();
     blobs.upload("b", Bytes::from_static(b"live-blob")).unwrap();
-    assert_eq!(blobs.download("b").unwrap(), Bytes::from_static(b"live-blob"));
+    assert_eq!(
+        blobs.download("b").unwrap(),
+        Bytes::from_static(b"live-blob")
+    );
 
     let q = QueueClient::new(&env, "live-q");
     q.create().unwrap();
@@ -29,7 +32,8 @@ fn all_three_services_work_live() {
 
     let t = TableClient::new(&env, "live-t");
     t.create_table().unwrap();
-    t.insert(Entity::new("p", "r").with("v", PropValue::I64(1))).unwrap();
+    t.insert(Entity::new("p", "r").with("v", PropValue::I64(1)))
+        .unwrap();
     assert!(t.query("p", "r").unwrap().is_some());
 }
 

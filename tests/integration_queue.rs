@@ -1,12 +1,12 @@
 //! Integration: Algorithms 3 and 4 (queue benchmarks) plus queue
 //! semantics through the full stack.
 
-use azurebench::alg3_queue::{run_alg3, QueueOp};
-use azurebench::alg4_queue::run_alg4;
-use azurebench::BenchConfig;
 use azsim_client::{QueueClient, VirtualEnv};
 use azsim_core::Simulation;
 use azsim_fabric::{Cluster, ClusterParams};
+use azurebench::alg3_queue::{run_alg3, QueueOp};
+use azurebench::alg4_queue::run_alg4;
+use azurebench::BenchConfig;
 use bytes::Bytes;
 use std::time::Duration;
 
@@ -71,13 +71,16 @@ fn queue_throttle_storms_are_absorbed_by_retry() {
         let q = QueueClient::new(&env, "storm");
         q.create().unwrap();
         for i in 0..20u32 {
-            q.put_message(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            q.put_message(Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
         }
     });
     let m = report.model.metrics();
     assert!(m.total_throttled() > 0, "the storm must hit the 500/s wall");
     assert_eq!(
-        m.counter(azsim_storage::OpClass::QueuePut).unwrap().completed,
+        m.counter(azsim_storage::OpClass::QueuePut)
+            .unwrap()
+            .completed,
         (n * 20) as u64
     );
     // The retries cost wall-clock: the run takes over a virtual second.

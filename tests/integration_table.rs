@@ -1,12 +1,12 @@
 //! Integration: Algorithm 5 (table benchmark) plus table semantics through
 //! the full stack.
 
-use azurebench::alg5_table::{run_alg5, TableOp};
-use azurebench::BenchConfig;
 use azsim_client::{TableClient, VirtualEnv};
 use azsim_core::Simulation;
 use azsim_fabric::{Cluster, ClusterParams};
 use azsim_storage::{Entity, EtagCondition, PropValue, StorageError};
+use azurebench::alg5_table::{run_alg5, TableOp};
+use azurebench::BenchConfig;
 use bytes::Bytes;
 
 #[test]
@@ -36,7 +36,10 @@ fn fig8_flat_until_4_workers_then_big_entities_degrade() {
     let big = 64 << 10;
     // Flat-ish to 4 workers.
     let flat = r4[&(big, TableOp::Insert)].0 / r1[&(big, TableOp::Insert)].0;
-    assert!(flat < 1.6, "should be nearly flat to 4 workers, got ×{flat:.2}");
+    assert!(
+        flat < 1.6,
+        "should be nearly flat to 4 workers, got ×{flat:.2}"
+    );
     // Drastic beyond.
     let deg = r16[&(big, TableOp::Insert)].0 / r1[&(big, TableOp::Insert)].0;
     assert!(deg > 2.0, "64 KB at 16 workers must degrade, got ×{deg:.2}");
@@ -69,7 +72,10 @@ fn hot_partition_hits_500_per_sec_wall_and_recovers() {
     });
     let m = report.model.metrics();
     assert!(m.total_throttled() > 0, "hot partition must throttle");
-    assert_eq!(report.model.table_store().entity_count("hot").unwrap(), n * per);
+    assert_eq!(
+        report.model.table_store().entity_count("hot").unwrap(),
+        n * per
+    );
 }
 
 #[test]
