@@ -101,10 +101,38 @@ fn bench_virtual_runtime(c: &mut Criterion) {
     g.finish();
 }
 
+/// Engine throughput under lockstep timers: every actor's timer fires at
+/// the same virtual instant, so each scheduling round batch-wakes the whole
+/// fleet. This is the hot path of the barrier-heavy benchmarks — per-round
+/// cost should stay flat in ops/sec terms as the fleet grows.
+fn bench_batch_wake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/batch_wake");
+    g.sample_size(10);
+    for workers in [8usize, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("lockstep_timers_1k", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let sim = Simulation::new(NullModel, 1);
+                    let report = sim.run_workers(workers, |ctx| {
+                        for _ in 0..1_000 {
+                            ctx.sleep(Duration::from_micros(100));
+                        }
+                    });
+                    black_box(report.end_time)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_heap,
     bench_resources,
-    bench_virtual_runtime
+    bench_virtual_runtime,
+    bench_batch_wake
 );
 criterion_main!(benches);

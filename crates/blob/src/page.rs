@@ -83,18 +83,46 @@ impl PageBlob {
     }
 
     /// Read a page range; unwritten pages read as zeros.
+    ///
+    /// When the requested range exactly covers pages that are still
+    /// adjacent views of one upload buffer (the common case: a read aligned
+    /// with an earlier `put_page`), the result is a zero-copy re-join of
+    /// that buffer. Otherwise the range is assembled into a fresh buffer
+    /// with a single ordered scan.
     pub fn get_page(&self, offset: u64, length: u64) -> StorageResult<Bytes> {
         self.check_range(offset, length)?;
         let first = offset / PAGE_ALIGNMENT;
         let count = length / PAGE_ALIGNMENT;
+        if let Some(joined) = self.rejoin(first, count) {
+            return Ok(joined);
+        }
         let mut out = BytesMut::zeroed(length as usize);
-        for i in 0..count {
-            if let Some(p) = self.pages.get(&(first + i)) {
-                let lo = (i * PAGE_ALIGNMENT) as usize;
-                out[lo..lo + PAGE_ALIGNMENT as usize].copy_from_slice(p);
-            }
+        for (&idx, p) in self.pages.range(first..first + count) {
+            let lo = ((idx - first) * PAGE_ALIGNMENT) as usize;
+            out[lo..lo + PAGE_ALIGNMENT as usize].copy_from_slice(p);
         }
         Ok(out.freeze())
+    }
+
+    /// Try to reassemble `count` pages starting at `first` as one widened
+    /// view of their shared backing buffer (zero-copy). `None` if any page
+    /// is missing or the pages are not adjacent slices of one buffer.
+    fn rejoin(&self, first: u64, count: u64) -> Option<Bytes> {
+        let mut it = self.pages.range(first..first + count);
+        let (&k0, p0) = it.next()?;
+        if k0 != first {
+            return None;
+        }
+        let mut joined = p0.clone();
+        let mut expect = first + 1;
+        for (&k, p) in it {
+            if k != expect {
+                return None;
+            }
+            joined = joined.try_join(p)?;
+            expect += 1;
+        }
+        (expect == first + count).then_some(joined)
     }
 
     /// Download the entire blob (`openRead()` path): all `size` bytes with

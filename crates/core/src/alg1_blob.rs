@@ -330,8 +330,8 @@ pub fn figures_4_and_5(cfg: &BenchConfig) -> Vec<Figure> {
         fig5b.series.push(Series::new(p.label()));
     }
 
-    for &w in &cfg.workers {
-        let aggs = run_alg1(cfg, w);
+    let swept = crate::sweep::sweep(cfg, run_alg1);
+    for (&w, aggs) in cfg.workers.iter().zip(swept) {
         for (phase, agg) in aggs {
             let x = w as f64;
             if let Some(i) = fig4_phases.iter().position(|&p| p == phase) {

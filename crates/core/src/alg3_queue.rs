@@ -144,8 +144,8 @@ pub fn figure_6(cfg: &BenchConfig) -> Vec<Figure> {
         })
         .collect();
 
-    for &w in &cfg.workers {
-        let result = run_alg3(cfg, w);
+    let swept = crate::sweep::sweep(cfg, run_alg3);
+    for (&w, result) in cfg.workers.iter().zip(swept) {
         for (oi, op) in QueueOp::ALL.iter().enumerate() {
             for (si, &size) in sizes.iter().enumerate() {
                 if let Some((phase_secs, _)) = result.get(&(size, *op)) {

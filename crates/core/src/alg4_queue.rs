@@ -126,8 +126,8 @@ pub fn figure_7(cfg: &BenchConfig) -> Vec<Figure> {
         })
         .collect();
 
-    for &w in &cfg.workers {
-        let result = run_alg4(cfg, w);
+    let swept = crate::sweep::sweep(cfg, run_alg4);
+    for (&w, result) in cfg.workers.iter().zip(swept) {
         for (oi, op) in QueueOp::ALL.iter().enumerate() {
             for (ti, &t) in think_times.iter().enumerate() {
                 if let Some(mean) = result.get(&(t, *op)) {

@@ -156,8 +156,8 @@ pub fn figure_8(cfg: &BenchConfig) -> Vec<Figure> {
         })
         .collect();
 
-    for &w in &cfg.workers {
-        let result = run_alg5(cfg, w);
+    let swept = crate::sweep::sweep(cfg, run_alg5);
+    for (&w, result) in cfg.workers.iter().zip(swept) {
         for (oi, op) in TableOp::ALL.iter().enumerate() {
             for (si, &size) in sizes.iter().enumerate() {
                 if let Some((phase, _)) = result.get(&(size, *op)) {

@@ -1,13 +1,19 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|all]...
+//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|bench|all]...
 //!         [--scale S] [--workers 1,2,4,...] [--seed N] [--csv DIR]
+//!         [--threads N]
 //! ```
 //!
 //! With no target, prints usage. `--scale 1.0` (default) reproduces the
 //! paper's workload volumes; smaller scales shrink them proportionally.
 //! `--csv DIR` additionally writes one CSV per figure into `DIR`.
+//! `--threads N` caps the sweep engine's point-level parallelism (`0`,
+//! the default, uses every core; `1` forces the serial schedule — the
+//! emitted figures are identical either way). The `bench` target runs the
+//! engine micro-benchmark plus a timed pass over the figure suite and
+//! writes `BENCH_engine.json`.
 
 use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, BenchConfig, Figure};
 use std::io::Write;
@@ -19,6 +25,7 @@ struct Args {
     workers: Option<Vec<usize>>,
     seed: Option<u64>,
     csv_dir: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         workers: None,
         seed: None,
         csv_dir: None,
+        threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,6 +55,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => {
                 args.csv_dir = Some(it.next().ok_or("--csv needs a directory")?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
             t if !t.starts_with('-') => args.targets.push(t.to_owned()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -78,13 +90,15 @@ fn main() {
     };
     if args.targets.is_empty() {
         eprintln!(
-            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|all]... \
-             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR]"
+            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|bench|all]... \
+             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N]"
         );
         std::process::exit(2);
     }
 
-    let mut cfg = BenchConfig::paper().with_scale(args.scale);
+    let mut cfg = BenchConfig::paper()
+        .with_scale(args.scale)
+        .with_sweep_threads(args.threads);
     if let Some(w) = args.workers {
         cfg = cfg.with_workers(w);
     }
@@ -156,4 +170,100 @@ fn main() {
         eprintln!("# chaos (fault injection) swept in {:.1?}", t.elapsed());
         emit(&figs, &args.csv_dir);
     }
+    // `bench` is opt-in only (not part of `all`): it re-runs the figure
+    // suite purely for timing and writes BENCH_engine.json.
+    if args.targets.iter().any(|t| t == "bench") {
+        run_bench(&cfg, &args.csv_dir);
+    }
+}
+
+/// A free model: every request completes in 1 µs of virtual time, so the
+/// measured cost is the engine itself (event heap, batch-wake rounds,
+/// actor handoffs) — the overhead every simulated storage call pays.
+struct NullModel;
+
+impl azsim_core::runtime::Model for NullModel {
+    type Req = u64;
+    type Resp = u64;
+    fn handle(
+        &mut self,
+        now: azsim_core::SimTime,
+        _actor: azsim_core::runtime::ActorId,
+        req: u64,
+    ) -> (azsim_core::SimTime, u64) {
+        (now + std::time::Duration::from_micros(1), req)
+    }
+}
+
+/// Measure raw engine throughput: `actors` workers each issuing `per_actor`
+/// back-to-back requests against [`NullModel`]. Returns
+/// `(simulated ops, wall seconds)`.
+fn engine_ops(actors: usize, per_actor: u64) -> (u64, f64) {
+    let t = Instant::now();
+    let sim = azsim_core::Simulation::new(NullModel, 1);
+    let report = sim.run_workers(actors, move |ctx| {
+        let mut acc = 0u64;
+        for i in 0..per_actor {
+            acc = acc.wrapping_add(ctx.call(i));
+        }
+        acc
+    });
+    (report.requests, t.elapsed().as_secs_f64())
+}
+
+/// The `bench` target: engine micro-benchmark plus a timed pass over every
+/// figure at the current config, written as `BENCH_engine.json` (into the
+/// `--csv` directory if given, else the working directory).
+fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
+    let mut lines = String::from("{\n");
+
+    let mut engines = Vec::new();
+    for actors in [1usize, 8, 32] {
+        let (ops, wall) = engine_ops(actors, 50_000);
+        let rate = ops as f64 / wall;
+        eprintln!("# engine: {actors} actors, {ops} simulated ops in {wall:.3}s = {rate:.0} ops/s");
+        engines.push(format!(
+            "    {{ \"actors\": {actors}, \"simulated_ops\": {ops}, \
+             \"wall_seconds\": {wall:.6}, \"ops_per_second\": {rate:.1} }}"
+        ));
+    }
+    lines.push_str("  \"engine\": [\n");
+    lines.push_str(&engines.join(",\n"));
+    lines.push_str("\n  ],\n");
+
+    type FigureFn = fn(&BenchConfig) -> Vec<Figure>;
+    let figures: [(&str, FigureFn); 5] = [
+        ("alg1_blob", alg1_blob::figures_4_and_5),
+        ("alg3_queue", alg3_queue::figure_6),
+        ("alg4_queue", alg4_queue::figure_7),
+        ("alg5_table", alg5_table::figure_8),
+        ("fig9", |c| vec![fig9::figure_9(c)]),
+    ];
+    let mut timed = Vec::new();
+    for (name, f) in figures {
+        let t = Instant::now();
+        let figs = f(cfg);
+        let wall = t.elapsed().as_secs_f64();
+        eprintln!(
+            "# bench: {name} swept in {wall:.3}s ({} figures)",
+            figs.len()
+        );
+        timed.push(format!(
+            "    {{ \"figure\": \"{name}\", \"wall_seconds\": {wall:.6} }}"
+        ));
+    }
+    lines.push_str("  \"figures\": [\n");
+    lines.push_str(&timed.join(",\n"));
+    lines.push_str("\n  ],\n");
+    lines.push_str(&format!(
+        "  \"config\": {{ \"scale\": {}, \"workers\": {:?}, \"seed\": {}, \"sweep_threads\": {} }}\n",
+        cfg.scale, cfg.workers, cfg.seed, cfg.sweep_threads
+    ));
+    lines.push_str("}\n");
+
+    let dir = csv_dir.clone().unwrap_or_else(|| ".".to_owned());
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let path = format!("{dir}/BENCH_engine.json");
+    std::fs::write(&path, &lines).expect("write BENCH_engine.json");
+    eprintln!("wrote {path}");
 }

@@ -255,8 +255,10 @@ pub fn figure_chaos(cfg: &BenchConfig, workers: usize, intensities: &[f64]) -> V
     work.series.push(Series::new("injected faults"));
     work.series.push(Series::new("duplicate completions"));
 
-    for &intensity in intensities {
-        let r = run_chaos(cfg, workers, intensity);
+    let swept = crate::sweep::sweep_points(intensities, cfg.sweep_threads, |&intensity| {
+        run_chaos(cfg, workers, intensity)
+    });
+    for (&intensity, r) in intensities.iter().zip(swept) {
         assert_eq!(r.lost, 0, "chaos run lost tasks at intensity {intensity}");
         goodput.series[0].push(intensity, r.goodput_tps);
         latency.series[0].push(intensity, r.mean_task_latency_s * 1e3);

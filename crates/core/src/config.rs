@@ -15,6 +15,11 @@ pub struct BenchConfig {
     pub scale: f64,
     /// Cluster model parameters.
     pub params: ClusterParams,
+    /// OS threads for sweeping independent ladder points in parallel
+    /// (`0` = one per available core, `1` = serial). Does not affect
+    /// results: every point is its own simulation with its own seed, and
+    /// the sweep engine collects in ladder order.
+    pub sweep_threads: usize,
 }
 
 impl BenchConfig {
@@ -25,6 +30,7 @@ impl BenchConfig {
             workers: vec![1, 2, 4, 8, 16, 32, 48, 64, 80, 96],
             scale: 1.0,
             params: ClusterParams::default(),
+            sweep_threads: 0,
         }
     }
 
@@ -35,6 +41,7 @@ impl BenchConfig {
             workers: vec![1, 4, 16],
             scale: 0.05,
             params: ClusterParams::default(),
+            sweep_threads: 0,
         }
     }
 
@@ -49,6 +56,12 @@ impl BenchConfig {
     pub fn with_workers(mut self, workers: Vec<usize>) -> Self {
         assert!(!workers.is_empty() && workers.iter().all(|&w| w > 0));
         self.workers = workers;
+        self
+    }
+
+    /// Override the sweep thread count (`0` = auto, `1` = serial).
+    pub fn with_sweep_threads(mut self, threads: usize) -> Self {
+        self.sweep_threads = threads;
         self
     }
 

@@ -33,9 +33,8 @@ pub fn figure_9(cfg: &BenchConfig) -> Figure {
             .push(Series::new(format!("queue-{}", op.label())));
     }
 
-    for &w in &cfg.workers {
-        let table = run_alg5(cfg, w);
-        let queue = run_alg3(cfg, w);
+    let swept = crate::sweep::sweep(cfg, |cfg, w| (run_alg5(cfg, w), run_alg3(cfg, w)));
+    for (&w, (table, queue)) in cfg.workers.iter().zip(swept) {
         let x = w as f64;
         for (i, op) in TableOp::ALL.iter().enumerate() {
             if let Some((_, per_op)) = table.get(&(FIG9_PAYLOAD, *op)) {

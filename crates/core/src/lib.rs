@@ -30,6 +30,7 @@ pub mod fig9;
 pub mod latency;
 pub mod payload;
 pub mod report;
+pub mod sweep;
 pub mod ycsb;
 
 pub use config::BenchConfig;

@@ -1,0 +1,133 @@
+//! Parallel sweep engine for the figure harness.
+//!
+//! Every figure in the suite is a sweep over independent points — usually
+//! worker counts, for chaos a fault intensity — and each point runs its own
+//! [`Simulation`](azsim_core::Simulation) from its own seed. Points share
+//! no state, so they can run on OS threads concurrently without touching
+//! the determinism story: the per-point results are bit-identical to a
+//! serial sweep, and [`sweep_points`] writes each result into its input's
+//! slot, so the collected order is the input order regardless of which
+//! point finishes first. `figures --threads 1` forces the serial schedule;
+//! a byte-equal CSV from both schedules is asserted in this module's tests
+//! and in `tests/determinism.rs`.
+//!
+//! Scheduling is dynamic (an atomic cursor over the point list), not
+//! chunked: ladder points are wildly uneven (96 workers simulate far more
+//! events than 1), so static chunking would leave threads idle behind the
+//! big points.
+
+use crate::config::BenchConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a thread-count setting: `0` means one thread per available core.
+pub fn resolve_threads(setting: usize, points: usize) -> usize {
+    let t = if setting == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        setting
+    };
+    t.min(points.max(1))
+}
+
+/// Run `run` over every point, on up to `threads` OS threads (0 = auto),
+/// returning results in input order.
+///
+/// Points are claimed dynamically, one at a time, so uneven point costs
+/// still balance. A panic in any point propagates to the caller once the
+/// scope joins.
+pub fn sweep_points<P, T, F>(points: &[P], threads: usize, run: F) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P) -> T + Sync,
+{
+    let n = points.len();
+    let threads = resolve_threads(threads, n);
+    if threads <= 1 || n <= 1 {
+        return points.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let run = &run;
+    let next = &next;
+    let slots = &slots;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = run(&points[i]);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .iter()
+        .map(|m| {
+            m.lock()
+                .unwrap()
+                .take()
+                .expect("sweep point produced no result")
+        })
+        .collect()
+}
+
+/// Sweep `cfg.workers`, running `run(cfg, w)` per ladder point on up to
+/// `cfg.sweep_threads` threads; results come back in ladder order.
+pub fn sweep<T, F>(cfg: &BenchConfig, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&BenchConfig, usize) -> T + Sync,
+{
+    sweep_points(&cfg.workers, cfg.sweep_threads, |&w| run(cfg, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Make early points slow so completion order inverts input order.
+        let points: Vec<u64> = (0..16).collect();
+        let out = sweep_points(&points, 4, |&p| {
+            std::thread::sleep(std::time::Duration::from_millis(15 - p.min(15)));
+            p * 10
+        });
+        assert_eq!(out, (0..16).map(|p| p * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_schedules_agree() {
+        let points: Vec<usize> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let serial = sweep_points(&points, 1, |&p| p * p);
+        let parallel = sweep_points(&points, 8, |&p| p * p);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_follows_the_worker_ladder() {
+        let cfg = BenchConfig::paper().with_workers(vec![1, 2, 4]);
+        let out = sweep(&cfg, |_, w| w * 100);
+        assert_eq!(out, vec![100, 200, 400]);
+    }
+
+    #[test]
+    fn empty_point_list_is_fine() {
+        let points: Vec<usize> = Vec::new();
+        assert!(sweep_points(&points, 0, |&p| p).is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_clamps_to_points() {
+        assert_eq!(resolve_threads(8, 3), 3);
+        assert_eq!(resolve_threads(2, 10), 2);
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_threads(4, 0), 1);
+    }
+}

@@ -26,12 +26,36 @@ use azsim_core::runtime::{ActorId, Model};
 use azsim_core::SimTime;
 use azsim_queue::QueueStore;
 use azsim_storage::{
-    OpClass, PartitionKey, Service, StorageError, StorageOk, StorageRequest, StorageResult,
-    SyncClass,
+    OpClass, PartitionKey, PartitionRef, Service, StorageError, StorageOk, StorageRequest,
+    StorageResult, SyncClass,
 };
 use azsim_table::TableStore;
 use std::collections::HashMap;
 use std::time::Duration;
+
+/// All simulated resources of one partition, created the first time the
+/// partition is addressed and thereafter reached through a dense interned
+/// id — one hash of the *borrowed* key per operation instead of five owned
+/// `HashMap<PartitionKey, _>` probes with per-op `String` clones.
+///
+/// Eager creation is sound because every resource's initial state is
+/// creation-time independent: a [`FifoServer`] starts free, a [`Pipe`]
+/// transfers zero-cost until first use, and a [`TokenBucket`] starts full
+/// (refill is capped at burst, so "created long ago" ≡ "created now").
+struct PartitionSlot {
+    /// Owned key, materialized once (fault rules compare against it).
+    key: PartitionKey,
+    /// Cached partition-server placement.
+    server: usize,
+    /// Per-partition request serialization.
+    fifo: FifoServer,
+    /// Per-blob write pipe (blob partitions only).
+    write_pipe: Option<Pipe>,
+    /// Per-blob read pipe (blob partitions only).
+    read_pipe: Option<Pipe>,
+    /// 500 msg/s queue bucket or 500 entities/s table-partition bucket.
+    bucket: Option<TokenBucket>,
+}
 
 /// The simulated storage cluster for one account.
 pub struct Cluster {
@@ -39,19 +63,20 @@ pub struct Cluster {
     blobs: BlobStore,
     queues: QueueStore,
     tables: TableStore,
-    partition_fifos: HashMap<PartitionKey, FifoServer>,
+    /// Stable hash → slot-id candidates (more than one only on a collision).
+    intern: HashMap<u64, Vec<u32>>,
+    /// Interned partition resources, indexed by slot id.
+    slots: Vec<PartitionSlot>,
     server_rx: Vec<Pipe>,
     server_tx: Vec<Pipe>,
-    blob_write_pipes: HashMap<PartitionKey, Pipe>,
-    blob_read_pipes: HashMap<PartitionKey, Pipe>,
     table_frontend: Pipe,
     account_up: Pipe,
     account_down: Pipe,
     account_tx: TokenBucket,
-    queue_buckets: HashMap<String, TokenBucket>,
-    partition_buckets: HashMap<PartitionKey, TokenBucket>,
-    nics: HashMap<usize, Pipe>,
-    nic_bandwidth: HashMap<usize, f64>,
+    /// Per-actor NICs, indexed by actor id (grown on demand).
+    nics: Vec<Option<Pipe>>,
+    /// Per-actor NIC bandwidth overrides set before first use.
+    nic_overrides: Vec<Option<f64>>,
     metrics: ClusterMetrics,
     tracer: Option<Tracer>,
     faults: FaultInjector,
@@ -74,11 +99,10 @@ impl Cluster {
             blobs: BlobStore::new(),
             queues: QueueStore::new(params.seed, params.fifo_fuzz),
             tables: TableStore::new(),
-            partition_fifos: HashMap::new(),
+            intern: HashMap::new(),
+            slots: Vec::new(),
             server_rx,
             server_tx,
-            blob_write_pipes: HashMap::new(),
-            blob_read_pipes: HashMap::new(),
             table_frontend: Pipe::new(params.table_frontend_bandwidth),
             account_up: Pipe::new(params.account_bandwidth),
             account_down: Pipe::new(params.account_bandwidth),
@@ -86,15 +110,55 @@ impl Cluster {
                 params.account_tx_rate,
                 params.throttle_burst.max(params.account_tx_rate / 10.0),
             ),
-            queue_buckets: HashMap::new(),
-            partition_buckets: HashMap::new(),
-            nics: HashMap::new(),
-            nic_bandwidth: HashMap::new(),
+            nics: Vec::new(),
+            nic_overrides: Vec::new(),
             metrics: ClusterMetrics::new(),
             tracer: None,
             faults: FaultInjector::inert(),
             params,
         }
+    }
+
+    /// Dense id for a partition, creating its resources on first sight.
+    fn intern(&mut self, pr: PartitionRef<'_>) -> usize {
+        let h = pr.stable_hash();
+        let ids = self.intern.entry(h).or_default();
+        for &id in ids.iter() {
+            if pr.matches(&self.slots[id as usize].key) {
+                return id as usize;
+            }
+        }
+        let id = self.slots.len() as u32;
+        ids.push(id);
+        let key = pr.to_key();
+        let p = &self.params;
+        let (write_pipe, read_pipe, bucket) = match &key {
+            PartitionKey::Blob { .. } => (
+                Some(Pipe::new(p.blob_write_bandwidth)),
+                Some(Pipe::new(p.blob_read_bandwidth)),
+                None,
+            ),
+            PartitionKey::Queue { .. } => (
+                None,
+                None,
+                Some(TokenBucket::new(p.queue_rate, p.throttle_burst)),
+            ),
+            PartitionKey::Table { .. } => (
+                None,
+                None,
+                Some(TokenBucket::new(p.partition_rate, p.throttle_burst)),
+            ),
+            PartitionKey::Control => (None, None, None),
+        };
+        self.slots.push(PartitionSlot {
+            server: pr.server_index(p.servers),
+            key,
+            fifo: FifoServer::new(),
+            write_pipe,
+            read_pipe,
+            bucket,
+        });
+        id as usize
     }
 
     /// A cluster with default parameters.
@@ -106,7 +170,10 @@ impl Cluster {
     /// compute layer to express VM sizes. Must be called before the actor's
     /// first request.
     pub fn set_actor_nic(&mut self, actor: usize, bytes_per_sec: f64) {
-        self.nic_bandwidth.insert(actor, bytes_per_sec);
+        if actor >= self.nic_overrides.len() {
+            self.nic_overrides.resize(actor + 1, None);
+        }
+        self.nic_overrides[actor] = Some(bytes_per_sec);
     }
 
     /// Cluster parameters.
@@ -158,11 +225,18 @@ impl Cluster {
     }
 
     fn nic(&mut self, actor: usize) -> &mut Pipe {
-        let bw = *self
-            .nic_bandwidth
-            .get(&actor)
-            .unwrap_or(&self.params.default_nic_bandwidth);
-        self.nics.entry(actor).or_insert_with(|| Pipe::new(bw))
+        if actor >= self.nics.len() {
+            self.nics.resize_with(actor + 1, || None);
+        }
+        self.nics[actor].get_or_insert_with(|| {
+            let bw = self
+                .nic_overrides
+                .get(actor)
+                .copied()
+                .flatten()
+                .unwrap_or(self.params.default_nic_bandwidth);
+            Pipe::new(bw)
+        })
     }
 
     /// Per-class service-time overhead on the partition server. This is
@@ -350,39 +424,23 @@ impl Cluster {
     }
 
     /// Check the documented rate limits; on rejection the caller returns
-    /// `ServerBusy` without touching the partition.
-    fn throttle(&mut self, t: SimTime, class: OpClass, pk: &PartitionKey) -> Result<(), Duration> {
+    /// `ServerBusy` without touching the partition. `Err` carries the token
+    /// bucket's computed wait (deficit / rate).
+    fn throttle(&mut self, t: SimTime, class: OpClass, slot: usize) -> Result<(), Duration> {
         if class.is_control() {
             return Ok(());
         }
-        let p = &self.params;
         if let Admission::Throttled(w) = self.account_tx.acquire(t, 1.0) {
             return Err(w);
         }
-        match class.service() {
-            Service::Queue => {
-                if let PartitionKey::Queue { queue } = pk {
-                    let bucket = self
-                        .queue_buckets
-                        .entry(queue.clone())
-                        .or_insert_with(|| TokenBucket::new(p.queue_rate, p.throttle_burst));
-                    if let Admission::Throttled(w) = bucket.acquire(t, 1.0) {
-                        return Err(w);
-                    }
-                }
+        // Queue partitions carry the 500 msg/s bucket and table partitions
+        // the 500 entities/s bucket; blob scalability is bandwidth-limited
+        // (per-blob pipes), not transaction-limited, so blob slots have no
+        // bucket at all.
+        if let Some(bucket) = self.slots[slot].bucket.as_mut() {
+            if let Admission::Throttled(w) = bucket.acquire(t, 1.0) {
+                return Err(w);
             }
-            Service::Table => {
-                let bucket = self
-                    .partition_buckets
-                    .entry(pk.clone())
-                    .or_insert_with(|| TokenBucket::new(p.partition_rate, p.throttle_burst));
-                if let Admission::Throttled(w) = bucket.acquire(t, 1.0) {
-                    return Err(w);
-                }
-            }
-            // Blob scalability is bandwidth-limited (per-blob pipes), not
-            // transaction-limited.
-            Service::Blob => {}
         }
         Ok(())
     }
@@ -428,7 +486,7 @@ impl Cluster {
         req: &StorageRequest,
     ) -> (SimTime, StorageResult<StorageOk>) {
         let class = req.class();
-        let pk = req.partition();
+        let slot = self.intern(req.partition_ref());
         let up = req.payload_bytes_up();
         let p_frontend_rtt = self.params.frontend_rtt;
         let p_retry_hint = self.params.throttle_retry_hint;
@@ -440,8 +498,8 @@ impl Cluster {
         // Fault injection (inert by default). Faults fire where a real
         // cluster produces them: storms at the front end, crash/blackout
         // at the partition server, drops anywhere in between.
-        let sidx = pk.server_index(self.params.servers);
-        match self.faults.decide(t, class, &pk, sidx) {
+        let sidx = self.slots[slot].server;
+        match self.faults.decide(t, class, &self.slots[slot].key, sidx) {
             FaultDecision::None => {}
             FaultDecision::Busy { retry_after } => {
                 self.metrics.counter_mut(class).throttled += 1;
@@ -465,8 +523,11 @@ impl Cluster {
             }
         }
 
-        // Documented rate limits.
-        if let Err(_wait) = self.throttle(t, class, &pk) {
+        // Documented rate limits. The bucket's computed wait (how long until
+        // enough tokens accrue) is surfaced as the retry hint so clients
+        // back off proportionally to the actual deficit; the configured
+        // hint acts as a floor, matching the service's coarse Retry-After.
+        if let Err(wait) = self.throttle(t, class, slot) {
             let c = self.metrics.counter_mut(class);
             c.throttled += 1;
             // The rejection itself is a fast round trip.
@@ -475,7 +536,7 @@ impl Cluster {
             return (
                 done,
                 Err(StorageError::ServerBusy {
-                    retry_after: p_retry_hint,
+                    retry_after: wait.max(p_retry_hint),
                 }),
             );
         }
@@ -491,11 +552,10 @@ impl Cluster {
             class,
             OpClass::BlobPutBlock | OpClass::BlobPutPage | OpClass::BlobUploadSingle
         ) {
-            let bw = self.params.blob_write_bandwidth;
-            let pipe = self
-                .blob_write_pipes
-                .entry(pk.clone())
-                .or_insert_with(|| Pipe::new(bw));
+            let pipe = self.slots[slot]
+                .write_pipe
+                .as_mut()
+                .expect("blob write targets a blob partition");
             let (_, t2) = pipe.transfer(t, up);
             t = t2;
         }
@@ -521,8 +581,7 @@ impl Cluster {
             service
         };
         let latency_extra = service.saturating_sub(occupancy);
-        let fifo = self.partition_fifos.entry(pk.clone()).or_default();
-        let (start, t_fifo) = fifo.admit(t, occupancy);
+        let (start, t_fifo) = self.slots[slot].fifo.admit(t, occupancy);
         let mut t = t_fifo + latency_extra;
 
         // Execute the state transition at service start.
@@ -571,11 +630,10 @@ impl Cluster {
                 OpClass::BlobGetBlock | OpClass::BlobGetPage | OpClass::BlobDownload
             )
         {
-            let bw = self.params.blob_read_bandwidth;
-            let pipe = self
-                .blob_read_pipes
-                .entry(pk.clone())
-                .or_insert_with(|| Pipe::new(bw));
+            let pipe = self.slots[slot]
+                .read_pipe
+                .as_mut()
+                .expect("blob read targets a blob partition");
             let (_, t2) = pipe.transfer(t, down);
             t = t2;
         }
@@ -725,6 +783,64 @@ mod tests {
         // After a second of virtual idle time the bucket refills.
         let (_, r) = c.submit(at(1_500), 0, &put_msg("q", 16));
         r.unwrap();
+    }
+
+    #[test]
+    fn throttle_retry_hint_is_a_floor_not_a_cap() {
+        // A tiny refill rate makes the bucket's computed wait exceed the 1 s
+        // hint: the client must be told the real deficit.
+        let mut c = Cluster::new(ClusterParams {
+            queue_rate: 0.5,
+            throttle_burst: 1.0,
+            ..ClusterParams::default()
+        });
+        c.submit(at(0), 0, &StorageRequest::CreateQueue { queue: "q".into() })
+            .1
+            .unwrap();
+        c.submit(at(1), 0, &put_msg("q", 16)).1.unwrap();
+        let (_, r) = c.submit(at(1), 1, &put_msg("q", 16));
+        match r {
+            Err(StorageError::ServerBusy { retry_after }) => {
+                assert!(
+                    retry_after > Duration::from_secs(1),
+                    "computed wait {retry_after:?} must exceed the configured floor"
+                );
+            }
+            other => panic!("expected ServerBusy, got {other:?}"),
+        }
+        // A mild deficit is still clamped up to the configured floor.
+        let mut c = Cluster::new(ClusterParams {
+            throttle_burst: 1.0,
+            ..ClusterParams::default()
+        });
+        c.submit(at(0), 0, &StorageRequest::CreateQueue { queue: "q".into() })
+            .1
+            .unwrap();
+        c.submit(at(1), 0, &put_msg("q", 16)).1.unwrap();
+        let (_, r) = c.submit(at(1), 1, &put_msg("q", 16));
+        match r {
+            Err(StorageError::ServerBusy { retry_after }) => {
+                assert_eq!(retry_after, c.params().throttle_retry_hint);
+            }
+            other => panic!("expected ServerBusy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interner_reuses_partition_slots() {
+        let mut c = cluster();
+        c.submit(at(0), 0, &StorageRequest::CreateQueue { queue: "q".into() })
+            .1
+            .unwrap();
+        for i in 0..10 {
+            c.submit(at(10 + i), 0, &put_msg("q", 16)).1.unwrap();
+        }
+        // One slot for the control partition, one for queue "q" — repeated
+        // operations reuse the interned slot instead of re-keying maps.
+        assert_eq!(c.slots.len(), 2);
+        assert_eq!(c.slots[1].key, PartitionKey::Queue { queue: "q".into() });
+        assert!(c.slots[1].bucket.is_some());
+        assert!(c.slots[1].write_pipe.is_none());
     }
 
     #[test]

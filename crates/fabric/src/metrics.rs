@@ -2,7 +2,6 @@
 
 use azsim_core::stats::OnlineStats;
 use azsim_storage::OpClass;
-use std::collections::HashMap;
 
 /// Counters for one operation class.
 #[derive(Clone, Debug, Default)]
@@ -22,9 +21,26 @@ pub struct OpCounter {
 }
 
 /// Per-class operation accounting for a whole cluster.
-#[derive(Clone, Debug, Default)]
+///
+/// Stored as a fixed array indexed by [`OpClass::index`], so the hot-path
+/// `counter_mut` is a bounds-checked array access instead of a hash probe.
+/// A bitmask remembers which classes were ever touched, preserving the
+/// "`None` until first use" contract of [`ClusterMetrics::counter`].
+#[derive(Clone, Debug)]
 pub struct ClusterMetrics {
-    counters: HashMap<OpClass, OpCounter>,
+    counters: [OpCounter; OpClass::COUNT],
+    touched: u32,
+}
+
+const _: () = assert!(OpClass::COUNT <= u32::BITS as usize);
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        ClusterMetrics {
+            counters: std::array::from_fn(|_| OpCounter::default()),
+            touched: 0,
+        }
+    }
 }
 
 impl ClusterMetrics {
@@ -33,39 +49,44 @@ impl ClusterMetrics {
         Self::default()
     }
 
-    /// Mutable counter for a class (created on first use).
+    /// Mutable counter for a class (marked as seen on first use).
     pub fn counter_mut(&mut self, class: OpClass) -> &mut OpCounter {
-        self.counters.entry(class).or_default()
+        let i = class.index();
+        self.touched |= 1 << i;
+        &mut self.counters[i]
     }
 
     /// Counter for a class, if any operation of that class was seen.
     pub fn counter(&self, class: OpClass) -> Option<&OpCounter> {
-        self.counters.get(&class)
+        let i = class.index();
+        (self.touched & (1 << i) != 0).then(|| &self.counters[i])
     }
 
     /// Total completed operations across classes.
     pub fn total_completed(&self) -> u64 {
-        self.counters.values().map(|c| c.completed).sum()
+        self.counters.iter().map(|c| c.completed).sum()
     }
 
     /// Total throttled operations across classes.
     pub fn total_throttled(&self) -> u64 {
-        self.counters.values().map(|c| c.throttled).sum()
+        self.counters.iter().map(|c| c.throttled).sum()
     }
 
     /// Total payload bytes moved in either direction.
     pub fn total_bytes(&self) -> u64 {
         self.counters
-            .values()
+            .iter()
             .map(|c| c.bytes_up + c.bytes_down)
             .sum()
     }
 
-    /// Iterate over `(class, counter)` pairs in deterministic label order.
+    /// Iterate over the `(class, counter)` pairs of classes that were seen,
+    /// in fixed [`OpClass::index`] order — no allocation, no re-sorting.
     pub fn iter(&self) -> impl Iterator<Item = (OpClass, &OpCounter)> {
-        let mut v: Vec<_> = self.counters.iter().map(|(k, c)| (*k, c)).collect();
-        v.sort_by_key(|(k, _)| k.label());
-        v.into_iter()
+        OpClass::ALL
+            .iter()
+            .filter(|class| self.touched & (1 << class.index()) != 0)
+            .map(|class| (*class, &self.counters[class.index()]))
     }
 }
 
@@ -96,9 +117,19 @@ mod tests {
         m.counter_mut(OpClass::TableInsert).completed = 1;
         m.counter_mut(OpClass::BlobDownload).completed = 1;
         m.counter_mut(OpClass::QueuePut).completed = 1;
-        let labels: Vec<&str> = m.iter().map(|(k, _)| k.label()).collect();
-        let mut sorted = labels.clone();
-        sorted.sort();
-        assert_eq!(labels, sorted);
+        // Only touched classes appear, in OpClass declaration-index order.
+        let classes: Vec<OpClass> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            classes,
+            vec![
+                OpClass::BlobDownload,
+                OpClass::QueuePut,
+                OpClass::TableInsert
+            ]
+        );
+        let indices: Vec<usize> = classes.iter().map(|c| c.index()).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
     }
 }

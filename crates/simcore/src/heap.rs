@@ -96,6 +96,13 @@ impl<T> EventHeap<T> {
         self.heap.peek().map(|Reverse(e)| e.key.time)
     }
 
+    /// The earliest pending event without removing it. The scheduler uses
+    /// this to decide whether the next event may join the current wake
+    /// batch before committing to the pop.
+    pub fn peek(&self) -> Option<(&EventKey, &T)> {
+        self.heap.peek().map(|Reverse(e)| (&e.key, &e.payload))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -149,6 +156,8 @@ mod tests {
         h.push(key(42, 0, 0), ());
         h.push(key(7, 1, 0), ());
         assert_eq!(h.peek_time(), Some(SimTime(7)));
+        let (k, _) = h.peek().unwrap();
+        assert_eq!((k.time, k.actor), (SimTime(7), ActorId(1)));
         assert_eq!(h.len(), 2);
         assert!(!h.is_empty());
     }

@@ -10,9 +10,10 @@
 //!   descriptions into virtual latencies.
 //! * [`runtime::Simulation`] — a conservative virtual-time executor. Each
 //!   simulated role instance is a real OS thread running ordinary blocking
-//!   Rust code; every timed action (a storage call, a think-time sleep) is
-//!   brokered through a coordinator that advances the virtual clock only
-//!   when every thread is parked. Same seed ⇒ identical results.
+//!   Rust code; the last thread to block on a timed action runs the next
+//!   scheduling round itself (baton scheduling), batch-waking every actor
+//!   whose event fires at the popped instant. The virtual clock advances
+//!   only when every thread is parked. Same seed ⇒ identical results.
 //! * [`rng`] — deterministic seed derivation so each simulated actor gets an
 //!   independent, reproducible random stream.
 //! * [`stats`] — small online-statistics helpers shared by the benchmark

@@ -4,19 +4,44 @@
 //! code: ordinary sequential calls such as `queue.put_message(..)` and
 //! `ctx.sleep(Duration::from_secs(1))`. To run that code against a *modeled*
 //! cluster with a *virtual* clock, each simulated role instance is a real OS
-//! thread holding an [`ActorCtx`]; every timed action is sent to a
-//! coordinator which advances the virtual clock only when **all** actor
-//! threads are parked.
+//! thread holding an [`ActorCtx`].
+//!
+//! ## Baton scheduling
+//!
+//! There is no coordinator thread. All scheduler state — the event heap,
+//! per-actor clocks and sequence counters, the model itself — lives in one
+//! mutex-protected [`CoordState`]. When an actor performs a timed action it
+//! pushes its event and decrements the `running` count; whichever actor's
+//! block (or exit) brings `running` to zero *becomes* the scheduler and runs
+//! one scheduling round in place, waking the actors whose events fire next.
+//! An actor whose own event is the earliest simply picks it out of its
+//! mailbox and keeps going — a sequential stretch of simulated operations
+//! costs **zero** OS context switches, and a genuine handoff between two
+//! actors costs one park/unpark instead of the two (actor → coordinator →
+//! actor) of a coordinator design.
+//!
+//! A scheduling round **batch-wakes** every actor whose `Deliver`/`Timer`
+//! event is ready at the popped virtual instant: it keeps popping while the
+//! next event carries the same timestamp and is a wakeup (stopping early at
+//! an `Arrival`, which must be handed to the model only after earlier-keyed
+//! events from the just-woken actors have been scheduled). Woken actors run
+//! concurrently in host time but cannot advance the virtual clock — the next
+//! round happens only once all of them block again.
 //!
 //! ## Why this is exact and deterministic
 //!
 //! * User code between two timed actions consumes **zero virtual time**, so
-//!   the only places the clock can advance are inside the coordinator.
-//! * The coordinator pops events in `(time, actor, seq)` order from a
-//!   [`EventHeap`] and wakes at most one thread at a time, waiting for it to
-//!   block again before processing the next event. The interleaving of
-//!   simulated actions is therefore a pure function of the simulation, not
-//!   of host-OS scheduling.
+//!   the only places the clock can advance are inside a scheduling round,
+//!   and rounds run only when every actor is parked.
+//! * Events pop in `(time, actor, seq)` order from the [`EventHeap`]; the
+//!   per-actor sequence numbers make that order a pure function of the
+//!   simulation history, not of host-OS scheduling.
+//! * Batch-waking preserves the one-event-at-a-time model trace: wakeups
+//!   batched at time `T` never touch the model, a pending `Arrival` always
+//!   ends the batch, and a woken actor's *future* pushes at `T` carry larger
+//!   per-actor sequence numbers than anything it already consumed — so
+//!   arrivals still reach [`Model::handle`] in exact heap-key order. The
+//!   test module checks this against an executable one-at-a-time reference.
 //! * The cluster model ([`Model::handle`]) sees arrivals in non-decreasing
 //!   virtual-time order, which makes analytic `next_free` bookkeeping in the
 //!   queueing resources exact (see [`crate::resource`]).
@@ -27,9 +52,10 @@
 use crate::heap::{EventHeap, EventKey};
 use crate::rng::stream_rng;
 use crate::time::SimTime;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rand::rngs::SmallRng;
 use std::cell::{Cell, RefCell};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Identifies a simulated actor (role instance) within one simulation.
@@ -38,7 +64,7 @@ pub struct ActorId(pub usize);
 
 /// The simulated world that actors talk to.
 ///
-/// `handle` is invoked by the coordinator when a request *arrives* (in
+/// `handle` is invoked by the scheduler when a request *arrives* (in
 /// virtual-arrival order) and must return the request's completion time
 /// together with its response. Implementations mutate their internal state
 /// (storage contents, resource bookkeeping) as a side effect.
@@ -53,20 +79,152 @@ pub trait Model: Send {
     fn handle(&mut self, now: SimTime, actor: ActorId, req: Self::Req) -> (SimTime, Self::Resp);
 }
 
-enum Action<Req> {
-    Call(Req),
-    Sleep(Duration),
-    Finished,
+enum Payload<M: Model> {
+    Arrival(M::Req),
+    Deliver(M::Resp),
+    Timer,
 }
 
-struct ToCoord<Req> {
-    actor: usize,
-    action: Action<Req>,
-}
-
-enum Wakeup<Resp> {
+/// What a scheduling round leaves in a woken actor's mailbox.
+enum Mail<Resp> {
     Response(SimTime, Resp),
     Timer(SimTime),
+    /// The simulation is being torn down because some thread panicked;
+    /// unwind instead of continuing.
+    Dead,
+}
+
+/// Panic payload used to cascade a teardown to blocked actors. Kept as a
+/// `&'static str` literal so the root cause can be told apart from the
+/// cascade when propagating panics to the caller.
+const DEAD_MSG: &str = "simulation terminated: another actor failed";
+
+fn is_cascade(p: &(dyn std::any::Any + Send)) -> bool {
+    p.downcast_ref::<&'static str>() == Some(&DEAD_MSG)
+}
+
+/// All mutable scheduler state, guarded by one mutex.
+struct CoordState<M: Model> {
+    heap: EventHeap<Payload<M>>,
+    /// Per-actor event sequence counters (tie-break within one instant).
+    seq: Vec<u64>,
+    /// Per-actor virtual clocks (time of the last wakeup delivered).
+    actor_time: Vec<SimTime>,
+    /// One slot per actor; a scheduling round deposits the wakeup here.
+    mailbox: Vec<Option<Mail<M::Resp>>>,
+    model: M,
+    /// Actors currently executing user code (not parked, not finished).
+    running: usize,
+    /// Actors whose body has not yet returned.
+    live: usize,
+    end_time: SimTime,
+    requests: u64,
+    /// Set on the first panic; all subsequent activity unwinds.
+    dead: bool,
+}
+
+struct Shared<M: Model> {
+    state: Mutex<CoordState<M>>,
+    /// One condvar per actor so a round wakes exactly the actors it means to.
+    cvars: Vec<Condvar>,
+}
+
+impl<M: Model> Shared<M> {
+    /// Lock the scheduler state, recovering from poison: a panicking thread
+    /// marks the state `dead` before unwinding, so the data is consistent.
+    fn lock(&self) -> MutexGuard<'_, CoordState<M>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Run one scheduling round. Caller must hold the lock with
+    /// `running == 0` and at least one live actor.
+    ///
+    /// Pops the earliest event, then keeps popping while further events are
+    /// wakeups at the *same instant*, waking each target actor (batch-wake).
+    /// Arrivals are handled inline until the first wakeup is produced; after
+    /// that an arrival ends the batch, because the just-woken actors may
+    /// still push earlier-keyed events at this instant.
+    fn round(&self, st: &mut CoordState<M>, me: usize) {
+        debug_assert_eq!(st.running, 0);
+        let mut batch: Option<SimTime> = None;
+        loop {
+            match st.heap.peek() {
+                None => {
+                    assert!(
+                        batch.is_some(),
+                        "deadlock: live actors blocked with no pending events"
+                    );
+                    return;
+                }
+                Some((k, p)) => {
+                    if let Some(t) = batch {
+                        if k.time != t || matches!(p, Payload::Arrival(_)) {
+                            return;
+                        }
+                    }
+                }
+            }
+            let (k, payload) = st.heap.pop().expect("peeked event vanished");
+            st.end_time = k.time;
+            let a = k.actor.0;
+            match payload {
+                Payload::Arrival(req) => {
+                    st.requests += 1;
+                    let (done, resp) = st.model.handle(k.time, k.actor, req);
+                    assert!(
+                        done >= k.time,
+                        "model completed a request before it arrived"
+                    );
+                    let dk = EventKey {
+                        time: done,
+                        actor: k.actor,
+                        seq: st.seq[a],
+                    };
+                    st.seq[a] += 1;
+                    st.heap.push(dk, Payload::Deliver(resp));
+                }
+                Payload::Deliver(resp) => {
+                    st.actor_time[a] = k.time;
+                    st.mailbox[a] = Some(Mail::Response(k.time, resp));
+                    st.running += 1;
+                    if a != me {
+                        self.cvars[a].notify_one();
+                    }
+                    batch = Some(k.time);
+                }
+                Payload::Timer => {
+                    st.actor_time[a] = k.time;
+                    st.mailbox[a] = Some(Mail::Timer(k.time));
+                    st.running += 1;
+                    if a != me {
+                        self.cvars[a].notify_one();
+                    }
+                    batch = Some(k.time);
+                }
+            }
+        }
+    }
+
+    /// Run a round; if it panics (model bug, deadlock), mark the simulation
+    /// dead and wake everyone before re-raising, so no thread stays parked.
+    fn round_or_kill(&self, st: &mut CoordState<M>, me: usize) {
+        if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| self.round(st, me))) {
+            self.kill(st);
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    /// Tear the simulation down: every parked actor gets [`Mail::Dead`] and
+    /// a wakeup so it can unwind instead of waiting forever.
+    fn kill(&self, st: &mut CoordState<M>) {
+        st.dead = true;
+        for (mb, cv) in st.mailbox.iter_mut().zip(&self.cvars) {
+            if mb.is_none() {
+                *mb = Some(Mail::Dead);
+            }
+            cv.notify_all();
+        }
+    }
 }
 
 /// Handle through which an actor thread interacts with virtual time.
@@ -76,8 +234,7 @@ pub struct ActorCtx<M: Model> {
     id: usize,
     now: Cell<u64>,
     calls: Cell<u64>,
-    tx: Sender<ToCoord<M::Req>>,
-    rx: Receiver<Wakeup<M::Resp>>,
+    shared: Arc<Shared<M>>,
     rng: RefCell<SmallRng>,
 }
 
@@ -97,22 +254,53 @@ impl<M: Model> ActorCtx<M> {
         self.calls.get()
     }
 
+    /// Push an event `delay` after this actor's clock, park until a
+    /// scheduling round wakes us, and return the mailbox contents. The last
+    /// actor to park runs the round itself instead of parking.
+    fn block_on(&self, payload: Payload<M>, delay: Duration) -> Mail<M::Resp> {
+        let sh = &*self.shared;
+        let mut st = sh.lock();
+        if st.dead {
+            std::panic::panic_any(DEAD_MSG);
+        }
+        let k = EventKey {
+            time: st.actor_time[self.id] + delay,
+            actor: ActorId(self.id),
+            seq: st.seq[self.id],
+        };
+        st.seq[self.id] += 1;
+        st.heap.push(k, payload);
+        st.running -= 1;
+        loop {
+            if let Some(mail) = st.mailbox[self.id].take() {
+                if let Mail::Dead = mail {
+                    std::panic::panic_any(DEAD_MSG);
+                }
+                return mail;
+            }
+            if st.dead {
+                std::panic::panic_any(DEAD_MSG);
+            }
+            if st.running == 0 {
+                sh.round_or_kill(&mut st, self.id);
+            } else {
+                st = sh.cvars[self.id]
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
     /// Submit a request to the model and block (in virtual time) until its
     /// response is delivered.
     pub fn call(&self, req: M::Req) -> M::Resp {
         self.calls.set(self.calls.get() + 1);
-        self.tx
-            .send(ToCoord {
-                actor: self.id,
-                action: Action::Call(req),
-            })
-            .expect("coordinator gone");
-        match self.rx.recv().expect("coordinator gone") {
-            Wakeup::Response(t, resp) => {
+        match self.block_on(Payload::Arrival(req), Duration::ZERO) {
+            Mail::Response(t, resp) => {
                 self.now.set(t.as_nanos());
                 resp
             }
-            Wakeup::Timer(_) => unreachable!("timer wakeup while awaiting response"),
+            _ => unreachable!("timer wakeup while awaiting response"),
         }
     }
 
@@ -120,15 +308,9 @@ impl<M: Model> ActorCtx<M> {
     /// *think time*, and the 1 s back-off before retrying a throttled
     /// operation).
     pub fn sleep(&self, d: Duration) {
-        self.tx
-            .send(ToCoord {
-                actor: self.id,
-                action: Action::Sleep(d),
-            })
-            .expect("coordinator gone");
-        match self.rx.recv().expect("coordinator gone") {
-            Wakeup::Timer(t) => self.now.set(t.as_nanos()),
-            Wakeup::Response(..) => unreachable!("response wakeup while sleeping"),
+        match self.block_on(Payload::Timer, d) {
+            Mail::Timer(t) => self.now.set(t.as_nanos()),
+            _ => unreachable!("response wakeup while sleeping"),
         }
     }
 
@@ -138,20 +320,36 @@ impl<M: Model> ActorCtx<M> {
     }
 }
 
-/// Sends `Finished` to the coordinator when the actor's closure returns *or
-/// panics*, so a crashing actor can't deadlock the simulation.
-struct FinishGuard<Req> {
-    actor: usize,
-    tx: Sender<ToCoord<Req>>,
+/// Retires the actor from the scheduler when its closure returns *or
+/// panics*, so a crashing actor can't deadlock the simulation. If this was
+/// the last running actor, the retirement itself runs the next round.
+struct FinishGuard<M: Model> {
+    shared: Arc<Shared<M>>,
 }
 
-impl<Req> Drop for FinishGuard<Req> {
+impl<M: Model> Drop for FinishGuard<M> {
     fn drop(&mut self) {
-        // The coordinator may already be gone if it panicked first; ignore.
-        let _ = self.tx.send(ToCoord {
-            actor: self.actor,
-            action: Action::Finished,
-        });
+        let sh = &*self.shared;
+        let mut st = sh.lock();
+        st.live -= 1;
+        // On a panic path out of `block_on` the actor was already counted
+        // out of `running` (and the simulation is already dead); saturate
+        // rather than corrupt another actor's count.
+        st.running = st.running.saturating_sub(1);
+        if st.dead || st.running > 0 || st.live == 0 {
+            return;
+        }
+        if std::thread::panicking() {
+            // Keep the other actors going; if the round itself fails we must
+            // swallow that panic (resuming a second panic while unwinding
+            // would abort) and just tear everything down.
+            if std::panic::catch_unwind(AssertUnwindSafe(|| sh.round(&mut st, usize::MAX))).is_err()
+            {
+                sh.kill(&mut st);
+            }
+        } else {
+            sh.round_or_kill(&mut st, usize::MAX);
+        }
     }
 }
 
@@ -176,12 +374,6 @@ pub struct Simulation<M: Model> {
     seed: u64,
 }
 
-enum Payload<M: Model> {
-    Arrival(M::Req),
-    Deliver(M::Resp),
-    Timer,
-}
-
 impl<M: Model> Simulation<M> {
     /// Create a simulation over `model` with deterministic seed `seed`.
     pub fn new(model: M, seed: u64) -> Self {
@@ -204,138 +396,69 @@ impl<M: Model> Simulation<M> {
 
     /// Run a heterogeneous set of actors (e.g. one web role plus N worker
     /// roles). Actor ids are assigned by position.
-    pub fn run<'a, R: Send>(mut self, actors: Vec<ActorFn<'a, M, R>>) -> SimReport<M, R> {
+    pub fn run<'a, R: Send>(self, actors: Vec<ActorFn<'a, M, R>>) -> SimReport<M, R> {
+        let Simulation { model, seed } = self;
         let n = actors.len();
-        let (tx, rx) = unbounded::<ToCoord<M::Req>>();
-        let mut wake_txs: Vec<Sender<Wakeup<M::Resp>>> = Vec::with_capacity(n);
-        let mut ctxs: Vec<ActorCtx<M>> = Vec::with_capacity(n);
-        for (i, _) in actors.iter().enumerate() {
-            let (wtx, wrx) = bounded::<Wakeup<M::Resp>>(1);
-            wake_txs.push(wtx);
-            ctxs.push(ActorCtx {
-                id: i,
-                now: Cell::new(0),
-                calls: Cell::new(0),
-                tx: tx.clone(),
-                rx: wrx,
-                rng: RefCell::new(stream_rng(self.seed, i as u64)),
-            });
-        }
-        // The coordinator must observe channel closure only through Finished
-        // messages, never rely on sender drops.
-        drop(tx);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(CoordState {
+                heap: EventHeap::new(),
+                seq: vec![0; n],
+                actor_time: vec![SimTime::ZERO; n],
+                mailbox: (0..n).map(|_| None).collect(),
+                model,
+                running: n,
+                live: n,
+                end_time: SimTime::ZERO,
+                requests: 0,
+                dead: false,
+            }),
+            cvars: (0..n).map(|_| Condvar::new()).collect(),
+        });
 
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut end_time = SimTime::ZERO;
-        let mut requests = 0u64;
 
-        std::thread::scope(|s| {
+        let panics = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n);
-            for ((body, ctx), slot) in actors.into_iter().zip(ctxs).zip(&mut results) {
+            for (i, (body, slot)) in actors.into_iter().zip(&mut results).enumerate() {
+                let ctx = ActorCtx {
+                    id: i,
+                    now: Cell::new(0),
+                    calls: Cell::new(0),
+                    shared: Arc::clone(&shared),
+                    rng: RefCell::new(stream_rng(seed, i as u64)),
+                };
                 handles.push(s.spawn(move || {
                     let _guard = FinishGuard {
-                        actor: ctx.id,
-                        tx: ctx.tx.clone(),
+                        shared: Arc::clone(&ctx.shared),
                     };
                     *slot = Some(body(&ctx));
                 }));
             }
-
-            let mut heap: EventHeap<Payload<M>> = EventHeap::new();
-            let mut seq = vec![0u64; n];
-            let mut actor_time = vec![SimTime::ZERO; n];
-            let mut running = n;
-            let mut live = n;
-
-            while live > 0 {
-                // Wait for every running actor to block (or finish).
-                while running > 0 {
-                    let msg = rx
-                        .recv()
-                        .expect("all actor channels closed while actors still live");
-                    let a = msg.actor;
-                    let key = |t: SimTime, seq: &mut Vec<u64>| {
-                        let k = EventKey {
-                            time: t,
-                            actor: ActorId(a),
-                            seq: seq[a],
-                        };
-                        seq[a] += 1;
-                        k
-                    };
-                    match msg.action {
-                        Action::Call(req) => {
-                            heap.push(key(actor_time[a], &mut seq), Payload::Arrival(req));
-                            running -= 1;
-                        }
-                        Action::Sleep(d) => {
-                            heap.push(key(actor_time[a] + d, &mut seq), Payload::Timer);
-                            running -= 1;
-                        }
-                        Action::Finished => {
-                            live -= 1;
-                            running -= 1;
-                        }
-                    }
-                }
-                if live == 0 {
-                    break;
-                }
-                // Everyone is parked: advance virtual time by one event.
-                let (k, payload) = heap
-                    .pop()
-                    .expect("deadlock: live actors blocked with no pending events");
-                end_time = k.time;
-                let a = k.actor.0;
-                match payload {
-                    Payload::Arrival(req) => {
-                        requests += 1;
-                        let (done, resp) = self.model.handle(k.time, k.actor, req);
-                        assert!(
-                            done >= k.time,
-                            "model completed a request before it arrived"
-                        );
-                        let dk = EventKey {
-                            time: done,
-                            actor: k.actor,
-                            seq: seq[a],
-                        };
-                        seq[a] += 1;
-                        heap.push(dk, Payload::Deliver(resp));
-                    }
-                    Payload::Deliver(resp) => {
-                        actor_time[a] = k.time;
-                        wake_txs[a]
-                            .send(Wakeup::Response(k.time, resp))
-                            .expect("actor thread gone");
-                        running += 1;
-                    }
-                    Payload::Timer => {
-                        actor_time[a] = k.time;
-                        wake_txs[a]
-                            .send(Wakeup::Timer(k.time))
-                            .expect("actor thread gone");
-                        running += 1;
-                    }
-                }
-            }
-            drop(wake_txs);
-            for h in handles {
-                // Propagate actor panics to the caller.
-                if let Err(p) = h.join() {
-                    std::panic::resume_unwind(p);
-                }
-            }
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().err())
+                .collect::<Vec<_>>()
         });
 
+        if !panics.is_empty() {
+            // Prefer the root cause over "another actor failed" cascades.
+            let root = panics
+                .iter()
+                .position(|p| !is_cascade(p.as_ref()))
+                .unwrap_or(0);
+            std::panic::resume_unwind(panics.into_iter().nth(root).expect("root panic index"));
+        }
+
+        let shared = Arc::into_inner(shared).expect("actor contexts outlived the simulation");
+        let st = shared.state.into_inner().unwrap_or_else(|p| p.into_inner());
         SimReport {
-            model: self.model,
+            model: st.model,
             results: results
                 .into_iter()
                 .map(|r| r.expect("actor finished without producing a result"))
                 .collect(),
-            end_time,
-            requests,
+            end_time: st.end_time,
+            requests: st.requests,
         }
     }
 }
@@ -522,6 +645,29 @@ mod tests {
         assert!(outcome.is_err(), "panic must propagate");
     }
 
+    #[test]
+    fn panic_payload_is_the_root_cause_not_the_cascade() {
+        let sim = Simulation::new(echo(1), 0);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_workers(4, |ctx| {
+                ctx.sleep(Duration::from_millis(1));
+                if ctx.id().0 == 2 {
+                    panic!("root cause");
+                }
+                ctx.sleep(Duration::from_secs(1));
+            })
+        }));
+        let payload = match outcome {
+            Err(p) => p,
+            Ok(_) => panic!("panic must propagate"),
+        };
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "root cause");
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
         /// Arbitrary per-actor programs of sleeps and calls are (a)
@@ -613,5 +759,185 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a[0], a[1]);
+    }
+
+    // ------------------------------------------------------------------
+    // Batch-wake vs one-event-at-a-time reference.
+    //
+    // The original executor woke exactly one actor per event pop and waited
+    // for it to block again before popping the next event. The batch-wake
+    // scheduler must produce the *identical* model trace, per-actor wakeup
+    // times, end time, and request count. `run_reference` is an executable
+    // spec of the one-at-a-time discipline: since test programs are fixed
+    // step lists, "wait for the actor to block again" is exactly "push its
+    // next event immediately after delivering its wakeup".
+    // ------------------------------------------------------------------
+
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        Call(u32),
+        SleepUs(u64),
+    }
+
+    type Trace = (Vec<(u64, usize, u32)>, Vec<Vec<u64>>, u64, u64);
+
+    fn run_reference(service_ms: u64, programs: &[Vec<Step>]) -> Trace {
+        let n = programs.len();
+        let mut model = echo(service_ms);
+        let mut heap: EventHeap<Payload<EchoModel>> = EventHeap::new();
+        let mut seq = vec![0u64; n];
+        let mut at = vec![SimTime::ZERO; n];
+        let mut pc = vec![0usize; n];
+        let mut results: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut end_time = SimTime::ZERO;
+        let mut requests = 0u64;
+
+        fn submit(
+            programs: &[Vec<Step>],
+            a: usize,
+            heap: &mut EventHeap<Payload<EchoModel>>,
+            seq: &mut [u64],
+            at: &[SimTime],
+            pc: &[usize],
+        ) {
+            if let Some(step) = programs[a].get(pc[a]) {
+                let (t, p) = match *step {
+                    Step::Call(v) => (at[a], Payload::Arrival(v)),
+                    Step::SleepUs(us) => (at[a] + Duration::from_micros(us), Payload::Timer),
+                };
+                heap.push(
+                    EventKey {
+                        time: t,
+                        actor: ActorId(a),
+                        seq: seq[a],
+                    },
+                    p,
+                );
+                seq[a] += 1;
+            }
+        }
+
+        for a in 0..n {
+            submit(programs, a, &mut heap, &mut seq, &at, &pc);
+        }
+        while let Some((k, payload)) = heap.pop() {
+            end_time = k.time;
+            let a = k.actor.0;
+            match payload {
+                Payload::Arrival(req) => {
+                    requests += 1;
+                    let (done, resp) = model.handle(k.time, k.actor, req);
+                    heap.push(
+                        EventKey {
+                            time: done,
+                            actor: k.actor,
+                            seq: seq[a],
+                        },
+                        Payload::Deliver(resp),
+                    );
+                    seq[a] += 1;
+                }
+                Payload::Deliver(_) | Payload::Timer => {
+                    at[a] = k.time;
+                    results[a].push(k.time.as_nanos());
+                    pc[a] += 1;
+                    submit(programs, a, &mut heap, &mut seq, &at, &pc);
+                }
+            }
+        }
+        (model.handled, results, end_time.as_nanos(), requests)
+    }
+
+    fn run_real(service_ms: u64, programs: &[Vec<Step>]) -> Trace {
+        let sim = Simulation::new(echo(service_ms), 0);
+        let actors: Vec<ActorFn<'_, EchoModel, Vec<u64>>> = programs
+            .iter()
+            .map(|prog| {
+                let prog = prog.clone();
+                Box::new(move |ctx: &ActorCtx<EchoModel>| {
+                    let mut times = Vec::new();
+                    for step in &prog {
+                        match *step {
+                            Step::Call(v) => {
+                                ctx.call(v);
+                            }
+                            Step::SleepUs(us) => ctx.sleep(Duration::from_micros(us)),
+                        }
+                        times.push(ctx.now().as_nanos());
+                    }
+                    times
+                }) as ActorFn<'_, EchoModel, Vec<u64>>
+            })
+            .collect();
+        let report = sim.run(actors);
+        (
+            report.model.handled,
+            report.results,
+            report.end_time.as_nanos(),
+            report.requests,
+        )
+    }
+
+    #[test]
+    fn batch_wake_matches_reference_at_shared_instants() {
+        // Every actor sleeps the same durations, so all timers fire at the
+        // same virtual instants and each round batch-wakes all of them.
+        let programs: Vec<Vec<Step>> = (0..8)
+            .map(|i| {
+                vec![
+                    Step::SleepUs(1_000),
+                    Step::Call(i as u32),
+                    Step::SleepUs(1_000),
+                    Step::Call(100 + i as u32),
+                ]
+            })
+            .collect();
+        assert_eq!(run_real(3, &programs), run_reference(3, &programs));
+    }
+
+    #[test]
+    fn zero_length_sleeps_match_reference() {
+        // Zero-duration timers pile events at one instant together with
+        // arrivals — the batch must still end at each arrival.
+        let programs: Vec<Vec<Step>> = (0..4)
+            .map(|i| {
+                vec![
+                    Step::SleepUs(0),
+                    Step::Call(i as u32),
+                    Step::SleepUs(0),
+                    Step::SleepUs(0),
+                    Step::Call(10 + i as u32),
+                ]
+            })
+            .collect();
+        assert_eq!(run_real(1, &programs), run_reference(1, &programs));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// Random programs: the batch-wake scheduler reproduces the
+        /// one-at-a-time reference trace exactly. Sleep durations are drawn
+        /// from a tiny range so distinct actors frequently collide on the
+        /// same virtual instant and exercise the batching path.
+        #[test]
+        fn prop_matches_one_at_a_time_reference(
+            programs in proptest::collection::vec(
+                proptest::collection::vec((proptest::bool::ANY, 0u64..4), 0..12),
+                1..7),
+        ) {
+            let programs: Vec<Vec<Step>> = programs
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(|&(is_call, v)| if is_call {
+                            Step::Call(v as u32)
+                        } else {
+                            Step::SleepUs(v * 500)
+                        })
+                        .collect()
+                })
+                .collect();
+            proptest::prop_assert_eq!(run_real(2, &programs), run_reference(2, &programs));
+        }
     }
 }

@@ -95,6 +95,50 @@ pub enum OpClass {
 }
 
 impl OpClass {
+    /// Number of operation classes (the length of [`OpClass::ALL`]).
+    pub const COUNT: usize = 27;
+
+    /// Every class, in declaration order — the canonical report order, and
+    /// the index space of [`OpClass::index`].
+    pub const ALL: [OpClass; OpClass::COUNT] = {
+        use OpClass::*;
+        [
+            BlobCreateContainer,
+            BlobPutBlock,
+            BlobPutBlockList,
+            BlobUploadSingle,
+            BlobGetBlock,
+            BlobDownload,
+            BlobCreatePage,
+            BlobPutPage,
+            BlobGetPage,
+            BlobDelete,
+            BlobList,
+            QueueCreate,
+            QueueDelete,
+            QueuePut,
+            QueueGet,
+            QueuePeek,
+            QueueDeleteMsg,
+            QueueCount,
+            QueueClear,
+            TableCreate,
+            TableDelete,
+            TableInsert,
+            TableQuery,
+            TableQueryPartition,
+            TableUpdate,
+            TableBatch,
+            TableDeleteEntity,
+        ]
+    };
+
+    /// Dense index of this class in `0..OpClass::COUNT`, suitable for
+    /// array-backed per-class tables on the metrics hot path.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The service the class belongs to.
     pub fn service(self) -> Service {
         use OpClass::*;
@@ -211,37 +255,15 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        use OpClass::*;
-        let all = [
-            BlobCreateContainer,
-            BlobPutBlock,
-            BlobPutBlockList,
-            BlobUploadSingle,
-            BlobGetBlock,
-            BlobDownload,
-            BlobCreatePage,
-            BlobPutPage,
-            BlobGetPage,
-            BlobDelete,
-            BlobList,
-            QueueCreate,
-            QueueDelete,
-            QueuePut,
-            QueueGet,
-            QueuePeek,
-            QueueDeleteMsg,
-            QueueCount,
-            QueueClear,
-            TableCreate,
-            TableDelete,
-            TableInsert,
-            TableQuery,
-            TableQueryPartition,
-            TableUpdate,
-            TableBatch,
-            TableDeleteEntity,
-        ];
-        let labels: std::collections::HashSet<_> = all.iter().map(|c| c.label()).collect();
-        assert_eq!(labels.len(), all.len());
+        let labels: std::collections::HashSet<_> = OpClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), OpClass::ALL.len());
+    }
+
+    #[test]
+    fn indices_are_dense_and_match_declaration_order() {
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i, "{class:?}");
+        }
+        assert_eq!(OpClass::ALL.len(), OpClass::COUNT);
     }
 }

@@ -25,5 +25,5 @@ pub use entity::{Entity, PropValue};
 pub use error::{StorageError, StorageResult};
 pub use etag::{ETag, EtagCondition};
 pub use message::QueueMessage;
-pub use partition::PartitionKey;
+pub use partition::{PartitionKey, PartitionRef};
 pub use request::{StorageOk, StorageRequest, TableBatchOp};

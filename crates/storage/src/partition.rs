@@ -42,9 +42,64 @@ pub enum PartitionKey {
 }
 
 impl PartitionKey {
+    /// Borrowed view of this key (no allocation).
+    pub fn as_ref(&self) -> PartitionRef<'_> {
+        match self {
+            PartitionKey::Blob { container, blob } => PartitionRef::Blob { container, blob },
+            PartitionKey::Queue { queue } => PartitionRef::Queue { queue },
+            PartitionKey::Table { table, partition } => PartitionRef::Table { table, partition },
+            PartitionKey::Control => PartitionRef::Control,
+        }
+    }
+
     /// Stable (FNV-1a) hash of the partition key, used to place the
     /// partition on a server. Independent of Rust's randomized `HashMap`
     /// hashing so placement is reproducible across runs and builds.
+    pub fn stable_hash(&self) -> u64 {
+        self.as_ref().stable_hash()
+    }
+
+    /// Index of the partition server owning this partition, in a fleet of
+    /// `servers` servers.
+    pub fn server_index(&self, servers: usize) -> usize {
+        self.as_ref().server_index(servers)
+    }
+}
+
+/// A borrowed [`PartitionKey`]: the fabric's hot path derives this straight
+/// from a request without cloning any strings, hashes it, and only
+/// materializes an owned key the first time a partition is ever seen
+/// (interning). Hashes are guaranteed identical to the owned key's — both go
+/// through the same byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionRef<'a> {
+    /// A blob partition: `(container, blob)`.
+    Blob {
+        /// Container name.
+        container: &'a str,
+        /// Blob name.
+        blob: &'a str,
+    },
+    /// A queue partition: the queue name.
+    Queue {
+        /// Queue name.
+        queue: &'a str,
+    },
+    /// A table partition: `(table, partition key)`.
+    Table {
+        /// Table name.
+        table: &'a str,
+        /// Entity partition key.
+        partition: &'a str,
+    },
+    /// Account-level control-plane operations.
+    Control,
+}
+
+impl PartitionRef<'_> {
+    /// Stable (FNV-1a) hash; see [`PartitionKey::stable_hash`]. The service
+    /// prefix and `/` separators keep distinct keys from colliding by
+    /// concatenation.
     pub fn stable_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x1_0000_0000_01b3;
@@ -56,23 +111,23 @@ impl PartitionKey {
             }
         };
         match self {
-            PartitionKey::Blob { container, blob } => {
+            PartitionRef::Blob { container, blob } => {
                 eat(b"blob/");
                 eat(container.as_bytes());
                 eat(b"/");
                 eat(blob.as_bytes());
             }
-            PartitionKey::Queue { queue } => {
+            PartitionRef::Queue { queue } => {
                 eat(b"queue/");
                 eat(queue.as_bytes());
             }
-            PartitionKey::Table { table, partition } => {
+            PartitionRef::Table { table, partition } => {
                 eat(b"table/");
                 eat(table.as_bytes());
                 eat(b"/");
                 eat(partition.as_bytes());
             }
-            PartitionKey::Control => eat(b"control"),
+            PartitionRef::Control => eat(b"control"),
         }
         h
     }
@@ -82,6 +137,31 @@ impl PartitionKey {
     pub fn server_index(&self, servers: usize) -> usize {
         assert!(servers > 0, "cluster must have at least one server");
         (self.stable_hash() % servers as u64) as usize
+    }
+
+    /// Materialize an owned key (allocates; interning does this once per
+    /// distinct partition).
+    pub fn to_key(&self) -> PartitionKey {
+        match *self {
+            PartitionRef::Blob { container, blob } => PartitionKey::Blob {
+                container: container.to_owned(),
+                blob: blob.to_owned(),
+            },
+            PartitionRef::Queue { queue } => PartitionKey::Queue {
+                queue: queue.to_owned(),
+            },
+            PartitionRef::Table { table, partition } => PartitionKey::Table {
+                table: table.to_owned(),
+                partition: partition.to_owned(),
+            },
+            PartitionRef::Control => PartitionKey::Control,
+        }
+    }
+
+    /// Whether this view denotes the same partition as `key` (used to
+    /// resolve stable-hash collisions in the interner).
+    pub fn matches(&self, key: &PartitionKey) -> bool {
+        *self == key.as_ref()
     }
 }
 
@@ -142,5 +222,28 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {
         qk("a").server_index(0);
+    }
+
+    #[test]
+    fn borrowed_view_hashes_identically_to_owned_key() {
+        let keys = [
+            PartitionKey::Blob {
+                container: "cont".into(),
+                blob: "bl".into(),
+            },
+            qk("my-queue"),
+            PartitionKey::Table {
+                table: "t".into(),
+                partition: "p".into(),
+            },
+            PartitionKey::Control,
+        ];
+        for k in &keys {
+            assert_eq!(k.as_ref().stable_hash(), k.stable_hash());
+            assert_eq!(k.as_ref().server_index(64), k.server_index(64));
+            assert_eq!(k.as_ref().to_key(), *k);
+            assert!(k.as_ref().matches(k));
+        }
+        assert!(!keys[0].as_ref().matches(&keys[1]));
     }
 }

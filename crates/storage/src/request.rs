@@ -9,7 +9,7 @@ use crate::cost::OpClass;
 use crate::entity::Entity;
 use crate::etag::{ETag, EtagCondition};
 use crate::message::{MessageId, PeekedMessage, PopReceipt, QueueMessage};
-use crate::partition::PartitionKey;
+use crate::partition::{PartitionKey, PartitionRef};
 use bytes::Bytes;
 use std::time::Duration;
 
@@ -318,13 +318,10 @@ impl StorageRequest {
         }
     }
 
-    /// The partition the request targets.
-    pub fn partition(&self) -> PartitionKey {
+    /// The partition the request targets, as a borrowed (allocation-free)
+    /// view — the fabric hot path hashes this directly.
+    pub fn partition_ref(&self) -> PartitionRef<'_> {
         use StorageRequest::*;
-        let blob_key = |c: &str, b: &str| PartitionKey::Blob {
-            container: c.to_owned(),
-            blob: b.to_owned(),
-        };
         match self {
             PutBlock {
                 container, blob, ..
@@ -348,23 +345,19 @@ impl StorageRequest {
             | GetPage {
                 container, blob, ..
             }
-            | DeleteBlob { container, blob } => blob_key(container, blob),
+            | DeleteBlob { container, blob } => PartitionRef::Blob { container, blob },
             PutMessage { queue, .. }
             | GetMessage { queue, .. }
             | PeekMessage { queue }
             | DeleteMessage { queue, .. }
             | GetMessageCount { queue }
-            | ClearQueue { queue } => PartitionKey::Queue {
-                queue: queue.clone(),
-            },
-            InsertEntity { table, entity } => PartitionKey::Table {
-                table: table.clone(),
-                partition: entity.partition_key.clone(),
-            },
-            UpdateEntity { table, entity, .. } => PartitionKey::Table {
-                table: table.clone(),
-                partition: entity.partition_key.clone(),
-            },
+            | ClearQueue { queue } => PartitionRef::Queue { queue },
+            InsertEntity { table, entity } | UpdateEntity { table, entity, .. } => {
+                PartitionRef::Table {
+                    table,
+                    partition: &entity.partition_key,
+                }
+            }
             QueryEntity {
                 table, partition, ..
             }
@@ -374,17 +367,20 @@ impl StorageRequest {
             }
             | DeleteEntity {
                 table, partition, ..
-            } => PartitionKey::Table {
-                table: table.clone(),
-                partition: partition.clone(),
-            },
+            } => PartitionRef::Table { table, partition },
             CreateContainer { .. }
             | ListBlobs { .. }
             | CreateQueue { .. }
             | DeleteQueue { .. }
             | CreateTable { .. }
-            | DeleteTable { .. } => PartitionKey::Control,
+            | DeleteTable { .. } => PartitionRef::Control,
         }
+    }
+
+    /// The partition the request targets, as an owned key (allocates; prefer
+    /// [`StorageRequest::partition_ref`] on hot paths).
+    pub fn partition(&self) -> PartitionKey {
+        self.partition_ref().to_key()
     }
 
     /// Payload bytes travelling client → server (data-plane payload only;

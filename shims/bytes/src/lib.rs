@@ -78,6 +78,24 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
+
+    /// Zero-copy concatenation of two *adjacent* views of the same backing
+    /// buffer: if `next` starts exactly where `self` ends in the same
+    /// allocation, return the widened view. Otherwise `None` — the caller
+    /// has to copy. (The real crate's `BytesMut::unsplit` plays this role;
+    /// the storage models use it to reassemble reads from a buffer that
+    /// was split into aligned pages on write.)
+    pub fn try_join(&self, next: &Bytes) -> Option<Bytes> {
+        if Arc::ptr_eq(&self.data, &next.data) && self.end == next.start {
+            Some(Bytes {
+                data: Arc::clone(&self.data),
+                start: self.start,
+                end: next.end,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -301,6 +319,20 @@ mod tests {
         let mut m = BytesMut::zeroed(4);
         m[1..3].copy_from_slice(&[7, 8]);
         assert_eq!(&m.freeze()[..], &[0, 7, 8, 0]);
+    }
+
+    #[test]
+    fn try_join_widens_adjacent_views_only() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5, 6]);
+        let lo = b.slice(0..3);
+        let hi = b.slice(3..6);
+        let joined = lo.try_join(&hi).expect("adjacent views must join");
+        assert_eq!(joined, b);
+        assert_eq!(Arc::strong_count(&b.data), 4, "join must not copy");
+        // Non-adjacent, overlapping, and foreign views refuse to join.
+        assert!(hi.try_join(&lo).is_none());
+        assert!(lo.try_join(&b.slice(2..4)).is_none());
+        assert!(lo.try_join(&Bytes::from(vec![4, 5, 6])).is_none());
     }
 
     #[test]

@@ -1,50 +1,155 @@
-//! Offline stand-in for `rayon`. `par_iter()`/`into_par_iter()` return the
-//! ordinary sequential iterators — same results, no parallelism. Adequate
-//! here because the only user is an example's local compute phase, where
-//! parallel speedup is a nicety, not a correctness property.
+//! Offline stand-in for `rayon` that actually runs in parallel.
+//!
+//! `par_iter()`/`into_par_iter()` split the input into contiguous chunks —
+//! one per available core — and map each chunk on a scoped `std::thread`.
+//! Results are stitched back together in input order, so `collect()` is
+//! byte-for-byte identical to the sequential iterator, and `sum()` folds
+//! the mapped values strictly left-to-right (the parallelism is confined to
+//! the `map`, so even floating-point sums associate exactly as the
+//! sequential code would).
+//!
+//! This is deliberately a small subset of rayon — `map` followed by
+//! `collect`/`sum` — which is all the workloads here use. It is not a
+//! work-stealing scheduler: chunks are static, so badly skewed per-item
+//! cost will not balance the way real rayon does.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan a chunked map over.
+fn threads_for(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.max(1))
+}
+
+/// Map `items` chunk-parallel with `f`, preserving input order.
+fn chunked_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads_for(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut pending: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        pending.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pending
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    })
+}
+
+/// A pending parallel map over owned items.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Run the map and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        chunked_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Run the map and sum the results in input order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        chunked_map(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// A parallel iterator over a collection.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item with `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
 
 pub mod prelude {
-    /// Sequential stand-in for rayon's `IntoParallelRefIterator`.
+    pub use super::{ParIter, ParMap};
+
+    /// Parallel iteration over references, rayon-shaped.
     pub trait IntoParallelRefIterator<'a> {
-        /// The (sequential) iterator type.
-        type Iter: Iterator;
-        /// "Parallel" iteration over references.
-        fn par_iter(&'a self) -> Self::Iter;
+        /// The reference item type.
+        type Item: Send + 'a;
+        /// Parallel iteration over references.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            self.as_slice().par_iter()
         }
     }
 
-    /// Sequential stand-in for rayon's `IntoParallelIterator`.
+    /// Parallel iteration by value, rayon-shaped.
     pub trait IntoParallelIterator {
-        /// The (sequential) iterator type.
-        type Iter: Iterator;
-        /// "Parallel" iteration by value.
-        fn into_par_iter(self) -> Self::Iter;
+        /// The owned item type.
+        type Item: Send;
+        /// Parallel iteration by value.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
         }
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = std::ops::Range<usize>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
         }
     }
 }
@@ -58,5 +163,56 @@ mod tests {
         let v = vec![1, 2, 3];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn order_is_preserved_across_chunks() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let mapped: Vec<usize> = v.par_iter().map(|x| x + 1).collect();
+        let expected: Vec<usize> = (1..10_001).collect();
+        assert_eq!(mapped, expected);
+    }
+
+    #[test]
+    fn sum_matches_sequential_association() {
+        let v: Vec<f64> = (0..5_000).map(|i| (i as f64) * 0.1).collect();
+        let par: f64 = v.par_iter().map(|x| x * 3.0).sum();
+        let seq: f64 = v.iter().map(|x| x * 3.0).sum();
+        assert_eq!(par.to_bits(), seq.to_bits(), "sum must fold in input order");
+    }
+
+    #[test]
+    fn into_par_iter_consumes_by_value() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 100);
+        assert_eq!(squares[9], 81);
+        let owned: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(owned, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                *x
+            })
+            .collect();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct >= cores.min(2),
+            "expected parallel execution, saw {distinct} thread(s) on a {cores}-core host"
+        );
     }
 }

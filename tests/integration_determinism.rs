@@ -6,7 +6,7 @@ use azsim_core::Simulation;
 use azsim_fabric::Cluster;
 use azurebench::alg3_queue::{run_alg3, QueueOp};
 use azurebench::alg5_table::run_alg5;
-use azurebench::BenchConfig;
+use azurebench::{alg3_queue, fig9, BenchConfig};
 
 #[test]
 fn alg3_is_bit_deterministic() {
@@ -42,6 +42,33 @@ fn different_seeds_change_fuzzed_behaviour_not_shapes() {
         let size = 32 << 10;
         assert!(r[&(size, QueueOp::Peek)].1 < r[&(size, QueueOp::Put)].1);
         assert!(r[&(size, QueueOp::Put)].1 < r[&(size, QueueOp::Get)].1);
+    }
+}
+
+#[test]
+fn parallel_and_serial_sweeps_emit_identical_csvs() {
+    // The sweep engine runs ladder points on OS threads; the emitted CSVs
+    // must be byte-identical to the single-threaded schedule.
+    let base = BenchConfig::paper()
+        .with_scale(0.02)
+        .with_workers(vec![1, 2, 4]);
+    let serial = base.clone().with_sweep_threads(1);
+    let parallel = base.with_sweep_threads(4);
+
+    let a = fig9::figure_9(&serial).to_csv();
+    let b = fig9::figure_9(&parallel).to_csv();
+    assert_eq!(a, b, "fig9 CSV differs between schedules");
+
+    let fa = alg3_queue::figure_6(&serial);
+    let fb = alg3_queue::figure_6(&parallel);
+    assert_eq!(fa.len(), fb.len());
+    for (x, y) in fa.iter().zip(&fb) {
+        assert_eq!(
+            x.to_csv(),
+            y.to_csv(),
+            "{} CSV differs between schedules",
+            x.id
+        );
     }
 }
 
