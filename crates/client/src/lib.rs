@@ -27,6 +27,7 @@ pub use live::{LiveCluster, LiveEnv};
 pub use queue::QueueClient;
 pub use resilience::{
     BackoffConfig, BreakerConfig, ClientPolicy, ErrorClass, ResilienceStats, ResilientPolicy,
+    RetrySpan,
 };
 pub use retry::RetryPolicy;
 pub use table::TableClient;

@@ -33,7 +33,9 @@ use crate::env::Environment;
 use crate::retry::RetryPolicy;
 use azsim_core::rng::stream_rng;
 use azsim_core::SimTime;
-use azsim_storage::{PartitionKey, StorageError, StorageOk, StorageRequest, StorageResult};
+use azsim_storage::{
+    OpClass, PartitionKey, StorageError, StorageOk, StorageRequest, StorageResult,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::cell::RefCell;
@@ -149,10 +151,27 @@ struct BreakerState {
     last_error: StorageError,
 }
 
+/// One recorded retry wait: the client-side backoff span between two
+/// attempts of the same operation. Collected when span logging is enabled
+/// ([`ResilientPolicy::with_span_log`]) so harnesses can attribute retry
+/// time to the `retry_backoff` phase of the observability layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetrySpan {
+    /// Class of the operation being retried.
+    pub class: OpClass,
+    /// Virtual time the wait began.
+    pub at: SimTime,
+    /// How long the policy slept before the next attempt.
+    pub wait: Duration,
+    /// The attempt number that just failed (1-based).
+    pub attempt: usize,
+}
+
 struct Inner {
     rng: SmallRng,
     breakers: HashMap<PartitionKey, BreakerState>,
     stats: ResilienceStats,
+    spans: Option<Vec<RetrySpan>>,
 }
 
 /// The composable resilience executor. Construct with [`ResilientPolicy::new`],
@@ -182,6 +201,7 @@ impl ResilientPolicy {
                 rng: stream_rng(seed, JITTER_STREAM),
                 breakers: HashMap::new(),
                 stats: ResilienceStats::default(),
+                spans: None,
             }),
         }
     }
@@ -219,9 +239,27 @@ impl ResilientPolicy {
         self
     }
 
+    /// Record every retry wait as a [`RetrySpan`] (off by default — spans
+    /// cost one `Vec` push per retry).
+    pub fn with_span_log(self) -> Self {
+        self.state.borrow_mut().spans = Some(Vec::new());
+        self
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> ResilienceStats {
         self.state.borrow().stats
+    }
+
+    /// Drain the recorded retry spans (empty unless
+    /// [`ResilientPolicy::with_span_log`] was enabled).
+    pub fn take_retry_spans(&self) -> Vec<RetrySpan> {
+        self.state
+            .borrow_mut()
+            .spans
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Execute `req` against `env` under this policy.
@@ -280,7 +318,18 @@ impl ResilientPolicy {
                 }
             }
 
-            self.state.borrow_mut().stats.retries += 1;
+            {
+                let inner = &mut *self.state.borrow_mut();
+                inner.stats.retries += 1;
+                if let Some(spans) = &mut inner.spans {
+                    spans.push(RetrySpan {
+                        class: req.class(),
+                        at: env.now(),
+                        wait: sleep,
+                        attempt,
+                    });
+                }
+            }
             env.sleep(sleep);
         }
     }

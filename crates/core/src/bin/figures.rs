@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|bench|all]...
+//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|chaos|bench|all]...
 //!         [--scale S] [--workers 1,2,4,...] [--seed N] [--csv DIR]
 //!         [--threads N]
 //! ```
@@ -11,9 +11,11 @@
 //! `--csv DIR` additionally writes one CSV per figure into `DIR`.
 //! `--threads N` caps the sweep engine's point-level parallelism (`0`,
 //! the default, uses every core; `1` forces the serial schedule — the
-//! emitted figures are identical either way). The `bench` target runs the
-//! engine micro-benchmark plus a timed pass over the figure suite and
-//! writes `BENCH_engine.json`.
+//! emitted figures are identical either way). The `profile` target runs
+//! the mixed workload with phase tracing and writes `profile.json` and
+//! `profile.prom` (into the `--csv` directory if given, else `results/`).
+//! The `bench` target runs the engine micro-benchmark plus a timed pass
+//! over the figure suite and writes `BENCH_engine.json`.
 
 use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, BenchConfig, Figure};
 use std::io::Write;
@@ -90,7 +92,7 @@ fn main() {
     };
     if args.targets.is_empty() {
         eprintln!(
-            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|chaos|bench|all]... \
+            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|chaos|bench|all]... \
              [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N]"
         );
         std::process::exit(2);
@@ -151,7 +153,7 @@ fn main() {
     }
     if want("latency") {
         let t = Instant::now();
-        let mut report = azurebench::latency::profile_mixed(&cfg, 8, 50);
+        let report = azurebench::latency::profile_mixed(&cfg, 8, 50);
         eprintln!("# latency profile swept in {:.1?}", t.elapsed());
         println!(
             "# latency — per-op distributions (mixed workload, 8 workers)\n{}",
@@ -163,6 +165,23 @@ fn main() {
         let fig = fig9::figure_9(&cfg);
         eprintln!("# fig9 (per-op) swept in {:.1?}", t.elapsed());
         emit(std::slice::from_ref(&fig), &args.csv_dir);
+    }
+    if want("profile") {
+        let t = Instant::now();
+        let report = azurebench::profile::run_profile(&cfg, &cfg.workers, cfg.scaled(50));
+        eprintln!("# profile (phase breakdown) swept in {:.1?}", t.elapsed());
+        println!(
+            "# profile — per-phase latency breakdown (mixed workload)\n{}",
+            report.render()
+        );
+        let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
+        std::fs::create_dir_all(&dir).expect("create profile dir");
+        let json_path = format!("{dir}/profile.json");
+        std::fs::write(&json_path, report.to_json()).expect("write profile.json");
+        eprintln!("wrote {json_path}");
+        let prom_path = format!("{dir}/profile.prom");
+        std::fs::write(&prom_path, report.to_prometheus()).expect("write profile.prom");
+        eprintln!("wrote {prom_path}");
     }
     if want("chaos") {
         let t = Instant::now();

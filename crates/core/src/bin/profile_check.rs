@@ -1,0 +1,164 @@
+//! Validate a `figures profile` export.
+//!
+//! ```text
+//! profile_check <profile.json> <profile.schema.json> [profile.prom]
+//! ```
+//!
+//! Checks the JSON document against the checked-in schema (a small
+//! JSON-Schema subset: `type`, `required`, `properties`, `items`, `const`)
+//! and, when a Prometheus file is given, that every required metric family
+//! has a `# TYPE` declaration and at least one sample. Exit code 0 means
+//! the export is well-formed; any violation prints its JSON path and exits
+//! non-zero — CI runs this after a reduced-scale `figures profile`.
+
+use serde::value::{find, parse, Value};
+
+/// Metric families the Prometheus export must expose.
+const REQUIRED_FAMILIES: [&str; 5] = [
+    "azsim_ops_total",
+    "azsim_bytes_total",
+    "azsim_fault_injections_total",
+    "azsim_partition_ops_total",
+    "azsim_phase_latency_seconds",
+];
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Num(n) => {
+            if n.contains(['.', 'e', 'E']) {
+                "number"
+            } else {
+                "integer"
+            }
+        }
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    }
+}
+
+/// Walk `doc` against `schema`, appending one message per violation.
+fn validate(doc: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(schema) = schema.as_object() else {
+        return; // non-object schema nodes (e.g. booleans) accept anything
+    };
+
+    if let Some(Value::Str(want)) = find(schema, "type") {
+        let got = type_name(doc);
+        // JSON Schema: every integer is also a number.
+        let ok = got == want || (want == "number" && got == "integer");
+        if !ok {
+            errors.push(format!("{path}: expected {want}, got {got}"));
+            return;
+        }
+    }
+
+    if let Some(Value::Str(want)) = find(schema, "const") {
+        if doc.as_str() != Some(want) {
+            errors.push(format!("{path}: expected constant {want:?}, got {doc:?}"));
+        }
+    }
+
+    if let Some(Value::Arr(required)) = find(schema, "required") {
+        if let Some(members) = doc.as_object() {
+            for req in required {
+                if let Some(key) = req.as_str() {
+                    if find(members, key).is_none() {
+                        errors.push(format!("{path}: missing required key {key:?}"));
+                    }
+                }
+            }
+        }
+    }
+
+    if let (Some(Value::Obj(props)), Some(members)) = (find(schema, "properties"), doc.as_object())
+    {
+        for (key, sub) in props {
+            if let Some(child) = find(members, key) {
+                validate(child, sub, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+
+    if let (Some(item_schema), Some(elems)) = (find(schema, "items"), doc.as_array()) {
+        for (i, elem) in elems.iter().enumerate() {
+            validate(elem, item_schema, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+/// Check the Prometheus text export for the required families.
+fn check_prometheus(text: &str, errors: &mut Vec<String>) {
+    for family in REQUIRED_FAMILIES {
+        let has_type = text
+            .lines()
+            .any(|l| l.starts_with(&format!("# TYPE {family} ")));
+        if !has_type {
+            errors.push(format!("prom: missing `# TYPE {family}` declaration"));
+        }
+        let has_sample = text
+            .lines()
+            .any(|l| !l.starts_with('#') && l.starts_with(family));
+        if !has_sample {
+            errors.push(format!("prom: no samples for family {family}"));
+        }
+    }
+}
+
+fn load(path: &str) -> Value {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&bytes).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: profile_check <profile.json> <profile.schema.json> [profile.prom]");
+        std::process::exit(2);
+    }
+
+    let doc = load(&args[0]);
+    let schema = load(&args[1]);
+    let mut errors = Vec::new();
+    validate(&doc, &schema, "$", &mut errors);
+
+    if let Some(prom_path) = args.get(2) {
+        let text = std::fs::read_to_string(prom_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {prom_path}: {e}");
+            std::process::exit(2);
+        });
+        check_prometheus(&text, &mut errors);
+    }
+
+    if errors.is_empty() {
+        let points = doc
+            .as_object()
+            .and_then(|m| find(m, "points"))
+            .and_then(|v| v.as_array())
+            .map_or(0, |a| a.len());
+        println!(
+            "profile_check: OK ({} ladder point{}, schema valid{})",
+            points,
+            if points == 1 { "" } else { "s" },
+            if args.len() == 3 {
+                ", prometheus families present"
+            } else {
+                ""
+            }
+        );
+    } else {
+        for e in &errors {
+            eprintln!("profile_check: {e}");
+        }
+        eprintln!("profile_check: {} violation(s)", errors.len());
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,9 @@
 //! can additionally report full latency distributions (p50/p95/p99) per
 //! operation class — the shape modern storage benchmarks (YCSB, CosBench)
 //! report. [`profile_mixed`] drives a representative mixed workload with
-//! tracing enabled and summarizes it.
+//! tracing enabled and summarizes it. Distributions are held in
+//! [`Samples`]' HDR-style histograms, so the report is O(1) memory in the
+//! number of traced operations.
 
 use crate::config::BenchConfig;
 use crate::payload::PayloadGen;
@@ -21,11 +23,15 @@ pub struct LatencyReport {
     per_class: HashMap<OpClass, Samples>,
     throttled: u64,
     failed: u64,
+    faulted: u64,
+    timed_out: u64,
 }
 
 impl LatencyReport {
     /// Build a report from a trace buffer (successful ops only; throttles
-    /// and failures are counted separately).
+    /// and the three failure kinds are counted separately, so
+    /// fault-injection runs can tell timeouts from server faults from
+    /// semantic errors).
     pub fn from_trace(tracer: &Tracer) -> Self {
         let mut report = LatencyReport::default();
         for r in tracer.records() {
@@ -36,17 +42,17 @@ impl LatencyReport {
                     .or_default()
                     .record(r.latency().as_secs_f64()),
                 TraceOutcome::Throttled => report.throttled += 1,
-                TraceOutcome::Failed | TraceOutcome::Faulted | TraceOutcome::TimedOut => {
-                    report.failed += 1
-                }
+                TraceOutcome::Failed => report.failed += 1,
+                TraceOutcome::Faulted => report.faulted += 1,
+                TraceOutcome::TimedOut => report.timed_out += 1,
             }
         }
         report
     }
 
     /// Distribution for one class, if observed.
-    pub fn samples_mut(&mut self, class: OpClass) -> Option<&mut Samples> {
-        self.per_class.get_mut(&class)
+    pub fn samples(&self, class: OpClass) -> Option<&Samples> {
+        self.per_class.get(&class)
     }
 
     /// Number of throttled operations in the trace.
@@ -54,14 +60,24 @@ impl LatencyReport {
         self.throttled
     }
 
-    /// Number of failed operations in the trace.
+    /// Number of semantically failed operations in the trace.
     pub fn failed(&self) -> u64 {
         self.failed
     }
 
+    /// Number of operations rejected by injected server faults.
+    pub fn faulted(&self) -> u64 {
+        self.faulted
+    }
+
+    /// Number of operations dropped by fault injection (client timeouts).
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out
+    }
+
     /// Render an aligned per-class table (count, mean, p50, p95, p99, max),
     /// classes in label order, latencies in milliseconds.
-    pub fn render(&mut self) -> String {
+    pub fn render(&self) -> String {
         let mut out = format!(
             "{:<24} | {:>7} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9}\n",
             "op", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"
@@ -69,7 +85,7 @@ impl LatencyReport {
         let mut classes: Vec<OpClass> = self.per_class.keys().copied().collect();
         classes.sort_by_key(|c| c.label());
         for class in classes {
-            let s = self.per_class.get_mut(&class).expect("key just listed");
+            let s = &self.per_class[&class];
             out.push_str(&format!(
                 "{:<24} | {:>7} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3}\n",
                 class.label(),
@@ -81,10 +97,11 @@ impl LatencyReport {
                 s.quantile(1.0) * 1e3,
             ));
         }
-        if self.throttled > 0 || self.failed > 0 {
+        let excluded = self.throttled + self.failed + self.faulted + self.timed_out;
+        if excluded > 0 {
             out.push_str(&format!(
-                "({} throttled, {} failed ops excluded)\n",
-                self.throttled, self.failed
+                "({} throttled, {} failed, {} faulted, {} timed-out ops excluded)\n",
+                self.throttled, self.failed, self.faulted, self.timed_out
             ));
         }
         out
@@ -134,11 +151,13 @@ pub fn profile_mixed(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use azsim_core::SimTime;
+    use azsim_fabric::{PhaseBreadcrumb, TraceRecord};
 
     #[test]
     fn mixed_profile_covers_all_three_services() {
         let cfg = BenchConfig::paper();
-        let mut r = profile_mixed(&cfg, 4, 10);
+        let r = profile_mixed(&cfg, 4, 10);
         for class in [
             OpClass::QueuePut,
             OpClass::QueueGet,
@@ -148,19 +167,21 @@ mod tests {
             OpClass::TableQuery,
         ] {
             let s = r
-                .samples_mut(class)
+                .samples(class)
                 .unwrap_or_else(|| panic!("{class:?} missing"));
             assert_eq!(s.len(), 40, "{class:?}");
             assert!(s.mean() > 0.0);
         }
         assert_eq!(r.failed(), 0);
+        assert_eq!(r.faulted(), 0);
+        assert_eq!(r.timed_out(), 0);
     }
 
     #[test]
     fn percentiles_are_ordered() {
         let cfg = BenchConfig::paper();
-        let mut r = profile_mixed(&cfg, 4, 10);
-        let s = r.samples_mut(OpClass::QueueGet).unwrap();
+        let r = profile_mixed(&cfg, 4, 10);
+        let s = r.samples(OpClass::QueueGet).unwrap();
         let (p50, p95, p99, max) = (
             s.quantile(0.5),
             s.quantile(0.95),
@@ -174,7 +195,7 @@ mod tests {
     #[test]
     fn render_contains_header_and_classes() {
         let cfg = BenchConfig::paper();
-        let mut r = profile_mixed(&cfg, 2, 5);
+        let r = profile_mixed(&cfg, 2, 5);
         let table = r.render();
         assert!(table.contains("p99 ms"));
         assert!(table.contains("queue.put"));
@@ -184,8 +205,42 @@ mod tests {
     #[test]
     fn report_is_deterministic() {
         let cfg = BenchConfig::paper();
-        let mut a = profile_mixed(&cfg, 3, 8);
-        let mut b = profile_mixed(&cfg, 3, 8);
+        let a = profile_mixed(&cfg, 3, 8);
+        let b = profile_mixed(&cfg, 3, 8);
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn failure_kinds_are_counted_separately() {
+        // Regression: Failed | Faulted | TimedOut used to collapse into one
+        // `failed` counter, hiding what fault injection actually did.
+        let mut tracer = Tracer::with_capacity(16);
+        let rec = |outcome| TraceRecord {
+            issued: SimTime(0),
+            completed: SimTime(1_000_000),
+            actor: 0,
+            class: OpClass::QueuePut,
+            outcome,
+            bytes_up: 8,
+            bytes_down: 0,
+            phases: PhaseBreadcrumb::new(),
+        };
+        tracer.record(rec(TraceOutcome::Ok));
+        tracer.record(rec(TraceOutcome::Throttled));
+        tracer.record(rec(TraceOutcome::Failed));
+        tracer.record(rec(TraceOutcome::Failed));
+        tracer.record(rec(TraceOutcome::Faulted));
+        tracer.record(rec(TraceOutcome::Faulted));
+        tracer.record(rec(TraceOutcome::Faulted));
+        tracer.record(rec(TraceOutcome::TimedOut));
+
+        let r = LatencyReport::from_trace(&tracer);
+        assert_eq!(r.throttled(), 1);
+        assert_eq!(r.failed(), 2);
+        assert_eq!(r.faulted(), 3);
+        assert_eq!(r.timed_out(), 1);
+        assert_eq!(r.samples(OpClass::QueuePut).unwrap().len(), 1);
+        let footer = r.render();
+        assert!(footer.contains("1 throttled, 2 failed, 3 faulted, 1 timed-out"));
     }
 }

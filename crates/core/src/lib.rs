@@ -29,6 +29,7 @@ pub mod config;
 pub mod fig9;
 pub mod latency;
 pub mod payload;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod ycsb;

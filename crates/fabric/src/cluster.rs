@@ -18,8 +18,9 @@
 
 use crate::faults::{FaultDecision, FaultInjector, FaultMetrics, FaultPlan};
 use crate::metrics::ClusterMetrics;
+use crate::metrics::{MetricsSnapshot, PartitionHeat};
 use crate::params::ClusterParams;
-use crate::trace::{TraceOutcome, TraceRecord, Tracer};
+use crate::trace::{Phase, PhaseBreadcrumb, TraceOutcome, TraceRecord, Tracer};
 use azsim_blob::BlobStore;
 use azsim_core::resource::{Admission, FifoServer, Pipe, TokenBucket};
 use azsim_core::runtime::{ActorId, Model};
@@ -55,6 +56,10 @@ struct PartitionSlot {
     read_pipe: Option<Pipe>,
     /// 500 msg/s queue bucket or 500 entities/s table-partition bucket.
     bucket: Option<TokenBucket>,
+    /// Operations addressed to this partition (hot-key heatmap).
+    ops: u64,
+    /// Operations rejected by this partition's throttle.
+    throttled: u64,
 }
 
 /// The simulated storage cluster for one account.
@@ -157,6 +162,8 @@ impl Cluster {
             write_pipe,
             read_pipe,
             bucket,
+            ops: 0,
+            throttled: 0,
         });
         id as usize
     }
@@ -198,15 +205,61 @@ impl Cluster {
         self.faults.metrics()
     }
 
+    /// Exportable snapshot of everything the cluster measured: per-class
+    /// counters, fault tallies, the hottest partitions (top 64 by op count,
+    /// ties broken by label), and — when phase profiling is enabled —
+    /// per-class/per-phase latency histograms.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut heat: Vec<PartitionHeat> = self
+            .slots
+            .iter()
+            .filter(|s| s.ops > 0)
+            .map(|s| PartitionHeat {
+                partition: s.key.to_string(),
+                server: s.server,
+                ops: s.ops,
+                throttled: s.throttled,
+            })
+            .collect();
+        heat.sort_by(|a, b| {
+            b.ops
+                .cmp(&a.ops)
+                .then_with(|| a.partition.cmp(&b.partition))
+        });
+        heat.truncate(64);
+        MetricsSnapshot::build(
+            &self.metrics,
+            self.faults.metrics(),
+            heat,
+            self.tracer.as_ref().and_then(|t| t.phase_stats()),
+        )
+    }
+
     /// Record one [`TraceRecord`] per operation, keeping at most
     /// `capacity` records. Off by default.
     pub fn enable_tracing(&mut self, capacity: usize) {
         self.tracer = Some(Tracer::with_capacity(capacity));
     }
 
+    /// Stream every operation into a per-class/per-phase aggregate without
+    /// retaining records — O(1) memory per operation. If a record buffer is
+    /// already enabled, aggregation is added alongside it.
+    pub fn enable_phase_profiling(&mut self) {
+        match &mut self.tracer {
+            Some(tr) => tr.enable_aggregation(),
+            None => self.tracer = Some(Tracer::aggregate_only()),
+        }
+    }
+
     /// The trace buffer, if tracing is enabled.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Mutable trace sink, if tracing is enabled (client harnesses use this
+    /// to fold retry-phase spans into the aggregate).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
     }
 
     /// Read access to the blob namespace (tests, examples).
@@ -456,6 +509,7 @@ impl Cluster {
         outcome: TraceOutcome,
         bytes_up: u64,
         bytes_down: u64,
+        phases: PhaseBreadcrumb,
     ) {
         if let Some(tr) = &mut self.tracer {
             tr.record(TraceRecord {
@@ -466,8 +520,20 @@ impl Cluster {
                 outcome,
                 bytes_up,
                 bytes_down,
+                phases,
             });
         }
+    }
+
+    /// Breadcrumb for a request rejected (or dropped) at `rejected` after
+    /// reaching the front end, completing at `done`: the time before the
+    /// rejection point is client send, the rest is the rejection round trip
+    /// (or the elapsed timeout of a drop).
+    fn reject_phases(issued: SimTime, rejected: SimTime, done: SimTime) -> PhaseBreadcrumb {
+        let mut phases = PhaseBreadcrumb::new();
+        phases.add(Phase::ClientSend, rejected.saturating_since(issued));
+        phases.add(Phase::Rejection, done.saturating_since(rejected));
+        phases
     }
 
     /// Whether the 16 KB `GetMessage` anomaly applies to this payload.
@@ -487,6 +553,7 @@ impl Cluster {
     ) -> (SimTime, StorageResult<StorageOk>) {
         let class = req.class();
         let slot = self.intern(req.partition_ref());
+        self.slots[slot].ops += 1;
         let up = req.payload_bytes_up();
         let p_frontend_rtt = self.params.frontend_rtt;
         let p_retry_hint = self.params.throttle_retry_hint;
@@ -504,13 +571,33 @@ impl Cluster {
             FaultDecision::Busy { retry_after } => {
                 self.metrics.counter_mut(class).throttled += 1;
                 let done = t + Duration::from_millis(1);
-                self.trace(now, done, actor, class, TraceOutcome::Throttled, up, 0);
+                let phases = Self::reject_phases(now, t, done);
+                self.trace(
+                    now,
+                    done,
+                    actor,
+                    class,
+                    TraceOutcome::Throttled,
+                    up,
+                    0,
+                    phases,
+                );
                 return (done, Err(StorageError::ServerBusy { retry_after }));
             }
             FaultDecision::Fault { retry_after } => {
                 self.metrics.counter_mut(class).failed += 1;
                 let done = t + Duration::from_millis(1);
-                self.trace(now, done, actor, class, TraceOutcome::Faulted, up, 0);
+                let phases = Self::reject_phases(now, t, done);
+                self.trace(
+                    now,
+                    done,
+                    actor,
+                    class,
+                    TraceOutcome::Faulted,
+                    up,
+                    0,
+                    phases,
+                );
                 return (done, Err(StorageError::ServerFault { retry_after }));
             }
             FaultDecision::Drop { elapsed } => {
@@ -518,7 +605,17 @@ impl Cluster {
                 // state transition happens server-side.
                 self.metrics.counter_mut(class).failed += 1;
                 let done = t + elapsed;
-                self.trace(now, done, actor, class, TraceOutcome::TimedOut, up, 0);
+                let phases = Self::reject_phases(now, t, done);
+                self.trace(
+                    now,
+                    done,
+                    actor,
+                    class,
+                    TraceOutcome::TimedOut,
+                    up,
+                    0,
+                    phases,
+                );
                 return (done, Err(StorageError::Timeout { elapsed }));
             }
         }
@@ -528,11 +625,22 @@ impl Cluster {
         // back off proportionally to the actual deficit; the configured
         // hint acts as a floor, matching the service's coarse Retry-After.
         if let Err(wait) = self.throttle(t, class, slot) {
+            self.slots[slot].throttled += 1;
             let c = self.metrics.counter_mut(class);
             c.throttled += 1;
             // The rejection itself is a fast round trip.
             let done = t + Duration::from_millis(1);
-            self.trace(now, done, actor, class, TraceOutcome::Throttled, up, 0);
+            let phases = Self::reject_phases(now, t, done);
+            self.trace(
+                now,
+                done,
+                actor,
+                class,
+                TraceOutcome::Throttled,
+                up,
+                0,
+                phases,
+            );
             return (
                 done,
                 Err(StorageError::ServerBusy {
@@ -581,6 +689,7 @@ impl Cluster {
             service
         };
         let latency_extra = service.saturating_sub(occupancy);
+        let t_arrive = t;
         let (start, t_fifo) = self.slots[slot].fifo.admit(t, occupancy);
         let mut t = t_fifo + latency_extra;
 
@@ -601,6 +710,9 @@ impl Cluster {
                     .mul_f64(self.params.quirk_get16k_factor - 1.0);
                 t += extra;
             }
+        }
+        let t_service_end = t;
+        if result.is_ok() {
             // Strong consistency: replicate writes; GetMessage also
             // propagates visibility state. An injected stall models a
             // slow secondary holding up the synchronous ack.
@@ -620,6 +732,7 @@ impl Cluster {
                 }
             }
         }
+        let t_replica_end = t;
 
         // Downlink: blob reads cross the per-blob read path; table payloads
         // cross the shared table front-end; everything crosses the server,
@@ -664,7 +777,19 @@ impl Cluster {
         } else {
             TraceOutcome::Failed
         };
-        self.trace(now, t, actor, class, outcome, up, down);
+        // Stage boundaries partition [now, t] exactly: client send up to
+        // FIFO arrival, queue wait to service start, service through the
+        // quirk, replica sync, then the downlink transfer.
+        let mut phases = PhaseBreadcrumb::new();
+        phases.add(Phase::ClientSend, t_arrive.saturating_since(now));
+        phases.add(Phase::QueueWait, start.saturating_since(t_arrive));
+        phases.add(Phase::Service, t_service_end.saturating_since(start));
+        phases.add(
+            Phase::ReplicaSync,
+            t_replica_end.saturating_since(t_service_end),
+        );
+        phases.add(Phase::Transfer, t.saturating_since(t_replica_end));
+        self.trace(now, t, actor, class, outcome, up, down, phases);
         (t, result)
     }
 }

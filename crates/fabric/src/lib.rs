@@ -35,6 +35,6 @@ pub use cluster::Cluster;
 pub use faults::{
     BusyStorm, FaultInjector, FaultMetrics, FaultPlan, PartitionBlackout, ServerCrash,
 };
-pub use metrics::{ClusterMetrics, OpCounter};
+pub use metrics::{ClusterMetrics, MetricsSnapshot, OpCounter, PartitionHeat};
 pub use params::ClusterParams;
-pub use trace::{TraceOutcome, TraceRecord, Tracer};
+pub use trace::{Phase, PhaseAggregate, PhaseBreadcrumb, TraceOutcome, TraceRecord, Tracer};

@@ -1,7 +1,16 @@
-//! Server-side operation accounting.
+//! Server-side operation accounting and the exportable metrics snapshot.
+//!
+//! [`ClusterMetrics`] is the hot-path registry (fixed-array counters, no
+//! allocation per op). [`MetricsSnapshot`] is the cold-path export view the
+//! cluster produces on demand: per-class counters, per-partition hot-key
+//! heat, fault tallies and — when phase profiling is enabled — per-phase
+//! latency histograms, serializable to JSON and Prometheus text format.
 
-use azsim_core::stats::OnlineStats;
+use crate::faults::FaultMetrics;
+use crate::trace::{Phase, PhaseAggregate, TraceOutcome};
+use azsim_core::stats::{Histogram, OnlineStats};
 use azsim_storage::OpClass;
+use serde::Serialize;
 
 /// Counters for one operation class.
 #[derive(Clone, Debug, Default)]
@@ -90,6 +99,338 @@ impl ClusterMetrics {
     }
 }
 
+/// Summary of one [`OnlineStats`] accumulator, in seconds.
+#[derive(Clone, Debug, Serialize)]
+pub struct StatSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean.
+    pub mean_s: f64,
+    /// Minimum.
+    pub min_s: f64,
+    /// Maximum.
+    pub max_s: f64,
+    /// Sample standard deviation.
+    pub stddev_s: f64,
+}
+
+impl StatSnapshot {
+    fn of(s: &OnlineStats) -> Self {
+        StatSnapshot {
+            count: s.count(),
+            mean_s: s.mean(),
+            min_s: s.min(),
+            max_s: s.max(),
+            stddev_s: s.stddev(),
+        }
+    }
+}
+
+/// Exported per-class counters.
+#[derive(Clone, Debug, Serialize)]
+pub struct OpSnapshot {
+    /// Operation class label (e.g. `queue.put`).
+    pub class: String,
+    /// Successfully completed operations.
+    pub completed: u64,
+    /// Throttle rejections.
+    pub throttled: u64,
+    /// Non-throttle failures (semantic, faulted, dropped).
+    pub failed: u64,
+    /// Payload bytes client → server.
+    pub bytes_up: u64,
+    /// Payload bytes server → client.
+    pub bytes_down: u64,
+    /// Latency summary of completed operations.
+    pub latency: StatSnapshot,
+}
+
+/// Cluster-wide totals.
+#[derive(Clone, Debug, Serialize)]
+pub struct TotalsSnapshot {
+    /// Completed operations across classes.
+    pub completed: u64,
+    /// Throttle rejections across classes.
+    pub throttled: u64,
+    /// Non-throttle failures across classes.
+    pub failed: u64,
+    /// Payload bytes in either direction.
+    pub bytes: u64,
+}
+
+/// Exported fault-injection tallies.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultSnapshot {
+    /// `ServerBusy` rejections injected by storms.
+    pub injected_busy: u64,
+    /// `ServerFault` rejections from crash windows.
+    pub crash_faults: u64,
+    /// `ServerFault` rejections from partition blackouts.
+    pub blackout_faults: u64,
+    /// Requests dropped (client timeouts).
+    pub dropped: u64,
+    /// Replica-sync stalls applied.
+    pub replica_stalls: u64,
+}
+
+/// One row of the per-partition hot-key heatmap.
+#[derive(Clone, Debug, Serialize)]
+pub struct PartitionHeat {
+    /// Partition label (e.g. `queue:mix-shared`, `blob:figures/b0`).
+    pub partition: String,
+    /// Partition-server index the partition is placed on.
+    pub server: usize,
+    /// Operations addressed to the partition (including rejected ones).
+    pub ops: u64,
+    /// Throttle rejections charged to the partition.
+    pub throttled: u64,
+}
+
+/// Quantile summary of one [`Histogram`], in seconds.
+#[derive(Clone, Debug, Serialize)]
+pub struct QuantileSnapshot {
+    /// Phase label, or `end_to_end`.
+    pub phase: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum_s: f64,
+    /// Mean.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// 99.9th percentile.
+    pub p999_s: f64,
+    /// Maximum (exact).
+    pub max_s: f64,
+}
+
+impl QuantileSnapshot {
+    /// Summarize a histogram under a given label.
+    pub fn of(phase: impl Into<String>, h: &Histogram) -> Self {
+        QuantileSnapshot {
+            phase: phase.into(),
+            count: h.count(),
+            sum_s: h.sum(),
+            mean_s: h.mean(),
+            p50_s: h.quantile(0.50),
+            p95_s: h.quantile(0.95),
+            p99_s: h.quantile(0.99),
+            p999_s: h.quantile(0.999),
+            max_s: h.max(),
+        }
+    }
+}
+
+/// Outcome tallies of one class's traced operations.
+#[derive(Clone, Debug, Serialize)]
+pub struct OutcomeSnapshot {
+    /// Completed successfully.
+    pub ok: u64,
+    /// Rejected by a throttle.
+    pub throttled: u64,
+    /// Failed with a semantic error.
+    pub failed: u64,
+    /// Rejected by an injected fault.
+    pub faulted: u64,
+    /// Dropped; the client timed out.
+    pub timed_out: u64,
+}
+
+/// Per-class phase breakdown: end-to-end distribution plus one quantile
+/// summary per phase that was actually crossed.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClassPhaseSnapshot {
+    /// Operation class label.
+    pub class: String,
+    /// Outcome tallies.
+    pub outcomes: OutcomeSnapshot,
+    /// End-to-end latency distribution (all outcomes).
+    pub end_to_end: QuantileSnapshot,
+    /// Per-phase distributions, in [`Phase::ALL`] order, phases with zero
+    /// observations omitted.
+    pub phases: Vec<QuantileSnapshot>,
+}
+
+/// Everything the cluster can report about a run, in exportable form.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Export-format identifier.
+    pub schema: String,
+    /// Cluster-wide totals.
+    pub totals: TotalsSnapshot,
+    /// Per-class counters, in [`OpClass::index`] order.
+    pub ops: Vec<OpSnapshot>,
+    /// Fault-injection tallies.
+    pub faults: FaultSnapshot,
+    /// Hottest partitions (up to 64), by descending op count then label.
+    pub partitions: Vec<PartitionHeat>,
+    /// Per-class phase breakdowns (empty unless phase profiling is on).
+    pub phases: Vec<ClassPhaseSnapshot>,
+}
+
+/// Convert per-class phase aggregates into their exportable form, in
+/// [`OpClass::index`] order.
+pub fn phase_snapshots(agg: &PhaseAggregate) -> Vec<ClassPhaseSnapshot> {
+    agg.iter()
+        .map(|(class, stats)| ClassPhaseSnapshot {
+            class: class.label().to_string(),
+            outcomes: OutcomeSnapshot {
+                ok: stats.outcome_count(TraceOutcome::Ok),
+                throttled: stats.outcome_count(TraceOutcome::Throttled),
+                failed: stats.outcome_count(TraceOutcome::Failed),
+                faulted: stats.outcome_count(TraceOutcome::Faulted),
+                timed_out: stats.outcome_count(TraceOutcome::TimedOut),
+            },
+            end_to_end: QuantileSnapshot::of("end_to_end", stats.end_to_end()),
+            phases: Phase::ALL
+                .iter()
+                .filter(|&&p| stats.phase(p).count() > 0)
+                .map(|&p| QuantileSnapshot::of(p.label(), stats.phase(p)))
+                .collect(),
+        })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// Schema identifier written into every JSON export.
+    pub const SCHEMA: &'static str = "azurebench-metrics/v1";
+
+    /// Assemble a snapshot from the cluster's registries.
+    pub fn build(
+        metrics: &ClusterMetrics,
+        faults: &FaultMetrics,
+        partitions: Vec<PartitionHeat>,
+        phases: Option<&PhaseAggregate>,
+    ) -> Self {
+        let ops: Vec<OpSnapshot> = metrics
+            .iter()
+            .map(|(class, c)| OpSnapshot {
+                class: class.label().to_string(),
+                completed: c.completed,
+                throttled: c.throttled,
+                failed: c.failed,
+                bytes_up: c.bytes_up,
+                bytes_down: c.bytes_down,
+                latency: StatSnapshot::of(&c.latency),
+            })
+            .collect();
+        MetricsSnapshot {
+            schema: Self::SCHEMA.to_string(),
+            totals: TotalsSnapshot {
+                completed: metrics.total_completed(),
+                throttled: metrics.total_throttled(),
+                failed: ops.iter().map(|o| o.failed).sum(),
+                bytes: metrics.total_bytes(),
+            },
+            ops,
+            faults: FaultSnapshot {
+                injected_busy: faults.injected_busy,
+                crash_faults: faults.crash_faults,
+                blackout_faults: faults.blackout_faults,
+                dropped: faults.dropped,
+                replica_stalls: faults.replica_stalls,
+            },
+            partitions,
+            phases: phases.map(phase_snapshots).unwrap_or_default(),
+        }
+    }
+
+    /// Serialize to JSON. Deterministic: field order is fixed by the struct
+    /// definitions and floats print in shortest-roundtrip form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Render in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        out.push_str("# TYPE azsim_ops_total counter\n");
+        for o in &self.ops {
+            for (outcome, v) in [
+                ("ok", o.completed),
+                ("throttled", o.throttled),
+                ("failed", o.failed),
+            ] {
+                out.push_str(&format!(
+                    "azsim_ops_total{{class=\"{}\",outcome=\"{}\"}} {}\n",
+                    o.class, outcome, v
+                ));
+            }
+        }
+
+        out.push_str("# TYPE azsim_bytes_total counter\n");
+        for o in &self.ops {
+            out.push_str(&format!(
+                "azsim_bytes_total{{class=\"{}\",direction=\"up\"}} {}\n",
+                o.class, o.bytes_up
+            ));
+            out.push_str(&format!(
+                "azsim_bytes_total{{class=\"{}\",direction=\"down\"}} {}\n",
+                o.class, o.bytes_down
+            ));
+        }
+
+        out.push_str("# TYPE azsim_fault_injections_total counter\n");
+        for (kind, v) in [
+            ("busy", self.faults.injected_busy),
+            ("crash", self.faults.crash_faults),
+            ("blackout", self.faults.blackout_faults),
+            ("drop", self.faults.dropped),
+            ("replica_stall", self.faults.replica_stalls),
+        ] {
+            out.push_str(&format!(
+                "azsim_fault_injections_total{{kind=\"{kind}\"}} {v}\n"
+            ));
+        }
+
+        out.push_str("# TYPE azsim_partition_ops_total counter\n");
+        for h in &self.partitions {
+            out.push_str(&format!(
+                "azsim_partition_ops_total{{partition=\"{}\",server=\"{}\"}} {}\n",
+                h.partition, h.server, h.ops
+            ));
+        }
+
+        // Phase latencies as Prometheus summaries: one series per quantile
+        // plus the _sum/_count pair.
+        out.push_str("# TYPE azsim_phase_latency_seconds summary\n");
+        for c in &self.phases {
+            let mut emit = |q: &QuantileSnapshot| {
+                for (quantile, v) in [
+                    ("0.5", q.p50_s),
+                    ("0.95", q.p95_s),
+                    ("0.99", q.p99_s),
+                    ("0.999", q.p999_s),
+                ] {
+                    out.push_str(&format!(
+                        "azsim_phase_latency_seconds{{class=\"{}\",phase=\"{}\",quantile=\"{}\"}} {:?}\n",
+                        c.class, q.phase, quantile, v
+                    ));
+                }
+                out.push_str(&format!(
+                    "azsim_phase_latency_seconds_sum{{class=\"{}\",phase=\"{}\"}} {:?}\n",
+                    c.class, q.phase, q.sum_s
+                ));
+                out.push_str(&format!(
+                    "azsim_phase_latency_seconds_count{{class=\"{}\",phase=\"{}\"}} {}\n",
+                    c.class, q.phase, q.count
+                ));
+            };
+            emit(&c.end_to_end);
+            for q in &c.phases {
+                emit(q);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +472,92 @@ mod tests {
         let mut sorted = indices.clone();
         sorted.sort_unstable();
         assert_eq!(indices, sorted);
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut m = ClusterMetrics::new();
+        {
+            let c = m.counter_mut(OpClass::QueuePut);
+            c.completed = 3;
+            c.throttled = 1;
+            c.bytes_up = 300;
+            c.latency.record(0.010);
+            c.latency.record(0.020);
+            c.latency.record(0.030);
+        }
+        let mut agg = PhaseAggregate::new();
+        let mut phases = crate::trace::PhaseBreadcrumb::new();
+        phases.add(Phase::Service, std::time::Duration::from_millis(5));
+        phases.add(Phase::Transfer, std::time::Duration::from_millis(2));
+        agg.record(&crate::trace::TraceRecord {
+            issued: azsim_core::SimTime(0),
+            completed: azsim_core::SimTime(7_000_000),
+            actor: 0,
+            class: OpClass::QueuePut,
+            outcome: TraceOutcome::Ok,
+            bytes_up: 100,
+            bytes_down: 0,
+            phases,
+        });
+        MetricsSnapshot::build(
+            &m,
+            &FaultMetrics::default(),
+            vec![PartitionHeat {
+                partition: "queue:hot".into(),
+                server: 2,
+                ops: 4,
+                throttled: 1,
+            }],
+            Some(&agg),
+        )
+    }
+
+    #[test]
+    fn snapshot_json_is_schema_tagged_and_deterministic() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"schema\":\"azurebench-metrics/v1\""));
+        assert!(json.contains("\"class\":\"queue.put\""));
+        assert!(json.contains("\"partition\":\"queue:hot\""));
+        assert!(json.contains("\"phase\":\"service\""));
+        // Same inputs serialize byte-identically (shortest-roundtrip floats).
+        assert_eq!(json, sample_snapshot().to_json());
+    }
+
+    #[test]
+    fn snapshot_prometheus_exposes_every_family() {
+        let prom = sample_snapshot().to_prometheus();
+        for family in [
+            "azsim_ops_total",
+            "azsim_bytes_total",
+            "azsim_fault_injections_total",
+            "azsim_partition_ops_total",
+            "azsim_phase_latency_seconds",
+        ] {
+            assert!(
+                prom.contains(&format!("# TYPE {family} ")),
+                "{family} TYPE line missing"
+            );
+        }
+        assert!(prom.contains("azsim_ops_total{class=\"queue.put\",outcome=\"ok\"} 3"));
+        assert!(prom.contains("azsim_ops_total{class=\"queue.put\",outcome=\"throttled\"} 1"));
+        assert!(prom.contains("azsim_partition_ops_total{partition=\"queue:hot\",server=\"2\"} 4"));
+        assert!(prom.contains(
+            "azsim_phase_latency_seconds_count{class=\"queue.put\",phase=\"service\"} 1"
+        ));
+        assert!(prom.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn phase_snapshots_omit_empty_phases() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.phases.len(), 1);
+        let class = &snap.phases[0];
+        assert_eq!(class.class, "queue.put");
+        assert_eq!(class.outcomes.ok, 1);
+        let labels: Vec<&str> = class.phases.iter().map(|q| q.phase.as_str()).collect();
+        // Only the phases that saw time appear, in Phase::ALL order.
+        assert_eq!(labels, vec!["service", "transfer"]);
+        assert_eq!(class.end_to_end.count, 1);
     }
 }

@@ -66,6 +66,19 @@ impl PartitionKey {
     }
 }
 
+impl std::fmt::Display for PartitionKey {
+    /// Stable `service:name` label used in metrics exports (heatmaps,
+    /// Prometheus label values).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionKey::Blob { container, blob } => write!(f, "blob:{container}/{blob}"),
+            PartitionKey::Queue { queue } => write!(f, "queue:{queue}"),
+            PartitionKey::Table { table, partition } => write!(f, "table:{table}/{partition}"),
+            PartitionKey::Control => write!(f, "control"),
+        }
+    }
+}
+
 /// A borrowed [`PartitionKey`]: the fabric's hot path derives this straight
 /// from a request without cloning any strings, hashes it, and only
 /// materializes an owned key the first time a partition is ever seen

@@ -73,6 +73,30 @@ fn parallel_and_serial_sweeps_emit_identical_csvs() {
 }
 
 #[test]
+fn profile_json_is_golden_across_runs_and_schedules() {
+    // The `figures profile` export is a golden artifact: the same config
+    // and seed must serialize byte-identically run to run AND between the
+    // serial and parallel sweep schedules (the JSON deliberately excludes
+    // `sweep_threads`, the only config knob allowed to differ).
+    let base = BenchConfig::paper()
+        .with_scale(0.02)
+        .with_workers(vec![1, 2, 4]);
+    let serial = base.clone().with_sweep_threads(1);
+    let parallel = base.with_sweep_threads(4);
+
+    let a = azurebench::profile::run_profile(&serial, &serial.workers, 8).to_json();
+    let b = azurebench::profile::run_profile(&serial, &serial.workers, 8).to_json();
+    assert_eq!(a, b, "profile.json differs between identical runs");
+
+    let c = azurebench::profile::run_profile(&parallel, &parallel.workers, 8).to_json();
+    assert_eq!(a, c, "profile.json differs between --threads 1 and 4");
+
+    let pa = azurebench::profile::run_profile(&serial, &serial.workers, 8).to_prometheus();
+    let pc = azurebench::profile::run_profile(&parallel, &parallel.workers, 8).to_prometheus();
+    assert_eq!(pa, pc, "prometheus export differs between schedules");
+}
+
+#[test]
 fn full_stack_trace_is_reproducible() {
     // Drive a mixed workload and compare end times and server metrics.
     let run = || {
