@@ -26,8 +26,8 @@ pub use env::{Environment, VirtualEnv};
 pub use live::{LiveCluster, LiveEnv};
 pub use queue::QueueClient;
 pub use resilience::{
-    BackoffConfig, BreakerConfig, ClientPolicy, ErrorClass, ResilienceStats, ResilientPolicy,
-    RetrySpan,
+    BackoffConfig, BreakerConfig, BreakerEvent, BreakerTransition, ClientPolicy, ErrorClass,
+    ResilienceStats, ResilientPolicy, RetrySpan,
 };
 pub use retry::RetryPolicy;
 pub use table::TableClient;

@@ -149,6 +149,37 @@ struct BreakerState {
     consecutive: u32,
     open_until: Option<SimTime>,
     last_error: StorageError,
+    /// Whether this breaker has opened at least once since it was created —
+    /// gates the `Closed` event so healthy partitions don't emit one on
+    /// every streak reset.
+    opened: bool,
+}
+
+/// A circuit-breaker state transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed → open: consecutive transient failures hit the threshold;
+    /// further calls fail fast until the cooldown elapses.
+    Opened,
+    /// Open → half-open: the cooldown elapsed and one probe operation is
+    /// allowed through.
+    HalfOpen,
+    /// Half-open (or any failing streak after an open) → closed: the
+    /// partition answered, the breaker entry is dropped.
+    Closed,
+}
+
+/// One recorded breaker state transition. Collected when event logging is
+/// enabled ([`ResilientPolicy::with_event_log`]) so harnesses can render
+/// breaker lifecycles on telemetry timelines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakerEvent {
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// The partition whose breaker transitioned.
+    pub partition: PartitionKey,
+    /// Which transition occurred.
+    pub kind: BreakerTransition,
 }
 
 /// One recorded retry wait: the client-side backoff span between two
@@ -172,6 +203,7 @@ struct Inner {
     breakers: HashMap<PartitionKey, BreakerState>,
     stats: ResilienceStats,
     spans: Option<Vec<RetrySpan>>,
+    events: Option<Vec<BreakerEvent>>,
 }
 
 /// The composable resilience executor. Construct with [`ResilientPolicy::new`],
@@ -202,6 +234,7 @@ impl ResilientPolicy {
                 breakers: HashMap::new(),
                 stats: ResilienceStats::default(),
                 spans: None,
+                events: None,
             }),
         }
     }
@@ -244,6 +277,24 @@ impl ResilientPolicy {
     pub fn with_span_log(self) -> Self {
         self.state.borrow_mut().spans = Some(Vec::new());
         self
+    }
+
+    /// Record every breaker state transition as a [`BreakerEvent`] (off by
+    /// default — events cost one `Vec` push per transition).
+    pub fn with_event_log(self) -> Self {
+        self.state.borrow_mut().events = Some(Vec::new());
+        self
+    }
+
+    /// Drain the recorded breaker events (empty unless
+    /// [`ResilientPolicy::with_event_log`] was enabled).
+    pub fn take_breaker_events(&self) -> Vec<BreakerEvent> {
+        self.state
+            .borrow_mut()
+            .events
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Counters accumulated so far.
@@ -338,7 +389,7 @@ impl ResilientPolicy {
     /// half-open when the cooldown has elapsed.
     fn breaker_gate(&self, env: &dyn Environment, pk: &PartitionKey) -> Option<StorageError> {
         self.breaker?;
-        let mut inner = self.state.borrow_mut();
+        let inner = &mut *self.state.borrow_mut();
         let b = inner.breakers.get_mut(pk)?;
         let until = b.open_until?;
         if env.now() < until {
@@ -350,6 +401,13 @@ impl ResilientPolicy {
         // its first failure re-opens immediately (streak is still at the
         // threshold), success closes the breaker.
         b.open_until = None;
+        if let Some(events) = &mut inner.events {
+            events.push(BreakerEvent {
+                at: env.now(),
+                partition: pk.clone(),
+                kind: BreakerTransition::HalfOpen,
+            });
+        }
         None
     }
 
@@ -360,10 +418,18 @@ impl ResilientPolicy {
         let Some(cfg) = self.breaker else {
             return false;
         };
-        let mut inner = self.state.borrow_mut();
+        let inner = &mut *self.state.borrow_mut();
         match err {
             None => {
-                inner.breakers.remove(pk);
+                if inner.breakers.remove(pk).is_some_and(|b| b.opened) {
+                    if let Some(events) = &mut inner.events {
+                        events.push(BreakerEvent {
+                            at: now,
+                            partition: pk.clone(),
+                            kind: BreakerTransition::Closed,
+                        });
+                    }
+                }
                 false
             }
             Some(err) => {
@@ -374,12 +440,21 @@ impl ResilientPolicy {
                         consecutive: 0,
                         open_until: None,
                         last_error: err.clone(),
+                        opened: false,
                     });
                 b.consecutive += 1;
                 b.last_error = err.clone();
                 if b.consecutive >= cfg.failure_threshold && b.open_until.is_none() {
                     b.open_until = Some(now + cfg.cooldown);
+                    b.opened = true;
                     inner.stats.breaker_opens += 1;
+                    if let Some(events) = &mut inner.events {
+                        events.push(BreakerEvent {
+                            at: now,
+                            partition: pk.clone(),
+                            kind: BreakerTransition::Opened,
+                        });
+                    }
                     true
                 } else {
                     false
@@ -674,5 +749,57 @@ mod tests {
         policy.run(&env, &req()).unwrap();
         assert_eq!(env.calls.get(), 4);
         assert_eq!(policy.stats().fast_failures, 0);
+    }
+
+    #[test]
+    fn breaker_lifecycle_surfaces_as_events() {
+        let env = ScriptedEnv::new(vec![fault(0), fault(0)]);
+        let policy = ResilientPolicy::new(0)
+            .with_max_attempts(1)
+            .with_breaker(Some(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(1),
+            }))
+            .with_event_log();
+        policy.run(&env, &req()).unwrap_err();
+        policy.run(&env, &req()).unwrap_err();
+        let open_at = env.now();
+        env.advance(Duration::from_secs(2));
+        // Half-open probe succeeds (script exhausted → Ack) and closes.
+        policy.run(&env, &req()).unwrap();
+        let events = policy.take_breaker_events();
+        let pk = req().partition();
+        assert_eq!(
+            events,
+            vec![
+                BreakerEvent {
+                    at: open_at,
+                    partition: pk.clone(),
+                    kind: BreakerTransition::Opened,
+                },
+                BreakerEvent {
+                    at: env.now(),
+                    partition: pk.clone(),
+                    kind: BreakerTransition::HalfOpen,
+                },
+                BreakerEvent {
+                    at: env.now(),
+                    partition: pk,
+                    kind: BreakerTransition::Closed,
+                },
+            ]
+        );
+        // Drained: a second take returns nothing.
+        assert!(policy.take_breaker_events().is_empty());
+    }
+
+    #[test]
+    fn healthy_partitions_emit_no_breaker_events() {
+        // A failing streak below the threshold that then succeeds must not
+        // emit Closed — the breaker never opened.
+        let env = ScriptedEnv::new(vec![fault(0), Ok(StorageOk::Ack)]);
+        let policy = ResilientPolicy::new(0).with_event_log();
+        policy.run(&env, &req()).unwrap();
+        assert!(policy.take_breaker_events().is_empty());
     }
 }

@@ -1,0 +1,116 @@
+//! Guard against engine-throughput regressions.
+//!
+//! ```text
+//! bench_check <baseline BENCH_engine.json> <candidate BENCH_engine.json> [max_regression]
+//! ```
+//!
+//! Compares the `engine` section of two `figures bench` exports: for every
+//! actor count present in the baseline, the candidate's `ops_per_second`
+//! must stay above `baseline * (1 - max_regression)` (default 0.25, i.e.
+//! fail on a >25 % drop). Wall-clock figures vary with machine load, so
+//! only the engine micro-benchmark — not the figure-suite timings — gates.
+//! Exit code 0 means no regression; violations print per-actor deltas and
+//! exit non-zero.
+
+use serde::value::{find, parse, Value};
+
+/// One `engine` row from a `BENCH_engine.json`.
+struct EngineRow {
+    actors: u64,
+    ops_per_second: f64,
+}
+
+fn load(path: &str) -> Value {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&bytes).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn engine_rows(doc: &Value, path: &str) -> Vec<EngineRow> {
+    let rows = doc
+        .as_object()
+        .and_then(|m| find(m, "engine"))
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| {
+            eprintln!("error: {path} has no `engine` array");
+            std::process::exit(2);
+        });
+    rows.iter()
+        .filter_map(|row| {
+            let m = row.as_object()?;
+            let num = |key: &str| {
+                find(m, key).and_then(|v| match v {
+                    Value::Num(n) => n.parse::<f64>().ok(),
+                    _ => None,
+                })
+            };
+            Some(EngineRow {
+                actors: num("actors")? as u64,
+                ops_per_second: num("ops_per_second")?,
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: bench_check <baseline.json> <candidate.json> [max_regression]");
+        std::process::exit(2);
+    }
+    let max_regression: f64 = args
+        .get(2)
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad max_regression {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.25);
+
+    let baseline = engine_rows(&load(&args[0]), &args[0]);
+    let candidate = engine_rows(&load(&args[1]), &args[1]);
+    if baseline.is_empty() {
+        eprintln!("error: {} has no engine rows", args[0]);
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+    for b in &baseline {
+        let Some(c) = candidate.iter().find(|c| c.actors == b.actors) else {
+            eprintln!("bench_check: candidate missing row for {} actors", b.actors);
+            failures += 1;
+            continue;
+        };
+        let floor = b.ops_per_second * (1.0 - max_regression);
+        let delta = (c.ops_per_second - b.ops_per_second) / b.ops_per_second * 100.0;
+        let verdict = if c.ops_per_second < floor {
+            failures += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_check: {:>3} actors: baseline {:>12.0} ops/s, candidate {:>12.0} ops/s ({delta:+.1}%) {verdict}",
+            b.actors, b.ops_per_second, c.ops_per_second
+        );
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_check: {failures} regression(s) beyond {:.0}% tolerance",
+            max_regression * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_check: OK ({} actor count(s) within {:.0}% of baseline)",
+        baseline.len(),
+        max_regression * 100.0
+    );
+}

@@ -1,7 +1,7 @@
-//! Validate a `figures profile` export.
+//! Validate a `figures` JSON export (profile, timeline, bottleneck, …).
 //!
 //! ```text
-//! profile_check <profile.json> <profile.schema.json> [profile.prom]
+//! export_check <export.json> <export.schema.json> [export.prom]
 //! ```
 //!
 //! Checks the JSON document against the checked-in schema (a small
@@ -9,7 +9,8 @@
 //! and, when a Prometheus file is given, that every required metric family
 //! has a `# TYPE` declaration and at least one sample. Exit code 0 means
 //! the export is well-formed; any violation prints its JSON path and exits
-//! non-zero — CI runs this after a reduced-scale `figures profile`.
+//! non-zero — CI runs this after reduced-scale `figures profile`,
+//! `figures timeline` and `figures bottleneck` passes.
 
 use serde::value::{find, parse, Value};
 
@@ -121,7 +122,7 @@ fn load(path: &str) -> Value {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 || args.len() > 3 {
-        eprintln!("usage: profile_check <profile.json> <profile.schema.json> [profile.prom]");
+        eprintln!("usage: export_check <export.json> <export.schema.json> [export.prom]");
         std::process::exit(2);
     }
 
@@ -139,15 +140,13 @@ fn main() {
     }
 
     if errors.is_empty() {
-        let points = doc
+        let tag = doc
             .as_object()
-            .and_then(|m| find(m, "points"))
-            .and_then(|v| v.as_array())
-            .map_or(0, |a| a.len());
+            .and_then(|m| find(m, "schema"))
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
         println!(
-            "profile_check: OK ({} ladder point{}, schema valid{})",
-            points,
-            if points == 1 { "" } else { "s" },
+            "export_check: OK ({tag} schema valid{})",
             if args.len() == 3 {
                 ", prometheus families present"
             } else {
@@ -156,9 +155,9 @@ fn main() {
         );
     } else {
         for e in &errors {
-            eprintln!("profile_check: {e}");
+            eprintln!("export_check: {e}");
         }
-        eprintln!("profile_check: {} violation(s)", errors.len());
+        eprintln!("export_check: {} violation(s)", errors.len());
         std::process::exit(1);
     }
 }

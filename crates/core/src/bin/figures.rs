@@ -1,10 +1,15 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|chaos|bench|all]...
+//! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|
+//!          bottleneck|chaos|bench|all]...
 //!         [--scale S] [--workers 1,2,4,...] [--seed N] [--csv DIR]
-//!         [--threads N]
+//!         [--threads N] [--timeline]
 //! ```
+//!
+//! `--timeline` enables virtual-time gauge sampling for every target (the
+//! figures stay bit-identical — sampling is passive; combine with `bench`
+//! to measure the sampling overhead).
 //!
 //! With no target, prints usage. `--scale 1.0` (default) reproduces the
 //! paper's workload volumes; smaller scales shrink them proportionally.
@@ -14,6 +19,11 @@
 //! emitted figures are identical either way). The `profile` target runs
 //! the mixed workload with phase tracing and writes `profile.json` and
 //! `profile.prom` (into the `--csv` directory if given, else `results/`).
+//! The `timeline` target runs the mixed workload under a fault plan with
+//! virtual-time gauge sampling enabled and writes `timeline.json`,
+//! `timeline.csv` and a Perfetto-loadable `trace.json`. The `bottleneck`
+//! target sweeps the attribution scenarios over the worker ladder and
+//! writes `bottlenecks.json` plus a `bottlenecks.md` summary table.
 //! The `bench` target runs the engine micro-benchmark plus a timed pass
 //! over the figure suite and writes `BENCH_engine.json`.
 
@@ -28,6 +38,7 @@ struct Args {
     seed: Option<u64>,
     csv_dir: Option<String>,
     threads: usize,
+    timeline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         csv_dir: None,
         threads: 0,
+        timeline: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
+            "--timeline" => args.timeline = true,
             t if !t.starts_with('-') => args.targets.push(t.to_owned()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -92,8 +105,9 @@ fn main() {
     };
     if args.targets.is_empty() {
         eprintln!(
-            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|chaos|bench|all]... \
-             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N]"
+            "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|\
+             bottleneck|chaos|bench|all]... \
+             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--timeline]"
         );
         std::process::exit(2);
     }
@@ -107,9 +121,22 @@ fn main() {
     if let Some(s) = args.seed {
         cfg.seed = s;
     }
+    if args.timeline {
+        // Gauge sampling is passive: the emitted figures are bit-identical
+        // with or without this flag; only wall-clock time changes (and the
+        // `bench` target then measures exactly that overhead).
+        cfg.params.timeline_resolution = Some(azurebench::timeline::DEFAULT_RESOLUTION);
+    }
     eprintln!(
-        "# AzureBench figures — scale {}, workers {:?}, seed {}",
-        cfg.scale, cfg.workers, cfg.seed
+        "# AzureBench figures — scale {}, workers {:?}, seed {}{}",
+        cfg.scale,
+        cfg.workers,
+        cfg.seed,
+        if args.timeline {
+            ", timeline sampling ON"
+        } else {
+            ""
+        }
     );
 
     let want = |t: &str| args.targets.iter().any(|x| x == t || x == "all");
@@ -182,6 +209,43 @@ fn main() {
         let prom_path = format!("{dir}/profile.prom");
         std::fs::write(&prom_path, report.to_prometheus()).expect("write profile.prom");
         eprintln!("wrote {prom_path}");
+    }
+    if want("timeline") {
+        let t = Instant::now();
+        let report = azurebench::timeline::run_timeline(&cfg, 8, cfg.scaled(50));
+        eprintln!("# timeline (gauge sampling) swept in {:.1?}", t.elapsed());
+        println!(
+            "# timeline — virtual-time gauge/counter series (mixed workload + faults)\n{}",
+            report.render()
+        );
+        let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
+        std::fs::create_dir_all(&dir).expect("create timeline dir");
+        for (name, body) in [
+            ("timeline.json", report.to_json()),
+            ("timeline.csv", report.to_csv()),
+            ("trace.json", report.to_chrome_trace()),
+        ] {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, body).expect("write timeline export");
+            eprintln!("wrote {path}");
+        }
+    }
+    if want("bottleneck") {
+        let t = Instant::now();
+        let report = azurebench::bottleneck::run_bottlenecks(&cfg, &cfg.workers);
+        eprintln!(
+            "# bottleneck (saturation attribution) swept in {:.1?}",
+            t.elapsed()
+        );
+        println!("{}", report.render_markdown());
+        let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
+        std::fs::create_dir_all(&dir).expect("create bottleneck dir");
+        let json_path = format!("{dir}/bottlenecks.json");
+        std::fs::write(&json_path, report.to_json()).expect("write bottlenecks.json");
+        eprintln!("wrote {json_path}");
+        let md_path = format!("{dir}/bottlenecks.md");
+        std::fs::write(&md_path, report.render_markdown()).expect("write bottlenecks.md");
+        eprintln!("wrote {md_path}");
     }
     if want("chaos") {
         let t = Instant::now();

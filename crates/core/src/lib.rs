@@ -24,6 +24,7 @@ pub mod alg1_blob;
 pub mod alg3_queue;
 pub mod alg4_queue;
 pub mod alg5_table;
+pub mod bottleneck;
 pub mod chaos;
 pub mod config;
 pub mod fig9;
@@ -32,6 +33,7 @@ pub mod payload;
 pub mod profile;
 pub mod report;
 pub mod sweep;
+pub mod timeline;
 pub mod ycsb;
 
 pub use config::BenchConfig;

@@ -20,6 +20,7 @@ use crate::faults::{FaultDecision, FaultInjector, FaultMetrics, FaultPlan};
 use crate::metrics::ClusterMetrics;
 use crate::metrics::{MetricsSnapshot, PartitionHeat};
 use crate::params::ClusterParams;
+use crate::timeline::{ClusterSample, ClusterTimeline, ResourceUsage};
 use crate::trace::{Phase, PhaseBreadcrumb, TraceOutcome, TraceRecord, Tracer};
 use azsim_blob::BlobStore;
 use azsim_core::resource::{Admission, FifoServer, Pipe, TokenBucket};
@@ -84,6 +85,7 @@ pub struct Cluster {
     nic_overrides: Vec<Option<f64>>,
     metrics: ClusterMetrics,
     tracer: Option<Tracer>,
+    timeline: Option<ClusterTimeline>,
     faults: FaultInjector,
 }
 
@@ -119,6 +121,7 @@ impl Cluster {
             nic_overrides: Vec::new(),
             metrics: ClusterMetrics::new(),
             tracer: None,
+            timeline: params.timeline_resolution.map(ClusterTimeline::new),
             faults: FaultInjector::inert(),
             params,
         }
@@ -249,6 +252,150 @@ impl Cluster {
             Some(tr) => tr.enable_aggregation(),
             None => self.tracer = Some(Tracer::aggregate_only()),
         }
+    }
+
+    /// Sample the gauge timeline (token-bucket fill, FIFO backlog,
+    /// inflight ops, fault windows, …) at the given virtual-time
+    /// resolution. Off by default — and when off, the per-operation cost
+    /// is a single branch. Sampling is passive, so completion times are
+    /// bit-identical with the timeline on or off.
+    pub fn enable_timeline(&mut self, resolution: Duration) {
+        self.timeline = Some(ClusterTimeline::new(resolution));
+    }
+
+    /// The gauge timeline, if sampling is enabled.
+    pub fn timeline(&self) -> Option<&ClusterTimeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Time-weighted usage of every cluster resource over `[0, end]`:
+    /// token buckets (saturation needs the timeline enabled; throttle
+    /// counts are always exact), partition FIFOs and all shared pipes
+    /// (busy-time utilization, exact regardless of the timeline). Rows
+    /// come out in a fixed construction order; consumers rank them.
+    pub fn resource_usage(&self, end: SimTime) -> Vec<ResourceUsage> {
+        let window = end.saturating_since(SimTime::ZERO);
+        let mut out = Vec::new();
+        out.push(ResourceUsage {
+            resource: "account_tx".into(),
+            kind: "token_bucket".into(),
+            saturation: self
+                .timeline
+                .as_ref()
+                .map(|tl| tl.account_tx_saturation(end))
+                .unwrap_or(0.0),
+            throttled: self.account_tx.throttle_count(),
+            busy_s: 0.0,
+        });
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.ops == 0 {
+                continue;
+            }
+            let label = slot.key.to_string();
+            if let Some(bucket) = &slot.bucket {
+                out.push(ResourceUsage {
+                    resource: format!("bucket:{label}"),
+                    kind: "token_bucket".into(),
+                    saturation: self
+                        .timeline
+                        .as_ref()
+                        .and_then(|tl| tl.slot_saturation(i, end))
+                        .unwrap_or(0.0),
+                    throttled: bucket.throttle_count(),
+                    busy_s: 0.0,
+                });
+            }
+            if let Some(pipe) = &slot.write_pipe {
+                if pipe.bytes_transferred() > 0 {
+                    out.push(ResourceUsage::busy(
+                        format!("pipe:blob-write:{label}"),
+                        "pipe",
+                        pipe.busy_time(),
+                        window,
+                    ));
+                }
+            }
+            if let Some(pipe) = &slot.read_pipe {
+                if pipe.bytes_transferred() > 0 {
+                    out.push(ResourceUsage::busy(
+                        format!("pipe:blob-read:{label}"),
+                        "pipe",
+                        pipe.busy_time(),
+                        window,
+                    ));
+                }
+            }
+            if slot.fifo.busy_time() > Duration::ZERO {
+                out.push(ResourceUsage::busy(
+                    format!("fifo:{label}"),
+                    "fifo",
+                    slot.fifo.busy_time(),
+                    window,
+                ));
+            }
+        }
+        if self.table_frontend.bytes_transferred() > 0 {
+            out.push(ResourceUsage::busy(
+                "pipe:table_frontend".into(),
+                "pipe",
+                self.table_frontend.busy_time(),
+                window,
+            ));
+        }
+        out.push(ResourceUsage::busy(
+            "pipe:account_up".into(),
+            "pipe",
+            self.account_up.busy_time(),
+            window,
+        ));
+        out.push(ResourceUsage::busy(
+            "pipe:account_down".into(),
+            "pipe",
+            self.account_down.busy_time(),
+            window,
+        ));
+        // Server and NIC pipes are numerous and rarely the binding limit:
+        // report only the busiest of each family (ties: lowest index).
+        let busiest = |pipes: &[Pipe]| -> Option<(usize, Duration)> {
+            pipes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.busy_time()))
+                .filter(|(_, b)| *b > Duration::ZERO)
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        };
+        if let Some((i, b)) = busiest(&self.server_rx) {
+            out.push(ResourceUsage::busy(
+                format!("pipe:server_rx:{i}"),
+                "pipe",
+                b,
+                window,
+            ));
+        }
+        if let Some((i, b)) = busiest(&self.server_tx) {
+            out.push(ResourceUsage::busy(
+                format!("pipe:server_tx:{i}"),
+                "pipe",
+                b,
+                window,
+            ));
+        }
+        let nic = self
+            .nics
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i, p.busy_time())))
+            .filter(|(_, b)| *b > Duration::ZERO)
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        if let Some((i, b)) = nic {
+            out.push(ResourceUsage::busy(
+                format!("pipe:nic:{i}"),
+                "pipe",
+                b,
+                window,
+            ));
+        }
+        out
     }
 
     /// The trace buffer, if tracing is enabled.
@@ -498,6 +645,47 @@ impl Cluster {
         Ok(())
     }
 
+    /// Sample every instrumented gauge at one arrival (no-op unless the
+    /// timeline is enabled). Reads only side-effect-free accessors, so the
+    /// simulated outcome is untouched.
+    fn sample_timeline(&mut self, now: SimTime, actor: usize, slot: usize) {
+        let Some(tl) = self.timeline.as_mut() else {
+            return;
+        };
+        let backlog = |free: SimTime| free.saturating_since(now).as_secs_f64();
+        let s = &self.slots[slot];
+        tl.observe_slot(
+            now,
+            slot,
+            &s.key,
+            s.bucket.as_ref().map(|b| b.fill(now)),
+            s.write_pipe.as_ref().map(|p| backlog(p.next_free())),
+            backlog(s.fifo.next_free()),
+        );
+        tl.observe_cluster(
+            now,
+            ClusterSample {
+                account_tx_fill: self.account_tx.fill(now),
+                up_backlog_s: backlog(self.account_up.next_free()),
+                down_backlog_s: backlog(self.account_down.next_free()),
+                table_frontend_backlog_s: backlog(self.table_frontend.next_free()),
+                nic_backlog_s: self
+                    .nics
+                    .get(actor)
+                    .and_then(|n| n.as_ref())
+                    .map(|p| backlog(p.next_free())),
+                fault_windows: self.faults.active_windows(now),
+            },
+        );
+    }
+
+    /// Account one outcome on the timeline (no-op unless enabled).
+    fn timeline_outcome(&mut self, now: SimTime, done: SimTime, throttled: bool) {
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.note_outcome(now, done, throttled);
+        }
+    }
+
     /// Record one trace row, if tracing is on.
     #[allow(clippy::too_many_arguments)]
     fn trace(
@@ -554,6 +742,9 @@ impl Cluster {
         let class = req.class();
         let slot = self.intern(req.partition_ref());
         self.slots[slot].ops += 1;
+        if self.timeline.is_some() {
+            self.sample_timeline(now, actor, slot);
+        }
         let up = req.payload_bytes_up();
         let p_frontend_rtt = self.params.frontend_rtt;
         let p_retry_hint = self.params.throttle_retry_hint;
@@ -571,6 +762,7 @@ impl Cluster {
             FaultDecision::Busy { retry_after } => {
                 self.metrics.counter_mut(class).throttled += 1;
                 let done = t + Duration::from_millis(1);
+                self.timeline_outcome(now, done, true);
                 let phases = Self::reject_phases(now, t, done);
                 self.trace(
                     now,
@@ -587,6 +779,7 @@ impl Cluster {
             FaultDecision::Fault { retry_after } => {
                 self.metrics.counter_mut(class).failed += 1;
                 let done = t + Duration::from_millis(1);
+                self.timeline_outcome(now, done, false);
                 let phases = Self::reject_phases(now, t, done);
                 self.trace(
                     now,
@@ -605,6 +798,7 @@ impl Cluster {
                 // state transition happens server-side.
                 self.metrics.counter_mut(class).failed += 1;
                 let done = t + elapsed;
+                self.timeline_outcome(now, done, false);
                 let phases = Self::reject_phases(now, t, done);
                 self.trace(
                     now,
@@ -630,6 +824,7 @@ impl Cluster {
             c.throttled += 1;
             // The rejection itself is a fast round trip.
             let done = t + Duration::from_millis(1);
+            self.timeline_outcome(now, done, true);
             let phases = Self::reject_phases(now, t, done);
             self.trace(
                 now,
@@ -772,6 +967,7 @@ impl Cluster {
             }
             Err(_) => c.failed += 1,
         }
+        self.timeline_outcome(now, t, false);
         let outcome = if result.is_ok() {
             TraceOutcome::Ok
         } else {
@@ -1235,6 +1431,71 @@ mod tests {
             .map(|r| r.outcome)
             .collect();
         assert!(outcomes.contains(&crate::trace::TraceOutcome::Throttled));
+    }
+
+    #[test]
+    fn timeline_sampling_never_changes_completion_times() {
+        // The same borderline-throttled workload, with and without the
+        // timeline: every virtual completion time must be bit-identical,
+        // because sampling reads only side-effect-free accessors.
+        let run = |resolution: Option<Duration>| {
+            let mut c = Cluster::new(ClusterParams {
+                throttle_burst: 3.0,
+                queue_rate: 40.0,
+                timeline_resolution: resolution,
+                ..ClusterParams::default()
+            });
+            c.submit(at(0), 0, &StorageRequest::CreateQueue { queue: "q".into() })
+                .1
+                .unwrap();
+            let mut ends = Vec::new();
+            for i in 0..300u64 {
+                let (done, r) = c.submit(at(1 + i * 7), (i % 5) as usize, &put_msg("q", 900));
+                ends.push((done, r.is_ok()));
+            }
+            ends
+        };
+        let plain = run(None);
+        let sampled = run(Some(Duration::from_millis(50)));
+        assert_eq!(plain, sampled);
+    }
+
+    #[test]
+    fn timeline_collects_gauges_and_usage() {
+        let mut c = Cluster::new(ClusterParams {
+            throttle_burst: 2.0,
+            queue_rate: 10.0,
+            timeline_resolution: Some(Duration::from_millis(20)),
+            ..ClusterParams::default()
+        });
+        assert!(c.timeline().is_some());
+        c.submit(at(0), 0, &StorageRequest::CreateQueue { queue: "q".into() })
+            .1
+            .unwrap();
+        let mut end = SimTime::ZERO;
+        for i in 0..100u64 {
+            let (done, _) = c.submit(at(1 + i), 0, &put_msg("q", 64));
+            end = end.max(done);
+        }
+        let tl = c.timeline().unwrap();
+        let fill = tl
+            .recorder()
+            .gauges()
+            .iter()
+            .find(|g| g.name == "bucket_fill:queue:q")
+            .expect("per-queue fill gauge registered");
+        assert!(fill.series.sample_count() >= 100);
+        // Slamming 100 ops into 100 ms against a 10/s bucket saturates it.
+        let usage = c.resource_usage(end);
+        let bucket = usage
+            .iter()
+            .find(|u| u.resource == "bucket:queue:q")
+            .unwrap();
+        assert!(bucket.saturation > 0.8, "saturation {}", bucket.saturation);
+        assert!(bucket.throttled > 0);
+        // The FIFO barely worked in comparison.
+        let fifo = usage.iter().find(|u| u.resource == "fifo:queue:q").unwrap();
+        assert!(fifo.saturation < bucket.saturation);
     }
 
     proptest::proptest! {

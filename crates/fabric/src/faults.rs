@@ -267,6 +267,24 @@ impl FaultInjector {
         FaultDecision::None
     }
 
+    /// Number of scheduled fault windows (storms, crashes, blackouts)
+    /// containing `now`. Pure; used by the timeline's active-faults gauge.
+    pub fn active_windows(&self, now: SimTime) -> usize {
+        let p = &self.plan;
+        p.busy_storms
+            .iter()
+            .filter(|s| in_window(now, s.at, s.duration))
+            .count()
+            + p.crashes
+                .iter()
+                .filter(|c| in_window(now, c.at, c.failover))
+                .count()
+            + p.blackouts
+                .iter()
+                .filter(|b| in_window(now, b.at, b.duration))
+                .count()
+    }
+
     /// Extra replica-sync latency for a replicated write, if a stall
     /// fires. Called only for operations that actually replicate.
     pub fn replica_stall(&mut self) -> Option<Duration> {

@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod faults;
 pub mod metrics;
 pub mod params;
+pub mod timeline;
 pub mod trace;
 
 pub use cluster::Cluster;
@@ -37,4 +38,5 @@ pub use faults::{
 };
 pub use metrics::{ClusterMetrics, MetricsSnapshot, OpCounter, PartitionHeat};
 pub use params::ClusterParams;
+pub use timeline::{ClusterTimeline, ResourceUsage};
 pub use trace::{Phase, PhaseAggregate, PhaseBreadcrumb, TraceOutcome, TraceRecord, Tracer};

@@ -391,9 +391,14 @@ impl MetricsSnapshot {
 
         out.push_str("# TYPE azsim_partition_ops_total counter\n");
         for h in &self.partitions {
+            // `partition` embeds user-chosen container/queue/table names, so
+            // it is the one label that can carry exposition-breaking bytes;
+            // every other label value is a fixed enum name or a number.
             out.push_str(&format!(
                 "azsim_partition_ops_total{{partition=\"{}\",server=\"{}\"}} {}\n",
-                h.partition, h.server, h.ops
+                escape_label(&h.partition),
+                h.server,
+                h.ops
             ));
         }
 
@@ -429,6 +434,22 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote and line feed must be backslash-escaped inside
+/// the quoted value or the scrape line is truncated/corrupted.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -522,6 +543,35 @@ mod tests {
         assert!(json.contains("\"phase\":\"service\""));
         // Same inputs serialize byte-identically (shortest-roundtrip floats).
         assert_eq!(json, sample_snapshot().to_json());
+    }
+
+    #[test]
+    fn hostile_partition_labels_are_escaped() {
+        let snap = MetricsSnapshot::build(
+            &ClusterMetrics::new(),
+            &FaultMetrics::default(),
+            vec![PartitionHeat {
+                partition: "queue:evil\"},inject=\"1\\\nnew".into(),
+                server: 0,
+                ops: 1,
+                throttled: 0,
+            }],
+            None,
+        );
+        let prom = snap.to_prometheus();
+        assert!(prom.contains(
+            "azsim_partition_ops_total{partition=\"queue:evil\\\"},inject=\\\"1\\\\\\nnew\",server=\"0\"} 1"
+        ));
+        // No label value may smuggle a raw quote, backslash or newline into
+        // the exposition stream: every line must still parse as
+        // name{labels} value.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.matches('{').count(), 1, "corrupt line: {line}");
+            assert!(
+                line.ends_with(" 1") || line.ends_with(" 0"),
+                "corrupt line: {line}"
+            );
+        }
     }
 
     #[test]

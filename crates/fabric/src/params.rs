@@ -112,6 +112,13 @@ pub struct ClusterParams {
     pub throttle_burst: f64,
     /// Retry hint returned with `ServerBusy`.
     pub throttle_retry_hint: Duration,
+
+    // ---- telemetry ----
+    /// Virtual-time resolution of the gauge timeline, or `None` (the
+    /// default) to keep sampling off entirely. Sampling is passive — it
+    /// reads resources through side-effect-free accessors — so enabling it
+    /// changes no simulated outcome, only adds recording cost.
+    pub timeline_resolution: Option<Duration>,
 }
 
 impl Default for ClusterParams {
@@ -157,6 +164,8 @@ impl Default for ClusterParams {
             account_bandwidth: limits::ACCOUNT_BANDWIDTH,
             throttle_burst: 50.0,
             throttle_retry_hint: Duration::from_secs(1),
+
+            timeline_resolution: None,
         }
     }
 }

@@ -29,7 +29,9 @@ pub mod rng;
 pub mod runtime;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 
 pub use heap::EventHeap;
 pub use runtime::{ActorCtx, ActorId, Model, Simulation};
 pub use time::SimTime;
+pub use timeline::{CounterId, GaugeId, GaugeRecorder, SaturationTracker, TimeSeries};

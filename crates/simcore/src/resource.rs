@@ -110,6 +110,12 @@ impl Pipe {
     pub fn next_free(&self) -> SimTime {
         self.inner.next_free()
     }
+
+    /// Total time the pipe has been occupied by transfers (for utilization
+    /// reporting).
+    pub fn busy_time(&self) -> Duration {
+        self.inner.busy_time()
+    }
 }
 
 /// Outcome of a [`TokenBucket`] admission attempt.
@@ -175,6 +181,28 @@ impl TokenBucket {
     pub fn available(&mut self, now: SimTime) -> f64 {
         self.refill(now);
         self.tokens
+    }
+
+    /// Tokens that *would* be available at `now`, computed without
+    /// mutating the bucket.
+    ///
+    /// Telemetry must use this rather than [`TokenBucket::available`]:
+    /// splitting one refill interval into two changes float accumulation
+    /// (`tokens + dt₁·r + dt₂·r ≠ tokens + (dt₁+dt₂)·r` in general), so a
+    /// mutating probe could flip a later borderline admission and make an
+    /// "observability-only" feature change simulated outcomes.
+    pub fn fill(&self, now: SimTime) -> f64 {
+        if now > self.last_refill {
+            let dt = (now - self.last_refill).as_secs_f64();
+            (self.tokens + dt * self.rate_per_sec).min(self.burst)
+        } else {
+            self.tokens
+        }
+    }
+
+    /// Configured burst capacity.
+    pub fn burst(&self) -> f64 {
+        self.burst
     }
 
     /// Number of rejected acquisitions so far.
@@ -288,6 +316,54 @@ mod tests {
                 let bound = burst + rate * now.as_secs_f64() + 1e-6;
                 proptest::prop_assert!(admitted <= bound,
                     "admitted {admitted} exceeds bound {bound}");
+            }
+        }
+
+        /// Token conservation as seen through the passive `fill` gauge:
+        /// at every instant, fill + admitted + overflow = burst + rate·elapsed
+        /// (within float error), where overflow is the inflow a full bucket
+        /// discarded. The test mirrors the refill arithmetic step for step,
+        /// which also pins down that `fill` is side-effect-free — a mutating
+        /// probe would desynchronize the shadow copy.
+        #[test]
+        fn prop_fill_gauge_conserves_tokens(
+            steps in proptest::collection::vec((0u64..50_000, 1u32..4), 1..300)
+        ) {
+            let rate = 100.0;
+            let burst = 10.0;
+            let mut b = TokenBucket::new(rate, burst);
+            let mut now = SimTime::ZERO;
+            let mut last = SimTime::ZERO;
+            let mut shadow = burst;
+            let mut admitted = 0.0f64;
+            let mut overflow = 0.0f64;
+            for (advance_us, cost) in steps {
+                now += Duration::from_micros(advance_us);
+                if now > last {
+                    let inflow = (now - last).as_secs_f64() * rate;
+                    let uncapped = shadow + inflow;
+                    let capped = uncapped.min(burst);
+                    overflow += uncapped - capped;
+                    shadow = capped;
+                    last = now;
+                }
+                // Two passive reads in a row: identical, and neither may
+                // perturb the admission below.
+                let f1 = b.fill(now);
+                let f2 = b.fill(now);
+                proptest::prop_assert_eq!(f1, f2);
+                proptest::prop_assert!((f1 - shadow).abs() < 1e-9,
+                    "fill {f1} diverged from shadow {shadow}");
+                if b.acquire(now, cost as f64) == Admission::Granted {
+                    shadow -= cost as f64;
+                    admitted += cost as f64;
+                }
+                let fill = b.fill(now);
+                let lhs = fill + admitted + overflow;
+                let rhs = burst + rate * now.as_secs_f64();
+                proptest::prop_assert!((lhs - rhs).abs() < 1e-6,
+                    "conservation violated: fill {fill} + admitted {admitted} \
+                     + overflow {overflow} = {lhs} vs {rhs}");
             }
         }
 

@@ -6,7 +6,7 @@ use azsim_core::Simulation;
 use azsim_fabric::Cluster;
 use azurebench::alg3_queue::{run_alg3, QueueOp};
 use azurebench::alg5_table::run_alg5;
-use azurebench::{alg3_queue, fig9, BenchConfig};
+use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, fig9, BenchConfig};
 
 #[test]
 fn alg3_is_bit_deterministic() {
@@ -94,6 +94,43 @@ fn profile_json_is_golden_across_runs_and_schedules() {
     let pa = azurebench::profile::run_profile(&serial, &serial.workers, 8).to_prometheus();
     let pc = azurebench::profile::run_profile(&parallel, &parallel.workers, 8).to_prometheus();
     assert_eq!(pa, pc, "prometheus export differs between schedules");
+}
+
+#[test]
+fn figure_csvs_are_identical_with_timeline_sampling_enabled() {
+    // Gauge sampling is passive by construction: it reads bucket fills with
+    // the side-effect-free probe and accounts busy time on transitions the
+    // simulation already makes, so switching it on must not move a single
+    // virtual-time event. All 15 figure CSVs — the golden artifacts — must
+    // come out bit-identical with and without sampling.
+    let plain = BenchConfig::paper()
+        .with_scale(0.01)
+        .with_workers(vec![1, 4]);
+    let mut sampled = plain.clone();
+    sampled.params.timeline_resolution = Some(std::time::Duration::from_millis(5));
+
+    let csvs = |cfg: &BenchConfig| -> Vec<(String, String)> {
+        let blob = alg1_blob::figures_4_and_5(cfg);
+        let f6 = alg3_queue::figure_6(cfg);
+        let f7 = alg4_queue::figure_7(cfg);
+        let f8 = alg5_table::figure_8(cfg);
+        let f9 = fig9::figure_9(cfg);
+        blob.iter()
+            .chain(&f6)
+            .chain(&f7)
+            .chain(&f8)
+            .chain([&f9])
+            .map(|f| (f.id.clone(), f.to_csv()))
+            .collect()
+    };
+
+    let a = csvs(&plain);
+    let b = csvs(&sampled);
+    assert_eq!(a.len(), 15, "expected the full 15-figure suite");
+    for ((id_a, csv_a), (id_b, csv_b)) in a.iter().zip(&b) {
+        assert_eq!(id_a, id_b);
+        assert_eq!(csv_a, csv_b, "{id_a} CSV changed when sampling was enabled");
+    }
 }
 
 #[test]

@@ -201,6 +201,81 @@ fn chaos_trace_replays_identically() {
 }
 
 #[test]
+fn timeline_counters_reconcile_with_trace_records() {
+    // The sampled counter series is a downsampled view of the very same
+    // events the tracer retains: summing every `ops.submitted` bucket delta
+    // must recover exactly the number of trace records, and the throttle
+    // deltas exactly the throttled subset — downsampling loses resolution,
+    // never mass.
+    let cfg = BenchConfig::quick();
+    let report = azurebench::timeline::run_timeline(&cfg, 4, 30);
+    let delta_sum = |name: &str| -> f64 {
+        report
+            .recorder()
+            .counters()
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("{name} counter series missing"))
+            .series
+            .series()
+            .iter()
+            .map(|(_, b)| b.sum)
+            .sum()
+    };
+    let submitted = delta_sum("ops.submitted");
+    assert!(submitted > 0.0, "no submissions sampled");
+    assert_eq!(
+        submitted as usize,
+        report.records().len(),
+        "submitted deltas must sum to the traced operation count"
+    );
+    let throttled = delta_sum("ops.throttled");
+    let throttled_records = report
+        .records()
+        .iter()
+        .filter(|r| r.outcome == TraceOutcome::Throttled)
+        .count();
+    assert_eq!(throttled as usize, throttled_records);
+}
+
+#[test]
+fn bottleneck_pass_attributes_documented_limits_on_three_figures() {
+    // The acceptance bar for the attribution pass: at the top of the
+    // ladder, at least three distinct paper figures pin a saturated (or
+    // actively throttling) documented limit, and the verdicts name it.
+    let cfg = BenchConfig::quick().with_sweep_threads(0);
+    let report = azurebench::bottleneck::run_bottlenecks(&cfg, &[64]);
+    let attributed: Vec<&str> = report
+        .points
+        .iter()
+        .filter(|p| !p.verdict.contains("no saturated resource"))
+        .map(|p| p.figure.as_str())
+        .collect();
+    assert!(
+        attributed.len() >= 3,
+        "only {} figures attributed: {attributed:?}",
+        attributed.len()
+    );
+    for figure in ["fig7", "fig6", "fig8", "fig4"] {
+        assert!(
+            report.points.iter().any(|p| p.figure == figure),
+            "missing scenario for {figure}"
+        );
+    }
+    // Every verdict names the top-ranked resource.
+    for p in &report.points {
+        if let Some(top) = p.ranked.first() {
+            assert!(
+                p.verdict.contains(&top.resource) || p.verdict.contains("no saturated"),
+                "verdict {:?} does not name {}",
+                p.verdict,
+                top.resource
+            );
+        }
+    }
+}
+
+#[test]
 fn profile_phases_reconcile_per_class() {
     let cfg = BenchConfig::paper().with_scale(0.05).with_sweep_threads(1);
     let report = run_profile(&cfg, &[1, 2, 4], 12);
