@@ -87,20 +87,22 @@ fn ablate_single_vs_multi_queue(c: &mut Criterion) {
         let sim = Simulation::new(Cluster::with_defaults(), 3);
         let workers = 8usize;
         let per = 25usize;
-        let report = sim.run_workers(workers, move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(workers, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let name = if shared {
                 "only".to_owned()
             } else {
                 format!("q{}", ctx.id().0)
             };
             let q = QueueClient::new(&env, name);
-            q.create().unwrap();
+            q.create().await.unwrap();
             for i in 0..per {
-                q.put_message(Bytes::from(vec![i as u8; 1024])).unwrap();
+                q.put_message(Bytes::from(vec![i as u8; 1024]))
+                    .await
+                    .unwrap();
             }
-            while let Some(m) = q.get_message().unwrap() {
-                q.delete_message(&m).unwrap();
+            while let Some(m) = q.get_message().await.unwrap() {
+                q.delete_message(&m).await.unwrap();
             }
         });
         report.end_time
@@ -134,10 +136,10 @@ fn ablate_partitioning(c: &mut Criterion) {
         let sim = Simulation::new(Cluster::new(params), 4);
         let workers = 16usize;
         let per = 20usize;
-        let report = sim.run_workers(workers, move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(workers, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let t = TableClient::new(&env, "abl");
-            t.create_table().unwrap();
+            t.create_table().await.unwrap();
             let pk = if hot {
                 "hot".to_owned()
             } else {
@@ -148,6 +150,7 @@ fn ablate_partitioning(c: &mut Criterion) {
                     Entity::new(&pk, format!("{}-{i}", ctx.id().0))
                         .with("v", PropValue::I64(i as i64)),
                 )
+                .await
                 .unwrap();
             }
         });

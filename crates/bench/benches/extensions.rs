@@ -4,7 +4,7 @@
 
 use azsim_cache::{CacheClient, CacheCluster};
 use azsim_client::VirtualEnv;
-use azsim_core::runtime::ActorFn;
+use azsim_core::runtime::{actor, ActorCtx, ActorFn};
 use azsim_core::{SimTime, Simulation};
 use azsim_fabric::Cluster;
 use azsim_framework::{MapReduce, MapReduceJob};
@@ -63,18 +63,18 @@ fn bench_mapreduce(c: &mut Criterion) {
                 .collect();
             let mut actors: Vec<ActorFn<'_, Cluster, usize>> = Vec::new();
             let driver_docs = docs.clone();
-            actors.push(Box::new(move |ctx| {
-                let env = VirtualEnv::new(ctx);
+            actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+                let env = VirtualEnv::new(&ctx);
                 let mr = MapReduce::new(&env, "wc", WordCount, 2);
-                mr.init().unwrap();
-                mr.run_driver(driver_docs).unwrap().len()
+                mr.init().await.unwrap();
+                mr.run_driver(driver_docs).await.unwrap().len()
             }));
             for _ in 0..3 {
-                actors.push(Box::new(|ctx| {
-                    let env = VirtualEnv::new(ctx);
+                actors.push(actor(|ctx: ActorCtx<Cluster>| async move {
+                    let env = VirtualEnv::new(&ctx);
                     let mr = MapReduce::new(&env, "wc", WordCount, 2);
-                    mr.init().unwrap();
-                    mr.run_worker(4, Duration::from_secs(1)).unwrap();
+                    mr.init().await.unwrap();
+                    mr.run_worker(4, Duration::from_secs(1)).await.unwrap();
                     0
                 }));
             }
@@ -104,18 +104,21 @@ fn bench_cache(c: &mut Criterion) {
             let sim = Simulation::new(Cluster::with_defaults(), 6);
             let shared = CacheCluster::new(4, 1 << 20);
             let report = sim.run_workers(4, move |ctx| {
-                let env = VirtualEnv::new(ctx);
-                let cache = CacheClient::new(&env, Arc::clone(&shared));
-                let mut hits = 0;
-                for i in 0..50 {
-                    let key = format!("k{}", i % 10);
-                    if cache.get(&key).is_some() {
-                        hits += 1;
-                    } else {
-                        cache.put(&key, Bytes::from(vec![0u8; 256]), None);
+                let shared = Arc::clone(&shared);
+                async move {
+                    let env = VirtualEnv::new(&ctx);
+                    let cache = CacheClient::new(&env, shared);
+                    let mut hits = 0;
+                    for i in 0..50 {
+                        let key = format!("k{}", i % 10);
+                        if cache.get(&key).await.is_some() {
+                            hits += 1;
+                        } else {
+                            cache.put(&key, Bytes::from(vec![0u8; 256]), None).await;
+                        }
                     }
+                    hits
                 }
-                hits
             });
             black_box(report.results)
         })

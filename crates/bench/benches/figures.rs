@@ -82,13 +82,13 @@ fn bench_alg2_barrier(c: &mut Criterion) {
     g.bench_function("alg2_barrier_8x3", |b| {
         b.iter(|| {
             let sim = Simulation::new(Cluster::with_defaults(), 2);
-            let report = sim.run_workers(8, |ctx| {
-                let env = VirtualEnv::new(ctx);
+            let report = sim.run_workers(8, |ctx| async move {
+                let env = VirtualEnv::new(&ctx);
                 let mut bar =
                     QueueBarrier::new(&env, "b", 8).with_poll_interval(Duration::from_millis(200));
-                bar.init().unwrap();
+                bar.init().await.unwrap();
                 for _ in 0..3 {
-                    bar.wait().unwrap();
+                    bar.wait().await.unwrap();
                 }
             });
             black_box(report.end_time)

@@ -3,7 +3,7 @@
 use azsim_core::heap::EventKey;
 use azsim_core::resource::{FifoServer, Pipe, TokenBucket};
 use azsim_core::runtime::{ActorId, Model};
-use azsim_core::{EventHeap, SimTime, Simulation};
+use azsim_core::{EventHeap, SimTime, Simulation, ThreadedSimulation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -86,10 +86,10 @@ fn bench_virtual_runtime(c: &mut Criterion) {
             |b, &workers| {
                 b.iter(|| {
                     let sim = Simulation::new(NullModel, 1);
-                    let report = sim.run_workers(workers, |ctx| {
+                    let report = sim.run_workers(workers, |ctx| async move {
                         let mut acc = 0u64;
                         for i in 0..1_000u64 {
-                            acc = acc.wrapping_add(ctx.call(i));
+                            acc = acc.wrapping_add(ctx.call(i).await);
                         }
                         acc
                     });
@@ -115,12 +115,55 @@ fn bench_batch_wake(c: &mut Criterion) {
             |b, &workers| {
                 b.iter(|| {
                     let sim = Simulation::new(NullModel, 1);
-                    let report = sim.run_workers(workers, |ctx| {
+                    let report = sim.run_workers(workers, |ctx| async move {
                         for _ in 0..1_000 {
-                            ctx.sleep(Duration::from_micros(100));
+                            ctx.sleep(Duration::from_micros(100)).await;
                         }
                     });
                     black_box(report.end_time)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Handoff cost across executors: the same program (back-to-back model
+/// calls, each one a virtual-time handoff) on the coroutine executor vs
+/// the retained thread-backed reference executor. A coroutine handoff is a
+/// poll (function call); a threaded handoff is a mutex/condvar park-unpark
+/// round trip — this group keeps that gap visible in CI.
+fn bench_handoff_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/handoff");
+    g.sample_size(10);
+    for workers in [8usize, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("coroutine", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let sim = Simulation::new(NullModel, 1);
+                    let report = sim.run_workers(workers, |ctx| async move {
+                        for i in 0..200u64 {
+                            black_box(ctx.call(i).await);
+                        }
+                    });
+                    black_box(report.requests)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("threaded", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let sim = ThreadedSimulation::new(NullModel, 1);
+                    let report = sim.run_workers(workers, |ctx| {
+                        for i in 0..200u64 {
+                            black_box(ctx.call(i));
+                        }
+                    });
+                    black_box(report.requests)
                 })
             },
         );
@@ -133,6 +176,7 @@ criterion_group!(
     bench_event_heap,
     bench_resources,
     bench_virtual_runtime,
-    bench_batch_wake
+    bench_batch_wake,
+    bench_handoff_cost
 );
 criterion_main!(benches);

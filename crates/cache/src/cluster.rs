@@ -165,19 +165,19 @@ impl CacheCluster {
 
 /// A timed cache handle for one role instance: every operation charges a
 /// small in-memory round trip through the environment's clock.
-pub struct CacheClient<'e> {
-    env: &'e dyn azsim_client::Environment,
+pub struct CacheClient<'e, E: azsim_client::Environment> {
+    env: &'e E,
     cache: Arc<Mutex<CacheCluster>>,
     rtt: Duration,
 }
 
-impl<'e> CacheClient<'e> {
+impl<'e, E: azsim_client::Environment> CacheClient<'e, E> {
     /// Default cache round trip: in-memory, an order of magnitude below a
     /// storage operation.
     pub const DEFAULT_RTT: Duration = Duration::from_micros(900);
 
     /// Bind a client to a shared cache.
-    pub fn new(env: &'e dyn azsim_client::Environment, cache: Arc<Mutex<CacheCluster>>) -> Self {
+    pub fn new(env: &'e E, cache: Arc<Mutex<CacheCluster>>) -> Self {
         CacheClient {
             env,
             cache,
@@ -192,20 +192,20 @@ impl<'e> CacheClient<'e> {
     }
 
     /// Timed put.
-    pub fn put(&self, key: &str, value: Bytes, ttl: Option<Duration>) -> bool {
-        self.env.sleep(self.rtt);
+    pub async fn put(&self, key: &str, value: Bytes, ttl: Option<Duration>) -> bool {
+        self.env.sleep(self.rtt).await;
         self.cache.lock().put(self.env.now(), key, value, ttl)
     }
 
     /// Timed get.
-    pub fn get(&self, key: &str) -> Option<Bytes> {
-        self.env.sleep(self.rtt);
+    pub async fn get(&self, key: &str) -> Option<Bytes> {
+        self.env.sleep(self.rtt).await;
         self.cache.lock().get(self.env.now(), key)
     }
 
     /// Timed remove.
-    pub fn remove(&self, key: &str) -> bool {
-        self.env.sleep(self.rtt);
+    pub async fn remove(&self, key: &str) -> bool {
+        self.env.sleep(self.rtt).await;
         self.cache.lock().remove(key)
     }
 }
@@ -306,29 +306,35 @@ mod tests {
         let sim = Simulation::new(Cluster::with_defaults(), 77);
         let shared = CacheCluster::new(4, 1 << 20);
         let report = sim.run_workers(4, move |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let table = TableClient::new(&env, "t");
-            table.create_table().unwrap();
-            let cache = CacheClient::new(&env, Arc::clone(&shared));
-            let me = ctx.id().0;
-            table
-                .insert(Entity::new("p", me.to_string()).with("v", PropValue::I64(me as i64)))
-                .unwrap();
+            let shared = Arc::clone(&shared);
+            async move {
+                let env = VirtualEnv::new(&ctx);
+                let table = TableClient::new(&env, "t");
+                table.create_table().await.unwrap();
+                let cache = CacheClient::new(&env, shared);
+                let me = ctx.id().0;
+                table
+                    .insert(Entity::new("p", me.to_string()).with("v", PropValue::I64(me as i64)))
+                    .await
+                    .unwrap();
 
-            // Cold read: miss → table → fill.
-            let t0 = env.now();
-            let key = format!("p/{me}");
-            assert!(cache.get(&key).is_none());
-            let (_e, _) = table.query("p", &me.to_string()).unwrap().unwrap();
-            cache.put(&key, Bytes::from(me.to_le_bytes().to_vec()), None);
-            let cold = env.now().saturating_since(t0);
+                // Cold read: miss → table → fill.
+                let t0 = env.now();
+                let key = format!("p/{me}");
+                assert!(cache.get(&key).await.is_none());
+                let (_e, _) = table.query("p", &me.to_string()).await.unwrap().unwrap();
+                cache
+                    .put(&key, Bytes::from(me.to_le_bytes().to_vec()), None)
+                    .await;
+                let cold = env.now().saturating_since(t0);
 
-            // Warm read: hit.
-            let t0 = env.now();
-            assert!(cache.get(&key).is_some());
-            let warm = env.now().saturating_since(t0);
-            assert!(cold > warm * 4, "cold {cold:?} must dwarf warm {warm:?}");
-            warm
+                // Warm read: hit.
+                let t0 = env.now();
+                assert!(cache.get(&key).await.is_some());
+                let warm = env.now().saturating_since(t0);
+                assert!(cold > warm * 4, "cold {cold:?} must dwarf warm {warm:?}");
+                warm
+            }
         });
         assert!(report.results.iter().all(|w| *w < Duration::from_millis(2)));
     }

@@ -4,50 +4,61 @@ use azsim_core::runtime::ActorCtx;
 use azsim_core::SimTime;
 use azsim_fabric::Cluster;
 use azsim_storage::{StorageOk, StorageRequest, StorageResult};
+use std::future::Future;
 use std::time::Duration;
 
 /// A place a storage client can run: provides a clock, a sleep primitive
 /// and a request executor. Implemented by [`VirtualEnv`] (simulated time)
 /// and [`crate::LiveEnv`] (wall-clock time).
+///
+/// `sleep` and `execute` return futures so the same client code runs on the
+/// stackless-coroutine simulator (where awaiting suspends the actor until
+/// the event heap delivers the wakeup) and in live mode (where the returned
+/// futures are already complete — drive them with [`azsim_core::block_on`]).
+/// The methods are declared as `-> impl Future` rather than `async fn` so
+/// implementors may return named/ready future types and the trait stays
+/// lint-clean; the trait is not object-safe, so clients are generic over
+/// `E: Environment` instead of holding `&dyn Environment`.
 pub trait Environment {
     /// Current time (virtual in simulation, epoch-relative in live mode).
     fn now(&self) -> SimTime;
-    /// Block for `d` (virtual or scaled-real).
-    fn sleep(&self, d: Duration);
+    /// Wait for `d` (virtual or scaled-real).
+    fn sleep(&self, d: Duration) -> impl Future<Output = ()>;
     /// Execute one storage request to completion.
-    fn execute(&self, req: StorageRequest) -> StorageResult<StorageOk>;
+    fn execute(&self, req: StorageRequest) -> impl Future<Output = StorageResult<StorageOk>>;
     /// The role-instance index this environment belongs to.
     fn instance(&self) -> usize;
 }
 
-/// Environment backed by the virtual-time runtime: wraps a worker thread's
-/// [`ActorCtx`] over the [`Cluster`] model.
-pub struct VirtualEnv<'a> {
-    ctx: &'a ActorCtx<Cluster>,
+/// Environment backed by the virtual-time runtime: holds its own clone of a
+/// worker's [`ActorCtx`] over the [`Cluster`] model (context handles are
+/// cheap `Rc`-backed clones sharing one clock and scheduler state).
+pub struct VirtualEnv {
+    ctx: ActorCtx<Cluster>,
 }
 
-impl<'a> VirtualEnv<'a> {
+impl VirtualEnv {
     /// Wrap an actor context.
-    pub fn new(ctx: &'a ActorCtx<Cluster>) -> Self {
-        VirtualEnv { ctx }
+    pub fn new(ctx: &ActorCtx<Cluster>) -> Self {
+        VirtualEnv { ctx: ctx.clone() }
     }
 
     /// The underlying actor context (for direct RNG access etc.).
     pub fn ctx(&self) -> &ActorCtx<Cluster> {
-        self.ctx
+        &self.ctx
     }
 }
 
-impl Environment for VirtualEnv<'_> {
+impl Environment for VirtualEnv {
     fn now(&self) -> SimTime {
         self.ctx.now()
     }
 
-    fn sleep(&self, d: Duration) {
-        self.ctx.sleep(d);
+    fn sleep(&self, d: Duration) -> impl Future<Output = ()> {
+        self.ctx.sleep(d)
     }
 
-    fn execute(&self, req: StorageRequest) -> StorageResult<StorageOk> {
+    fn execute(&self, req: StorageRequest) -> impl Future<Output = StorageResult<StorageOk>> {
         self.ctx.call(req)
     }
 
@@ -65,21 +76,23 @@ mod tests {
     #[test]
     fn virtual_env_routes_through_simulation() {
         let sim = Simulation::new(Cluster::with_defaults(), 1);
-        let report = sim.run_workers(2, |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(2, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             assert_eq!(env.instance(), ctx.id().0);
             env.execute(StorageRequest::CreateQueue {
                 queue: format!("q{}", env.instance()),
             })
+            .await
             .unwrap();
             env.execute(StorageRequest::PutMessage {
                 queue: format!("q{}", env.instance()),
                 data: Bytes::from_static(b"hello"),
                 ttl: None,
             })
+            .await
             .unwrap();
             let before = env.now();
-            env.sleep(Duration::from_secs(1));
+            env.sleep(Duration::from_secs(1)).await;
             assert_eq!(env.now(), before + Duration::from_secs(1));
             env.now()
         });

@@ -1,17 +1,19 @@
 //! # azsim-client — SDK-style clients for the simulated Azure storage
 //!
 //! The counterpart of the 2011 Azure SDK's `CloudBlobClient`,
-//! `CloudQueueClient` and `CloudTableClient`: blocking, typed wrappers over
+//! `CloudQueueClient` and `CloudTableClient`: typed, `async` wrappers over
 //! the request protocol, with the paper's retry behaviour (sleep one second
 //! on `ServerBusy`, then retry) built in.
 //!
 //! Clients are generic over an [`Environment`]:
 //!
-//! * [`VirtualEnv`] runs against the virtual-time simulation — a worker
-//!   role's blocking code executes in simulated time (the benchmark mode);
+//! * [`VirtualEnv`] runs against the stackless-coroutine virtual-time
+//!   simulation — awaiting a call or a sleep suspends the worker until the
+//!   event heap delivers its wakeup (the benchmark mode);
 //! * [`live::LiveEnv`] runs against the very same [`azsim_fabric::Cluster`]
-//!   in real (optionally time-scaled) wall-clock time — the mode the
-//!   interactive examples use.
+//!   in real (optionally time-scaled) wall-clock time — its futures are
+//!   already complete when returned, so drive them with
+//!   [`azsim_core::block_on`] (the mode the interactive examples use).
 
 pub mod blob;
 pub mod env;

@@ -7,6 +7,19 @@
 //! time" per real second), so interactive demos finish quickly while still
 //! exhibiting the modeled contention.
 //!
+//! [`LiveEnv`] satisfies the async [`Environment`] interface with futures
+//! that are already complete by the time they are returned: the blocking
+//! work (pricing the request, sleeping out the scaled latency) happens
+//! eagerly on the calling thread, and the caller drives the ready future
+//! with [`azsim_core::block_on`]. The same client and framework code
+//! therefore runs unchanged on the coroutine simulator and in live mode.
+//!
+//! Live-mode telemetry ([`LiveCluster::start_telemetry`]): in virtual time
+//! the cluster samples its gauge timeline on every arrival; in live mode a
+//! background thread flushes the same cluster-wide gauges and counters on a
+//! periodic wall-clock cadence, so dashboards read an up-to-date recorder
+//! even while the workload is idle.
+//!
 //! Live mode is *not* deterministic (it reads the host clock); use the
 //! virtual runtime for benchmark figures.
 
@@ -15,7 +28,8 @@ use azsim_core::SimTime;
 use azsim_fabric::{Cluster, ClusterParams};
 use azsim_storage::{StorageOk, StorageRequest, StorageResult};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::future::{ready, Future};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// A cluster shared by live-mode threads.
@@ -55,6 +69,31 @@ impl LiveCluster {
         f(&mut self.inner.lock())
     }
 
+    /// Enable the gauge timeline at `resolution` (virtual time) and start a
+    /// daemon thread that flushes the cluster-wide gauges every
+    /// `flush_interval` of *real* time — the live-mode counterpart of the
+    /// arrival-driven sampling the virtual-time recorder performs. The
+    /// thread holds only a weak reference and exits on its own once the
+    /// last [`LiveCluster`] handle is dropped.
+    pub fn start_telemetry(self: &Arc<Self>, resolution: Duration, flush_interval: Duration) {
+        assert!(
+            flush_interval > Duration::ZERO,
+            "flush_interval must be positive"
+        );
+        self.with_cluster(|c| c.enable_timeline(resolution));
+        let weak: Weak<LiveCluster> = Arc::downgrade(self);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(flush_interval);
+            let Some(lc) = weak.upgrade() else { break };
+            lc.with_cluster(|c| {
+                // Read the clock under the lock so flush samples and
+                // request-driven samples stay in submission order.
+                let now = lc.now();
+                c.flush_timeline(now);
+            });
+        });
+    }
+
     fn virtual_to_real(&self, d: Duration) -> Duration {
         d.mul_f64(1.0 / self.time_scale)
     }
@@ -71,11 +110,12 @@ impl Environment for LiveEnv {
         self.cluster.now()
     }
 
-    fn sleep(&self, d: Duration) {
+    fn sleep(&self, d: Duration) -> impl Future<Output = ()> {
         std::thread::sleep(self.cluster.virtual_to_real(d));
+        ready(())
     }
 
-    fn execute(&self, req: StorageRequest) -> StorageResult<StorageOk> {
+    fn execute(&self, req: StorageRequest) -> impl Future<Output = StorageResult<StorageOk>> {
         let (done, resp) = {
             let mut c = self.cluster.inner.lock();
             let now = self.cluster.now();
@@ -86,7 +126,7 @@ impl Environment for LiveEnv {
         if remaining > Duration::ZERO {
             std::thread::sleep(self.cluster.virtual_to_real(remaining));
         }
-        resp
+        ready(resp)
     }
 
     fn instance(&self) -> usize {
@@ -97,6 +137,7 @@ impl Environment for LiveEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use azsim_core::block_on;
     use bytes::Bytes;
 
     /// Run live tests heavily time-scaled so modeled milliseconds cost
@@ -107,20 +148,18 @@ mod tests {
     fn live_roundtrip() {
         let lc = LiveCluster::new(ClusterParams::default(), FAST);
         let env = lc.env(0);
-        env.execute(StorageRequest::CreateQueue { queue: "q".into() })
-            .unwrap();
-        env.execute(StorageRequest::PutMessage {
+        block_on(env.execute(StorageRequest::CreateQueue { queue: "q".into() })).unwrap();
+        block_on(env.execute(StorageRequest::PutMessage {
             queue: "q".into(),
             data: Bytes::from_static(b"live"),
             ttl: None,
-        })
+        }))
         .unwrap();
-        let got = env
-            .execute(StorageRequest::GetMessage {
-                queue: "q".into(),
-                visibility_timeout: Duration::from_secs(30),
-            })
-            .unwrap();
+        let got = block_on(env.execute(StorageRequest::GetMessage {
+            queue: "q".into(),
+            visibility_timeout: Duration::from_secs(30),
+        }))
+        .unwrap();
         match got {
             StorageOk::Message(Some(m)) => assert_eq!(m.data, Bytes::from_static(b"live")),
             other => panic!("expected message, got {other:?}"),
@@ -131,27 +170,30 @@ mod tests {
     #[test]
     fn concurrent_live_threads_share_state() {
         let lc = LiveCluster::new(ClusterParams::default(), FAST);
-        lc.env(0)
-            .execute(StorageRequest::CreateQueue { queue: "q".into() })
-            .unwrap();
+        block_on(
+            lc.env(0)
+                .execute(StorageRequest::CreateQueue { queue: "q".into() }),
+        )
+        .unwrap();
         let n = 8;
         std::thread::scope(|s| {
             for i in 0..n {
                 let env = lc.env(i);
                 s.spawn(move || {
-                    env.execute(StorageRequest::PutMessage {
+                    block_on(env.execute(StorageRequest::PutMessage {
                         queue: "q".into(),
                         data: Bytes::from(vec![i as u8]),
                         ttl: None,
-                    })
+                    }))
                     .unwrap();
                 });
             }
         });
-        let count = lc
-            .env(0)
-            .execute(StorageRequest::GetMessageCount { queue: "q".into() })
-            .unwrap();
+        let count = block_on(
+            lc.env(0)
+                .execute(StorageRequest::GetMessageCount { queue: "q".into() }),
+        )
+        .unwrap();
         match count {
             StorageOk::Count(c) => assert_eq!(c, n),
             other => panic!("expected count, got {other:?}"),
@@ -166,6 +208,38 @@ mod tests {
         let t1 = lc.now();
         // 2 ms of real time is ≥ 10 virtual seconds at scale 10 000.
         assert!(t1.saturating_since(t0) >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn telemetry_flushes_on_wall_clock_cadence() {
+        let lc = LiveCluster::new(ClusterParams::default(), FAST);
+        // Flush every millisecond of real time; resolution is virtual.
+        lc.start_telemetry(Duration::from_millis(5), Duration::from_millis(1));
+        block_on(
+            lc.env(0)
+                .execute(StorageRequest::CreateQueue { queue: "q".into() }),
+        )
+        .unwrap();
+        // No further requests: only the background flush can add samples.
+        let count = |lc: &LiveCluster| {
+            lc.with_cluster(|c| {
+                let tl = c.timeline().expect("telemetry enabled");
+                let rec = tl.recorder();
+                let g = rec
+                    .gauges()
+                    .iter()
+                    .find(|g| g.name == "account_tx.fill")
+                    .expect("account_tx.fill gauge");
+                g.series.sample_count()
+            })
+        };
+        let before = count(&lc);
+        std::thread::sleep(Duration::from_millis(30));
+        let after = count(&lc);
+        assert!(
+            after > before,
+            "periodic flush must add samples while idle: {before} -> {after}"
+        );
     }
 
     #[test]

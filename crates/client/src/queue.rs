@@ -12,15 +12,15 @@ use std::time::Duration;
 pub const DEFAULT_VISIBILITY: Duration = Duration::from_secs(30);
 
 /// A client bound to one queue.
-pub struct QueueClient<'e> {
-    env: &'e dyn Environment,
+pub struct QueueClient<'e, E: Environment> {
+    env: &'e E,
     name: String,
     policy: ClientPolicy,
 }
 
-impl<'e> QueueClient<'e> {
+impl<'e, E: Environment> QueueClient<'e, E> {
     /// Bind a client to `name` (the queue need not exist yet).
-    pub fn new(env: &'e dyn Environment, name: impl Into<String>) -> Self {
+    pub fn new(env: &'e E, name: impl Into<String>) -> Self {
         QueueClient {
             env,
             name: name.into(),
@@ -41,7 +41,7 @@ impl<'e> QueueClient<'e> {
     }
 
     /// Create the queue (idempotent).
-    pub fn create(&self) -> StorageResult<()> {
+    pub async fn create(&self) -> StorageResult<()> {
         self.policy
             .run(
                 self.env,
@@ -49,11 +49,12 @@ impl<'e> QueueClient<'e> {
                     queue: self.name.clone(),
                 },
             )
+            .await
             .map(|_| ())
     }
 
     /// Delete the queue and all its messages.
-    pub fn delete_queue(&self) -> StorageResult<()> {
+    pub async fn delete_queue(&self) -> StorageResult<()> {
         self.policy
             .run(
                 self.env,
@@ -61,11 +62,12 @@ impl<'e> QueueClient<'e> {
                     queue: self.name.clone(),
                 },
             )
+            .await
             .map(|_| ())
     }
 
     /// `PutMessage`: enqueue a payload (≤ 48 KB usable).
-    pub fn put_message(&self, data: Bytes) -> StorageResult<()> {
+    pub async fn put_message(&self, data: Bytes) -> StorageResult<()> {
         self.policy
             .run(
                 self.env,
@@ -75,11 +77,12 @@ impl<'e> QueueClient<'e> {
                     ttl: None,
                 },
             )
+            .await
             .map(|_| ())
     }
 
     /// `PutMessage` with an explicit time-to-live.
-    pub fn put_message_with_ttl(&self, data: Bytes, ttl: Duration) -> StorageResult<()> {
+    pub async fn put_message_with_ttl(&self, data: Bytes, ttl: Duration) -> StorageResult<()> {
         self.policy
             .run(
                 self.env,
@@ -89,46 +92,55 @@ impl<'e> QueueClient<'e> {
                     ttl: Some(ttl),
                 },
             )
+            .await
             .map(|_| ())
     }
 
     /// `GetMessage` with the default 30 s visibility timeout.
-    pub fn get_message(&self) -> StorageResult<Option<QueueMessage>> {
-        self.get_message_with_visibility(DEFAULT_VISIBILITY)
+    pub async fn get_message(&self) -> StorageResult<Option<QueueMessage>> {
+        self.get_message_with_visibility(DEFAULT_VISIBILITY).await
     }
 
     /// `GetMessage` with an explicit visibility timeout.
-    pub fn get_message_with_visibility(
+    pub async fn get_message_with_visibility(
         &self,
         visibility: Duration,
     ) -> StorageResult<Option<QueueMessage>> {
-        match self.policy.run(
-            self.env,
-            &StorageRequest::GetMessage {
-                queue: self.name.clone(),
-                visibility_timeout: visibility,
-            },
-        )? {
+        match self
+            .policy
+            .run(
+                self.env,
+                &StorageRequest::GetMessage {
+                    queue: self.name.clone(),
+                    visibility_timeout: visibility,
+                },
+            )
+            .await?
+        {
             StorageOk::Message(m) => Ok(m),
             other => unreachable!("unexpected response {other:?}"),
         }
     }
 
     /// `PeekMessage`: read without claiming.
-    pub fn peek_message(&self) -> StorageResult<Option<PeekedMessage>> {
-        match self.policy.run(
-            self.env,
-            &StorageRequest::PeekMessage {
-                queue: self.name.clone(),
-            },
-        )? {
+    pub async fn peek_message(&self) -> StorageResult<Option<PeekedMessage>> {
+        match self
+            .policy
+            .run(
+                self.env,
+                &StorageRequest::PeekMessage {
+                    queue: self.name.clone(),
+                },
+            )
+            .await?
+        {
             StorageOk::Peeked(m) => Ok(m),
             other => unreachable!("unexpected response {other:?}"),
         }
     }
 
     /// `DeleteMessage`: remove a claimed message using its pop receipt.
-    pub fn delete_message(&self, msg: &QueueMessage) -> StorageResult<()> {
+    pub async fn delete_message(&self, msg: &QueueMessage) -> StorageResult<()> {
         self.policy
             .run(
                 self.env,
@@ -138,31 +150,40 @@ impl<'e> QueueClient<'e> {
                     pop_receipt: msg.pop_receipt,
                 },
             )
+            .await
             .map(|_| ())
     }
 
     /// Remove every message without deleting the queue; returns how many
     /// were dropped.
-    pub fn clear(&self) -> StorageResult<usize> {
-        match self.policy.run(
-            self.env,
-            &StorageRequest::ClearQueue {
-                queue: self.name.clone(),
-            },
-        )? {
+    pub async fn clear(&self) -> StorageResult<usize> {
+        match self
+            .policy
+            .run(
+                self.env,
+                &StorageRequest::ClearQueue {
+                    queue: self.name.clone(),
+                },
+            )
+            .await?
+        {
             StorageOk::Count(n) => Ok(n),
             other => unreachable!("unexpected response {other:?}"),
         }
     }
 
     /// Approximate message count (visible + invisible).
-    pub fn message_count(&self) -> StorageResult<usize> {
-        match self.policy.run(
-            self.env,
-            &StorageRequest::GetMessageCount {
-                queue: self.name.clone(),
-            },
-        )? {
+    pub async fn message_count(&self) -> StorageResult<usize> {
+        match self
+            .policy
+            .run(
+                self.env,
+                &StorageRequest::GetMessageCount {
+                    queue: self.name.clone(),
+                },
+            )
+            .await?
+        {
             StorageOk::Count(c) => Ok(c),
             other => unreachable!("unexpected response {other:?}"),
         }
@@ -179,21 +200,21 @@ mod tests {
     #[test]
     fn queue_client_end_to_end_in_simulation() {
         let sim = Simulation::new(Cluster::with_defaults(), 3);
-        let report = sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let q = QueueClient::new(&env, "jobs");
-            q.create().unwrap();
-            q.put_message(Bytes::from_static(b"task-1")).unwrap();
-            q.put_message(Bytes::from_static(b"task-2")).unwrap();
-            assert_eq!(q.message_count().unwrap(), 2);
+            q.create().await.unwrap();
+            q.put_message(Bytes::from_static(b"task-1")).await.unwrap();
+            q.put_message(Bytes::from_static(b"task-2")).await.unwrap();
+            assert_eq!(q.message_count().await.unwrap(), 2);
 
-            let peeked = q.peek_message().unwrap().unwrap();
+            let peeked = q.peek_message().await.unwrap().unwrap();
             assert_eq!(peeked.dequeue_count, 0);
 
-            let m = q.get_message().unwrap().unwrap();
-            q.delete_message(&m).unwrap();
-            assert_eq!(q.message_count().unwrap(), 1);
-            q.delete_queue().unwrap();
+            let m = q.get_message().await.unwrap().unwrap();
+            q.delete_message(&m).await.unwrap();
+            assert_eq!(q.message_count().await.unwrap(), 1);
+            q.delete_queue().await.unwrap();
             ctx.now()
         });
         assert!(report.results[0] > azsim_core::SimTime::ZERO);
@@ -211,12 +232,13 @@ mod tests {
         };
         let sim = Simulation::new(Cluster::new(params), 5);
         let n_msgs = 30u32;
-        let report = sim.run_workers(4, move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(4, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let q = QueueClient::new(&env, "shared");
-            q.create().unwrap();
+            q.create().await.unwrap();
             for i in 0..n_msgs {
                 q.put_message(Bytes::from(i.to_le_bytes().to_vec()))
+                    .await
                     .unwrap();
             }
             ctx.now()

@@ -314,11 +314,15 @@ impl ResilientPolicy {
     }
 
     /// Execute `req` against `env` under this policy.
-    pub fn run(&self, env: &dyn Environment, req: &StorageRequest) -> StorageResult<StorageOk> {
+    pub async fn run<E: Environment>(
+        &self,
+        env: &E,
+        req: &StorageRequest,
+    ) -> StorageResult<StorageOk> {
         let pk = req.partition();
         let start = env.now();
 
-        if let Some(err) = self.breaker_gate(env, &pk) {
+        if let Some(err) = self.breaker_gate(env.now(), &pk) {
             return Err(err);
         }
 
@@ -327,7 +331,7 @@ impl ResilientPolicy {
         loop {
             attempt += 1;
             self.state.borrow_mut().stats.attempts += 1;
-            let err = match env.execute(req.clone()) {
+            let err = match env.execute(req.clone()).await {
                 Ok(ok) => {
                     self.record_outcome(env.now(), &pk, None);
                     return Ok(ok);
@@ -381,18 +385,19 @@ impl ResilientPolicy {
                     });
                 }
             }
-            env.sleep(sleep);
+            env.sleep(sleep).await;
         }
     }
 
     /// Fail fast if the partition's breaker is open; transition open →
-    /// half-open when the cooldown has elapsed.
-    fn breaker_gate(&self, env: &dyn Environment, pk: &PartitionKey) -> Option<StorageError> {
+    /// half-open when the cooldown has elapsed. Takes the current time
+    /// rather than an environment so it stays a plain synchronous helper.
+    fn breaker_gate(&self, now: SimTime, pk: &PartitionKey) -> Option<StorageError> {
         self.breaker?;
         let inner = &mut *self.state.borrow_mut();
         let b = inner.breakers.get_mut(pk)?;
         let until = b.open_until?;
-        if env.now() < until {
+        if now < until {
             let err = b.last_error.clone();
             inner.stats.fast_failures += 1;
             return Some(err);
@@ -403,7 +408,7 @@ impl ResilientPolicy {
         b.open_until = None;
         if let Some(events) = &mut inner.events {
             events.push(BreakerEvent {
-                at: env.now(),
+                at: now,
                 partition: pk.clone(),
                 kind: BreakerTransition::HalfOpen,
             });
@@ -502,10 +507,14 @@ impl From<Rc<ResilientPolicy>> for ClientPolicy {
 
 impl ClientPolicy {
     /// Execute `req` against `env` under whichever policy is configured.
-    pub fn run(&self, env: &dyn Environment, req: &StorageRequest) -> StorageResult<StorageOk> {
+    pub async fn run<E: Environment>(
+        &self,
+        env: &E,
+        req: &StorageRequest,
+    ) -> StorageResult<StorageOk> {
         match self {
-            ClientPolicy::Paper(p) => p.run(env, req),
-            ClientPolicy::Resilient(p) => p.run(env, req),
+            ClientPolicy::Paper(p) => p.run(env, req).await,
+            ClientPolicy::Resilient(p) => p.run(env, req).await,
         }
     }
 }
@@ -513,6 +522,7 @@ impl ClientPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use azsim_core::block_on;
     use std::cell::{Cell, RefCell};
     use std::collections::VecDeque;
 
@@ -544,16 +554,22 @@ mod tests {
         fn now(&self) -> SimTime {
             self.clock.get()
         }
-        fn sleep(&self, d: Duration) {
+        fn sleep(&self, d: Duration) -> impl std::future::Future<Output = ()> {
             self.slept.borrow_mut().push(d);
             self.advance(d);
+            std::future::ready(())
         }
-        fn execute(&self, _req: StorageRequest) -> StorageResult<StorageOk> {
+        fn execute(
+            &self,
+            _req: StorageRequest,
+        ) -> impl std::future::Future<Output = StorageResult<StorageOk>> {
             self.calls.set(self.calls.get() + 1);
-            self.script
-                .borrow_mut()
-                .pop_front()
-                .unwrap_or(Ok(StorageOk::Ack))
+            std::future::ready(
+                self.script
+                    .borrow_mut()
+                    .pop_front()
+                    .unwrap_or(Ok(StorageOk::Ack)),
+            )
         }
         fn instance(&self) -> usize {
             0
@@ -606,7 +622,7 @@ mod tests {
     fn retries_transient_errors_with_bounded_jitter() {
         let env = ScriptedEnv::new(vec![busy(0), fault(0), busy(0)]);
         let policy = ResilientPolicy::new(7);
-        policy.run(&env, &req()).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
         assert_eq!(env.calls.get(), 4);
         let slept = env.slept.borrow();
         assert_eq!(slept.len(), 3);
@@ -623,7 +639,7 @@ mod tests {
     fn longer_retry_after_hint_wins_over_jitter() {
         let env = ScriptedEnv::new(vec![busy(5_000)]);
         let policy = ResilientPolicy::new(1);
-        policy.run(&env, &req()).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
         assert_eq!(env.slept.borrow()[0], Duration::from_secs(5));
     }
 
@@ -631,10 +647,12 @@ mod tests {
     fn jitter_sequence_is_seed_deterministic() {
         let sleeps = |seed: u64| {
             let env = ScriptedEnv::new(vec![busy(0); 5]);
-            ResilientPolicy::new(seed)
-                .with_breaker(None)
-                .run(&env, &req())
-                .unwrap();
+            block_on(
+                ResilientPolicy::new(seed)
+                    .with_breaker(None)
+                    .run(&env, &req()),
+            )
+            .unwrap();
             let slept = env.slept.borrow().clone();
             slept
         };
@@ -645,7 +663,7 @@ mod tests {
     #[test]
     fn permanent_errors_abort_immediately() {
         let env = ScriptedEnv::new(vec![Err(StorageError::QueueNotFound("q".into()))]);
-        let r = ResilientPolicy::new(0).run(&env, &req());
+        let r = block_on(ResilientPolicy::new(0).run(&env, &req()));
         assert!(matches!(r, Err(StorageError::QueueNotFound(_))));
         assert_eq!(env.calls.get(), 1);
         assert!(env.slept.borrow().is_empty());
@@ -660,13 +678,15 @@ mod tests {
         };
         // Default: retried like any transient error.
         let env = ScriptedEnv::new(vec![timeout()]);
-        ResilientPolicy::new(0).run(&env, &req()).unwrap();
+        block_on(ResilientPolicy::new(0).run(&env, &req())).unwrap();
         assert_eq!(env.calls.get(), 2);
         // At-most-once: aborted.
         let env = ScriptedEnv::new(vec![timeout()]);
-        let r = ResilientPolicy::new(0)
-            .abort_on_ambiguous()
-            .run(&env, &req());
+        let r = block_on(
+            ResilientPolicy::new(0)
+                .abort_on_ambiguous()
+                .run(&env, &req()),
+        );
         assert!(matches!(r, Err(StorageError::Timeout { .. })));
         assert_eq!(env.calls.get(), 1);
     }
@@ -682,7 +702,7 @@ mod tests {
                 multiplier: 1.0,
             })
             .with_deadline(Duration::from_millis(100));
-        let r = policy.run(&env, &req());
+        let r = block_on(policy.run(&env, &req()));
         assert!(matches!(r, Err(StorageError::Timeout { .. })));
         // One 60 ms sleep fits the 100 ms budget; the second would not.
         assert_eq!(env.slept.borrow().len(), 1);
@@ -693,7 +713,7 @@ mod tests {
     fn gives_up_after_max_attempts() {
         let env = ScriptedEnv::new(vec![busy(0); 100]);
         let policy = ResilientPolicy::new(0).with_max_attempts(3);
-        let r = policy.run(&env, &req());
+        let r = block_on(policy.run(&env, &req()));
         assert!(matches!(r, Err(StorageError::ServerBusy { .. })));
         assert_eq!(env.calls.get(), 3);
         assert_eq!(policy.stats().giveups, 1);
@@ -709,24 +729,23 @@ mod tests {
                 cooldown: Duration::from_secs(30),
             }));
         for _ in 0..3 {
-            policy.run(&env, &req()).unwrap_err();
+            block_on(policy.run(&env, &req())).unwrap_err();
         }
         assert_eq!(env.calls.get(), 3);
         assert_eq!(policy.stats().breaker_opens, 1);
         // Open: the next call is rejected locally without cluster traffic.
-        let r = policy.run(&env, &req());
+        let r = block_on(policy.run(&env, &req()));
         assert!(matches!(r, Err(StorageError::ServerFault { .. })));
         assert_eq!(env.calls.get(), 3);
         assert_eq!(policy.stats().fast_failures, 1);
         // A different partition is unaffected.
-        policy
-            .run(
-                &env,
-                &StorageRequest::GetMessageCount {
-                    queue: "other".into(),
-                },
-            )
-            .unwrap_err();
+        block_on(policy.run(
+            &env,
+            &StorageRequest::GetMessageCount {
+                queue: "other".into(),
+            },
+        ))
+        .unwrap_err();
         assert_eq!(env.calls.get(), 4);
     }
 
@@ -739,14 +758,14 @@ mod tests {
                 failure_threshold: 2,
                 cooldown: Duration::from_secs(1),
             }));
-        policy.run(&env, &req()).unwrap_err();
-        policy.run(&env, &req()).unwrap_err();
+        block_on(policy.run(&env, &req())).unwrap_err();
+        block_on(policy.run(&env, &req())).unwrap_err();
         assert_eq!(policy.stats().breaker_opens, 1);
         env.advance(Duration::from_secs(2));
         // Half-open probe succeeds (script exhausted → Ack) and closes the
         // breaker: further calls flow normally.
-        policy.run(&env, &req()).unwrap();
-        policy.run(&env, &req()).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
         assert_eq!(env.calls.get(), 4);
         assert_eq!(policy.stats().fast_failures, 0);
     }
@@ -761,12 +780,12 @@ mod tests {
                 cooldown: Duration::from_secs(1),
             }))
             .with_event_log();
-        policy.run(&env, &req()).unwrap_err();
-        policy.run(&env, &req()).unwrap_err();
+        block_on(policy.run(&env, &req())).unwrap_err();
+        block_on(policy.run(&env, &req())).unwrap_err();
         let open_at = env.now();
         env.advance(Duration::from_secs(2));
         // Half-open probe succeeds (script exhausted → Ack) and closes.
-        policy.run(&env, &req()).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
         let events = policy.take_breaker_events();
         let pk = req().partition();
         assert_eq!(
@@ -799,7 +818,7 @@ mod tests {
         // emit Closed — the breaker never opened.
         let env = ScriptedEnv::new(vec![fault(0), Ok(StorageOk::Ack)]);
         let policy = ResilientPolicy::new(0).with_event_log();
-        policy.run(&env, &req()).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
         assert!(policy.take_breaker_events().is_empty());
     }
 }

@@ -37,15 +37,19 @@ impl RetryPolicy {
     /// Execute `req` against `env`, sleeping and retrying on `ServerBusy`
     /// until it succeeds, fails with a non-retryable error, or attempts run
     /// out.
-    pub fn run(&self, env: &dyn Environment, req: &StorageRequest) -> StorageResult<StorageOk> {
+    pub async fn run<E: Environment>(
+        &self,
+        env: &E,
+        req: &StorageRequest,
+    ) -> StorageResult<StorageOk> {
         let mut attempt = 0;
         loop {
             attempt += 1;
-            match env.execute(req.clone()) {
+            match env.execute(req.clone()).await {
                 Err(StorageError::ServerBusy { retry_after }) if attempt < self.max_attempts => {
                     // Sleep at least the configured backoff, but honour a
                     // longer server-provided hint.
-                    env.sleep(self.backoff.max(retry_after));
+                    env.sleep(self.backoff.max(retry_after)).await;
                 }
                 other => return other,
             }
@@ -56,7 +60,7 @@ impl RetryPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use azsim_core::SimTime;
+    use azsim_core::{block_on, SimTime};
     use std::cell::{Cell, RefCell};
 
     /// An environment that fails with ServerBusy a fixed number of times.
@@ -70,19 +74,23 @@ mod tests {
         fn now(&self) -> SimTime {
             SimTime::ZERO
         }
-        fn sleep(&self, d: Duration) {
+        fn sleep(&self, d: Duration) -> impl std::future::Future<Output = ()> {
             self.slept.borrow_mut().push(d);
+            std::future::ready(())
         }
-        fn execute(&self, _req: StorageRequest) -> StorageResult<StorageOk> {
+        fn execute(
+            &self,
+            _req: StorageRequest,
+        ) -> impl std::future::Future<Output = StorageResult<StorageOk>> {
             self.calls.set(self.calls.get() + 1);
-            if self.failures_left.get() > 0 {
+            std::future::ready(if self.failures_left.get() > 0 {
                 self.failures_left.set(self.failures_left.get() - 1);
                 Err(StorageError::ServerBusy {
                     retry_after: Duration::from_millis(100),
                 })
             } else {
                 Ok(StorageOk::Ack)
-            }
+            })
         }
         fn instance(&self) -> usize {
             0
@@ -105,7 +113,7 @@ mod tests {
     fn retries_until_success() {
         let env = flaky(3);
         let policy = RetryPolicy::default();
-        policy.run(&env, &req()).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
         assert_eq!(env.calls.get(), 4);
         assert_eq!(env.slept.borrow().len(), 3);
         // Paper behaviour: the server hint (100 ms) is shorter than the
@@ -126,7 +134,7 @@ mod tests {
             max_attempts: 10,
             backoff: Duration::from_millis(10),
         };
-        policy.run(&env, &req()).unwrap();
+        block_on(policy.run(&env, &req())).unwrap();
         assert_eq!(
             *env.slept.borrow(),
             vec![Duration::from_millis(100), Duration::from_millis(100)]
@@ -140,7 +148,7 @@ mod tests {
             max_attempts: 5,
             backoff: Duration::from_secs(1),
         };
-        let r = policy.run(&env, &req());
+        let r = block_on(policy.run(&env, &req()));
         assert!(matches!(r, Err(StorageError::ServerBusy { .. })));
         assert_eq!(env.calls.get(), 5);
     }
@@ -148,7 +156,7 @@ mod tests {
     #[test]
     fn no_retry_policy_fails_fast() {
         let env = flaky(1);
-        let r = RetryPolicy::none().run(&env, &req());
+        let r = block_on(RetryPolicy::none().run(&env, &req()));
         assert!(r.is_err());
         assert_eq!(env.calls.get(), 1);
         assert!(env.slept.borrow().is_empty());
@@ -161,17 +169,20 @@ mod tests {
             fn now(&self) -> SimTime {
                 SimTime::ZERO
             }
-            fn sleep(&self, _d: Duration) {
-                panic!("must not sleep on non-retryable errors");
+            async fn sleep(&self, _d: Duration) {
+                panic!("must not sleep on non-retryable errors")
             }
-            fn execute(&self, _req: StorageRequest) -> StorageResult<StorageOk> {
-                Err(StorageError::QueueNotFound("q".into()))
+            fn execute(
+                &self,
+                _req: StorageRequest,
+            ) -> impl std::future::Future<Output = StorageResult<StorageOk>> {
+                std::future::ready(Err(StorageError::QueueNotFound("q".into())))
             }
             fn instance(&self) -> usize {
                 0
             }
         }
-        let r = RetryPolicy::default().run(&AlwaysMissing, &req());
+        let r = block_on(RetryPolicy::default().run(&AlwaysMissing, &req()));
         assert!(matches!(r, Err(StorageError::QueueNotFound(_))));
     }
 }

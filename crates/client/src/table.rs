@@ -7,15 +7,15 @@ use azsim_storage::{
 };
 
 /// A client bound to one table.
-pub struct TableClient<'e> {
-    env: &'e dyn Environment,
+pub struct TableClient<'e, E: Environment> {
+    env: &'e E,
     table: String,
     policy: ClientPolicy,
 }
 
-impl<'e> TableClient<'e> {
+impl<'e, E: Environment> TableClient<'e, E> {
     /// Bind a client to `table`.
-    pub fn new(env: &'e dyn Environment, table: impl Into<String>) -> Self {
+    pub fn new(env: &'e E, table: impl Into<String>) -> Self {
         TableClient {
             env,
             table: table.into(),
@@ -35,72 +35,86 @@ impl<'e> TableClient<'e> {
         &self.table
     }
 
-    fn run(&self, req: StorageRequest) -> StorageResult<StorageOk> {
-        self.policy.run(self.env, &req)
+    async fn run(&self, req: StorageRequest) -> StorageResult<StorageOk> {
+        self.policy.run(self.env, &req).await
     }
 
     /// Create the table (idempotent).
-    pub fn create_table(&self) -> StorageResult<()> {
+    pub async fn create_table(&self) -> StorageResult<()> {
         self.run(StorageRequest::CreateTable {
             table: self.table.clone(),
         })
+        .await
         .map(|_| ())
     }
 
     /// Delete the table and all entities.
-    pub fn delete_table(&self) -> StorageResult<()> {
+    pub async fn delete_table(&self) -> StorageResult<()> {
         self.run(StorageRequest::DeleteTable {
             table: self.table.clone(),
         })
+        .await
         .map(|_| ())
     }
 
     /// Insert a new entity (`AddRow` in the paper's pseudocode).
-    pub fn insert(&self, entity: Entity) -> StorageResult<ETag> {
-        match self.run(StorageRequest::InsertEntity {
-            table: self.table.clone(),
-            entity,
-        })? {
+    pub async fn insert(&self, entity: Entity) -> StorageResult<ETag> {
+        match self
+            .run(StorageRequest::InsertEntity {
+                table: self.table.clone(),
+                entity,
+            })
+            .await?
+        {
             StorageOk::Tag(t) => Ok(t),
             other => unreachable!("unexpected response {other:?}"),
         }
     }
 
     /// Point query by key pair (`Query` in the paper's pseudocode).
-    pub fn query(&self, partition: &str, row: &str) -> StorageResult<Option<(Entity, ETag)>> {
-        match self.run(StorageRequest::QueryEntity {
-            table: self.table.clone(),
-            partition: partition.to_owned(),
-            row: row.to_owned(),
-        })? {
+    pub async fn query(&self, partition: &str, row: &str) -> StorageResult<Option<(Entity, ETag)>> {
+        match self
+            .run(StorageRequest::QueryEntity {
+                table: self.table.clone(),
+                partition: partition.to_owned(),
+                row: row.to_owned(),
+            })
+            .await?
+        {
             StorageOk::Entity(e) => Ok(e),
             other => unreachable!("unexpected response {other:?}"),
         }
     }
 
     /// All entities of one partition, row-key ordered.
-    pub fn query_partition(&self, partition: &str) -> StorageResult<Vec<(Entity, ETag)>> {
-        match self.run(StorageRequest::QueryPartition {
-            table: self.table.clone(),
-            partition: partition.to_owned(),
-        })? {
+    pub async fn query_partition(&self, partition: &str) -> StorageResult<Vec<(Entity, ETag)>> {
+        match self
+            .run(StorageRequest::QueryPartition {
+                table: self.table.clone(),
+                partition: partition.to_owned(),
+            })
+            .await?
+        {
             StorageOk::Entities(es) => Ok(es),
             other => unreachable!("unexpected response {other:?}"),
         }
     }
 
     /// Unconditional update — the paper's wildcard-`*` ETag flavour.
-    pub fn update(&self, entity: Entity) -> StorageResult<ETag> {
-        self.update_if(entity, EtagCondition::Any)
+    pub async fn update(&self, entity: Entity) -> StorageResult<ETag> {
+        self.update_if(entity, EtagCondition::Any).await
     }
 
     /// Conditional update.
-    pub fn update_if(&self, entity: Entity, condition: EtagCondition) -> StorageResult<ETag> {
-        match self.run(StorageRequest::UpdateEntity {
-            table: self.table.clone(),
-            entity,
-            condition,
-        })? {
+    pub async fn update_if(&self, entity: Entity, condition: EtagCondition) -> StorageResult<ETag> {
+        match self
+            .run(StorageRequest::UpdateEntity {
+                table: self.table.clone(),
+                entity,
+                condition,
+            })
+            .await?
+        {
             StorageOk::Tag(t) => Ok(t),
             other => unreachable!("unexpected response {other:?}"),
         }
@@ -108,28 +122,32 @@ impl<'e> TableClient<'e> {
 
     /// Execute an entity-group transaction: up to 100 operations against
     /// one partition, applied atomically (all or nothing).
-    pub fn execute_batch(
+    pub async fn execute_batch(
         &self,
         partition: &str,
         ops: Vec<TableBatchOp>,
     ) -> StorageResult<Vec<Option<ETag>>> {
-        match self.run(StorageRequest::ExecuteBatch {
-            table: self.table.clone(),
-            partition: partition.to_owned(),
-            ops,
-        })? {
+        match self
+            .run(StorageRequest::ExecuteBatch {
+                table: self.table.clone(),
+                partition: partition.to_owned(),
+                ops,
+            })
+            .await?
+        {
             StorageOk::BatchTags(tags) => Ok(tags),
             other => unreachable!("unexpected response {other:?}"),
         }
     }
 
     /// Unconditional delete.
-    pub fn delete_entity(&self, partition: &str, row: &str) -> StorageResult<()> {
+    pub async fn delete_entity(&self, partition: &str, row: &str) -> StorageResult<()> {
         self.delete_entity_if(partition, row, EtagCondition::Any)
+            .await
     }
 
     /// Conditional delete.
-    pub fn delete_entity_if(
+    pub async fn delete_entity_if(
         &self,
         partition: &str,
         row: &str,
@@ -141,6 +159,7 @@ impl<'e> TableClient<'e> {
             row: row.to_owned(),
             condition,
         })
+        .await
         .map(|_| ())
     }
 }
@@ -156,29 +175,29 @@ mod tests {
     #[test]
     fn table_crud_via_client() {
         let sim = Simulation::new(Cluster::with_defaults(), 17);
-        sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
+        sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let t = TableClient::new(&env, "results");
-            t.create_table().unwrap();
+            t.create_table().await.unwrap();
 
             let e = Entity::new("p0", "r0").with("score", PropValue::I64(10));
-            let tag = t.insert(e).unwrap();
+            let tag = t.insert(e).await.unwrap();
 
-            let (got, got_tag) = t.query("p0", "r0").unwrap().unwrap();
+            let (got, got_tag) = t.query("p0", "r0").await.unwrap().unwrap();
             assert_eq!(got.properties["score"], PropValue::I64(10));
             assert_eq!(got_tag, tag);
 
             let e2 = Entity::new("p0", "r0").with("score", PropValue::I64(20));
-            let tag2 = t.update(e2).unwrap();
+            let tag2 = t.update(e2).await.unwrap();
             assert_ne!(tag, tag2);
 
             // Stale conditional update fails.
             let e3 = Entity::new("p0", "r0").with("score", PropValue::I64(30));
-            assert!(t.update_if(e3, EtagCondition::Match(tag)).is_err());
+            assert!(t.update_if(e3, EtagCondition::Match(tag)).await.is_err());
 
-            t.delete_entity("p0", "r0").unwrap();
-            assert!(t.query("p0", "r0").unwrap().is_none());
-            t.delete_table().unwrap();
+            t.delete_entity("p0", "r0").await.unwrap();
+            assert!(t.query("p0", "r0").await.unwrap().is_none());
+            t.delete_table().await.unwrap();
         });
     }
 
@@ -187,16 +206,17 @@ mod tests {
         let n = 4usize;
         let rows = 20usize;
         let sim = Simulation::new(Cluster::with_defaults(), 23);
-        let report = sim.run_workers(n, move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(n, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let t = TableClient::new(&env, "bench");
-            t.create_table().unwrap();
+            t.create_table().await.unwrap();
             let pk = format!("role-{}", env.instance());
             for r in 0..rows {
                 t.insert(Entity::new(&pk, r.to_string()).with("v", PropValue::I64(r as i64)))
+                    .await
                     .unwrap();
             }
-            t.query_partition(&pk).unwrap().len()
+            t.query_partition(&pk).await.unwrap().len()
         });
         assert!(report.results.iter().all(|&len| len == rows));
         assert_eq!(

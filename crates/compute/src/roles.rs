@@ -2,9 +2,10 @@
 
 use crate::provisioning::ProvisioningModel;
 use crate::vm::VmSize;
-use azsim_core::runtime::{ActorCtx, ActorFn, SimReport};
+use azsim_core::runtime::{actor, ActorCtx, ActorFn, ActorFuture, SimReport};
 use azsim_core::Simulation;
 use azsim_fabric::{Cluster, ClusterParams};
+use std::future::Future;
 use std::sync::Arc;
 
 /// What a running role instance knows about itself — the analogue of the
@@ -29,17 +30,23 @@ struct RoleSpec<'a, R> {
     vm: VmSize,
     instances: usize,
     #[allow(clippy::type_complexity)]
-    body: Arc<dyn Fn(&ActorCtx<Cluster>, RoleEnvironment) -> R + Send + Sync + 'a>,
+    body: Arc<dyn Fn(ActorCtx<Cluster>, RoleEnvironment) -> ActorFuture<'a, R> + 'a>,
 }
 
 /// Builder for a deployment: a cluster plus a heterogeneous set of roles.
+///
+/// Role bodies are async — awaiting a storage call or a sleep suspends the
+/// instance's coroutine until the simulation's event heap delivers the
+/// wakeup.
 ///
 /// ```
 /// use azsim_compute::{Deployment, VmSize};
 /// use azsim_fabric::ClusterParams;
 ///
 /// let report = Deployment::new(ClusterParams::default(), 7)
-///     .with_role("worker", 4, VmSize::Small, |_ctx, env| env.instance)
+///     .with_role("worker", 4, VmSize::Small, |_ctx, env| async move {
+///         env.instance
+///     })
 ///     .run();
 /// assert_eq!(report.results, vec![0, 1, 2, 3]);
 /// ```
@@ -50,7 +57,7 @@ pub struct Deployment<'a, R> {
     provisioning: ProvisioningModel,
 }
 
-impl<'a, R: Send + 'a> Deployment<'a, R> {
+impl<'a, R: 'a> Deployment<'a, R> {
     /// Start a deployment over a cluster with `params`, deterministic under
     /// `seed`.
     pub fn new(params: ClusterParams, seed: u64) -> Self {
@@ -71,20 +78,24 @@ impl<'a, R: Send + 'a> Deployment<'a, R> {
         self
     }
 
-    /// Add `instances` instances of a role running `body` on `vm`-sized
-    /// machines.
-    pub fn with_role(
+    /// Add `instances` instances of a role running the async `body` on
+    /// `vm`-sized machines.
+    pub fn with_role<F, Fut>(
         mut self,
         name: impl Into<String>,
         instances: usize,
         vm: VmSize,
-        body: impl Fn(&ActorCtx<Cluster>, RoleEnvironment) -> R + Send + Sync + 'a,
-    ) -> Self {
+        body: F,
+    ) -> Self
+    where
+        F: Fn(ActorCtx<Cluster>, RoleEnvironment) -> Fut + 'a,
+        Fut: Future<Output = R> + 'a,
+    {
         self.roles.push(RoleSpec {
             name: name.into(),
             vm,
             instances,
-            body: Arc::new(body),
+            body: Arc::new(move |ctx, env| Box::pin(body(ctx, env)) as ActorFuture<'a, R>),
         });
         self
     }
@@ -96,26 +107,26 @@ impl<'a, R: Send + 'a> Deployment<'a, R> {
     pub fn run(self) -> SimReport<Cluster, R> {
         let mut cluster = Cluster::new(self.params);
         let mut actors: Vec<ActorFn<'a, Cluster, R>> = Vec::new();
-        let mut actor = 0usize;
+        let mut actor_id = 0usize;
         for spec in self.roles {
             for instance in 0..spec.instances {
-                cluster.set_actor_nic(actor, spec.vm.nic_bandwidth());
+                cluster.set_actor_nic(actor_id, spec.vm.nic_bandwidth());
                 let env = RoleEnvironment {
                     role: spec.name.clone(),
                     instance,
                     instance_count: spec.instances,
-                    actor,
+                    actor: actor_id,
                     vm: spec.vm,
                 };
                 let body = Arc::clone(&spec.body);
-                let boot = self.provisioning.ready_at(actor, spec.vm);
-                actors.push(Box::new(move |ctx: &ActorCtx<Cluster>| {
+                let boot = self.provisioning.ready_at(actor_id, spec.vm);
+                actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
                     if boot > std::time::Duration::ZERO {
-                        ctx.sleep(boot);
+                        ctx.sleep(boot).await;
                     }
-                    body(ctx, env)
+                    body(ctx, env).await
                 }));
-                actor += 1;
+                actor_id += 1;
             }
         }
         Simulation::new(cluster, self.seed).run(actors)
@@ -139,7 +150,7 @@ mod tests {
         let expected0 = model.ready_at(0, VmSize::Small);
         let report = Deployment::new(ClusterParams::default(), 9)
             .with_provisioning(model)
-            .with_role("w", 2, VmSize::Small, |ctx, _env| ctx.now())
+            .with_role("w", 2, VmSize::Small, |ctx, _env| async move { ctx.now() })
             .run();
         assert_eq!(report.results[0].as_nanos(), expected0.as_nanos() as u64);
         // The second instance comes online one wave gap later.
@@ -152,10 +163,10 @@ mod tests {
     #[test]
     fn heterogeneous_roles_get_correct_metadata() {
         let report = Deployment::new(ClusterParams::default(), 1)
-            .with_role("web", 1, VmSize::Large, |_ctx, env| {
+            .with_role("web", 1, VmSize::Large, |_ctx, env| async move {
                 format!("{}:{}/{}", env.role, env.instance, env.instance_count)
             })
-            .with_role("worker", 3, VmSize::Small, |_ctx, env| {
+            .with_role("worker", 3, VmSize::Small, |_ctx, env| async move {
                 format!("{}:{}/{}", env.role, env.instance, env.instance_count)
             })
             .run();
@@ -171,10 +182,11 @@ mod tests {
         // (5 Mbit/s shared NIC) than from an Extra Large one (800 Mbit/s).
         let upload_cost = |vm: VmSize| {
             let report = Deployment::new(ClusterParams::default(), 2)
-                .with_role("w", 1, vm, |ctx, _env| {
+                .with_role("w", 1, vm, |ctx, _env| async move {
                     ctx.call(StorageRequest::CreateContainer {
                         container: "c".into(),
                     })
+                    .await
                     .unwrap();
                     let t0 = ctx.now();
                     ctx.call(StorageRequest::UploadBlockBlob {
@@ -182,6 +194,7 @@ mod tests {
                         blob: "b".into(),
                         data: Bytes::from(vec![0u8; 1 << 20]),
                     })
+                    .await
                     .unwrap();
                     ctx.now() - t0
                 })
@@ -199,11 +212,11 @@ mod tests {
     #[test]
     fn actor_ids_are_globally_dense() {
         let report = Deployment::new(ClusterParams::default(), 3)
-            .with_role("a", 2, VmSize::Small, |ctx, env| {
+            .with_role("a", 2, VmSize::Small, |ctx, env| async move {
                 assert_eq!(ctx.id().0, env.actor);
                 env.actor
             })
-            .with_role("b", 2, VmSize::Small, |ctx, env| {
+            .with_role("b", 2, VmSize::Small, |ctx, env| async move {
                 assert_eq!(ctx.id().0, env.actor);
                 env.actor
             })

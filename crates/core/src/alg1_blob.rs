@@ -97,13 +97,13 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
     let seed = cfg.seed;
 
     let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(workers, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         let blobs = BlobClient::new(&env, "azurebench");
-        blobs.create_container().unwrap();
+        blobs.create_container().await.unwrap();
         let mut barrier = QueueBarrier::new(&env, "alg1-sync", workers);
-        barrier.init().unwrap();
+        barrier.init().await.unwrap();
         let mut gen = PayloadGen::new(seed, me as u64);
         let mut samples: Vec<PhaseSample> = Vec::new();
 
@@ -129,9 +129,10 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
             if me == 0 {
                 blobs
                     .create_page_blob(&page_blob, (chunks * chunk_bytes) as u64)
+                    .await
                     .unwrap();
             }
-            barrier.wait().unwrap();
+            barrier.wait().await.unwrap();
 
             // ---- Page blob upload ----
             let t0 = env.now();
@@ -139,6 +140,7 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 let content = gen.bytes(chunk_bytes);
                 blobs
                     .put_page(&page_blob, (chunk * chunk_bytes) as u64, content)
+                    .await
                     .unwrap();
             }
             record(
@@ -155,6 +157,7 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 let content = gen.bytes(chunk_bytes);
                 blobs
                     .put_block(&block_blob, format!("{chunk:06}"), content)
+                    .await
                     .unwrap();
             }
             let staged_end = env.now();
@@ -165,12 +168,12 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 staged_end,
                 ((hi - lo) * chunk_bytes) as u64,
             );
-            barrier.wait().unwrap();
+            barrier.wait().await.unwrap();
             if me == 0 {
                 let ids: Vec<String> = (0..chunks).map(|c| format!("{c:06}")).collect();
-                blobs.put_block_list(&block_blob, ids).unwrap();
+                blobs.put_block_list(&block_blob, ids).await.unwrap();
             }
-            barrier.wait().unwrap();
+            barrier.wait().await.unwrap();
 
             // ---- Random page reads (every worker reads `chunks` pages) ----
             let t0 = env.now();
@@ -178,6 +181,7 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 let chunk = ctx.with_rng(|r| rand::Rng::random_range(r, 0..chunks));
                 let data = blobs
                     .get_page(&page_blob, (chunk * chunk_bytes) as u64, chunk_bytes as u64)
+                    .await
                     .unwrap();
                 assert_eq!(data.len(), chunk_bytes);
             }
@@ -192,7 +196,7 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
             // ---- Sequential block reads ----
             let t0 = env.now();
             for block in 0..chunks {
-                let data = blobs.get_block(&block_blob, block).unwrap();
+                let data = blobs.get_block(&block_blob, block).await.unwrap();
                 assert_eq!(data.len(), chunk_bytes);
             }
             record(
@@ -202,11 +206,11 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 env.now(),
                 (chunks * chunk_bytes) as u64,
             );
-            barrier.wait().unwrap();
+            barrier.wait().await.unwrap();
 
             // ---- Whole-blob downloads ----
             let t0 = env.now();
-            let data = blobs.download(&page_blob).unwrap();
+            let data = blobs.download(&page_blob).await.unwrap();
             record(
                 &mut samples,
                 BlobPhase::PageFullDownload,
@@ -215,7 +219,7 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 data.len() as u64,
             );
             let t0 = env.now();
-            let data = blobs.download(&block_blob).unwrap();
+            let data = blobs.download(&block_blob).await.unwrap();
             record(
                 &mut samples,
                 BlobPhase::BlockFullDownload,
@@ -223,13 +227,13 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 env.now(),
                 data.len() as u64,
             );
-            barrier.wait().unwrap();
+            barrier.wait().await.unwrap();
 
             if me == 0 {
-                blobs.delete(&page_blob).unwrap();
-                blobs.delete(&block_blob).unwrap();
+                blobs.delete(&page_blob).await.unwrap();
+                blobs.delete(&block_blob).await.unwrap();
             }
-            barrier.wait().unwrap();
+            barrier.wait().await.unwrap();
         }
         samples
     });

@@ -58,52 +58,56 @@ pub fn run_alg3(cfg: &BenchConfig, workers: usize) -> Alg3Result {
 
     let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
     let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
-        let me = env.instance();
-        let queue = QueueClient::new(&env, format!("AzureBenchQueue{me}"));
-        queue.create().unwrap();
-        let mut gen = PayloadGen::new(seed, me as u64);
-        let mut out: Vec<((usize, QueueOp), f64)> = Vec::new();
+        let sizes = sizes.clone();
+        async move {
+            let env = VirtualEnv::new(&ctx);
+            let me = env.instance();
+            let queue = QueueClient::new(&env, format!("AzureBenchQueue{me}"));
+            queue.create().await.unwrap();
+            let mut gen = PayloadGen::new(seed, me as u64);
+            let mut out: Vec<((usize, QueueOp), f64)> = Vec::new();
 
-        for &size in &sizes {
-            // ---- Put phase ----
-            let t0 = env.now();
-            for _ in 0..per_worker {
-                queue.put_message(gen.bytes(size)).unwrap();
-            }
-            out.push((
-                (size, QueueOp::Put),
-                env.now().saturating_since(t0).as_secs_f64(),
-            ));
+            for &size in &sizes {
+                // ---- Put phase ----
+                let t0 = env.now();
+                for _ in 0..per_worker {
+                    queue.put_message(gen.bytes(size)).await.unwrap();
+                }
+                out.push((
+                    (size, QueueOp::Put),
+                    env.now().saturating_since(t0).as_secs_f64(),
+                ));
 
-            // ---- Peek phase ----
-            let t0 = env.now();
-            for _ in 0..per_worker {
-                let m = queue.peek_message().unwrap();
-                assert!(m.is_some(), "peek must find a message");
-            }
-            out.push((
-                (size, QueueOp::Peek),
-                env.now().saturating_since(t0).as_secs_f64(),
-            ));
+                // ---- Peek phase ----
+                let t0 = env.now();
+                for _ in 0..per_worker {
+                    let m = queue.peek_message().await.unwrap();
+                    assert!(m.is_some(), "peek must find a message");
+                }
+                out.push((
+                    (size, QueueOp::Peek),
+                    env.now().saturating_since(t0).as_secs_f64(),
+                ));
 
-            // ---- Get (+ delete) phase ----
-            let t0 = env.now();
-            for _ in 0..per_worker {
-                let m = queue
-                    .get_message_with_visibility(Duration::from_secs(3600))
-                    .unwrap()
-                    .expect("queue must not run dry");
-                assert_eq!(m.data.len(), size);
-                queue.delete_message(&m).unwrap();
+                // ---- Get (+ delete) phase ----
+                let t0 = env.now();
+                for _ in 0..per_worker {
+                    let m = queue
+                        .get_message_with_visibility(Duration::from_secs(3600))
+                        .await
+                        .unwrap()
+                        .expect("queue must not run dry");
+                    assert_eq!(m.data.len(), size);
+                    queue.delete_message(&m).await.unwrap();
+                }
+                out.push((
+                    (size, QueueOp::Get),
+                    env.now().saturating_since(t0).as_secs_f64(),
+                ));
             }
-            out.push((
-                (size, QueueOp::Get),
-                env.now().saturating_since(t0).as_secs_f64(),
-            ));
+            queue.delete_queue().await.unwrap();
+            out
         }
-        queue.delete_queue().unwrap();
-        out
     });
 
     // Average phase time across workers; per-op mean = phase / count.

@@ -69,57 +69,60 @@ pub fn run_alg5(cfg: &BenchConfig, workers: usize) -> Alg5Result {
 
     let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
     let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
-        let me = env.instance();
-        let table = TableClient::new(&env, "AzureBenchTable");
-        table.create_table().unwrap();
-        let pk = format!("role-{me}");
-        let mut gen = PayloadGen::new(seed, me as u64);
-        let mut out: Vec<((usize, TableOp), f64)> = Vec::new();
+        let sizes = sizes.clone();
+        async move {
+            let env = VirtualEnv::new(&ctx);
+            let me = env.instance();
+            let table = TableClient::new(&env, "AzureBenchTable");
+            table.create_table().await.unwrap();
+            let pk = format!("role-{me}");
+            let mut gen = PayloadGen::new(seed, me as u64);
+            let mut out: Vec<((usize, TableOp), f64)> = Vec::new();
 
-        for &size in &sizes {
-            // ---- Insert ----
-            let t0 = env.now();
-            for rk in 0..count {
-                table.insert(entity(&pk, rk, &mut gen, size)).unwrap();
-            }
-            out.push((
-                (size, TableOp::Insert),
-                env.now().saturating_since(t0).as_secs_f64(),
-            ));
+            for &size in &sizes {
+                // ---- Insert ----
+                let t0 = env.now();
+                for rk in 0..count {
+                    table.insert(entity(&pk, rk, &mut gen, size)).await.unwrap();
+                }
+                out.push((
+                    (size, TableOp::Insert),
+                    env.now().saturating_since(t0).as_secs_f64(),
+                ));
 
-            // ---- Query ----
-            let t0 = env.now();
-            for rk in 0..count {
-                let got = table.query(&pk, &rk.to_string()).unwrap();
-                assert!(got.is_some(), "query must hit");
-            }
-            out.push((
-                (size, TableOp::Query),
-                env.now().saturating_since(t0).as_secs_f64(),
-            ));
+                // ---- Query ----
+                let t0 = env.now();
+                for rk in 0..count {
+                    let got = table.query(&pk, &rk.to_string()).await.unwrap();
+                    assert!(got.is_some(), "query must hit");
+                }
+                out.push((
+                    (size, TableOp::Query),
+                    env.now().saturating_since(t0).as_secs_f64(),
+                ));
 
-            // ---- Update (wildcard ETag) ----
-            let t0 = env.now();
-            for rk in 0..count {
-                table.update(entity(&pk, rk, &mut gen, size)).unwrap();
-            }
-            out.push((
-                (size, TableOp::Update),
-                env.now().saturating_since(t0).as_secs_f64(),
-            ));
+                // ---- Update (wildcard ETag) ----
+                let t0 = env.now();
+                for rk in 0..count {
+                    table.update(entity(&pk, rk, &mut gen, size)).await.unwrap();
+                }
+                out.push((
+                    (size, TableOp::Update),
+                    env.now().saturating_since(t0).as_secs_f64(),
+                ));
 
-            // ---- Delete ----
-            let t0 = env.now();
-            for rk in 0..count {
-                table.delete_entity(&pk, &rk.to_string()).unwrap();
+                // ---- Delete ----
+                let t0 = env.now();
+                for rk in 0..count {
+                    table.delete_entity(&pk, &rk.to_string()).await.unwrap();
+                }
+                out.push((
+                    (size, TableOp::Delete),
+                    env.now().saturating_since(t0).as_secs_f64(),
+                ));
             }
-            out.push((
-                (size, TableOp::Delete),
-                env.now().saturating_since(t0).as_secs_f64(),
-            ));
+            out
         }
-        out
     });
 
     let mut acc: HashMap<(usize, TableOp), Vec<f64>> = HashMap::new();

@@ -39,6 +39,7 @@ struct Args {
     csv_dir: Option<String>,
     threads: usize,
     timeline: bool,
+    extrapolate: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir: None,
         threads: 0,
         timeline: false,
+        extrapolate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -75,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
             "--timeline" => args.timeline = true,
+            "--extrapolate" => args.extrapolate = true,
             t if !t.starts_with('-') => args.targets.push(t.to_owned()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -107,7 +110,8 @@ fn main() {
         eprintln!(
             "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|\
              bottleneck|chaos|bench|all]... \
-             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--timeline]"
+             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--timeline] \
+             [--extrapolate]"
         );
         std::process::exit(2);
     }
@@ -192,6 +196,16 @@ fn main() {
         let fig = fig9::figure_9(&cfg);
         eprintln!("# fig9 (per-op) swept in {:.1?}", t.elapsed());
         emit(std::slice::from_ref(&fig), &args.csv_dir);
+        if args.extrapolate {
+            let t = Instant::now();
+            let fig = fig9::figure_9_extrapolated(&cfg);
+            eprintln!(
+                "# fig9 extrapolation ({} workers) swept in {:.1?}",
+                fig9::EXTRAPOLATE_WORKERS,
+                t.elapsed()
+            );
+            emit(std::slice::from_ref(&fig), &args.csv_dir);
+        }
     }
     if want("profile") {
         let t = Instant::now();
@@ -284,10 +298,10 @@ impl azsim_core::runtime::Model for NullModel {
 fn engine_ops(actors: usize, per_actor: u64) -> (u64, f64) {
     let t = Instant::now();
     let sim = azsim_core::Simulation::new(NullModel, 1);
-    let report = sim.run_workers(actors, move |ctx| {
+    let report = sim.run_workers(actors, move |ctx| async move {
         let mut acc = 0u64;
         for i in 0..per_actor {
-            acc = acc.wrapping_add(ctx.call(i));
+            acc = acc.wrapping_add(ctx.call(i).await);
         }
         acc
     });
@@ -301,7 +315,7 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
     let mut lines = String::from("{\n");
 
     let mut engines = Vec::new();
-    for actors in [1usize, 8, 32] {
+    for actors in [1usize, 8, 32, 128, 512] {
         let (ops, wall) = engine_ops(actors, 50_000);
         let rate = ops as f64 / wall;
         eprintln!("# engine: {actors} actors, {ops} simulated ops in {wall:.3}s = {rate:.0} ops/s");

@@ -178,8 +178,8 @@ fn run_point(cfg: &BenchConfig, scenario: Scenario, workers: usize) -> Bottlenec
     let queue_ops = cfg.scaled(200).max(60);
     let blob_ops = cfg.scaled(30).max(6);
     let id = scenario.id;
-    let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(workers, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         let mut gen = PayloadGen::new(seed, me as u64);
         // The queue scenarios run open-loop: rejections return immediately
@@ -196,9 +196,9 @@ fn run_point(cfg: &BenchConfig, scenario: Scenario, workers: usize) -> Bottlenec
             // shared-queue experiment, bound by the per-queue bucket.
             "fig7-put" => {
                 let q = QueueClient::new(&env, "fig7-shared").with_policy(open_loop());
-                q.create().unwrap();
+                q.create().await.unwrap();
                 for _ in 0..queue_ops {
-                    let _ = q.put_message(gen.bytes(32 << 10));
+                    let _ = q.put_message(gen.bytes(32 << 10)).await;
                 }
             }
             // One queue per worker, small put-only traffic (~105 ops/s per
@@ -206,33 +206,35 @@ fn run_point(cfg: &BenchConfig, scenario: Scenario, workers: usize) -> Bottlenec
             // transaction bucket does once the ladder passes ~50 workers.
             "fig6-own" => {
                 let q = QueueClient::new(&env, format!("fig6-{me}")).with_policy(open_loop());
-                q.create().unwrap();
+                q.create().await.unwrap();
                 for _ in 0..queue_ops * 2 {
-                    let _ = q.put_message(gen.bytes(1 << 10));
+                    let _ = q.put_message(gen.bytes(1 << 10)).await;
                 }
             }
             // Large entities into per-worker partitions: the shared table
             // front-end data path binds before any partition bucket.
             "fig8-insert" => {
                 let t = TableClient::new(&env, "fig8");
-                t.create_table().unwrap();
+                t.create_table().await.unwrap();
                 for i in 0..queue_ops {
-                    let _ = t.insert(
-                        Entity::new(format!("p{me}"), i.to_string())
-                            .with("v", PropValue::Binary(gen.bytes(32 << 10))),
-                    );
+                    let _ = t
+                        .insert(
+                            Entity::new(format!("p{me}"), i.to_string())
+                                .with("v", PropValue::Binary(gen.bytes(32 << 10))),
+                        )
+                        .await;
                 }
             }
             // Every worker writes 1 MB pages into ONE page blob: the
             // documented per-blob write target binds.
             "fig4-page" => {
                 let b = BlobClient::new(&env, "bottleneck");
-                let _ = b.create_container();
+                let _ = b.create_container().await;
                 let total = 4u64 << 30;
-                let _ = b.create_page_blob("pb", total);
+                let _ = b.create_page_blob("pb", total).await;
                 for i in 0..blob_ops {
                     let offset = ((me * blob_ops + i) as u64) << 20;
-                    let _ = b.put_page("pb", offset % total, gen.bytes(1 << 20));
+                    let _ = b.put_page("pb", offset % total, gen.bytes(1 << 20)).await;
                 }
             }
             other => panic!("unknown scenario {other}"),

@@ -126,8 +126,8 @@ pub fn run_chaos(cfg: &BenchConfig, workers: usize, intensity: f64) -> ChaosResu
     }
 
     let sim = Simulation::new(cluster, seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(workers, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         // One shared resilience policy per worker: jitter stream, breaker
         // map and stats span all of this worker's clients.
@@ -136,18 +136,18 @@ pub fn run_chaos(cfg: &BenchConfig, workers: usize, intensity: f64) -> ChaosResu
                 .with_max_attempts(10)
                 .with_deadline(Duration::from_secs(120)),
         );
-        let tq: TaskQueue<'_, ChaosTask> = TaskQueue::new(&env, CHAOS_QUEUE)
+        let tq: TaskQueue<'_, _, ChaosTask> = TaskQueue::new(&env, CHAOS_QUEUE)
             .with_visibility(Duration::from_secs(60))
             .with_max_attempts(6)
             .with_policy(policy.clone());
-        tq.init().unwrap();
+        tq.init().await.unwrap();
 
         if me == 0 {
             for id in 0..n_tasks {
                 // Submissions must survive storms: the policy absorbs
                 // transient errors; if it still gives up, wait and re-send.
-                while tq.submit(&ChaosTask { id }).is_err() {
-                    env.sleep(Duration::from_secs(1));
+                while tq.submit(&ChaosTask { id }).await.is_err() {
+                    env.sleep(Duration::from_secs(1)).await;
                 }
             }
         }
@@ -156,27 +156,27 @@ pub fn run_chaos(cfg: &BenchConfig, workers: usize, intensity: f64) -> ChaosResu
         let mut idle = 0;
         while idle < 5 {
             let t0 = env.now();
-            match tq.claim() {
+            match tq.claim().await {
                 Ok(Some(claimed)) => {
                     idle = 0;
-                    env.sleep(TASK_WORK);
+                    env.sleep(TASK_WORK).await;
                     // A failed complete means our claim was superseded
                     // (visibility expired mid-fault); the task is someone
                     // else's now, so don't count it.
-                    if tq.complete(&claimed).is_ok() {
+                    if tq.complete(&claimed).await.is_ok() {
                         let latency = env.now().saturating_since(t0).as_secs_f64();
                         done.push((claimed.task.id, latency));
                     }
                 }
                 Ok(None) => {
                     idle += 1;
-                    env.sleep(Duration::from_secs(1));
+                    env.sleep(Duration::from_secs(1)).await;
                 }
                 Err(_) => {
                     // Breaker open or retries exhausted: the partition is
                     // mid-failover. Back off and try again; fault windows
                     // are finite.
-                    env.sleep(Duration::from_secs(1));
+                    env.sleep(Duration::from_secs(1)).await;
                 }
             }
         }

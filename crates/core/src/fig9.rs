@@ -15,6 +15,11 @@ use crate::report::{Figure, Series};
 /// Payload size (bytes) used for the per-op comparison.
 pub const FIG9_PAYLOAD: usize = 32 << 10;
 
+/// Beyond-paper worker count appended to the ladder by
+/// [`figure_9_extrapolated`]. The paper stops near 100 workers; the
+/// coroutine executor makes a 256-worker point affordable.
+pub const EXTRAPOLATE_WORKERS: usize = 256;
+
 /// Produce Figure 9: seven series (four table ops, three queue ops) of
 /// mean per-operation seconds over the worker ladder.
 pub fn figure_9(cfg: &BenchConfig) -> Figure {
@@ -50,6 +55,24 @@ pub fn figure_9(cfg: &BenchConfig) -> Figure {
     fig
 }
 
+/// Figure 9 with the worker ladder extended past the paper's range to
+/// [`EXTRAPOLATE_WORKERS`]. Emitted as a separate figure
+/// (`fig9-extrapolated`) so the paper-faithful `fig9` CSV stays
+/// byte-stable; any ladder entries at or beyond the extrapolation point
+/// are dropped first so the appended point is always the maximum.
+pub fn figure_9_extrapolated(cfg: &BenchConfig) -> Figure {
+    let mut cfg = cfg.clone();
+    cfg.workers.retain(|&w| w < EXTRAPOLATE_WORKERS);
+    cfg.workers.push(EXTRAPOLATE_WORKERS);
+    let mut fig = figure_9(&cfg);
+    fig.id = "fig9-extrapolated".to_owned();
+    fig.title = format!(
+        "{} — extrapolated to {EXTRAPOLATE_WORKERS} workers",
+        fig.title
+    );
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +87,21 @@ mod tests {
         for s in &fig.series {
             assert_eq!(s.points.len(), 2, "series {} incomplete", s.name);
             assert!(s.points.iter().all(|(_, y)| *y > 0.0));
+        }
+    }
+
+    #[test]
+    fn extrapolated_figure_ends_at_the_256_worker_point() {
+        let cfg = BenchConfig::paper()
+            .with_scale(0.002)
+            .with_workers(vec![1, 512]); // 512 must be dropped, 256 appended
+        let fig = figure_9_extrapolated(&cfg);
+        assert_eq!(fig.id, "fig9-extrapolated");
+        assert_eq!(fig.series.len(), 7);
+        for s in &fig.series {
+            let last = s.points.last().expect("series has points");
+            assert_eq!(last.0, EXTRAPOLATE_WORKERS as f64, "series {}", s.name);
+            assert!(last.1 > 0.0);
         }
     }
 

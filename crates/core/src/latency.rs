@@ -115,34 +115,39 @@ pub fn profile_mixed(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) -
     let mut cluster = Cluster::new(cfg.params.clone());
     cluster.enable_tracing(workers * ops_per_worker * 8 + 1024);
     let sim = Simulation::new(cluster, seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(workers, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         let blobs = BlobClient::new(&env, "mix");
-        blobs.create_container().unwrap();
+        blobs.create_container().await.unwrap();
         let queue = QueueClient::new(&env, format!("mix-{me}"));
-        queue.create().unwrap();
+        queue.create().await.unwrap();
         let table = TableClient::new(&env, "mix");
-        table.create_table().unwrap();
+        table.create_table().await.unwrap();
         let mut gen = PayloadGen::new(seed, me as u64);
 
         for i in 0..ops_per_worker {
             // One representative op of each service per iteration.
-            queue.put_message(gen.bytes(8 << 10)).unwrap();
-            if let Some(m) = queue.get_message().unwrap() {
-                queue.delete_message(&m).unwrap();
+            queue.put_message(gen.bytes(8 << 10)).await.unwrap();
+            if let Some(m) = queue.get_message().await.unwrap() {
+                queue.delete_message(&m).await.unwrap();
             }
             blobs
                 .upload(&format!("b-{me}-{i}"), gen.bytes(64 << 10))
+                .await
                 .unwrap();
-            let _ = blobs.download(&format!("b-{me}-{i}")).unwrap();
+            let _ = blobs.download(&format!("b-{me}-{i}")).await.unwrap();
             table
                 .insert(
                     Entity::new(format!("p{me}"), i.to_string())
                         .with("v", PropValue::Binary(gen.bytes(4 << 10))),
                 )
+                .await
                 .unwrap();
-            let _ = table.query(&format!("p{me}"), &i.to_string()).unwrap();
+            let _ = table
+                .query(&format!("p{me}"), &i.to_string())
+                .await
+                .unwrap();
         }
     });
     LatencyReport::from_trace(report.model.tracer().expect("tracing enabled"))

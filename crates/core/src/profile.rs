@@ -97,41 +97,47 @@ fn run_point(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) -> Profil
     let mut cluster = Cluster::new(cfg.params.clone());
     cluster.enable_phase_profiling();
     let sim = Simulation::new(cluster, seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(workers, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         let policy = Rc::new(ResilientPolicy::new(seed ^ me as u64).with_span_log());
         let shared = QueueClient::new(&env, "profile-shared").with_policy(policy.clone());
-        shared.create().unwrap();
+        shared.create().await.unwrap();
         let own = QueueClient::new(&env, format!("profile-{me}")).with_policy(policy.clone());
-        own.create().unwrap();
+        own.create().await.unwrap();
         let blobs = BlobClient::new(&env, "profile").with_policy(policy.clone());
-        blobs.create_container().unwrap();
+        blobs.create_container().await.unwrap();
         let table = TableClient::new(&env, "profile").with_policy(policy.clone());
-        table.create_table().unwrap();
+        table.create_table().await.unwrap();
         let mut gen = PayloadGen::new(seed, me as u64);
 
         for i in 0..ops_per_worker {
             // The shared queue contends across all workers (throttles and
             // retries at the top of the ladder); errors after retry
             // exhaustion are tolerated — they still show up in the trace.
-            let _ = shared.put_message(gen.bytes(32 << 10));
-            if let Ok(Some(m)) = shared.get_message() {
-                let _ = shared.delete_message(&m);
+            let _ = shared.put_message(gen.bytes(32 << 10)).await;
+            if let Ok(Some(m)) = shared.get_message().await {
+                let _ = shared.delete_message(&m).await;
             }
-            let _ = own.put_message(gen.bytes(8 << 10));
-            let _ = own.get_message();
-            let _ = blobs.upload(&format!("b-{me}-{i}"), gen.bytes(64 << 10));
-            let _ = blobs.download(&format!("b-{me}-{i}"));
-            let _ = table.insert(
-                Entity::new(format!("p{me}"), i.to_string())
-                    .with("v", PropValue::Binary(gen.bytes(4 << 10))),
-            );
-            let _ = table.query(&format!("p{me}"), &i.to_string());
-            let _ = table.update(
-                Entity::new(format!("p{me}"), i.to_string())
-                    .with("v", PropValue::Binary(gen.bytes(2 << 10))),
-            );
+            let _ = own.put_message(gen.bytes(8 << 10)).await;
+            let _ = own.get_message().await;
+            let _ = blobs
+                .upload(&format!("b-{me}-{i}"), gen.bytes(64 << 10))
+                .await;
+            let _ = blobs.download(&format!("b-{me}-{i}")).await;
+            let _ = table
+                .insert(
+                    Entity::new(format!("p{me}"), i.to_string())
+                        .with("v", PropValue::Binary(gen.bytes(4 << 10))),
+                )
+                .await;
+            let _ = table.query(&format!("p{me}"), &i.to_string()).await;
+            let _ = table
+                .update(
+                    Entity::new(format!("p{me}"), i.to_string())
+                        .with("v", PropValue::Binary(gen.bytes(2 << 10))),
+                )
+                .await;
         }
         policy.take_retry_spans()
     });

@@ -189,10 +189,10 @@ pub fn run_ycsb(
     let seed = bench.seed;
 
     let sim = Simulation::new(Cluster::new(bench.params.clone()), seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(workers, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let table = TableClient::new(&env, "usertable");
-        table.create_table().unwrap();
+        table.create_table().await.unwrap();
         let mut gen = PayloadGen::new(seed, ctx.id().0 as u64);
 
         // ---- Load phase: each worker loads its share ----
@@ -204,6 +204,7 @@ pub fn run_ycsb(
                 .insert(
                     Entity::new(pk, rk).with("field0", PropValue::Binary(gen.bytes(value_size))),
                 )
+                .await
                 .unwrap();
         }
 
@@ -257,7 +258,7 @@ pub fn run_ycsb(
             let t0 = env.now();
             match op {
                 YcsbOp::Read => {
-                    let got = table.query(&pk, &rk).unwrap();
+                    let got = table.query(&pk, &rk).await.unwrap();
                     assert!(got.is_some(), "loaded key must exist");
                 }
                 YcsbOp::Update => {
@@ -266,6 +267,7 @@ pub fn run_ycsb(
                             Entity::new(&pk, &rk)
                                 .with("field0", PropValue::Binary(gen.bytes(value_size))),
                         )
+                        .await
                         .unwrap();
                 }
                 YcsbOp::Insert => {
@@ -278,20 +280,21 @@ pub fn run_ycsb(
                             Entity::new(pk, rk)
                                 .with("field0", PropValue::Binary(gen.bytes(value_size))),
                         )
+                        .await
                         .unwrap();
                 }
                 YcsbOp::Scan => {
-                    let rows = table.query_partition(&pk).unwrap();
+                    let rows = table.query_partition(&pk).await.unwrap();
                     assert!(!rows.is_empty());
                     std::hint::black_box(rows.len().min(scan_len));
                 }
                 YcsbOp::Rmw => {
-                    let (e, _) = table.query(&pk, &rk).unwrap().unwrap();
+                    let (e, _) = table.query(&pk, &rk).await.unwrap().unwrap();
                     let mut updated = e.clone();
                     updated
                         .properties
                         .insert("field0".into(), PropValue::Binary(gen.bytes(value_size)));
-                    table.update(updated).unwrap();
+                    table.update(updated).await.unwrap();
                 }
             }
             stats

@@ -214,6 +214,16 @@ impl ClusterTimeline {
             .record_gauge(self.g_inflight, now, self.inflight.len() as f64);
     }
 
+    /// Re-record the running counter totals at `now` without a new outcome.
+    /// The live-mode periodic flush uses this to keep the delta series
+    /// current (emitting zero deltas) across idle stretches.
+    pub(crate) fn flush_counters(&mut self, now: SimTime) {
+        self.recorder
+            .record_counter(self.c_submitted, now, self.submitted as f64);
+        self.recorder
+            .record_counter(self.c_throttled, now, self.throttled as f64);
+    }
+
     /// Account one submitted operation's outcome: arrival at `now`,
     /// (virtual) completion at `done`, throttled or not.
     pub(crate) fn note_outcome(&mut self, now: SimTime, done: SimTime, throttled: bool) {

@@ -33,20 +33,20 @@ pub struct WorkerReport {
 /// reappear forever and the job would never drain; with one, the task is
 /// parked on `{base}-dead` (still counted on the indicator so the web role
 /// terminates) for offline inspection.
-pub struct BagOfTasks<'e, T> {
+pub struct BagOfTasks<'e, E: Environment, T> {
     /// The task-assignment queue.
-    pub tasks: TaskQueue<'e, T>,
+    pub tasks: TaskQueue<'e, E, T>,
     /// The termination-indicator queue.
-    pub done: TerminationIndicator<'e>,
+    pub done: TerminationIndicator<'e, E>,
     /// The dead-letter queue for poison tasks.
-    pub dead: TaskQueue<'e, T>,
+    pub dead: TaskQueue<'e, E, T>,
     max_attempts: u32,
 }
 
-impl<'e, T: Serialize + DeserializeOwned> BagOfTasks<'e, T> {
+impl<'e, E: Environment, T: Serialize + DeserializeOwned> BagOfTasks<'e, E, T> {
     /// Bind to the queues `{base}-tasks` / `{base}-done` / `{base}-dead`.
     /// Tasks are dead-lettered after 5 delivery attempts by default.
-    pub fn new(env: &'e dyn Environment, base: &str) -> Self {
+    pub fn new(env: &'e E, base: &str) -> Self {
         BagOfTasks {
             tasks: TaskQueue::new(env, format!("{base}-tasks")),
             done: TerminationIndicator::new(env, format!("{base}-done")),
@@ -69,46 +69,47 @@ impl<'e, T: Serialize + DeserializeOwned> BagOfTasks<'e, T> {
     }
 
     /// Create all queues (idempotent; every role should call it).
-    pub fn init(&self) -> StorageResult<()> {
-        self.tasks.init()?;
-        self.dead.init()?;
-        self.done.init()
+    pub async fn init(&self) -> StorageResult<()> {
+        self.tasks.init().await?;
+        self.dead.init().await?;
+        self.done.init().await
     }
 
     /// Web-role side: submit every task; returns how many were submitted.
-    pub fn submit_all(&self, tasks: impl IntoIterator<Item = T>) -> StorageResult<usize> {
+    pub async fn submit_all(&self, tasks: impl IntoIterator<Item = T>) -> StorageResult<usize> {
         let mut n = 0;
         for t in tasks {
-            self.tasks.submit(&t)?;
+            self.tasks.submit(&t).await?;
             n += 1;
         }
         Ok(n)
     }
 
     /// Web-role side: block until `expected` completion signals arrived.
-    pub fn wait_all(&self, expected: usize) -> StorageResult<usize> {
-        self.done.wait_for(expected)
+    pub async fn wait_all(&self, expected: usize) -> StorageResult<usize> {
+        self.done.wait_for(expected).await
     }
 
     /// Worker-role side: drain the pool. Gives up after `idle_polls`
     /// consecutive empty polls separated by `idle_backoff`.
     ///
     /// `process` receives the task and its attempt number (> 1 on a retry
-    /// after some worker crashed).
-    pub fn run_worker(
+    /// after some worker crashed); it may await (e.g. sleep to model
+    /// compute time).
+    pub async fn run_worker(
         &self,
         idle_polls: usize,
         idle_backoff: Duration,
-        env: &dyn Environment,
-        mut process: impl FnMut(T, u32),
+        env: &E,
+        mut process: impl AsyncFnMut(T, u32),
     ) -> StorageResult<WorkerReport> {
         let mut report = WorkerReport::default();
         let mut idle = 0;
         while idle < idle_polls {
-            match self.tasks.claim()? {
+            match self.tasks.claim().await? {
                 None => {
                     idle += 1;
-                    env.sleep(idle_backoff);
+                    env.sleep(idle_backoff).await;
                 }
                 Some(claimed) => {
                     idle = 0;
@@ -116,11 +117,12 @@ impl<'e, T: Serialize + DeserializeOwned> BagOfTasks<'e, T> {
                     if attempt > self.max_attempts {
                         // Poison task: park it on the dead-letter queue and
                         // still signal so the web role's count completes.
-                        match self.tasks.complete(&claimed) {
+                        match self.tasks.complete(&claimed).await {
                             Ok(()) => {
-                                self.dead.submit(&claimed.task)?;
+                                self.dead.submit(&claimed.task).await?;
                                 self.done
-                                    .signal(format!("dead-after-{attempt}").into_bytes())?;
+                                    .signal(format!("dead-after-{attempt}").into_bytes())
+                                    .await?;
                                 report.dead_lettered += 1;
                             }
                             Err(StorageError::PopReceiptMismatch) => {
@@ -130,11 +132,12 @@ impl<'e, T: Serialize + DeserializeOwned> BagOfTasks<'e, T> {
                         }
                         continue;
                     }
-                    match self.tasks.complete(&claimed) {
+                    match self.tasks.complete(&claimed).await {
                         Ok(()) => {
-                            process(claimed.task, attempt);
+                            process(claimed.task, attempt).await;
                             self.done
-                                .signal(format!("attempt-{attempt}").into_bytes())?;
+                                .signal(format!("attempt-{attempt}").into_bytes())
+                                .await?;
                             report.processed += 1;
                         }
                         Err(StorageError::PopReceiptMismatch) => {
@@ -154,7 +157,7 @@ impl<'e, T: Serialize + DeserializeOwned> BagOfTasks<'e, T> {
 mod tests {
     use super::*;
     use azsim_client::VirtualEnv;
-    use azsim_core::runtime::ActorFn;
+    use azsim_core::runtime::{actor, ActorCtx, ActorFn};
     use azsim_core::Simulation;
     use azsim_fabric::Cluster;
     use serde::Deserialize;
@@ -171,22 +174,26 @@ mod tests {
         let sim = Simulation::new(Cluster::with_defaults(), 21);
         let mut actors: Vec<ActorFn<'_, Cluster, (usize, usize)>> = Vec::new();
         // Web role.
-        actors.push(Box::new(move |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "app");
-            bag.init().unwrap();
-            let submitted = bag.submit_all((0..n_tasks).map(|id| Unit { id })).unwrap();
-            let done = bag.wait_all(submitted).unwrap();
+        actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, Unit> = BagOfTasks::new(&env, "app");
+            bag.init().await.unwrap();
+            let submitted = bag
+                .submit_all((0..n_tasks).map(|id| Unit { id }))
+                .await
+                .unwrap();
+            let done = bag.wait_all(submitted).await.unwrap();
             (submitted, done)
         }));
         // Worker roles.
         for _ in 0..workers {
-            actors.push(Box::new(move |ctx| {
-                let env = VirtualEnv::new(ctx);
-                let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "app");
-                bag.init().unwrap();
+            actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+                let env = VirtualEnv::new(&ctx);
+                let bag: BagOfTasks<'_, _, Unit> = BagOfTasks::new(&env, "app");
+                bag.init().await.unwrap();
                 let r = bag
-                    .run_worker(3, Duration::from_secs(1), &env, |_task, _attempt| {})
+                    .run_worker(3, Duration::from_secs(1), &env, async |_task, _attempt| {})
+                    .await
                     .unwrap();
                 (r.processed, r.superseded)
             }));
@@ -207,36 +214,39 @@ mod tests {
         // API, so we exercise the attempt-limit path directly: pre-poison
         // the message by claiming and abandoning it past the limit).
         let sim = Simulation::new(Cluster::with_defaults(), 23);
-        let report = sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "poison")
+        let report = sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, Unit> = BagOfTasks::new(&env, "poison")
                 .with_max_attempts(3)
                 .with_visibility(Duration::from_secs(2));
-            bag.init().unwrap();
-            bag.submit_all([Unit { id: 666 }, Unit { id: 1 }]).unwrap();
+            bag.init().await.unwrap();
+            bag.submit_all([Unit { id: 666 }, Unit { id: 1 }])
+                .await
+                .unwrap();
             // Burn three delivery attempts of whatever comes first in a
             // deterministic way: claim-and-abandon the poison id.
             let mut burned = 0;
             while burned < 3 {
-                if let Some(c) = bag.tasks.claim().unwrap() {
+                if let Some(c) = bag.tasks.claim().await.unwrap() {
                     if c.task.id == 666 {
                         burned += 1; // abandon: no complete()
-                        ctx.sleep(Duration::from_secs(3)); // let it reappear
+                        ctx.sleep(Duration::from_secs(3)).await; // let it reappear
                     } else {
-                        bag.tasks.complete(&c).unwrap();
-                        bag.done.signal("ok".as_bytes().to_vec()).unwrap();
+                        bag.tasks.complete(&c).await.unwrap();
+                        bag.done.signal("ok".as_bytes().to_vec()).await.unwrap();
                     }
                 } else {
-                    ctx.sleep(Duration::from_secs(1));
+                    ctx.sleep(Duration::from_secs(1)).await;
                 }
             }
             // Now run the normal worker loop: the poison task arrives with
             // attempt 4 > 3 and must be dead-lettered, not processed.
             let mut processed_ids = Vec::new();
             let r = bag
-                .run_worker(3, Duration::from_secs(1), &env, |t, _a| {
+                .run_worker(3, Duration::from_secs(1), &env, async |t: Unit, _a| {
                     processed_ids.push(t.id);
                 })
+                .await
                 .unwrap();
             assert!(
                 !processed_ids.contains(&666),
@@ -244,10 +254,10 @@ mod tests {
             );
             assert_eq!(r.dead_lettered, 1);
             // The dead-letter queue holds it for inspection.
-            let parked = bag.dead.claim().unwrap().unwrap();
+            let parked = bag.dead.claim().await.unwrap().unwrap();
             assert_eq!(parked.task.id, 666);
             // And the indicator still accounts for both tasks.
-            assert!(bag.done.count().unwrap() >= 2);
+            assert!(bag.done.count().await.unwrap() >= 2);
         });
         let _ = report;
     }
@@ -257,18 +267,21 @@ mod tests {
         let workers = 4usize;
         let n_tasks = 40u32;
         let sim = Simulation::new(Cluster::with_defaults(), 22);
-        let report = sim.run_workers(workers, move |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, Unit> = BagOfTasks::new(&env, "spread");
-            bag.init().unwrap();
+        let report = sim.run_workers(workers, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, Unit> = BagOfTasks::new(&env, "spread");
+            bag.init().await.unwrap();
             if ctx.id().0 == 0 {
-                bag.submit_all((0..n_tasks).map(|id| Unit { id })).unwrap();
+                bag.submit_all((0..n_tasks).map(|id| Unit { id }))
+                    .await
+                    .unwrap();
             }
             let r = bag
-                .run_worker(3, Duration::from_secs(1), &env, |_t, _a| {
+                .run_worker(3, Duration::from_secs(1), &env, async |_t, _a| {
                     // Simulate compute so tasks interleave across workers.
-                    ctx.sleep(Duration::from_millis(200));
+                    ctx.sleep(Duration::from_millis(200)).await;
                 })
+                .await
                 .unwrap();
             r.processed
         });

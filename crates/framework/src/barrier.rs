@@ -17,18 +17,18 @@ use bytes::Bytes;
 use std::time::Duration;
 
 /// A reusable queue-backed barrier for `workers` participants.
-pub struct QueueBarrier<'e> {
-    queue: QueueClient<'e>,
-    env: &'e dyn Environment,
+pub struct QueueBarrier<'e, E: Environment> {
+    queue: QueueClient<'e, E>,
+    env: &'e E,
     workers: usize,
     sync_count: usize,
     poll_interval: Duration,
 }
 
-impl<'e> QueueBarrier<'e> {
+impl<'e, E: Environment> QueueBarrier<'e, E> {
     /// Bind a barrier to `queue_name` for `workers` participants. All
     /// participants must use the same name and count.
-    pub fn new(env: &'e dyn Environment, queue_name: impl Into<String>, workers: usize) -> Self {
+    pub fn new(env: &'e E, queue_name: impl Into<String>, workers: usize) -> Self {
         assert!(workers > 0, "a barrier needs at least one participant");
         QueueBarrier {
             queue: QueueClient::new(env, queue_name),
@@ -47,8 +47,8 @@ impl<'e> QueueBarrier<'e> {
 
     /// Create the underlying queue; idempotent, so every participant can
     /// (and should) call it.
-    pub fn init(&self) -> StorageResult<()> {
-        self.queue.create()
+    pub async fn init(&self) -> StorageResult<()> {
+        self.queue.create().await
     }
 
     /// Number of completed synchronization phases.
@@ -58,17 +58,17 @@ impl<'e> QueueBarrier<'e> {
 
     /// Enter the barrier and block (in virtual/scaled time) until all
     /// `workers` participants of this phase have arrived.
-    pub fn wait(&mut self) -> StorageResult<()> {
+    pub async fn wait(&mut self) -> StorageResult<()> {
         self.sync_count += 1;
         // Announce arrival. Markers are never deleted — see module docs.
-        self.queue.put_message(Bytes::from_static(b"sync"))?;
+        self.queue.put_message(Bytes::from_static(b"sync")).await?;
         let target = self.workers * self.sync_count;
         loop {
-            let arrived = self.queue.message_count()?;
+            let arrived = self.queue.message_count().await?;
             if arrived >= target {
                 return Ok(());
             }
-            self.env.sleep(self.poll_interval);
+            self.env.sleep(self.poll_interval).await;
         }
     }
 }
@@ -84,14 +84,14 @@ mod tests {
     fn all_workers_cross_together() {
         let n = 8usize;
         let sim = Simulation::new(Cluster::with_defaults(), 1);
-        let report = sim.run_workers(n, move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(n, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let mut barrier = QueueBarrier::new(&env, "sync", n);
-            barrier.init().unwrap();
+            barrier.init().await.unwrap();
             // Stagger arrivals: worker i arrives i seconds in.
-            ctx.sleep(Duration::from_secs(ctx.id().0 as u64));
+            ctx.sleep(Duration::from_secs(ctx.id().0 as u64)).await;
             let arrived_at = ctx.now();
-            barrier.wait().unwrap();
+            barrier.wait().await.unwrap();
             (arrived_at, ctx.now())
         });
         // No worker may leave before the last one arrived.
@@ -109,18 +109,18 @@ mod tests {
         let n = 4usize;
         let phases = 3usize;
         let sim = Simulation::new(Cluster::with_defaults(), 2);
-        let report = sim.run_workers(n, move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(n, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let mut barrier =
                 QueueBarrier::new(&env, "sync", n).with_poll_interval(Duration::from_millis(100));
-            barrier.init().unwrap();
+            barrier.init().await.unwrap();
             let mut crossings = Vec::new();
             for p in 0..phases {
                 // Make one worker slow in every phase.
                 if ctx.id().0 == p % n {
-                    ctx.sleep(Duration::from_secs(2));
+                    ctx.sleep(Duration::from_secs(2)).await;
                 }
-                barrier.wait().unwrap();
+                barrier.wait().await.unwrap();
                 crossings.push(ctx.now());
             }
             assert_eq!(barrier.phases(), phases);
@@ -152,11 +152,11 @@ mod tests {
     #[test]
     fn single_worker_barrier_is_immediate() {
         let sim = Simulation::new(Cluster::with_defaults(), 3);
-        let report = sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let mut b = QueueBarrier::new(&env, "solo", 1);
-            b.init().unwrap();
-            b.wait().unwrap();
+            b.init().await.unwrap();
+            b.wait().await.unwrap();
             ctx.now()
         });
         // One put + one count: well under a second — no poll sleep needed.
@@ -167,8 +167,8 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_workers_rejected() {
         let sim = Simulation::new(Cluster::with_defaults(), 4);
-        sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
+        sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let _ = QueueBarrier::new(&env, "bad", 0);
         });
     }

@@ -85,20 +85,20 @@ enum MrTask<M> {
 }
 
 /// Storage naming + clients for one MapReduce application.
-pub struct MapReduce<'e, J: MapReduceJob> {
+pub struct MapReduce<'e, E: Environment, J: MapReduceJob> {
     job: J,
     name: String,
-    tasks: TaskQueue<'e, MrTask<J::MapIn>>,
-    done: TerminationIndicator<'e>,
-    blobs: BlobClient<'e>,
-    env: &'e dyn Environment,
+    tasks: TaskQueue<'e, E, MrTask<J::MapIn>>,
+    done: TerminationIndicator<'e, E>,
+    blobs: BlobClient<'e, E>,
+    env: &'e E,
     /// Number of reduce buckets.
     pub buckets: usize,
 }
 
-impl<'e, J: MapReduceJob> MapReduce<'e, J> {
+impl<'e, E: Environment, J: MapReduceJob> MapReduce<'e, E, J> {
     /// Bind a MapReduce application `name` with `buckets` reduce buckets.
-    pub fn new(env: &'e dyn Environment, name: &str, job: J, buckets: usize) -> Self {
+    pub fn new(env: &'e E, name: &str, job: J, buckets: usize) -> Self {
         assert!(buckets > 0);
         MapReduce {
             job,
@@ -113,10 +113,10 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
 
     /// Create the underlying queues and container (idempotent; every role
     /// must call it).
-    pub fn init(&self) -> StorageResult<()> {
-        self.tasks.init()?;
-        self.done.init()?;
-        self.blobs.create_container()
+    pub async fn init(&self) -> StorageResult<()> {
+        self.tasks.init().await?;
+        self.done.init().await?;
+        self.blobs.create_container().await
     }
 
     fn inter_blob(&self, round: usize, map_id: usize, bucket: usize) -> String {
@@ -130,41 +130,45 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
     /// Driver side: run the whole (possibly iterative) job to completion
     /// and return the final round's outputs. Workers must be running
     /// [`run_worker`](Self::run_worker) concurrently.
-    pub fn run_driver(&self, inputs: Vec<J::MapIn>) -> StorageResult<Vec<J::Out>> {
+    pub async fn run_driver(&self, inputs: Vec<J::MapIn>) -> StorageResult<Vec<J::Out>> {
         let mut round = 0usize;
         let mut inputs = inputs;
         // Signals accumulate on the indicator queue across rounds AND
         // across repeated `run_driver` calls (an outer iterative loop, as
         // in k-means); always baseline against the current count.
-        let mut signals_seen = self.done.count()?;
+        let mut signals_seen = self.done.count().await?;
         loop {
             let maps = inputs.len();
             for (id, input) in inputs.iter().enumerate() {
-                self.tasks.submit(&MrTask::Map {
-                    round,
-                    id,
-                    input: input.clone(),
-                    buckets: self.buckets,
-                })?;
+                self.tasks
+                    .submit(&MrTask::Map {
+                        round,
+                        id,
+                        input: input.clone(),
+                        buckets: self.buckets,
+                    })
+                    .await?;
             }
             // Wait for all maps of this round, then fan out reduces.
             signals_seen += maps;
-            self.done.wait_for(signals_seen)?;
+            self.done.wait_for(signals_seen).await?;
             for bucket in 0..self.buckets {
-                self.tasks.submit(&MrTask::Reduce {
-                    round,
-                    bucket,
-                    maps,
-                })?;
+                self.tasks
+                    .submit(&MrTask::Reduce {
+                        round,
+                        bucket,
+                        maps,
+                    })
+                    .await?;
             }
             signals_seen += self.buckets;
-            self.done.wait_for(signals_seen)?;
+            self.done.wait_for(signals_seen).await?;
 
             // Collect this round's outputs.
             let mut outputs: Vec<J::Out> = Vec::new();
             for bucket in 0..self.buckets {
                 let blob = self.out_blob(round, bucket);
-                let data = self.blobs.download(&blob)?;
+                let data = self.blobs.download(&blob).await?;
                 let mut part: Vec<J::Out> =
                     serde_json::from_slice(&data).expect("malformed reduce output");
                 outputs.append(&mut part);
@@ -179,7 +183,7 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
         }
     }
 
-    fn execute_map(
+    async fn execute_map(
         &self,
         round: usize,
         id: usize,
@@ -197,15 +201,19 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
             // Empty buckets still get a blob so reducers need no listing.
             let json = serde_json::to_vec(&pairs).expect("intermediate data must serialize");
             self.blobs
-                .upload(&self.inter_blob(round, id, b), Bytes::from(json))?;
+                .upload(&self.inter_blob(round, id, b), Bytes::from(json))
+                .await?;
         }
         Ok(())
     }
 
-    fn execute_reduce(&self, round: usize, bucket: usize, maps: usize) -> StorageResult<()> {
+    async fn execute_reduce(&self, round: usize, bucket: usize, maps: usize) -> StorageResult<()> {
         let mut grouped: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
         for m in 0..maps {
-            let data = self.blobs.download(&self.inter_blob(round, m, bucket))?;
+            let data = self
+                .blobs
+                .download(&self.inter_blob(round, m, bucket))
+                .await?;
             let pairs: Vec<(J::Key, J::Value)> =
                 serde_json::from_slice(&data).expect("malformed intermediate data");
             for (k, v) in pairs {
@@ -218,14 +226,15 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
             .collect();
         let json = serde_json::to_vec(&outputs).expect("reduce output must serialize");
         self.blobs
-            .upload(&self.out_blob(round, bucket), Bytes::from(json))?;
+            .upload(&self.out_blob(round, bucket), Bytes::from(json))
+            .await?;
         Ok(())
     }
 
     /// Worker side: serve map and reduce tasks until the pool stays empty
     /// for `idle_polls` polls of `idle_backoff` each. Returns
     /// `(maps_done, reduces_done)`.
-    pub fn run_worker(
+    pub async fn run_worker(
         &self,
         idle_polls: usize,
         idle_backoff: Duration,
@@ -234,10 +243,10 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
         let mut reduces_done = 0;
         let mut idle = 0;
         while idle < idle_polls {
-            match self.tasks.claim()? {
+            match self.tasks.claim().await? {
                 None => {
                     idle += 1;
-                    self.env.sleep(idle_backoff);
+                    self.env.sleep(idle_backoff).await;
                 }
                 Some(claimed) => {
                     idle = 0;
@@ -247,20 +256,20 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
                             id,
                             input,
                             buckets,
-                        } => self.execute_map(*round, *id, input, *buckets)?,
+                        } => self.execute_map(*round, *id, input, *buckets).await?,
                         MrTask::Reduce {
                             round,
                             bucket,
                             maps,
-                        } => self.execute_reduce(*round, *bucket, *maps)?,
+                        } => self.execute_reduce(*round, *bucket, *maps).await?,
                     }
-                    match self.tasks.complete(&claimed) {
+                    match self.tasks.complete(&claimed).await {
                         Ok(()) => {
                             match &claimed.task {
                                 MrTask::Map { .. } => maps_done += 1,
                                 MrTask::Reduce { .. } => reduces_done += 1,
                             }
-                            self.done.signal(Bytes::from_static(b"t"))?;
+                            self.done.signal(Bytes::from_static(b"t")).await?;
                         }
                         // Superseded by a re-delivery: the blob writes are
                         // idempotent, the other worker signals.
@@ -278,7 +287,7 @@ impl<'e, J: MapReduceJob> MapReduce<'e, J> {
 mod tests {
     use super::*;
     use azsim_client::VirtualEnv;
-    use azsim_core::runtime::ActorFn;
+    use azsim_core::runtime::{actor, ActorCtx, ActorFn};
     use azsim_core::Simulation;
     use azsim_fabric::Cluster;
 
@@ -305,20 +314,20 @@ mod tests {
         let sim = Simulation::new(Cluster::with_defaults(), 55);
         let mut actors: Vec<ActorFn<'_, Cluster, Vec<(String, u64)>>> = Vec::new();
         let driver_docs = docs.clone();
-        actors.push(Box::new(move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+            let env = VirtualEnv::new(&ctx);
             let mr = MapReduce::new(&env, "wc", WordCount, 3);
-            mr.init().unwrap();
-            let mut out = mr.run_driver(driver_docs).unwrap();
+            mr.init().await.unwrap();
+            let mut out = mr.run_driver(driver_docs).await.unwrap();
             out.sort();
             out
         }));
         for _ in 0..workers {
-            actors.push(Box::new(move |ctx| {
-                let env = VirtualEnv::new(ctx);
+            actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+                let env = VirtualEnv::new(&ctx);
                 let mr = MapReduce::new(&env, "wc", WordCount, 3);
-                mr.init().unwrap();
-                mr.run_worker(4, Duration::from_secs(1)).unwrap();
+                mr.init().await.unwrap();
+                mr.run_worker(4, Duration::from_secs(1)).await.unwrap();
                 Vec::new()
             }));
         }
@@ -381,18 +390,18 @@ mod tests {
     fn iterative_job_converges_across_rounds() {
         let sim = Simulation::new(Cluster::with_defaults(), 56);
         let mut actors: Vec<ActorFn<'_, Cluster, Vec<u64>>> = Vec::new();
-        actors.push(Box::new(|ctx| {
-            let env = VirtualEnv::new(ctx);
+        actors.push(actor(|ctx: ActorCtx<Cluster>| async move {
+            let env = VirtualEnv::new(&ctx);
             let mr = MapReduce::new(&env, "halve", HalveUntilSmall, 2);
-            mr.init().unwrap();
-            mr.run_driver(vec![37, 8, 129]).unwrap()
+            mr.init().await.unwrap();
+            mr.run_driver(vec![37, 8, 129]).await.unwrap()
         }));
         for _ in 0..2 {
-            actors.push(Box::new(|ctx| {
-                let env = VirtualEnv::new(ctx);
+            actors.push(actor(|ctx: ActorCtx<Cluster>| async move {
+                let env = VirtualEnv::new(&ctx);
                 let mr = MapReduce::new(&env, "halve", HalveUntilSmall, 2);
-                mr.init().unwrap();
-                mr.run_worker(6, Duration::from_secs(1)).unwrap();
+                mr.init().await.unwrap();
+                mr.run_worker(6, Duration::from_secs(1)).await.unwrap();
                 Vec::new()
             }));
         }

@@ -38,18 +38,18 @@ pub struct ClaimedTask<T> {
 }
 
 /// A typed task queue for payload type `T`.
-pub struct TaskQueue<'e, T> {
-    queue: QueueClient<'e>,
-    poison: QueueClient<'e>,
+pub struct TaskQueue<'e, E: Environment, T> {
+    queue: QueueClient<'e, E>,
+    poison: QueueClient<'e, E>,
     visibility: Duration,
     max_attempts: Option<u32>,
     dead_lettered: Cell<u64>,
     _marker: PhantomData<fn() -> T>,
 }
 
-impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
+impl<'e, E: Environment, T: Serialize + DeserializeOwned> TaskQueue<'e, E, T> {
     /// Bind to `queue_name` with a default 2-minute processing window.
-    pub fn new(env: &'e dyn Environment, queue_name: impl Into<String>) -> Self {
+    pub fn new(env: &'e E, queue_name: impl Into<String>) -> Self {
         let name = queue_name.into();
         let poison = QueueClient::new(env, format!("{name}-poison"));
         TaskQueue {
@@ -87,16 +87,16 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
     }
 
     /// Create the underlying queue (idempotent).
-    pub fn init(&self) -> StorageResult<()> {
-        self.queue.create()
+    pub async fn init(&self) -> StorageResult<()> {
+        self.queue.create().await
     }
 
     /// Submit one task.
-    pub fn submit(&self, task: &T) -> StorageResult<()> {
+    pub async fn submit(&self, task: &T) -> StorageResult<()> {
         let json = serde_json::to_vec(task).map_err(|_| StorageError::MessageTooLarge {
             size: 0, // unserializable tasks shouldn't occur; size unknown
         })?;
-        self.queue.put_message(Bytes::from(json))
+        self.queue.put_message(Bytes::from(json)).await
     }
 
     /// Claim the next task, if any. The task stays invisible to other
@@ -107,14 +107,18 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
     /// redelivered too many times) are moved to the `<name>-poison` queue
     /// and skipped; the claim keeps going until it finds a healthy task or
     /// drains the queue.
-    pub fn claim(&self) -> StorageResult<Option<ClaimedTask<T>>> {
+    pub async fn claim(&self) -> StorageResult<Option<ClaimedTask<T>>> {
         loop {
-            let Some(message) = self.queue.get_message_with_visibility(self.visibility)? else {
+            let Some(message) = self
+                .queue
+                .get_message_with_visibility(self.visibility)
+                .await?
+            else {
                 return Ok(None);
             };
             if let Some(max) = self.max_attempts {
                 if message.dequeue_count > max {
-                    self.dead_letter(&message)?;
+                    self.dead_letter(&message).await?;
                     continue;
                 }
             }
@@ -127,7 +131,7 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
                     }))
                 }
                 Err(_) => {
-                    self.dead_letter(&message)?;
+                    self.dead_letter(&message).await?;
                     continue;
                 }
             }
@@ -135,10 +139,10 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
     }
 
     /// Move a claimed message to the poison queue and delete the original.
-    fn dead_letter(&self, message: &QueueMessage) -> StorageResult<()> {
-        self.poison.create()?; // idempotent; lazy so clean runs pay nothing
-        self.poison.put_message(message.data.clone())?;
-        self.queue.delete_message(message)?;
+    async fn dead_letter(&self, message: &QueueMessage) -> StorageResult<()> {
+        self.poison.create().await?; // idempotent; lazy so clean runs pay nothing
+        self.poison.put_message(message.data.clone()).await?;
+        self.queue.delete_message(message).await?;
         self.dead_lettered.set(self.dead_lettered.get() + 1);
         Ok(())
     }
@@ -150,8 +154,8 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
 
     /// Messages currently parked in the companion poison queue (across all
     /// handles). Zero if nothing was ever dead-lettered.
-    pub fn dead_letter_count(&self) -> StorageResult<usize> {
-        match self.poison.message_count() {
+    pub async fn dead_letter_count(&self) -> StorageResult<usize> {
+        match self.poison.message_count().await {
             Err(StorageError::QueueNotFound(_)) => Ok(0),
             other => other,
         }
@@ -161,13 +165,13 @@ impl<'e, T: Serialize + DeserializeOwned> TaskQueue<'e, T> {
     /// [`StorageError::PopReceiptMismatch`] if the task already timed out
     /// and was handed to another worker — the caller must treat its own
     /// work as superseded.
-    pub fn complete(&self, claimed: &ClaimedTask<T>) -> StorageResult<()> {
-        self.queue.delete_message(&claimed.message)
+    pub async fn complete(&self, claimed: &ClaimedTask<T>) -> StorageResult<()> {
+        self.queue.delete_message(&claimed.message).await
     }
 
     /// Tasks currently in the queue (visible + in-flight).
-    pub fn pending(&self) -> StorageResult<usize> {
-        self.queue.message_count()
+    pub async fn pending(&self) -> StorageResult<usize> {
+        self.queue.message_count().await
     }
 }
 
@@ -188,52 +192,54 @@ mod tests {
     #[test]
     fn submit_claim_complete_roundtrip() {
         let sim = Simulation::new(Cluster::with_defaults(), 7);
-        sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "tasks");
-            tq.init().unwrap();
+        sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> = TaskQueue::new(&env, "tasks");
+            tq.init().await.unwrap();
             tq.submit(&Job {
                 id: 7,
                 input_blob: "chunk-7".into(),
             })
+            .await
             .unwrap();
-            assert_eq!(tq.pending().unwrap(), 1);
-            let claimed = tq.claim().unwrap().unwrap();
+            assert_eq!(tq.pending().await.unwrap(), 1);
+            let claimed = tq.claim().await.unwrap().unwrap();
             assert_eq!(claimed.task.id, 7);
             assert_eq!(claimed.attempt, 1);
-            tq.complete(&claimed).unwrap();
-            assert_eq!(tq.pending().unwrap(), 0);
-            assert!(tq.claim().unwrap().is_none());
+            tq.complete(&claimed).await.unwrap();
+            assert_eq!(tq.pending().await.unwrap(), 0);
+            assert!(tq.claim().await.unwrap().is_none());
         });
     }
 
     #[test]
     fn abandoned_task_reappears_for_another_worker() {
         let sim = Simulation::new(Cluster::with_defaults(), 8);
-        sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> =
+        sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> =
                 TaskQueue::new(&env, "tasks").with_visibility(Duration::from_secs(5));
-            tq.init().unwrap();
+            tq.init().await.unwrap();
             tq.submit(&Job {
                 id: 1,
                 input_blob: "x".into(),
             })
+            .await
             .unwrap();
             // First claim: "crash" (never complete).
-            let first = tq.claim().unwrap().unwrap();
+            let first = tq.claim().await.unwrap().unwrap();
             assert_eq!(first.attempt, 1);
             // Within the window nothing is claimable.
-            assert!(tq.claim().unwrap().is_none());
+            assert!(tq.claim().await.unwrap().is_none());
             // After the window the task is re-delivered.
-            ctx.sleep(Duration::from_secs(6));
-            let second = tq.claim().unwrap().unwrap();
+            ctx.sleep(Duration::from_secs(6)).await;
+            let second = tq.claim().await.unwrap().unwrap();
             assert_eq!(second.task, first.task);
             assert_eq!(second.attempt, 2);
-            tq.complete(&second).unwrap();
+            tq.complete(&second).await.unwrap();
             // The crashed claimer's receipt is now useless.
             assert!(matches!(
-                tq.complete(&first),
+                tq.complete(&first).await,
                 Err(StorageError::PopReceiptMismatch)
             ));
         });
@@ -244,16 +250,17 @@ mod tests {
         let n_workers = 6usize;
         let n_tasks = 40u32;
         let sim = Simulation::new(Cluster::with_defaults(), 9);
-        let report = sim.run_workers(n_workers, move |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "tasks");
-            tq.init().unwrap();
+        let report = sim.run_workers(n_workers, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> = TaskQueue::new(&env, "tasks");
+            tq.init().await.unwrap();
             if ctx.id().0 == 0 {
                 for id in 0..n_tasks {
                     tq.submit(&Job {
                         id,
                         input_blob: format!("b{id}"),
                     })
+                    .await
                     .unwrap();
                 }
             }
@@ -262,15 +269,15 @@ mod tests {
             let mut got = Vec::new();
             let mut idle = 0;
             while idle < 3 {
-                match tq.claim().unwrap() {
+                match tq.claim().await.unwrap() {
                     Some(c) => {
                         idle = 0;
-                        tq.complete(&c).unwrap();
+                        tq.complete(&c).await.unwrap();
                         got.push(c.task.id);
                     }
                     None => {
                         idle += 1;
-                        ctx.sleep(Duration::from_secs(1));
+                        ctx.sleep(Duration::from_secs(1)).await;
                     }
                 }
             }
@@ -285,54 +292,58 @@ mod tests {
     #[test]
     fn malformed_payloads_are_dead_lettered_not_fatal() {
         let sim = Simulation::new(Cluster::with_defaults(), 10);
-        sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "tasks");
-            tq.init().unwrap();
-            assert_eq!(tq.dead_letter_count().unwrap(), 0);
+        sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> = TaskQueue::new(&env, "tasks");
+            tq.init().await.unwrap();
+            assert_eq!(tq.dead_letter_count().await.unwrap(), 0);
             // A buggy producer wrote garbage ahead of a healthy task.
             let raw = azsim_client::QueueClient::new(&env, "tasks");
-            raw.put_message(Bytes::from_static(b"{not json")).unwrap();
+            raw.put_message(Bytes::from_static(b"{not json"))
+                .await
+                .unwrap();
             tq.submit(&Job {
                 id: 3,
                 input_blob: "b3".into(),
             })
+            .await
             .unwrap();
             // The claim skips the poison message and returns the real task.
-            let claimed = tq.claim().unwrap().unwrap();
+            let claimed = tq.claim().await.unwrap().unwrap();
             assert_eq!(claimed.task.id, 3);
-            tq.complete(&claimed).unwrap();
+            tq.complete(&claimed).await.unwrap();
             assert_eq!(tq.dead_lettered(), 1);
-            assert_eq!(tq.dead_letter_count().unwrap(), 1);
-            assert_eq!(tq.pending().unwrap(), 0);
+            assert_eq!(tq.dead_letter_count().await.unwrap(), 1);
+            assert_eq!(tq.pending().await.unwrap(), 0);
         });
     }
 
     #[test]
     fn repeatedly_redelivered_tasks_are_dead_lettered() {
         let sim = Simulation::new(Cluster::with_defaults(), 11);
-        sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "tasks")
+        sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> = TaskQueue::new(&env, "tasks")
                 .with_visibility(Duration::from_secs(1))
                 .with_max_attempts(2);
-            tq.init().unwrap();
+            tq.init().await.unwrap();
             tq.submit(&Job {
                 id: 9,
                 input_blob: "crashy".into(),
             })
+            .await
             .unwrap();
             // Two workers claim and "crash" (never complete).
             for attempt in 1..=2 {
-                let c = tq.claim().unwrap().unwrap();
+                let c = tq.claim().await.unwrap().unwrap();
                 assert_eq!(c.attempt, attempt);
-                ctx.sleep(Duration::from_secs(2));
+                ctx.sleep(Duration::from_secs(2)).await;
             }
             // The third delivery exceeds max_attempts: parked, not re-run.
-            assert!(tq.claim().unwrap().is_none());
+            assert!(tq.claim().await.unwrap().is_none());
             assert_eq!(tq.dead_lettered(), 1);
-            assert_eq!(tq.dead_letter_count().unwrap(), 1);
-            assert_eq!(tq.pending().unwrap(), 0);
+            assert_eq!(tq.dead_letter_count().await.unwrap(), 1);
+            assert_eq!(tq.pending().await.unwrap(), 0);
         });
     }
 }

@@ -14,15 +14,15 @@ use std::time::Duration;
 /// A write-mostly signal queue: workers [`signal`](Self::signal) events,
 /// the front end [`count`](Self::count)s or
 /// [`wait_for`](Self::wait_for)s them.
-pub struct TerminationIndicator<'e> {
-    queue: QueueClient<'e>,
-    env: &'e dyn Environment,
+pub struct TerminationIndicator<'e, E: Environment> {
+    queue: QueueClient<'e, E>,
+    env: &'e E,
     poll_interval: Duration,
 }
 
-impl<'e> TerminationIndicator<'e> {
+impl<'e, E: Environment> TerminationIndicator<'e, E> {
     /// Bind to `queue_name`.
-    pub fn new(env: &'e dyn Environment, queue_name: impl Into<String>) -> Self {
+    pub fn new(env: &'e E, queue_name: impl Into<String>) -> Self {
         TerminationIndicator {
             queue: QueueClient::new(env, queue_name),
             env,
@@ -37,30 +37,30 @@ impl<'e> TerminationIndicator<'e> {
     }
 
     /// Create the underlying queue (idempotent).
-    pub fn init(&self) -> StorageResult<()> {
-        self.queue.create()
+    pub async fn init(&self) -> StorageResult<()> {
+        self.queue.create().await
     }
 
     /// Signal one completed unit of work, with a small payload describing
     /// it (phase id, task id — anything the front end may display).
-    pub fn signal(&self, what: impl Into<Bytes>) -> StorageResult<()> {
-        self.queue.put_message(what.into())
+    pub async fn signal(&self, what: impl Into<Bytes>) -> StorageResult<()> {
+        self.queue.put_message(what.into()).await
     }
 
     /// Number of signals so far.
-    pub fn count(&self) -> StorageResult<usize> {
-        self.queue.message_count()
+    pub async fn count(&self) -> StorageResult<usize> {
+        self.queue.message_count().await
     }
 
     /// Block until at least `n` signals have been recorded, polling with a
     /// one-second back-off (the paper's pattern for progress reporting).
-    pub fn wait_for(&self, n: usize) -> StorageResult<usize> {
+    pub async fn wait_for(&self, n: usize) -> StorageResult<usize> {
         loop {
-            let c = self.count()?;
+            let c = self.count().await?;
             if c >= n {
                 return Ok(c);
             }
-            self.env.sleep(self.poll_interval);
+            self.env.sleep(self.poll_interval).await;
         }
     }
 }
@@ -69,7 +69,7 @@ impl<'e> TerminationIndicator<'e> {
 mod tests {
     use super::*;
     use azsim_client::VirtualEnv;
-    use azsim_core::runtime::ActorFn;
+    use azsim_core::runtime::{actor, ActorCtx, ActorFn};
     use azsim_core::Simulation;
     use azsim_fabric::Cluster;
 
@@ -79,20 +79,20 @@ mod tests {
         let sim = Simulation::new(Cluster::with_defaults(), 5);
         let mut actors: Vec<ActorFn<'_, Cluster, usize>> = Vec::new();
         // Web role: waits for all workers.
-        actors.push(Box::new(move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+            let env = VirtualEnv::new(&ctx);
             let ind = TerminationIndicator::new(&env, "done");
-            ind.init().unwrap();
-            ind.wait_for(workers).unwrap()
+            ind.init().await.unwrap();
+            ind.wait_for(workers).await.unwrap()
         }));
         // Workers: do "work" (sleep), then signal.
         for w in 0..workers {
-            actors.push(Box::new(move |ctx| {
-                let env = VirtualEnv::new(ctx);
+            actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+                let env = VirtualEnv::new(&ctx);
                 let ind = TerminationIndicator::new(&env, "done");
-                ind.init().unwrap();
-                ctx.sleep(Duration::from_millis(500 * (w as u64 + 1)));
-                ind.signal(format!("task-{w}").into_bytes()).unwrap();
+                ind.init().await.unwrap();
+                ctx.sleep(Duration::from_millis(500 * (w as u64 + 1))).await;
+                ind.signal(format!("task-{w}").into_bytes()).await.unwrap();
                 0
             }));
         }
@@ -105,17 +105,17 @@ mod tests {
     #[test]
     fn count_reflects_signals() {
         let sim = Simulation::new(Cluster::with_defaults(), 6);
-        sim.run_workers(1, |ctx| {
-            let env = VirtualEnv::new(ctx);
+        sim.run_workers(1, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let ind = TerminationIndicator::new(&env, "done");
-            ind.init().unwrap();
-            assert_eq!(ind.count().unwrap(), 0);
+            ind.init().await.unwrap();
+            assert_eq!(ind.count().await.unwrap(), 0);
             for i in 0..5 {
-                ind.signal(vec![i as u8]).unwrap();
+                ind.signal(vec![i as u8]).await.unwrap();
             }
-            assert_eq!(ind.count().unwrap(), 5);
+            assert_eq!(ind.count().await.unwrap(), 5);
             // wait_for returns immediately once satisfied.
-            assert_eq!(ind.wait_for(5).unwrap(), 5);
+            assert_eq!(ind.wait_for(5).await.unwrap(), 5);
         });
     }
 }

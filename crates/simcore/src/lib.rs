@@ -8,12 +8,16 @@
 //! * Queueing resources ([`resource::FifoServer`], [`resource::Pipe`],
 //!   [`resource::TokenBucket`]) used by the cluster model to turn operation
 //!   descriptions into virtual latencies.
-//! * [`runtime::Simulation`] — a conservative virtual-time executor. Each
-//!   simulated role instance is a real OS thread running ordinary blocking
-//!   Rust code; the last thread to block on a timed action runs the next
-//!   scheduling round itself (baton scheduling), batch-waking every actor
-//!   whose event fires at the popped instant. The virtual clock advances
-//!   only when every thread is parked. Same seed ⇒ identical results.
+//! * [`runtime::Simulation`] — a single-threaded stackless-coroutine
+//!   virtual-time executor. Each simulated role instance is a boxed future;
+//!   the event heap drives polling directly (the popped event's actor is
+//!   polled in place with a no-op waker), so a handoff between actors is a
+//!   function call instead of an OS park/unpark. Same seed ⇒ identical
+//!   results.
+//! * [`threaded::ThreadedSimulation`] — the original thread-per-actor
+//!   baton-scheduling executor, retained as an executable reference for
+//!   differential testing and for actor bodies that must block the host
+//!   thread.
 //! * [`rng`] — deterministic seed derivation so each simulated actor gets an
 //!   independent, reproducible random stream.
 //! * [`stats`] — small online-statistics helpers shared by the benchmark
@@ -28,10 +32,12 @@ pub mod resource;
 pub mod rng;
 pub mod runtime;
 pub mod stats;
+pub mod threaded;
 pub mod time;
 pub mod timeline;
 
 pub use heap::EventHeap;
-pub use runtime::{ActorCtx, ActorId, Model, Simulation};
+pub use runtime::{actor, block_on, ActorCtx, ActorId, Model, SimReport, Simulation};
+pub use threaded::{ThreadedActorCtx, ThreadedSimulation};
 pub use time::SimTime;
 pub use timeline::{CounterId, GaugeId, GaugeRecorder, SaturationTracker, TimeSeries};

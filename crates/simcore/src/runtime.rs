@@ -1,61 +1,71 @@
-//! Conservative virtual-time executor.
+//! Stackless-coroutine virtual-time executor.
 //!
 //! Benchmark code in this project looks exactly like the paper's worker-role
-//! code: ordinary sequential calls such as `queue.put_message(..)` and
-//! `ctx.sleep(Duration::from_secs(1))`. To run that code against a *modeled*
-//! cluster with a *virtual* clock, each simulated role instance is a real OS
-//! thread holding an [`ActorCtx`].
+//! code: ordinary sequential calls such as `queue.put_message(..).await` and
+//! `ctx.sleep(Duration::from_secs(1)).await`. Each simulated role instance
+//! is a **future** (an [`ActorFn`] body), not an OS thread: the event heap
+//! drives polling directly, so a handoff between two actors is a function
+//! call instead of a mutex/condvar round-trip.
 //!
-//! ## Baton scheduling
+//! ## Polling discipline
 //!
-//! There is no coordinator thread. All scheduler state — the event heap,
-//! per-actor clocks and sequence counters, the model itself — lives in one
-//! mutex-protected [`CoordState`]. When an actor performs a timed action it
-//! pushes its event and decrements the `running` count; whichever actor's
-//! block (or exit) brings `running` to zero *becomes* the scheduler and runs
-//! one scheduling round in place, waking the actors whose events fire next.
-//! An actor whose own event is the earliest simply picks it out of its
-//! mailbox and keeps going — a sequential stretch of simulated operations
-//! costs **zero** OS context switches, and a genuine handoff between two
-//! actors costs one park/unpark instead of the two (actor → coordinator →
-//! actor) of a coordinator design.
+//! The executor is single-threaded and owns all scheduler state — the event
+//! heap, per-actor clocks and sequence counters, the model itself — in one
+//! [`ExecState`] behind a `RefCell`. Execution proceeds in two phases:
 //!
-//! A scheduling round **batch-wakes** every actor whose `Deliver`/`Timer`
-//! event is ready at the popped virtual instant: it keeps popping while the
-//! next event carries the same timestamp and is a wakeup (stopping early at
-//! an `Arrival`, which must be handed to the model only after earlier-keyed
-//! events from the just-woken actors have been scheduled). Woken actors run
-//! concurrently in host time but cannot advance the virtual clock — the next
-//! round happens only once all of them block again.
+//! 1. **Launch.** Every actor future is polled once, in actor-id order,
+//!    before any event is popped. An actor runs until its first timed action
+//!    (`call`/`sleep`), whose future pushes one event keyed
+//!    `(time, actor, seq)` on its *first* poll and returns `Pending` — the
+//!    exact "submit all first events, then pop" discipline of the
+//!    one-at-a-time reference interpreter.
+//! 2. **Event loop.** Events pop one at a time in `(time, actor, seq)`
+//!    order. An `Arrival` is handed to [`Model::handle`] and its response
+//!    scheduled as a `Deliver` at the completion time. A `Deliver`/`Timer`
+//!    advances the target actor's clock, deposits the wakeup in its mailbox
+//!    slot, and polls that actor's future in place with a no-op waker
+//!    ([`std::task::Waker::noop`]); the future takes the mail, runs user
+//!    code until the next timed action (pushing the next event), and returns
+//!    `Pending` again — or completes.
 //!
 //! ## Why this is exact and deterministic
 //!
-//! * User code between two timed actions consumes **zero virtual time**, so
-//!   the only places the clock can advance are inside a scheduling round,
-//!   and rounds run only when every actor is parked.
+//! * User code between two timed actions consumes **zero virtual time** and
+//!   runs to quiescence within a single `poll`, so the only place the clock
+//!   advances is the event loop.
 //! * Events pop in `(time, actor, seq)` order from the [`EventHeap`]; the
 //!   per-actor sequence numbers make that order a pure function of the
-//!   simulation history, not of host-OS scheduling.
-//! * Batch-waking preserves the one-event-at-a-time model trace: wakeups
-//!   batched at time `T` never touch the model, a pending `Arrival` always
-//!   ends the batch, and a woken actor's *future* pushes at `T` carry larger
-//!   per-actor sequence numbers than anything it already consumed — so
-//!   arrivals still reach [`Model::handle`] in exact heap-key order. The
-//!   test module checks this against an executable one-at-a-time reference.
+//!   simulation history. No wakers, no ready-queues, no host-OS scheduling
+//!   anywhere in the loop: the executor *is* the one-at-a-time reference
+//!   interpreter that the thread-backed executor ([`crate::threaded`]) is
+//!   tested against, so both backends — and therefore all golden figure
+//!   artifacts — agree bit-for-bit by construction.
 //! * The cluster model ([`Model::handle`]) sees arrivals in non-decreasing
 //!   virtual-time order, which makes analytic `next_free` bookkeeping in the
 //!   queueing resources exact (see [`crate::resource`]).
 //!
-//! A 100-worker benchmark that would take hours of wall-clock time on the
-//! real service completes in seconds of host time.
+//! ## Invariants
+//!
+//! * Every `Pending` poll of an actor future has pushed exactly one event
+//!   for that actor first (enforced by the [`Wait`] future). Hence an empty
+//!   heap with unfinished actors is a genuine deadlock and panics.
+//! * A panic in an actor body unwinds straight through the executor to the
+//!   caller — single-threaded execution needs no cascade-teardown machinery,
+//!   and the payload is always the root cause.
+//!
+//! Per-actor cost is one boxed future instead of an OS thread stack, so
+//! simulations scale far past the paper's ~100-worker ceiling: the engine
+//! benchmark ladder runs 512 actors at the same per-op cost as 32.
 
 use crate::heap::{EventHeap, EventKey};
 use crate::rng::stream_rng;
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
-use std::cell::{Cell, RefCell};
-use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 /// Identifies a simulated actor (role instance) within one simulation.
@@ -68,6 +78,10 @@ pub struct ActorId(pub usize);
 /// virtual-arrival order) and must return the request's completion time
 /// together with its response. Implementations mutate their internal state
 /// (storage contents, resource bookkeeping) as a side effect.
+///
+/// The `Send` supertrait is required by the thread-backed reference executor
+/// ([`crate::threaded`]); the coroutine executor itself never moves the
+/// model across threads.
 pub trait Model: Send {
     /// Request type actors submit via [`ActorCtx::call`].
     type Req: Send;
@@ -85,232 +99,87 @@ enum Payload<M: Model> {
     Timer,
 }
 
-/// What a scheduling round leaves in a woken actor's mailbox.
+/// What the event loop leaves in a woken actor's mailbox slot. The firing
+/// time is not carried here: it is already recorded in the actor's clock
+/// (`actor_time`) before the actor is polled.
 enum Mail<Resp> {
-    Response(SimTime, Resp),
-    Timer(SimTime),
-    /// The simulation is being torn down because some thread panicked;
-    /// unwind instead of continuing.
-    Dead,
+    Response(Resp),
+    Timer,
 }
 
-/// Panic payload used to cascade a teardown to blocked actors. Kept as a
-/// `&'static str` literal so the root cause can be told apart from the
-/// cascade when propagating panics to the caller.
-const DEAD_MSG: &str = "simulation terminated: another actor failed";
-
-fn is_cascade(p: &(dyn std::any::Any + Send)) -> bool {
-    p.downcast_ref::<&'static str>() == Some(&DEAD_MSG)
-}
-
-/// All mutable scheduler state, guarded by one mutex.
-struct CoordState<M: Model> {
+/// All scheduler state, owned by the executor and shared with the per-actor
+/// [`ActorCtx`] handles through an `Rc<RefCell<..>>`. Borrows are always
+/// transient: the executor drops its borrow before polling an actor, and the
+/// [`Wait`] future drops its borrow before returning from `poll`.
+struct ExecState<M: Model> {
     heap: EventHeap<Payload<M>>,
     /// Per-actor event sequence counters (tie-break within one instant).
     seq: Vec<u64>,
     /// Per-actor virtual clocks (time of the last wakeup delivered).
     actor_time: Vec<SimTime>,
-    /// One slot per actor; a scheduling round deposits the wakeup here.
+    /// One slot per actor; the event loop deposits the wakeup here.
     mailbox: Vec<Option<Mail<M::Resp>>>,
+    /// Per-actor count of [`ActorCtx::call`]s issued.
+    calls: Vec<u64>,
     model: M,
-    /// Actors currently executing user code (not parked, not finished).
-    running: usize,
-    /// Actors whose body has not yet returned.
-    live: usize,
     end_time: SimTime,
     requests: u64,
-    /// Set on the first panic; all subsequent activity unwinds.
-    dead: bool,
 }
 
-struct Shared<M: Model> {
-    state: Mutex<CoordState<M>>,
-    /// One condvar per actor so a round wakes exactly the actors it means to.
-    cvars: Vec<Condvar>,
-}
-
-impl<M: Model> Shared<M> {
-    /// Lock the scheduler state, recovering from poison: a panicking thread
-    /// marks the state `dead` before unwinding, so the data is consistent.
-    fn lock(&self) -> MutexGuard<'_, CoordState<M>> {
-        self.state.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
-    /// Run one scheduling round. Caller must hold the lock with
-    /// `running == 0` and at least one live actor.
-    ///
-    /// Pops the earliest event, then keeps popping while further events are
-    /// wakeups at the *same instant*, waking each target actor (batch-wake).
-    /// Arrivals are handled inline until the first wakeup is produced; after
-    /// that an arrival ends the batch, because the just-woken actors may
-    /// still push earlier-keyed events at this instant.
-    fn round(&self, st: &mut CoordState<M>, me: usize) {
-        debug_assert_eq!(st.running, 0);
-        let mut batch: Option<SimTime> = None;
-        loop {
-            match st.heap.peek() {
-                None => {
-                    assert!(
-                        batch.is_some(),
-                        "deadlock: live actors blocked with no pending events"
-                    );
-                    return;
-                }
-                Some((k, p)) => {
-                    if let Some(t) = batch {
-                        if k.time != t || matches!(p, Payload::Arrival(_)) {
-                            return;
-                        }
-                    }
-                }
-            }
-            let (k, payload) = st.heap.pop().expect("peeked event vanished");
-            st.end_time = k.time;
-            let a = k.actor.0;
-            match payload {
-                Payload::Arrival(req) => {
-                    st.requests += 1;
-                    let (done, resp) = st.model.handle(k.time, k.actor, req);
-                    assert!(
-                        done >= k.time,
-                        "model completed a request before it arrived"
-                    );
-                    let dk = EventKey {
-                        time: done,
-                        actor: k.actor,
-                        seq: st.seq[a],
-                    };
-                    st.seq[a] += 1;
-                    st.heap.push(dk, Payload::Deliver(resp));
-                }
-                Payload::Deliver(resp) => {
-                    st.actor_time[a] = k.time;
-                    st.mailbox[a] = Some(Mail::Response(k.time, resp));
-                    st.running += 1;
-                    if a != me {
-                        self.cvars[a].notify_one();
-                    }
-                    batch = Some(k.time);
-                }
-                Payload::Timer => {
-                    st.actor_time[a] = k.time;
-                    st.mailbox[a] = Some(Mail::Timer(k.time));
-                    st.running += 1;
-                    if a != me {
-                        self.cvars[a].notify_one();
-                    }
-                    batch = Some(k.time);
-                }
-            }
-        }
-    }
-
-    /// Run a round; if it panics (model bug, deadlock), mark the simulation
-    /// dead and wake everyone before re-raising, so no thread stays parked.
-    fn round_or_kill(&self, st: &mut CoordState<M>, me: usize) {
-        if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| self.round(st, me))) {
-            self.kill(st);
-            std::panic::resume_unwind(p);
-        }
-    }
-
-    /// Tear the simulation down: every parked actor gets [`Mail::Dead`] and
-    /// a wakeup so it can unwind instead of waiting forever.
-    fn kill(&self, st: &mut CoordState<M>) {
-        st.dead = true;
-        for (mb, cv) in st.mailbox.iter_mut().zip(&self.cvars) {
-            if mb.is_none() {
-                *mb = Some(Mail::Dead);
-            }
-            cv.notify_all();
-        }
-    }
-}
-
-/// Handle through which an actor thread interacts with virtual time.
+/// Handle through which an actor body interacts with virtual time.
 ///
-/// Not `Sync`: each actor owns exactly one context.
+/// Cheap to clone (two `Rc` bumps): clones share the same actor identity,
+/// clock, random stream and scheduler state, so an environment wrapper may
+/// hold its own copy while the actor body keeps another.
 pub struct ActorCtx<M: Model> {
-    id: usize,
-    now: Cell<u64>,
-    calls: Cell<u64>,
-    shared: Arc<Shared<M>>,
-    rng: RefCell<SmallRng>,
+    id: ActorId,
+    rng: Rc<RefCell<SmallRng>>,
+    state: Rc<RefCell<ExecState<M>>>,
+}
+
+impl<M: Model> Clone for ActorCtx<M> {
+    fn clone(&self) -> Self {
+        ActorCtx {
+            id: self.id,
+            rng: Rc::clone(&self.rng),
+            state: Rc::clone(&self.state),
+        }
+    }
 }
 
 impl<M: Model> ActorCtx<M> {
     /// This actor's id (0-based, dense).
     pub fn id(&self) -> ActorId {
-        ActorId(self.id)
+        self.id
     }
 
     /// Current virtual time as observed by this actor.
     pub fn now(&self) -> SimTime {
-        SimTime(self.now.get())
+        self.state.borrow().actor_time[self.id.0]
     }
 
     /// Number of [`ActorCtx::call`]s issued so far.
     pub fn call_count(&self) -> u64 {
-        self.calls.get()
+        self.state.borrow().calls[self.id.0]
     }
 
-    /// Push an event `delay` after this actor's clock, park until a
-    /// scheduling round wakes us, and return the mailbox contents. The last
-    /// actor to park runs the round itself instead of parking.
-    fn block_on(&self, payload: Payload<M>, delay: Duration) -> Mail<M::Resp> {
-        let sh = &*self.shared;
-        let mut st = sh.lock();
-        if st.dead {
-            std::panic::panic_any(DEAD_MSG);
-        }
-        let k = EventKey {
-            time: st.actor_time[self.id] + delay,
-            actor: ActorId(self.id),
-            seq: st.seq[self.id],
-        };
-        st.seq[self.id] += 1;
-        st.heap.push(k, payload);
-        st.running -= 1;
-        loop {
-            if let Some(mail) = st.mailbox[self.id].take() {
-                if let Mail::Dead = mail {
-                    std::panic::panic_any(DEAD_MSG);
-                }
-                return mail;
-            }
-            if st.dead {
-                std::panic::panic_any(DEAD_MSG);
-            }
-            if st.running == 0 {
-                sh.round_or_kill(&mut st, self.id);
-            } else {
-                st = sh.cvars[self.id]
-                    .wait(st)
-                    .unwrap_or_else(|p| p.into_inner());
-            }
-        }
-    }
-
-    /// Submit a request to the model and block (in virtual time) until its
+    /// Submit a request to the model and wait (in virtual time) until its
     /// response is delivered.
-    pub fn call(&self, req: M::Req) -> M::Resp {
-        self.calls.set(self.calls.get() + 1);
-        match self.block_on(Payload::Arrival(req), Duration::ZERO) {
-            Mail::Response(t, resp) => {
-                self.now.set(t.as_nanos());
-                resp
-            }
-            _ => unreachable!("timer wakeup while awaiting response"),
+    pub async fn call(&self, req: M::Req) -> M::Resp {
+        self.state.borrow_mut().calls[self.id.0] += 1;
+        match self.wait(Payload::Arrival(req), Duration::ZERO).await {
+            Mail::Response(resp) => resp,
+            Mail::Timer => unreachable!("timer wakeup while awaiting response"),
         }
     }
 
     /// Advance this actor's clock by `d` without doing any work (the paper's
     /// *think time*, and the 1 s back-off before retrying a throttled
     /// operation).
-    pub fn sleep(&self, d: Duration) {
-        match self.block_on(Payload::Timer, d) {
-            Mail::Timer(t) => self.now.set(t.as_nanos()),
-            _ => unreachable!("response wakeup while sleeping"),
+    pub async fn sleep(&self, d: Duration) {
+        match self.wait(Payload::Timer, d).await {
+            Mail::Timer => {}
+            Mail::Response(_) => unreachable!("response wakeup while sleeping"),
         }
     }
 
@@ -318,43 +187,74 @@ impl<M: Model> ActorCtx<M> {
     pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
         f(&mut self.rng.borrow_mut())
     }
-}
 
-/// Retires the actor from the scheduler when its closure returns *or
-/// panics*, so a crashing actor can't deadlock the simulation. If this was
-/// the last running actor, the retirement itself runs the next round.
-struct FinishGuard<M: Model> {
-    shared: Arc<Shared<M>>,
-}
-
-impl<M: Model> Drop for FinishGuard<M> {
-    fn drop(&mut self) {
-        let sh = &*self.shared;
-        let mut st = sh.lock();
-        st.live -= 1;
-        // On a panic path out of `block_on` the actor was already counted
-        // out of `running` (and the simulation is already dead); saturate
-        // rather than corrupt another actor's count.
-        st.running = st.running.saturating_sub(1);
-        if st.dead || st.running > 0 || st.live == 0 {
-            return;
-        }
-        if std::thread::panicking() {
-            // Keep the other actors going; if the round itself fails we must
-            // swallow that panic (resuming a second panic while unwinding
-            // would abort) and just tear everything down.
-            if std::panic::catch_unwind(AssertUnwindSafe(|| sh.round(&mut st, usize::MAX))).is_err()
-            {
-                sh.kill(&mut st);
-            }
-        } else {
-            sh.round_or_kill(&mut st, usize::MAX);
+    fn wait(&self, payload: Payload<M>, delay: Duration) -> Wait<'_, M> {
+        Wait {
+            ctx: self,
+            pending: Some((payload, delay)),
         }
     }
 }
 
-/// A boxed actor body: receives a context reference, returns a result.
-pub type ActorFn<'a, M, R> = Box<dyn FnOnce(&ActorCtx<M>) -> R + Send + 'a>;
+/// The one awaitable in the system: on its first poll it pushes the actor's
+/// next event (`delay` after the actor's clock) and returns `Pending`; when
+/// the event loop deposits the wakeup in the actor's mailbox and re-polls,
+/// it takes the mail and completes.
+struct Wait<'a, M: Model> {
+    ctx: &'a ActorCtx<M>,
+    pending: Option<(Payload<M>, Duration)>,
+}
+
+// `Wait` holds no self-references, and `Pin` never needs to project into the
+// payload: the future is safely movable regardless of `M`'s auto traits.
+impl<M: Model> Unpin for Wait<'_, M> {}
+
+impl<M: Model> Future for Wait<'_, M> {
+    type Output = Mail<M::Resp>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let i = this.ctx.id.0;
+        if let Some((payload, delay)) = this.pending.take() {
+            let mut st = this.ctx.state.borrow_mut();
+            let k = EventKey {
+                time: st.actor_time[i] + delay,
+                actor: this.ctx.id,
+                seq: st.seq[i],
+            };
+            st.seq[i] += 1;
+            st.heap.push(k, payload);
+            return Poll::Pending;
+        }
+        match this.ctx.state.borrow_mut().mailbox[i].take() {
+            Some(mail) => Poll::Ready(mail),
+            // Spurious poll (e.g. via `block_on` on a foreign executor):
+            // stay pending until the event loop delivers the wakeup.
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// A boxed actor body future.
+pub type ActorFuture<'a, R> = Pin<Box<dyn Future<Output = R> + 'a>>;
+
+/// A boxed actor body: receives its context by value, returns a future.
+pub type ActorFn<'a, M, R> = Box<dyn FnOnce(ActorCtx<M>) -> ActorFuture<'a, R> + 'a>;
+
+/// Box an async closure into an [`ActorFn`] — sugar for heterogeneous
+/// [`Simulation::run`] actor lists:
+///
+/// ```ignore
+/// actors.push(actor(|ctx| async move { ctx.sleep(d).await; 0 }));
+/// ```
+pub fn actor<'a, M, R, F, Fut>(f: F) -> ActorFn<'a, M, R>
+where
+    M: Model,
+    F: FnOnce(ActorCtx<M>) -> Fut + 'a,
+    Fut: Future<Output = R> + 'a,
+{
+    Box::new(move |ctx| Box::pin(f(ctx)) as ActorFuture<'a, R>)
+}
 
 /// Outcome of a completed simulation.
 pub struct SimReport<M, R> {
@@ -382,83 +282,155 @@ impl<M: Model> Simulation<M> {
 
     /// Run `n` identical workers (the common benchmark shape: the paper
     /// deploys N copies of the same worker role).
-    pub fn run_workers<R, F>(self, n: usize, body: F) -> SimReport<M, R>
+    pub fn run_workers<R, F, Fut>(self, n: usize, body: F) -> SimReport<M, R>
     where
-        R: Send,
-        F: Fn(&ActorCtx<M>) -> R + Send + Sync,
+        F: Fn(ActorCtx<M>) -> Fut,
+        Fut: Future<Output = R>,
     {
         let body = &body;
-        let actors: Vec<ActorFn<'_, M, R>> = (0..n)
-            .map(|_| Box::new(move |ctx: &ActorCtx<M>| body(ctx)) as ActorFn<'_, M, R>)
-            .collect();
+        let actors: Vec<ActorFn<'_, M, R>> = (0..n).map(|_| actor(body)).collect();
         self.run(actors)
     }
 
     /// Run a heterogeneous set of actors (e.g. one web role plus N worker
     /// roles). Actor ids are assigned by position.
-    pub fn run<'a, R: Send>(self, actors: Vec<ActorFn<'a, M, R>>) -> SimReport<M, R> {
+    pub fn run<'a, R>(self, actors: Vec<ActorFn<'a, M, R>>) -> SimReport<M, R> {
         let Simulation { model, seed } = self;
         let n = actors.len();
-        let shared = Arc::new(Shared {
-            state: Mutex::new(CoordState {
-                heap: EventHeap::new(),
-                seq: vec![0; n],
-                actor_time: vec![SimTime::ZERO; n],
-                mailbox: (0..n).map(|_| None).collect(),
-                model,
-                running: n,
-                live: n,
-                end_time: SimTime::ZERO,
-                requests: 0,
-                dead: false,
-            }),
-            cvars: (0..n).map(|_| Condvar::new()).collect(),
-        });
+        let state = Rc::new(RefCell::new(ExecState {
+            heap: EventHeap::new(),
+            seq: vec![0; n],
+            actor_time: vec![SimTime::ZERO; n],
+            mailbox: (0..n).map(|_| None).collect(),
+            calls: vec![0; n],
+            model,
+            end_time: SimTime::ZERO,
+            requests: 0,
+        }));
 
+        let mut tasks: Vec<Option<ActorFuture<'a, R>>> = Vec::with_capacity(n);
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut cx = Context::from_waker(Waker::noop());
 
-        let panics = std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(n);
-            for (i, (body, slot)) in actors.into_iter().zip(&mut results).enumerate() {
-                let ctx = ActorCtx {
-                    id: i,
-                    now: Cell::new(0),
-                    calls: Cell::new(0),
-                    shared: Arc::clone(&shared),
-                    rng: RefCell::new(stream_rng(seed, i as u64)),
-                };
-                handles.push(s.spawn(move || {
-                    let _guard = FinishGuard {
-                        shared: Arc::clone(&ctx.shared),
-                    };
-                    *slot = Some(body(&ctx));
-                }));
+        // Launch phase: drive every actor to its first timed action (or to
+        // completion), in actor-id order, before popping any event.
+        for (i, make) in actors.into_iter().enumerate() {
+            let ctx = ActorCtx {
+                id: ActorId(i),
+                rng: Rc::new(RefCell::new(stream_rng(seed, i as u64))),
+                state: Rc::clone(&state),
+            };
+            let mut fut = make(ctx);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(r) => {
+                    results[i] = Some(r);
+                    tasks.push(None);
+                }
+                Poll::Pending => tasks.push(Some(fut)),
             }
-            handles
-                .into_iter()
-                .filter_map(|h| h.join().err())
-                .collect::<Vec<_>>()
-        });
-
-        if !panics.is_empty() {
-            // Prefer the root cause over "another actor failed" cascades.
-            let root = panics
-                .iter()
-                .position(|p| !is_cascade(p.as_ref()))
-                .unwrap_or(0);
-            std::panic::resume_unwind(panics.into_iter().nth(root).expect("root panic index"));
         }
 
-        let shared = Arc::into_inner(shared).expect("actor contexts outlived the simulation");
-        let st = shared.state.into_inner().unwrap_or_else(|p| p.into_inner());
+        // Event loop: one event at a time, in (time, actor, seq) order.
+        loop {
+            let popped = state.borrow_mut().heap.pop();
+            let Some((k, payload)) = popped else { break };
+            let a = k.actor.0;
+            match payload {
+                Payload::Arrival(req) => {
+                    let mut st = state.borrow_mut();
+                    st.end_time = k.time;
+                    st.requests += 1;
+                    let (done, resp) = st.model.handle(k.time, k.actor, req);
+                    assert!(
+                        done >= k.time,
+                        "model completed a request before it arrived"
+                    );
+                    let dk = EventKey {
+                        time: done,
+                        actor: k.actor,
+                        seq: st.seq[a],
+                    };
+                    st.seq[a] += 1;
+                    st.heap.push(dk, Payload::Deliver(resp));
+                }
+                Payload::Deliver(resp) => {
+                    {
+                        let mut st = state.borrow_mut();
+                        st.end_time = k.time;
+                        st.actor_time[a] = k.time;
+                        st.mailbox[a] = Some(Mail::Response(resp));
+                    }
+                    Self::poll_actor(&mut tasks, &mut results, a, &mut cx);
+                }
+                Payload::Timer => {
+                    {
+                        let mut st = state.borrow_mut();
+                        st.end_time = k.time;
+                        st.actor_time[a] = k.time;
+                        st.mailbox[a] = Some(Mail::Timer);
+                    }
+                    Self::poll_actor(&mut tasks, &mut results, a, &mut cx);
+                }
+            }
+        }
+
+        let blocked = tasks.iter().filter(|t| t.is_some()).count();
+        assert!(
+            blocked == 0,
+            "deadlock: {blocked} live actors blocked with no pending events"
+        );
+        drop(tasks);
+        let state = Rc::try_unwrap(state)
+            .ok()
+            .expect("actor contexts outlived the simulation")
+            .into_inner();
         SimReport {
-            model: st.model,
+            model: state.model,
             results: results
                 .into_iter()
                 .map(|r| r.expect("actor finished without producing a result"))
                 .collect(),
-            end_time: st.end_time,
-            requests: st.requests,
+            end_time: state.end_time,
+            requests: state.requests,
+        }
+    }
+
+    /// Poll actor `a` after a wakeup was deposited in its mailbox. The
+    /// `ExecState` borrow is already released: user code inside the future
+    /// is free to touch the heap, clocks and RNG through its own context.
+    fn poll_actor<'a, R>(
+        tasks: &mut [Option<ActorFuture<'a, R>>],
+        results: &mut [Option<R>],
+        a: usize,
+        cx: &mut Context<'_>,
+    ) {
+        let fut = tasks[a]
+            .as_mut()
+            .expect("wakeup delivered to an actor that already finished");
+        if let Poll::Ready(r) = fut.as_mut().poll(cx) {
+            results[a] = Some(r);
+            tasks[a] = None;
+        }
+    }
+}
+
+/// Drive a future to completion on the calling thread by spin-polling with a
+/// no-op waker.
+///
+/// This is the bridge between the async client API and *live mode*: every
+/// future produced against a [`crate::threaded`]-free `LiveEnv` (or any
+/// environment whose awaits are immediately ready) completes in a bounded
+/// number of polls, so the "spin" never actually spins. Futures from a
+/// [`VirtualEnv`-style](ActorCtx) context must instead run inside
+/// [`Simulation::run`]; polling them here would wait forever for an event
+/// loop that is not running.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::yield_now(),
         }
     }
 }
@@ -497,11 +469,11 @@ mod tests {
     #[test]
     fn sleep_advances_virtual_clock() {
         let sim = Simulation::new(echo(1), 0);
-        let report = sim.run_workers(1, |ctx| {
+        let report = sim.run_workers(1, |ctx| async move {
             assert_eq!(ctx.now(), SimTime::ZERO);
-            ctx.sleep(Duration::from_secs(5));
+            ctx.sleep(Duration::from_secs(5)).await;
             assert_eq!(ctx.now(), SimTime::from_secs(5));
-            ctx.sleep(Duration::from_millis(1));
+            ctx.sleep(Duration::from_millis(1)).await;
             ctx.now()
         });
         assert_eq!(report.results[0], SimTime::from_millis(5_001));
@@ -512,8 +484,8 @@ mod tests {
     #[test]
     fn call_returns_model_response_and_advances_clock() {
         let sim = Simulation::new(echo(10), 0);
-        let report = sim.run_workers(1, |ctx| {
-            let (val, done) = ctx.call(7);
+        let report = sim.run_workers(1, |ctx| async move {
+            let (val, done) = ctx.call(7).await;
             assert_eq!(val, 7);
             assert_eq!(done, SimTime::from_millis(10));
             assert_eq!(ctx.now(), done);
@@ -528,8 +500,8 @@ mod tests {
         // Two actors call at t=0; the single server serializes them: one
         // completes at 10 ms, the other at 20 ms.
         let sim = Simulation::new(echo(10), 0);
-        let report = sim.run_workers(2, |ctx| {
-            let (_, done) = ctx.call(ctx.id().0 as u32);
+        let report = sim.run_workers(2, |ctx| async move {
+            let (_, done) = ctx.call(ctx.id().0 as u32).await;
             done
         });
         let mut ends: Vec<u64> = report.results.iter().map(|t| t.as_nanos()).collect();
@@ -548,10 +520,10 @@ mod tests {
     #[test]
     fn sequential_calls_from_one_actor_pipeline_correctly() {
         let sim = Simulation::new(echo(5), 0);
-        let report = sim.run_workers(1, |ctx| {
+        let report = sim.run_workers(1, |ctx| async move {
             let mut ends = Vec::new();
             for i in 0..3 {
-                let (_, done) = ctx.call(i);
+                let (_, done) = ctx.call(i).await;
                 ends.push(done.as_nanos());
             }
             ends
@@ -570,11 +542,11 @@ mod tests {
     fn heterogeneous_actors_via_run() {
         let sim = Simulation::new(echo(1), 0);
         let actors: Vec<ActorFn<'_, EchoModel, u32>> = vec![
-            Box::new(|ctx| {
-                ctx.sleep(Duration::from_secs(1));
+            actor(|ctx| async move {
+                ctx.sleep(Duration::from_secs(1)).await;
                 100
             }),
-            Box::new(|ctx| ctx.call(5).0),
+            actor(|ctx: ActorCtx<EchoModel>| async move { ctx.call(5).await.0 }),
         ];
         let report = sim.run(actors);
         assert_eq!(report.results, vec![100, 5]);
@@ -583,9 +555,26 @@ mod tests {
     #[test]
     fn actor_can_finish_without_any_action() {
         let sim = Simulation::new(echo(1), 0);
-        let report = sim.run_workers(4, |_ctx| 42u8);
+        let report = sim.run_workers(4, |_ctx| async move { 42u8 });
         assert_eq!(report.results, vec![42; 4]);
         assert_eq!(report.end_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn context_clones_share_clock_and_counters() {
+        // An environment wrapper holding its own ActorCtx clone must observe
+        // the same virtual clock and call count as the actor body's copy.
+        let sim = Simulation::new(echo(2), 0);
+        let report = sim.run_workers(1, |ctx| async move {
+            let env = ctx.clone();
+            env.call(1).await;
+            assert_eq!(ctx.now(), env.now());
+            assert_eq!(ctx.call_count(), 1);
+            ctx.sleep(Duration::from_millis(3)).await;
+            assert_eq!(env.now(), ctx.now());
+            env.now()
+        });
+        assert_eq!(report.results[0], SimTime::from_millis(5));
     }
 
     #[test]
@@ -594,12 +583,12 @@ mod tests {
         // trace and all results must be identical across runs.
         let run_once = || {
             let sim = Simulation::new(echo(3), 1234);
-            let report = sim.run_workers(16, |ctx| {
+            let report = sim.run_workers(16, |ctx| async move {
                 let mut log = Vec::new();
                 for i in 0..20 {
                     let think: u64 = ctx.with_rng(|r| r.random_range(0..5_000));
-                    ctx.sleep(Duration::from_micros(think));
-                    let (_, done) = ctx.call(i);
+                    ctx.sleep(Duration::from_micros(think)).await;
+                    let (_, done) = ctx.call(i).await;
                     log.push(done.as_nanos());
                 }
                 log
@@ -616,11 +605,11 @@ mod tests {
     #[test]
     fn arrivals_reach_model_in_time_order() {
         let sim = Simulation::new(echo(1), 7);
-        let report = sim.run_workers(8, |ctx| {
+        let report = sim.run_workers(8, |ctx| async move {
             for i in 0..10 {
                 let think: u64 = ctx.with_rng(|r| r.random_range(0..2_000));
-                ctx.sleep(Duration::from_micros(think));
-                ctx.call(i);
+                ctx.sleep(Duration::from_micros(think)).await;
+                ctx.call(i).await;
             }
         });
         let times: Vec<u64> = report.model.handled.iter().map(|h| h.0).collect();
@@ -635,11 +624,11 @@ mod tests {
     fn panicking_actor_propagates_without_deadlock() {
         let sim = Simulation::new(echo(1), 0);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sim.run_workers(3, |ctx| {
+            sim.run_workers(3, |ctx| async move {
                 if ctx.id().0 == 1 {
                     panic!("boom");
                 }
-                ctx.sleep(Duration::from_millis(1));
+                ctx.sleep(Duration::from_millis(1)).await;
             })
         }));
         assert!(outcome.is_err(), "panic must propagate");
@@ -649,12 +638,12 @@ mod tests {
     fn panic_payload_is_the_root_cause_not_the_cascade() {
         let sim = Simulation::new(echo(1), 0);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sim.run_workers(4, |ctx| {
-                ctx.sleep(Duration::from_millis(1));
+            sim.run_workers(4, |ctx| async move {
+                ctx.sleep(Duration::from_millis(1)).await;
                 if ctx.id().0 == 2 {
                     panic!("root cause");
                 }
-                ctx.sleep(Duration::from_secs(1));
+                ctx.sleep(Duration::from_secs(1)).await;
             })
         }));
         let payload = match outcome {
@@ -666,6 +655,22 @@ mod tests {
             .copied()
             .unwrap_or("<non-str payload>");
         assert_eq!(msg, "root cause");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn awaiting_beyond_the_last_event_is_a_deadlock() {
+        // A future that returns Pending without scheduling anything can
+        // never be woken; the executor must call that out, not hang.
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let sim = Simulation::new(echo(1), 0);
+        sim.run_workers(1, |_ctx| Never);
     }
 
     proptest::proptest! {
@@ -686,14 +691,14 @@ mod tests {
                     .iter()
                     .cloned()
                     .map(|prog| {
-                        Box::new(move |ctx: &ActorCtx<EchoModel>| {
+                        actor(move |ctx: ActorCtx<EchoModel>| async move {
                             let mut times = Vec::new();
                             let mut last = ctx.now();
                             for (is_call, arg) in prog {
                                 if is_call {
-                                    ctx.call(arg as u32);
+                                    ctx.call(arg as u32).await;
                                 } else {
-                                    ctx.sleep(Duration::from_micros(arg));
+                                    ctx.sleep(Duration::from_micros(arg)).await;
                                 }
                                 // Per-actor clock monotonicity.
                                 assert!(ctx.now() >= last);
@@ -701,7 +706,7 @@ mod tests {
                                 times.push(ctx.now().as_nanos());
                             }
                             times
-                        }) as ActorFn<'_, EchoModel, Vec<u64>>
+                        })
                     })
                     .collect();
                 let report = sim.run(actors);
@@ -733,11 +738,11 @@ mod tests {
             let actors: Vec<ActorFn<'_, EchoModel, SimTime>> = sleeps2
                 .into_iter()
                 .map(|us| {
-                    Box::new(move |ctx: &ActorCtx<EchoModel>| {
-                        ctx.sleep(Duration::from_micros(us));
-                        ctx.call(1);
+                    actor(move |ctx: ActorCtx<EchoModel>| async move {
+                        ctx.sleep(Duration::from_micros(us)).await;
+                        ctx.call(1).await;
                         ctx.now()
-                    }) as ActorFn<'_, EchoModel, SimTime>
+                    })
                 })
                 .collect();
             let report = sim.run(actors);
@@ -750,7 +755,8 @@ mod tests {
     fn per_actor_rngs_differ_but_are_reproducible() {
         let draws = |seed| {
             let sim = Simulation::new(echo(1), seed);
-            let report = sim.run_workers(3, |ctx| ctx.with_rng(|r| r.random::<u64>()));
+            let report =
+                sim.run_workers(3, |ctx| async move { ctx.with_rng(|r| r.random::<u64>()) });
             report.results
         };
         let a = draws(5);
@@ -761,183 +767,15 @@ mod tests {
         assert_ne!(a[0], a[1]);
     }
 
-    // ------------------------------------------------------------------
-    // Batch-wake vs one-event-at-a-time reference.
-    //
-    // The original executor woke exactly one actor per event pop and waited
-    // for it to block again before popping the next event. The batch-wake
-    // scheduler must produce the *identical* model trace, per-actor wakeup
-    // times, end time, and request count. `run_reference` is an executable
-    // spec of the one-at-a-time discipline: since test programs are fixed
-    // step lists, "wait for the actor to block again" is exactly "push its
-    // next event immediately after delivering its wakeup".
-    // ------------------------------------------------------------------
-
-    #[derive(Clone, Copy, Debug)]
-    enum Step {
-        Call(u32),
-        SleepUs(u64),
-    }
-
-    type Trace = (Vec<(u64, usize, u32)>, Vec<Vec<u64>>, u64, u64);
-
-    fn run_reference(service_ms: u64, programs: &[Vec<Step>]) -> Trace {
-        let n = programs.len();
-        let mut model = echo(service_ms);
-        let mut heap: EventHeap<Payload<EchoModel>> = EventHeap::new();
-        let mut seq = vec![0u64; n];
-        let mut at = vec![SimTime::ZERO; n];
-        let mut pc = vec![0usize; n];
-        let mut results: Vec<Vec<u64>> = vec![Vec::new(); n];
-        let mut end_time = SimTime::ZERO;
-        let mut requests = 0u64;
-
-        fn submit(
-            programs: &[Vec<Step>],
-            a: usize,
-            heap: &mut EventHeap<Payload<EchoModel>>,
-            seq: &mut [u64],
-            at: &[SimTime],
-            pc: &[usize],
-        ) {
-            if let Some(step) = programs[a].get(pc[a]) {
-                let (t, p) = match *step {
-                    Step::Call(v) => (at[a], Payload::Arrival(v)),
-                    Step::SleepUs(us) => (at[a] + Duration::from_micros(us), Payload::Timer),
-                };
-                heap.push(
-                    EventKey {
-                        time: t,
-                        actor: ActorId(a),
-                        seq: seq[a],
-                    },
-                    p,
-                );
-                seq[a] += 1;
-            }
-        }
-
-        for a in 0..n {
-            submit(programs, a, &mut heap, &mut seq, &at, &pc);
-        }
-        while let Some((k, payload)) = heap.pop() {
-            end_time = k.time;
-            let a = k.actor.0;
-            match payload {
-                Payload::Arrival(req) => {
-                    requests += 1;
-                    let (done, resp) = model.handle(k.time, k.actor, req);
-                    heap.push(
-                        EventKey {
-                            time: done,
-                            actor: k.actor,
-                            seq: seq[a],
-                        },
-                        Payload::Deliver(resp),
-                    );
-                    seq[a] += 1;
-                }
-                Payload::Deliver(_) | Payload::Timer => {
-                    at[a] = k.time;
-                    results[a].push(k.time.as_nanos());
-                    pc[a] += 1;
-                    submit(programs, a, &mut heap, &mut seq, &at, &pc);
-                }
-            }
-        }
-        (model.handled, results, end_time.as_nanos(), requests)
-    }
-
-    fn run_real(service_ms: u64, programs: &[Vec<Step>]) -> Trace {
-        let sim = Simulation::new(echo(service_ms), 0);
-        let actors: Vec<ActorFn<'_, EchoModel, Vec<u64>>> = programs
-            .iter()
-            .map(|prog| {
-                let prog = prog.clone();
-                Box::new(move |ctx: &ActorCtx<EchoModel>| {
-                    let mut times = Vec::new();
-                    for step in &prog {
-                        match *step {
-                            Step::Call(v) => {
-                                ctx.call(v);
-                            }
-                            Step::SleepUs(us) => ctx.sleep(Duration::from_micros(us)),
-                        }
-                        times.push(ctx.now().as_nanos());
-                    }
-                    times
-                }) as ActorFn<'_, EchoModel, Vec<u64>>
-            })
-            .collect();
-        let report = sim.run(actors);
-        (
-            report.model.handled,
-            report.results,
-            report.end_time.as_nanos(),
-            report.requests,
-        )
-    }
-
     #[test]
-    fn batch_wake_matches_reference_at_shared_instants() {
-        // Every actor sleeps the same durations, so all timers fire at the
-        // same virtual instants and each round batch-wakes all of them.
-        let programs: Vec<Vec<Step>> = (0..8)
-            .map(|i| {
-                vec![
-                    Step::SleepUs(1_000),
-                    Step::Call(i as u32),
-                    Step::SleepUs(1_000),
-                    Step::Call(100 + i as u32),
-                ]
-            })
-            .collect();
-        assert_eq!(run_real(3, &programs), run_reference(3, &programs));
-    }
-
-    #[test]
-    fn zero_length_sleeps_match_reference() {
-        // Zero-duration timers pile events at one instant together with
-        // arrivals — the batch must still end at each arrival.
-        let programs: Vec<Vec<Step>> = (0..4)
-            .map(|i| {
-                vec![
-                    Step::SleepUs(0),
-                    Step::Call(i as u32),
-                    Step::SleepUs(0),
-                    Step::SleepUs(0),
-                    Step::Call(10 + i as u32),
-                ]
-            })
-            .collect();
-        assert_eq!(run_real(1, &programs), run_reference(1, &programs));
-    }
-
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
-        /// Random programs: the batch-wake scheduler reproduces the
-        /// one-at-a-time reference trace exactly. Sleep durations are drawn
-        /// from a tiny range so distinct actors frequently collide on the
-        /// same virtual instant and exercise the batching path.
-        #[test]
-        fn prop_matches_one_at_a_time_reference(
-            programs in proptest::collection::vec(
-                proptest::collection::vec((proptest::bool::ANY, 0u64..4), 0..12),
-                1..7),
-        ) {
-            let programs: Vec<Vec<Step>> = programs
-                .iter()
-                .map(|p| {
-                    p.iter()
-                        .map(|&(is_call, v)| if is_call {
-                            Step::Call(v as u32)
-                        } else {
-                            Step::SleepUs(v * 500)
-                        })
-                        .collect()
-                })
-                .collect();
-            proptest::prop_assert_eq!(run_real(2, &programs), run_reference(2, &programs));
-        }
+    fn block_on_completes_ready_chains() {
+        assert_eq!(block_on(async { 1 + 2 }), 3);
+        assert_eq!(
+            block_on(async {
+                let a = std::future::ready(40).await;
+                a + std::future::ready(2).await
+            }),
+            42
+        );
     }
 }

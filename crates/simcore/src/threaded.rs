@@ -1,0 +1,1005 @@
+//! Thread-backed reference executor (the pre-coroutine design).
+//!
+//! This is the original conservative virtual-time executor: each simulated
+//! role instance is a real OS thread holding a [`ThreadedActorCtx`], and a
+//! handoff between actors costs an OS park/unpark. It is retained verbatim
+//! as an *executable reference implementation* for differential testing of
+//! the stackless-coroutine executor in [`crate::runtime`] — random actor
+//! programs must produce bit-identical model traces, results, end times and
+//! request counts on both backends (see the tests at the bottom of this
+//! file). It is also the fallback for actor bodies that genuinely need to
+//! block the host thread (FFI, real I/O) and therefore cannot be written as
+//! futures.
+//!
+//! Benchmark code in this project looks exactly like the paper's worker-role
+//! code: ordinary sequential calls such as `queue.put_message(..)` and
+//! `ctx.sleep(Duration::from_secs(1))`. To run that code against a *modeled*
+//! cluster with a *virtual* clock, each simulated role instance is a real OS
+//! thread holding a [`ThreadedActorCtx`].
+//!
+//! ## Baton scheduling
+//!
+//! There is no coordinator thread. All scheduler state — the event heap,
+//! per-actor clocks and sequence counters, the model itself — lives in one
+//! mutex-protected [`CoordState`]. When an actor performs a timed action it
+//! pushes its event and decrements the `running` count; whichever actor's
+//! block (or exit) brings `running` to zero *becomes* the scheduler and runs
+//! one scheduling round in place, waking the actors whose events fire next.
+//! An actor whose own event is the earliest simply picks it out of its
+//! mailbox and keeps going — a sequential stretch of simulated operations
+//! costs **zero** OS context switches, and a genuine handoff between two
+//! actors costs one park/unpark instead of the two (actor → coordinator →
+//! actor) of a coordinator design.
+//!
+//! A scheduling round **batch-wakes** every actor whose `Deliver`/`Timer`
+//! event is ready at the popped virtual instant: it keeps popping while the
+//! next event carries the same timestamp and is a wakeup (stopping early at
+//! an `Arrival`, which must be handed to the model only after earlier-keyed
+//! events from the just-woken actors have been scheduled). Woken actors run
+//! concurrently in host time but cannot advance the virtual clock — the next
+//! round happens only once all of them block again.
+//!
+//! ## Why this is exact and deterministic
+//!
+//! * User code between two timed actions consumes **zero virtual time**, so
+//!   the only places the clock can advance are inside a scheduling round,
+//!   and rounds run only when every actor is parked.
+//! * Events pop in `(time, actor, seq)` order from the [`EventHeap`]; the
+//!   per-actor sequence numbers make that order a pure function of the
+//!   simulation history, not of host-OS scheduling.
+//! * Batch-waking preserves the one-event-at-a-time model trace: wakeups
+//!   batched at time `T` never touch the model, a pending `Arrival` always
+//!   ends the batch, and a woken actor's *future* pushes at `T` carry larger
+//!   per-actor sequence numbers than anything it already consumed — so
+//!   arrivals still reach [`Model::handle`] in exact heap-key order. The
+//!   test module checks this against an executable one-at-a-time reference.
+//! * The cluster model ([`Model::handle`]) sees arrivals in non-decreasing
+//!   virtual-time order, which makes analytic `next_free` bookkeeping in the
+//!   queueing resources exact (see [`crate::resource`]).
+//!
+//! A 100-worker benchmark that would take hours of wall-clock time on the
+//! real service completes in seconds of host time.
+
+use crate::heap::{EventHeap, EventKey};
+use crate::rng::stream_rng;
+use crate::runtime::{ActorId, Model, SimReport};
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use std::cell::{Cell, RefCell};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+enum Payload<M: Model> {
+    Arrival(M::Req),
+    Deliver(M::Resp),
+    Timer,
+}
+
+/// What a scheduling round leaves in a woken actor's mailbox.
+enum Mail<Resp> {
+    Response(SimTime, Resp),
+    Timer(SimTime),
+    /// The simulation is being torn down because some thread panicked;
+    /// unwind instead of continuing.
+    Dead,
+}
+
+/// Panic payload used to cascade a teardown to blocked actors. Kept as a
+/// `&'static str` literal so the root cause can be told apart from the
+/// cascade when propagating panics to the caller.
+const DEAD_MSG: &str = "simulation terminated: another actor failed";
+
+fn is_cascade(p: &(dyn std::any::Any + Send)) -> bool {
+    p.downcast_ref::<&'static str>() == Some(&DEAD_MSG)
+}
+
+/// All mutable scheduler state, guarded by one mutex.
+struct CoordState<M: Model> {
+    heap: EventHeap<Payload<M>>,
+    /// Per-actor event sequence counters (tie-break within one instant).
+    seq: Vec<u64>,
+    /// Per-actor virtual clocks (time of the last wakeup delivered).
+    actor_time: Vec<SimTime>,
+    /// One slot per actor; a scheduling round deposits the wakeup here.
+    mailbox: Vec<Option<Mail<M::Resp>>>,
+    model: M,
+    /// Actors currently executing user code (not parked, not finished).
+    running: usize,
+    /// Actors whose body has not yet returned.
+    live: usize,
+    end_time: SimTime,
+    requests: u64,
+    /// Set on the first panic; all subsequent activity unwinds.
+    dead: bool,
+}
+
+struct Shared<M: Model> {
+    state: Mutex<CoordState<M>>,
+    /// One condvar per actor so a round wakes exactly the actors it means to.
+    cvars: Vec<Condvar>,
+}
+
+impl<M: Model> Shared<M> {
+    /// Lock the scheduler state, recovering from poison: a panicking thread
+    /// marks the state `dead` before unwinding, so the data is consistent.
+    fn lock(&self) -> MutexGuard<'_, CoordState<M>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Run one scheduling round. Caller must hold the lock with
+    /// `running == 0` and at least one live actor.
+    ///
+    /// Pops the earliest event, then keeps popping while further events are
+    /// wakeups at the *same instant*, waking each target actor (batch-wake).
+    /// Arrivals are handled inline until the first wakeup is produced; after
+    /// that an arrival ends the batch, because the just-woken actors may
+    /// still push earlier-keyed events at this instant.
+    fn round(&self, st: &mut CoordState<M>, me: usize) {
+        debug_assert_eq!(st.running, 0);
+        let mut batch: Option<SimTime> = None;
+        loop {
+            match st.heap.peek() {
+                None => {
+                    assert!(
+                        batch.is_some(),
+                        "deadlock: live actors blocked with no pending events"
+                    );
+                    return;
+                }
+                Some((k, p)) => {
+                    if let Some(t) = batch {
+                        if k.time != t || matches!(p, Payload::Arrival(_)) {
+                            return;
+                        }
+                    }
+                }
+            }
+            let (k, payload) = st.heap.pop().expect("peeked event vanished");
+            st.end_time = k.time;
+            let a = k.actor.0;
+            match payload {
+                Payload::Arrival(req) => {
+                    st.requests += 1;
+                    let (done, resp) = st.model.handle(k.time, k.actor, req);
+                    assert!(
+                        done >= k.time,
+                        "model completed a request before it arrived"
+                    );
+                    let dk = EventKey {
+                        time: done,
+                        actor: k.actor,
+                        seq: st.seq[a],
+                    };
+                    st.seq[a] += 1;
+                    st.heap.push(dk, Payload::Deliver(resp));
+                }
+                Payload::Deliver(resp) => {
+                    st.actor_time[a] = k.time;
+                    st.mailbox[a] = Some(Mail::Response(k.time, resp));
+                    st.running += 1;
+                    if a != me {
+                        self.cvars[a].notify_one();
+                    }
+                    batch = Some(k.time);
+                }
+                Payload::Timer => {
+                    st.actor_time[a] = k.time;
+                    st.mailbox[a] = Some(Mail::Timer(k.time));
+                    st.running += 1;
+                    if a != me {
+                        self.cvars[a].notify_one();
+                    }
+                    batch = Some(k.time);
+                }
+            }
+        }
+    }
+
+    /// Run a round; if it panics (model bug, deadlock), mark the simulation
+    /// dead and wake everyone before re-raising, so no thread stays parked.
+    fn round_or_kill(&self, st: &mut CoordState<M>, me: usize) {
+        if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| self.round(st, me))) {
+            self.kill(st);
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    /// Tear the simulation down: every parked actor gets [`Mail::Dead`] and
+    /// a wakeup so it can unwind instead of waiting forever.
+    fn kill(&self, st: &mut CoordState<M>) {
+        st.dead = true;
+        for (mb, cv) in st.mailbox.iter_mut().zip(&self.cvars) {
+            if mb.is_none() {
+                *mb = Some(Mail::Dead);
+            }
+            cv.notify_all();
+        }
+    }
+}
+
+/// Handle through which an actor thread interacts with virtual time.
+///
+/// Not `Sync`: each actor owns exactly one context.
+pub struct ThreadedActorCtx<M: Model> {
+    id: usize,
+    now: Cell<u64>,
+    calls: Cell<u64>,
+    shared: Arc<Shared<M>>,
+    rng: RefCell<SmallRng>,
+}
+
+impl<M: Model> ThreadedActorCtx<M> {
+    /// This actor's id (0-based, dense).
+    pub fn id(&self) -> ActorId {
+        ActorId(self.id)
+    }
+
+    /// Current virtual time as observed by this actor.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now.get())
+    }
+
+    /// Number of [`ThreadedActorCtx::call`]s issued so far.
+    pub fn call_count(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Push an event `delay` after this actor's clock, park until a
+    /// scheduling round wakes us, and return the mailbox contents. The last
+    /// actor to park runs the round itself instead of parking.
+    fn block_on(&self, payload: Payload<M>, delay: Duration) -> Mail<M::Resp> {
+        let sh = &*self.shared;
+        let mut st = sh.lock();
+        if st.dead {
+            std::panic::panic_any(DEAD_MSG);
+        }
+        let k = EventKey {
+            time: st.actor_time[self.id] + delay,
+            actor: ActorId(self.id),
+            seq: st.seq[self.id],
+        };
+        st.seq[self.id] += 1;
+        st.heap.push(k, payload);
+        st.running -= 1;
+        loop {
+            if let Some(mail) = st.mailbox[self.id].take() {
+                if let Mail::Dead = mail {
+                    std::panic::panic_any(DEAD_MSG);
+                }
+                return mail;
+            }
+            if st.dead {
+                std::panic::panic_any(DEAD_MSG);
+            }
+            if st.running == 0 {
+                sh.round_or_kill(&mut st, self.id);
+            } else {
+                st = sh.cvars[self.id]
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    /// Submit a request to the model and block (in virtual time) until its
+    /// response is delivered.
+    pub fn call(&self, req: M::Req) -> M::Resp {
+        self.calls.set(self.calls.get() + 1);
+        match self.block_on(Payload::Arrival(req), Duration::ZERO) {
+            Mail::Response(t, resp) => {
+                self.now.set(t.as_nanos());
+                resp
+            }
+            _ => unreachable!("timer wakeup while awaiting response"),
+        }
+    }
+
+    /// Advance this actor's clock by `d` without doing any work (the paper's
+    /// *think time*, and the 1 s back-off before retrying a throttled
+    /// operation).
+    pub fn sleep(&self, d: Duration) {
+        match self.block_on(Payload::Timer, d) {
+            Mail::Timer(t) => self.now.set(t.as_nanos()),
+            _ => unreachable!("response wakeup while sleeping"),
+        }
+    }
+
+    /// Run `f` with this actor's deterministic random stream.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+        f(&mut self.rng.borrow_mut())
+    }
+}
+
+/// Retires the actor from the scheduler when its closure returns *or
+/// panics*, so a crashing actor can't deadlock the simulation. If this was
+/// the last running actor, the retirement itself runs the next round.
+struct FinishGuard<M: Model> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: Model> Drop for FinishGuard<M> {
+    fn drop(&mut self) {
+        let sh = &*self.shared;
+        let mut st = sh.lock();
+        st.live -= 1;
+        // On a panic path out of `block_on` the actor was already counted
+        // out of `running` (and the simulation is already dead); saturate
+        // rather than corrupt another actor's count.
+        st.running = st.running.saturating_sub(1);
+        if st.dead || st.running > 0 || st.live == 0 {
+            return;
+        }
+        if std::thread::panicking() {
+            // Keep the other actors going; if the round itself fails we must
+            // swallow that panic (resuming a second panic while unwinding
+            // would abort) and just tear everything down.
+            if std::panic::catch_unwind(AssertUnwindSafe(|| sh.round(&mut st, usize::MAX))).is_err()
+            {
+                sh.kill(&mut st);
+            }
+        } else {
+            sh.round_or_kill(&mut st, usize::MAX);
+        }
+    }
+}
+
+/// A boxed actor body: receives a context reference, returns a result.
+pub type ThreadedActorFn<'a, M, R> = Box<dyn FnOnce(&ThreadedActorCtx<M>) -> R + Send + 'a>;
+
+/// A virtual-time simulation on the thread-backed executor: a model plus a
+/// master seed.
+pub struct ThreadedSimulation<M: Model> {
+    model: M,
+    seed: u64,
+}
+
+impl<M: Model> ThreadedSimulation<M> {
+    /// Create a simulation over `model` with deterministic seed `seed`.
+    pub fn new(model: M, seed: u64) -> Self {
+        ThreadedSimulation { model, seed }
+    }
+
+    /// Run `n` identical workers (the common benchmark shape: the paper
+    /// deploys N copies of the same worker role).
+    pub fn run_workers<R, F>(self, n: usize, body: F) -> SimReport<M, R>
+    where
+        R: Send,
+        F: Fn(&ThreadedActorCtx<M>) -> R + Send + Sync,
+    {
+        let body = &body;
+        let actors: Vec<ThreadedActorFn<'_, M, R>> = (0..n)
+            .map(|_| {
+                Box::new(move |ctx: &ThreadedActorCtx<M>| body(ctx)) as ThreadedActorFn<'_, M, R>
+            })
+            .collect();
+        self.run(actors)
+    }
+
+    /// Run a heterogeneous set of actors (e.g. one web role plus N worker
+    /// roles). Actor ids are assigned by position.
+    pub fn run<'a, R: Send>(self, actors: Vec<ThreadedActorFn<'a, M, R>>) -> SimReport<M, R> {
+        let ThreadedSimulation { model, seed } = self;
+        let n = actors.len();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(CoordState {
+                heap: EventHeap::new(),
+                seq: vec![0; n],
+                actor_time: vec![SimTime::ZERO; n],
+                mailbox: (0..n).map(|_| None).collect(),
+                model,
+                running: n,
+                live: n,
+                end_time: SimTime::ZERO,
+                requests: 0,
+                dead: false,
+            }),
+            cvars: (0..n).map(|_| Condvar::new()).collect(),
+        });
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+        let panics = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for (i, (body, slot)) in actors.into_iter().zip(&mut results).enumerate() {
+                let ctx = ThreadedActorCtx {
+                    id: i,
+                    now: Cell::new(0),
+                    calls: Cell::new(0),
+                    shared: Arc::clone(&shared),
+                    rng: RefCell::new(stream_rng(seed, i as u64)),
+                };
+                handles.push(s.spawn(move || {
+                    let _guard = FinishGuard {
+                        shared: Arc::clone(&ctx.shared),
+                    };
+                    *slot = Some(body(&ctx));
+                }));
+            }
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().err())
+                .collect::<Vec<_>>()
+        });
+
+        if !panics.is_empty() {
+            // Prefer the root cause over "another actor failed" cascades.
+            let root = panics
+                .iter()
+                .position(|p| !is_cascade(p.as_ref()))
+                .unwrap_or(0);
+            std::panic::resume_unwind(panics.into_iter().nth(root).expect("root panic index"));
+        }
+
+        let shared = Arc::into_inner(shared).expect("actor contexts outlived the simulation");
+        let st = shared.state.into_inner().unwrap_or_else(|p| p.into_inner());
+        SimReport {
+            model: st.model,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("actor finished without producing a result"))
+                .collect(),
+            end_time: st.end_time,
+            requests: st.requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A model that echoes the request after a fixed latency plus FIFO
+    /// queueing on a single shared server.
+    struct EchoModel {
+        server: crate::resource::FifoServer,
+        service: Duration,
+        handled: Vec<(u64, usize, u32)>,
+    }
+
+    impl Model for EchoModel {
+        type Req = u32;
+        type Resp = (u32, SimTime);
+        fn handle(&mut self, now: SimTime, actor: ActorId, req: u32) -> (SimTime, Self::Resp) {
+            self.handled.push((now.as_nanos(), actor.0, req));
+            let (_, end) = self.server.admit(now, self.service);
+            (end, (req, end))
+        }
+    }
+
+    fn echo(service_ms: u64) -> EchoModel {
+        EchoModel {
+            server: crate::resource::FifoServer::new(),
+            service: Duration::from_millis(service_ms),
+            handled: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock() {
+        let sim = ThreadedSimulation::new(echo(1), 0);
+        let report = sim.run_workers(1, |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.sleep(Duration::from_secs(5));
+            assert_eq!(ctx.now(), SimTime::from_secs(5));
+            ctx.sleep(Duration::from_millis(1));
+            ctx.now()
+        });
+        assert_eq!(report.results[0], SimTime::from_millis(5_001));
+        assert_eq!(report.end_time, SimTime::from_millis(5_001));
+        assert_eq!(report.requests, 0);
+    }
+
+    #[test]
+    fn call_returns_model_response_and_advances_clock() {
+        let sim = ThreadedSimulation::new(echo(10), 0);
+        let report = sim.run_workers(1, |ctx| {
+            let (val, done) = ctx.call(7);
+            assert_eq!(val, 7);
+            assert_eq!(done, SimTime::from_millis(10));
+            assert_eq!(ctx.now(), done);
+            assert_eq!(ctx.call_count(), 1);
+        });
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.model.handled, vec![(0, 0, 7)]);
+    }
+
+    #[test]
+    fn shared_server_queues_concurrent_actors() {
+        // Two actors call at t=0; the single server serializes them: one
+        // completes at 10 ms, the other at 20 ms.
+        let sim = ThreadedSimulation::new(echo(10), 0);
+        let report = sim.run_workers(2, |ctx| {
+            let (_, done) = ctx.call(ctx.id().0 as u32);
+            done
+        });
+        let mut ends: Vec<u64> = report.results.iter().map(|t| t.as_nanos()).collect();
+        ends.sort_unstable();
+        assert_eq!(
+            ends,
+            vec![
+                SimTime::from_millis(10).as_nanos(),
+                SimTime::from_millis(20).as_nanos()
+            ]
+        );
+        // Arrivals were both at t=0, in actor-id order (deterministic ties).
+        assert_eq!(report.model.handled, vec![(0, 0, 0), (0, 1, 1)]);
+    }
+
+    #[test]
+    fn sequential_calls_from_one_actor_pipeline_correctly() {
+        let sim = ThreadedSimulation::new(echo(5), 0);
+        let report = sim.run_workers(1, |ctx| {
+            let mut ends = Vec::new();
+            for i in 0..3 {
+                let (_, done) = ctx.call(i);
+                ends.push(done.as_nanos());
+            }
+            ends
+        });
+        assert_eq!(
+            report.results[0],
+            vec![
+                SimTime::from_millis(5).as_nanos(),
+                SimTime::from_millis(10).as_nanos(),
+                SimTime::from_millis(15).as_nanos()
+            ]
+        );
+    }
+
+    #[test]
+    fn heterogeneous_actors_via_run() {
+        let sim = ThreadedSimulation::new(echo(1), 0);
+        let actors: Vec<ThreadedActorFn<'_, EchoModel, u32>> = vec![
+            Box::new(|ctx| {
+                ctx.sleep(Duration::from_secs(1));
+                100
+            }),
+            Box::new(|ctx| ctx.call(5).0),
+        ];
+        let report = sim.run(actors);
+        assert_eq!(report.results, vec![100, 5]);
+    }
+
+    #[test]
+    fn actor_can_finish_without_any_action() {
+        let sim = ThreadedSimulation::new(echo(1), 0);
+        let report = sim.run_workers(4, |_ctx| 42u8);
+        assert_eq!(report.results, vec![42; 4]);
+        assert_eq!(report.end_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Many actors with random think times and calls: the full model
+        // trace and all results must be identical across runs.
+        let run_once = || {
+            let sim = ThreadedSimulation::new(echo(3), 1234);
+            let report = sim.run_workers(16, |ctx| {
+                let mut log = Vec::new();
+                for i in 0..20 {
+                    let think: u64 = ctx.with_rng(|r| r.random_range(0..5_000));
+                    ctx.sleep(Duration::from_micros(think));
+                    let (_, done) = ctx.call(i);
+                    log.push(done.as_nanos());
+                }
+                log
+            });
+            (report.model.handled, report.results, report.end_time)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.0, b.0, "model traces differ");
+        assert_eq!(a.1, b.1, "actor results differ");
+        assert_eq!(a.2, b.2, "end times differ");
+    }
+
+    #[test]
+    fn arrivals_reach_model_in_time_order() {
+        let sim = ThreadedSimulation::new(echo(1), 7);
+        let report = sim.run_workers(8, |ctx| {
+            for i in 0..10 {
+                let think: u64 = ctx.with_rng(|r| r.random_range(0..2_000));
+                ctx.sleep(Duration::from_micros(think));
+                ctx.call(i);
+            }
+        });
+        let times: Vec<u64> = report.model.handled.iter().map(|h| h.0).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals out of order"
+        );
+        assert_eq!(report.requests, 80);
+    }
+
+    #[test]
+    fn panicking_actor_propagates_without_deadlock() {
+        let sim = ThreadedSimulation::new(echo(1), 0);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_workers(3, |ctx| {
+                if ctx.id().0 == 1 {
+                    panic!("boom");
+                }
+                ctx.sleep(Duration::from_millis(1));
+            })
+        }));
+        assert!(outcome.is_err(), "panic must propagate");
+    }
+
+    #[test]
+    fn panic_payload_is_the_root_cause_not_the_cascade() {
+        let sim = ThreadedSimulation::new(echo(1), 0);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_workers(4, |ctx| {
+                ctx.sleep(Duration::from_millis(1));
+                if ctx.id().0 == 2 {
+                    panic!("root cause");
+                }
+                ctx.sleep(Duration::from_secs(1));
+            })
+        }));
+        let payload = match outcome {
+            Err(p) => p,
+            Ok(_) => panic!("panic must propagate"),
+        };
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "root cause");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Arbitrary per-actor programs of sleeps and calls are (a)
+        /// deterministic across runs and (b) respect per-actor clock
+        /// monotonicity and model-arrival time ordering.
+        #[test]
+        fn prop_random_programs_deterministic(
+            programs in proptest::collection::vec(
+                proptest::collection::vec((proptest::bool::ANY, 0u64..3_000), 0..15),
+                1..6),
+            seed in 0u64..1_000,
+        ) {
+            let run = |programs: &Vec<Vec<(bool, u64)>>| {
+                let sim = ThreadedSimulation::new(echo(2), seed);
+                let actors: Vec<ThreadedActorFn<'_, EchoModel, Vec<u64>>> = programs
+                    .iter()
+                    .cloned()
+                    .map(|prog| {
+                        Box::new(move |ctx: &ThreadedActorCtx<EchoModel>| {
+                            let mut times = Vec::new();
+                            let mut last = ctx.now();
+                            for (is_call, arg) in prog {
+                                if is_call {
+                                    ctx.call(arg as u32);
+                                } else {
+                                    ctx.sleep(Duration::from_micros(arg));
+                                }
+                                // Per-actor clock monotonicity.
+                                assert!(ctx.now() >= last);
+                                last = ctx.now();
+                                times.push(ctx.now().as_nanos());
+                            }
+                            times
+                        }) as ThreadedActorFn<'_, EchoModel, Vec<u64>>
+                    })
+                    .collect();
+                let report = sim.run(actors);
+                // Model saw arrivals in non-decreasing time order.
+                let arrivals: Vec<u64> = report.model.handled.iter().map(|h| h.0).collect();
+                assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+                (report.results, report.end_time, report.requests)
+            };
+            let a = run(&programs);
+            let b = run(&programs);
+            proptest::prop_assert_eq!(&a.0, &b.0);
+            proptest::prop_assert_eq!(a.1, b.1);
+            // Total requests equals the number of `call` steps.
+            let calls: u64 = programs.iter()
+                .flat_map(|p| p.iter())
+                .filter(|(is_call, _)| *is_call)
+                .count() as u64;
+            proptest::prop_assert_eq!(a.2, calls);
+        }
+
+        /// The simulation end time equals the latest event fired — never
+        /// earlier than any actor's final clock.
+        #[test]
+        fn prop_end_time_bounds_actor_clocks(
+            sleeps in proptest::collection::vec(0u64..5_000, 1..8)
+        ) {
+            let sim = ThreadedSimulation::new(echo(1), 3);
+            let sleeps2 = sleeps.clone();
+            let actors: Vec<ThreadedActorFn<'_, EchoModel, SimTime>> = sleeps2
+                .into_iter()
+                .map(|us| {
+                    Box::new(move |ctx: &ThreadedActorCtx<EchoModel>| {
+                        ctx.sleep(Duration::from_micros(us));
+                        ctx.call(1);
+                        ctx.now()
+                    }) as ThreadedActorFn<'_, EchoModel, SimTime>
+                })
+                .collect();
+            let report = sim.run(actors);
+            let max_clock = report.results.iter().max().copied().unwrap();
+            proptest::prop_assert_eq!(report.end_time, max_clock);
+        }
+    }
+
+    #[test]
+    fn per_actor_rngs_differ_but_are_reproducible() {
+        let draws = |seed| {
+            let sim = ThreadedSimulation::new(echo(1), seed);
+            let report = sim.run_workers(3, |ctx| ctx.with_rng(|r| r.random::<u64>()));
+            report.results
+        };
+        let a = draws(5);
+        let b = draws(5);
+        let c = draws(6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a[0], a[1]);
+    }
+
+    // ------------------------------------------------------------------
+    // Batch-wake vs one-event-at-a-time reference.
+    //
+    // The original executor woke exactly one actor per event pop and waited
+    // for it to block again before popping the next event. The batch-wake
+    // scheduler must produce the *identical* model trace, per-actor wakeup
+    // times, end time, and request count. `run_reference` is an executable
+    // spec of the one-at-a-time discipline: since test programs are fixed
+    // step lists, "wait for the actor to block again" is exactly "push its
+    // next event immediately after delivering its wakeup".
+    // ------------------------------------------------------------------
+
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        Call(u32),
+        SleepUs(u64),
+    }
+
+    type Trace = (Vec<(u64, usize, u32)>, Vec<Vec<u64>>, u64, u64);
+
+    fn run_reference(service_ms: u64, programs: &[Vec<Step>]) -> Trace {
+        let n = programs.len();
+        let mut model = echo(service_ms);
+        let mut heap: EventHeap<Payload<EchoModel>> = EventHeap::new();
+        let mut seq = vec![0u64; n];
+        let mut at = vec![SimTime::ZERO; n];
+        let mut pc = vec![0usize; n];
+        let mut results: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut end_time = SimTime::ZERO;
+        let mut requests = 0u64;
+
+        fn submit(
+            programs: &[Vec<Step>],
+            a: usize,
+            heap: &mut EventHeap<Payload<EchoModel>>,
+            seq: &mut [u64],
+            at: &[SimTime],
+            pc: &[usize],
+        ) {
+            if let Some(step) = programs[a].get(pc[a]) {
+                let (t, p) = match *step {
+                    Step::Call(v) => (at[a], Payload::Arrival(v)),
+                    Step::SleepUs(us) => (at[a] + Duration::from_micros(us), Payload::Timer),
+                };
+                heap.push(
+                    EventKey {
+                        time: t,
+                        actor: ActorId(a),
+                        seq: seq[a],
+                    },
+                    p,
+                );
+                seq[a] += 1;
+            }
+        }
+
+        for a in 0..n {
+            submit(programs, a, &mut heap, &mut seq, &at, &pc);
+        }
+        while let Some((k, payload)) = heap.pop() {
+            end_time = k.time;
+            let a = k.actor.0;
+            match payload {
+                Payload::Arrival(req) => {
+                    requests += 1;
+                    let (done, resp) = model.handle(k.time, k.actor, req);
+                    heap.push(
+                        EventKey {
+                            time: done,
+                            actor: k.actor,
+                            seq: seq[a],
+                        },
+                        Payload::Deliver(resp),
+                    );
+                    seq[a] += 1;
+                }
+                Payload::Deliver(_) | Payload::Timer => {
+                    at[a] = k.time;
+                    results[a].push(k.time.as_nanos());
+                    pc[a] += 1;
+                    submit(programs, a, &mut heap, &mut seq, &at, &pc);
+                }
+            }
+        }
+        (model.handled, results, end_time.as_nanos(), requests)
+    }
+
+    fn run_real(service_ms: u64, programs: &[Vec<Step>]) -> Trace {
+        let sim = ThreadedSimulation::new(echo(service_ms), 0);
+        let actors: Vec<ThreadedActorFn<'_, EchoModel, Vec<u64>>> = programs
+            .iter()
+            .map(|prog| {
+                let prog = prog.clone();
+                Box::new(move |ctx: &ThreadedActorCtx<EchoModel>| {
+                    let mut times = Vec::new();
+                    for step in &prog {
+                        match *step {
+                            Step::Call(v) => {
+                                ctx.call(v);
+                            }
+                            Step::SleepUs(us) => ctx.sleep(Duration::from_micros(us)),
+                        }
+                        times.push(ctx.now().as_nanos());
+                    }
+                    times
+                }) as ThreadedActorFn<'_, EchoModel, Vec<u64>>
+            })
+            .collect();
+        let report = sim.run(actors);
+        (
+            report.model.handled,
+            report.results,
+            report.end_time.as_nanos(),
+            report.requests,
+        )
+    }
+
+    /// The same program list on the stackless-coroutine executor
+    /// ([`crate::runtime::Simulation`]): the differential counterpart of
+    /// [`run_real`] for backend-equivalence tests.
+    fn run_coroutine(service_ms: u64, programs: &[Vec<Step>]) -> Trace {
+        let sim = crate::runtime::Simulation::new(echo(service_ms), 0);
+        let actors: Vec<crate::runtime::ActorFn<'_, EchoModel, Vec<u64>>> = programs
+            .iter()
+            .map(|prog| {
+                let prog = prog.clone();
+                crate::runtime::actor(move |ctx: crate::runtime::ActorCtx<EchoModel>| async move {
+                    let mut times = Vec::new();
+                    for step in &prog {
+                        match *step {
+                            Step::Call(v) => {
+                                ctx.call(v).await;
+                            }
+                            Step::SleepUs(us) => ctx.sleep(Duration::from_micros(us)).await,
+                        }
+                        times.push(ctx.now().as_nanos());
+                    }
+                    times
+                })
+            })
+            .collect();
+        let report = sim.run(actors);
+        (
+            report.model.handled,
+            report.results,
+            report.end_time.as_nanos(),
+            report.requests,
+        )
+    }
+
+    #[test]
+    fn batch_wake_matches_reference_at_shared_instants() {
+        // Every actor sleeps the same durations, so all timers fire at the
+        // same virtual instants and each round batch-wakes all of them.
+        let programs: Vec<Vec<Step>> = (0..8)
+            .map(|i| {
+                vec![
+                    Step::SleepUs(1_000),
+                    Step::Call(i as u32),
+                    Step::SleepUs(1_000),
+                    Step::Call(100 + i as u32),
+                ]
+            })
+            .collect();
+        assert_eq!(run_real(3, &programs), run_reference(3, &programs));
+    }
+
+    #[test]
+    fn zero_length_sleeps_match_reference() {
+        // Zero-duration timers pile events at one instant together with
+        // arrivals — the batch must still end at each arrival.
+        let programs: Vec<Vec<Step>> = (0..4)
+            .map(|i| {
+                vec![
+                    Step::SleepUs(0),
+                    Step::Call(i as u32),
+                    Step::SleepUs(0),
+                    Step::SleepUs(0),
+                    Step::Call(10 + i as u32),
+                ]
+            })
+            .collect();
+        assert_eq!(run_real(1, &programs), run_reference(1, &programs));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// Random programs: the batch-wake scheduler reproduces the
+        /// one-at-a-time reference trace exactly. Sleep durations are drawn
+        /// from a tiny range so distinct actors frequently collide on the
+        /// same virtual instant and exercise the batching path.
+        #[test]
+        fn prop_matches_one_at_a_time_reference(
+            programs in proptest::collection::vec(
+                proptest::collection::vec((proptest::bool::ANY, 0u64..4), 0..12),
+                1..7),
+        ) {
+            let programs: Vec<Vec<Step>> = programs
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(|&(is_call, v)| if is_call {
+                            Step::Call(v as u32)
+                        } else {
+                            Step::SleepUs(v * 500)
+                        })
+                        .collect()
+                })
+                .collect();
+            proptest::prop_assert_eq!(run_real(2, &programs), run_reference(2, &programs));
+        }
+
+        /// Differential test between executors: random actor programs must
+        /// produce identical model traces, per-step wakeup times, end times
+        /// and request counts on the stackless-coroutine executor, the
+        /// thread-backed executor, and the one-at-a-time reference.
+        #[test]
+        fn prop_coroutine_matches_threaded_and_reference(
+            programs in proptest::collection::vec(
+                proptest::collection::vec((proptest::bool::ANY, 0u64..4), 0..12),
+                1..7),
+        ) {
+            let programs: Vec<Vec<Step>> = programs
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(|&(is_call, v)| if is_call {
+                            Step::Call(v as u32)
+                        } else {
+                            Step::SleepUs(v * 500)
+                        })
+                        .collect()
+                })
+                .collect();
+            let coroutine = run_coroutine(2, &programs);
+            proptest::prop_assert_eq!(&coroutine, &run_real(2, &programs));
+            proptest::prop_assert_eq!(&coroutine, &run_reference(2, &programs));
+        }
+    }
+
+    #[test]
+    fn coroutine_matches_threaded_at_shared_instants() {
+        // The fixed scenario that exercises batch-wake on the threaded
+        // backend: all timers collide at the same virtual instants. The
+        // coroutine executor must agree event for event.
+        let programs: Vec<Vec<Step>> = (0..8)
+            .map(|i| {
+                vec![
+                    Step::SleepUs(1_000),
+                    Step::Call(i as u32),
+                    Step::SleepUs(1_000),
+                    Step::Call(100 + i as u32),
+                ]
+            })
+            .collect();
+        let coroutine = run_coroutine(3, &programs);
+        assert_eq!(coroutine, run_real(3, &programs));
+        assert_eq!(coroutine, run_reference(3, &programs));
+    }
+}

@@ -32,12 +32,12 @@ const SAMPLES_PER_TASK: u64 = 100_000;
 fn main() {
     let report = Deployment::new(ClusterParams::default(), 4242)
         // The interactive front end: submits work, polls progress.
-        .with_role("web", 1, VmSize::Large, |ctx, _env| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, PiTask> = BagOfTasks::new(&env, "pi");
-            bag.init().unwrap();
+        .with_role("web", 1, VmSize::Large, |ctx, _env| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, PiTask> = BagOfTasks::new(&env, "pi");
+            bag.init().await.unwrap();
             let results = TableClient::new(&env, "pi-results");
-            results.create_table().unwrap();
+            results.create_table().await.unwrap();
 
             let submitted = bag
                 .submit_all((0..TASKS).map(|id| PiTask {
@@ -45,12 +45,13 @@ fn main() {
                     samples: SAMPLES_PER_TASK,
                     seed: 0xC0FFEE ^ id as u64,
                 }))
+                .await
                 .unwrap();
             println!("[web] submitted {submitted} tasks");
 
             // Progress loop, as the paper's interactive UI would do.
             loop {
-                let done = bag.done.count().unwrap();
+                let done = bag.done.count().await.unwrap();
                 println!(
                     "[web] t={:.0}s  {done}/{submitted} tasks complete",
                     ctx.now().as_secs_f64()
@@ -58,11 +59,11 @@ fn main() {
                 if done >= submitted {
                     break;
                 }
-                ctx.sleep(Duration::from_secs(2));
+                ctx.sleep(Duration::from_secs(2)).await;
             }
 
             // Reduce: average the per-task estimates from Table storage.
-            let rows = results.query_partition("estimate").unwrap();
+            let rows = results.query_partition("estimate").await.unwrap();
             let sum: f64 = rows
                 .iter()
                 .map(|(e, _)| match &e.properties["pi"] {
@@ -76,15 +77,15 @@ fn main() {
             rows.len()
         })
         // The backend: 8 Small worker-role instances.
-        .with_role("worker", 8, VmSize::Small, |ctx, env_meta| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, PiTask> = BagOfTasks::new(&env, "pi");
-            bag.init().unwrap();
+        .with_role("worker", 8, VmSize::Small, |ctx, env_meta| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, PiTask> = BagOfTasks::new(&env, "pi");
+            bag.init().await.unwrap();
             let results = TableClient::new(&env, "pi-results");
-            results.create_table().unwrap();
+            results.create_table().await.unwrap();
 
             let r = bag
-                .run_worker(3, Duration::from_secs(1), &env, |task, _attempt| {
+                .run_worker(3, Duration::from_secs(1), &env, async |task, _attempt| {
                     // Monte-Carlo estimate (deterministic per task seed).
                     let mut rng = azsim_core::rng::stream_rng(task.seed, 0);
                     let mut inside = 0u64;
@@ -102,8 +103,10 @@ fn main() {
                                 .with("pi", PropValue::F64(pi))
                                 .with("worker", PropValue::I64(env_meta.actor as i64)),
                         )
+                        .await
                         .unwrap();
                 })
+                .await
                 .unwrap();
             println!(
                 "[worker {}] processed {} tasks",

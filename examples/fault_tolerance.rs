@@ -29,40 +29,42 @@ const VISIBILITY: Duration = Duration::from_secs(10);
 
 fn main() {
     let report = Deployment::new(ClusterParams::default(), 99)
-        .with_role("submitter", 1, VmSize::Small, |ctx, _| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "jobs").with_visibility(VISIBILITY);
-            tq.init().unwrap();
+        .with_role("submitter", 1, VmSize::Small, |ctx, _| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> =
+                TaskQueue::new(&env, "jobs").with_visibility(VISIBILITY);
+            tq.init().await.unwrap();
             for id in 0..JOBS {
-                tq.submit(&Job { id }).unwrap();
+                tq.submit(&Job { id }).await.unwrap();
             }
             println!("[submitter] {JOBS} jobs queued");
             (0, 0)
         })
         // A byzantine worker: claims tasks but "crashes" (abandons) every
         // task it sees on first delivery.
-        .with_role("flaky", 1, VmSize::Small, |ctx, _| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "jobs").with_visibility(VISIBILITY);
-            tq.init().unwrap();
+        .with_role("flaky", 1, VmSize::Small, |ctx, _| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> =
+                TaskQueue::new(&env, "jobs").with_visibility(VISIBILITY);
+            tq.init().await.unwrap();
             let mut abandoned = 0;
             let mut idle = 0;
             while idle < 3 {
-                match tq.claim().unwrap() {
+                match tq.claim().await.unwrap() {
                     Some(c) if c.attempt == 1 => {
                         // Crash mid-task: no complete(), no signal.
                         abandoned += 1;
-                        ctx.sleep(Duration::from_millis(100));
+                        ctx.sleep(Duration::from_millis(100)).await;
                     }
                     Some(c) => {
                         // Even the flaky worker finishes re-deliveries.
-                        tq.complete(&c).unwrap();
+                        tq.complete(&c).await.unwrap();
                         idle = 0;
-                        ctx.sleep(Duration::from_millis(100));
+                        ctx.sleep(Duration::from_millis(100)).await;
                     }
                     None => {
                         idle += 1;
-                        ctx.sleep(Duration::from_secs(2));
+                        ctx.sleep(Duration::from_secs(2)).await;
                     }
                 }
             }
@@ -70,27 +72,28 @@ fn main() {
             (0, abandoned)
         })
         // Healthy workers: process whatever reappears.
-        .with_role("worker", 3, VmSize::Small, |ctx, meta| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Job> = TaskQueue::new(&env, "jobs").with_visibility(VISIBILITY);
-            tq.init().unwrap();
+        .with_role("worker", 3, VmSize::Small, |ctx, meta| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Job> =
+                TaskQueue::new(&env, "jobs").with_visibility(VISIBILITY);
+            tq.init().await.unwrap();
             let mut done = 0;
             let mut retried = 0;
             let mut idle = 0;
             while idle < 8 {
-                match tq.claim().unwrap() {
+                match tq.claim().await.unwrap() {
                     Some(c) => {
                         idle = 0;
                         if c.attempt > 1 {
                             retried += 1;
                         }
-                        ctx.sleep(Duration::from_millis(250)); // the "work"
-                        tq.complete(&c).unwrap();
+                        ctx.sleep(Duration::from_millis(250)).await; // the "work"
+                        tq.complete(&c).await.unwrap();
                         done += 1;
                     }
                     None => {
                         idle += 1;
-                        ctx.sleep(Duration::from_secs(2));
+                        ctx.sleep(Duration::from_secs(2)).await;
                     }
                 }
             }

@@ -79,14 +79,14 @@ fn random_layer(seed: u64, n: usize) -> Vec<Rect> {
 
 fn main() {
     let report = Deployment::new(ClusterParams::default(), 777)
-        .with_role("web", 1, VmSize::Large, |ctx, _meta| {
-            let env = VirtualEnv::new(ctx);
+        .with_role("web", 1, VmSize::Large, |ctx, _meta| async move {
+            let env = VirtualEnv::new(&ctx);
             let blobs = BlobClient::new(&env, "gis");
-            blobs.create_container().unwrap();
-            let bag: BagOfTasks<'_, CellTask> = BagOfTasks::new(&env, "gis");
-            bag.init().unwrap();
+            blobs.create_container().await.unwrap();
+            let bag: BagOfTasks<'_, _, CellTask> = BagOfTasks::new(&env, "gis");
+            bag.init().await.unwrap();
             let results = TableClient::new(&env, "overlay");
-            results.create_table().unwrap();
+            results.create_table().await.unwrap();
 
             // Partition phase: one blob per (cell, layer).
             let mut tasks = Vec::new();
@@ -96,6 +96,7 @@ fn main() {
                     let payload = serde_json::to_vec(&rects).unwrap();
                     blobs
                         .upload(&format!("cell-{cell}-{name}"), Bytes::from(payload))
+                        .await
                         .unwrap();
                 }
                 tasks.push(CellTask {
@@ -104,14 +105,14 @@ fn main() {
                     blob_b: format!("cell-{cell}-b"),
                 });
             }
-            let submitted = bag.submit_all(tasks).unwrap();
+            let submitted = bag.submit_all(tasks).await.unwrap();
             println!("[web] partitioned {CELLS} cells, submitted {submitted} tasks");
 
-            let done = bag.wait_all(submitted).unwrap();
+            let done = bag.wait_all(submitted).await.unwrap();
             println!("[web] overlay complete: {done} signals");
 
             // Collect the total intersection area.
-            let rows = results.query_partition("area").unwrap();
+            let rows = results.query_partition("area").await.unwrap();
             let total: f64 = rows
                 .iter()
                 .map(|(e, _)| match &e.properties["value"] {
@@ -124,24 +125,26 @@ fn main() {
             assert!(total > 0.0, "random layers must intersect somewhere");
             total
         })
-        .with_role("worker", 6, VmSize::Medium, |ctx, meta| {
-            let env = VirtualEnv::new(ctx);
+        .with_role("worker", 6, VmSize::Medium, |ctx, meta| async move {
+            let env = VirtualEnv::new(&ctx);
             let blobs = BlobClient::new(&env, "gis");
-            blobs.create_container().unwrap();
-            let bag: BagOfTasks<'_, CellTask> = BagOfTasks::new(&env, "gis");
-            bag.init().unwrap();
+            blobs.create_container().await.unwrap();
+            let bag: BagOfTasks<'_, _, CellTask> = BagOfTasks::new(&env, "gis");
+            bag.init().await.unwrap();
             let results = TableClient::new(&env, "overlay");
-            results.create_table().unwrap();
+            results.create_table().await.unwrap();
 
             // Patient idle budget: the web role spends several virtual
             // seconds uploading cell geometry before any task appears.
             let r = bag
-                .run_worker(20, Duration::from_secs(2), &env, |task, _attempt| {
+                .run_worker(20, Duration::from_secs(2), &env, async |task, _attempt| {
                     // I/O phase: fetch both layers from Blob storage.
                     let a: Vec<Rect> =
-                        serde_json::from_slice(&blobs.download(&task.blob_a).unwrap()).unwrap();
+                        serde_json::from_slice(&blobs.download(&task.blob_a).await.unwrap())
+                            .unwrap();
                     let b: Vec<Rect> =
-                        serde_json::from_slice(&blobs.download(&task.blob_b).unwrap()).unwrap();
+                        serde_json::from_slice(&blobs.download(&task.blob_b).await.unwrap())
+                            .unwrap();
                     // Compute phase: rayon-parallel pairwise overlay.
                     let area: f64 = a
                         .par_iter()
@@ -153,8 +156,10 @@ fn main() {
                                 .with("value", PropValue::F64(area))
                                 .with("worker", PropValue::I64(meta.actor as i64)),
                         )
+                        .await
                         .unwrap();
                 })
+                .await
                 .unwrap();
             println!("[worker {}] overlaid {} cells", meta.instance, r.processed);
             r.processed as f64

@@ -102,10 +102,10 @@ fn generate_points(seed: u64) -> Vec<Vec<(f64, f64)>> {
 
 fn main() {
     let report = Deployment::new(ClusterParams::default(), 31337)
-        .with_role("driver", 1, VmSize::Large, |ctx, _| {
-            let env = VirtualEnv::new(ctx);
+        .with_role("driver", 1, VmSize::Large, |ctx, _| async move {
+            let env = VirtualEnv::new(&ctx);
             let mr = MapReduce::new(&env, "kmeans", KMeans, K);
-            mr.init().unwrap();
+            mr.init().await.unwrap();
 
             let chunks = generate_points(7);
             // k-means++-style deterministic seeding over the first chunk:
@@ -142,7 +142,7 @@ fn main() {
                         centroids: centroids.clone(),
                     })
                     .collect();
-                let moved = mr.run_driver(inputs).unwrap();
+                let moved = mr.run_driver(inputs).await.unwrap();
                 let mut next = centroids.clone();
                 let mut shift: f64 = 0.0;
                 for (cluster, c, _) in &moved {
@@ -177,12 +177,12 @@ fn main() {
             println!("[driver] converged in {rounds} rounds");
             rounds
         })
-        .with_role("worker", 4, VmSize::Medium, |ctx, meta| {
-            let env = VirtualEnv::new(ctx);
+        .with_role("worker", 4, VmSize::Medium, |ctx, meta| async move {
+            let env = VirtualEnv::new(&ctx);
             let mr = MapReduce::new(&env, "kmeans", KMeans, K);
-            mr.init().unwrap();
+            mr.init().await.unwrap();
             // Patient workers: the driver runs many rounds with gaps.
-            let (maps, reduces) = mr.run_worker(25, Duration::from_secs(2)).unwrap();
+            let (maps, reduces) = mr.run_worker(25, Duration::from_secs(2)).await.unwrap();
             println!("[worker {}] {maps} maps, {reduces} reduces", meta.instance);
             maps + reduces
         })

@@ -9,6 +9,7 @@
 //! ```
 
 use azsim_client::{BlobClient, LiveCluster, QueueClient, TableClient};
+use azsim_core::block_on;
 use azsim_fabric::ClusterParams;
 use azsim_storage::{Entity, PropValue};
 use bytes::Bytes;
@@ -21,73 +22,74 @@ fn main() {
 
     // --- Blobs ---------------------------------------------------------
     let blobs = BlobClient::new(&env, "quickstart");
-    blobs.create_container().unwrap();
+    block_on(blobs.create_container()).unwrap();
 
     // Block blob: stage two blocks, commit, read back.
-    blobs
-        .put_block("greeting", "block-0", Bytes::from_static(b"hello, "))
-        .unwrap();
-    blobs
-        .put_block("greeting", "block-1", Bytes::from_static(b"azure!"))
-        .unwrap();
-    blobs
-        .put_block_list("greeting", vec!["block-0".into(), "block-1".into()])
-        .unwrap();
-    let text = blobs.download("greeting").unwrap();
+    block_on(blobs.put_block("greeting", "block-0", Bytes::from_static(b"hello, "))).unwrap();
+    block_on(blobs.put_block("greeting", "block-1", Bytes::from_static(b"azure!"))).unwrap();
+    block_on(blobs.put_block_list("greeting", vec!["block-0".into(), "block-1".into()])).unwrap();
+    let text = block_on(blobs.download("greeting")).unwrap();
     println!("block blob says: {}", String::from_utf8_lossy(&text));
 
     // Page blob: random access at 512-byte granularity.
-    blobs.create_page_blob("random", 4096).unwrap();
-    blobs
-        .put_page("random", 1024, Bytes::from(vec![42u8; 512]))
-        .unwrap();
-    let page = blobs.get_page("random", 1024, 512).unwrap();
+    block_on(blobs.create_page_blob("random", 4096)).unwrap();
+    block_on(blobs.put_page("random", 1024, Bytes::from(vec![42u8; 512]))).unwrap();
+    let page = block_on(blobs.get_page("random", 1024, 512)).unwrap();
     println!("page blob page[2] starts with {:?}", &page[..4]);
 
     // --- Queues --------------------------------------------------------
     let queue = QueueClient::new(&env, "jobs");
-    queue.create().unwrap();
-    queue.put_message(Bytes::from_static(b"job-1")).unwrap();
-    queue.put_message(Bytes::from_static(b"job-2")).unwrap();
-    println!("queue holds {} messages", queue.message_count().unwrap());
+    block_on(queue.create()).unwrap();
+    block_on(queue.put_message(Bytes::from_static(b"job-1"))).unwrap();
+    block_on(queue.put_message(Bytes::from_static(b"job-2"))).unwrap();
+    println!(
+        "queue holds {} messages",
+        block_on(queue.message_count()).unwrap()
+    );
 
-    let peeked = queue.peek_message().unwrap().unwrap();
+    let peeked = block_on(queue.peek_message()).unwrap().unwrap();
     println!(
         "peeked (still in queue): {:?}",
         String::from_utf8_lossy(&peeked.data)
     );
 
-    let msg = queue.get_message().unwrap().unwrap();
+    let msg = block_on(queue.get_message()).unwrap().unwrap();
     println!(
         "claimed {:?} (attempt {}), deleting…",
         String::from_utf8_lossy(&msg.data),
         msg.dequeue_count
     );
-    queue.delete_message(&msg).unwrap();
+    block_on(queue.delete_message(&msg)).unwrap();
     println!(
         "queue now holds {} messages",
-        queue.message_count().unwrap()
+        block_on(queue.message_count()).unwrap()
     );
 
     // --- Tables --------------------------------------------------------
     let table = TableClient::new(&env, "runs");
-    table.create_table().unwrap();
-    let tag = table
-        .insert(
+    block_on(table.create_table()).unwrap();
+    let tag = block_on(
+        table.insert(
             Entity::new("experiment-1", "row-0")
                 .with("score", PropValue::F64(0.93))
                 .with("label", PropValue::Str("baseline".into())),
-        )
-        .unwrap();
+        ),
+    )
+    .unwrap();
     println!("inserted entity, etag {tag:?}");
 
-    let (entity, _) = table.query("experiment-1", "row-0").unwrap().unwrap();
+    let (entity, _) = block_on(table.query("experiment-1", "row-0"))
+        .unwrap()
+        .unwrap();
     println!("queried back: {:?}", entity.properties["label"]);
 
-    table
-        .update(Entity::new("experiment-1", "row-0").with("score", PropValue::F64(0.97)))
+    block_on(
+        table.update(Entity::new("experiment-1", "row-0").with("score", PropValue::F64(0.97))),
+    )
+    .unwrap();
+    let (entity, _) = block_on(table.query("experiment-1", "row-0"))
+        .unwrap()
         .unwrap();
-    let (entity, _) = table.query("experiment-1", "row-0").unwrap().unwrap();
     println!("after wildcard update: {:?}", entity.properties["score"]);
 
     // --- Server-side view ----------------------------------------------

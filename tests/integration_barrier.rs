@@ -12,17 +12,17 @@ fn barrier_holds_for_many_workers_and_phases() {
     let n = 24usize;
     let phases = 4usize;
     let sim = Simulation::new(Cluster::with_defaults(), 7);
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let mut b = QueueBarrier::new(&env, "stress", n);
-        b.init().unwrap();
+        b.init().await.unwrap();
         let mut log: Vec<(SimTime, SimTime)> = Vec::new();
         for p in 0..phases {
             // Deterministic skew: a different straggler each phase.
             let skew = ((ctx.id().0 + p) % n) as u64 * 50;
-            ctx.sleep(Duration::from_millis(skew));
+            ctx.sleep(Duration::from_millis(skew)).await;
             let arrived = ctx.now();
-            b.wait().unwrap();
+            b.wait().await.unwrap();
             log.push((arrived, ctx.now()));
         }
         log
@@ -60,15 +60,15 @@ fn barrier_polling_respects_queue_throttle() {
         }),
         8,
     );
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let mut b = QueueBarrier::new(&env, "pollsync", n);
-        b.init().unwrap();
+        b.init().await.unwrap();
         // One severe straggler forces everyone else to poll for 30 s.
         if ctx.id().0 == 0 {
-            ctx.sleep(Duration::from_secs(30));
+            ctx.sleep(Duration::from_secs(30)).await;
         }
-        b.wait().unwrap();
+        b.wait().await.unwrap();
     });
     let m = report.model.metrics();
     // 15 workers polling 1/s for ~30 s = ~450 count requests; under the
@@ -85,15 +85,15 @@ fn deleting_markers_would_break_the_barrier_accounting() {
     let n = 5usize;
     let phases = 3usize;
     let sim = Simulation::new(Cluster::with_defaults(), 9);
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let mut b = QueueBarrier::new(&env, "acct", n);
-        b.init().unwrap();
+        b.init().await.unwrap();
         let q = QueueClient::new(&env, "acct");
         let mut counts = Vec::new();
         for _ in 0..phases {
-            b.wait().unwrap();
-            counts.push(q.message_count().unwrap());
+            b.wait().await.unwrap();
+            counts.push(q.message_count().await.unwrap());
         }
         counts
     });
@@ -116,16 +116,16 @@ fn deleting_markers_would_break_the_barrier_accounting() {
 fn two_independent_barriers_do_not_interfere() {
     let n = 8usize; // 4 in group a, 4 in group b
     let sim = Simulation::new(Cluster::with_defaults(), 10);
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let group = if ctx.id().0 < 4 { "a" } else { "b" };
         let mut b = QueueBarrier::new(&env, format!("grp-{group}"), 4);
-        b.init().unwrap();
+        b.init().await.unwrap();
         // Group b is globally slower; group a must not wait for it.
         if group == "b" {
-            ctx.sleep(Duration::from_secs(60));
+            ctx.sleep(Duration::from_secs(60)).await;
         }
-        b.wait().unwrap();
+        b.wait().await.unwrap();
         ctx.now()
     });
     let a_max = report.results[..4].iter().max().unwrap();

@@ -72,10 +72,10 @@ fn blob_content_integrity_through_full_stack() {
     let n = 4usize;
     let chunk = 64 * 1024usize;
     let sim = Simulation::new(Cluster::new(ClusterParams::default()), 5);
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let c = BlobClient::new(&env, "it");
-        c.create_container().unwrap();
+        c.create_container().await.unwrap();
         let me = ctx.id().0;
         // Each worker writes a distinct fill pattern into its share.
         c.put_block(
@@ -83,6 +83,7 @@ fn blob_content_integrity_through_full_stack() {
             format!("{me:02}"),
             Bytes::from(vec![me as u8 + 1; chunk]),
         )
+        .await
         .unwrap();
         me
     });
@@ -129,16 +130,16 @@ fn per_blob_write_pipe_caps_aggregate_upload() {
     let run = |shared: bool| {
         let sim = Simulation::new(Cluster::new(ClusterParams::default()), 6);
         let workers = 16usize;
-        let report = sim.run_workers(workers, move |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(workers, move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let c = BlobClient::new(&env, "cap");
-            c.create_container().unwrap();
+            c.create_container().await.unwrap();
             let blob = if shared {
                 "one".to_owned()
             } else {
                 format!("many-{}", ctx.id().0)
             };
-            c.create_page_blob(&blob, (8 * chunk) as u64).unwrap();
+            c.create_page_blob(&blob, (8 * chunk) as u64).await.unwrap();
             let t0 = ctx.now();
             for i in 0..8u64 {
                 c.put_page(
@@ -146,6 +147,7 @@ fn per_blob_write_pipe_caps_aggregate_upload() {
                     i * chunk as u64,
                     Bytes::from(vec![1u8; chunk as usize]),
                 )
+                .await
                 .unwrap();
             }
             (t0, ctx.now())

@@ -73,6 +73,33 @@ fn parallel_and_serial_sweeps_emit_identical_csvs() {
 }
 
 #[test]
+fn fig9_extrapolation_is_deterministic_across_schedules() {
+    // The 256-worker extrapolation point (figures --extrapolate) is a
+    // committed golden artifact: identical between runs and between the
+    // serial and parallel sweep schedules, with the beyond-paper ladder
+    // point always present and always last.
+    let base = BenchConfig::paper().with_scale(0.005).with_workers(vec![1]);
+    let serial = base.clone().with_sweep_threads(1);
+    let parallel = base.with_sweep_threads(4);
+
+    let a = fig9::figure_9_extrapolated(&serial);
+    let b = fig9::figure_9_extrapolated(&parallel);
+    assert_eq!(
+        a.to_csv(),
+        b.to_csv(),
+        "fig9-extrapolated CSV differs between schedules"
+    );
+    for s in &a.series {
+        assert_eq!(
+            s.points.last().map(|(x, _)| *x),
+            Some(fig9::EXTRAPOLATE_WORKERS as f64),
+            "series {} must end at the extrapolation point",
+            s.name
+        );
+    }
+}
+
+#[test]
 fn profile_json_is_golden_across_runs_and_schedules() {
     // The `figures profile` export is a golden artifact: the same config
     // and seed must serialize byte-identically run to run AND between the
@@ -138,17 +165,18 @@ fn full_stack_trace_is_reproducible() {
     // Drive a mixed workload and compare end times and server metrics.
     let run = || {
         let sim = Simulation::new(Cluster::with_defaults(), 12345);
-        let report = sim.run_workers(8, |ctx| {
-            let env = VirtualEnv::new(ctx);
+        let report = sim.run_workers(8, |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
             let q = azsim_client::QueueClient::new(&env, format!("d{}", ctx.id().0 % 3));
-            q.create().unwrap();
+            q.create().await.unwrap();
             for i in 0..20u32 {
                 let jitter: u64 = ctx.with_rng(|r| rand::Rng::random_range(r, 0..10_000));
-                ctx.sleep(std::time::Duration::from_micros(jitter));
+                ctx.sleep(std::time::Duration::from_micros(jitter)).await;
                 q.put_message(bytes::Bytes::from(i.to_le_bytes().to_vec()))
+                    .await
                     .unwrap();
-                if let Some(m) = q.get_message().unwrap() {
-                    q.delete_message(&m).unwrap();
+                if let Some(m) = q.get_message().await.unwrap() {
+                    q.delete_message(&m).await.unwrap();
                 }
             }
             ctx.now()

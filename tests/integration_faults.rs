@@ -65,41 +65,41 @@ fn run_bag(seed: u64) -> (Vec<u32>, FaultMetrics, u64) {
     cluster.set_fault_plan(plan);
 
     let sim = Simulation::new(cluster, seed);
-    let report = sim.run_workers(WORKERS, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(WORKERS, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         let policy = Rc::new(
             ResilientPolicy::new(seed ^ me as u64)
                 .with_max_attempts(10)
                 .with_deadline(Duration::from_secs(120)),
         );
-        let tq: TaskQueue<'_, Item> = TaskQueue::new(&env, QUEUE)
+        let tq: TaskQueue<'_, _, Item> = TaskQueue::new(&env, QUEUE)
             .with_visibility(Duration::from_secs(60))
             .with_policy(policy);
-        tq.init().unwrap();
+        tq.init().await.unwrap();
         if me == 0 {
             for id in 0..TASKS {
-                while tq.submit(&Item { id }).is_err() {
-                    env.sleep(Duration::from_secs(1));
+                while tq.submit(&Item { id }).await.is_err() {
+                    env.sleep(Duration::from_secs(1)).await;
                 }
             }
         }
         let mut done = Vec::new();
         let mut idle = 0;
         while idle < 5 {
-            match tq.claim() {
+            match tq.claim().await {
                 Ok(Some(claimed)) => {
                     idle = 0;
-                    env.sleep(Duration::from_millis(10));
-                    if tq.complete(&claimed).is_ok() {
+                    env.sleep(Duration::from_millis(10)).await;
+                    if tq.complete(&claimed).await.is_ok() {
                         done.push(claimed.task.id);
                     }
                 }
                 Ok(None) => {
                     idle += 1;
-                    env.sleep(Duration::from_secs(1));
+                    env.sleep(Duration::from_secs(1)).await;
                 }
-                Err(_) => env.sleep(Duration::from_secs(1)),
+                Err(_) => env.sleep(Duration::from_secs(1)).await,
             }
         }
         (done, env.now().as_nanos())

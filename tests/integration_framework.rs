@@ -3,7 +3,7 @@
 
 use azsim_client::VirtualEnv;
 use azsim_compute::{Deployment, VmSize};
-use azsim_core::runtime::ActorFn;
+use azsim_core::runtime::{actor, ActorCtx, ActorFn};
 use azsim_core::Simulation;
 use azsim_fabric::{Cluster, ClusterParams};
 use azsim_framework::{BagOfTasks, TaskQueue};
@@ -21,21 +21,25 @@ fn web_role_plus_workers_full_lifecycle() {
     let tasks = 48u32;
     let sim = Simulation::new(Cluster::with_defaults(), 71);
     let mut actors: Vec<ActorFn<'_, Cluster, usize>> = Vec::new();
-    actors.push(Box::new(move |ctx| {
-        let env = VirtualEnv::new(ctx);
-        let bag: BagOfTasks<'_, Work> = BagOfTasks::new(&env, "life");
-        bag.init().unwrap();
-        let n = bag.submit_all((0..tasks).map(|id| Work { id })).unwrap();
-        bag.wait_all(n).unwrap()
+    actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+        let env = VirtualEnv::new(&ctx);
+        let bag: BagOfTasks<'_, _, Work> = BagOfTasks::new(&env, "life");
+        bag.init().await.unwrap();
+        let n = bag
+            .submit_all((0..tasks).map(|id| Work { id }))
+            .await
+            .unwrap();
+        bag.wait_all(n).await.unwrap()
     }));
     for _ in 0..workers {
-        actors.push(Box::new(move |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, Work> = BagOfTasks::new(&env, "life");
-            bag.init().unwrap();
-            bag.run_worker(3, Duration::from_secs(1), &env, |_t, _a| {
-                ctx.sleep(Duration::from_millis(50));
+        actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, Work> = BagOfTasks::new(&env, "life");
+            bag.init().await.unwrap();
+            bag.run_worker(3, Duration::from_secs(1), &env, async |_t, _a| {
+                ctx.sleep(Duration::from_millis(50)).await;
             })
+            .await
             .unwrap()
             .processed
         }));
@@ -55,17 +59,17 @@ fn crashed_worker_tasks_are_recovered_by_healthy_workers() {
     let sim = Simulation::new(Cluster::with_defaults(), 72);
     let mut actors: Vec<ActorFn<'_, Cluster, (usize, usize)>> = Vec::new();
     // The crasher: claims up to 5 tasks, abandons them all, exits.
-    actors.push(Box::new(move |ctx| {
-        let env = VirtualEnv::new(ctx);
-        let tq: TaskQueue<'_, Work> = TaskQueue::new(&env, "rec-tasks").with_visibility(vis);
-        tq.init().unwrap();
+    actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+        let env = VirtualEnv::new(&ctx);
+        let tq: TaskQueue<'_, _, Work> = TaskQueue::new(&env, "rec-tasks").with_visibility(vis);
+        tq.init().await.unwrap();
         // Submit everything first so the crasher definitely sees work.
         for id in 0..tasks {
-            tq.submit(&Work { id }).unwrap();
+            tq.submit(&Work { id }).await.unwrap();
         }
         let mut claimed = 0;
         while claimed < 5 {
-            if tq.claim().unwrap().is_some() {
+            if tq.claim().await.unwrap().is_some() {
                 claimed += 1; // never complete() — simulated crash
             }
         }
@@ -73,27 +77,27 @@ fn crashed_worker_tasks_are_recovered_by_healthy_workers() {
     }));
     // Healthy workers arrive a little later and drain everything.
     for _ in 0..3 {
-        actors.push(Box::new(move |ctx| {
-            let env = VirtualEnv::new(ctx);
-            let tq: TaskQueue<'_, Work> = TaskQueue::new(&env, "rec-tasks").with_visibility(vis);
-            tq.init().unwrap();
-            ctx.sleep(Duration::from_secs(1));
+        actors.push(actor(move |ctx: ActorCtx<Cluster>| async move {
+            let env = VirtualEnv::new(&ctx);
+            let tq: TaskQueue<'_, _, Work> = TaskQueue::new(&env, "rec-tasks").with_visibility(vis);
+            tq.init().await.unwrap();
+            ctx.sleep(Duration::from_secs(1)).await;
             let mut done = 0;
             let mut retried = 0;
             let mut idle = 0;
             while idle < 6 {
-                match tq.claim().unwrap() {
+                match tq.claim().await.unwrap() {
                     Some(c) => {
                         idle = 0;
                         if c.attempt > 1 {
                             retried += 1;
                         }
-                        tq.complete(&c).unwrap();
+                        tq.complete(&c).await.unwrap();
                         done += 1;
                     }
                     None => {
                         idle += 1;
-                        ctx.sleep(Duration::from_secs(2));
+                        ctx.sleep(Duration::from_secs(2)).await;
                     }
                 }
             }
@@ -120,18 +124,21 @@ fn crashed_worker_tasks_are_recovered_by_healthy_workers() {
 fn deployment_mixes_vm_sizes_with_framework() {
     let tasks = 16u32;
     let report = Deployment::new(ClusterParams::default(), 73)
-        .with_role("web", 1, VmSize::Large, move |ctx, _| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, Work> = BagOfTasks::new(&env, "mix");
-            bag.init().unwrap();
-            bag.submit_all((0..tasks).map(|id| Work { id })).unwrap();
-            bag.wait_all(tasks as usize).unwrap()
+        .with_role("web", 1, VmSize::Large, move |ctx, _| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, Work> = BagOfTasks::new(&env, "mix");
+            bag.init().await.unwrap();
+            bag.submit_all((0..tasks).map(|id| Work { id }))
+                .await
+                .unwrap();
+            bag.wait_all(tasks as usize).await.unwrap()
         })
-        .with_role("worker", 4, VmSize::ExtraSmall, move |ctx, _| {
-            let env = VirtualEnv::new(ctx);
-            let bag: BagOfTasks<'_, Work> = BagOfTasks::new(&env, "mix");
-            bag.init().unwrap();
-            bag.run_worker(3, Duration::from_secs(1), &env, |_t, _a| {})
+        .with_role("worker", 4, VmSize::ExtraSmall, move |ctx, _| async move {
+            let env = VirtualEnv::new(&ctx);
+            let bag: BagOfTasks<'_, _, Work> = BagOfTasks::new(&env, "mix");
+            bag.init().await.unwrap();
+            bag.run_worker(3, Duration::from_secs(1), &env, async |_t, _a| {})
+                .await
                 .unwrap()
                 .processed
         })
@@ -154,30 +161,31 @@ fn oversized_tasks_go_via_blob_reference_pattern() {
     }
 
     let sim = Simulation::new(Cluster::with_defaults(), 74);
-    sim.run_workers(1, |ctx| {
-        let env = VirtualEnv::new(ctx);
+    sim.run_workers(1, |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         // Inline > 48 KB payload is rejected by the queue.
         let tq_raw = azsim_client::QueueClient::new(&env, "fat-tasks");
-        tq_raw.create().unwrap();
+        tq_raw.create().await.unwrap();
         let too_big = Bytes::from(vec![0u8; 49 * 1024]);
         assert!(matches!(
-            tq_raw.put_message(too_big),
+            tq_raw.put_message(too_big).await,
             Err(azsim_storage::StorageError::MessageTooLarge { .. })
         ));
 
         // Blob-reference pattern.
         let blobs = BlobClient::new(&env, "fat");
-        blobs.create_container().unwrap();
+        blobs.create_container().await.unwrap();
         let payload = Bytes::from(vec![7u8; 256 * 1024]);
-        blobs.upload("input-0", payload.clone()).unwrap();
-        let tq: TaskQueue<'_, Fat> = TaskQueue::new(&env, "fat-tasks");
+        blobs.upload("input-0", payload.clone()).await.unwrap();
+        let tq: TaskQueue<'_, _, Fat> = TaskQueue::new(&env, "fat-tasks");
         tq.submit(&Fat {
             blob: "input-0".into(),
         })
+        .await
         .unwrap();
-        let claimed = tq.claim().unwrap().unwrap();
-        let fetched = blobs.download(&claimed.task.blob).unwrap();
+        let claimed = tq.claim().await.unwrap().unwrap();
+        let fetched = blobs.download(&claimed.task.blob).await.unwrap();
         assert_eq!(fetched, payload);
-        tq.complete(&claimed).unwrap();
+        tq.complete(&claimed).await.unwrap();
     });
 }

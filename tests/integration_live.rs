@@ -2,6 +2,7 @@
 //! in (heavily time-scaled) wall-clock time, as the examples use it.
 
 use azsim_client::{BlobClient, LiveCluster, QueueClient, TableClient};
+use azsim_core::block_on;
 use azsim_fabric::ClusterParams;
 use azsim_storage::{Entity, PropValue, TableBatchOp};
 use bytes::Bytes;
@@ -17,24 +18,23 @@ fn all_three_services_work_live() {
     let env = lc.env(0);
 
     let blobs = BlobClient::new(&env, "live");
-    blobs.create_container().unwrap();
-    blobs.upload("b", Bytes::from_static(b"live-blob")).unwrap();
+    block_on(blobs.create_container()).unwrap();
+    block_on(blobs.upload("b", Bytes::from_static(b"live-blob"))).unwrap();
     assert_eq!(
-        blobs.download("b").unwrap(),
+        block_on(blobs.download("b")).unwrap(),
         Bytes::from_static(b"live-blob")
     );
 
     let q = QueueClient::new(&env, "live-q");
-    q.create().unwrap();
-    q.put_message(Bytes::from_static(b"m")).unwrap();
-    let m = q.get_message().unwrap().unwrap();
-    q.delete_message(&m).unwrap();
+    block_on(q.create()).unwrap();
+    block_on(q.put_message(Bytes::from_static(b"m"))).unwrap();
+    let m = block_on(q.get_message()).unwrap().unwrap();
+    block_on(q.delete_message(&m)).unwrap();
 
     let t = TableClient::new(&env, "live-t");
-    t.create_table().unwrap();
-    t.insert(Entity::new("p", "r").with("v", PropValue::I64(1)))
-        .unwrap();
-    assert!(t.query("p", "r").unwrap().is_some());
+    block_on(t.create_table()).unwrap();
+    block_on(t.insert(Entity::new("p", "r").with("v", PropValue::I64(1)))).unwrap();
+    assert!(block_on(t.query("p", "r")).unwrap().is_some());
 }
 
 #[test]
@@ -42,10 +42,10 @@ fn live_mode_parallel_workers_drain_a_task_pool() {
     let lc = LiveCluster::new(ClusterParams::default(), FAST);
     let submit_env = lc.env(0);
     let q = QueueClient::new(&submit_env, "pool");
-    q.create().unwrap();
+    block_on(q.create()).unwrap();
     let n_tasks = 40;
     for i in 0..n_tasks {
-        q.put_message(Bytes::from(vec![i as u8])).unwrap();
+        block_on(q.put_message(Bytes::from(vec![i as u8]))).unwrap();
     }
 
     let counts: Vec<usize> = std::thread::scope(|s| {
@@ -55,8 +55,8 @@ fn live_mode_parallel_workers_drain_a_task_pool() {
                 s.spawn(move || {
                     let q = QueueClient::new(&env, "pool");
                     let mut done = 0;
-                    while let Some(m) = q.get_message().unwrap() {
-                        q.delete_message(&m).unwrap();
+                    while let Some(m) = block_on(q.get_message()).unwrap() {
+                        block_on(q.delete_message(&m)).unwrap();
                         done += 1;
                     }
                     done
@@ -66,7 +66,7 @@ fn live_mode_parallel_workers_drain_a_task_pool() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     assert_eq!(counts.iter().sum::<usize>(), n_tasks);
-    assert_eq!(q.message_count().unwrap(), 0);
+    assert_eq!(block_on(q.message_count()).unwrap(), 0);
 }
 
 #[test]
@@ -74,20 +74,19 @@ fn live_mode_visibility_timeout_uses_scaled_time() {
     let lc = LiveCluster::new(ClusterParams::default(), FAST);
     let env = lc.env(0);
     let q = QueueClient::new(&env, "vis");
-    q.create().unwrap();
-    q.put_message(Bytes::from_static(b"t")).unwrap();
+    block_on(q.create()).unwrap();
+    block_on(q.put_message(Bytes::from_static(b"t"))).unwrap();
     // 60 virtual seconds = 3 real milliseconds at scale 20 000.
-    let m1 = q
-        .get_message_with_visibility(Duration::from_secs(60))
+    let m1 = block_on(q.get_message_with_visibility(Duration::from_secs(60)))
         .unwrap()
         .unwrap();
-    assert!(q
-        .get_message_with_visibility(Duration::from_secs(60))
-        .unwrap()
-        .is_none());
+    assert!(
+        block_on(q.get_message_with_visibility(Duration::from_secs(60)))
+            .unwrap()
+            .is_none()
+    );
     std::thread::sleep(Duration::from_millis(10));
-    let m2 = q
-        .get_message_with_visibility(Duration::from_secs(60))
+    let m2 = block_on(q.get_message_with_visibility(Duration::from_secs(60)))
         .unwrap()
         .unwrap();
     assert_eq!(m1.id, m2.id);
@@ -99,30 +98,29 @@ fn entity_group_transaction_via_live_client() {
     let lc = LiveCluster::new(ClusterParams::default(), FAST);
     let env = lc.env(0);
     let t = TableClient::new(&env, "batch");
-    t.create_table().unwrap();
-    let tags = t
-        .execute_batch(
-            "p",
-            vec![
-                TableBatchOp::Insert(Entity::new("p", "a").with("v", PropValue::I64(1))),
-                TableBatchOp::Insert(Entity::new("p", "b").with("v", PropValue::I64(2))),
-            ],
-        )
-        .unwrap();
+    block_on(t.create_table()).unwrap();
+    let tags = block_on(t.execute_batch(
+        "p",
+        vec![
+            TableBatchOp::Insert(Entity::new("p", "a").with("v", PropValue::I64(1))),
+            TableBatchOp::Insert(Entity::new("p", "b").with("v", PropValue::I64(2))),
+        ],
+    ))
+    .unwrap();
     assert_eq!(tags.len(), 2);
-    assert_eq!(t.query_partition("p").unwrap().len(), 2);
+    assert_eq!(block_on(t.query_partition("p")).unwrap().len(), 2);
 
     // An atomic failure leaves no trace.
-    let err = t.execute_batch(
+    let err = block_on(t.execute_batch(
         "p",
         vec![
             TableBatchOp::Insert(Entity::new("p", "c").with("v", PropValue::I64(3))),
             TableBatchOp::Insert(Entity::new("p", "a").with("v", PropValue::I64(9))), // dup
         ],
-    );
+    ));
     assert!(err.is_err());
-    assert_eq!(t.query_partition("p").unwrap().len(), 2);
-    assert!(t.query("p", "c").unwrap().is_none());
+    assert_eq!(block_on(t.query_partition("p")).unwrap().len(), 2);
+    assert!(block_on(t.query("p", "c")).unwrap().is_none());
 }
 
 #[test]
@@ -133,9 +131,9 @@ fn live_metrics_accumulate_across_threads() {
             let env = lc.env(w);
             s.spawn(move || {
                 let q = QueueClient::new(&env, format!("m{w}"));
-                q.create().unwrap();
+                block_on(q.create()).unwrap();
                 for _ in 0..5 {
-                    q.put_message(Bytes::from_static(b"x")).unwrap();
+                    block_on(q.put_message(Bytes::from_static(b"x"))).unwrap();
                 }
             });
         }

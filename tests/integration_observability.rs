@@ -64,8 +64,8 @@ fn run_chaos_traced(seed: u64) -> (Vec<TraceRecord>, Vec<(Vec<RetrySpan>, u64)>)
     cluster.enable_tracing(WORKERS * OPS * 4 + 1024);
 
     let sim = Simulation::new(cluster, seed);
-    let report = sim.run_workers(WORKERS, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(WORKERS, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         let policy = Rc::new(
             ResilientPolicy::new(seed ^ me as u64)
@@ -73,11 +73,11 @@ fn run_chaos_traced(seed: u64) -> (Vec<TraceRecord>, Vec<(Vec<RetrySpan>, u64)>)
                 .with_span_log(),
         );
         let queue = QueueClient::new(&env, QUEUE).with_policy(policy.clone());
-        let _ = queue.create();
+        let _ = queue.create().await;
         for _ in 0..OPS {
-            let _ = queue.put_message(bytes::Bytes::from(vec![0u8; 4096]));
-            if let Ok(Some(m)) = queue.get_message() {
-                let _ = queue.delete_message(&m);
+            let _ = queue.put_message(bytes::Bytes::from(vec![0u8; 4096])).await;
+            if let Ok(Some(m)) = queue.get_message().await {
+                let _ = queue.delete_message(&m).await;
             }
         }
         (policy.take_retry_spans(), policy.stats().retries)

@@ -66,12 +66,13 @@ fn queue_throttle_storms_are_absorbed_by_retry() {
     };
     let sim = Simulation::new(Cluster::new(params), 31);
     let n = 32usize;
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let q = QueueClient::new(&env, "storm");
-        q.create().unwrap();
+        q.create().await.unwrap();
         for i in 0..20u32 {
             q.put_message(Bytes::from(i.to_le_bytes().to_vec()))
+                .await
                 .unwrap();
         }
     });
@@ -90,25 +91,27 @@ fn queue_throttle_storms_are_absorbed_by_retry() {
 #[test]
 fn messages_survive_and_reappear_across_the_stack() {
     let sim = Simulation::new(Cluster::with_defaults(), 32);
-    sim.run_workers(1, |ctx| {
-        let env = VirtualEnv::new(ctx);
+    sim.run_workers(1, |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let q = QueueClient::new(&env, "vis");
-        q.create().unwrap();
-        q.put_message(Bytes::from_static(b"task")).unwrap();
+        q.create().await.unwrap();
+        q.put_message(Bytes::from_static(b"task")).await.unwrap();
         let first = q
             .get_message_with_visibility(Duration::from_secs(5))
+            .await
             .unwrap()
             .unwrap();
         // Nothing visible inside the window.
         assert!(q
             .get_message_with_visibility(Duration::from_secs(5))
+            .await
             .unwrap()
             .is_none());
-        ctx.sleep(Duration::from_secs(6));
-        let second = q.get_message().unwrap().unwrap();
+        ctx.sleep(Duration::from_secs(6)).await;
+        let second = q.get_message().await.unwrap().unwrap();
         assert_eq!(second.id, first.id);
         assert_eq!(second.dequeue_count, 2);
-        q.delete_message(&second).unwrap();
+        q.delete_message(&second).await.unwrap();
     });
 }
 
@@ -119,17 +122,17 @@ fn non_fifo_delivery_is_observable_with_high_fuzz() {
         ..ClusterParams::default()
     };
     let sim = Simulation::new(Cluster::new(params), 33);
-    sim.run_workers(1, |ctx| {
-        let env = VirtualEnv::new(ctx);
+    sim.run_workers(1, |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let q = QueueClient::new(&env, "fifo");
-        q.create().unwrap();
+        q.create().await.unwrap();
         for i in 0..6u8 {
-            q.put_message(Bytes::from(vec![i])).unwrap();
+            q.put_message(Bytes::from(vec![i])).await.unwrap();
         }
         let mut order = Vec::new();
-        while let Some(m) = q.get_message().unwrap() {
+        while let Some(m) = q.get_message().await.unwrap() {
             order.push(m.data[0]);
-            q.delete_message(&m).unwrap();
+            q.delete_message(&m).await.unwrap();
         }
         assert_eq!(order.len(), 6, "no loss");
         let sorted: Vec<u8> = (0..6).collect();

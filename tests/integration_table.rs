@@ -58,15 +58,16 @@ fn hot_partition_hits_500_per_sec_wall_and_recovers() {
     let sim = Simulation::new(Cluster::new(params), 41);
     let n = 24usize;
     let per = 25usize;
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let t = TableClient::new(&env, "hot");
-        t.create_table().unwrap();
+        t.create_table().await.unwrap();
         for i in 0..per {
             t.insert(
                 Entity::new("hot", format!("{}-{}", ctx.id().0, i))
                     .with("v", PropValue::I64(i as i64)),
             )
+            .await
             .unwrap();
         }
     });
@@ -83,26 +84,30 @@ fn etag_protects_against_lost_updates_under_concurrency() {
     // Two workers race wildcard-vs-conditional updates; the conditional
     // loser must observe PreconditionFailed rather than clobbering.
     let sim = Simulation::new(Cluster::with_defaults(), 42);
-    let report = sim.run_workers(2, |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(2, |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let t = TableClient::new(&env, "race");
-        t.create_table().unwrap();
+        t.create_table().await.unwrap();
         if ctx.id().0 == 0 {
             // Writer 0: insert, then hold a stale tag over a sleep.
             let tag = t
                 .insert(Entity::new("p", "r").with("v", PropValue::I64(0)))
+                .await
                 .unwrap();
-            ctx.sleep(std::time::Duration::from_secs(2));
+            ctx.sleep(std::time::Duration::from_secs(2)).await;
             // Worker 1 has updated meanwhile: the stale tag must fail.
-            let res = t.update_if(
-                Entity::new("p", "r").with("v", PropValue::I64(100)),
-                EtagCondition::Match(tag),
-            );
+            let res = t
+                .update_if(
+                    Entity::new("p", "r").with("v", PropValue::I64(100)),
+                    EtagCondition::Match(tag),
+                )
+                .await;
             assert_eq!(res.unwrap_err(), StorageError::PreconditionFailed);
             0
         } else {
-            ctx.sleep(std::time::Duration::from_secs(1));
+            ctx.sleep(std::time::Duration::from_secs(1)).await;
             t.update(Entity::new("p", "r").with("v", PropValue::I64(7)))
+                .await
                 .unwrap();
             1
         }
@@ -120,14 +125,15 @@ fn etag_protects_against_lost_updates_under_concurrency() {
 #[test]
 fn payload_integrity_through_full_stack() {
     let sim = Simulation::new(Cluster::with_defaults(), 43);
-    sim.run_workers(1, |ctx| {
-        let env = VirtualEnv::new(ctx);
+    sim.run_workers(1, |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let t = TableClient::new(&env, "bytes");
-        t.create_table().unwrap();
+        t.create_table().await.unwrap();
         let payload = Bytes::from((0..=255u8).cycle().take(10_000).collect::<Vec<u8>>());
         t.insert(Entity::new("p", "r").with("data", PropValue::Binary(payload.clone())))
+            .await
             .unwrap();
-        let (e, _) = t.query("p", "r").unwrap().unwrap();
+        let (e, _) = t.query("p", "r").await.unwrap().unwrap();
         match &e.properties["data"] {
             PropValue::Binary(b) => assert_eq!(*b, payload),
             other => panic!("wrong property type {other:?}"),
@@ -139,18 +145,19 @@ fn payload_integrity_through_full_stack() {
 fn partition_scan_collects_all_workers_rows() {
     let n = 6usize;
     let sim = Simulation::new(Cluster::with_defaults(), 44);
-    let report = sim.run_workers(n, move |ctx| {
-        let env = VirtualEnv::new(ctx);
+    let report = sim.run_workers(n, move |ctx| async move {
+        let env = VirtualEnv::new(&ctx);
         let t = TableClient::new(&env, "scan");
-        t.create_table().unwrap();
+        t.create_table().await.unwrap();
         // All workers share one partition, distinct rows.
         t.insert(
             Entity::new("all", format!("row-{}", ctx.id().0))
                 .with("v", PropValue::I64(ctx.id().0 as i64)),
         )
+        .await
         .unwrap();
-        ctx.sleep(std::time::Duration::from_secs(1));
-        let rows = t.query_partition("all").unwrap();
+        ctx.sleep(std::time::Duration::from_secs(1)).await;
+        let rows = t.query_partition("all").await.unwrap();
         rows.len()
     });
     assert!(report.results.iter().all(|&len| len == n));
