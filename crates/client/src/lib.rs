@@ -17,6 +17,7 @@
 
 pub mod blob;
 pub mod env;
+pub mod idempotent;
 pub mod live;
 pub mod queue;
 pub mod resilience;
@@ -25,11 +26,12 @@ pub mod table;
 
 pub use blob::BlobClient;
 pub use env::{Environment, VirtualEnv};
+pub use idempotent::{delete_message_checked, insert_idempotent, update_idempotent, OP_MARKER};
 pub use live::{LiveCluster, LiveEnv};
 pub use queue::QueueClient;
 pub use resilience::{
     BackoffConfig, BreakerConfig, BreakerEvent, BreakerTransition, ClientPolicy, ErrorClass,
-    ResilienceStats, ResilientPolicy, RetrySpan,
+    ResilienceStats, ResilientPolicy, RetryBudgetConfig, RetrySpan,
 };
 pub use retry::RetryPolicy;
 pub use table::TableClient;

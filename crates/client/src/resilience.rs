@@ -127,6 +127,35 @@ impl Default for BreakerConfig {
     }
 }
 
+/// Client-wide retry-budget configuration: a token pool shared by every
+/// operation the policy runs.
+///
+/// Each retry spends one token; each successful attempt refills
+/// `refill_per_success` tokens (capped at `capacity`). Under a healthy
+/// cluster the pool stays full and the budget is invisible; under a wide
+/// fault (an ack-loss storm timing out every request) the pool drains and
+/// the client stops amplifying the outage with retry traffic — at most
+/// `capacity + refill_per_success × successes` retries are ever sent.
+/// When the budget is exhausted the operation fails with its *own* last
+/// error (a timeout stays a timeout), so callers still see what the
+/// cluster actually did.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryBudgetConfig {
+    /// Maximum (and initial) number of banked retry tokens.
+    pub capacity: u32,
+    /// Tokens earned back per successful attempt.
+    pub refill_per_success: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            capacity: 10,
+            refill_per_success: 0.1,
+        }
+    }
+}
+
 /// Counters accumulated by a [`ResilientPolicy`] across operations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ResilienceStats {
@@ -142,6 +171,9 @@ pub struct ResilienceStats {
     pub breaker_opens: u64,
     /// Operations abandoned because the deadline budget ran out.
     pub deadline_expired: u64,
+    /// Retries suppressed because the retry budget was exhausted (the
+    /// operation failed with its own last error, not a synthetic one).
+    pub budget_exhausted: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -204,6 +236,8 @@ struct Inner {
     stats: ResilienceStats,
     spans: Option<Vec<RetrySpan>>,
     events: Option<Vec<BreakerEvent>>,
+    /// Banked retry tokens (meaningful only with a budget configured).
+    budget_tokens: f64,
 }
 
 /// The composable resilience executor. Construct with [`ResilientPolicy::new`],
@@ -214,6 +248,7 @@ pub struct ResilientPolicy {
     max_attempts: usize,
     deadline: Option<Duration>,
     breaker: Option<BreakerConfig>,
+    budget: Option<RetryBudgetConfig>,
     retry_ambiguous: bool,
     state: RefCell<Inner>,
 }
@@ -228,6 +263,7 @@ impl ResilientPolicy {
             max_attempts: 8,
             deadline: None,
             breaker: Some(BreakerConfig::default()),
+            budget: None,
             retry_ambiguous: true,
             state: RefCell::new(Inner {
                 rng: stream_rng(seed, JITTER_STREAM),
@@ -235,6 +271,7 @@ impl ResilientPolicy {
                 stats: ResilienceStats::default(),
                 spans: None,
                 events: None,
+                budget_tokens: 0.0,
             }),
         }
     }
@@ -262,6 +299,15 @@ impl ResilientPolicy {
     /// Replace (or, with `None`, disable) the per-partition circuit breaker.
     pub fn with_breaker(mut self, breaker: Option<BreakerConfig>) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Enable a client-wide retry budget (off by default): a token pool
+    /// that caps total retry traffic so a cluster-wide fault cannot
+    /// amplify into a retry storm. See [`RetryBudgetConfig`].
+    pub fn with_retry_budget(mut self, budget: RetryBudgetConfig) -> Self {
+        self.state.borrow_mut().budget_tokens = budget.capacity as f64;
+        self.budget = Some(budget);
         self
     }
 
@@ -334,6 +380,11 @@ impl ResilientPolicy {
             let err = match env.execute(req.clone()).await {
                 Ok(ok) => {
                     self.record_outcome(env.now(), &pk, None);
+                    if let Some(b) = self.budget {
+                        let inner = &mut *self.state.borrow_mut();
+                        inner.budget_tokens =
+                            (inner.budget_tokens + b.refill_per_success).min(b.capacity as f64);
+                    }
                     return Ok(ok);
                 }
                 Err(err) => err,
@@ -356,6 +407,17 @@ impl ResilientPolicy {
             if attempt >= self.max_attempts {
                 self.state.borrow_mut().stats.giveups += 1;
                 return Err(err);
+            }
+            if self.budget.is_some() {
+                let inner = &mut *self.state.borrow_mut();
+                if inner.budget_tokens < 1.0 {
+                    // Budget dry: surface the operation's own error so the
+                    // caller sees what the cluster did, not a synthetic
+                    // budget-exhausted mask.
+                    inner.stats.budget_exhausted += 1;
+                    return Err(err);
+                }
+                inner.budget_tokens -= 1.0;
             }
 
             let jittered = {
@@ -810,6 +872,90 @@ mod tests {
         );
         // Drained: a second take returns nothing.
         assert!(policy.take_breaker_events().is_empty());
+    }
+
+    #[test]
+    fn breaker_half_open_probe_retrips_under_second_window() {
+        // A second crash window at the half-open instant: the probe fails
+        // and the breaker must re-open immediately (streak still at the
+        // threshold), going back to failing fast without new traffic.
+        let env = ScriptedEnv::new(vec![fault(0), fault(0), fault(0)]);
+        let policy = ResilientPolicy::new(0)
+            .with_max_attempts(1)
+            .with_breaker(Some(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(1),
+            }))
+            .with_event_log();
+        block_on(policy.run(&env, &req())).unwrap_err();
+        block_on(policy.run(&env, &req())).unwrap_err();
+        assert_eq!(policy.stats().breaker_opens, 1);
+        env.advance(Duration::from_secs(2));
+        // Half-open probe hits the second window and fails → re-trip.
+        block_on(policy.run(&env, &req())).unwrap_err();
+        assert_eq!(env.calls.get(), 3);
+        assert_eq!(
+            policy.stats().breaker_opens,
+            2,
+            "probe failure must re-open"
+        );
+        // Open again: fail fast, no cluster traffic.
+        block_on(policy.run(&env, &req())).unwrap_err();
+        assert_eq!(env.calls.get(), 3);
+        assert_eq!(policy.stats().fast_failures, 1);
+        let kinds: Vec<BreakerTransition> = policy
+            .take_breaker_events()
+            .into_iter()
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BreakerTransition::Opened,
+                BreakerTransition::HalfOpen,
+                BreakerTransition::Opened,
+            ]
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_original_error() {
+        // Three timeouts with a 2-token budget: two retries spend the
+        // budget, the third failure surfaces as the operation's own error
+        // (a timeout stays a timeout — no synthetic masking error).
+        let timeout = || {
+            Err(StorageError::Timeout {
+                elapsed: Duration::from_secs(30),
+            })
+        };
+        let env = ScriptedEnv::new(vec![timeout(), timeout(), timeout()]);
+        let policy = ResilientPolicy::new(0)
+            .with_breaker(None)
+            .with_max_attempts(10)
+            .with_retry_budget(RetryBudgetConfig {
+                capacity: 2,
+                refill_per_success: 1.0,
+            });
+        let r = block_on(policy.run(&env, &req()));
+        assert!(
+            matches!(r, Err(StorageError::Timeout { .. })),
+            "exhaustion must surface the underlying error, got {r:?}"
+        );
+        // 1 initial attempt + 2 budgeted retries, then the pool is dry.
+        assert_eq!(env.calls.get(), 3);
+        assert_eq!(policy.stats().budget_exhausted, 1);
+        assert_eq!(
+            policy.stats().giveups,
+            0,
+            "budget, not max_attempts, stopped it"
+        );
+        // A success refills the pool: the next failure can retry again.
+        let r = block_on(policy.run(&env, &req()));
+        assert!(r.is_ok(), "script exhausted → Ack");
+        let env2 = &env;
+        env2.script.borrow_mut().push_back(timeout());
+        block_on(policy.run(env2, &req())).unwrap();
+        assert_eq!(policy.stats().retries, 3, "refilled token spent on a retry");
     }
 
     #[test]

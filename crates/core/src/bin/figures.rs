@@ -2,10 +2,19 @@
 //!
 //! ```text
 //! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|
-//!          bottleneck|chaos|bench|all]...
+//!          bottleneck|chaos|verify|bench|all]...
 //!         [--scale S] [--workers 1,2,4,...] [--seed N] [--csv DIR]
-//!         [--threads N] [--timeline]
+//!         [--threads N] [--timeline] [--verify-seeds N] [--naive]
+//!         [--expect-violation]
 //! ```
+//!
+//! The `verify` target (opt-in, not part of `all`) runs the resilience
+//! chaos search: `--verify-seeds N` randomized fault plans plus boundary
+//! schedules, each checked against the correctness invariants in
+//! [`azurebench::verify`]. `--naive` swaps the hardened idempotent client
+//! for a blind-retry one (expected to be caught); `--expect-violation`
+//! inverts the exit code for that use. On violation the shrunk plan is
+//! written as `repro-<policy>.json`.
 //!
 //! `--timeline` enables virtual-time gauge sampling for every target (the
 //! figures stay bit-identical — sampling is passive; combine with `bench`
@@ -27,7 +36,9 @@
 //! The `bench` target runs the engine micro-benchmark plus a timed pass
 //! over the figure suite and writes `BENCH_engine.json`.
 
-use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, BenchConfig, Figure};
+use azurebench::{
+    alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, verify, BenchConfig, Figure,
+};
 use std::io::Write;
 use std::time::Instant;
 
@@ -40,6 +51,9 @@ struct Args {
     threads: usize,
     timeline: bool,
     extrapolate: bool,
+    verify_seeds: usize,
+    naive: bool,
+    expect_violation: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         timeline: false,
         extrapolate: false,
+        verify_seeds: 50,
+        naive: false,
+        expect_violation: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -78,6 +95,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--timeline" => args.timeline = true,
             "--extrapolate" => args.extrapolate = true,
+            "--verify-seeds" => {
+                let v = it.next().ok_or("--verify-seeds needs a value")?;
+                args.verify_seeds = v.parse().map_err(|_| format!("bad seed count {v:?}"))?;
+            }
+            "--naive" => args.naive = true,
+            "--expect-violation" => args.expect_violation = true,
             t if !t.starts_with('-') => args.targets.push(t.to_owned()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -109,9 +132,9 @@ fn main() {
     if args.targets.is_empty() {
         eprintln!(
             "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|\
-             bottleneck|chaos|bench|all]... \
+             bottleneck|chaos|verify|bench|all]... \
              [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--timeline] \
-             [--extrapolate]"
+             [--extrapolate] [--verify-seeds N] [--naive] [--expect-violation]"
         );
         std::process::exit(2);
     }
@@ -119,7 +142,7 @@ fn main() {
     let mut cfg = BenchConfig::paper()
         .with_scale(args.scale)
         .with_sweep_threads(args.threads);
-    if let Some(w) = args.workers {
+    if let Some(w) = args.workers.clone() {
         cfg = cfg.with_workers(w);
     }
     if let Some(s) = args.seed {
@@ -267,10 +290,75 @@ fn main() {
         eprintln!("# chaos (fault injection) swept in {:.1?}", t.elapsed());
         emit(&figs, &args.csv_dir);
     }
+    // `verify` is opt-in only (not part of `all`): it runs the resilience
+    // chaos search, not a figure, and its exit code reports the verdict.
+    if args.targets.iter().any(|t| t == "verify") {
+        run_verify_target(&args);
+    }
     // `bench` is opt-in only (not part of `all`): it re-runs the figure
     // suite purely for timing and writes BENCH_engine.json.
     if args.targets.iter().any(|t| t == "bench") {
         run_bench(&cfg, &args.csv_dir);
+    }
+}
+
+/// The `verify` target: chaos-search the fault-plan space for invariant
+/// violations. Exit code 0 = expectation met (clean under the hardened
+/// policy, or a violation found when `--expect-violation` was given);
+/// 1 = unexpected outcome. On violation, the shrunk reproducer is written
+/// as `repro-<policy>.json`.
+fn run_verify_target(args: &Args) {
+    let vcfg = verify::VerifyConfig {
+        seed: args.seed.unwrap_or(2012),
+        hardened: !args.naive,
+        ..verify::VerifyConfig::quick(!args.naive)
+    };
+    let seeds: Vec<u64> = (0..args.verify_seeds as u64).collect();
+    let t = Instant::now();
+    let report = verify::chaos_search(&vcfg, &seeds, args.threads);
+    eprintln!(
+        "# verify: {} runs ({} boundary + {} seeded, {} policy) in {:.1?}",
+        report.runs,
+        report.boundary_runs,
+        seeds.len(),
+        if vcfg.hardened { "hardened" } else { "naive" },
+        t.elapsed()
+    );
+    match &report.failure {
+        None => {
+            println!("verify: zero invariant violations in {} runs", report.runs);
+            if args.expect_violation {
+                eprintln!("error: expected a violation but found none");
+                std::process::exit(1);
+            }
+        }
+        Some(case) => {
+            let doc = verify::ReproDoc::new(&vcfg, case);
+            println!(
+                "verify: VIOLATION — {} (plan shrunk {} → {} ingredients)",
+                case.violations
+                    .iter()
+                    .map(|v| v.invariant.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                verify::plan_events(&case.plan),
+                verify::plan_events(&case.shrunk),
+            );
+            for v in &case.violations {
+                println!("  {}: {}", v.invariant, v.detail);
+            }
+            let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
+            std::fs::create_dir_all(&dir).expect("create repro dir");
+            let path = format!(
+                "{dir}/repro-{}.json",
+                if vcfg.hardened { "hardened" } else { "naive" }
+            );
+            std::fs::write(&path, doc.to_json()).expect("write reproducer");
+            eprintln!("wrote {path}");
+            if !args.expect_violation {
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -34,6 +34,7 @@ pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod timeline;
+pub mod verify;
 pub mod ycsb;
 
 pub use config::BenchConfig;

@@ -504,6 +504,21 @@ impl TimelineReport {
             }
         }
 
+        // Monotonic counters (ops.submitted, ops.throttled, ops.ambiguous)
+        // as running-total tracks: ambiguous outcomes become visible right
+        // next to the fault windows that caused them.
+        for c in self.recorder.counters() {
+            for (t, b) in c.series.series().iter() {
+                ev.push(format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\
+                     \"args\":{{\"total\":{:?}}}}}",
+                    jstr(&c.name),
+                    us(t),
+                    b.last
+                ));
+            }
+        }
+
         format!(
             "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
             ev.join(",")

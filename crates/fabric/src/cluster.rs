@@ -22,6 +22,7 @@ use crate::metrics::{MetricsSnapshot, PartitionHeat};
 use crate::params::ClusterParams;
 use crate::timeline::{ClusterSample, ClusterTimeline, ResourceUsage};
 use crate::trace::{Phase, PhaseBreadcrumb, TraceOutcome, TraceRecord, Tracer};
+use crate::verify::{History, OpOutcome, OpRecord};
 use azsim_blob::BlobStore;
 use azsim_core::resource::{Admission, FifoServer, Pipe, TokenBucket};
 use azsim_core::runtime::{ActorId, Model};
@@ -87,6 +88,7 @@ pub struct Cluster {
     tracer: Option<Tracer>,
     timeline: Option<ClusterTimeline>,
     faults: FaultInjector,
+    history: Option<History>,
 }
 
 impl Cluster {
@@ -123,6 +125,7 @@ impl Cluster {
             tracer: None,
             timeline: params.timeline_resolution.map(ClusterTimeline::new),
             faults: FaultInjector::inert(),
+            history: None,
             params,
         }
     }
@@ -206,6 +209,67 @@ impl Cluster {
     /// Counters of injected faults (all zero under the inert default).
     pub fn fault_metrics(&self) -> &FaultMetrics {
         self.faults.metrics()
+    }
+
+    /// Record one ground-truth [`OpRecord`] per submitted operation —
+    /// including whether timed-out operations secretly executed. Off by
+    /// default (one branch per op when off); enable for verification runs.
+    pub fn enable_history(&mut self) {
+        self.history = Some(History::default());
+    }
+
+    /// The recorded ground-truth history, if enabled.
+    pub fn history(&self) -> Option<&History> {
+        self.history.as_ref()
+    }
+
+    /// Ground-truth audit of one queue's live messages at `now` — the
+    /// final-state evidence the verification layer checks invariants
+    /// against (bypasses pricing, faults and metrics entirely).
+    pub fn queue_audit(
+        &self,
+        now: SimTime,
+        name: &str,
+    ) -> azsim_storage::StorageResult<Vec<azsim_queue::AuditedMessage>> {
+        self.queues.audit(now, name)
+    }
+
+    /// Ground-truth point read of one table entity (verification only;
+    /// bypasses pricing, faults and metrics).
+    pub fn table_entity(
+        &self,
+        table: &str,
+        partition: &str,
+        row: &str,
+    ) -> Option<azsim_storage::Entity> {
+        self.tables
+            .query(table, partition, row)
+            .ok()
+            .flatten()
+            .map(|(e, _)| e)
+    }
+
+    /// Append one history record (no-op unless history is enabled).
+    #[allow(clippy::too_many_arguments)]
+    fn record_op(
+        &mut self,
+        issued: SimTime,
+        completed: SimTime,
+        actor: usize,
+        class: OpClass,
+        slot: usize,
+        outcome: OpOutcome,
+    ) {
+        if let Some(h) = &mut self.history {
+            h.push(OpRecord {
+                issued,
+                completed,
+                actor,
+                class,
+                partition: self.slots[slot].key.clone(),
+                outcome,
+            });
+        }
     }
 
     /// Exportable snapshot of everything the cluster measured: per-class
@@ -784,10 +848,15 @@ impl Cluster {
 
         // Fault injection (inert by default). Faults fire where a real
         // cluster produces them: storms at the front end, crash/blackout
-        // at the partition server, drops anywhere in between.
+        // at the partition server, drops anywhere in between. An ack loss
+        // does *not* divert the request: it proceeds through throttles,
+        // state transition and replication, and only the response is lost.
         let sidx = self.slots[slot].server;
+        let t_fault = t;
+        let mut ack_loss: Option<Duration> = None;
         match self.faults.decide(t, class, &self.slots[slot].key, sidx) {
             FaultDecision::None => {}
+            FaultDecision::AckLoss { elapsed } => ack_loss = Some(elapsed),
             FaultDecision::Busy { retry_after } => {
                 self.metrics.counter_mut(class).throttled += 1;
                 let done = t + Duration::from_millis(1);
@@ -803,6 +872,7 @@ impl Cluster {
                     0,
                     phases,
                 );
+                self.record_op(now, done, actor, class, slot, OpOutcome::Throttled);
                 return (done, Err(StorageError::ServerBusy { retry_after }));
             }
             FaultDecision::Fault { retry_after } => {
@@ -820,6 +890,7 @@ impl Cluster {
                     0,
                     phases,
                 );
+                self.record_op(now, done, actor, class, slot, OpOutcome::Faulted);
                 return (done, Err(StorageError::ServerFault { retry_after }));
             }
             FaultDecision::Drop { elapsed } => {
@@ -828,6 +899,9 @@ impl Cluster {
                 self.metrics.counter_mut(class).failed += 1;
                 let done = t + elapsed;
                 self.timeline_outcome(now, done, false);
+                if let Some(tl) = self.timeline.as_mut() {
+                    tl.note_ambiguous(now);
+                }
                 let phases = Self::reject_phases(now, t, done);
                 self.trace(
                     now,
@@ -839,6 +913,7 @@ impl Cluster {
                     0,
                     phases,
                 );
+                self.record_op(now, done, actor, class, slot, OpOutcome::TimedOutLost);
                 return (done, Err(StorageError::Timeout { elapsed }));
             }
         }
@@ -851,6 +926,29 @@ impl Cluster {
             self.slots[slot].throttled += 1;
             let c = self.metrics.counter_mut(class);
             c.throttled += 1;
+            if let Some(elapsed) = ack_loss {
+                // The throttle rejected the request before it executed,
+                // but the (rejection) response is the part that gets lost:
+                // the client still observes an opaque timeout.
+                let done = t_fault + elapsed;
+                self.timeline_outcome(now, done, true);
+                if let Some(tl) = self.timeline.as_mut() {
+                    tl.note_ambiguous(now);
+                }
+                let phases = Self::reject_phases(now, t, done);
+                self.trace(
+                    now,
+                    done,
+                    actor,
+                    class,
+                    TraceOutcome::TimedOut,
+                    up,
+                    0,
+                    phases,
+                );
+                self.record_op(now, done, actor, class, slot, OpOutcome::TimedOutLost);
+                return (done, Err(StorageError::Timeout { elapsed }));
+            }
             // The rejection itself is a fast round trip.
             let done = t + Duration::from_millis(1);
             self.timeline_outcome(now, done, true);
@@ -865,6 +963,7 @@ impl Cluster {
                 0,
                 phases,
             );
+            self.record_op(now, done, actor, class, slot, OpOutcome::Throttled);
             return (
                 done,
                 Err(StorageError::ServerBusy {
@@ -958,6 +1057,17 @@ impl Cluster {
         }
         let t_replica_end = t;
 
+        // Mid-window crash semantics: a crash that begins while a
+        // replicated write is still syncing applies the write on the
+        // primary but the ack never leaves the dying server — the client
+        // observes a timeout for an operation that executed.
+        if ack_loss.is_none()
+            && result.is_ok()
+            && !matches!(class.sync_class(), SyncClass::ReadPrimary)
+        {
+            ack_loss = self.faults.ack_cut_by_crash(sidx, start, t_replica_end);
+        }
+
         // Downlink: blob reads cross the per-blob read path; table payloads
         // cross the shared table front-end; everything crosses the server,
         // account and NIC pipes.
@@ -984,6 +1094,57 @@ impl Cluster {
         t = t2;
         let (_, t2) = self.nic(actor).transfer(t, down);
         t = t2;
+
+        // A lost ack: the operation ran to completion above (state
+        // transition, replication, even the response transfers — the loss
+        // happens en route), but the client's wait expires instead. The
+        // server-side ledger still counts the execution; the client-side
+        // latency histogram does not see a sample because no response
+        // arrived.
+        if let Some(elapsed) = ack_loss {
+            let done = (t_fault + elapsed).max(t);
+            let c = self.metrics.counter_mut(class);
+            match &result {
+                Ok(_) => {
+                    c.completed += 1;
+                    c.bytes_up += up;
+                }
+                Err(_) => c.failed += 1,
+            }
+            self.timeline_outcome(now, done, false);
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.note_ambiguous(now);
+            }
+            let mut phases = PhaseBreadcrumb::new();
+            phases.add(Phase::ClientSend, t_arrive.saturating_since(now));
+            phases.add(Phase::QueueWait, start.saturating_since(t_arrive));
+            phases.add(Phase::Service, t_service_end.saturating_since(start));
+            phases.add(
+                Phase::ReplicaSync,
+                t_replica_end.saturating_since(t_service_end),
+            );
+            phases.add(Phase::Rejection, done.saturating_since(t_replica_end));
+            self.trace(
+                now,
+                done,
+                actor,
+                class,
+                TraceOutcome::TimedOut,
+                up,
+                0,
+                phases,
+            );
+            let outcome = if result.is_ok() {
+                OpOutcome::TimedOutExecuted
+            } else {
+                // The request reached the server but the state machine
+                // rejected it (e.g. AlreadyExists): nothing changed, and
+                // the definite answer was lost with the ack.
+                OpOutcome::TimedOutLost
+            };
+            self.record_op(now, done, actor, class, slot, outcome);
+            return (done, Err(StorageError::Timeout { elapsed }));
+        }
 
         // Account for the op.
         let c = self.metrics.counter_mut(class);
@@ -1015,6 +1176,12 @@ impl Cluster {
         );
         phases.add(Phase::Transfer, t.saturating_since(t_replica_end));
         self.trace(now, t, actor, class, outcome, up, down, phases);
+        let op_outcome = if result.is_ok() {
+            OpOutcome::Ok
+        } else {
+            OpOutcome::Error
+        };
+        self.record_op(now, t, actor, class, slot, op_outcome);
         (t, result)
     }
 }

@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod params;
 pub mod timeline;
 pub mod trace;
+pub mod verify;
 
 pub use cluster::Cluster;
 pub use faults::{
@@ -40,3 +41,4 @@ pub use metrics::{ClusterMetrics, MetricsSnapshot, OpCounter, PartitionHeat};
 pub use params::ClusterParams;
 pub use timeline::{ClusterTimeline, ResourceUsage};
 pub use trace::{Phase, PhaseAggregate, PhaseBreadcrumb, TraceOutcome, TraceRecord, Tracer};
+pub use verify::{History, OpOutcome, OpRecord};

@@ -169,6 +169,12 @@ pub struct FaultSnapshot {
     pub blackout_faults: u64,
     /// Requests dropped (client timeouts).
     pub dropped: u64,
+    /// Responses lost after server-side execution (ack losses).
+    pub ack_losses: u64,
+    /// Replicated-write acks cut by a mid-flight crash.
+    pub crash_ambiguous: u64,
+    /// Client-ambiguous outcomes (drops + ack losses + crash cuts).
+    pub ambiguous: u64,
     /// Replica-sync stalls applied.
     pub replica_stalls: u64,
 }
@@ -333,6 +339,9 @@ impl MetricsSnapshot {
                 crash_faults: faults.crash_faults,
                 blackout_faults: faults.blackout_faults,
                 dropped: faults.dropped,
+                ack_losses: faults.ack_losses,
+                crash_ambiguous: faults.crash_ambiguous,
+                ambiguous: faults.ambiguous(),
                 replica_stalls: faults.replica_stalls,
             },
             partitions,
@@ -382,12 +391,20 @@ impl MetricsSnapshot {
             ("crash", self.faults.crash_faults),
             ("blackout", self.faults.blackout_faults),
             ("drop", self.faults.dropped),
+            ("ack_loss", self.faults.ack_losses),
+            ("crash_ambiguous", self.faults.crash_ambiguous),
             ("replica_stall", self.faults.replica_stalls),
         ] {
             out.push_str(&format!(
                 "azsim_fault_injections_total{{kind=\"{kind}\"}} {v}\n"
             ));
         }
+
+        out.push_str("# TYPE azsim_ambiguous_outcomes_total counter\n");
+        out.push_str(&format!(
+            "azsim_ambiguous_outcomes_total {}\n",
+            self.faults.ambiguous
+        ));
 
         out.push_str("# TYPE azsim_partition_ops_total counter\n");
         for h in &self.partitions {
@@ -564,9 +581,9 @@ mod tests {
         ));
         // No label value may smuggle a raw quote, backslash or newline into
         // the exposition stream: every line must still parse as
-        // name{labels} value.
+        // name{labels} value (or a label-free name value).
         for line in prom.lines().filter(|l| !l.starts_with('#')) {
-            assert_eq!(line.matches('{').count(), 1, "corrupt line: {line}");
+            assert!(line.matches('{').count() <= 1, "corrupt line: {line}");
             assert!(
                 line.ends_with(" 1") || line.ends_with(" 0"),
                 "corrupt line: {line}"

@@ -62,8 +62,10 @@ pub struct ClusterTimeline {
     g_nic_backlog: GaugeId,
     c_submitted: CounterId,
     c_throttled: CounterId,
+    c_ambiguous: CounterId,
     submitted: u64,
     throttled: u64,
+    ambiguous: u64,
     /// Per-slot gauge handles, lazily registered up to the series cap.
     slot_series: Vec<Option<SlotSeries>>,
     registered_slots: usize,
@@ -93,6 +95,7 @@ impl ClusterTimeline {
         let g_nic_backlog = recorder.register_gauge("nic.backlog", "seconds");
         let c_submitted = recorder.register_counter("ops.submitted");
         let c_throttled = recorder.register_counter("ops.throttled");
+        let c_ambiguous = recorder.register_counter("ops.ambiguous");
         ClusterTimeline {
             recorder,
             g_account_tx_fill,
@@ -104,8 +107,10 @@ impl ClusterTimeline {
             g_nic_backlog,
             c_submitted,
             c_throttled,
+            c_ambiguous,
             submitted: 0,
             throttled: 0,
+            ambiguous: 0,
             slot_series: Vec::new(),
             registered_slots: 0,
             dropped_slot_series: 0,
@@ -222,6 +227,16 @@ impl ClusterTimeline {
             .record_counter(self.c_submitted, now, self.submitted as f64);
         self.recorder
             .record_counter(self.c_throttled, now, self.throttled as f64);
+        self.recorder
+            .record_counter(self.c_ambiguous, now, self.ambiguous as f64);
+    }
+
+    /// Account one ambiguous outcome (the client observed a timeout and
+    /// cannot know whether the operation executed) at `now`.
+    pub(crate) fn note_ambiguous(&mut self, now: SimTime) {
+        self.ambiguous += 1;
+        self.recorder
+            .record_counter(self.c_ambiguous, now, self.ambiguous as f64);
     }
 
     /// Account one submitted operation's outcome: arrival at `now`,

@@ -169,6 +169,17 @@ impl<'e, E: Environment, T: Serialize + DeserializeOwned> TaskQueue<'e, E, T> {
         self.queue.delete_message(&claimed.message).await
     }
 
+    /// Mark a claimed task done with pop-receipt revalidation: `Ok(true)`
+    /// when this call deleted the message, `Ok(false)` when the receipt
+    /// was stale (the task timed out and belongs to another worker now —
+    /// treat your own work as superseded, but don't fail the loop). Use
+    /// under fault injection, where a retried delete whose first attempt
+    /// secretly executed would otherwise surface `PopReceiptMismatch` as
+    /// an error.
+    pub async fn complete_checked(&self, claimed: &ClaimedTask<T>) -> StorageResult<bool> {
+        azsim_client::delete_message_checked(&self.queue, &claimed.message).await
+    }
+
     /// Tasks currently in the queue (visible + in-flight).
     pub async fn pending(&self) -> StorageResult<usize> {
         self.queue.message_count().await

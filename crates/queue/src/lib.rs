@@ -24,5 +24,5 @@
 pub mod queue;
 pub mod store;
 
-pub use queue::SimQueue;
+pub use queue::{AuditedMessage, SimQueue};
 pub use store::QueueStore;

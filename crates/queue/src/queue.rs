@@ -231,6 +231,37 @@ impl SimQueue {
             self.reappeared,
         )
     }
+
+    /// Ground-truth snapshot of every message still held at `now` —
+    /// visible, invisible or awaiting lazy expiry purge — sorted by id.
+    /// Verification audits final queue state through this, so invariants
+    /// are checkable even when messages are parked behind long visibility
+    /// timeouts (liveness is not required).
+    pub fn audit(&self, now: SimTime) -> Vec<AuditedMessage> {
+        let mut out: Vec<AuditedMessage> = self
+            .messages
+            .iter()
+            .filter(|(_, m)| m.expiry > now)
+            .map(|(&id, m)| AuditedMessage {
+                id: MessageId(id),
+                data: m.data.clone(),
+                dequeue_count: m.dequeue_count,
+            })
+            .collect();
+        out.sort_by_key(|m| m.id.0);
+        out
+    }
+}
+
+/// One live message as seen by [`SimQueue::audit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditedMessage {
+    /// Service-assigned message id.
+    pub id: MessageId,
+    /// Message payload.
+    pub data: Bytes,
+    /// How many times the message has been claimed.
+    pub dequeue_count: u32,
 }
 
 #[cfg(test)]

@@ -113,6 +113,19 @@ impl QueueStore {
     pub fn queue_count(&self) -> usize {
         self.queues.len()
     }
+
+    /// Ground-truth audit of one queue's live messages at `now` (see
+    /// [`SimQueue::audit`]).
+    pub fn audit(
+        &self,
+        now: SimTime,
+        name: &str,
+    ) -> StorageResult<Vec<crate::queue::AuditedMessage>> {
+        self.queues
+            .get(name)
+            .map(|q| q.audit(now))
+            .ok_or_else(|| StorageError::QueueNotFound(name.to_owned()))
+    }
 }
 
 #[cfg(test)]
