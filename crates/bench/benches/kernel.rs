@@ -3,7 +3,9 @@
 use azsim_core::heap::EventKey;
 use azsim_core::resource::{FifoServer, Pipe, TokenBucket};
 use azsim_core::runtime::{ActorId, Model};
-use azsim_core::{EventHeap, SimTime, Simulation, ThreadedSimulation};
+use azsim_core::{
+    EventHeap, ShardPlan, ShardedSimulation, SimTime, Simulation, ThreadedSimulation,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -73,6 +75,14 @@ impl Model for NullModel {
     type Resp = u64;
     fn handle(&mut self, now: SimTime, _actor: ActorId, req: u64) -> (SimTime, u64) {
         (now + Duration::from_micros(1), req)
+    }
+}
+impl azsim_core::ShardableModel for NullModel {
+    fn split(self, partitions: u32) -> Vec<Self> {
+        (0..partitions).map(|_| NullModel).collect()
+    }
+    fn merge(_parts: Vec<Self>) -> Self {
+        NullModel
     }
 }
 
@@ -171,12 +181,53 @@ fn bench_handoff_cost(c: &mut Criterion) {
     g.finish();
 }
 
+/// The engine ladder across executors: the serial coroutine executor vs the
+/// sharded executor (striped one-partition-per-actor plan, free-running
+/// shards) at 1, 2 and 4 shards. On a multi-core box the sharded rungs
+/// should pull ahead of serial from a few hundred actors up — this is the
+/// scaling-cliff group; `figures bench` records the same ladder to
+/// `BENCH_engine.json` with per-shard event counts.
+fn bench_sharded_ladder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/sharded_ladder");
+    g.sample_size(10);
+    let body = |ctx: azsim_core::ActorCtx<NullModel>| async move {
+        let mut acc = 0u64;
+        for i in 0..1_000u64 {
+            acc = acc.wrapping_add(ctx.call(i).await);
+        }
+        acc
+    };
+    for actors in [32usize, 512] {
+        g.bench_with_input(BenchmarkId::new("serial", actors), &actors, |b, &actors| {
+            b.iter(|| {
+                let report = Simulation::new(NullModel, 1).run_workers(actors, body);
+                black_box(report.requests)
+            })
+        });
+        for shards in [2u32, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("shards_{shards}"), actors),
+                &actors,
+                |b, &actors| {
+                    b.iter(|| {
+                        let plan = ShardPlan::striped(actors, actors as u32, shards);
+                        let report = ShardedSimulation::new(NullModel, 1, plan).run_workers(body);
+                        black_box(report.requests)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_heap,
     bench_resources,
     bench_virtual_runtime,
     bench_batch_wake,
-    bench_handoff_cost
+    bench_handoff_cost,
+    bench_sharded_ladder
 );
 criterion_main!(benches);

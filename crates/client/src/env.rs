@@ -2,7 +2,7 @@
 
 use azsim_core::runtime::ActorCtx;
 use azsim_core::SimTime;
-use azsim_fabric::Cluster;
+use azsim_fabric::{Cluster, Fleet, FleetReq};
 use azsim_storage::{StorageOk, StorageRequest, StorageResult};
 use std::future::Future;
 use std::time::Duration;
@@ -60,6 +60,67 @@ impl Environment for VirtualEnv {
 
     fn execute(&self, req: StorageRequest) -> impl Future<Output = StorageResult<StorageOk>> {
         self.ctx.call(req)
+    }
+
+    fn instance(&self) -> usize {
+        self.ctx.id().0
+    }
+}
+
+/// Environment over a multi-account [`Fleet`], pinned to one tenant: every
+/// request this environment executes is addressed to `tenant`'s account, so
+/// the whole client stack (queue/blob/table clients, retry policies) runs
+/// unchanged against any tenant of a sharded fleet. Calls to a foreign
+/// tenant (one that is not the actor's home partition in the shard plan)
+/// transparently pay the modeled front-end leg each way.
+pub struct FleetEnv {
+    ctx: ActorCtx<Fleet>,
+    tenant: u32,
+}
+
+impl FleetEnv {
+    /// Wrap an actor context, addressing `tenant`'s account.
+    pub fn new(ctx: &ActorCtx<Fleet>, tenant: u32) -> Self {
+        FleetEnv {
+            ctx: ctx.clone(),
+            tenant,
+        }
+    }
+
+    /// The same actor's view of a different tenant (cheap clone — both
+    /// handles share one clock and scheduler state).
+    pub fn for_tenant(&self, tenant: u32) -> Self {
+        FleetEnv {
+            ctx: self.ctx.clone(),
+            tenant,
+        }
+    }
+
+    /// The tenant this environment addresses.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// The underlying actor context (for direct RNG access etc.).
+    pub fn ctx(&self) -> &ActorCtx<Fleet> {
+        &self.ctx
+    }
+}
+
+impl Environment for FleetEnv {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn sleep(&self, d: Duration) -> impl Future<Output = ()> {
+        self.ctx.sleep(d)
+    }
+
+    fn execute(&self, req: StorageRequest) -> impl Future<Output = StorageResult<StorageOk>> {
+        self.ctx.call(FleetReq {
+            tenant: self.tenant,
+            req,
+        })
     }
 
     fn instance(&self) -> usize {

@@ -25,7 +25,7 @@ pub mod retry;
 pub mod table;
 
 pub use blob::BlobClient;
-pub use env::{Environment, VirtualEnv};
+pub use env::{Environment, FleetEnv, VirtualEnv};
 pub use idempotent::{delete_message_checked, insert_idempotent, update_idempotent, OP_MARKER};
 pub use live::{LiveCluster, LiveEnv};
 pub use queue::QueueClient;

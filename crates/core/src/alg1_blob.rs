@@ -20,7 +20,7 @@ use crate::config::BenchConfig;
 use crate::payload::PayloadGen;
 use crate::report::{Figure, Series};
 use azsim_client::{BlobClient, Environment, VirtualEnv};
-use azsim_core::{SimTime, Simulation};
+use azsim_core::SimTime;
 use azsim_fabric::Cluster;
 use azsim_framework::QueueBarrier;
 use std::time::Duration;
@@ -96,25 +96,31 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
     let repeats = cfg.blob_repeats();
     let seed = cfg.seed;
 
-    let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
-    let report = sim.run_workers(workers, move |ctx| async move {
-        let env = VirtualEnv::new(&ctx);
-        let me = env.instance();
-        let blobs = BlobClient::new(&env, "azurebench");
-        blobs.create_container().await.unwrap();
-        let mut barrier = QueueBarrier::new(&env, "alg1-sync", workers);
-        barrier.init().await.unwrap();
-        let mut gen = PayloadGen::new(seed, me as u64);
-        let mut samples: Vec<PhaseSample> = Vec::new();
+    let report = crate::exec::run_cluster_workers(
+        cfg,
+        Cluster::new(cfg.params.clone()),
+        workers,
+        move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let me = env.instance();
+            let blobs = BlobClient::new(&env, "azurebench");
+            blobs.create_container().await.unwrap();
+            let mut barrier = QueueBarrier::new(&env, "alg1-sync", workers);
+            barrier.init().await.unwrap();
+            let mut gen = PayloadGen::new(seed, me as u64);
+            let mut samples: Vec<PhaseSample> = Vec::new();
 
-        // This worker's contiguous share of chunk indices.
-        let per = chunks / workers;
-        let extra = chunks % workers;
-        let lo = me * per + me.min(extra);
-        let hi = lo + per + usize::from(me < extra);
+            // This worker's contiguous share of chunk indices.
+            let per = chunks / workers;
+            let extra = chunks % workers;
+            let lo = me * per + me.min(extra);
+            let hi = lo + per + usize::from(me < extra);
 
-        let record =
-            |samples: &mut Vec<PhaseSample>, phase, start: SimTime, end: SimTime, bytes: u64| {
+            let record = |samples: &mut Vec<PhaseSample>,
+                          phase,
+                          start: SimTime,
+                          end: SimTime,
+                          bytes: u64| {
                 samples.push(PhaseSample {
                     phase,
                     start,
@@ -123,120 +129,121 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
                 });
             };
 
-        for repeat in 0..repeats {
-            let page_blob = format!("AzureBenchPageBlob-{repeat}");
-            let block_blob = format!("AzureBenchBlockBlob-{repeat}");
-            if me == 0 {
-                blobs
-                    .create_page_blob(&page_blob, (chunks * chunk_bytes) as u64)
-                    .await
-                    .unwrap();
-            }
-            barrier.wait().await.unwrap();
+            for repeat in 0..repeats {
+                let page_blob = format!("AzureBenchPageBlob-{repeat}");
+                let block_blob = format!("AzureBenchBlockBlob-{repeat}");
+                if me == 0 {
+                    blobs
+                        .create_page_blob(&page_blob, (chunks * chunk_bytes) as u64)
+                        .await
+                        .unwrap();
+                }
+                barrier.wait().await.unwrap();
 
-            // ---- Page blob upload ----
-            let t0 = env.now();
-            for chunk in lo..hi {
-                let content = gen.bytes(chunk_bytes);
-                blobs
-                    .put_page(&page_blob, (chunk * chunk_bytes) as u64, content)
-                    .await
-                    .unwrap();
-            }
-            record(
-                &mut samples,
-                BlobPhase::PageUpload,
-                t0,
-                env.now(),
-                ((hi - lo) * chunk_bytes) as u64,
-            );
+                // ---- Page blob upload ----
+                let t0 = env.now();
+                for chunk in lo..hi {
+                    let content = gen.bytes(chunk_bytes);
+                    blobs
+                        .put_page(&page_blob, (chunk * chunk_bytes) as u64, content)
+                        .await
+                        .unwrap();
+                }
+                record(
+                    &mut samples,
+                    BlobPhase::PageUpload,
+                    t0,
+                    env.now(),
+                    ((hi - lo) * chunk_bytes) as u64,
+                );
 
-            // ---- Block blob upload (stage own chunks, commit once) ----
-            let t0 = env.now();
-            for chunk in lo..hi {
-                let content = gen.bytes(chunk_bytes);
-                blobs
-                    .put_block(&block_blob, format!("{chunk:06}"), content)
-                    .await
-                    .unwrap();
-            }
-            let staged_end = env.now();
-            record(
-                &mut samples,
-                BlobPhase::BlockUpload,
-                t0,
-                staged_end,
-                ((hi - lo) * chunk_bytes) as u64,
-            );
-            barrier.wait().await.unwrap();
-            if me == 0 {
-                let ids: Vec<String> = (0..chunks).map(|c| format!("{c:06}")).collect();
-                blobs.put_block_list(&block_blob, ids).await.unwrap();
-            }
-            barrier.wait().await.unwrap();
+                // ---- Block blob upload (stage own chunks, commit once) ----
+                let t0 = env.now();
+                for chunk in lo..hi {
+                    let content = gen.bytes(chunk_bytes);
+                    blobs
+                        .put_block(&block_blob, format!("{chunk:06}"), content)
+                        .await
+                        .unwrap();
+                }
+                let staged_end = env.now();
+                record(
+                    &mut samples,
+                    BlobPhase::BlockUpload,
+                    t0,
+                    staged_end,
+                    ((hi - lo) * chunk_bytes) as u64,
+                );
+                barrier.wait().await.unwrap();
+                if me == 0 {
+                    let ids: Vec<String> = (0..chunks).map(|c| format!("{c:06}")).collect();
+                    blobs.put_block_list(&block_blob, ids).await.unwrap();
+                }
+                barrier.wait().await.unwrap();
 
-            // ---- Random page reads (every worker reads `chunks` pages) ----
-            let t0 = env.now();
-            for _ in 0..chunks {
-                let chunk = ctx.with_rng(|r| rand::Rng::random_range(r, 0..chunks));
-                let data = blobs
-                    .get_page(&page_blob, (chunk * chunk_bytes) as u64, chunk_bytes as u64)
-                    .await
-                    .unwrap();
-                assert_eq!(data.len(), chunk_bytes);
-            }
-            record(
-                &mut samples,
-                BlobPhase::PageRandomRead,
-                t0,
-                env.now(),
-                (chunks * chunk_bytes) as u64,
-            );
+                // ---- Random page reads (every worker reads `chunks` pages) ----
+                let t0 = env.now();
+                for _ in 0..chunks {
+                    let chunk = ctx.with_rng(|r| rand::Rng::random_range(r, 0..chunks));
+                    let data = blobs
+                        .get_page(&page_blob, (chunk * chunk_bytes) as u64, chunk_bytes as u64)
+                        .await
+                        .unwrap();
+                    assert_eq!(data.len(), chunk_bytes);
+                }
+                record(
+                    &mut samples,
+                    BlobPhase::PageRandomRead,
+                    t0,
+                    env.now(),
+                    (chunks * chunk_bytes) as u64,
+                );
 
-            // ---- Sequential block reads ----
-            let t0 = env.now();
-            for block in 0..chunks {
-                let data = blobs.get_block(&block_blob, block).await.unwrap();
-                assert_eq!(data.len(), chunk_bytes);
-            }
-            record(
-                &mut samples,
-                BlobPhase::BlockSeqRead,
-                t0,
-                env.now(),
-                (chunks * chunk_bytes) as u64,
-            );
-            barrier.wait().await.unwrap();
+                // ---- Sequential block reads ----
+                let t0 = env.now();
+                for block in 0..chunks {
+                    let data = blobs.get_block(&block_blob, block).await.unwrap();
+                    assert_eq!(data.len(), chunk_bytes);
+                }
+                record(
+                    &mut samples,
+                    BlobPhase::BlockSeqRead,
+                    t0,
+                    env.now(),
+                    (chunks * chunk_bytes) as u64,
+                );
+                barrier.wait().await.unwrap();
 
-            // ---- Whole-blob downloads ----
-            let t0 = env.now();
-            let data = blobs.download(&page_blob).await.unwrap();
-            record(
-                &mut samples,
-                BlobPhase::PageFullDownload,
-                t0,
-                env.now(),
-                data.len() as u64,
-            );
-            let t0 = env.now();
-            let data = blobs.download(&block_blob).await.unwrap();
-            record(
-                &mut samples,
-                BlobPhase::BlockFullDownload,
-                t0,
-                env.now(),
-                data.len() as u64,
-            );
-            barrier.wait().await.unwrap();
+                // ---- Whole-blob downloads ----
+                let t0 = env.now();
+                let data = blobs.download(&page_blob).await.unwrap();
+                record(
+                    &mut samples,
+                    BlobPhase::PageFullDownload,
+                    t0,
+                    env.now(),
+                    data.len() as u64,
+                );
+                let t0 = env.now();
+                let data = blobs.download(&block_blob).await.unwrap();
+                record(
+                    &mut samples,
+                    BlobPhase::BlockFullDownload,
+                    t0,
+                    env.now(),
+                    data.len() as u64,
+                );
+                barrier.wait().await.unwrap();
 
-            if me == 0 {
-                blobs.delete(&page_blob).await.unwrap();
-                blobs.delete(&block_blob).await.unwrap();
+                if me == 0 {
+                    blobs.delete(&page_blob).await.unwrap();
+                    blobs.delete(&block_blob).await.unwrap();
+                }
+                barrier.wait().await.unwrap();
             }
-            barrier.wait().await.unwrap();
-        }
-        samples
-    });
+            samples
+        },
+    );
 
     aggregate(report.results, repeats)
 }

@@ -15,7 +15,6 @@ use crate::config::BenchConfig;
 use crate::payload::PayloadGen;
 use crate::report::{Figure, Series};
 use azsim_client::{Environment, QueueClient, VirtualEnv};
-use azsim_core::Simulation;
 use azsim_fabric::Cluster;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -56,59 +55,63 @@ pub fn run_alg3(cfg: &BenchConfig, workers: usize) -> Alg3Result {
     let per_worker = (cfg.queue_messages_total() / workers).max(1);
     let seed = cfg.seed;
 
-    let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let sizes = sizes.clone();
-        async move {
-            let env = VirtualEnv::new(&ctx);
-            let me = env.instance();
-            let queue = QueueClient::new(&env, format!("AzureBenchQueue{me}"));
-            queue.create().await.unwrap();
-            let mut gen = PayloadGen::new(seed, me as u64);
-            let mut out: Vec<((usize, QueueOp), f64)> = Vec::new();
+    let report = crate::exec::run_cluster_workers(
+        cfg,
+        Cluster::new(cfg.params.clone()),
+        workers,
+        move |ctx| {
+            let sizes = sizes.clone();
+            async move {
+                let env = VirtualEnv::new(&ctx);
+                let me = env.instance();
+                let queue = QueueClient::new(&env, format!("AzureBenchQueue{me}"));
+                queue.create().await.unwrap();
+                let mut gen = PayloadGen::new(seed, me as u64);
+                let mut out: Vec<((usize, QueueOp), f64)> = Vec::new();
 
-            for &size in &sizes {
-                // ---- Put phase ----
-                let t0 = env.now();
-                for _ in 0..per_worker {
-                    queue.put_message(gen.bytes(size)).await.unwrap();
-                }
-                out.push((
-                    (size, QueueOp::Put),
-                    env.now().saturating_since(t0).as_secs_f64(),
-                ));
+                for &size in &sizes {
+                    // ---- Put phase ----
+                    let t0 = env.now();
+                    for _ in 0..per_worker {
+                        queue.put_message(gen.bytes(size)).await.unwrap();
+                    }
+                    out.push((
+                        (size, QueueOp::Put),
+                        env.now().saturating_since(t0).as_secs_f64(),
+                    ));
 
-                // ---- Peek phase ----
-                let t0 = env.now();
-                for _ in 0..per_worker {
-                    let m = queue.peek_message().await.unwrap();
-                    assert!(m.is_some(), "peek must find a message");
-                }
-                out.push((
-                    (size, QueueOp::Peek),
-                    env.now().saturating_since(t0).as_secs_f64(),
-                ));
+                    // ---- Peek phase ----
+                    let t0 = env.now();
+                    for _ in 0..per_worker {
+                        let m = queue.peek_message().await.unwrap();
+                        assert!(m.is_some(), "peek must find a message");
+                    }
+                    out.push((
+                        (size, QueueOp::Peek),
+                        env.now().saturating_since(t0).as_secs_f64(),
+                    ));
 
-                // ---- Get (+ delete) phase ----
-                let t0 = env.now();
-                for _ in 0..per_worker {
-                    let m = queue
-                        .get_message_with_visibility(Duration::from_secs(3600))
-                        .await
-                        .unwrap()
-                        .expect("queue must not run dry");
-                    assert_eq!(m.data.len(), size);
-                    queue.delete_message(&m).await.unwrap();
+                    // ---- Get (+ delete) phase ----
+                    let t0 = env.now();
+                    for _ in 0..per_worker {
+                        let m = queue
+                            .get_message_with_visibility(Duration::from_secs(3600))
+                            .await
+                            .unwrap()
+                            .expect("queue must not run dry");
+                        assert_eq!(m.data.len(), size);
+                        queue.delete_message(&m).await.unwrap();
+                    }
+                    out.push((
+                        (size, QueueOp::Get),
+                        env.now().saturating_since(t0).as_secs_f64(),
+                    ));
                 }
-                out.push((
-                    (size, QueueOp::Get),
-                    env.now().saturating_since(t0).as_secs_f64(),
-                ));
+                queue.delete_queue().await.unwrap();
+                out
             }
-            queue.delete_queue().await.unwrap();
-            out
-        }
-    });
+        },
+    );
 
     // Average phase time across workers; per-op mean = phase / count.
     let mut acc: HashMap<(usize, QueueOp), Vec<f64>> = HashMap::new();

@@ -19,7 +19,6 @@ use crate::payload::PayloadGen;
 use crate::report::{Figure, Series};
 use azsim_client::{Environment, QueueClient, VirtualEnv};
 use azsim_core::stats::OnlineStats;
-use azsim_core::Simulation;
 use azsim_fabric::Cluster;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -39,63 +38,67 @@ pub fn run_alg4(cfg: &BenchConfig, workers: usize) -> Alg4Result {
     let iterations = (cfg.queue_messages_total() / 10 / workers).max(1);
     let seed = cfg.seed;
 
-    let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let think_times = think_times.clone();
-        async move {
-            let env = VirtualEnv::new(&ctx);
-            let me = env.instance();
-            let queue = QueueClient::new(&env, "AzureBenchQueue");
-            queue.create().await.unwrap();
-            let mut gen = PayloadGen::new(seed, me as u64);
-            let mut stats: HashMap<(u64, QueueOp), OnlineStats> = HashMap::new();
+    let report = crate::exec::run_cluster_workers(
+        cfg,
+        Cluster::new(cfg.params.clone()),
+        workers,
+        move |ctx| {
+            let think_times = think_times.clone();
+            async move {
+                let env = VirtualEnv::new(&ctx);
+                let me = env.instance();
+                let queue = QueueClient::new(&env, "AzureBenchQueue");
+                queue.create().await.unwrap();
+                let mut gen = PayloadGen::new(seed, me as u64);
+                let mut stats: HashMap<(u64, QueueOp), OnlineStats> = HashMap::new();
 
-            // Think times carry a small (±2 %) deterministic jitter: real
-            // applications never sleep in perfect lockstep, and the absolute
-            // jitter grows with the think time — which is exactly why longer
-            // think times de-synchronize workers and reduce the burst
-            // contention at the shared partition.
-            let jittered = |ctx: &azsim_core::ActorCtx<Cluster>, base: Duration| {
-                let f: f64 = ctx.with_rng(|r| rand::Rng::random_range(r, -0.02..0.02));
-                base.mul_f64(1.0 + f)
-            };
-            for &think_secs in &think_times {
-                let think = Duration::from_secs(think_secs);
-                for _ in 0..iterations {
-                    let t0 = env.now();
-                    queue.put_message(gen.bytes(msg_size)).await.unwrap();
-                    stats
-                        .entry((think_secs, QueueOp::Put))
-                        .or_default()
-                        .record(env.now().saturating_since(t0).as_secs_f64());
-                    env.sleep(jittered(&ctx, think)).await;
+                // Think times carry a small (±2 %) deterministic jitter: real
+                // applications never sleep in perfect lockstep, and the absolute
+                // jitter grows with the think time — which is exactly why longer
+                // think times de-synchronize workers and reduce the burst
+                // contention at the shared partition.
+                let jittered = |ctx: &azsim_core::ActorCtx<Cluster>, base: Duration| {
+                    let f: f64 = ctx.with_rng(|r| rand::Rng::random_range(r, -0.02..0.02));
+                    base.mul_f64(1.0 + f)
+                };
+                for &think_secs in &think_times {
+                    let think = Duration::from_secs(think_secs);
+                    for _ in 0..iterations {
+                        let t0 = env.now();
+                        queue.put_message(gen.bytes(msg_size)).await.unwrap();
+                        stats
+                            .entry((think_secs, QueueOp::Put))
+                            .or_default()
+                            .record(env.now().saturating_since(t0).as_secs_f64());
+                        env.sleep(jittered(&ctx, think)).await;
 
-                    let t0 = env.now();
-                    let _ = queue.peek_message().await.unwrap();
-                    stats
-                        .entry((think_secs, QueueOp::Peek))
-                        .or_default()
-                        .record(env.now().saturating_since(t0).as_secs_f64());
-                    env.sleep(jittered(&ctx, think)).await;
+                        let t0 = env.now();
+                        let _ = queue.peek_message().await.unwrap();
+                        stats
+                            .entry((think_secs, QueueOp::Peek))
+                            .or_default()
+                            .record(env.now().saturating_since(t0).as_secs_f64());
+                        env.sleep(jittered(&ctx, think)).await;
 
-                    let t0 = env.now();
-                    if let Some(m) = queue
-                        .get_message_with_visibility(Duration::from_secs(3600))
-                        .await
-                        .unwrap()
-                    {
-                        queue.delete_message(&m).await.unwrap();
+                        let t0 = env.now();
+                        if let Some(m) = queue
+                            .get_message_with_visibility(Duration::from_secs(3600))
+                            .await
+                            .unwrap()
+                        {
+                            queue.delete_message(&m).await.unwrap();
+                        }
+                        stats
+                            .entry((think_secs, QueueOp::Get))
+                            .or_default()
+                            .record(env.now().saturating_since(t0).as_secs_f64());
+                        env.sleep(jittered(&ctx, think)).await;
                     }
-                    stats
-                        .entry((think_secs, QueueOp::Get))
-                        .or_default()
-                        .record(env.now().saturating_since(t0).as_secs_f64());
-                    env.sleep(jittered(&ctx, think)).await;
                 }
+                stats
             }
-            stats
-        }
-    });
+        },
+    );
 
     // Merge workers' stats.
     let mut merged: HashMap<(u64, QueueOp), OnlineStats> = HashMap::new();

@@ -15,7 +15,6 @@ use crate::config::BenchConfig;
 use crate::payload::PayloadGen;
 use crate::report::{Figure, Series};
 use azsim_client::{Environment, TableClient, VirtualEnv};
-use azsim_core::Simulation;
 use azsim_fabric::Cluster;
 use azsim_storage::{Entity, PropValue};
 use std::collections::HashMap;
@@ -67,63 +66,67 @@ pub fn run_alg5(cfg: &BenchConfig, workers: usize) -> Alg5Result {
     let count = cfg.table_entities();
     let seed = cfg.seed;
 
-    let sim = Simulation::new(Cluster::new(cfg.params.clone()), seed);
-    let report = sim.run_workers(workers, move |ctx| {
-        let sizes = sizes.clone();
-        async move {
-            let env = VirtualEnv::new(&ctx);
-            let me = env.instance();
-            let table = TableClient::new(&env, "AzureBenchTable");
-            table.create_table().await.unwrap();
-            let pk = format!("role-{me}");
-            let mut gen = PayloadGen::new(seed, me as u64);
-            let mut out: Vec<((usize, TableOp), f64)> = Vec::new();
+    let report = crate::exec::run_cluster_workers(
+        cfg,
+        Cluster::new(cfg.params.clone()),
+        workers,
+        move |ctx| {
+            let sizes = sizes.clone();
+            async move {
+                let env = VirtualEnv::new(&ctx);
+                let me = env.instance();
+                let table = TableClient::new(&env, "AzureBenchTable");
+                table.create_table().await.unwrap();
+                let pk = format!("role-{me}");
+                let mut gen = PayloadGen::new(seed, me as u64);
+                let mut out: Vec<((usize, TableOp), f64)> = Vec::new();
 
-            for &size in &sizes {
-                // ---- Insert ----
-                let t0 = env.now();
-                for rk in 0..count {
-                    table.insert(entity(&pk, rk, &mut gen, size)).await.unwrap();
-                }
-                out.push((
-                    (size, TableOp::Insert),
-                    env.now().saturating_since(t0).as_secs_f64(),
-                ));
+                for &size in &sizes {
+                    // ---- Insert ----
+                    let t0 = env.now();
+                    for rk in 0..count {
+                        table.insert(entity(&pk, rk, &mut gen, size)).await.unwrap();
+                    }
+                    out.push((
+                        (size, TableOp::Insert),
+                        env.now().saturating_since(t0).as_secs_f64(),
+                    ));
 
-                // ---- Query ----
-                let t0 = env.now();
-                for rk in 0..count {
-                    let got = table.query(&pk, &rk.to_string()).await.unwrap();
-                    assert!(got.is_some(), "query must hit");
-                }
-                out.push((
-                    (size, TableOp::Query),
-                    env.now().saturating_since(t0).as_secs_f64(),
-                ));
+                    // ---- Query ----
+                    let t0 = env.now();
+                    for rk in 0..count {
+                        let got = table.query(&pk, &rk.to_string()).await.unwrap();
+                        assert!(got.is_some(), "query must hit");
+                    }
+                    out.push((
+                        (size, TableOp::Query),
+                        env.now().saturating_since(t0).as_secs_f64(),
+                    ));
 
-                // ---- Update (wildcard ETag) ----
-                let t0 = env.now();
-                for rk in 0..count {
-                    table.update(entity(&pk, rk, &mut gen, size)).await.unwrap();
-                }
-                out.push((
-                    (size, TableOp::Update),
-                    env.now().saturating_since(t0).as_secs_f64(),
-                ));
+                    // ---- Update (wildcard ETag) ----
+                    let t0 = env.now();
+                    for rk in 0..count {
+                        table.update(entity(&pk, rk, &mut gen, size)).await.unwrap();
+                    }
+                    out.push((
+                        (size, TableOp::Update),
+                        env.now().saturating_since(t0).as_secs_f64(),
+                    ));
 
-                // ---- Delete ----
-                let t0 = env.now();
-                for rk in 0..count {
-                    table.delete_entity(&pk, &rk.to_string()).await.unwrap();
+                    // ---- Delete ----
+                    let t0 = env.now();
+                    for rk in 0..count {
+                        table.delete_entity(&pk, &rk.to_string()).await.unwrap();
+                    }
+                    out.push((
+                        (size, TableOp::Delete),
+                        env.now().saturating_since(t0).as_secs_f64(),
+                    ));
                 }
-                out.push((
-                    (size, TableOp::Delete),
-                    env.now().saturating_since(t0).as_secs_f64(),
-                ));
+                out
             }
-            out
-        }
-    });
+        },
+    );
 
     let mut acc: HashMap<(usize, TableOp), Vec<f64>> = HashMap::new();
     for worker in report.results {

@@ -5,18 +5,25 @@
 //! ```
 //!
 //! Compares the `engine` section of two `figures bench` exports: for every
-//! actor count present in the baseline, the candidate's `ops_per_second`
-//! must stay above `baseline * (1 - max_regression)` (default 0.25, i.e.
-//! fail on a >25 % drop). Wall-clock figures vary with machine load, so
-//! only the engine micro-benchmark — not the figure-suite timings — gates.
-//! Exit code 0 means no regression; violations print per-actor deltas and
-//! exit non-zero.
+//! `(actors, shards)` pair present in the baseline (rows without a
+//! `shards` key count as `shards = 1`, so pre-sharding baselines still
+//! compare), the candidate's `ops_per_second` must stay above
+//! `baseline * (1 - max_regression)` (default 0.25, i.e. fail on a >25 %
+//! drop). Ladder rungs present only in the candidate (new actor counts,
+//! new shard counts) pass freely — the gate never blocks ladder growth.
+//! Wall-clock figures vary with machine load, so only the engine
+//! micro-benchmark — not the figure-suite timings — gates. Exit code 0
+//! means no regression; violations print per-row deltas and exit
+//! non-zero.
 
 use serde::value::{find, parse, Value};
 
 /// One `engine` row from a `BENCH_engine.json`.
 struct EngineRow {
     actors: u64,
+    /// Executor shard count (`1` when the row predates the sharded
+    /// executor and has no such key).
+    shards: u64,
     ops_per_second: f64,
 }
 
@@ -51,6 +58,7 @@ fn engine_rows(doc: &Value, path: &str) -> Vec<EngineRow> {
             };
             Some(EngineRow {
                 actors: num("actors")? as u64,
+                shards: num("shards").map_or(1, |s| s as u64),
                 ops_per_second: num("ops_per_second")?,
             })
         })
@@ -82,8 +90,14 @@ fn main() {
 
     let mut failures = 0usize;
     for b in &baseline {
-        let Some(c) = candidate.iter().find(|c| c.actors == b.actors) else {
-            eprintln!("bench_check: candidate missing row for {} actors", b.actors);
+        let Some(c) = candidate
+            .iter()
+            .find(|c| c.actors == b.actors && c.shards == b.shards)
+        else {
+            eprintln!(
+                "bench_check: candidate missing row for {} actors x {} shard(s)",
+                b.actors, b.shards
+            );
             failures += 1;
             continue;
         };
@@ -96,8 +110,8 @@ fn main() {
             "ok"
         };
         println!(
-            "bench_check: {:>3} actors: baseline {:>12.0} ops/s, candidate {:>12.0} ops/s ({delta:+.1}%) {verdict}",
-            b.actors, b.ops_per_second, c.ops_per_second
+            "bench_check: {:>6} actors x {} shard(s): baseline {:>12.0} ops/s, candidate {:>12.0} ops/s ({delta:+.1}%) {verdict}",
+            b.actors, b.shards, b.ops_per_second, c.ops_per_second
         );
     }
 
@@ -109,7 +123,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "bench_check: OK ({} actor count(s) within {:.0}% of baseline)",
+        "bench_check: OK ({} ladder rung(s) within {:.0}% of baseline)",
         baseline.len(),
         max_regression * 100.0
     );

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|
-//!          bottleneck|chaos|verify|bench|all]...
+//!          bottleneck|chaos|fleet|verify|bench|all]...
 //!         [--scale S] [--workers 1,2,4,...] [--seed N] [--csv DIR]
-//!         [--threads N] [--timeline] [--verify-seeds N] [--naive]
-//!         [--expect-violation]
+//!         [--threads N] [--shards N] [--timeline] [--verify-seeds N]
+//!         [--naive] [--expect-violation]
 //! ```
 //!
 //! The `verify` target (opt-in, not part of `all`) runs the resilience
@@ -33,8 +33,17 @@
 //! `timeline.csv` and a Perfetto-loadable `trace.json`. The `bottleneck`
 //! target sweeps the attribution scenarios over the worker ladder and
 //! writes `bottlenecks.json` plus a `bottlenecks.md` summary table.
-//! The `bench` target runs the engine micro-benchmark plus a timed pass
-//! over the figure suite and writes `BENCH_engine.json`.
+//! `--shards N` runs every simulation on the sharded executor with `N`
+//! shards — the emitted figures are bit-identical to the serial run (the
+//! sharded executor reproduces the serial event history exactly); only
+//! wall-clock time changes. The `fleet` target (opt-in, not part of
+//! `all`) sweeps the multi-tenant fleet scenario — the partition-parallel
+//! workload where sharding gives real speedup — over the tenant ladder.
+//! The `bench` target runs the engine micro-benchmark ladder (serial
+//! always; sharded rungs too when `--shards` > 1, including a 100 000
+//! actor smoke rung) plus a timed pass over the figure suite, writes
+//! `BENCH_engine.json`, and appends one JSON line per run to
+//! `BENCH_history.jsonl` so engine throughput is tracked over time.
 
 use azurebench::{
     alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, verify, BenchConfig, Figure,
@@ -49,6 +58,7 @@ struct Args {
     seed: Option<u64>,
     csv_dir: Option<String>,
     threads: usize,
+    shards: u32,
     timeline: bool,
     extrapolate: bool,
     verify_seeds: usize,
@@ -64,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         csv_dir: None,
         threads: 0,
+        shards: 1,
         timeline: false,
         extrapolate: false,
         verify_seeds: 50,
@@ -92,6 +103,13 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
             }
             "--timeline" => args.timeline = true,
             "--extrapolate" => args.extrapolate = true,
@@ -132,16 +150,17 @@ fn main() {
     if args.targets.is_empty() {
         eprintln!(
             "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|\
-             bottleneck|chaos|verify|bench|all]... \
-             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--timeline] \
-             [--extrapolate] [--verify-seeds N] [--naive] [--expect-violation]"
+             bottleneck|chaos|fleet|verify|bench|all]... \
+             [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--shards N] \
+             [--timeline] [--extrapolate] [--verify-seeds N] [--naive] [--expect-violation]"
         );
         std::process::exit(2);
     }
 
     let mut cfg = BenchConfig::paper()
         .with_scale(args.scale)
-        .with_sweep_threads(args.threads);
+        .with_sweep_threads(args.threads)
+        .with_shards(args.shards);
     if let Some(w) = args.workers.clone() {
         cfg = cfg.with_workers(w);
     }
@@ -155,10 +174,11 @@ fn main() {
         cfg.params.timeline_resolution = Some(azurebench::timeline::DEFAULT_RESOLUTION);
     }
     eprintln!(
-        "# AzureBench figures — scale {}, workers {:?}, seed {}{}",
+        "# AzureBench figures — scale {}, workers {:?}, seed {}, shards {}{}",
         cfg.scale,
         cfg.workers,
         cfg.seed,
+        cfg.shards,
         if args.timeline {
             ", timeline sampling ON"
         } else {
@@ -290,6 +310,14 @@ fn main() {
         eprintln!("# chaos (fault injection) swept in {:.1?}", t.elapsed());
         emit(&figs, &args.csv_dir);
     }
+    // `fleet` is opt-in only (not part of `all`): it is this
+    // reproduction's own scaling scenario, not a paper figure.
+    if args.targets.iter().any(|t| t == "fleet") {
+        let t = Instant::now();
+        let figs = azurebench::fleet::figure_fleet(&cfg);
+        eprintln!("# fleet (multi-tenant) swept in {:.1?}", t.elapsed());
+        emit(&figs, &args.csv_dir);
+    }
     // `verify` is opt-in only (not part of `all`): it runs the resilience
     // chaos search, not a figure, and its exit code reports the verdict.
     if args.targets.iter().any(|t| t == "verify") {
@@ -380,36 +408,103 @@ impl azsim_core::runtime::Model for NullModel {
     }
 }
 
+impl azsim_core::ShardableModel for NullModel {
+    // Stateless: every partition is the same free model, so the striped
+    // engine ladder (one partition per actor) splits trivially.
+    fn split(self, partitions: u32) -> Vec<Self> {
+        (0..partitions).map(|_| NullModel).collect()
+    }
+    fn merge(_parts: Vec<Self>) -> Self {
+        NullModel
+    }
+}
+
+/// One measured rung of the engine ladder.
+struct EngineRun {
+    ops: u64,
+    wall: f64,
+    /// Events processed per executor shard (length = shard count).
+    shard_events: Vec<u64>,
+}
+
 /// Measure raw engine throughput: `actors` workers each issuing `per_actor`
-/// back-to-back requests against [`NullModel`]. Returns
-/// `(simulated ops, wall seconds)`.
-fn engine_ops(actors: usize, per_actor: u64) -> (u64, f64) {
-    let t = Instant::now();
-    let sim = azsim_core::Simulation::new(NullModel, 1);
-    let report = sim.run_workers(actors, move |ctx| async move {
+/// back-to-back requests against [`NullModel`]. With `shards == 1` this is
+/// the serial coroutine executor (the committed-baseline path); with more,
+/// the sharded executor under a striped one-partition-per-actor plan
+/// (embarrassingly parallel — shards free-run with no barriers).
+fn engine_ops(actors: usize, per_actor: u64, shards: u32) -> EngineRun {
+    let body = move |ctx: azsim_core::ActorCtx<NullModel>| async move {
         let mut acc = 0u64;
         for i in 0..per_actor {
             acc = acc.wrapping_add(ctx.call(i).await);
         }
         acc
-    });
-    (report.requests, t.elapsed().as_secs_f64())
+    };
+    let t = Instant::now();
+    let report = if shards <= 1 {
+        azsim_core::Simulation::new(NullModel, 1).run_workers(actors, body)
+    } else {
+        let plan = azsim_core::ShardPlan::striped(actors, actors as u32, shards);
+        azsim_core::ShardedSimulation::new(NullModel, 1, plan).run_workers(body)
+    };
+    EngineRun {
+        ops: report.requests,
+        wall: t.elapsed().as_secs_f64(),
+        shard_events: report.shard_events,
+    }
 }
 
 /// The `bench` target: engine micro-benchmark plus a timed pass over every
 /// figure at the current config, written as `BENCH_engine.json` (into the
 /// `--csv` directory if given, else the working directory).
 fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut lines = String::from("{\n");
 
+    // The ladder climbs to 10 000 actors; per-actor ops shrink past 512 so
+    // every rung stays near a constant 25.6 M total ops.
+    const LADDER: [(usize, u64); 7] = [
+        (1, 50_000),
+        (8, 50_000),
+        (32, 50_000),
+        (128, 50_000),
+        (512, 50_000),
+        (2_048, 12_500),
+        (10_000, 2_560),
+    ];
+    let mut rungs: Vec<(usize, u64, u32)> = LADDER.iter().map(|&(a, p)| (a, p, 1)).collect();
+    if cfg.shards > 1 {
+        // Sharded rungs from 8 actors up, plus a 100 000-actor smoke rung
+        // (million-actor-ladder territory; small per-actor count keeps it
+        // a smoke test rather than a soak).
+        rungs.extend(
+            LADDER
+                .iter()
+                .filter(|&&(a, _)| a >= 8)
+                .map(|&(a, p)| (a, p, cfg.shards)),
+        );
+        rungs.push((100_000, 256, cfg.shards));
+    }
+
     let mut engines = Vec::new();
-    for actors in [1usize, 8, 32, 128, 512] {
-        let (ops, wall) = engine_ops(actors, 50_000);
+    for (actors, per_actor, shards) in rungs {
+        let run = engine_ops(actors, per_actor, shards);
+        let (ops, wall) = (run.ops, run.wall);
         let rate = ops as f64 / wall;
-        eprintln!("# engine: {actors} actors, {ops} simulated ops in {wall:.3}s = {rate:.0} ops/s");
+        eprintln!(
+            "# engine: {actors} actors x {shards} shard(s), {ops} simulated ops \
+             in {wall:.3}s = {rate:.0} ops/s"
+        );
+        let per_shard = run
+            .shard_events
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         engines.push(format!(
-            "    {{ \"actors\": {actors}, \"simulated_ops\": {ops}, \
-             \"wall_seconds\": {wall:.6}, \"ops_per_second\": {rate:.1} }}"
+            "    {{ \"actors\": {actors}, \"shards\": {shards}, \"cores\": {cores}, \
+             \"simulated_ops\": {ops}, \"wall_seconds\": {wall:.6}, \
+             \"ops_per_second\": {rate:.1}, \"per_shard_events\": [{per_shard}] }}"
         ));
     }
     lines.push_str("  \"engine\": [\n");
@@ -441,8 +536,9 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
     lines.push_str(&timed.join(",\n"));
     lines.push_str("\n  ],\n");
     lines.push_str(&format!(
-        "  \"config\": {{ \"scale\": {}, \"workers\": {:?}, \"seed\": {}, \"sweep_threads\": {} }}\n",
-        cfg.scale, cfg.workers, cfg.seed, cfg.sweep_threads
+        "  \"config\": {{ \"scale\": {}, \"workers\": {:?}, \"seed\": {}, \
+         \"sweep_threads\": {}, \"shards\": {}, \"cores\": {} }}\n",
+        cfg.scale, cfg.workers, cfg.seed, cfg.sweep_threads, cfg.shards, cores
     ));
     lines.push_str("}\n");
 
@@ -451,4 +547,31 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
     let path = format!("{dir}/BENCH_engine.json");
     std::fs::write(&path, &lines).expect("write BENCH_engine.json");
     eprintln!("wrote {path}");
+
+    // Append one compact line per run so engine throughput is tracked over
+    // time (the full export above is a snapshot, overwritten every run).
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let history_line = format!(
+        "{{\"unix_ts\": {ts}, \"scale\": {}, \"seed\": {}, \"shards\": {}, \
+         \"cores\": {cores}, \"engine\": [{}]}}\n",
+        cfg.scale,
+        cfg.seed,
+        cfg.shards,
+        engines
+            .iter()
+            .map(|e| e.trim().to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let history_path = format!("{dir}/BENCH_history.jsonl");
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| f.write_all(history_line.as_bytes()))
+        .expect("append BENCH_history.jsonl");
+    eprintln!("appended {history_path}");
 }

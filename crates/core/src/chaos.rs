@@ -21,7 +21,7 @@
 use crate::config::BenchConfig;
 use crate::report::{Figure, Series};
 use azsim_client::{Environment, ResilienceStats, ResilientPolicy, VirtualEnv};
-use azsim_core::{SimTime, Simulation};
+use azsim_core::SimTime;
 use azsim_fabric::{BusyStorm, Cluster, FaultPlan, ServerCrash};
 use azsim_framework::TaskQueue;
 use azsim_storage::PartitionKey;
@@ -125,8 +125,7 @@ pub fn run_chaos(cfg: &BenchConfig, workers: usize, intensity: f64) -> ChaosResu
         cluster.set_fault_plan(plan);
     }
 
-    let sim = Simulation::new(cluster, seed);
-    let report = sim.run_workers(workers, move |ctx| async move {
+    let report = crate::exec::run_cluster_workers(cfg, cluster, workers, move |ctx| async move {
         let env = VirtualEnv::new(&ctx);
         let me = env.instance();
         // One shared resilience policy per worker: jitter stream, breaker

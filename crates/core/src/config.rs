@@ -20,6 +20,12 @@ pub struct BenchConfig {
     /// results: every point is its own simulation with its own seed, and
     /// the sweep engine collects in ladder order.
     pub sweep_threads: usize,
+    /// Executor shards per simulation (`1` = the serial coroutine
+    /// executor). Does not affect results either: the sharded executor
+    /// reproduces the serial `(time, actor, seq)` event history bit for
+    /// bit at every shard count, so the emitted figures are identical —
+    /// only wall-clock time changes.
+    pub shards: u32,
 }
 
 impl BenchConfig {
@@ -31,6 +37,7 @@ impl BenchConfig {
             scale: 1.0,
             params: ClusterParams::default(),
             sweep_threads: 0,
+            shards: 1,
         }
     }
 
@@ -42,6 +49,7 @@ impl BenchConfig {
             scale: 0.05,
             params: ClusterParams::default(),
             sweep_threads: 0,
+            shards: 1,
         }
     }
 
@@ -62,6 +70,13 @@ impl BenchConfig {
     /// Override the sweep thread count (`0` = auto, `1` = serial).
     pub fn with_sweep_threads(mut self, threads: usize) -> Self {
         self.sweep_threads = threads;
+        self
+    }
+
+    /// Override the executor shard count (`1` = serial).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
         self
     }
 

@@ -27,7 +27,9 @@ pub mod alg5_table;
 pub mod bottleneck;
 pub mod chaos;
 pub mod config;
+pub mod exec;
 pub mod fig9;
+pub mod fleet;
 pub mod latency;
 pub mod payload;
 pub mod profile;

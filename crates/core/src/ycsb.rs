@@ -23,7 +23,6 @@ use crate::config::BenchConfig;
 use crate::payload::PayloadGen;
 use azsim_client::{Environment, TableClient, VirtualEnv};
 use azsim_core::stats::OnlineStats;
-use azsim_core::Simulation;
 use azsim_fabric::Cluster;
 use azsim_storage::{Entity, PropValue};
 use rand::rngs::SmallRng;
@@ -188,122 +187,127 @@ pub fn run_ycsb(
     let scan_len = ycsb.scan_len;
     let seed = bench.seed;
 
-    let sim = Simulation::new(Cluster::new(bench.params.clone()), seed);
-    let report = sim.run_workers(workers, move |ctx| async move {
-        let env = VirtualEnv::new(&ctx);
-        let table = TableClient::new(&env, "usertable");
-        table.create_table().await.unwrap();
-        let mut gen = PayloadGen::new(seed, ctx.id().0 as u64);
+    let report = crate::exec::run_cluster_workers(
+        bench,
+        Cluster::new(bench.params.clone()),
+        workers,
+        move |ctx| async move {
+            let env = VirtualEnv::new(&ctx);
+            let table = TableClient::new(&env, "usertable");
+            table.create_table().await.unwrap();
+            let mut gen = PayloadGen::new(seed, ctx.id().0 as u64);
 
-        // ---- Load phase: each worker loads its share ----
-        let me = ctx.id().0 as u64;
-        let w = workers as u64;
-        for i in (me..records).step_by(w as usize) {
-            let (pk, rk) = record_key(i);
-            table
-                .insert(
-                    Entity::new(pk, rk).with("field0", PropValue::Binary(gen.bytes(value_size))),
-                )
-                .await
-                .unwrap();
-        }
+            // ---- Load phase: each worker loads its share ----
+            let me = ctx.id().0 as u64;
+            let w = workers as u64;
+            for i in (me..records).step_by(w as usize) {
+                let (pk, rk) = record_key(i);
+                table
+                    .insert(
+                        Entity::new(pk, rk)
+                            .with("field0", PropValue::Binary(gen.bytes(value_size))),
+                    )
+                    .await
+                    .unwrap();
+            }
 
-        // ---- Transaction phase ----
-        let zipf = Zipfian::new(records, theta);
-        let mut stats: YcsbResult = HashMap::new();
-        for opno in 0..ops {
-            let op = ctx.with_rng(|r| {
-                let roll: f64 = r.random();
-                match workload {
-                    YcsbWorkload::A => {
-                        if roll < 0.5 {
-                            YcsbOp::Read
-                        } else {
-                            YcsbOp::Update
+            // ---- Transaction phase ----
+            let zipf = Zipfian::new(records, theta);
+            let mut stats: YcsbResult = HashMap::new();
+            for opno in 0..ops {
+                let op = ctx.with_rng(|r| {
+                    let roll: f64 = r.random();
+                    match workload {
+                        YcsbWorkload::A => {
+                            if roll < 0.5 {
+                                YcsbOp::Read
+                            } else {
+                                YcsbOp::Update
+                            }
+                        }
+                        YcsbWorkload::B => {
+                            if roll < 0.95 {
+                                YcsbOp::Read
+                            } else {
+                                YcsbOp::Update
+                            }
+                        }
+                        YcsbWorkload::C => YcsbOp::Read,
+                        YcsbWorkload::D => {
+                            if roll < 0.95 {
+                                YcsbOp::Read
+                            } else {
+                                YcsbOp::Insert
+                            }
+                        }
+                        YcsbWorkload::E => {
+                            if roll < 0.95 {
+                                YcsbOp::Scan
+                            } else {
+                                YcsbOp::Insert
+                            }
+                        }
+                        YcsbWorkload::F => {
+                            if roll < 0.5 {
+                                YcsbOp::Read
+                            } else {
+                                YcsbOp::Rmw
+                            }
                         }
                     }
-                    YcsbWorkload::B => {
-                        if roll < 0.95 {
-                            YcsbOp::Read
-                        } else {
-                            YcsbOp::Update
-                        }
+                });
+                let rank = ctx.with_rng(|r| zipf.next(r));
+                let (pk, rk) = record_key(rank);
+                let t0 = env.now();
+                match op {
+                    YcsbOp::Read => {
+                        let got = table.query(&pk, &rk).await.unwrap();
+                        assert!(got.is_some(), "loaded key must exist");
                     }
-                    YcsbWorkload::C => YcsbOp::Read,
-                    YcsbWorkload::D => {
-                        if roll < 0.95 {
-                            YcsbOp::Read
-                        } else {
-                            YcsbOp::Insert
-                        }
+                    YcsbOp::Update => {
+                        table
+                            .update(
+                                Entity::new(&pk, &rk)
+                                    .with("field0", PropValue::Binary(gen.bytes(value_size))),
+                            )
+                            .await
+                            .unwrap();
                     }
-                    YcsbWorkload::E => {
-                        if roll < 0.95 {
-                            YcsbOp::Scan
-                        } else {
-                            YcsbOp::Insert
-                        }
+                    YcsbOp::Insert => {
+                        // Unique new id: disjoint per (worker, op index) and
+                        // disjoint from the loaded key space.
+                        let id = records + me + (opno as u64) * w;
+                        let (pk, rk) = record_key(id + 1_000_000_000);
+                        table
+                            .insert(
+                                Entity::new(pk, rk)
+                                    .with("field0", PropValue::Binary(gen.bytes(value_size))),
+                            )
+                            .await
+                            .unwrap();
                     }
-                    YcsbWorkload::F => {
-                        if roll < 0.5 {
-                            YcsbOp::Read
-                        } else {
-                            YcsbOp::Rmw
-                        }
+                    YcsbOp::Scan => {
+                        let rows = table.query_partition(&pk).await.unwrap();
+                        assert!(!rows.is_empty());
+                        std::hint::black_box(rows.len().min(scan_len));
+                    }
+                    YcsbOp::Rmw => {
+                        let (e, _) = table.query(&pk, &rk).await.unwrap().unwrap();
+                        let mut updated = e.clone();
+                        updated
+                            .properties
+                            .insert("field0".into(), PropValue::Binary(gen.bytes(value_size)));
+                        table.update(updated).await.unwrap();
                     }
                 }
-            });
-            let rank = ctx.with_rng(|r| zipf.next(r));
-            let (pk, rk) = record_key(rank);
-            let t0 = env.now();
-            match op {
-                YcsbOp::Read => {
-                    let got = table.query(&pk, &rk).await.unwrap();
-                    assert!(got.is_some(), "loaded key must exist");
-                }
-                YcsbOp::Update => {
-                    table
-                        .update(
-                            Entity::new(&pk, &rk)
-                                .with("field0", PropValue::Binary(gen.bytes(value_size))),
-                        )
-                        .await
-                        .unwrap();
-                }
-                YcsbOp::Insert => {
-                    // Unique new id: disjoint per (worker, op index) and
-                    // disjoint from the loaded key space.
-                    let id = records + me + (opno as u64) * w;
-                    let (pk, rk) = record_key(id + 1_000_000_000);
-                    table
-                        .insert(
-                            Entity::new(pk, rk)
-                                .with("field0", PropValue::Binary(gen.bytes(value_size))),
-                        )
-                        .await
-                        .unwrap();
-                }
-                YcsbOp::Scan => {
-                    let rows = table.query_partition(&pk).await.unwrap();
-                    assert!(!rows.is_empty());
-                    std::hint::black_box(rows.len().min(scan_len));
-                }
-                YcsbOp::Rmw => {
-                    let (e, _) = table.query(&pk, &rk).await.unwrap().unwrap();
-                    let mut updated = e.clone();
-                    updated
-                        .properties
-                        .insert("field0".into(), PropValue::Binary(gen.bytes(value_size)));
-                    table.update(updated).await.unwrap();
-                }
+                stats
+                    .entry(op)
+                    .or_default()
+                    .record(env.now().saturating_since(t0).as_secs_f64());
             }
             stats
-                .entry(op)
-                .or_default()
-                .record(env.now().saturating_since(t0).as_secs_f64());
-        }
-        stats
-    });
+        },
+    );
 
     let mut merged: YcsbResult = HashMap::new();
     for worker in report.results {

@@ -1200,6 +1200,28 @@ impl Model for Cluster {
     }
 }
 
+impl azsim_core::ShardableModel for Cluster {
+    /// One storage account is fully coupled — every request crosses the
+    /// shared account pipes and transaction bucket — so a `Cluster` only
+    /// splits into itself. Run single-account scenarios under
+    /// `ShardPlan::colocated`; multi-account parallelism lives in
+    /// [`crate::fleet::Fleet`], where the account boundary is the partition
+    /// boundary.
+    fn split(self, partitions: u32) -> Vec<Self> {
+        assert_eq!(
+            partitions, 1,
+            "a Cluster models one account and cannot be split across \
+             partitions (use Fleet for multi-account plans)"
+        );
+        vec![self]
+    }
+
+    fn merge(mut parts: Vec<Self>) -> Self {
+        assert_eq!(parts.len(), 1, "Cluster::merge expects one partition");
+        parts.pop().expect("one partition")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

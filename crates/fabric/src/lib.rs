@@ -27,6 +27,7 @@
 
 pub mod cluster;
 pub mod faults;
+pub mod fleet;
 pub mod metrics;
 pub mod params;
 pub mod timeline;
@@ -37,6 +38,7 @@ pub use cluster::Cluster;
 pub use faults::{
     BusyStorm, FaultInjector, FaultMetrics, FaultPlan, PartitionBlackout, ServerCrash,
 };
+pub use fleet::{Fleet, FleetReq};
 pub use metrics::{ClusterMetrics, MetricsSnapshot, OpCounter, PartitionHeat};
 pub use params::ClusterParams;
 pub use timeline::{ClusterTimeline, ResourceUsage};

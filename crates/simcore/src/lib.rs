@@ -14,6 +14,11 @@
 //!   polled in place with a no-op waker), so a handoff between actors is a
 //!   function call instead of an OS park/unpark. Same seed ⇒ identical
 //!   results.
+//! * [`shard::ShardedSimulation`] — a sharded conservative parallel
+//!   executor: the event loop is partitioned across OS threads under a
+//!   [`shard::ShardPlan`], synchronized in lookahead windows, and reproduces
+//!   the serial `(time, actor, seq)` observable history bit-for-bit at every
+//!   shard count.
 //! * [`threaded::ThreadedSimulation`] — the original thread-per-actor
 //!   baton-scheduling executor, retained as an executable reference for
 //!   differential testing and for actor bodies that must block the host
@@ -31,13 +36,16 @@ pub mod heap;
 pub mod resource;
 pub mod rng;
 pub mod runtime;
+pub mod shard;
 pub mod stats;
 pub mod threaded;
 pub mod time;
 pub mod timeline;
 
 pub use heap::EventHeap;
+pub use rng::actor_rng;
 pub use runtime::{actor, block_on, ActorCtx, ActorId, Model, SimReport, Simulation};
+pub use shard::{ShardPlan, ShardableModel, ShardedSimulation};
 pub use threaded::{ThreadedActorCtx, ThreadedSimulation};
 pub use time::SimTime;
 pub use timeline::{CounterId, GaugeId, GaugeRecorder, SaturationTracker, TimeSeries};

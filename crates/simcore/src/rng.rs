@@ -23,6 +23,20 @@ pub fn stream_rng(master: u64, stream: u64) -> SmallRng {
     SmallRng::seed_from_u64(derive_seed(master, stream))
 }
 
+/// The random stream of one simulated actor, keyed by its **stable actor
+/// id** — never by spawn order.
+///
+/// Every executor (serial coroutine, thread-backed reference, sharded) must
+/// derive actor streams through this function. On the single-threaded
+/// executors spawn order and actor id coincide, but the sharded executor
+/// launches each shard's actors in shard-local order; seeding by launch
+/// order there would make random draws depend on the partition plan. Keying
+/// by `ActorId` makes the stream a pure function of `(master seed, actor)`,
+/// so the same program produces identical draws at every shard count.
+pub fn actor_rng(master: u64, actor: crate::runtime::ActorId) -> SmallRng {
+    stream_rng(master, actor.0 as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +67,23 @@ mod tests {
         let s3: Vec<u64> = (0..16).map(|_| r3.random()).collect();
         assert_eq!(s1, s2);
         assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn actor_rng_is_keyed_by_stable_id_not_spawn_order() {
+        use crate::runtime::ActorId;
+        // Drawing streams for actors 0..8 in any order gives the same
+        // per-actor sequences: the stream depends only on (master, id).
+        let draw = |id: usize| stream_rng(11, id as u64).random::<u64>();
+        let mut shuffled: Vec<usize> = vec![5, 2, 7, 0, 3, 6, 1, 4];
+        let by_shuffled: Vec<(usize, u64)> = shuffled
+            .iter()
+            .map(|&id| (id, actor_rng(11, ActorId(id)).random::<u64>()))
+            .collect();
+        for (id, v) in by_shuffled {
+            assert_eq!(v, draw(id), "actor {id} stream depends on draw order");
+        }
+        shuffled.sort_unstable();
     }
 
     #[test]

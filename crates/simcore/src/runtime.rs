@@ -13,11 +13,11 @@
 //! heap, per-actor clocks and sequence counters, the model itself — in one
 //! [`ExecState`] behind a `RefCell`. Execution proceeds in two phases:
 //!
-//! 1. **Launch.** Every actor future is polled once, in actor-id order,
-//!    before any event is popped. An actor runs until its first timed action
-//!    (`call`/`sleep`), whose future pushes one event keyed
-//!    `(time, actor, seq)` on its *first* poll and returns `Pending` — the
-//!    exact "submit all first events, then pop" discipline of the
+//! 1. **Launch.** Every actor future is created, then polled once, in
+//!    actor-id order, before any event is popped. An actor runs until its
+//!    first timed action (`call`/`sleep`), whose future pushes one event
+//!    keyed `(time, actor, seq)` on its *first* poll and returns `Pending` —
+//!    the exact "submit all first events, then pop" discipline of the
 //!    one-at-a-time reference interpreter.
 //! 2. **Event loop.** Events pop one at a time in `(time, actor, seq)`
 //!    order. An `Arrival` is handed to [`Model::handle`] and its response
@@ -28,6 +28,21 @@
 //!    code until the next timed action (pushing the next event), and returns
 //!    `Pending` again — or completes.
 //!
+//! ## Virtual partitions and routing
+//!
+//! A model may declare that a request addresses a specific **virtual
+//! partition** ([`Model::partition_of`]); each actor has a *home* partition
+//! (its own, by default). A request to the home partition arrives
+//! immediately, exactly as before. A request to a *foreign* partition pays a
+//! one-way network leg (`hop`) on the way in and again on the reply — the
+//! modeled frontend round trip of the cluster. Crucially this is a property
+//! of the **virtual plan** (partition structure + hop), never of physical
+//! placement: the serial executor applies the same legs as the sharded
+//! executor ([`crate::shard`]), so observable histories are identical at
+//! every shard count. The hop doubles as the conservative lookahead window
+//! that lets shards run ahead of each other without null messages (see
+//! `DESIGN.md`).
+//!
 //! ## Why this is exact and deterministic
 //!
 //! * User code between two timed actions consumes **zero virtual time** and
@@ -37,9 +52,10 @@
 //!   per-actor sequence numbers make that order a pure function of the
 //!   simulation history. No wakers, no ready-queues, no host-OS scheduling
 //!   anywhere in the loop: the executor *is* the one-at-a-time reference
-//!   interpreter that the thread-backed executor ([`crate::threaded`]) is
-//!   tested against, so both backends — and therefore all golden figure
-//!   artifacts — agree bit-for-bit by construction.
+//!   interpreter that the thread-backed executor ([`crate::threaded`]) and
+//!   the sharded executor ([`crate::shard`]) are tested against, so all
+//!   backends — and therefore all golden figure artifacts — agree
+//!   bit-for-bit by construction.
 //! * The cluster model ([`Model::handle`]) sees arrivals in non-decreasing
 //!   virtual-time order, which makes analytic `next_free` bookkeeping in the
 //!   queueing resources exact (see [`crate::resource`]).
@@ -49,16 +65,23 @@
 //! * Every `Pending` poll of an actor future has pushed exactly one event
 //!   for that actor first (enforced by the [`Wait`] future). Hence an empty
 //!   heap with unfinished actors is a genuine deadlock and panics.
+//! * A `call` pre-allocates *two* sequence numbers — the arrival's and the
+//!   reply's. The calling actor is blocked until the reply, so nothing else
+//!   can allocate for it in between and the keys are identical to
+//!   allocating the reply at arrival-processing time; pre-allocation is what
+//!   lets a remote shard schedule the reply without touching the caller's
+//!   counter.
 //! * A panic in an actor body unwinds straight through the executor to the
 //!   caller — single-threaded execution needs no cascade-teardown machinery,
 //!   and the payload is always the root cause.
 //!
-//! Per-actor cost is one boxed future instead of an OS thread stack, so
-//! simulations scale far past the paper's ~100-worker ceiling: the engine
-//! benchmark ladder runs 512 actors at the same per-op cost as 32.
+//! Per-actor cost is one future (stored **unboxed** in a contiguous arena
+//! for the homogeneous [`Simulation::run_workers`] shape) instead of an OS
+//! thread stack, so simulations scale far past the paper's ~100-worker
+//! ceiling.
 
 use crate::heap::{EventHeap, EventKey};
-use crate::rng::stream_rng;
+use crate::rng::actor_rng;
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
 use std::cell::RefCell;
@@ -80,8 +103,8 @@ pub struct ActorId(pub usize);
 /// (storage contents, resource bookkeeping) as a side effect.
 ///
 /// The `Send` supertrait is required by the thread-backed reference executor
-/// ([`crate::threaded`]); the coroutine executor itself never moves the
-/// model across threads.
+/// ([`crate::threaded`]) and by the sharded executor, which moves
+/// per-partition sub-models onto shard threads.
 pub trait Model: Send {
     /// Request type actors submit via [`ActorCtx::call`].
     type Req: Send;
@@ -91,10 +114,33 @@ pub trait Model: Send {
     /// Process a request arriving at `now` from `actor`; return
     /// `(completion_time, response)` with `completion_time >= now`.
     fn handle(&mut self, now: SimTime, actor: ActorId, req: Self::Req) -> (SimTime, Self::Resp);
+
+    /// The **virtual partition** this request addresses, or `None` for the
+    /// calling actor's home partition (the default, and the only answer a
+    /// model without partitions ever needs).
+    ///
+    /// The answer must be a pure function of the request: it decides whether
+    /// the cross-partition network legs apply and, on the sharded executor,
+    /// which shard processes the arrival. It must therefore be identical on
+    /// the whole model and on any sub-model produced by
+    /// [`crate::shard::ShardableModel::split`].
+    fn partition_of(&self, _req: &Self::Req) -> Option<u32> {
+        None
+    }
 }
 
-enum Payload<M: Model> {
-    Arrival(M::Req),
+/// An event payload.
+pub(crate) enum Payload<M: Model> {
+    /// A request arriving at the model. `part` is the virtual partition it
+    /// addresses; `reply_seq` is the pre-allocated sequence number of the
+    /// `Deliver` that will carry the response back to the calling actor
+    /// (valid because the caller is blocked until the reply — see the module
+    /// invariants).
+    Arrival {
+        part: u32,
+        reply_seq: u64,
+        req: M::Req,
+    },
     Deliver(M::Resp),
     Timer,
 }
@@ -102,28 +148,237 @@ enum Payload<M: Model> {
 /// What the event loop leaves in a woken actor's mailbox slot. The firing
 /// time is not carried here: it is already recorded in the actor's clock
 /// (`actor_time`) before the actor is polled.
-enum Mail<Resp> {
+pub(crate) enum Mail<Resp> {
     Response(Resp),
     Timer,
+}
+
+/// Routing state for partitioned (and possibly sharded) runs. Absent on
+/// plain single-model runs, whose requests all stay on the fast local path.
+pub(crate) struct RouteTable<M: Model> {
+    /// Each actor's home partition.
+    pub(crate) home: Vec<u32>,
+    /// partition → local sub-model slot in [`ExecState::models`], or `None`
+    /// when the partition is owned by another shard.
+    pub(crate) slot: Vec<Option<u32>>,
+    /// partition → owning shard.
+    pub(crate) owner: Vec<u32>,
+    /// The shard this executor instance runs (0 on the serial executor,
+    /// where every partition is local).
+    pub(crate) self_shard: u32,
+    /// One-way virtual network leg paid by each direction of a
+    /// cross-partition call. Doubles as the conservative lookahead between
+    /// shards; `None` forbids cross-partition calls outright.
+    pub(crate) hop: Option<Duration>,
+    /// Staged cross-shard messages, indexed by destination shard; the
+    /// sharded executor flushes these at window barriers. Always empty on
+    /// the serial executor.
+    pub(crate) outbox: Vec<Vec<(EventKey, Payload<M>)>>,
 }
 
 /// All scheduler state, owned by the executor and shared with the per-actor
 /// [`ActorCtx`] handles through an `Rc<RefCell<..>>`. Borrows are always
 /// transient: the executor drops its borrow before polling an actor, and the
 /// [`Wait`] future drops its borrow before returning from `poll`.
-struct ExecState<M: Model> {
-    heap: EventHeap<Payload<M>>,
+///
+/// All per-actor vectors are indexed by **global** actor id, also on shard
+/// executors that host only a subset of the actors.
+pub(crate) struct ExecState<M: Model> {
+    pub(crate) heap: EventHeap<Payload<M>>,
     /// Per-actor event sequence counters (tie-break within one instant).
-    seq: Vec<u64>,
+    pub(crate) seq: Vec<u64>,
     /// Per-actor virtual clocks (time of the last wakeup delivered).
-    actor_time: Vec<SimTime>,
+    pub(crate) actor_time: Vec<SimTime>,
     /// One slot per actor; the event loop deposits the wakeup here.
-    mailbox: Vec<Option<Mail<M::Resp>>>,
+    pub(crate) mailbox: Vec<Option<Mail<M::Resp>>>,
     /// Per-actor count of [`ActorCtx::call`]s issued.
-    calls: Vec<u64>,
-    model: M,
-    end_time: SimTime,
-    requests: u64,
+    pub(crate) calls: Vec<u64>,
+    /// Local partition sub-models. Plain runs have exactly one; a shard has
+    /// one per owned partition.
+    pub(crate) models: Vec<M>,
+    pub(crate) route: Option<RouteTable<M>>,
+    pub(crate) end_time: SimTime,
+    pub(crate) requests: u64,
+    /// Total events popped from this executor's heap.
+    pub(crate) events: u64,
+    /// When recording, every popped event key (sorted + hashed at the end).
+    pub(crate) history: Option<Vec<EventKey>>,
+}
+
+impl<M: Model> ExecState<M> {
+    pub(crate) fn new(
+        n: usize,
+        models: Vec<M>,
+        route: Option<RouteTable<M>>,
+        record: bool,
+    ) -> Self {
+        ExecState {
+            // Steady state keeps ≤2 events in flight per actor (one pending
+            // wait plus one in-flight reply).
+            heap: EventHeap::with_capacity(2 * n),
+            seq: vec![0; n],
+            actor_time: vec![SimTime::ZERO; n],
+            mailbox: (0..n).map(|_| None).collect(),
+            calls: vec![0; n],
+            models,
+            route,
+            end_time: SimTime::ZERO,
+            requests: 0,
+            events: 0,
+            history: record.then(Vec::new),
+        }
+    }
+
+    /// Pop the earliest local event strictly below `horizon` (unbounded when
+    /// `None`), recording it in the event count, end time and — when enabled
+    /// — the observable history.
+    pub(crate) fn pop_due(&mut self, horizon: Option<SimTime>) -> Option<(EventKey, Payload<M>)> {
+        if let (Some(t), Some(h)) = (self.heap.peek_time(), horizon) {
+            if t >= h {
+                return None;
+            }
+        }
+        let (k, payload) = self.heap.pop()?;
+        self.events += 1;
+        self.end_time = k.time;
+        if let Some(h) = &mut self.history {
+            h.push(k);
+        }
+        Some((k, payload))
+    }
+
+    /// Schedule the arrival for a [`ActorCtx::call`]: allocate the arrival
+    /// and reply sequence numbers, resolve the target partition, apply the
+    /// inbound network leg for a foreign partition, and push either locally
+    /// or into the owning shard's outbox.
+    pub(crate) fn push_call(&mut self, actor: ActorId, home_slot: u32, req: M::Req) {
+        let a = actor.0;
+        let seq = self.seq[a];
+        self.seq[a] += 2;
+        let now = self.actor_time[a];
+        let Some(rt) = &mut self.route else {
+            let k = EventKey {
+                time: now,
+                actor,
+                seq,
+            };
+            self.heap.push(
+                k,
+                Payload::Arrival {
+                    part: 0,
+                    reply_seq: seq + 1,
+                    req,
+                },
+            );
+            return;
+        };
+        let home = rt.home[a];
+        let part = self.models[home_slot as usize]
+            .partition_of(&req)
+            .unwrap_or(home);
+        let delay = if part == home {
+            Duration::ZERO
+        } else {
+            rt.hop.expect(
+                "cross-partition call on a plan with no lookahead hop \
+                 (ShardPlan::with_hop)",
+            )
+        };
+        let k = EventKey {
+            time: now + delay,
+            actor,
+            seq,
+        };
+        let payload = Payload::Arrival {
+            part,
+            reply_seq: seq + 1,
+            req,
+        };
+        let dest = *rt
+            .owner
+            .get(part as usize)
+            .unwrap_or_else(|| panic!("partition_of returned out-of-range partition {part}"));
+        if dest == rt.self_shard {
+            self.heap.push(k, payload);
+        } else {
+            rt.outbox[dest as usize].push((k, payload));
+        }
+    }
+
+    /// Schedule a timer `delay` after `actor`'s clock.
+    pub(crate) fn push_timer(&mut self, actor: ActorId, delay: Duration) {
+        let a = actor.0;
+        let k = EventKey {
+            time: self.actor_time[a] + delay,
+            actor,
+            seq: self.seq[a],
+        };
+        self.seq[a] += 1;
+        self.heap.push(k, Payload::Timer);
+    }
+
+    /// Hand an arrival to its partition's sub-model and schedule the reply —
+    /// locally, or via the outbox when the calling actor lives on another
+    /// shard. The reply pays the outbound network leg iff the arrival paid
+    /// the inbound one (a foreign-partition call), keeping the timing a pure
+    /// function of the virtual plan.
+    pub(crate) fn process_arrival(&mut self, k: EventKey, part: u32, reply_seq: u64, req: M::Req) {
+        self.requests += 1;
+        let (slot, cross) = match &self.route {
+            None => (0, false),
+            Some(rt) => (
+                rt.slot[part as usize].expect("arrival for a partition not owned by this shard")
+                    as usize,
+                part != rt.home[k.actor.0],
+            ),
+        };
+        let (done, resp) = self.models[slot].handle(k.time, k.actor, req);
+        assert!(
+            done >= k.time,
+            "model completed a request before it arrived"
+        );
+        let time = if cross {
+            done + self
+                .route
+                .as_ref()
+                .and_then(|rt| rt.hop)
+                .expect("cross-partition arrival on a plan with no hop")
+        } else {
+            done
+        };
+        let dk = EventKey {
+            time,
+            actor: k.actor,
+            seq: reply_seq,
+        };
+        let dest_local = match &self.route {
+            None => true,
+            Some(rt) => rt.owner[rt.home[k.actor.0] as usize] == rt.self_shard,
+        };
+        if dest_local {
+            self.heap.push(dk, Payload::Deliver(resp));
+        } else {
+            let rt = self.route.as_mut().expect("remote reply requires a route");
+            let dest = rt.owner[rt.home[k.actor.0] as usize] as usize;
+            rt.outbox[dest].push((dk, Payload::Deliver(resp)));
+        }
+    }
+}
+
+/// FNV-1a over a sequence of event keys — the executor-independent
+/// fingerprint of an observable history. Callers sort the keys first so the
+/// hash is a function of the event *multiset*, not of pop interleaving.
+pub(crate) fn fnv1a_keys(keys: &[EventKey]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for k in keys {
+        for w in [k.time.as_nanos(), k.actor.0 as u64, k.seq] {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
 }
 
 /// Handle through which an actor body interacts with virtual time.
@@ -133,6 +388,9 @@ struct ExecState<M: Model> {
 /// hold its own copy while the actor body keeps another.
 pub struct ActorCtx<M: Model> {
     id: ActorId,
+    /// Local slot of this actor's home-partition sub-model (always 0 on
+    /// plain runs).
+    slot: u32,
     rng: Rc<RefCell<SmallRng>>,
     state: Rc<RefCell<ExecState<M>>>,
 }
@@ -141,6 +399,7 @@ impl<M: Model> Clone for ActorCtx<M> {
     fn clone(&self) -> Self {
         ActorCtx {
             id: self.id,
+            slot: self.slot,
             rng: Rc::clone(&self.rng),
             state: Rc::clone(&self.state),
         }
@@ -148,7 +407,24 @@ impl<M: Model> Clone for ActorCtx<M> {
 }
 
 impl<M: Model> ActorCtx<M> {
-    /// This actor's id (0-based, dense).
+    /// Build the context for actor `id`. The random stream is keyed by the
+    /// stable actor id ([`actor_rng`]), never by launch order, so shard-local
+    /// launch order cannot perturb determinism.
+    pub(crate) fn make(
+        id: ActorId,
+        slot: u32,
+        seed: u64,
+        state: Rc<RefCell<ExecState<M>>>,
+    ) -> Self {
+        ActorCtx {
+            id,
+            slot,
+            rng: Rc::new(RefCell::new(actor_rng(seed, id))),
+            state,
+        }
+    }
+
+    /// This actor's id (0-based, dense, global across shards).
     pub fn id(&self) -> ActorId {
         self.id
     }
@@ -167,7 +443,12 @@ impl<M: Model> ActorCtx<M> {
     /// response is delivered.
     pub async fn call(&self, req: M::Req) -> M::Resp {
         self.state.borrow_mut().calls[self.id.0] += 1;
-        match self.wait(Payload::Arrival(req), Duration::ZERO).await {
+        match (Wait {
+            ctx: self,
+            pending: Some(Pending::Call(req)),
+        })
+        .await
+        {
             Mail::Response(resp) => resp,
             Mail::Timer => unreachable!("timer wakeup while awaiting response"),
         }
@@ -177,7 +458,12 @@ impl<M: Model> ActorCtx<M> {
     /// *think time*, and the 1 s back-off before retrying a throttled
     /// operation).
     pub async fn sleep(&self, d: Duration) {
-        match self.wait(Payload::Timer, d).await {
+        match (Wait {
+            ctx: self,
+            pending: Some(Pending::Sleep(d)),
+        })
+        .await
+        {
             Mail::Timer => {}
             Mail::Response(_) => unreachable!("response wakeup while sleeping"),
         }
@@ -187,22 +473,20 @@ impl<M: Model> ActorCtx<M> {
     pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
         f(&mut self.rng.borrow_mut())
     }
+}
 
-    fn wait(&self, payload: Payload<M>, delay: Duration) -> Wait<'_, M> {
-        Wait {
-            ctx: self,
-            pending: Some((payload, delay)),
-        }
-    }
+/// A not-yet-pushed timed action.
+enum Pending<M: Model> {
+    Call(M::Req),
+    Sleep(Duration),
 }
 
 /// The one awaitable in the system: on its first poll it pushes the actor's
-/// next event (`delay` after the actor's clock) and returns `Pending`; when
-/// the event loop deposits the wakeup in the actor's mailbox and re-polls,
-/// it takes the mail and completes.
+/// next event and returns `Pending`; when the event loop deposits the wakeup
+/// in the actor's mailbox and re-polls, it takes the mail and completes.
 struct Wait<'a, M: Model> {
     ctx: &'a ActorCtx<M>,
-    pending: Option<(Payload<M>, Duration)>,
+    pending: Option<Pending<M>>,
 }
 
 // `Wait` holds no self-references, and `Pin` never needs to project into the
@@ -215,15 +499,12 @@ impl<M: Model> Future for Wait<'_, M> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         let i = this.ctx.id.0;
-        if let Some((payload, delay)) = this.pending.take() {
+        if let Some(pending) = this.pending.take() {
             let mut st = this.ctx.state.borrow_mut();
-            let k = EventKey {
-                time: st.actor_time[i] + delay,
-                actor: this.ctx.id,
-                seq: st.seq[i],
-            };
-            st.seq[i] += 1;
-            st.heap.push(k, payload);
+            match pending {
+                Pending::Call(req) => st.push_call(this.ctx.id, this.ctx.slot, req),
+                Pending::Sleep(d) => st.push_timer(this.ctx.id, d),
+            }
             return Poll::Pending;
         }
         match this.ctx.state.borrow_mut().mailbox[i].take() {
@@ -256,6 +537,148 @@ where
     Box::new(move |ctx| Box::pin(f(ctx)) as ActorFuture<'a, R>)
 }
 
+/// Storage for actor futures, polled by store index.
+///
+/// Two layouts implement it: [`BoxedStore`] (heterogeneous, one allocation
+/// per actor) and [`ArenaStore`] (homogeneous, all futures contiguous in one
+/// `Vec` — the cache-local layout the worker ladders run on).
+pub(crate) trait ActorStore<R> {
+    /// Poll live slot `i`; panics if that actor already finished.
+    fn poll(&mut self, i: usize, cx: &mut Context<'_>) -> Poll<R>;
+    /// Whether slot `i` still holds an unfinished actor.
+    fn live(&self, i: usize) -> bool;
+    fn len(&self) -> usize;
+
+    fn live_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.live(i)).count()
+    }
+}
+
+/// One boxed future per slot; finished slots are dropped eagerly.
+pub(crate) struct BoxedStore<'a, R> {
+    slots: Vec<Option<ActorFuture<'a, R>>>,
+}
+
+impl<R> ActorStore<R> for BoxedStore<'_, R> {
+    fn poll(&mut self, i: usize, cx: &mut Context<'_>) -> Poll<R> {
+        let fut = self.slots[i]
+            .as_mut()
+            .expect("wakeup delivered to an actor that already finished");
+        let polled = fut.as_mut().poll(cx);
+        if polled.is_ready() {
+            self.slots[i] = None;
+        }
+        polled
+    }
+
+    fn live(&self, i: usize) -> bool {
+        self.slots[i].is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// All futures of one monomorphic type, stored inline in a single `Vec` —
+/// no per-actor box, exact preallocation, and neighbouring actors' state
+/// machines share cache lines.
+///
+/// Pin discipline: every future is pushed **before any future is polled**
+/// (`push` panics otherwise), the `Vec` is preallocated to its final
+/// capacity and never grows afterwards, and completed futures stay in place
+/// until the whole store drops. A stored future therefore never moves after
+/// its first poll.
+pub(crate) struct ArenaStore<F> {
+    slots: Vec<F>,
+    done: Vec<bool>,
+    polled: bool,
+}
+
+impl<F> ArenaStore<F> {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        ArenaStore {
+            slots: Vec::with_capacity(n),
+            done: Vec::with_capacity(n),
+            polled: false,
+        }
+    }
+
+    pub(crate) fn push(&mut self, fut: F) {
+        assert!(!self.polled, "arena sealed after the first poll");
+        assert!(self.slots.len() < self.slots.capacity(), "arena overflow");
+        self.slots.push(fut);
+        self.done.push(false);
+    }
+}
+
+impl<R, F: Future<Output = R>> ActorStore<R> for ArenaStore<F> {
+    fn poll(&mut self, i: usize, cx: &mut Context<'_>) -> Poll<R> {
+        self.polled = true;
+        assert!(
+            !self.done[i],
+            "wakeup delivered to an actor that already finished"
+        );
+        // SAFETY: the slot vector reached its final length before any poll
+        // (enforced by `push`), within preallocated capacity, and slots are
+        // neither removed nor swapped until the store is dropped whole — so
+        // the future at `i` never moves between its first poll and its drop.
+        let fut = unsafe { Pin::new_unchecked(&mut self.slots[i]) };
+        let polled = fut.poll(cx);
+        if polled.is_ready() {
+            self.done[i] = true;
+        }
+        polled
+    }
+
+    fn live(&self, i: usize) -> bool {
+        !self.done[i]
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Fire one popped event: hand an `Arrival` to the model, or deposit a
+/// wakeup and poll the target actor. `local` is the store index of the
+/// event's actor (equal to `k.actor.0` on the serial executor; a shard maps
+/// global ids to its dense local indices). Shared by the serial event loop
+/// and the sharded window loop so both execute events identically.
+pub(crate) fn fire_event<M: Model, R, S: ActorStore<R>>(
+    state: &Rc<RefCell<ExecState<M>>>,
+    k: EventKey,
+    payload: Payload<M>,
+    store: &mut S,
+    results: &mut [Option<R>],
+    local: usize,
+    cx: &mut Context<'_>,
+) {
+    let mail = match payload {
+        Payload::Arrival {
+            part,
+            reply_seq,
+            req,
+        } => {
+            state.borrow_mut().process_arrival(k, part, reply_seq, req);
+            return;
+        }
+        Payload::Deliver(resp) => Mail::Response(resp),
+        Payload::Timer => Mail::Timer,
+    };
+    {
+        let mut st = state.borrow_mut();
+        let a = k.actor.0;
+        st.actor_time[a] = k.time;
+        st.mailbox[a] = Some(mail);
+    }
+    // The `ExecState` borrow is released: user code inside the future is
+    // free to touch the heap, clocks and RNG through its own context.
+    if let Poll::Ready(r) = store.poll(local, cx) {
+        results[local] = Some(r);
+    }
+}
+
 /// Outcome of a completed simulation.
 pub struct SimReport<M, R> {
     /// The model, with all its end-of-run state and counters.
@@ -266,151 +689,168 @@ pub struct SimReport<M, R> {
     pub end_time: SimTime,
     /// Total number of model requests processed.
     pub requests: u64,
+    /// Total events fired (arrivals + deliveries + timers).
+    pub events: u64,
+    /// Events fired per shard (one entry on single-threaded executors).
+    pub shard_events: Vec<u64>,
+    /// FNV-1a fingerprint of the sorted `(time, actor, seq)` history, when
+    /// recording was requested — the cross-executor equivalence check.
+    pub history_hash: Option<u64>,
 }
 
 /// A virtual-time simulation: a model plus a master seed.
 pub struct Simulation<M: Model> {
     model: M,
     seed: u64,
+    route: Option<RouteTable<M>>,
+    record: bool,
 }
 
 impl<M: Model> Simulation<M> {
     /// Create a simulation over `model` with deterministic seed `seed`.
     pub fn new(model: M, seed: u64) -> Self {
-        Simulation { model, seed }
+        Simulation {
+            model,
+            seed,
+            route: None,
+            record: false,
+        }
+    }
+
+    /// Record the `(time, actor, seq)` observable history and report its
+    /// fingerprint in [`SimReport::history_hash`]. Costs memory proportional
+    /// to the event count; meant for differential tests, not benchmarks.
+    pub fn record_history(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Attach a routing table (built by `crate::shard::ShardPlan::route`):
+    /// the serial executor then applies the same virtual-partition network
+    /// legs as the sharded executor, making it the reference schedule for
+    /// partitioned models.
+    pub(crate) fn with_route(mut self, route: RouteTable<M>) -> Self {
+        self.route = Some(route);
+        self
     }
 
     /// Run `n` identical workers (the common benchmark shape: the paper
-    /// deploys N copies of the same worker role).
+    /// deploys N copies of the same worker role). The worker futures are
+    /// stored unboxed in a contiguous arena.
+    ///
+    /// `body` is called once per actor to *create* its future before any
+    /// future is polled; creation code must not interact with virtual time
+    /// (every `ActorCtx` method that can is `async` and therefore runs at
+    /// poll time).
     pub fn run_workers<R, F, Fut>(self, n: usize, body: F) -> SimReport<M, R>
     where
         F: Fn(ActorCtx<M>) -> Fut,
         Fut: Future<Output = R>,
     {
-        let body = &body;
-        let actors: Vec<ActorFn<'_, M, R>> = (0..n).map(|_| actor(body)).collect();
-        self.run(actors)
+        let (state, seed) = self.into_state(n);
+        let mut store = ArenaStore::with_capacity(n);
+        for i in 0..n {
+            store.push(body(ActorCtx::make(ActorId(i), 0, seed, Rc::clone(&state))));
+        }
+        execute(state, store)
     }
 
     /// Run a heterogeneous set of actors (e.g. one web role plus N worker
     /// roles). Actor ids are assigned by position.
     pub fn run<'a, R>(self, actors: Vec<ActorFn<'a, M, R>>) -> SimReport<M, R> {
-        let Simulation { model, seed } = self;
         let n = actors.len();
-        let state = Rc::new(RefCell::new(ExecState {
-            heap: EventHeap::new(),
-            seq: vec![0; n],
-            actor_time: vec![SimTime::ZERO; n],
-            mailbox: (0..n).map(|_| None).collect(),
-            calls: vec![0; n],
-            model,
-            end_time: SimTime::ZERO,
-            requests: 0,
-        }));
-
-        let mut tasks: Vec<Option<ActorFuture<'a, R>>> = Vec::with_capacity(n);
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut cx = Context::from_waker(Waker::noop());
-
-        // Launch phase: drive every actor to its first timed action (or to
-        // completion), in actor-id order, before popping any event.
+        let (state, seed) = self.into_state(n);
+        let mut slots = Vec::with_capacity(n);
         for (i, make) in actors.into_iter().enumerate() {
-            let ctx = ActorCtx {
-                id: ActorId(i),
-                rng: Rc::new(RefCell::new(stream_rng(seed, i as u64))),
-                state: Rc::clone(&state),
-            };
-            let mut fut = make(ctx);
-            match fut.as_mut().poll(&mut cx) {
-                Poll::Ready(r) => {
-                    results[i] = Some(r);
-                    tasks.push(None);
-                }
-                Poll::Pending => tasks.push(Some(fut)),
-            }
+            let ctx = ActorCtx::make(ActorId(i), 0, seed, Rc::clone(&state));
+            slots.push(Some(make(ctx)));
         }
+        execute(state, BoxedStore { slots })
+    }
 
-        // Event loop: one event at a time, in (time, actor, seq) order.
-        loop {
-            let popped = state.borrow_mut().heap.pop();
-            let Some((k, payload)) = popped else { break };
-            let a = k.actor.0;
-            match payload {
-                Payload::Arrival(req) => {
-                    let mut st = state.borrow_mut();
-                    st.end_time = k.time;
-                    st.requests += 1;
-                    let (done, resp) = st.model.handle(k.time, k.actor, req);
-                    assert!(
-                        done >= k.time,
-                        "model completed a request before it arrived"
-                    );
-                    let dk = EventKey {
-                        time: done,
-                        actor: k.actor,
-                        seq: st.seq[a],
-                    };
-                    st.seq[a] += 1;
-                    st.heap.push(dk, Payload::Deliver(resp));
-                }
-                Payload::Deliver(resp) => {
-                    {
-                        let mut st = state.borrow_mut();
-                        st.end_time = k.time;
-                        st.actor_time[a] = k.time;
-                        st.mailbox[a] = Some(Mail::Response(resp));
-                    }
-                    Self::poll_actor(&mut tasks, &mut results, a, &mut cx);
-                }
-                Payload::Timer => {
-                    {
-                        let mut st = state.borrow_mut();
-                        st.end_time = k.time;
-                        st.actor_time[a] = k.time;
-                        st.mailbox[a] = Some(Mail::Timer);
-                    }
-                    Self::poll_actor(&mut tasks, &mut results, a, &mut cx);
-                }
-            }
+    fn into_state(self, n: usize) -> (Rc<RefCell<ExecState<M>>>, u64) {
+        let Simulation {
+            model,
+            seed,
+            route,
+            record,
+        } = self;
+        if let Some(rt) = &route {
+            assert_eq!(
+                rt.home.len(),
+                n,
+                "route table sized for a different actor count"
+            );
         }
+        (
+            Rc::new(RefCell::new(ExecState::new(n, vec![model], route, record))),
+            seed,
+        )
+    }
+}
 
-        let blocked = tasks.iter().filter(|t| t.is_some()).count();
-        assert!(
-            blocked == 0,
-            "deadlock: {blocked} live actors blocked with no pending events"
-        );
-        drop(tasks);
-        let state = Rc::try_unwrap(state)
-            .ok()
-            .expect("actor contexts outlived the simulation")
-            .into_inner();
-        SimReport {
-            model: state.model,
-            results: results
-                .into_iter()
-                .map(|r| r.expect("actor finished without producing a result"))
-                .collect(),
-            end_time: state.end_time,
-            requests: state.requests,
+/// Launch every actor, drain the event loop, and tear down into a report.
+fn execute<M: Model, R, S: ActorStore<R>>(
+    state: Rc<RefCell<ExecState<M>>>,
+    mut store: S,
+) -> SimReport<M, R> {
+    let n = store.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut cx = Context::from_waker(Waker::noop());
+
+    // Launch phase: drive every actor to its first timed action (or to
+    // completion), in actor-id order, before popping any event.
+    for (i, result) in results.iter_mut().enumerate() {
+        if let Poll::Ready(r) = store.poll(i, &mut cx) {
+            *result = Some(r);
         }
     }
 
-    /// Poll actor `a` after a wakeup was deposited in its mailbox. The
-    /// `ExecState` borrow is already released: user code inside the future
-    /// is free to touch the heap, clocks and RNG through its own context.
-    fn poll_actor<'a, R>(
-        tasks: &mut [Option<ActorFuture<'a, R>>],
-        results: &mut [Option<R>],
-        a: usize,
-        cx: &mut Context<'_>,
-    ) {
-        let fut = tasks[a]
-            .as_mut()
-            .expect("wakeup delivered to an actor that already finished");
-        if let Poll::Ready(r) = fut.as_mut().poll(cx) {
-            results[a] = Some(r);
-            tasks[a] = None;
-        }
+    // Event loop: one event at a time, in (time, actor, seq) order.
+    loop {
+        let popped = state.borrow_mut().pop_due(None);
+        let Some((k, payload)) = popped else { break };
+        fire_event(
+            &state,
+            k,
+            payload,
+            &mut store,
+            &mut results,
+            k.actor.0,
+            &mut cx,
+        );
+    }
+
+    let blocked = store.live_count();
+    assert!(
+        blocked == 0,
+        "deadlock: {blocked} live actors blocked with no pending events"
+    );
+    drop(store);
+    let mut st = Rc::try_unwrap(state)
+        .ok()
+        .expect("actor contexts outlived the simulation")
+        .into_inner();
+    let history_hash = st.history.take().map(|mut h| {
+        h.sort_unstable();
+        fnv1a_keys(&h)
+    });
+    let model = st.models.pop().expect("simulation lost its model");
+    assert!(
+        st.models.is_empty(),
+        "serial run ended with multiple models"
+    );
+    SimReport {
+        model,
+        results: results
+            .into_iter()
+            .map(|r| r.expect("actor finished without producing a result"))
+            .collect(),
+        end_time: st.end_time,
+        requests: st.requests,
+        events: st.events,
+        shard_events: vec![st.events],
+        history_hash,
     }
 }
 
@@ -479,6 +919,8 @@ mod tests {
         assert_eq!(report.results[0], SimTime::from_millis(5_001));
         assert_eq!(report.end_time, SimTime::from_millis(5_001));
         assert_eq!(report.requests, 0);
+        assert_eq!(report.events, 2);
+        assert_eq!(report.shard_events, vec![2]);
     }
 
     #[test]
@@ -493,6 +935,8 @@ mod tests {
         });
         assert_eq!(report.requests, 1);
         assert_eq!(report.model.handled, vec![(0, 0, 7)]);
+        // One arrival plus one delivery.
+        assert_eq!(report.events, 2);
     }
 
     #[test]
@@ -558,6 +1002,7 @@ mod tests {
         let report = sim.run_workers(4, |_ctx| async move { 42u8 });
         assert_eq!(report.results, vec![42; 4]);
         assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events, 0);
     }
 
     #[test]
@@ -582,7 +1027,7 @@ mod tests {
         // Many actors with random think times and calls: the full model
         // trace and all results must be identical across runs.
         let run_once = || {
-            let sim = Simulation::new(echo(3), 1234);
+            let sim = Simulation::new(echo(3), 1234).record_history();
             let report = sim.run_workers(16, |ctx| async move {
                 let mut log = Vec::new();
                 for i in 0..20 {
@@ -593,13 +1038,20 @@ mod tests {
                 }
                 log
             });
-            (report.model.handled, report.results, report.end_time)
+            (
+                report.model.handled,
+                report.results,
+                report.end_time,
+                report.history_hash,
+            )
         };
         let a = run_once();
         let b = run_once();
         assert_eq!(a.0, b.0, "model traces differ");
         assert_eq!(a.1, b.1, "actor results differ");
         assert_eq!(a.2, b.2, "end times differ");
+        assert!(a.3.is_some(), "history hash missing despite record_history");
+        assert_eq!(a.3, b.3, "history hashes differ");
     }
 
     #[test]
@@ -749,6 +1201,43 @@ mod tests {
             let max_clock = report.results.iter().max().copied().unwrap();
             proptest::prop_assert_eq!(report.end_time, max_clock);
         }
+
+        /// The unboxed arena path (`run_workers`) and the boxed path
+        /// (`run`) execute the identical schedule: same results, end time,
+        /// event count and observable-history fingerprint.
+        #[test]
+        fn prop_arena_matches_boxed_store(
+            prog in proptest::collection::vec((proptest::bool::ANY, 0u64..2_000), 0..12),
+            n in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            let body = |prog: Vec<(bool, u64)>| move |ctx: ActorCtx<EchoModel>| {
+                let prog = prog.clone();
+                async move {
+                let mut acc = 0u64;
+                for (is_call, arg) in prog {
+                    if is_call {
+                        acc = acc.wrapping_add(ctx.call(arg as u32).await.1.as_nanos());
+                    } else {
+                        ctx.sleep(Duration::from_micros(arg)).await;
+                    }
+                }
+                acc
+            }};
+            let arena = Simulation::new(echo(2), seed)
+                .record_history()
+                .run_workers(n, body(prog.clone()));
+            let boxed_actors: Vec<ActorFn<'_, EchoModel, u64>> =
+                (0..n).map(|_| actor(body(prog.clone()))).collect();
+            let boxed = Simulation::new(echo(2), seed)
+                .record_history()
+                .run(boxed_actors);
+            proptest::prop_assert_eq!(arena.results, boxed.results);
+            proptest::prop_assert_eq!(arena.end_time, boxed.end_time);
+            proptest::prop_assert_eq!(arena.events, boxed.events);
+            proptest::prop_assert_eq!(arena.history_hash, boxed.history_hash);
+            proptest::prop_assert_eq!(arena.model.handled, boxed.model.handled);
+        }
     }
 
     #[test]
@@ -777,5 +1266,109 @@ mod tests {
             }),
             42
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual-partition routing on the serial executor.
+    // ------------------------------------------------------------------
+
+    /// Request `(target_partition, value)`; fixed service time, no queueing.
+    struct PartModel {
+        service: Duration,
+    }
+
+    impl Model for PartModel {
+        type Req = (u32, u32);
+        type Resp = u32;
+        fn handle(&mut self, now: SimTime, _actor: ActorId, req: (u32, u32)) -> (SimTime, u32) {
+            (now + self.service, req.1)
+        }
+        fn partition_of(&self, req: &(u32, u32)) -> Option<u32> {
+            Some(req.0)
+        }
+    }
+
+    fn two_part_route(hop: Option<Duration>) -> RouteTable<PartModel> {
+        RouteTable {
+            home: vec![0, 1],
+            slot: vec![Some(0), Some(0)],
+            owner: vec![0, 0],
+            self_shard: 0,
+            hop,
+            outbox: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn home_partition_calls_pay_no_network_leg() {
+        let service = Duration::from_millis(3);
+        let report = Simulation::new(PartModel { service }, 0)
+            .with_route(two_part_route(Some(Duration::from_millis(1))))
+            .run_workers(2, |ctx| async move {
+                // Each actor addresses its own home partition.
+                ctx.call((ctx.id().0 as u32, 9)).await;
+                ctx.now()
+            });
+        assert_eq!(report.results, vec![SimTime::from_millis(3); 2]);
+    }
+
+    #[test]
+    fn foreign_partition_calls_pay_hop_each_way() {
+        let service = Duration::from_millis(3);
+        let hop = Duration::from_millis(1);
+        let report = Simulation::new(PartModel { service }, 0)
+            .with_route(two_part_route(Some(hop)))
+            .run_workers(2, |ctx| async move {
+                // Actor 0 calls foreign partition 1; actor 1 stays home.
+                let target = 1u32;
+                ctx.call((target, 9)).await;
+                ctx.now()
+            });
+        // Actor 0: 1 ms in + 3 ms service + 1 ms back = 5 ms.
+        // Actor 1 (home = 1): service only.
+        assert_eq!(
+            report.results,
+            vec![SimTime::from_millis(5), SimTime::from_millis(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-partition call")]
+    fn foreign_partition_call_without_hop_panics() {
+        Simulation::new(
+            PartModel {
+                service: Duration::from_millis(1),
+            },
+            0,
+        )
+        .with_route(two_part_route(None))
+        .run_workers(2, |ctx| async move {
+            ctx.call((1u32.wrapping_sub(ctx.id().0 as u32), 0)).await;
+        });
+    }
+
+    #[test]
+    fn history_hash_is_order_insensitive_fingerprint() {
+        // Same multiset of keys in different order hashes identically after
+        // the sort performed by the executor.
+        let mut a = vec![
+            EventKey {
+                time: SimTime(5),
+                actor: ActorId(1),
+                seq: 0,
+            },
+            EventKey {
+                time: SimTime(2),
+                actor: ActorId(0),
+                seq: 3,
+            },
+        ];
+        let mut b = vec![a[1], a[0]];
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(fnv1a_keys(&a), fnv1a_keys(&b));
+        // And the hash is sensitive to the contents.
+        let c = [a[0]];
+        assert_ne!(fnv1a_keys(&a), fnv1a_keys(&c));
     }
 }

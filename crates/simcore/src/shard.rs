@@ -1,0 +1,1043 @@
+//! Sharded conservative parallel DES executor.
+//!
+//! The serial coroutine executor ([`crate::runtime::Simulation`]) hits a
+//! scaling cliff once the actor population outgrows the cache: one heap, one
+//! thread, every event through the same loop. This module shards the event
+//! loop across OS threads while reproducing the serial observable history
+//! **bit for bit** at every shard count.
+//!
+//! ## The plan: virtual partitions vs physical shards
+//!
+//! A [`ShardPlan`] has two independent halves:
+//!
+//! * **Virtual structure** — every actor has a *home partition*
+//!   (`plan.home`), and a request may address a foreign partition
+//!   ([`crate::runtime::Model::partition_of`]). A foreign-partition call
+//!   pays a one-way network leg (`hop`) inbound and again on the reply —
+//!   the modeled frontend round trip. This half determines **all observable
+//!   timing**.
+//! * **Physical placement** — partitions are assigned to shards
+//!   (`plan.placement`); each actor runs on the shard owning its home
+//!   partition. This half determines **only which thread fires an event**,
+//!   never when.
+//!
+//!   The serial executor runs the identical virtual structure
+//!   ([`Simulation::with_plan`]) with every partition local, so the sharded
+//!   run at any shard count replays the same `(time, actor, seq)` event
+//!   multiset — checked end-to-end by fingerprint
+//!   ([`crate::runtime::SimReport::history_hash`]).
+//!
+//! ## Conservative synchronization (null-message-free)
+//!
+//! With lookahead `hop`, shards synchronize in bounded windows — a
+//! three-barrier round, no null messages, no rollback:
+//!
+//! 1. **Flush**: stage every cross-shard message generated last window into
+//!    the destination shard's inbox. *(barrier)*
+//! 2. **Drain + min-reduce**: push inbox messages into the local heap, then
+//!    publish the local next-event time into a shared atomic minimum.
+//!    *(barrier)*
+//! 3. **Process**: read the global minimum `G`; every shard fires its local
+//!    events with `time < G + hop`, staging any cross-shard sends for the
+//!    next flush. *(barrier)*
+//!
+//! **Why no message can arrive below the horizon:** a cross-shard message is
+//! only created while processing an event at time `τ`, and both directions
+//! of a cross-partition call add `hop`, so its timestamp is `≥ τ + hop`.
+//! Every processed event has `τ ≥ G` (the global minimum), hence every
+//! in-flight message has `timestamp ≥ G + hop` — at or beyond everyone's
+//! horizon. Within the window each shard's events are causally closed: they
+//! interact only through same-shard state, which the local heap already
+//! fires in exact `(time, actor, seq)` order. The union of per-shard
+//! schedules therefore equals the serial schedule (full argument in
+//! `DESIGN.md`).
+//!
+//! The loop terminates when the reduced minimum is `u64::MAX`: every heap,
+//! inbox and outbox is empty, so no event exists anywhere.
+//!
+//! With no lookahead (`hop == None`) cross-partition calls are forbidden
+//! and shards **free-run** to completion with zero synchronization — the
+//! embarrassingly-parallel shape of the engine-ladder benchmark, where each
+//! actor owns its partition.
+//!
+//! A panicking shard poisons the window barrier so the remaining shards
+//! unwind instead of waiting forever; the root-cause payload is re-raised.
+
+use crate::heap::EventKey;
+use crate::runtime::{
+    fire_event, fnv1a_keys, ActorCtx, ActorId, ActorStore, ArenaStore, ExecState, Model, Payload,
+    RouteTable, SimReport, Simulation,
+};
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::future::Future;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+/// A model whose state splits cleanly along partition boundaries.
+///
+/// Contract: for any request `r` with `partition_of(&r) == Some(p)`, the
+/// sub-model for `p` produced by `split` must `handle` `r` exactly as the
+/// whole model would — same completion time, same response, same state
+/// mutation. That holds precisely when no state is shared across partitions,
+/// which is what makes parallel execution exact rather than approximate.
+pub trait ShardableModel: Model + Sized {
+    /// Consume the model, producing one sub-model per partition (indexed by
+    /// partition id).
+    fn split(self, partitions: u32) -> Vec<Self>;
+
+    /// Reassemble the whole model from sub-models in partition order, for
+    /// end-of-run reporting (metrics merges, audits).
+    fn merge(parts: Vec<Self>) -> Self;
+}
+
+/// The virtual-partition structure and physical placement of one run.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Number of virtual partitions.
+    pub partitions: u32,
+    /// Each actor's home partition (length = actor count).
+    pub home: Vec<u32>,
+    /// Number of physical shards (OS threads).
+    pub shards: u32,
+    /// Owning shard of each partition (length = `partitions`).
+    pub placement: Vec<u32>,
+    /// One-way cross-partition network leg; doubles as the conservative
+    /// lookahead. `None` forbids cross-partition calls (free-run mode).
+    pub hop: Option<Duration>,
+}
+
+impl ShardPlan {
+    /// Everything on one partition and one shard — the plan for fully
+    /// coupled models (every storage-account resource shared), where the
+    /// differential suite still proves the executor stack end-to-end.
+    pub fn colocated(actors: usize) -> Self {
+        ShardPlan {
+            partitions: 1,
+            home: vec![0; actors],
+            shards: 1,
+            placement: vec![0],
+            hop: None,
+        }
+    }
+
+    /// `partitions` partitions dealt round-robin over `shards` shards, with
+    /// actor `a` homed on partition `a % partitions` — the plan for
+    /// partition-independent models (one partition per actor stripes the
+    /// engine ladder across every core).
+    pub fn striped(actors: usize, partitions: u32, shards: u32) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        let home = (0..actors)
+            .map(|a| (a % partitions as usize) as u32)
+            .collect();
+        ShardPlan {
+            partitions,
+            home,
+            shards: 1,
+            placement: Vec::new(),
+            hop: None,
+        }
+        .with_shards(shards)
+    }
+
+    /// Re-place partitions round-robin over `shards` shards.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self.placement = (0..self.partitions).map(|p| p % shards).collect();
+        self
+    }
+
+    /// Set the cross-partition network leg / lookahead window. Must be
+    /// positive: the window protocol only makes progress because the horizon
+    /// `G + hop` lies strictly beyond the global minimum `G`.
+    pub fn with_hop(mut self, hop: Duration) -> Self {
+        assert!(hop > Duration::ZERO, "lookahead hop must be positive");
+        self.hop = Some(hop);
+        self
+    }
+
+    /// Number of actors this plan schedules.
+    pub fn actors(&self) -> usize {
+        self.home.len()
+    }
+
+    fn validate(&self) {
+        assert!(self.partitions >= 1, "need at least one partition");
+        assert!(self.shards >= 1, "need at least one shard");
+        assert_eq!(
+            self.placement.len(),
+            self.partitions as usize,
+            "placement must cover every partition"
+        );
+        for (p, &s) in self.placement.iter().enumerate() {
+            assert!(s < self.shards, "partition {p} placed on missing shard {s}");
+        }
+        for (a, &p) in self.home.iter().enumerate() {
+            assert!(
+                p < self.partitions,
+                "actor {a} homed on missing partition {p}"
+            );
+        }
+    }
+
+    /// Routing table for one shard: locally owned partitions get dense slot
+    /// indices in ascending partition order (matching the sub-model order
+    /// built by [`ShardedSimulation::run_workers`]).
+    fn route_for_shard<M: Model>(&self, shard: u32) -> RouteTable<M> {
+        let mut slot = vec![None; self.partitions as usize];
+        let mut next = 0u32;
+        for (p, &s) in self.placement.iter().enumerate() {
+            if s == shard {
+                slot[p] = Some(next);
+                next += 1;
+            }
+        }
+        RouteTable {
+            home: self.home.clone(),
+            slot,
+            owner: self.placement.clone(),
+            self_shard: shard,
+            hop: self.hop,
+            outbox: (0..self.shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Routing table for the serial reference executor: the identical
+    /// virtual structure (homes + hop), with every partition mapped to the
+    /// single unsplit model.
+    fn serial_route<M: Model>(&self) -> RouteTable<M> {
+        RouteTable {
+            home: self.home.clone(),
+            slot: vec![Some(0); self.partitions as usize],
+            owner: vec![0; self.partitions as usize],
+            self_shard: 0,
+            hop: self.hop,
+            outbox: Vec::new(),
+        }
+    }
+}
+
+impl<M: Model> Simulation<M> {
+    /// Run the serial executor under `plan`'s **virtual** structure (home
+    /// partitions and hop legs), ignoring its physical placement. This is
+    /// the pinned reference schedule that every sharded run of the same
+    /// plan must reproduce bit-for-bit.
+    pub fn with_plan(self, plan: &ShardPlan) -> Self {
+        plan.validate();
+        self.with_route(plan.serial_route())
+    }
+}
+
+/// Panic payload used to cascade a teardown to shards parked at the window
+/// barrier. Kept as a `&'static str` literal so the root cause can be told
+/// apart from the cascade when propagating panics to the caller.
+const SHARD_DEAD: &str = "simulation terminated: another shard failed";
+
+fn is_cascade(p: &(dyn std::any::Any + Send)) -> bool {
+    p.downcast_ref::<&'static str>() == Some(&SHARD_DEAD)
+}
+
+/// A reusable barrier that can be poisoned: a panicking shard marks it so
+/// every parked (or later-arriving) shard wakes with `Err` and unwinds
+/// instead of waiting forever on a participant that will never arrive.
+struct PoisonBarrier {
+    state: Mutex<BarrierInner>,
+    cvar: Condvar,
+    n: usize,
+}
+
+struct BarrierInner {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+struct Poisoned;
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        PoisonBarrier {
+            state: Mutex::new(BarrierInner {
+                count: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cvar: Condvar::new(),
+            n,
+        }
+    }
+
+    fn wait(&self) -> Result<(), Poisoned> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.poisoned {
+            return Err(Poisoned);
+        }
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.poisoned {
+            st = self.cvar.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        if st.poisoned {
+            Err(Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.poisoned = true;
+        self.cvar.notify_all();
+    }
+}
+
+/// Poisons the barrier if the owning shard unwinds, so sibling shards never
+/// deadlock on a dead participant.
+struct PoisonGuard<'a>(&'a PoisonBarrier);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// Events staged for delivery to one shard.
+type Staged<M> = Vec<(EventKey, Payload<M>)>;
+
+/// Cross-shard rendezvous state for windowed runs.
+struct SyncShared<M: Model> {
+    barrier: PoisonBarrier,
+    /// Min-reduced next-event time across shards (nanos; `u64::MAX` = none).
+    global_min: AtomicU64,
+    /// Per-destination message staging, filled during the flush phase.
+    inboxes: Vec<Mutex<Staged<M>>>,
+}
+
+/// Everything one shard needs to run, built on the coordinating thread and
+/// moved onto the shard thread.
+struct ShardInput<M: Model> {
+    me: u32,
+    /// Sub-models of locally owned partitions, in ascending partition order.
+    models: Vec<M>,
+    /// The partition ids matching `models`.
+    local_parts: Vec<u32>,
+    /// Global ids of locally homed actors, ascending.
+    actors: Vec<usize>,
+    route: RouteTable<M>,
+}
+
+/// What one shard hands back for merging.
+struct ShardOutcome<M, R> {
+    models: Vec<M>,
+    local_parts: Vec<u32>,
+    /// `(global id, result)` per local actor; `None` only when the run is
+    /// about to fail the deadlock assertion.
+    results: Vec<(usize, Option<R>)>,
+    end_time: SimTime,
+    requests: u64,
+    events: u64,
+    history: Option<Vec<EventKey>>,
+    blocked: usize,
+}
+
+/// A virtual-time simulation executed across shard threads under a
+/// [`ShardPlan`]. Same seed and plan semantics ⇒ identical observables to
+/// the serial executor, at every shard count.
+pub struct ShardedSimulation<M: ShardableModel> {
+    model: M,
+    seed: u64,
+    plan: ShardPlan,
+    record: bool,
+}
+
+impl<M: ShardableModel> ShardedSimulation<M> {
+    /// Create a sharded simulation over `model` with deterministic `seed`.
+    pub fn new(model: M, seed: u64, plan: ShardPlan) -> Self {
+        plan.validate();
+        ShardedSimulation {
+            model,
+            seed,
+            plan,
+            record: false,
+        }
+    }
+
+    /// Record the `(time, actor, seq)` observable history and report its
+    /// merged fingerprint in [`SimReport::history_hash`].
+    pub fn record_history(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Run one identical worker per plan actor (`plan.actors()` of them).
+    ///
+    /// `body` must be callable from any shard thread (`Sync`); the futures
+    /// it creates live and are polled entirely on one shard thread, so they
+    /// need not be `Send`.
+    pub fn run_workers<R, F, Fut>(self, body: F) -> SimReport<M, R>
+    where
+        R: Send,
+        F: Fn(ActorCtx<M>) -> Fut + Sync,
+        Fut: Future<Output = R>,
+    {
+        let ShardedSimulation {
+            model,
+            seed,
+            plan,
+            record,
+        } = self;
+        let n = plan.actors();
+        let shards = plan.shards as usize;
+        let parts_total = plan.partitions as usize;
+
+        // Split the model and bucket sub-models + actors by owning shard.
+        let mut parts: Vec<Option<M>> =
+            model.split(plan.partitions).into_iter().map(Some).collect();
+        assert_eq!(
+            parts.len(),
+            parts_total,
+            "split() returned a wrong partition count"
+        );
+        let mut inputs: Vec<ShardInput<M>> = (0..shards)
+            .map(|s| ShardInput {
+                me: s as u32,
+                models: Vec::new(),
+                local_parts: Vec::new(),
+                actors: Vec::new(),
+                route: plan.route_for_shard(s as u32),
+            })
+            .collect();
+        for (p, part) in parts.iter_mut().enumerate() {
+            let s = plan.placement[p] as usize;
+            inputs[s]
+                .models
+                .push(part.take().expect("partition placed twice"));
+            inputs[s].local_parts.push(p as u32);
+        }
+        for (a, &home) in plan.home.iter().enumerate() {
+            inputs[plan.placement[home as usize] as usize]
+                .actors
+                .push(a);
+        }
+
+        let outcomes: Vec<ShardOutcome<M, R>> = if shards == 1 {
+            // Inline: one populated shard is exactly the serial schedule —
+            // no threads, no barriers.
+            vec![run_shard(
+                inputs.pop().expect("one shard input"),
+                seed,
+                record,
+                n,
+                &body,
+                None,
+                plan.hop,
+            )]
+        } else if plan.hop.is_none() {
+            // Free-run: no cross-partition traffic is possible, so shards
+            // are fully independent.
+            run_on_threads(inputs, seed, record, n, &body, None, None)
+        } else {
+            let sync = SyncShared {
+                barrier: PoisonBarrier::new(shards),
+                global_min: AtomicU64::new(u64::MAX),
+                inboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            };
+            run_on_threads(inputs, seed, record, n, &body, Some(&sync), plan.hop)
+        };
+
+        merge_outcomes(outcomes, n, parts_total, record)
+    }
+}
+
+/// Spawn one scoped thread per shard, join them all, and re-raise the
+/// root-cause panic (preferring it over "another shard failed" cascades).
+fn run_on_threads<M, R, F, Fut>(
+    inputs: Vec<ShardInput<M>>,
+    seed: u64,
+    record: bool,
+    n: usize,
+    body: &F,
+    sync: Option<&SyncShared<M>>,
+    hop: Option<Duration>,
+) -> Vec<ShardOutcome<M, R>>
+where
+    M: Model,
+    R: Send,
+    F: Fn(ActorCtx<M>) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
+    let joined: Vec<Result<ShardOutcome<M, R>, Box<dyn std::any::Any + Send>>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .into_iter()
+                .map(|input| {
+                    scope.spawn(move || run_shard(input, seed, record, n, body, sync, hop))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+    let mut outcomes = Vec::with_capacity(joined.len());
+    let mut panics = Vec::new();
+    for j in joined {
+        match j {
+            Ok(o) => outcomes.push(o),
+            Err(p) => panics.push(p),
+        }
+    }
+    if !panics.is_empty() {
+        let root = panics
+            .iter()
+            .position(|p| !is_cascade(p.as_ref()))
+            .unwrap_or(0);
+        std::panic::resume_unwind(panics.into_iter().nth(root).expect("root panic index"));
+    }
+    outcomes
+}
+
+/// Run one shard to completion: launch its actors, then drain events —
+/// unbounded when unsynchronized, in conservative windows otherwise.
+fn run_shard<M, R, F, Fut>(
+    input: ShardInput<M>,
+    seed: u64,
+    record: bool,
+    n_total: usize,
+    body: &F,
+    sync: Option<&SyncShared<M>>,
+    hop: Option<Duration>,
+) -> ShardOutcome<M, R>
+where
+    M: Model,
+    F: Fn(ActorCtx<M>) -> Fut,
+    Fut: Future<Output = R>,
+{
+    let ShardInput {
+        me,
+        models,
+        local_parts,
+        actors,
+        route,
+    } = input;
+    let state = Rc::new(RefCell::new(ExecState::new(
+        n_total,
+        models,
+        Some(route),
+        record,
+    )));
+    let n_local = actors.len();
+    let mut store = ArenaStore::with_capacity(n_local);
+    let mut local_of = vec![usize::MAX; n_total];
+    for (li, &a) in actors.iter().enumerate() {
+        local_of[a] = li;
+        let slot = {
+            let st = state.borrow();
+            let rt = st.route.as_ref().expect("shard state always has a route");
+            rt.slot[rt.home[a] as usize]
+                .expect("actor homed on a partition this shard does not own")
+        };
+        store.push(body(ActorCtx::make(
+            ActorId(a),
+            slot,
+            seed,
+            Rc::clone(&state),
+        )));
+    }
+
+    let mut results: Vec<Option<R>> = (0..n_local).map(|_| None).collect();
+    let mut cx = Context::from_waker(Waker::noop());
+    // Launch phase: first poll in ascending global-id order. Cross-shard
+    // first calls land in the outbox and flush in the first window.
+    for (li, result) in results.iter_mut().enumerate() {
+        if let Poll::Ready(r) = store.poll(li, &mut cx) {
+            *result = Some(r);
+        }
+    }
+
+    match sync {
+        None => loop {
+            let popped = state.borrow_mut().pop_due(None);
+            let Some((k, payload)) = popped else { break };
+            fire_event(
+                &state,
+                k,
+                payload,
+                &mut store,
+                &mut results,
+                local_of[k.actor.0],
+                &mut cx,
+            );
+        },
+        Some(sync) => {
+            let hop = hop.expect("windowed sync requires a lookahead hop");
+            let _guard = PoisonGuard(&sync.barrier);
+            let mut first = true;
+            loop {
+                // The reduced minimum is reset by shard 0 between windows:
+                // after the processing barrier everyone has read it, and no
+                // shard can publish a new minimum before the flush barrier
+                // (which needs shard 0) passes.
+                if me == 0 && !first {
+                    sync.global_min.store(u64::MAX, Ordering::SeqCst);
+                }
+                first = false;
+                // Phase 1: flush staged cross-shard messages to inboxes.
+                {
+                    let mut st = state.borrow_mut();
+                    let rt = st.route.as_mut().expect("shard state always has a route");
+                    for (dest, msgs) in rt.outbox.iter_mut().enumerate() {
+                        if !msgs.is_empty() {
+                            sync.inboxes[dest]
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .append(msgs);
+                        }
+                    }
+                }
+                if sync.barrier.wait().is_err() {
+                    std::panic::panic_any(SHARD_DEAD);
+                }
+                // Phase 2: drain our inbox, publish our next-event time.
+                {
+                    let mut st = state.borrow_mut();
+                    let mut inbox = sync.inboxes[me as usize]
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner());
+                    for (k, payload) in inbox.drain(..) {
+                        st.heap.push(k, payload);
+                    }
+                    drop(inbox);
+                    let local_min = st.heap.peek_time().map_or(u64::MAX, |t| t.as_nanos());
+                    sync.global_min.fetch_min(local_min, Ordering::SeqCst);
+                }
+                if sync.barrier.wait().is_err() {
+                    std::panic::panic_any(SHARD_DEAD);
+                }
+                // Phase 3: process strictly below the shared horizon.
+                let g = sync.global_min.load(Ordering::SeqCst);
+                if g == u64::MAX {
+                    // No event in any heap, inbox or outbox: done.
+                    break;
+                }
+                let horizon = SimTime(g) + hop;
+                loop {
+                    let popped = state.borrow_mut().pop_due(Some(horizon));
+                    let Some((k, payload)) = popped else { break };
+                    fire_event(
+                        &state,
+                        k,
+                        payload,
+                        &mut store,
+                        &mut results,
+                        local_of[k.actor.0],
+                        &mut cx,
+                    );
+                }
+                if sync.barrier.wait().is_err() {
+                    std::panic::panic_any(SHARD_DEAD);
+                }
+            }
+        }
+    }
+
+    let blocked = store.live_count();
+    drop(store);
+    let mut st = Rc::try_unwrap(state)
+        .ok()
+        .expect("actor contexts outlived the simulation")
+        .into_inner();
+    if let Some(rt) = &st.route {
+        debug_assert!(
+            rt.outbox.iter().all(|o| o.is_empty()),
+            "shard finished with unsent cross-shard messages"
+        );
+    }
+    ShardOutcome {
+        models: std::mem::take(&mut st.models),
+        local_parts,
+        results: actors.into_iter().zip(results).collect(),
+        end_time: st.end_time,
+        requests: st.requests,
+        events: st.events,
+        history: st.history.take(),
+        blocked,
+    }
+}
+
+/// Merge per-shard outcomes into one report: reassemble the model in
+/// partition order, scatter results back to global actor ids, sum counters,
+/// and fingerprint the merged observable history.
+fn merge_outcomes<M: ShardableModel, R>(
+    outcomes: Vec<ShardOutcome<M, R>>,
+    n: usize,
+    parts_total: usize,
+    record: bool,
+) -> SimReport<M, R> {
+    let blocked: usize = outcomes.iter().map(|o| o.blocked).sum();
+    assert!(
+        blocked == 0,
+        "deadlock: {blocked} live actors blocked with no pending events"
+    );
+    let mut parts: Vec<Option<M>> = (0..parts_total).map(|_| None).collect();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut end_time = SimTime::ZERO;
+    let mut requests = 0u64;
+    let mut events = 0u64;
+    let mut shard_events = Vec::with_capacity(outcomes.len());
+    let mut history: Vec<EventKey> = Vec::new();
+    for o in outcomes {
+        shard_events.push(o.events);
+        events += o.events;
+        requests += o.requests;
+        end_time = end_time.max(o.end_time);
+        for (&p, m) in o.local_parts.iter().zip(o.models) {
+            parts[p as usize] = Some(m);
+        }
+        for (a, r) in o.results {
+            results[a] = r;
+        }
+        if let Some(h) = o.history {
+            history.extend(h);
+        }
+    }
+    let model = M::merge(
+        parts
+            .into_iter()
+            .map(|p| p.expect("partition lost during merge"))
+            .collect(),
+    );
+    let history_hash = record.then(|| {
+        history.sort_unstable();
+        fnv1a_keys(&history)
+    });
+    SimReport {
+        model,
+        results: results
+            .into_iter()
+            .map(|r| r.expect("actor finished without producing a result"))
+            .collect(),
+        end_time,
+        requests,
+        events,
+        shard_events,
+        history_hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::FifoServer;
+    use crate::time::SimTime;
+    use rand::Rng;
+
+    /// A partition-separable model: one FIFO server per partition, requests
+    /// address a target partition explicitly. Splitting hands each sub-model
+    /// the real server of its own partition (the others stay fresh and, by
+    /// the routing contract, untouched).
+    struct PartEcho {
+        partitions: u32,
+        service: Duration,
+        servers: Vec<FifoServer>,
+        handled: Vec<u64>,
+    }
+
+    impl PartEcho {
+        fn new(partitions: u32, service_us: u64) -> Self {
+            PartEcho {
+                partitions,
+                service: Duration::from_micros(service_us),
+                servers: (0..partitions).map(|_| FifoServer::new()).collect(),
+                handled: vec![0; partitions as usize],
+            }
+        }
+    }
+
+    impl Model for PartEcho {
+        type Req = (u32, u32);
+        type Resp = (u32, SimTime);
+
+        fn handle(
+            &mut self,
+            now: SimTime,
+            _actor: ActorId,
+            req: (u32, u32),
+        ) -> (SimTime, Self::Resp) {
+            let p = req.0 as usize;
+            self.handled[p] += 1;
+            let (_, end) = self.servers[p].admit(now, self.service);
+            (end, (req.1, end))
+        }
+
+        fn partition_of(&self, req: &(u32, u32)) -> Option<u32> {
+            Some(req.0)
+        }
+    }
+
+    impl ShardableModel for PartEcho {
+        fn split(mut self, partitions: u32) -> Vec<Self> {
+            assert_eq!(partitions, self.partitions, "plan/model partition mismatch");
+            (0..partitions as usize)
+                .map(|p| {
+                    let mut servers: Vec<FifoServer> =
+                        (0..partitions).map(|_| FifoServer::new()).collect();
+                    std::mem::swap(&mut servers[p], &mut self.servers[p]);
+                    let mut handled = vec![0; partitions as usize];
+                    handled[p] = self.handled[p];
+                    PartEcho {
+                        partitions,
+                        service: self.service,
+                        servers,
+                        handled,
+                    }
+                })
+                .collect()
+        }
+
+        fn merge(parts: Vec<Self>) -> Self {
+            let partitions = parts.len() as u32;
+            let service = parts[0].service;
+            let mut servers = Vec::with_capacity(parts.len());
+            let mut handled = Vec::with_capacity(parts.len());
+            for (p, mut part) in parts.into_iter().enumerate() {
+                servers.push(std::mem::take(&mut part.servers[p]));
+                handled.push(part.handled[p]);
+            }
+            PartEcho {
+                partitions,
+                service,
+                servers,
+                handled,
+            }
+        }
+    }
+
+    type Obs = Vec<(u32, u64)>;
+
+    /// The workload used by the differential tests: a deterministic mix of
+    /// home and cross-partition calls, sleeps, and RNG draws, observed as
+    /// `(value, completion_nanos)` pairs.
+    fn mixed_body(
+        partitions: u32,
+        rounds: u32,
+    ) -> impl Fn(ActorCtx<PartEcho>) -> std::pin::Pin<Box<dyn Future<Output = Obs>>> + Sync {
+        move |ctx: ActorCtx<PartEcho>| {
+            Box::pin(async move {
+                let me = ctx.id().0 as u32;
+                let home = me % partitions;
+                let mut out = Vec::new();
+                for i in 0..rounds {
+                    // Cycle through every partition, starting at home.
+                    let target = (home + i) % partitions;
+                    let jitter: u64 = ctx.with_rng(|r| r.random_range(0..50));
+                    ctx.sleep(Duration::from_micros(jitter)).await;
+                    let (v, done) = ctx.call((target, me * 1000 + i)).await;
+                    out.push((v, done.as_nanos()));
+                }
+                out
+            })
+        }
+    }
+
+    fn report_fingerprint(
+        r: &SimReport<PartEcho, Obs>,
+    ) -> (Vec<Obs>, u64, u64, Vec<u64>, Option<u64>) {
+        (
+            r.results.clone(),
+            r.end_time.as_nanos(),
+            r.requests,
+            r.model.handled.clone(),
+            r.history_hash,
+        )
+    }
+
+    /// The pinned reference: serial executor under the plan's virtual
+    /// structure.
+    fn serial_reference(
+        plan: &ShardPlan,
+        actors: usize,
+        partitions: u32,
+        rounds: u32,
+    ) -> SimReport<PartEcho, Obs> {
+        Simulation::new(PartEcho::new(partitions, 300), 7)
+            .with_plan(plan)
+            .record_history()
+            .run_workers(actors, mixed_body(partitions, rounds))
+    }
+
+    fn sharded(plan: ShardPlan, partitions: u32, rounds: u32) -> SimReport<PartEcho, Obs> {
+        let actors = plan.actors();
+        assert_eq!(actors, plan.home.len());
+        ShardedSimulation::new(PartEcho::new(partitions, 300), 7, plan)
+            .record_history()
+            .run_workers(mixed_body(partitions, rounds))
+    }
+
+    #[test]
+    fn single_shard_inline_matches_serial() {
+        let plan = ShardPlan::striped(6, 3, 1).with_hop(Duration::from_millis(1));
+        let serial = serial_reference(&plan, 6, 3, 8);
+        let shd = sharded(plan, 3, 8);
+        assert_eq!(report_fingerprint(&serial), report_fingerprint(&shd));
+        assert_eq!(shd.shard_events, vec![shd.events]);
+    }
+
+    #[test]
+    fn windowed_multi_shard_matches_serial_bit_for_bit() {
+        let partitions = 4;
+        let actors = 8;
+        let rounds = 10;
+        let base = ShardPlan::striped(actors, partitions, 1).with_hop(Duration::from_millis(1));
+        let serial = serial_reference(&base, actors, partitions, rounds);
+        for shards in [2u32, 4] {
+            let shd = sharded(base.clone().with_shards(shards), partitions, rounds);
+            assert_eq!(
+                report_fingerprint(&serial),
+                report_fingerprint(&shd),
+                "observables diverged at {shards} shards"
+            );
+            assert_eq!(shd.shard_events.len(), shards as usize);
+            assert_eq!(shd.shard_events.iter().sum::<u64>(), serial.events);
+            assert!(shd.history_hash.is_some());
+        }
+    }
+
+    #[test]
+    fn free_run_striped_matches_serial() {
+        // One partition per actor and home-only calls: embarrassingly
+        // parallel, no hop, no barriers.
+        let actors = 8;
+        let partitions = actors as u32;
+        let base = ShardPlan::striped(actors, partitions, 1);
+        let body = |ctx: ActorCtx<PartEcho>| async move {
+            let home = ctx.id().0 as u32;
+            let mut acc = 0u64;
+            for i in 0..20u32 {
+                let (v, done) = ctx.call((home, i)).await;
+                acc = acc
+                    .wrapping_mul(31)
+                    .wrapping_add(v as u64 + done.as_nanos());
+            }
+            acc
+        };
+        let serial = Simulation::new(PartEcho::new(partitions, 300), 7)
+            .with_plan(&base)
+            .record_history()
+            .run_workers(actors, body);
+        let shd = ShardedSimulation::new(PartEcho::new(partitions, 300), 7, base.with_shards(4))
+            .record_history()
+            .run_workers(body);
+        assert_eq!(serial.results, shd.results);
+        assert_eq!(serial.end_time, shd.end_time);
+        assert_eq!(serial.history_hash, shd.history_hash);
+        assert_eq!(serial.model.handled, shd.model.handled);
+        assert_eq!(shd.shard_events.len(), 4);
+    }
+
+    #[test]
+    fn colocated_plan_with_idle_shards_matches_serial() {
+        // One partition, many shards: shards 1..3 own nothing and idle
+        // through the window protocol without perturbing the schedule.
+        let actors = 5;
+        let plan = ShardPlan {
+            partitions: 1,
+            home: vec![0; actors],
+            shards: 1,
+            placement: vec![0],
+            hop: None,
+        }
+        .with_shards(4)
+        .with_hop(Duration::from_millis(2));
+        let serial = serial_reference(&plan, actors, 1, 6);
+        let shd = sharded(plan, 1, 6);
+        assert_eq!(report_fingerprint(&serial), report_fingerprint(&shd));
+        // All events fired on shard 0.
+        assert_eq!(shd.shard_events[1..], [0, 0, 0]);
+    }
+
+    #[test]
+    fn colocated_constructor_is_serial() {
+        let plan = ShardPlan::colocated(3);
+        assert_eq!((plan.partitions, plan.shards), (1, 1));
+        let serial = serial_reference(&plan, 3, 1, 4);
+        let shd = sharded(plan, 1, 4);
+        assert_eq!(report_fingerprint(&serial), report_fingerprint(&shd));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom on shard 1")]
+    fn panic_in_one_shard_propagates_root_cause() {
+        let plan = ShardPlan::striped(4, 4, 2).with_hop(Duration::from_millis(1));
+        ShardedSimulation::new(PartEcho::new(4, 300), 7, plan).run_workers(
+            |ctx: ActorCtx<PartEcho>| async move {
+                let home = ctx.id().0 as u32 % 4;
+                for i in 0..5u32 {
+                    ctx.call(((home + i) % 4, i)).await;
+                    if ctx.id().0 == 1 && i == 3 {
+                        panic!("boom on shard 1");
+                    }
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock: 1 live actors blocked")]
+    fn sharded_deadlock_is_detected() {
+        let plan = ShardPlan::striped(4, 4, 2).with_hop(Duration::from_millis(1));
+        ShardedSimulation::new(PartEcho::new(4, 300), 7, plan).run_workers(
+            |ctx: ActorCtx<PartEcho>| async move {
+                if ctx.id().0 == 2 {
+                    std::future::pending::<()>().await;
+                }
+                ctx.call((ctx.id().0 as u32 % 4, 1)).await;
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-partition call on a plan with no lookahead hop")]
+    fn free_run_forbids_cross_partition_calls() {
+        let plan = ShardPlan::striped(4, 4, 2);
+        ShardedSimulation::new(PartEcho::new(4, 300), 7, plan).run_workers(
+            |ctx: ActorCtx<PartEcho>| async move {
+                let other = (ctx.id().0 as u32 + 1) % 4;
+                ctx.call((other, 0)).await;
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead hop must be positive")]
+    fn zero_hop_is_rejected() {
+        let _ = ShardPlan::striped(4, 4, 2).with_hop(Duration::ZERO);
+    }
+
+    #[test]
+    fn rng_streams_are_identical_at_every_shard_count() {
+        // Random draws are keyed by stable actor id, so the same seed gives
+        // the same per-actor draws regardless of placement.
+        let draws = |shards: u32| -> Vec<u64> {
+            let plan = ShardPlan::striped(8, 8, shards);
+            ShardedSimulation::new(PartEcho::new(8, 300), 99, plan)
+                .run_workers(|ctx: ActorCtx<PartEcho>| async move {
+                    ctx.call((ctx.id().0 as u32, 0)).await;
+                    ctx.with_rng(|r| r.random::<u64>())
+                })
+                .results
+        };
+        let one = draws(1);
+        assert_eq!(one, draws(2));
+        assert_eq!(one, draws(4));
+    }
+}

@@ -61,7 +61,7 @@
 //! real service completes in seconds of host time.
 
 use crate::heap::{EventHeap, EventKey};
-use crate::rng::stream_rng;
+use crate::rng::actor_rng;
 use crate::runtime::{ActorId, Model, SimReport};
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
@@ -110,6 +110,8 @@ struct CoordState<M: Model> {
     live: usize,
     end_time: SimTime,
     requests: u64,
+    /// Total events popped from the heap.
+    events: u64,
     /// Set on the first panic; all subsequent activity unwinds.
     dead: bool,
 }
@@ -157,6 +159,7 @@ impl<M: Model> Shared<M> {
             }
             let (k, payload) = st.heap.pop().expect("peeked event vanished");
             st.end_time = k.time;
+            st.events += 1;
             let a = k.actor.0;
             match payload {
                 Payload::Arrival(req) => {
@@ -392,6 +395,7 @@ impl<M: Model> ThreadedSimulation<M> {
                 live: n,
                 end_time: SimTime::ZERO,
                 requests: 0,
+                events: 0,
                 dead: false,
             }),
             cvars: (0..n).map(|_| Condvar::new()).collect(),
@@ -407,7 +411,7 @@ impl<M: Model> ThreadedSimulation<M> {
                     now: Cell::new(0),
                     calls: Cell::new(0),
                     shared: Arc::clone(&shared),
-                    rng: RefCell::new(stream_rng(seed, i as u64)),
+                    rng: RefCell::new(actor_rng(seed, ActorId(i))),
                 };
                 handles.push(s.spawn(move || {
                     let _guard = FinishGuard {
@@ -441,6 +445,9 @@ impl<M: Model> ThreadedSimulation<M> {
                 .collect(),
             end_time: st.end_time,
             requests: st.requests,
+            events: st.events,
+            shard_events: vec![st.events],
+            history_hash: None,
         }
     }
 }

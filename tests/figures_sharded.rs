@@ -1,0 +1,126 @@
+//! Integration: the sharded executor is observably invisible.
+//!
+//! The contract (see `azsim-core`'s `shard` module and DESIGN.md): at every
+//! shard count, the sharded executor reproduces the serial executor's
+//! `(time, actor, seq)` event history bit for bit — so every figure CSV,
+//! every metric, and every history fingerprint in the suite is identical
+//! whether the simulation ran on one thread or eight. These tests pin that
+//! contract at the outermost layer, the figure harness itself.
+
+use azsim_client::VirtualEnv;
+use azsim_core::shard::{ShardPlan, ShardedSimulation};
+use azsim_core::Simulation;
+use azsim_fabric::Cluster;
+use azurebench::{alg1_blob, alg3_queue, alg4_queue, alg5_table, fig9, fleet, BenchConfig};
+
+/// All 15 committed figure CSVs at one shard count.
+fn figure_csvs(cfg: &BenchConfig) -> Vec<(String, String)> {
+    let blob = alg1_blob::figures_4_and_5(cfg);
+    let f6 = alg3_queue::figure_6(cfg);
+    let f7 = alg4_queue::figure_7(cfg);
+    let f8 = alg5_table::figure_8(cfg);
+    let f9 = fig9::figure_9(cfg);
+    blob.iter()
+        .chain(&f6)
+        .chain(&f7)
+        .chain(&f8)
+        .chain([&f9])
+        .map(|f| (f.id.clone(), f.to_csv()))
+        .collect()
+}
+
+#[test]
+fn all_figure_csvs_are_bit_identical_at_every_shard_count() {
+    let base = BenchConfig::paper()
+        .with_scale(0.01)
+        .with_workers(vec![1, 4]);
+    let serial = figure_csvs(&base);
+    assert_eq!(serial.len(), 15, "expected the full 15-figure suite");
+    for shards in [2u32, 4] {
+        let sharded = figure_csvs(&base.clone().with_shards(shards));
+        for ((id_a, csv_a), (id_b, csv_b)) in serial.iter().zip(&sharded) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(
+                csv_a, csv_b,
+                "{id_a} CSV changed between --shards 1 and --shards {shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_history_fingerprint_is_identical_at_every_shard_count() {
+    // Below the CSV layer: the full (time, actor, seq) event multiset of a
+    // mixed queue workload over the coupled single-account Cluster, hashed.
+    let body = |ctx: azsim_core::runtime::ActorCtx<Cluster>| async move {
+        let env = VirtualEnv::new(&ctx);
+        let q = azsim_client::QueueClient::new(&env, format!("h{}", ctx.id().0 % 3));
+        q.create().await.unwrap();
+        for i in 0..12u32 {
+            let jitter: u64 = ctx.with_rng(|r| rand::Rng::random_range(r, 0..10_000));
+            ctx.sleep(std::time::Duration::from_micros(jitter)).await;
+            q.put_message(bytes::Bytes::from(i.to_le_bytes().to_vec()))
+                .await
+                .unwrap();
+            if let Some(m) = q.get_message().await.unwrap() {
+                q.delete_message(&m).await.unwrap();
+            }
+        }
+        ctx.now()
+    };
+    let serial = Simulation::new(Cluster::with_defaults(), 77)
+        .record_history()
+        .run_workers(6, body);
+    assert!(serial.history_hash.is_some());
+    for shards in [2u32, 4] {
+        let plan = ShardPlan::colocated(6).with_shards(shards);
+        let shd = ShardedSimulation::new(Cluster::with_defaults(), 77, plan)
+            .record_history()
+            .run_workers(body);
+        assert_eq!(serial.history_hash, shd.history_hash);
+        assert_eq!(serial.results, shd.results);
+        assert_eq!(serial.end_time, shd.end_time);
+        assert_eq!(serial.requests, shd.requests);
+        assert_eq!(
+            serial.model.metrics().total_completed(),
+            shd.model.metrics().total_completed()
+        );
+    }
+}
+
+#[test]
+fn fleet_figure_is_bit_identical_and_actually_crosses_tenants() {
+    // The fleet scenario is the one where shards genuinely run in parallel
+    // and exchange messages under lookahead windows — the strongest
+    // exercise of the conservative sync protocol.
+    let base = BenchConfig::quick().with_scale(0.02);
+    let serial = fleet::figure_fleet(&base);
+    for shards in [2u32, 4] {
+        let sharded = fleet::figure_fleet(&base.clone().with_shards(shards));
+        assert_eq!(serial.len(), sharded.len());
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert_eq!(
+                a.to_csv(),
+                b.to_csv(),
+                "fleet CSV changed at --shards {shards}"
+            );
+        }
+    }
+    // The workload must exercise the cross-partition path, or the parity
+    // above proves nothing about windowed synchronization.
+    let r = fleet::run_fleet(&base, 4, 2);
+    assert!(r.cross_ops > 0, "fleet workload never crossed tenants");
+}
+
+#[test]
+fn fleet_windows_really_run_on_every_shard() {
+    // Guard against a regression where the sharded path silently degrades
+    // to everything-on-shard-0: with 4 tenants striped over 4 shards, every
+    // shard must process events.
+    let cfg = BenchConfig::quick().with_scale(0.02).with_shards(4);
+    let r = fleet::run_fleet(&cfg, 4, 2);
+    assert_eq!(r.shard_events.len(), 4);
+    for (shard, events) in r.shard_events.iter().enumerate() {
+        assert!(*events > 0, "shard {shard} processed no events");
+    }
+}
