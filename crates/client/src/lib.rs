@@ -13,10 +13,14 @@
 //! * [`live::LiveEnv`] runs against the very same [`azsim_fabric::Cluster`]
 //!   in real (optionally time-scaled) wall-clock time — its futures are
 //!   already complete when returned, so drive them with
-//!   [`azsim_core::block_on`] (the mode the interactive examples use).
+//!   [`azsim_core::block_on`] (the mode the interactive examples use);
+//! * [`file::FileEnv`] runs against an actual filesystem directory — the
+//!   `file://` live backend that validates the client stack against a
+//!   real storage medium instead of the simulated cluster.
 
 pub mod blob;
 pub mod env;
+pub mod file;
 pub mod idempotent;
 pub mod live;
 pub mod queue;
@@ -26,6 +30,7 @@ pub mod table;
 
 pub use blob::BlobClient;
 pub use env::{Environment, FleetEnv, VirtualEnv};
+pub use file::{FileEnv, FileStore};
 pub use idempotent::{delete_message_checked, insert_idempotent, update_idempotent, OP_MARKER};
 pub use live::{LiveCluster, LiveEnv};
 pub use queue::QueueClient;

@@ -63,7 +63,9 @@ pub enum ErrorClass {
 /// Classify an error for retry purposes.
 pub fn classify(err: &StorageError) -> ErrorClass {
     match err {
-        StorageError::ServerBusy { .. } | StorageError::ServerFault { .. } => ErrorClass::Transient,
+        StorageError::ServerBusy { .. }
+        | StorageError::SlowDown { .. }
+        | StorageError::ServerFault { .. } => ErrorClass::Transient,
         StorageError::Timeout { .. } => ErrorClass::Ambiguous,
         _ => ErrorClass::Permanent,
     }

@@ -46,9 +46,14 @@ impl RetryPolicy {
         loop {
             attempt += 1;
             match env.execute(req.clone()).await {
-                Err(StorageError::ServerBusy { retry_after }) if attempt < self.max_attempts => {
+                Err(
+                    StorageError::ServerBusy { retry_after }
+                    | StorageError::SlowDown { retry_after },
+                ) if attempt < self.max_attempts => {
                     // Sleep at least the configured backoff, but honour a
-                    // longer server-provided hint.
+                    // longer server-provided hint (for `SlowDown` the hint
+                    // escalates with consecutive rejections, so obeying it
+                    // is what drains the pushback).
                     env.sleep(self.backoff.max(retry_after)).await;
                 }
                 other => return other,

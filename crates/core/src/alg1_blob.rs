@@ -21,7 +21,6 @@ use crate::payload::PayloadGen;
 use crate::report::{Figure, Series};
 use azsim_client::{BlobClient, Environment, VirtualEnv};
 use azsim_core::SimTime;
-use azsim_fabric::Cluster;
 use azsim_framework::QueueBarrier;
 use std::time::Duration;
 
@@ -98,7 +97,7 @@ pub fn run_alg1(cfg: &BenchConfig, workers: usize) -> Vec<(BlobPhase, PhaseAggre
 
     let report = crate::exec::run_cluster_workers(
         cfg,
-        Cluster::new(cfg.params.clone()),
+        crate::exec::build_cluster(cfg),
         workers,
         move |ctx| async move {
             let env = VirtualEnv::new(&ctx);

@@ -15,7 +15,6 @@ use crate::config::BenchConfig;
 use crate::payload::PayloadGen;
 use crate::report::{Figure, Series};
 use azsim_client::{Environment, QueueClient, VirtualEnv};
-use azsim_fabric::Cluster;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -57,7 +56,7 @@ pub fn run_alg3(cfg: &BenchConfig, workers: usize) -> Alg3Result {
 
     let report = crate::exec::run_cluster_workers(
         cfg,
-        Cluster::new(cfg.params.clone()),
+        crate::exec::build_cluster(cfg),
         workers,
         move |ctx| {
             let sizes = sizes.clone();

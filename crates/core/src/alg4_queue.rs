@@ -40,7 +40,7 @@ pub fn run_alg4(cfg: &BenchConfig, workers: usize) -> Alg4Result {
 
     let report = crate::exec::run_cluster_workers(
         cfg,
-        Cluster::new(cfg.params.clone()),
+        crate::exec::build_cluster(cfg),
         workers,
         move |ctx| {
             let think_times = think_times.clone();

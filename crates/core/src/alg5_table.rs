@@ -15,7 +15,6 @@ use crate::config::BenchConfig;
 use crate::payload::PayloadGen;
 use crate::report::{Figure, Series};
 use azsim_client::{Environment, TableClient, VirtualEnv};
-use azsim_fabric::Cluster;
 use azsim_storage::{Entity, PropValue};
 use std::collections::HashMap;
 
@@ -68,7 +67,7 @@ pub fn run_alg5(cfg: &BenchConfig, workers: usize) -> Alg5Result {
 
     let report = crate::exec::run_cluster_workers(
         cfg,
-        Cluster::new(cfg.params.clone()),
+        crate::exec::build_cluster(cfg),
         workers,
         move |ctx| {
             let sizes = sizes.clone();

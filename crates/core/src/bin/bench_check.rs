@@ -5,21 +5,38 @@
 //! ```
 //!
 //! Compares the `engine` section of two `figures bench` exports: for every
-//! `(actors, shards)` pair present in the baseline (rows without a
-//! `shards` key count as `shards = 1`, so pre-sharding baselines still
-//! compare), the candidate's `ops_per_second` must stay above
-//! `baseline * (1 - max_regression)` (default 0.25, i.e. fail on a >25 %
-//! drop). Ladder rungs present only in the candidate (new actor counts,
-//! new shard counts) pass freely — the gate never blocks ladder growth.
+//! `(backend, actors, shards)` triple present in the baseline (rows
+//! without a `shards` key count as `shards = 1` and rows without a
+//! `backend` key count as the `was` reference, so pre-sharding and
+//! pre-multi-backend baselines still compare), the candidate's
+//! `ops_per_second` must stay above `baseline * (1 - max_regression)`
+//! (default 0.25, i.e. fail on a >25 % drop).
+//!
+//! New *actor counts* on a known `(backend, shards)` combination pass
+//! freely — the gate never blocks ladder growth. A candidate row naming a
+//! `(backend, shards)` **combination** the baseline has never seen is an
+//! error, not a silent pass: it means the bench ran against a
+//! configuration nobody has baselined (wrong `--backend` flag, stale
+//! baseline after a shard-ladder change), and letting it through would
+//! report "OK" while gating nothing.
+//!
 //! Wall-clock figures vary with machine load, so only the engine
 //! micro-benchmark — not the figure-suite timings — gates. Exit code 0
 //! means no regression; violations print per-row deltas and exit
 //! non-zero.
 
 use serde::value::{find, parse, Value};
+use std::collections::BTreeSet;
+
+/// The backend assumed for rows that predate the multi-backend export.
+const DEFAULT_BACKEND: &str = "was";
 
 /// One `engine` row from a `BENCH_engine.json`.
+#[derive(Debug, Clone, PartialEq)]
 struct EngineRow {
+    /// Storage backend the bench ran against (`was` when the row predates
+    /// the multi-backend export and has no such key).
+    backend: String,
     actors: u64,
     /// Executor shard count (`1` when the row predates the sharded
     /// executor and has no such key).
@@ -38,31 +55,93 @@ fn load(path: &str) -> Value {
     })
 }
 
-fn engine_rows(doc: &Value, path: &str) -> Vec<EngineRow> {
+fn engine_rows(doc: &Value) -> Option<Vec<EngineRow>> {
     let rows = doc
         .as_object()
         .and_then(|m| find(m, "engine"))
-        .and_then(|v| v.as_array())
-        .unwrap_or_else(|| {
-            eprintln!("error: {path} has no `engine` array");
-            std::process::exit(2);
-        });
-    rows.iter()
-        .filter_map(|row| {
-            let m = row.as_object()?;
-            let num = |key: &str| {
-                find(m, key).and_then(|v| match v {
-                    Value::Num(n) => n.parse::<f64>().ok(),
-                    _ => None,
+        .and_then(|v| v.as_array())?;
+    Some(
+        rows.iter()
+            .filter_map(|row| {
+                let m = row.as_object()?;
+                let num = |key: &str| {
+                    find(m, key).and_then(|v| match v {
+                        Value::Num(n) => n.parse::<f64>().ok(),
+                        _ => None,
+                    })
+                };
+                let backend = match find(m, "backend") {
+                    Some(Value::Str(s)) => s.to_ascii_lowercase(),
+                    _ => DEFAULT_BACKEND.to_owned(),
+                };
+                Some(EngineRow {
+                    backend,
+                    actors: num("actors")? as u64,
+                    shards: num("shards").map_or(1, |s| s as u64),
+                    ops_per_second: num("ops_per_second")?,
                 })
-            };
-            Some(EngineRow {
-                actors: num("actors")? as u64,
-                shards: num("shards").map_or(1, |s| s as u64),
-                ops_per_second: num("ops_per_second")?,
             })
-        })
-        .collect()
+            .collect(),
+    )
+}
+
+/// The whole comparison, separated from I/O so it is unit-testable:
+/// returns the per-row report lines and the failure count.
+fn check(
+    baseline: &[EngineRow],
+    candidate: &[EngineRow],
+    max_regression: f64,
+) -> (Vec<String>, usize) {
+    let mut lines = Vec::new();
+    let mut failures = 0usize;
+
+    for b in baseline {
+        let Some(c) = candidate
+            .iter()
+            .find(|c| c.backend == b.backend && c.actors == b.actors && c.shards == b.shards)
+        else {
+            lines.push(format!(
+                "bench_check: candidate missing row for [{}] {} actors x {} shard(s)",
+                b.backend, b.actors, b.shards
+            ));
+            failures += 1;
+            continue;
+        };
+        let floor = b.ops_per_second * (1.0 - max_regression);
+        let delta = (c.ops_per_second - b.ops_per_second) / b.ops_per_second * 100.0;
+        let verdict = if c.ops_per_second < floor {
+            failures += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        lines.push(format!(
+            "bench_check: [{}] {:>6} actors x {} shard(s): baseline {:>12.0} ops/s, candidate {:>12.0} ops/s ({delta:+.1}%) {verdict}",
+            b.backend, b.actors, b.shards, b.ops_per_second, c.ops_per_second
+        ));
+    }
+
+    // New actor counts on a known (backend, shards) combination are
+    // ladder growth and pass freely; an unknown combination means the
+    // candidate measured a configuration the baseline has never seen,
+    // which must not silently count as "no regression".
+    let known: BTreeSet<(&str, u64)> = baseline
+        .iter()
+        .map(|b| (b.backend.as_str(), b.shards))
+        .collect();
+    for c in candidate {
+        if !known.contains(&(c.backend.as_str(), c.shards)) {
+            lines.push(format!(
+                "bench_check: candidate row [{}] {} actors x {} shard(s) names a \
+                 backend/shards combination absent from the baseline — re-baseline \
+                 or fix the bench configuration",
+                c.backend, c.actors, c.shards
+            ));
+            failures += 1;
+        }
+    }
+
+    (lines, failures)
 }
 
 fn main() {
@@ -81,43 +160,27 @@ fn main() {
         })
         .unwrap_or(0.25);
 
-    let baseline = engine_rows(&load(&args[0]), &args[0]);
-    let candidate = engine_rows(&load(&args[1]), &args[1]);
+    let baseline = engine_rows(&load(&args[0])).unwrap_or_else(|| {
+        eprintln!("error: {} has no `engine` array", args[0]);
+        std::process::exit(2);
+    });
+    let candidate = engine_rows(&load(&args[1])).unwrap_or_else(|| {
+        eprintln!("error: {} has no `engine` array", args[1]);
+        std::process::exit(2);
+    });
     if baseline.is_empty() {
         eprintln!("error: {} has no engine rows", args[0]);
         std::process::exit(2);
     }
 
-    let mut failures = 0usize;
-    for b in &baseline {
-        let Some(c) = candidate
-            .iter()
-            .find(|c| c.actors == b.actors && c.shards == b.shards)
-        else {
-            eprintln!(
-                "bench_check: candidate missing row for {} actors x {} shard(s)",
-                b.actors, b.shards
-            );
-            failures += 1;
-            continue;
-        };
-        let floor = b.ops_per_second * (1.0 - max_regression);
-        let delta = (c.ops_per_second - b.ops_per_second) / b.ops_per_second * 100.0;
-        let verdict = if c.ops_per_second < floor {
-            failures += 1;
-            "REGRESSION"
-        } else {
-            "ok"
-        };
-        println!(
-            "bench_check: {:>6} actors x {} shard(s): baseline {:>12.0} ops/s, candidate {:>12.0} ops/s ({delta:+.1}%) {verdict}",
-            b.actors, b.shards, b.ops_per_second, c.ops_per_second
-        );
+    let (lines, failures) = check(&baseline, &candidate, max_regression);
+    for line in &lines {
+        println!("{line}");
     }
 
     if failures > 0 {
         eprintln!(
-            "bench_check: {failures} regression(s) beyond {:.0}% tolerance",
+            "bench_check: {failures} failure(s) beyond {:.0}% tolerance",
             max_regression * 100.0
         );
         std::process::exit(1);
@@ -127,4 +190,100 @@ fn main() {
         baseline.len(),
         max_regression * 100.0
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(backend: &str, actors: u64, shards: u64, ops: f64) -> EngineRow {
+        EngineRow {
+            backend: backend.to_owned(),
+            actors,
+            shards,
+            ops_per_second: ops,
+        }
+    }
+
+    #[test]
+    fn rows_without_backend_or_shards_default_to_the_reference() {
+        let doc = parse(
+            br#"{"engine": [
+                {"actors": 100, "ops_per_second": 5000.0},
+                {"backend": "s3", "actors": 100, "shards": 4, "ops_per_second": 4000.0}
+            ]}"#,
+        )
+        .unwrap();
+        let rows = engine_rows(&doc).unwrap();
+        assert_eq!(rows[0], row(DEFAULT_BACKEND, 100, 1, 5000.0));
+        assert_eq!(rows[1], row("s3", 100, 4, 4000.0));
+    }
+
+    #[test]
+    fn matching_rows_within_tolerance_pass() {
+        let base = [row("was", 100, 1, 1000.0)];
+        let cand = [row("was", 100, 1, 800.0)];
+        let (lines, failures) = check(&base, &cand, 0.25);
+        assert_eq!(failures, 0, "{lines:?}");
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = [row("was", 100, 1, 1000.0)];
+        let cand = [row("was", 100, 1, 700.0)];
+        let (lines, failures) = check(&base, &cand, 0.25);
+        assert_eq!(failures, 1);
+        assert!(lines.iter().any(|l| l.contains("REGRESSION")), "{lines:?}");
+    }
+
+    #[test]
+    fn missing_candidate_row_fails() {
+        let base = [row("was", 100, 1, 1000.0), row("was", 200, 1, 1500.0)];
+        let cand = [row("was", 100, 1, 1000.0)];
+        let (_, failures) = check(&base, &cand, 0.25);
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn ladder_growth_on_a_known_combination_passes_freely() {
+        let base = [row("was", 100, 1, 1000.0)];
+        // New actor count, same (backend, shards): growth, not an error.
+        let cand = [row("was", 100, 1, 1000.0), row("was", 400, 1, 2000.0)];
+        let (lines, failures) = check(&base, &cand, 0.25);
+        assert_eq!(failures, 0, "{lines:?}");
+    }
+
+    #[test]
+    fn unknown_backend_combination_is_an_error_not_a_silent_pass() {
+        let base = [row("was", 100, 1, 1000.0)];
+        let cand = [row("was", 100, 1, 1000.0), row("gcs", 100, 1, 900.0)];
+        let (lines, failures) = check(&base, &cand, 0.25);
+        assert_eq!(failures, 1);
+        assert!(
+            lines.iter().any(|l| l.contains("absent from the baseline")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_shard_combination_is_an_error_too() {
+        let base = [row("was", 100, 1, 1000.0), row("was", 100, 2, 1800.0)];
+        let cand = [
+            row("was", 100, 1, 1000.0),
+            row("was", 100, 2, 1800.0),
+            row("was", 100, 8, 4000.0),
+        ];
+        let (_, failures) = check(&base, &cand, 0.25);
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn backend_names_are_matched_case_insensitively_at_parse_time() {
+        // `figures bench` serializes the serde-derived variant name
+        // (`"Was"`); the hand-written history/config lines use lowercase.
+        // Parsing folds both onto the lowercase profile name.
+        let doc = parse(br#"{"engine": [{"backend": "Was", "actors": 1, "ops_per_second": 1.0}]}"#)
+            .unwrap();
+        assert_eq!(engine_rows(&doc).unwrap()[0].backend, "was");
+    }
 }

@@ -45,6 +45,7 @@
 //! `BENCH_engine.json`, and appends one JSON line per run to
 //! `BENCH_history.jsonl` so engine throughput is tracked over time.
 
+use azsim_fabric::BackendKind;
 use azurebench::{
     alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, verify, BenchConfig, Figure,
 };
@@ -59,6 +60,7 @@ struct Args {
     csv_dir: Option<String>,
     threads: usize,
     shards: u32,
+    backends: Vec<BackendKind>,
     timeline: bool,
     extrapolate: bool,
     verify_seeds: usize,
@@ -75,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir: None,
         threads: 0,
         shards: 1,
+        backends: vec![BackendKind::Was],
         timeline: false,
         extrapolate: false,
         verify_seeds: 50,
@@ -111,6 +114,25 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                let mut kinds = Vec::new();
+                for tok in v.split(',') {
+                    if tok == "all" {
+                        kinds.extend(BackendKind::ALL);
+                    } else {
+                        kinds.push(
+                            BackendKind::parse(tok)
+                                .ok_or_else(|| format!("unknown backend {tok:?}"))?,
+                        );
+                    }
+                }
+                if kinds.is_empty() {
+                    return Err("--backend needs at least one backend".into());
+                }
+                kinds.dedup();
+                args.backends = kinds;
+            }
             "--timeline" => args.timeline = true,
             "--extrapolate" => args.extrapolate = true,
             "--verify-seeds" => {
@@ -126,12 +148,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn emit(figures: &[Figure], csv_dir: &Option<String>) {
+/// Write one CSV per figure, suffixing the file name with the backend
+/// (`sfx` is empty for `was`, so the 15 Azure goldens keep their names).
+fn emit(figures: &[Figure], csv_dir: &Option<String>, sfx: &str) {
     for f in figures {
         println!("{}", f.render_table());
         if let Some(dir) = csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = format!("{dir}/{}.csv", f.id);
+            let path = format!("{dir}/{}{sfx}.csv", f.id);
             let mut file = std::fs::File::create(&path).expect("create csv");
             file.write_all(f.to_csv().as_bytes()).expect("write csv");
             eprintln!("wrote {path}");
@@ -152,6 +176,7 @@ fn main() {
             "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|\
              bottleneck|chaos|fleet|verify|bench|all]... \
              [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--shards N] \
+             [--backend was,s3,gcs,file|all] \
              [--timeline] [--extrapolate] [--verify-seeds N] [--naive] [--expect-violation]"
         );
         std::process::exit(2);
@@ -174,11 +199,16 @@ fn main() {
         cfg.params.timeline_resolution = Some(azurebench::timeline::DEFAULT_RESOLUTION);
     }
     eprintln!(
-        "# AzureBench figures — scale {}, workers {:?}, seed {}, shards {}{}",
+        "# AzureBench figures — scale {}, workers {:?}, seed {}, shards {}, backends [{}]{}",
         cfg.scale,
         cfg.workers,
         cfg.seed,
         cfg.shards,
+        args.backends
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", "),
         if args.timeline {
             ", timeline sampling ON"
         } else {
@@ -186,6 +216,25 @@ fn main() {
         }
     );
 
+    // One full pass per selected backend. `was` keeps the unsuffixed
+    // output names (the committed goldens); peers suffix every artifact
+    // with `-{backend}` so one run can emit all four side by side.
+    for &kind in &args.backends {
+        if args.backends.len() > 1 {
+            eprintln!("# ---- backend: {kind} ----");
+        }
+        run_targets(&args, cfg.clone().with_backend(kind), kind);
+    }
+}
+
+/// Run every requested target once, against one backend.
+fn run_targets(args: &Args, cfg: BenchConfig, kind: BackendKind) {
+    let sfx = if kind == BackendKind::Was {
+        String::new()
+    } else {
+        format!("-{}", kind.name())
+    };
+    let sfx = sfx.as_str();
     let want = |t: &str| args.targets.iter().any(|x| x == t || x == "all");
 
     if want("table1") {
@@ -201,29 +250,29 @@ fn main() {
         let (fig4, fig5): (Vec<Figure>, Vec<Figure>) =
             figs.into_iter().partition(|f| f.id.starts_with("fig4"));
         if want("fig4") {
-            emit(&fig4, &args.csv_dir);
+            emit(&fig4, &args.csv_dir, sfx);
         }
         if want("fig5") {
-            emit(&fig5, &args.csv_dir);
+            emit(&fig5, &args.csv_dir, sfx);
         }
     }
     if want("fig6") {
         let t = Instant::now();
         let figs = alg3_queue::figure_6(&cfg);
         eprintln!("# alg3 (queue, separate) swept in {:.1?}", t.elapsed());
-        emit(&figs, &args.csv_dir);
+        emit(&figs, &args.csv_dir, sfx);
     }
     if want("fig7") {
         let t = Instant::now();
         let figs = alg4_queue::figure_7(&cfg);
         eprintln!("# alg4 (queue, shared) swept in {:.1?}", t.elapsed());
-        emit(&figs, &args.csv_dir);
+        emit(&figs, &args.csv_dir, sfx);
     }
     if want("fig8") {
         let t = Instant::now();
         let figs = alg5_table::figure_8(&cfg);
         eprintln!("# alg5 (table) swept in {:.1?}", t.elapsed());
-        emit(&figs, &args.csv_dir);
+        emit(&figs, &args.csv_dir, sfx);
     }
     if want("latency") {
         let t = Instant::now();
@@ -238,7 +287,7 @@ fn main() {
         let t = Instant::now();
         let fig = fig9::figure_9(&cfg);
         eprintln!("# fig9 (per-op) swept in {:.1?}", t.elapsed());
-        emit(std::slice::from_ref(&fig), &args.csv_dir);
+        emit(std::slice::from_ref(&fig), &args.csv_dir, sfx);
         if args.extrapolate {
             let t = Instant::now();
             let fig = fig9::figure_9_extrapolated(&cfg);
@@ -247,7 +296,7 @@ fn main() {
                 fig9::EXTRAPOLATE_WORKERS,
                 t.elapsed()
             );
-            emit(std::slice::from_ref(&fig), &args.csv_dir);
+            emit(std::slice::from_ref(&fig), &args.csv_dir, sfx);
         }
     }
     if want("profile") {
@@ -260,10 +309,10 @@ fn main() {
         );
         let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
         std::fs::create_dir_all(&dir).expect("create profile dir");
-        let json_path = format!("{dir}/profile.json");
+        let json_path = format!("{dir}/profile{sfx}.json");
         std::fs::write(&json_path, report.to_json()).expect("write profile.json");
         eprintln!("wrote {json_path}");
-        let prom_path = format!("{dir}/profile.prom");
+        let prom_path = format!("{dir}/profile{sfx}.prom");
         std::fs::write(&prom_path, report.to_prometheus()).expect("write profile.prom");
         eprintln!("wrote {prom_path}");
     }
@@ -277,12 +326,12 @@ fn main() {
         );
         let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
         std::fs::create_dir_all(&dir).expect("create timeline dir");
-        for (name, body) in [
-            ("timeline.json", report.to_json()),
-            ("timeline.csv", report.to_csv()),
-            ("trace.json", report.to_chrome_trace()),
+        for (name, ext, body) in [
+            ("timeline", "json", report.to_json()),
+            ("timeline", "csv", report.to_csv()),
+            ("trace", "json", report.to_chrome_trace()),
         ] {
-            let path = format!("{dir}/{name}");
+            let path = format!("{dir}/{name}{sfx}.{ext}");
             std::fs::write(&path, body).expect("write timeline export");
             eprintln!("wrote {path}");
         }
@@ -297,10 +346,10 @@ fn main() {
         println!("{}", report.render_markdown());
         let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
         std::fs::create_dir_all(&dir).expect("create bottleneck dir");
-        let json_path = format!("{dir}/bottlenecks.json");
+        let json_path = format!("{dir}/bottlenecks{sfx}.json");
         std::fs::write(&json_path, report.to_json()).expect("write bottlenecks.json");
         eprintln!("wrote {json_path}");
-        let md_path = format!("{dir}/bottlenecks.md");
+        let md_path = format!("{dir}/bottlenecks{sfx}.md");
         std::fs::write(&md_path, report.render_markdown()).expect("write bottlenecks.md");
         eprintln!("wrote {md_path}");
     }
@@ -308,7 +357,7 @@ fn main() {
         let t = Instant::now();
         let figs = chaos::figure_chaos(&cfg, 8, &[0.0, 0.25, 0.5, 0.75, 1.0]);
         eprintln!("# chaos (fault injection) swept in {:.1?}", t.elapsed());
-        emit(&figs, &args.csv_dir);
+        emit(&figs, &args.csv_dir, sfx);
     }
     // `fleet` is opt-in only (not part of `all`): it is this
     // reproduction's own scaling scenario, not a paper figure.
@@ -316,17 +365,17 @@ fn main() {
         let t = Instant::now();
         let figs = azurebench::fleet::figure_fleet(&cfg);
         eprintln!("# fleet (multi-tenant) swept in {:.1?}", t.elapsed());
-        emit(&figs, &args.csv_dir);
+        emit(&figs, &args.csv_dir, sfx);
     }
     // `verify` is opt-in only (not part of `all`): it runs the resilience
     // chaos search, not a figure, and its exit code reports the verdict.
     if args.targets.iter().any(|t| t == "verify") {
-        run_verify_target(&args);
+        run_verify_target(args, kind, sfx);
     }
     // `bench` is opt-in only (not part of `all`): it re-runs the figure
     // suite purely for timing and writes BENCH_engine.json.
     if args.targets.iter().any(|t| t == "bench") {
-        run_bench(&cfg, &args.csv_dir);
+        run_bench(&cfg, &args.csv_dir, kind, sfx);
     }
 }
 
@@ -335,10 +384,11 @@ fn main() {
 /// policy, or a violation found when `--expect-violation` was given);
 /// 1 = unexpected outcome. On violation, the shrunk reproducer is written
 /// as `repro-<policy>.json`.
-fn run_verify_target(args: &Args) {
+fn run_verify_target(args: &Args, kind: BackendKind, sfx: &str) {
     let vcfg = verify::VerifyConfig {
         seed: args.seed.unwrap_or(2012),
         hardened: !args.naive,
+        backend: kind,
         ..verify::VerifyConfig::quick(!args.naive)
     };
     let seeds: Vec<u64> = (0..args.verify_seeds as u64).collect();
@@ -378,7 +428,7 @@ fn run_verify_target(args: &Args) {
             let dir = args.csv_dir.clone().unwrap_or_else(|| "results".to_owned());
             std::fs::create_dir_all(&dir).expect("create repro dir");
             let path = format!(
-                "{dir}/repro-{}.json",
+                "{dir}/repro-{}{sfx}.json",
                 if vcfg.hardened { "hardened" } else { "naive" }
             );
             std::fs::write(&path, doc.to_json()).expect("write reproducer");
@@ -457,7 +507,8 @@ fn engine_ops(actors: usize, per_actor: u64, shards: u32) -> EngineRun {
 /// The `bench` target: engine micro-benchmark plus a timed pass over every
 /// figure at the current config, written as `BENCH_engine.json` (into the
 /// `--csv` directory if given, else the working directory).
-fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
+fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>, kind: BackendKind, sfx: &str) {
+    let backend = kind.name();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut lines = String::from("{\n");
 
@@ -502,8 +553,8 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
             .collect::<Vec<_>>()
             .join(", ");
         engines.push(format!(
-            "    {{ \"actors\": {actors}, \"shards\": {shards}, \"cores\": {cores}, \
-             \"simulated_ops\": {ops}, \"wall_seconds\": {wall:.6}, \
+            "    {{ \"backend\": \"{backend}\", \"actors\": {actors}, \"shards\": {shards}, \
+             \"cores\": {cores}, \"simulated_ops\": {ops}, \"wall_seconds\": {wall:.6}, \
              \"ops_per_second\": {rate:.1}, \"per_shard_events\": [{per_shard}] }}"
         ));
     }
@@ -536,15 +587,15 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
     lines.push_str(&timed.join(",\n"));
     lines.push_str("\n  ],\n");
     lines.push_str(&format!(
-        "  \"config\": {{ \"scale\": {}, \"workers\": {:?}, \"seed\": {}, \
-         \"sweep_threads\": {}, \"shards\": {}, \"cores\": {} }}\n",
+        "  \"config\": {{ \"backend\": \"{backend}\", \"scale\": {}, \"workers\": {:?}, \
+         \"seed\": {}, \"sweep_threads\": {}, \"shards\": {}, \"cores\": {} }}\n",
         cfg.scale, cfg.workers, cfg.seed, cfg.sweep_threads, cfg.shards, cores
     ));
     lines.push_str("}\n");
 
     let dir = csv_dir.clone().unwrap_or_else(|| ".".to_owned());
     std::fs::create_dir_all(&dir).expect("create bench dir");
-    let path = format!("{dir}/BENCH_engine.json");
+    let path = format!("{dir}/BENCH_engine{sfx}.json");
     std::fs::write(&path, &lines).expect("write BENCH_engine.json");
     eprintln!("wrote {path}");
 
@@ -554,8 +605,8 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>) {
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let history_line = format!(
-        "{{\"unix_ts\": {ts}, \"scale\": {}, \"seed\": {}, \"shards\": {}, \
-         \"cores\": {cores}, \"engine\": [{}]}}\n",
+        "{{\"unix_ts\": {ts}, \"backend\": \"{backend}\", \"scale\": {}, \"seed\": {}, \
+         \"shards\": {}, \"cores\": {cores}, \"engine\": [{}]}}\n",
         cfg.scale,
         cfg.seed,
         cfg.shards,

@@ -22,7 +22,7 @@ use crate::config::BenchConfig;
 use crate::report::{Figure, Series};
 use azsim_client::{Environment, ResilienceStats, ResilientPolicy, VirtualEnv};
 use azsim_core::SimTime;
-use azsim_fabric::{BusyStorm, Cluster, FaultPlan, ServerCrash};
+use azsim_fabric::{BusyStorm, FaultPlan, ServerCrash};
 use azsim_framework::TaskQueue;
 use azsim_storage::PartitionKey;
 use serde::{Deserialize, Serialize};
@@ -119,7 +119,7 @@ pub fn run_chaos(cfg: &BenchConfig, workers: usize, intensity: f64) -> ChaosResu
     let n_tasks = cfg.scaled(1000) as u32;
     let seed = cfg.seed;
 
-    let mut cluster = Cluster::new(cfg.params.clone());
+    let mut cluster = crate::exec::build_cluster(cfg);
     let plan = chaos_plan(cfg, intensity);
     if !plan.is_inert() {
         cluster.set_fault_plan(plan);

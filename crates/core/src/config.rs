@@ -1,6 +1,6 @@
 //! Benchmark configuration: worker ladders and workload scaling.
 
-use azsim_fabric::ClusterParams;
+use azsim_fabric::{BackendKind, ClusterParams};
 
 /// Configuration shared by every benchmark in the suite.
 #[derive(Clone, Debug)]
@@ -78,6 +78,20 @@ impl BenchConfig {
         assert!(shards >= 1, "need at least one shard");
         self.shards = shards;
         self
+    }
+
+    /// Select the storage backend the cluster simulates. The default
+    /// (`was`) keeps the paper's golden CSVs; peers swap the declared
+    /// cap/throttle/consistency profile while everything else in the
+    /// parameter set stays untouched.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.params.backend = kind.profile();
+        self
+    }
+
+    /// The backend this configuration runs against.
+    pub fn backend(&self) -> BackendKind {
+        self.params.backend.kind
     }
 
     /// Scale an integral workload quantity, never below 1.
@@ -191,5 +205,15 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_rejected() {
         let _ = BenchConfig::paper().with_scale(0.0);
+    }
+
+    #[test]
+    fn backend_selection_swaps_only_the_profile() {
+        let base = BenchConfig::paper();
+        assert_eq!(base.backend(), BackendKind::Was);
+        let s3 = BenchConfig::paper().with_backend(BackendKind::S3);
+        assert_eq!(s3.backend(), BackendKind::S3);
+        assert_eq!(s3.params.servers, base.params.servers);
+        assert_eq!(s3.params.account_tx_rate, base.params.account_tx_rate);
     }
 }

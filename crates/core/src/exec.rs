@@ -24,6 +24,14 @@ use azsim_core::{SimReport, Simulation};
 use azsim_fabric::Cluster;
 use std::future::Future;
 
+/// Build the simulated cluster a figure driver runs against: the
+/// configured parameters, including the selected backend profile. Every
+/// driver goes through this single seam so backend selection reaches all
+/// figures uniformly.
+pub fn build_cluster(cfg: &BenchConfig) -> Cluster {
+    Cluster::new(cfg.params.clone())
+}
+
 /// Run `workers` identical actors against `cluster` on the executor chosen
 /// by `cfg.shards`. The emitted report is identical either way; only the
 /// executor plumbing differs.

@@ -13,7 +13,7 @@ use crate::payload::PayloadGen;
 use azsim_client::{BlobClient, Environment, QueueClient, TableClient, VirtualEnv};
 use azsim_core::stats::Samples;
 use azsim_core::Simulation;
-use azsim_fabric::{Cluster, TraceOutcome, Tracer};
+use azsim_fabric::{TraceOutcome, Tracer};
 use azsim_storage::{Entity, OpClass, PropValue};
 use std::collections::HashMap;
 
@@ -112,7 +112,7 @@ impl LatencyReport {
 /// return its latency distributions. Deterministic under `cfg.seed`.
 pub fn profile_mixed(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) -> LatencyReport {
     let seed = cfg.seed;
-    let mut cluster = Cluster::new(cfg.params.clone());
+    let mut cluster = crate::exec::build_cluster(cfg);
     cluster.enable_tracing(workers * ops_per_worker * 8 + 1024);
     let sim = Simulation::new(cluster, seed);
     let report = sim.run_workers(workers, move |ctx| async move {

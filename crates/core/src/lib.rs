@@ -27,6 +27,7 @@ pub mod alg5_table;
 pub mod bottleneck;
 pub mod chaos;
 pub mod config;
+pub mod conformance;
 pub mod exec;
 pub mod fig9;
 pub mod fleet;

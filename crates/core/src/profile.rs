@@ -21,7 +21,7 @@ use azsim_client::{
 };
 use azsim_core::Simulation;
 use azsim_fabric::metrics::{phase_snapshots, ClassPhaseSnapshot};
-use azsim_fabric::{Cluster, MetricsSnapshot, Phase, PhaseAggregate};
+use azsim_fabric::{MetricsSnapshot, Phase, PhaseAggregate};
 use azsim_storage::{Entity, PropValue};
 use serde::Serialize;
 use std::rc::Rc;
@@ -94,7 +94,7 @@ struct ProfileDoc {
 /// workload through a span-logging [`ResilientPolicy`].
 fn run_point(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) -> ProfilePoint {
     let seed = cfg.seed;
-    let mut cluster = Cluster::new(cfg.params.clone());
+    let mut cluster = crate::exec::build_cluster(cfg);
     cluster.enable_phase_profiling();
     let sim = Simulation::new(cluster, seed);
     let report = sim.run_workers(workers, move |ctx| async move {

@@ -45,7 +45,8 @@ use azsim_client::{
 use azsim_core::rng::stream_rng;
 use azsim_core::{SimTime, Simulation};
 use azsim_fabric::{
-    BusyStorm, Cluster, ClusterParams, FaultPlan, OpOutcome, PartitionBlackout, ServerCrash,
+    BackendKind, BusyStorm, Cluster, ClusterParams, FaultPlan, OpOutcome, PartitionBlackout,
+    ServerCrash,
 };
 use azsim_framework::TaskQueue;
 use azsim_storage::{Entity, EtagCondition, OpClass, PartitionKey, PropValue, StorageError};
@@ -95,6 +96,12 @@ pub struct VerifyConfig {
     /// resolution, pop-receipt revalidation, retry budget); `false` =
     /// naive blind retry, the policy the harness must catch.
     pub hardened: bool,
+    /// Storage backend the run simulates. Invariant I5 (read-your-writes)
+    /// is checked against this backend's *declared* consistency: a backend
+    /// with a non-zero `read_staleness` window is allowed to serve a stale
+    /// read within that window, so the probe waits the window out and
+    /// re-reads before flagging — relaxed, never skipped.
+    pub backend: BackendKind,
 }
 
 impl VerifyConfig {
@@ -107,6 +114,7 @@ impl VerifyConfig {
             increments: 8,
             poison: 2,
             hardened,
+            backend: BackendKind::Was,
         }
     }
 }
@@ -176,7 +184,7 @@ fn poison_payload(k: u32) -> String {
 /// invariant against the recorded history and the final server state.
 pub fn run_verify(cfg: &VerifyConfig, plan: &FaultPlan) -> VerifyOutcome {
     let cfg = *cfg;
-    let mut cluster = Cluster::new(ClusterParams::default());
+    let mut cluster = Cluster::new(ClusterParams::for_backend(cfg.backend.profile()));
     cluster.enable_history();
     if !plan.is_inert() {
         cluster.set_fault_plan(plan.clone());
@@ -288,12 +296,28 @@ pub fn run_verify(cfg: &VerifyConfig, plan: &FaultPlan) -> VerifyOutcome {
             applied += 1;
             // I5 probe: our own definitely-applied increments must be
             // visible to our next read. Transient read failures make no
-            // visibility claim and are skipped.
+            // visibility claim and are skipped. A backend declaring a
+            // bounded `read_staleness` window may legally serve a stale
+            // value inside that window — so the probe waits the declared
+            // window out and re-reads before calling it a violation
+            // (relaxed to the declared consistency level, never skipped).
+            let staleness = cfg.backend.profile().read_staleness;
             if let Ok(Some((e, _))) = table.query(COUNTER_PARTITION, &row).await {
-                let seen = counter_value(&e);
+                let mut seen = counter_value(&e);
+                if seen < applied && staleness > Duration::ZERO {
+                    env.sleep(staleness).await;
+                    if let Ok(Some((e2, _))) = table.query(COUNTER_PARTITION, &row).await {
+                        seen = counter_value(&e2);
+                    }
+                }
                 if seen < applied {
+                    let note = if staleness > Duration::ZERO {
+                        format!(" (declared staleness {staleness:?} already waited out)")
+                    } else {
+                        String::new()
+                    };
                     ryw.push(format!(
-                        "worker {me} read {seen} after applying {applied} increments"
+                        "worker {me} read {seen} after applying {applied} increments{note}"
                     ));
                 }
             }
@@ -913,6 +937,7 @@ mod tests {
             increments: 4,
             poison: 1,
             hardened,
+            backend: BackendKind::Was,
         }
     }
 

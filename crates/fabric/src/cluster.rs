@@ -16,6 +16,7 @@
 //! All stages are non-preemptive FIFO resources, so each operation is
 //! priced analytically at arrival (one event per op in the runtime).
 
+use crate::backend::ThrottleShape;
 use crate::faults::{FaultDecision, FaultInjector, FaultMetrics, FaultPlan};
 use crate::metrics::ClusterMetrics;
 use crate::metrics::{MetricsSnapshot, PartitionHeat};
@@ -64,6 +65,35 @@ struct PartitionSlot {
     throttled: u64,
 }
 
+/// Per-object mutation rate limiter (GCS-style backends): one token
+/// bucket and consecutive-rejection counter per limited object. Blob
+/// partitions are already per-object, so the object id is empty there;
+/// table mutations key by row so two rows of one partition are limited
+/// independently, as GCS documents.
+struct ObjectUpdateLimiter {
+    /// Mutations per second per object.
+    rate: f64,
+    /// `(slot, object id)` → (bucket, consecutive rejections).
+    buckets: HashMap<(usize, String), (TokenBucket, u32)>,
+}
+
+/// The object a mutation targets under a per-object update limit, or
+/// `None` when the class is not update-limited.
+fn update_limited_object(req: &StorageRequest) -> Option<String> {
+    match req {
+        // Blob mutations: the partition slot is the blob, so the slot id
+        // alone identifies the object.
+        StorageRequest::PutBlock { .. }
+        | StorageRequest::PutBlockList { .. }
+        | StorageRequest::UploadBlockBlob { .. }
+        | StorageRequest::PutPage { .. } => Some(String::new()),
+        // Table mutations of an existing row.
+        StorageRequest::UpdateEntity { entity, .. } => Some(entity.row_key.clone()),
+        StorageRequest::DeleteEntity { row, .. } => Some(row.clone()),
+        _ => None,
+    }
+}
+
 /// The simulated storage cluster for one account.
 pub struct Cluster {
     params: ClusterParams,
@@ -80,6 +110,17 @@ pub struct Cluster {
     account_up: Pipe,
     account_down: Pipe,
     account_tx: TokenBucket,
+    /// Consecutive account-scope throttle rejections — drives the S3
+    /// `SlowDown` doubling curve and GCS pushback; reset whenever a
+    /// request is admitted. Unused under WAS's deficit-hint shape.
+    account_pushback: u32,
+    /// Per-object mutation limiter, present iff the backend declares an
+    /// object update rate (GCS).
+    object_update: Option<ObjectUpdateLimiter>,
+    /// Eventual list-after-write overlay, present iff the backend declares
+    /// a listing visibility window (S3): `(container, blob)` → the time the
+    /// blob becomes listable.
+    list_visibility: Option<HashMap<(String, String), SimTime>>,
     /// Per-actor NICs, indexed by actor id (grown on demand).
     nics: Vec<Option<Pipe>>,
     /// Per-actor NIC bandwidth overrides set before first use.
@@ -104,6 +145,19 @@ impl Cluster {
         let server_tx = (0..params.servers)
             .map(|_| Pipe::new(params.server_bandwidth))
             .collect();
+        // The backend profile decides the account transaction rate: WAS
+        // uses the documented 5 000 tx/s, peers may override it, and a
+        // cap-free backend (file://) gets a bucket so large it can never
+        // engage — keeping the field non-optional so telemetry and
+        // resource accounting are uniform across backends.
+        let account_rate = if params.backend.account_cap {
+            params
+                .backend
+                .account_rate_override
+                .unwrap_or(params.account_tx_rate)
+        } else {
+            1e12
+        };
         Cluster {
             blobs: BlobStore::new(),
             queues: QueueStore::new(params.seed, params.fifo_fuzz),
@@ -116,9 +170,21 @@ impl Cluster {
             account_up: Pipe::new(params.account_bandwidth),
             account_down: Pipe::new(params.account_bandwidth),
             account_tx: TokenBucket::new(
-                params.account_tx_rate,
-                params.throttle_burst.max(params.account_tx_rate / 10.0),
+                account_rate,
+                params.throttle_burst.max(account_rate / 10.0),
             ),
+            account_pushback: 0,
+            object_update: params
+                .backend
+                .object_update_rate
+                .map(|rate| ObjectUpdateLimiter {
+                    rate,
+                    buckets: HashMap::new(),
+                }),
+            list_visibility: params
+                .backend
+                .list_visibility_window
+                .map(|_| HashMap::new()),
             nics: Vec::new(),
             nic_overrides: Vec::new(),
             metrics: ClusterMetrics::new(),
@@ -152,12 +218,16 @@ impl Cluster {
             PartitionKey::Queue { .. } => (
                 None,
                 None,
-                Some(TokenBucket::new(p.queue_rate, p.throttle_burst)),
+                p.backend
+                    .per_partition_caps
+                    .then(|| TokenBucket::new(p.queue_rate, p.throttle_burst)),
             ),
             PartitionKey::Table { .. } => (
                 None,
                 None,
-                Some(TokenBucket::new(p.partition_rate, p.throttle_burst)),
+                p.backend
+                    .per_partition_caps
+                    .then(|| TokenBucket::new(p.partition_rate, p.throttle_burst)),
             ),
             PartitionKey::Control => (None, None, None),
         };
@@ -540,6 +610,41 @@ impl Cluster {
         }
     }
 
+    /// Deterministic listing lag for one blob in `[0, window]`: FNV-1a over
+    /// the blob address and cluster seed, scaled into the window. A fixed
+    /// hash (not the std hasher) keeps the lag stable across toolchains, so
+    /// per-backend golden CSVs stay bit-identical.
+    fn listing_lag(&self, container: &str, blob: &str, window: Duration) -> Duration {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET ^ self.params.seed;
+        for byte in container
+            .as_bytes()
+            .iter()
+            .chain([0xffu8].iter())
+            .chain(blob.as_bytes())
+        {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        window.mul_f64((h >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// Record when a freshly committed blob becomes listable (no-op unless
+    /// the backend declares a visibility window). `entry().or_insert` keeps
+    /// visibility monotonic: overwriting an already-listable blob never
+    /// makes it flicker back out of listings.
+    fn note_blob_listable(&mut self, now: SimTime, container: &str, blob: &str) {
+        let Some(window) = self.params.backend.list_visibility_window else {
+            return;
+        };
+        let lag = self.listing_lag(container, blob, window);
+        if let Some(map) = self.list_visibility.as_mut() {
+            map.entry((container.to_string(), blob.to_string()))
+                .or_insert(now + lag);
+        }
+    }
+
     /// Execute the state transition at the partition's service-start time.
     fn apply(&mut self, now: SimTime, req: &StorageRequest) -> StorageResult<StorageOk> {
         use StorageRequest::*;
@@ -561,18 +666,24 @@ impl Cluster {
                 container,
                 blob,
                 block_ids,
-            } => self
-                .blobs
-                .put_block_list(container, blob, block_ids)
-                .map(|_| StorageOk::Ack),
+            } => {
+                let r = self.blobs.put_block_list(container, blob, block_ids);
+                if r.is_ok() {
+                    self.note_blob_listable(now, container, blob);
+                }
+                r.map(|_| StorageOk::Ack)
+            }
             UploadBlockBlob {
                 container,
                 blob,
                 data,
-            } => self
-                .blobs
-                .upload_block_blob(container, blob, data.clone())
-                .map(|_| StorageOk::Ack),
+            } => {
+                let r = self.blobs.upload_block_blob(container, blob, data.clone());
+                if r.is_ok() {
+                    self.note_blob_listable(now, container, blob);
+                }
+                r.map(|_| StorageOk::Ack)
+            }
             GetBlock {
                 container,
                 blob,
@@ -588,10 +699,13 @@ impl Cluster {
                 container,
                 blob,
                 size,
-            } => self
-                .blobs
-                .create_page_blob(container, blob, *size)
-                .map(|_| StorageOk::Ack),
+            } => {
+                let r = self.blobs.create_page_blob(container, blob, *size);
+                if r.is_ok() {
+                    self.note_blob_listable(now, container, blob);
+                }
+                r.map(|_| StorageOk::Ack)
+            }
             PutPage {
                 container,
                 blob,
@@ -611,9 +725,31 @@ impl Cluster {
                 .get_page(container, blob, *offset, *length)
                 .map(StorageOk::Data),
             DeleteBlob { container, blob } => {
-                self.blobs.delete(container, blob).map(|_| StorageOk::Ack)
+                let r = self.blobs.delete(container, blob);
+                if r.is_ok() {
+                    if let Some(map) = self.list_visibility.as_mut() {
+                        map.remove(&(container.clone(), blob.clone()));
+                    }
+                }
+                r.map(|_| StorageOk::Ack)
             }
-            ListBlobs { container } => self.blobs.list_blobs(container).map(StorageOk::Names),
+            ListBlobs { container } => {
+                let names = self.blobs.list_blobs(container)?;
+                // Eventual list-after-write: suppress blobs whose listing
+                // visibility time has not arrived yet. Blobs without an
+                // entry predate the overlay's knowledge and list normally.
+                let names = match &self.list_visibility {
+                    Some(map) => names
+                        .into_iter()
+                        .filter(|b| {
+                            map.get(&(container.clone(), b.clone()))
+                                .is_none_or(|&visible_at| visible_at <= now)
+                        })
+                        .collect(),
+                    None => names,
+                };
+                Ok(StorageOk::Names(names))
+            }
             CreateQueue { queue } => self.queues.create_queue(queue).map(|_| StorageOk::Ack),
             DeleteQueue { queue } => self.queues.delete_queue(queue).map(|_| StorageOk::Ack),
             PutMessage { queue, data, ttl } => self
@@ -687,15 +823,35 @@ impl Cluster {
         }
     }
 
-    /// Check the documented rate limits; on rejection the caller returns
-    /// `ServerBusy` without touching the partition. `Err` carries the token
-    /// bucket's computed wait (deficit / rate).
-    fn throttle(&mut self, t: SimTime, class: OpClass, slot: usize) -> Result<(), Duration> {
+    /// Check the backend's declared rate limits; on rejection the caller
+    /// returns the shaped throttle error without touching the partition.
+    ///
+    /// The account bucket fires with the backend's declared shape: WAS
+    /// returns `ServerBusy` carrying the bucket's computed deficit floored
+    /// at the coarse retry hint; S3 returns `SlowDown` with a hint that
+    /// doubles per consecutive rejection; GCS returns `ServerBusy` with the
+    /// same exponential escalation. Per-partition buckets exist only where
+    /// the profile declares them (WAS) and keep WAS's hint shape; the
+    /// per-object update limiter (GCS) escalates independently per object.
+    fn throttle(
+        &mut self,
+        t: SimTime,
+        class: OpClass,
+        slot: usize,
+        req: &StorageRequest,
+    ) -> Result<(), StorageError> {
         if class.is_control() {
             return Ok(());
         }
+        let shape = self.params.backend.throttle;
+        let hint = self.params.throttle_retry_hint;
         if let Admission::Throttled(w) = self.account_tx.acquire(t, 1.0) {
-            return Err(w);
+            self.account_pushback = self.account_pushback.saturating_add(1);
+            let retry_after = shape.retry_after(self.account_pushback, w, hint);
+            return Err(match shape {
+                ThrottleShape::SlowDownCurve { .. } => StorageError::SlowDown { retry_after },
+                _ => StorageError::ServerBusy { retry_after },
+            });
         }
         // Queue partitions carry the 500 msg/s bucket and table partitions
         // the 500 entities/s bucket; blob scalability is bandwidth-limited
@@ -703,9 +859,27 @@ impl Cluster {
         // bucket at all.
         if let Some(bucket) = self.slots[slot].bucket.as_mut() {
             if let Admission::Throttled(w) = bucket.acquire(t, 1.0) {
-                return Err(w);
+                return Err(StorageError::ServerBusy {
+                    retry_after: w.max(hint),
+                });
             }
         }
+        if let Some(lim) = self.object_update.as_mut() {
+            if let Some(object) = update_limited_object(req) {
+                let rate = lim.rate;
+                let (bucket, pushback) = lim
+                    .buckets
+                    .entry((slot, object))
+                    .or_insert_with(|| (TokenBucket::new(rate, 1.0), 0));
+                if let Admission::Throttled(w) = bucket.acquire(t, 1.0) {
+                    *pushback = pushback.saturating_add(1);
+                    let retry_after = shape.retry_after(*pushback, w, hint);
+                    return Err(StorageError::ServerBusy { retry_after });
+                }
+                *pushback = 0;
+            }
+        }
+        self.account_pushback = 0;
         Ok(())
     }
 
@@ -840,7 +1014,6 @@ impl Cluster {
         }
         let up = req.payload_bytes_up();
         let p_frontend_rtt = self.params.frontend_rtt;
-        let p_retry_hint = self.params.throttle_retry_hint;
 
         // Uplink: client NIC, then LB/front-end.
         let (_, mut t) = self.nic(actor).transfer(now, up);
@@ -918,11 +1091,10 @@ impl Cluster {
             }
         }
 
-        // Documented rate limits. The bucket's computed wait (how long until
-        // enough tokens accrue) is surfaced as the retry hint so clients
-        // back off proportionally to the actual deficit; the configured
-        // hint acts as a floor, matching the service's coarse Retry-After.
-        if let Err(wait) = self.throttle(t, class, slot) {
+        // Declared rate limits, shaped per backend: WAS surfaces the token
+        // bucket's computed deficit floored at the coarse Retry-After, S3
+        // a doubling SlowDown curve, GCS exponential pushback.
+        if let Err(throttle_err) = self.throttle(t, class, slot, req) {
             self.slots[slot].throttled += 1;
             let c = self.metrics.counter_mut(class);
             c.throttled += 1;
@@ -964,12 +1136,7 @@ impl Cluster {
                 phases,
             );
             self.record_op(now, done, actor, class, slot, OpOutcome::Throttled);
-            return (
-                done,
-                Err(StorageError::ServerBusy {
-                    retry_after: wait.max(p_retry_hint),
-                }),
-            );
+            return (done, Err(throttle_err));
         }
 
         // Account + server data path for the uplink payload.
@@ -1833,5 +2000,337 @@ mod tests {
             throttled > 0,
             "account-level 5000 tx/s analogue must engage"
         );
+    }
+
+    // ---- backend profiles ----
+
+    use crate::backend::BackendProfile;
+
+    #[test]
+    fn s3_backend_throttles_at_account_scope_with_slowdown_curve() {
+        // Shrink the account rate so the cap engages quickly; shape and
+        // scope are what this test pins.
+        let mut profile = BackendProfile::s3();
+        profile.account_rate_override = Some(50.0);
+        let mut c = Cluster::new(ClusterParams::for_backend(profile));
+        for q in ["a", "b"] {
+            c.submit(at(0), 0, &StorageRequest::CreateQueue { queue: q.into() })
+                .1
+                .unwrap();
+        }
+        let mut hints = Vec::new();
+        for i in 0..120 {
+            match c.submit(at(1), i, &put_msg("a", 16)).1 {
+                Ok(_) => {}
+                Err(StorageError::SlowDown { retry_after }) => hints.push(retry_after),
+                Err(other) => panic!("s3 throttle must be SlowDown, got {other}"),
+            }
+        }
+        assert!(hints.len() >= 3, "the shrunk account cap must engage");
+        // Consecutive rejections escalate along the declared doubling
+        // curve: 100 ms, 200 ms, 400 ms, … capped at 5 s.
+        assert_eq!(hints[0], Duration::from_millis(100));
+        assert_eq!(hints[1], Duration::from_millis(200));
+        assert_eq!(hints[2], Duration::from_millis(400));
+        assert!(hints.iter().all(|h| *h <= Duration::from_secs(5)));
+        // No per-partition caps: a *fresh* queue is rejected just the same,
+        // because the scope is the account (WAS would admit it).
+        let (_, r) = c.submit(at(1), 0, &put_msg("b", 16));
+        assert!(matches!(r, Err(StorageError::SlowDown { .. })));
+        // An admitted request resets the curve back to its base.
+        c.submit(at(10_000), 0, &put_msg("a", 16)).1.unwrap();
+        let mut c2_hint = None;
+        for i in 0..120 {
+            if let Err(StorageError::SlowDown { retry_after }) =
+                c.submit(at(10_001), i, &put_msg("a", 16)).1
+            {
+                c2_hint = Some(retry_after);
+                break;
+            }
+        }
+        assert_eq!(c2_hint, Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn gcs_object_update_limit_is_per_object_with_exponential_pushback() {
+        use azsim_storage::{Entity, EtagCondition, PropValue};
+        let mut c = Cluster::new(ClusterParams::for_backend(BackendProfile::gcs()));
+        c.submit(at(0), 0, &StorageRequest::CreateTable { table: "t".into() })
+            .1
+            .unwrap();
+        let entity = |rk: &str, v: i64| Entity::new("p", rk).with("v", PropValue::I64(v));
+        for rk in ["r1", "r2"] {
+            c.submit(
+                at(100),
+                0,
+                &StorageRequest::InsertEntity {
+                    table: "t".into(),
+                    entity: entity(rk, 0),
+                },
+            )
+            .1
+            .unwrap();
+        }
+        let update = |rk: &str, v: i64| StorageRequest::UpdateEntity {
+            table: "t".into(),
+            entity: entity(rk, v),
+            condition: EtagCondition::Any,
+        };
+        // One update per second per object: the first is admitted, rapid
+        // consecutive retries push back exponentially (400, 800, 1600 ms).
+        c.submit(at(5_000), 0, &update("r1", 1)).1.unwrap();
+        let mut hints = Vec::new();
+        for v in 2..5 {
+            match c.submit(at(5_000), 0, &update("r1", v)).1 {
+                Err(StorageError::ServerBusy { retry_after }) => hints.push(retry_after),
+                other => panic!("expected per-object pushback, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            hints,
+            vec![
+                Duration::from_millis(400),
+                Duration::from_millis(800),
+                Duration::from_millis(1_600),
+            ]
+        );
+        // A different row of the *same* partition is a different object and
+        // is untouched by r1's pushback.
+        c.submit(at(5_000), 0, &update("r2", 1)).1.unwrap();
+        // After the object's bucket refills, r1 admits again and the
+        // pushback counter resets.
+        c.submit(at(8_000), 0, &update("r1", 9)).1.unwrap();
+        match c.submit(at(8_000), 0, &update("r1", 10)).1 {
+            Err(StorageError::ServerBusy { retry_after }) => {
+                assert_eq!(retry_after, Duration::from_millis(400));
+            }
+            other => panic!("expected pushback restart, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_backend_never_throttles() {
+        let mut c = Cluster::new(ClusterParams::for_backend(BackendProfile::file()));
+        c.submit(at(0), 0, &StorageRequest::CreateQueue { queue: "q".into() })
+            .1
+            .unwrap();
+        for i in 0..600 {
+            c.submit(at(1), i, &put_msg("q", 16)).1.unwrap();
+        }
+        assert_eq!(c.metrics().total_throttled(), 0);
+        assert_eq!(c.metrics().total_completed(), 601);
+    }
+
+    #[test]
+    fn s3_listing_hides_fresh_blobs_for_at_most_the_declared_window() {
+        let window = BackendProfile::s3().list_visibility_window.unwrap();
+        let mut c = Cluster::new(ClusterParams::for_backend(BackendProfile::s3()));
+        c.submit(
+            at(0),
+            0,
+            &StorageRequest::CreateContainer {
+                container: "c".into(),
+            },
+        )
+        .1
+        .unwrap();
+        let mut acked = Vec::new();
+        for i in 0..16 {
+            let (done, r) = c.submit(
+                at(100),
+                0,
+                &StorageRequest::UploadBlockBlob {
+                    container: "c".into(),
+                    blob: format!("b{i}"),
+                    data: Bytes::from_static(b"x"),
+                },
+            );
+            r.unwrap();
+            acked.push(done);
+        }
+        let list = |c: &mut Cluster, t: SimTime| -> Vec<String> {
+            match c
+                .submit(
+                    t,
+                    1,
+                    &StorageRequest::ListBlobs {
+                        container: "c".into(),
+                    },
+                )
+                .1
+                .unwrap()
+            {
+                StorageOk::Names(names) => names,
+                other => panic!("expected names, got {other:?}"),
+            }
+        };
+        // Immediately after the writes some blobs lag out of the listing —
+        // the declared deviation from WAS must be observable.
+        let fresh = list(&mut c, *acked.iter().max().unwrap());
+        assert!(
+            fresh.len() < 16,
+            "with a 2 s window, 16 fresh blobs must not all list instantly"
+        );
+        // One declared window later every blob lists.
+        let horizon = *acked.iter().max().unwrap() + window + Duration::from_millis(1);
+        assert_eq!(list(&mut c, horizon).len(), 16);
+        // WAS lists everything immediately (strong list-after-write).
+        let mut was = Cluster::with_defaults();
+        was.submit(
+            at(0),
+            0,
+            &StorageRequest::CreateContainer {
+                container: "c".into(),
+            },
+        )
+        .1
+        .unwrap();
+        let mut done_max = SimTime::ZERO;
+        for i in 0..16 {
+            let (done, r) = was.submit(
+                at(100),
+                0,
+                &StorageRequest::UploadBlockBlob {
+                    container: "c".into(),
+                    blob: format!("b{i}"),
+                    data: Bytes::from_static(b"x"),
+                },
+            );
+            r.unwrap();
+            done_max = done_max.max(done);
+        }
+        assert_eq!(list(&mut was, done_max).len(), 16);
+    }
+
+    #[test]
+    fn deleted_blob_leaves_the_visibility_overlay() {
+        let mut c = Cluster::new(ClusterParams::for_backend(BackendProfile::s3()));
+        c.submit(
+            at(0),
+            0,
+            &StorageRequest::CreateContainer {
+                container: "c".into(),
+            },
+        )
+        .1
+        .unwrap();
+        c.submit(
+            at(100),
+            0,
+            &StorageRequest::UploadBlockBlob {
+                container: "c".into(),
+                blob: "b".into(),
+                data: Bytes::from_static(b"x"),
+            },
+        )
+        .1
+        .unwrap();
+        c.submit(
+            at(200),
+            0,
+            &StorageRequest::DeleteBlob {
+                container: "c".into(),
+                blob: "b".into(),
+            },
+        )
+        .1
+        .unwrap();
+        assert!(c
+            .list_visibility
+            .as_ref()
+            .expect("s3 declares a window")
+            .is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// The S3-style backend's declared eventual list-after-write,
+        /// property-checked over random write/probe schedules: a committed
+        /// blob (1) lists no later than its declared window after the ack,
+        /// (2) is never lost, and (3) never flickers back out of listings
+        /// once observed (monotonic per key).
+        #[test]
+        fn prop_s3_list_after_write_is_bounded_lossless_monotonic(
+            n_blobs in 1usize..12,
+            upload_ms in proptest::collection::vec(0u64..3_000, 12),
+            probe_ms in proptest::collection::vec(0u64..8_000, 1..24),
+        ) {
+            let window = BackendProfile::s3().list_visibility_window.unwrap();
+            let mut c = Cluster::new(ClusterParams::for_backend(BackendProfile::s3()));
+            c.submit(at(0), 0, &StorageRequest::CreateContainer { container: "c".into() })
+                .1
+                .unwrap();
+
+            // Interleave uploads and list probes in virtual-time order.
+            enum Act { Upload(usize), Probe }
+            let mut sched: Vec<(u64, Act)> = (0..n_blobs)
+                .map(|i| (10 + upload_ms[i], Act::Upload(i)))
+                .chain(probe_ms.iter().map(|&ms| (10 + ms, Act::Probe)))
+                .collect();
+            sched.sort_by_key(|(ms, act)| (*ms, matches!(act, Act::Probe)));
+
+            let mut acked: Vec<(String, SimTime)> = Vec::new();
+            let mut seen: std::collections::HashSet<String> = Default::default();
+            for (ms, act) in sched {
+                match act {
+                    Act::Upload(i) => {
+                        let name = format!("b{i}");
+                        let (done, r) = c.submit(at(ms), 0, &StorageRequest::UploadBlockBlob {
+                            container: "c".into(),
+                            blob: name.clone(),
+                            data: Bytes::from_static(b"x"),
+                        });
+                        r.unwrap();
+                        acked.push((name, done));
+                    }
+                    Act::Probe => {
+                        let names = match c
+                            .submit(at(ms), 1, &StorageRequest::ListBlobs { container: "c".into() })
+                            .1
+                            .unwrap()
+                        {
+                            StorageOk::Names(names) => names,
+                            other => panic!("expected names, got {other:?}"),
+                        };
+                        for s in &seen {
+                            proptest::prop_assert!(
+                                names.contains(s),
+                                "blob {s} flickered out of the listing"
+                            );
+                        }
+                        for (name, done) in &acked {
+                            if at(ms).saturating_since(*done) > window {
+                                proptest::prop_assert!(
+                                    names.contains(name),
+                                    "blob {name} still unlisted past the declared window"
+                                );
+                            }
+                        }
+                        seen.extend(names);
+                    }
+                }
+            }
+
+            // Never lost: one declared window past the last ack, every
+            // committed blob lists.
+            let horizon = acked
+                .iter()
+                .map(|(_, done)| *done)
+                .max()
+                .unwrap_or(SimTime::ZERO)
+                + window
+                + Duration::from_millis(1);
+            let names = match c
+                .submit(horizon, 1, &StorageRequest::ListBlobs { container: "c".into() })
+                .1
+                .unwrap()
+            {
+                StorageOk::Names(names) => names,
+                other => panic!("expected names, got {other:?}"),
+            };
+            for (name, _) in &acked {
+                proptest::prop_assert!(names.contains(name), "blob {name} was lost");
+            }
+        }
     }
 }

@@ -25,6 +25,7 @@
 //! plugs into the virtual-time runtime; the same object can be driven in
 //! real time by `azsim-client`'s live mode.
 
+pub mod backend;
 pub mod cluster;
 pub mod faults;
 pub mod fleet;
@@ -34,6 +35,7 @@ pub mod timeline;
 pub mod trace;
 pub mod verify;
 
+pub use backend::{BackendKind, BackendProfile, StorageBackend, ThrottleShape};
 pub use cluster::Cluster;
 pub use faults::{
     BusyStorm, FaultInjector, FaultMetrics, FaultPlan, PartitionBlackout, ServerCrash,

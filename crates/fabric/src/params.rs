@@ -9,6 +9,7 @@
 //! paper-vs-measured comparison; the ablation benches toggle individual
 //! mechanisms.
 
+use crate::backend::BackendProfile;
 use azsim_storage::limits;
 use std::time::Duration;
 
@@ -113,6 +114,14 @@ pub struct ClusterParams {
     /// Retry hint returned with `ServerBusy`.
     pub throttle_retry_hint: Duration,
 
+    // ---- backend policy ----
+    /// Which provider's declared semantics the cluster enforces: cap
+    /// structure, throttle shape and listing visibility. The default is
+    /// [`BackendProfile::was`], which reproduces Windows Azure Storage
+    /// exactly as the committed golden CSVs pin it; the rate fields above
+    /// stay authoritative unless the profile overrides or disables them.
+    pub backend: BackendProfile,
+
     // ---- telemetry ----
     /// Virtual-time resolution of the gauge timeline, or `None` (the
     /// default) to keep sampling off entirely. Sampling is passive — it
@@ -165,6 +174,8 @@ impl Default for ClusterParams {
             throttle_burst: 50.0,
             throttle_retry_hint: Duration::from_secs(1),
 
+            backend: BackendProfile::was(),
+
             timeline_resolution: None,
         }
     }
@@ -192,6 +203,14 @@ impl ClusterParams {
         ClusterParams {
             replica_sync: Duration::ZERO,
             state_sync: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+
+    /// Default parameters with the given backend profile installed.
+    pub fn for_backend(profile: BackendProfile) -> Self {
+        ClusterParams {
+            backend: profile,
             ..Self::default()
         }
     }
@@ -228,5 +247,14 @@ mod tests {
         assert_eq!(s.state_sync, Duration::ZERO);
         // Non-ablated fields keep their defaults.
         assert_eq!(s.servers, ClusterParams::default().servers);
+    }
+
+    #[test]
+    fn default_backend_is_was() {
+        use crate::backend::BackendKind;
+        assert_eq!(ClusterParams::default().backend.kind, BackendKind::Was);
+        let p = ClusterParams::for_backend(BackendKind::S3.profile());
+        assert_eq!(p.backend.kind, BackendKind::S3);
+        assert_eq!(p.servers, ClusterParams::default().servers);
     }
 }

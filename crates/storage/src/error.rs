@@ -19,6 +19,16 @@ pub enum StorageError {
         /// Hint for when capacity should be available again.
         retry_after: Duration,
     },
+    /// An S3-style `503 SlowDown` response: the service sheds load and
+    /// expects the client to back off along the escalating curve encoded
+    /// in the hint. Semantically a throttle like [`StorageError::ServerBusy`],
+    /// but the hint grows with consecutive rejections instead of reflecting
+    /// a token-bucket deficit.
+    SlowDown {
+        /// Escalating back-off hint (doubles per consecutive rejection up
+        /// to the backend's declared cap).
+        retry_after: Duration,
+    },
     /// The request (or its response) was lost and the client's wait
     /// expired. The operation may or may not have executed server-side —
     /// callers must treat it as ambiguous and retry idempotently.
@@ -109,6 +119,7 @@ impl StorageError {
         matches!(
             self,
             StorageError::ServerBusy { .. }
+                | StorageError::SlowDown { .. }
                 | StorageError::Timeout { .. }
                 | StorageError::ServerFault { .. }
         )
@@ -119,6 +130,7 @@ impl StorageError {
     pub fn retry_after(&self) -> Option<Duration> {
         match self {
             StorageError::ServerBusy { retry_after }
+            | StorageError::SlowDown { retry_after }
             | StorageError::ServerFault { retry_after } => Some(*retry_after),
             _ => None,
         }
@@ -130,6 +142,9 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::ServerBusy { retry_after } => {
                 write!(f, "server busy; retry after {retry_after:?}")
+            }
+            StorageError::SlowDown { retry_after } => {
+                write!(f, "slow down; retry after {retry_after:?}")
             }
             StorageError::Timeout { elapsed } => {
                 write!(f, "request timed out after {elapsed:?}")
@@ -187,6 +202,10 @@ mod tests {
             retry_after: Duration::from_secs(1)
         }
         .is_retryable());
+        assert!(StorageError::SlowDown {
+            retry_after: Duration::from_millis(100)
+        }
+        .is_retryable());
         assert!(StorageError::Timeout {
             elapsed: Duration::from_secs(30)
         }
@@ -208,6 +227,13 @@ mod tests {
             }
             .retry_after(),
             Some(Duration::from_secs(9))
+        );
+        assert_eq!(
+            StorageError::SlowDown {
+                retry_after: Duration::from_millis(200)
+            }
+            .retry_after(),
+            Some(Duration::from_millis(200))
         );
         assert_eq!(
             StorageError::Timeout {

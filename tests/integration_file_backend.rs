@@ -1,0 +1,211 @@
+//! Integration: the `file://` live backend against its simulated model.
+//!
+//! The same reduced Algorithm 1 (staged block upload + chunked download)
+//! and Algorithm 3 (per-worker queue produce/drain) workload runs twice
+//! through the *real* client stack — once against [`FileStore`], which
+//! executes every request as actual filesystem syscalls in a private
+//! temp directory, and once against the simulated cluster configured
+//! with the `file` backend profile (no caps, no throttling, strong
+//! listings). The final observable states must reconcile exactly:
+//! downloaded bytes, per-block reads, listings, drained payloads and
+//! residual message counts. Divergence means either the live backend or
+//! the simulated `file` model misdeclares the semantics the conformance
+//! harness pins.
+
+use azsim_client::{BlobClient, Environment, FileStore, LiveCluster, QueueClient};
+use azsim_core::block_on;
+use azsim_fabric::{BackendKind, ClusterParams};
+use azsim_storage::StorageError;
+use bytes::Bytes;
+
+/// Virtual seconds per real second: modeled milliseconds become host
+/// microseconds, so visibility windows cost nothing in wall time.
+const FAST: f64 = 10_000.0;
+
+const WORKERS: usize = 2;
+const BLOCKS: usize = 4;
+const BLOCK_SIZE: usize = 2 * 1024;
+const MESSAGES: usize = 20;
+
+/// Deterministic payload byte for (worker, unit, offset).
+fn payload(worker: usize, unit: usize, len: usize) -> Bytes {
+    let b = ((worker * 131 + unit * 31) % 251) as u8;
+    Bytes::from(vec![b; len])
+}
+
+/// Everything observable at the end of the reduced workload.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// Per worker: the whole-blob download after commit.
+    downloads: Vec<Vec<u8>>,
+    /// Per worker: the indexed read of block 2 (Algorithm 1's chunked
+    /// download path).
+    chunk_reads: Vec<Vec<u8>>,
+    /// Per worker: the container listing after upload.
+    listings: Vec<Vec<String>>,
+    /// Per worker: payloads drained from the queue, in delivery order.
+    /// Compared as a multiset: the service (and therefore the simulated
+    /// model, via its FIFO fuzz) does not guarantee delivery order, only
+    /// at-least-once delivery of every message.
+    drained: Vec<Vec<Vec<u8>>>,
+    /// Per worker: message count after the drain.
+    residual: Vec<usize>,
+}
+
+/// Reduced Algorithm 1 + Algorithm 3 through the real client stack.
+fn run_workload<E: Environment>(env: &E) -> Outcome {
+    let mut out = Outcome {
+        downloads: Vec::new(),
+        chunk_reads: Vec::new(),
+        listings: Vec::new(),
+        drained: Vec::new(),
+        residual: Vec::new(),
+    };
+    for w in 0..WORKERS {
+        // Algorithm 1 (reduced): stage blocks, commit, read back whole
+        // and by block index.
+        let blobs = BlobClient::new(env, format!("alg1-{w}"));
+        block_on(blobs.create_container()).unwrap();
+        let blob = format!("data-{w}");
+        let ids: Vec<String> = (0..BLOCKS).map(|i| format!("blk-{i:04}")).collect();
+        for (i, id) in ids.iter().enumerate() {
+            block_on(blobs.put_block(&blob, id.clone(), payload(w, i, BLOCK_SIZE))).unwrap();
+        }
+        block_on(blobs.put_block_list(&blob, ids)).unwrap();
+        out.downloads
+            .push(block_on(blobs.download(&blob)).unwrap().to_vec());
+        out.chunk_reads
+            .push(block_on(blobs.get_block(&blob, 2)).unwrap().to_vec());
+        out.listings.push(block_on(blobs.list_blobs()).unwrap());
+
+        // Algorithm 3 (reduced): per-worker queue, produce then drain.
+        let q = QueueClient::new(env, format!("alg3-{w}"));
+        block_on(q.create()).unwrap();
+        for i in 0..MESSAGES {
+            block_on(q.put_message(payload(w, i, 64))).unwrap();
+        }
+        let mut drained = Vec::new();
+        while let Some(m) = block_on(q.get_message()).unwrap() {
+            block_on(q.delete_message(&m)).unwrap();
+            drained.push(m.data.to_vec());
+        }
+        out.drained.push(drained);
+        out.residual.push(block_on(q.message_count()).unwrap());
+    }
+    out
+}
+
+#[test]
+fn reduced_alg1_alg3_reconciles_with_the_simulated_file_model() {
+    // Live: real syscalls against a private temp directory.
+    let store = FileStore::new_temp(FAST);
+    let live = run_workload(&store.env(0));
+
+    // Model: the simulated cluster wearing the `file` backend profile.
+    let lc = LiveCluster::new(
+        ClusterParams::for_backend(BackendKind::File.profile()),
+        FAST,
+    );
+    let sim = run_workload(&lc.env(0));
+
+    // Queue delivery order is not a declared guarantee (the model fuzzes
+    // FIFO on purpose, matching the service), so reconcile the drained
+    // payloads as multisets and everything else exactly.
+    let canon = |o: &Outcome| {
+        let mut c = Outcome {
+            downloads: o.downloads.clone(),
+            chunk_reads: o.chunk_reads.clone(),
+            listings: o.listings.clone(),
+            drained: o.drained.clone(),
+            residual: o.residual.clone(),
+        };
+        for d in &mut c.drained {
+            d.sort();
+        }
+        c
+    };
+    assert_eq!(
+        canon(&live),
+        canon(&sim),
+        "file:// live backend and simulated file model must reconcile"
+    );
+
+    // Sanity on the shared shape: full blobs, complete drain, empty
+    // queues — and the *real* filesystem backend is strictly FIFO.
+    for w in 0..WORKERS {
+        assert_eq!(live.downloads[w].len(), BLOCKS * BLOCK_SIZE);
+        assert_eq!(live.chunk_reads[w], payload(w, 2, BLOCK_SIZE).to_vec());
+        assert_eq!(live.listings[w], vec![format!("data-{w}")]);
+        assert_eq!(live.drained[w].len(), MESSAGES);
+        assert_eq!(sim.drained[w].len(), MESSAGES);
+        for (i, msg) in live.drained[w].iter().enumerate() {
+            assert_eq!(msg, &payload(w, i, 64).to_vec(), "FIFO order, worker {w}");
+        }
+        assert_eq!(live.residual[w], 0);
+    }
+}
+
+#[test]
+fn file_backend_persists_real_bytes_on_disk() {
+    let store = FileStore::new_temp(FAST);
+    let env = store.env(0);
+    let blobs = BlobClient::new(&env, "persist");
+    block_on(blobs.create_container()).unwrap();
+    block_on(blobs.upload("obj", payload(0, 0, 512))).unwrap();
+
+    // The committed blob is a real file holding exactly those bytes —
+    // not an in-memory shadow.
+    let on_disk = std::fs::read(store.root().join("blob").join("persist").join("obj")).unwrap();
+    assert_eq!(on_disk, payload(0, 0, 512).to_vec());
+
+    // Queue messages land as real payload files too.
+    let q = QueueClient::new(&env, "persist-q");
+    block_on(q.create()).unwrap();
+    block_on(q.put_message(Bytes::from_static(b"durable"))).unwrap();
+    let msgs: Vec<_> = std::fs::read_dir(store.root().join("queue").join("persist-q"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "msg"))
+        .collect();
+    assert_eq!(msgs.len(), 1);
+    assert_eq!(std::fs::read(msgs[0].path()).unwrap(), b"durable");
+}
+
+#[test]
+fn live_and_simulated_file_backends_agree_on_errors() {
+    let store = FileStore::new_temp(FAST);
+    let lc = LiveCluster::new(
+        ClusterParams::for_backend(BackendKind::File.profile()),
+        FAST,
+    );
+
+    // Missing container: both stacks refuse with the same error class.
+    let fe = store.env(0);
+    let se = lc.env(0);
+    let live_err = block_on(BlobClient::new(&fe, "ghost").download("b")).unwrap_err();
+    let sim_err = block_on(BlobClient::new(&se, "ghost").download("b")).unwrap_err();
+    assert!(matches!(live_err, StorageError::ContainerNotFound(_)));
+    assert!(matches!(sim_err, StorageError::ContainerNotFound(_)));
+
+    // Missing blob inside an existing container.
+    for env_err in [
+        {
+            let c = BlobClient::new(&fe, "real");
+            block_on(c.create_container()).unwrap();
+            block_on(c.download("missing")).unwrap_err()
+        },
+        {
+            let c = BlobClient::new(&se, "real");
+            block_on(c.create_container()).unwrap();
+            block_on(c.download("missing")).unwrap_err()
+        },
+    ] {
+        assert!(matches!(env_err, StorageError::BlobNotFound(_)));
+    }
+
+    // Missing queue.
+    let live_err = block_on(QueueClient::new(&fe, "ghost-q").message_count()).unwrap_err();
+    let sim_err = block_on(QueueClient::new(&se, "ghost-q").message_count()).unwrap_err();
+    assert!(matches!(live_err, StorageError::QueueNotFound(_)));
+    assert!(matches!(sim_err, StorageError::QueueNotFound(_)));
+}

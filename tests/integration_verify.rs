@@ -19,7 +19,7 @@
 //! * **dead-letter accounting holds under ack loss** — poison messages
 //!   are parked exactly once even when delete acks vanish.
 
-use azsim_fabric::FaultPlan;
+use azsim_fabric::{BackendKind, FaultPlan};
 use azurebench::verify::{
     chaos_search, plan_events, run_verify, ReproDoc, VerifyConfig, REPRO_VERSION,
 };
@@ -35,6 +35,7 @@ fn tiny(hardened: bool) -> VerifyConfig {
         increments: 5,
         poison: 1,
         hardened,
+        backend: BackendKind::Was,
     }
 }
 
@@ -100,6 +101,54 @@ fn committed_reproducer_replays_the_violation() {
         fixed.violations.is_empty(),
         "hardened policy must survive the reproducer's plan: {:?}",
         fixed.violations
+    );
+}
+
+#[test]
+fn hardened_policy_survives_ack_loss_on_the_s3_backend() {
+    // The invariant sweep on a peer backend: same workload, same
+    // ambiguous-outcome faults, but the cluster simulates the S3-style
+    // profile (account-scope SlowDown curve, eventual listings, bounded
+    // read staleness). I5 (read-your-writes) is checked against the
+    // *declared* staleness window — relaxed, not skipped — and all other
+    // invariants must hold verbatim.
+    let cfg = VerifyConfig {
+        backend: BackendKind::S3,
+        ..tiny(true)
+    };
+    let plan = FaultPlan {
+        seed: 11,
+        ack_loss_prob: 0.1,
+        ..FaultPlan::default()
+    };
+    let outcome = run_verify(&cfg, &plan);
+    assert!(
+        outcome.violations.is_empty(),
+        "hardened policy violated an invariant under the s3 backend: {:?}",
+        outcome.violations
+    );
+    // Ack loss actually fired — the plan exercised ambiguity.
+    assert!(outcome.ambiguous_executed + outcome.ambiguous_lost > 0);
+
+    // Determinism holds on peer backends too.
+    assert_eq!(outcome, run_verify(&cfg, &plan));
+}
+
+#[test]
+fn s3_chaos_sweep_boundary_plans_stay_clean() {
+    // Boundary schedules (storm-edge crash, queue blackout, pure
+    // ambiguity storm) against the S3 profile: the hardened client must
+    // survive the declared-throttle + ambiguity mix on a backend whose
+    // rejections are `SlowDown`, not `ServerBusy`.
+    let cfg = VerifyConfig {
+        backend: BackendKind::S3,
+        ..tiny(true)
+    };
+    let report = chaos_search(&cfg, &[3, 9], 2);
+    assert!(
+        report.failure.is_none(),
+        "hardened policy violated an invariant under s3 boundary chaos: {:?}",
+        report.failure.map(|f| f.violations)
     );
 }
 
