@@ -1,177 +1,138 @@
-//! Guard against engine-throughput regressions.
+//! Guard against engine-throughput regressions — snapshot compare, and
+//! the trend-aware continuous-benchmarking front end of
+//! [`azurebench::benchhist`].
 //!
 //! ```text
-//! bench_check <baseline BENCH_engine.json> <candidate BENCH_engine.json> [max_regression]
+//! bench_check <baseline.json> <candidate.json> [max_regression]
+//! bench_check record  <BENCH_engine.json> <BENCH_history.jsonl> [--host H] [--commit C] [--ts N]
+//! bench_check trend   <BENCH_history.jsonl> [--snapshot BENCH_engine.json]
+//!                     [--window K] [--tolerance T] [--mad-gate G] [--min-history N]
+//! bench_check report  <BENCH_history.jsonl> [--out DIR] [--window K] [--tolerance T]
+//! bench_check migrate <BENCH_history.jsonl>
 //! ```
 //!
-//! Compares the `engine` section of two `figures bench` exports: for every
-//! `(backend, actors, shards)` triple present in the baseline (rows
-//! without a `shards` key count as `shards = 1` and rows without a
-//! `backend` key count as the `was` reference, so pre-sharding and
-//! pre-multi-backend baselines still compare), the candidate's
+//! The positional form is the original fixed-tolerance gate: for every
+//! `(backend, actors, shards)` triple in the baseline, the candidate's
 //! `ops_per_second` must stay above `baseline * (1 - max_regression)`
-//! (default 0.25, i.e. fail on a >25 % drop).
+//! (default 0.25). New actor counts on a known `(backend, shards)`
+//! combination pass freely; an unknown combination is an error. When a
+//! `BENCH_history.jsonl` sits next to either snapshot, the snapshot must
+//! also agree with the history's latest run — a snapshot regenerated
+//! without recording history is an error, never a silent win.
 //!
-//! New *actor counts* on a known `(backend, shards)` combination pass
-//! freely — the gate never blocks ladder growth. A candidate row naming a
-//! `(backend, shards)` **combination** the baseline has never seen is an
-//! error, not a silent pass: it means the bench ran against a
-//! configuration nobody has baselined (wrong `--backend` flag, stale
-//! baseline after a shard-ladder change), and letting it through would
-//! report "OK" while gating nothing.
+//! The subcommands operate on the append-only v1 history
+//! (`azurebench-bench-history/v1`, one JSON line per rung per run):
+//!
+//! * `record` converts a `BENCH_engine.json` into v1 rows (host/commit
+//!   provenance from `AZBENCH_HOST`/`HOSTNAME` and
+//!   `AZBENCH_COMMIT`/`GITHUB_SHA` unless overridden) and appends them,
+//!   refusing runs older than the history tail.
+//! * `trend` fits a robust per-series baseline (median + MAD over the
+//!   last `--window` runs of each `(backend, actors, shards)` key) and
+//!   gates only when the newest run drops beyond **both** the relative
+//!   tolerance and the series' own noise band — a clean 30 % step gates,
+//!   a noisy-but-flat series does not. Exit 1 on a gated regression.
+//! * `report` renders the self-contained markdown + HTML trend report.
+//! * `migrate` rewrites a history file (legacy single-line run records
+//!   and/or v1 rows) as pure v1 rows.
 //!
 //! Wall-clock figures vary with machine load, so only the engine
-//! micro-benchmark — not the figure-suite timings — gates. Exit code 0
-//! means no regression; violations print per-row deltas and exit
-//! non-zero.
+//! micro-benchmark — not the figure-suite timings — gates.
 
-use serde::value::{find, parse, Value};
-use std::collections::BTreeSet;
+use azurebench::benchhist::{
+    analyze, append_rows, check, check_snapshot_agreement, detect_commit, detect_host, engine_rows,
+    migrate, parse_history, render_html, render_markdown, snapshot_history_rows, EngineRow,
+    HistoryRow, TrendConfig,
+};
+use serde::value::{parse, Value};
+use std::path::Path;
 
-/// The backend assumed for rows that predate the multi-backend export.
-const DEFAULT_BACKEND: &str = "was";
-
-/// One `engine` row from a `BENCH_engine.json`.
-#[derive(Debug, Clone, PartialEq)]
-struct EngineRow {
-    /// Storage backend the bench ran against (`was` when the row predates
-    /// the multi-backend export and has no such key).
-    backend: String,
-    actors: u64,
-    /// Executor shard count (`1` when the row predates the sharded
-    /// executor and has no such key).
-    shards: u64,
-    ops_per_second: f64,
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
 }
 
 fn load(path: &str) -> Value {
-    let bytes = std::fs::read(path).unwrap_or_else(|e| {
-        eprintln!("error: cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    parse(&bytes).unwrap_or_else(|e| {
-        eprintln!("error: {path} is not valid JSON: {e}");
-        std::process::exit(2);
-    })
+    let bytes = std::fs::read(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    parse(&bytes).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")))
 }
 
-fn engine_rows(doc: &Value) -> Option<Vec<EngineRow>> {
-    let rows = doc
-        .as_object()
-        .and_then(|m| find(m, "engine"))
-        .and_then(|v| v.as_array())?;
-    Some(
-        rows.iter()
-            .filter_map(|row| {
-                let m = row.as_object()?;
-                let num = |key: &str| {
-                    find(m, key).and_then(|v| match v {
-                        Value::Num(n) => n.parse::<f64>().ok(),
-                        _ => None,
-                    })
-                };
-                let backend = match find(m, "backend") {
-                    Some(Value::Str(s)) => s.to_ascii_lowercase(),
-                    _ => DEFAULT_BACKEND.to_owned(),
-                };
-                Some(EngineRow {
-                    backend,
-                    actors: num("actors")? as u64,
-                    shards: num("shards").map_or(1, |s| s as u64),
-                    ops_per_second: num("ops_per_second")?,
-                })
-            })
-            .collect(),
-    )
+fn load_history(path: &str) -> Vec<HistoryRow> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    parse_history(&text).unwrap_or_else(|e| fail(&e))
 }
 
-/// The whole comparison, separated from I/O so it is unit-testable:
-/// returns the per-row report lines and the failure count.
-fn check(
-    baseline: &[EngineRow],
-    candidate: &[EngineRow],
-    max_regression: f64,
-) -> (Vec<String>, usize) {
-    let mut lines = Vec::new();
-    let mut failures = 0usize;
-
-    for b in baseline {
-        let Some(c) = candidate
-            .iter()
-            .find(|c| c.backend == b.backend && c.actors == b.actors && c.shards == b.shards)
-        else {
-            lines.push(format!(
-                "bench_check: candidate missing row for [{}] {} actors x {} shard(s)",
-                b.backend, b.actors, b.shards
-            ));
-            failures += 1;
-            continue;
-        };
-        let floor = b.ops_per_second * (1.0 - max_regression);
-        let delta = (c.ops_per_second - b.ops_per_second) / b.ops_per_second * 100.0;
-        let verdict = if c.ops_per_second < floor {
-            failures += 1;
-            "REGRESSION"
-        } else {
-            "ok"
-        };
-        lines.push(format!(
-            "bench_check: [{}] {:>6} actors x {} shard(s): baseline {:>12.0} ops/s, candidate {:>12.0} ops/s ({delta:+.1}%) {verdict}",
-            b.backend, b.actors, b.shards, b.ops_per_second, c.ops_per_second
-        ));
+/// Pull `--flag value` out of an argument list, in place.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        fail(&format!("{flag} needs a value"));
     }
-
-    // New actor counts on a known (backend, shards) combination are
-    // ladder growth and pass freely; an unknown combination means the
-    // candidate measured a configuration the baseline has never seen,
-    // which must not silently count as "no regression".
-    let known: BTreeSet<(&str, u64)> = baseline
-        .iter()
-        .map(|b| (b.backend.as_str(), b.shards))
-        .collect();
-    for c in candidate {
-        if !known.contains(&(c.backend.as_str(), c.shards)) {
-            lines.push(format!(
-                "bench_check: candidate row [{}] {} actors x {} shard(s) names a \
-                 backend/shards combination absent from the baseline — re-baseline \
-                 or fix the bench configuration",
-                c.backend, c.actors, c.shards
-            ));
-            failures += 1;
-        }
-    }
-
-    (lines, failures)
+    args.remove(i);
+    Some(args.remove(i))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 || args.len() > 3 {
-        eprintln!("usage: bench_check <baseline.json> <candidate.json> [max_regression]");
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("bad {what} {s:?}")))
+}
+
+fn trend_config(args: &mut Vec<String>) -> TrendConfig {
+    let mut cfg = TrendConfig::default();
+    if let Some(v) = take_flag(args, "--window") {
+        cfg.window = parse_num(&v, "--window");
+    }
+    if let Some(v) = take_flag(args, "--tolerance") {
+        cfg.tolerance = parse_num(&v, "--tolerance");
+    }
+    if let Some(v) = take_flag(args, "--mad-gate") {
+        cfg.mad_gate = parse_num(&v, "--mad-gate");
+    }
+    if let Some(v) = take_flag(args, "--min-history") {
+        cfg.min_history = parse_num(&v, "--min-history");
+    }
+    cfg
+}
+
+fn expect_args(args: &[String], want: usize, usage: &str) {
+    if args.len() != want {
+        eprintln!("usage: bench_check {usage}");
         std::process::exit(2);
     }
+}
+
+/// If a `BENCH_history.jsonl` sits next to `snapshot_path`, verify the
+/// snapshot agrees with the history's latest run.
+fn check_sibling_history(snapshot_path: &str, rows: &[EngineRow]) {
+    let sibling = Path::new(snapshot_path)
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join("BENCH_history.jsonl");
+    let Ok(text) = std::fs::read_to_string(&sibling) else {
+        return;
+    };
+    let history = parse_history(&text).unwrap_or_else(|e| fail(&e));
+    if let Err(e) = check_snapshot_agreement(rows, &history) {
+        fail(&format!("{} vs {}: {e}", snapshot_path, sibling.display()));
+    }
+}
+
+fn cmd_compare(args: &[String]) {
     let max_regression: f64 = args
         .get(2)
-        .map(|s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("error: bad max_regression {s:?}");
-                std::process::exit(2);
-            })
-        })
+        .map(|s| parse_num(s, "max_regression"))
         .unwrap_or(0.25);
 
-    let baseline = engine_rows(&load(&args[0])).unwrap_or_else(|| {
-        eprintln!("error: {} has no `engine` array", args[0]);
-        std::process::exit(2);
-    });
-    let candidate = engine_rows(&load(&args[1])).unwrap_or_else(|| {
-        eprintln!("error: {} has no `engine` array", args[1]);
-        std::process::exit(2);
-    });
+    let baseline = engine_rows(&load(&args[0]))
+        .unwrap_or_else(|| fail(&format!("{} has no `engine` array", args[0])));
+    let candidate = engine_rows(&load(&args[1]))
+        .unwrap_or_else(|| fail(&format!("{} has no `engine` array", args[1])));
     if baseline.is_empty() {
-        eprintln!("error: {} has no engine rows", args[0]);
-        std::process::exit(2);
+        fail(&format!("{} has no engine rows", args[0]));
     }
+    check_sibling_history(&args[0], &baseline);
+    check_sibling_history(&args[1], &candidate);
 
     let (lines, failures) = check(&baseline, &candidate, max_regression);
     for line in &lines {
@@ -192,98 +153,147 @@ fn main() {
     );
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+fn cmd_record(mut args: Vec<String>) {
+    let host = take_flag(&mut args, "--host").unwrap_or_else(detect_host);
+    let commit = take_flag(&mut args, "--commit").unwrap_or_else(detect_commit);
+    let ts: u64 = take_flag(&mut args, "--ts")
+        .map(|v| parse_num(&v, "--ts"))
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0)
+        });
+    expect_args(
+        &args,
+        2,
+        "record <BENCH_engine.json> <BENCH_history.jsonl> [--host H] [--commit C] [--ts N]",
+    );
+    let rows = snapshot_history_rows(&load(&args[0]), &host, &commit, ts)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", args[0])));
+    append_rows(&args[1], &rows).unwrap_or_else(|e| fail(&e));
+    println!(
+        "bench_check: recorded {} rung(s) at unix_ts {ts} (host {host}, commit {commit}) into {}",
+        rows.len(),
+        args[1]
+    );
+}
 
-    fn row(backend: &str, actors: u64, shards: u64, ops: f64) -> EngineRow {
-        EngineRow {
-            backend: backend.to_owned(),
-            actors,
-            shards,
-            ops_per_second: ops,
+fn cmd_trend(mut args: Vec<String>) {
+    let cfg = trend_config(&mut args);
+    let snapshot = take_flag(&mut args, "--snapshot");
+    expect_args(
+        &args,
+        1,
+        "trend <BENCH_history.jsonl> [--snapshot BENCH_engine.json] [--window K] \
+         [--tolerance T] [--mad-gate G] [--min-history N]",
+    );
+    let history = load_history(&args[0]);
+    if history.is_empty() {
+        fail(&format!("{} has no history rows", args[0]));
+    }
+    if let Some(snap_path) = snapshot {
+        let rows = engine_rows(&load(&snap_path))
+            .unwrap_or_else(|| fail(&format!("{snap_path} has no `engine` array")));
+        if let Err(e) = check_snapshot_agreement(&rows, &history) {
+            fail(&format!("{snap_path} vs {}: {e}", args[0]));
         }
     }
 
-    #[test]
-    fn rows_without_backend_or_shards_default_to_the_reference() {
-        let doc = parse(
-            br#"{"engine": [
-                {"actors": 100, "ops_per_second": 5000.0},
-                {"backend": "s3", "actors": 100, "shards": 4, "ops_per_second": 4000.0}
-            ]}"#,
-        )
-        .unwrap();
-        let rows = engine_rows(&doc).unwrap();
-        assert_eq!(rows[0], row(DEFAULT_BACKEND, 100, 1, 5000.0));
-        assert_eq!(rows[1], row("s3", 100, 4, 4000.0));
+    let report = analyze(&history, &cfg);
+    for k in report.keys.iter().filter(|k| k.in_latest_run) {
+        println!("{}", k.line());
     }
-
-    #[test]
-    fn matching_rows_within_tolerance_pass() {
-        let base = [row("was", 100, 1, 1000.0)];
-        let cand = [row("was", 100, 1, 800.0)];
-        let (lines, failures) = check(&base, &cand, 0.25);
-        assert_eq!(failures, 0, "{lines:?}");
-    }
-
-    #[test]
-    fn regression_beyond_tolerance_fails() {
-        let base = [row("was", 100, 1, 1000.0)];
-        let cand = [row("was", 100, 1, 700.0)];
-        let (lines, failures) = check(&base, &cand, 0.25);
-        assert_eq!(failures, 1);
-        assert!(lines.iter().any(|l| l.contains("REGRESSION")), "{lines:?}");
-    }
-
-    #[test]
-    fn missing_candidate_row_fails() {
-        let base = [row("was", 100, 1, 1000.0), row("was", 200, 1, 1500.0)];
-        let cand = [row("was", 100, 1, 1000.0)];
-        let (_, failures) = check(&base, &cand, 0.25);
-        assert_eq!(failures, 1);
-    }
-
-    #[test]
-    fn ladder_growth_on_a_known_combination_passes_freely() {
-        let base = [row("was", 100, 1, 1000.0)];
-        // New actor count, same (backend, shards): growth, not an error.
-        let cand = [row("was", 100, 1, 1000.0), row("was", 400, 1, 2000.0)];
-        let (lines, failures) = check(&base, &cand, 0.25);
-        assert_eq!(failures, 0, "{lines:?}");
-    }
-
-    #[test]
-    fn unknown_backend_combination_is_an_error_not_a_silent_pass() {
-        let base = [row("was", 100, 1, 1000.0)];
-        let cand = [row("was", 100, 1, 1000.0), row("gcs", 100, 1, 900.0)];
-        let (lines, failures) = check(&base, &cand, 0.25);
-        assert_eq!(failures, 1);
-        assert!(
-            lines.iter().any(|l| l.contains("absent from the baseline")),
-            "{lines:?}"
+    let gated = report.gated();
+    if !gated.is_empty() {
+        eprintln!(
+            "bench_check: {} series regressed beyond trend (window {}, tolerance {:.0}%, \
+             {}σ noise band)",
+            gated.len(),
+            cfg.window,
+            cfg.tolerance * 100.0,
+            cfg.mad_gate
         );
+        std::process::exit(1);
     }
+    println!(
+        "bench_check: OK ({} series in latest run within trend; {} series tracked)",
+        report.keys.iter().filter(|k| k.in_latest_run).count(),
+        report.keys.len()
+    );
+}
 
-    #[test]
-    fn unknown_shard_combination_is_an_error_too() {
-        let base = [row("was", 100, 1, 1000.0), row("was", 100, 2, 1800.0)];
-        let cand = [
-            row("was", 100, 1, 1000.0),
-            row("was", 100, 2, 1800.0),
-            row("was", 100, 8, 4000.0),
-        ];
-        let (_, failures) = check(&base, &cand, 0.25);
-        assert_eq!(failures, 1);
+fn cmd_report(mut args: Vec<String>) {
+    let cfg = trend_config(&mut args);
+    let out_dir = take_flag(&mut args, "--out").unwrap_or_else(|| "results".to_owned());
+    expect_args(
+        &args,
+        1,
+        "report <BENCH_history.jsonl> [--out DIR] [--window K] [--tolerance T]",
+    );
+    let history = load_history(&args[0]);
+    if history.is_empty() {
+        fail(&format!("{} has no history rows", args[0]));
     }
+    let report = analyze(&history, &cfg);
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {out_dir}: {e}")));
+    let md_path = format!("{out_dir}/bench_report.md");
+    let html_path = format!("{out_dir}/bench_report.html");
+    std::fs::write(&md_path, render_markdown(&history, &report, &cfg))
+        .unwrap_or_else(|e| fail(&format!("cannot write {md_path}: {e}")));
+    std::fs::write(&html_path, render_html(&history, &report, &cfg))
+        .unwrap_or_else(|e| fail(&format!("cannot write {html_path}: {e}")));
+    println!(
+        "bench_check: wrote {md_path} and {html_path} ({} series, {} gated)",
+        report.keys.len(),
+        report.gated().len()
+    );
+}
 
-    #[test]
-    fn backend_names_are_matched_case_insensitively_at_parse_time() {
-        // `figures bench` serializes the serde-derived variant name
-        // (`"Was"`); the hand-written history/config lines use lowercase.
-        // Parsing folds both onto the lowercase profile name.
-        let doc = parse(br#"{"engine": [{"backend": "Was", "actors": 1, "ops_per_second": 1.0}]}"#)
-            .unwrap();
-        assert_eq!(engine_rows(&doc).unwrap()[0].backend, "was");
+fn cmd_migrate(args: Vec<String>) {
+    expect_args(&args, 1, "migrate <BENCH_history.jsonl>");
+    let text = std::fs::read_to_string(&args[0])
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", args[0])));
+    let (rows, legacy) = migrate(&text).unwrap_or_else(|e| fail(&e));
+    if legacy == 0 {
+        println!(
+            "bench_check: {} already v1 ({} row(s)), nothing to migrate",
+            args[0],
+            rows.len()
+        );
+        return;
+    }
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&r.to_line());
+        out.push('\n');
+    }
+    std::fs::write(&args[0], out)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args[0])));
+    println!(
+        "bench_check: migrated {legacy} legacy run line(s) into {} v1 row(s) in {}",
+        rows.len(),
+        args[0]
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_record(args[1..].to_vec()),
+        Some("trend") => cmd_trend(args[1..].to_vec()),
+        Some("report") => cmd_report(args[1..].to_vec()),
+        Some("migrate") => cmd_migrate(args[1..].to_vec()),
+        _ => {
+            if args.len() < 2 || args.len() > 3 {
+                eprintln!(
+                    "usage: bench_check <baseline.json> <candidate.json> [max_regression]\n\
+                     \u{20}      bench_check record|trend|report|migrate ... (see --help in docs)"
+                );
+                std::process::exit(2);
+            }
+            cmd_compare(&args);
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! non-zero — CI runs this after reduced-scale `figures profile`,
 //! `figures timeline` and `figures bottleneck` passes.
 
+use azurebench::schema::validate;
 use serde::value::{find, parse, Value};
 
 /// Metric families the Prometheus export must expose.
@@ -22,73 +23,6 @@ const REQUIRED_FAMILIES: [&str; 5] = [
     "azsim_partition_ops_total",
     "azsim_phase_latency_seconds",
 ];
-
-fn type_name(v: &Value) -> &'static str {
-    match v {
-        Value::Null => "null",
-        Value::Bool(_) => "boolean",
-        Value::Num(n) => {
-            if n.contains(['.', 'e', 'E']) {
-                "number"
-            } else {
-                "integer"
-            }
-        }
-        Value::Str(_) => "string",
-        Value::Arr(_) => "array",
-        Value::Obj(_) => "object",
-    }
-}
-
-/// Walk `doc` against `schema`, appending one message per violation.
-fn validate(doc: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
-    let Some(schema) = schema.as_object() else {
-        return; // non-object schema nodes (e.g. booleans) accept anything
-    };
-
-    if let Some(Value::Str(want)) = find(schema, "type") {
-        let got = type_name(doc);
-        // JSON Schema: every integer is also a number.
-        let ok = got == want || (want == "number" && got == "integer");
-        if !ok {
-            errors.push(format!("{path}: expected {want}, got {got}"));
-            return;
-        }
-    }
-
-    if let Some(Value::Str(want)) = find(schema, "const") {
-        if doc.as_str() != Some(want) {
-            errors.push(format!("{path}: expected constant {want:?}, got {doc:?}"));
-        }
-    }
-
-    if let Some(Value::Arr(required)) = find(schema, "required") {
-        if let Some(members) = doc.as_object() {
-            for req in required {
-                if let Some(key) = req.as_str() {
-                    if find(members, key).is_none() {
-                        errors.push(format!("{path}: missing required key {key:?}"));
-                    }
-                }
-            }
-        }
-    }
-
-    if let (Some(Value::Obj(props)), Some(members)) = (find(schema, "properties"), doc.as_object())
-    {
-        for (key, sub) in props {
-            if let Some(child) = find(members, key) {
-                validate(child, sub, &format!("{path}.{key}"), errors);
-            }
-        }
-    }
-
-    if let (Some(item_schema), Some(elems)) = (find(schema, "items"), doc.as_array()) {
-        for (i, elem) in elems.iter().enumerate() {
-            validate(elem, item_schema, &format!("{path}[{i}]"), errors);
-        }
-    }
-}
 
 /// Check the Prometheus text export for the required families.
 fn check_prometheus(text: &str, errors: &mut Vec<String>) {

@@ -26,11 +26,13 @@
 //! `--threads N` caps the sweep engine's point-level parallelism (`0`,
 //! the default, uses every core; `1` forces the serial schedule — the
 //! emitted figures are identical either way). The `profile` target runs
-//! the mixed workload with phase tracing and writes `profile.json` and
-//! `profile.prom` (into the `--csv` directory if given, else `results/`).
-//! The `timeline` target runs the mixed workload under a fault plan with
-//! virtual-time gauge sampling enabled and writes `timeline.json`,
-//! `timeline.csv` and a Perfetto-loadable `trace.json`. The `bottleneck`
+//! the mixed workload with phase tracing and writes `profile.json`,
+//! `profile.prom` and `profile.otlp.json` (into the `--csv` directory if
+//! given, else `results/`). The `timeline` target runs the mixed workload
+//! under a fault plan with virtual-time gauge sampling enabled and writes
+//! `timeline.json`, `timeline.csv`, a Perfetto-loadable `trace.json`, and
+//! `metrics.prom`/`metrics.otlp.json` — the Prometheus, OTLP and Chrome
+//! trace exports all render the same end-of-run snapshot. The `bottleneck`
 //! target sweeps the attribution scenarios over the worker ladder and
 //! writes `bottlenecks.json` plus a `bottlenecks.md` summary table.
 //! `--shards N` runs every simulation on the sharded executor with `N`
@@ -42,12 +44,15 @@
 //! The `bench` target runs the engine micro-benchmark ladder (serial
 //! always; sharded rungs too when `--shards` > 1, including a 100 000
 //! actor smoke rung) plus a timed pass over the figure suite, writes
-//! `BENCH_engine.json`, and appends one JSON line per run to
-//! `BENCH_history.jsonl` so engine throughput is tracked over time.
+//! `BENCH_engine.json`, and appends one `azurebench-bench-history/v1`
+//! row per rung to `BENCH_history.jsonl` (host/commit/backend provenance,
+//! stale-timestamp appends refused) so engine throughput is tracked over
+//! time — `bench_check trend` gates on deviation from that history.
 
 use azsim_fabric::BackendKind;
 use azurebench::{
-    alg1_blob, alg3_queue, alg4_queue, alg5_table, chaos, fig9, verify, BenchConfig, Figure,
+    alg1_blob, alg3_queue, alg4_queue, alg5_table, benchhist, chaos, fig9, verify, BenchConfig,
+    Figure,
 };
 use std::io::Write;
 use std::time::Instant;
@@ -315,6 +320,9 @@ fn run_targets(args: &Args, cfg: BenchConfig, kind: BackendKind) {
         let prom_path = format!("{dir}/profile{sfx}.prom");
         std::fs::write(&prom_path, report.to_prometheus()).expect("write profile.prom");
         eprintln!("wrote {prom_path}");
+        let otlp_path = format!("{dir}/profile{sfx}.otlp.json");
+        std::fs::write(&otlp_path, report.to_otlp()).expect("write profile.otlp.json");
+        eprintln!("wrote {otlp_path}");
     }
     if want("timeline") {
         let t = Instant::now();
@@ -330,6 +338,8 @@ fn run_targets(args: &Args, cfg: BenchConfig, kind: BackendKind) {
             ("timeline", "json", report.to_json()),
             ("timeline", "csv", report.to_csv()),
             ("trace", "json", report.to_chrome_trace()),
+            ("metrics", "prom", report.to_prometheus()),
+            ("metrics", "otlp.json", report.to_otlp()),
         ] {
             let path = format!("{dir}/{name}{sfx}.{ext}");
             std::fs::write(&path, body).expect("write timeline export");
@@ -537,7 +547,12 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>, kind: BackendKind, sfx
         rungs.push((100_000, 256, cfg.shards));
     }
 
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (host, commit) = (benchhist::detect_host(), benchhist::detect_commit());
     let mut engines = Vec::new();
+    let mut history_rows = Vec::new();
     for (actors, per_actor, shards) in rungs {
         let run = engine_ops(actors, per_actor, shards);
         let (ops, wall) = (run.ops, run.wall);
@@ -557,6 +572,24 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>, kind: BackendKind, sfx
              \"cores\": {cores}, \"simulated_ops\": {ops}, \"wall_seconds\": {wall:.6}, \
              \"ops_per_second\": {rate:.1}, \"per_shard_events\": [{per_shard}] }}"
         ));
+        // The snapshot rounds wall/ops-per-second; the history row must
+        // carry the same rounded values so `bench_check` sees snapshot and
+        // history agree on the latest run.
+        history_rows.push(benchhist::HistoryRow {
+            unix_ts: ts,
+            host: host.clone(),
+            commit: commit.clone(),
+            backend: backend.to_owned(),
+            scale: cfg.scale,
+            seed: cfg.seed,
+            actors: actors as u64,
+            shards: shards as u64,
+            cores: cores as u64,
+            simulated_ops: ops,
+            wall_seconds: format!("{wall:.6}").parse().unwrap_or(wall),
+            ops_per_second: format!("{rate:.1}").parse().unwrap_or(rate),
+            per_shard_events: run.shard_events.clone(),
+        });
     }
     lines.push_str("  \"engine\": [\n");
     lines.push_str(&engines.join(",\n"));
@@ -599,30 +632,19 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>, kind: BackendKind, sfx
     std::fs::write(&path, &lines).expect("write BENCH_engine.json");
     eprintln!("wrote {path}");
 
-    // Append one compact line per run so engine throughput is tracked over
-    // time (the full export above is a snapshot, overwritten every run).
-    let ts = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs());
-    let history_line = format!(
-        "{{\"unix_ts\": {ts}, \"backend\": \"{backend}\", \"scale\": {}, \"seed\": {}, \
-         \"shards\": {}, \"cores\": {cores}, \"engine\": [{}]}}\n",
-        cfg.scale,
-        cfg.seed,
-        cfg.shards,
-        engines
-            .iter()
-            .map(|e| e.trim().to_owned())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
+    // Append one v1 row per rung so engine throughput is tracked over time
+    // (the full export above is a snapshot, overwritten every run). The
+    // append refuses runs older than the history tail — a skewed clock or a
+    // replayed run must not corrupt the trend order.
     let history_path = format!("{dir}/BENCH_history.jsonl");
-    use std::io::Write as _;
-    std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&history_path)
-        .and_then(|mut f| f.write_all(history_line.as_bytes()))
-        .expect("append BENCH_history.jsonl");
-    eprintln!("appended {history_path}");
+    match benchhist::append_rows(&history_path, &history_rows) {
+        Ok(()) => eprintln!(
+            "appended {history_path} ({} rung(s) at unix_ts {ts})",
+            history_rows.len()
+        ),
+        Err(e) => {
+            eprintln!("error: {history_path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

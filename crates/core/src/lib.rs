@@ -24,6 +24,7 @@ pub mod alg1_blob;
 pub mod alg3_queue;
 pub mod alg4_queue;
 pub mod alg5_table;
+pub mod benchhist;
 pub mod bottleneck;
 pub mod chaos;
 pub mod config;
@@ -35,6 +36,7 @@ pub mod latency;
 pub mod payload;
 pub mod profile;
 pub mod report;
+pub mod schema;
 pub mod sweep;
 pub mod timeline;
 pub mod verify;

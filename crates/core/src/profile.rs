@@ -305,6 +305,23 @@ impl ProfileReport {
             .map(|p| p.snapshot.to_prometheus())
             .unwrap_or_default()
     }
+
+    /// OTLP-shaped JSON of the same top-ladder-point snapshot the
+    /// Prometheus export renders — one `MetricsSnapshot`, three wire
+    /// formats. Run provenance (scale, seed, worker count) rides as
+    /// resource attributes.
+    pub fn to_otlp(&self) -> String {
+        self.points
+            .last()
+            .map(|p| {
+                p.snapshot.to_otlp_json(&[
+                    ("azurebench.scale", &format!("{:?}", self.scale)),
+                    ("azurebench.seed", &self.seed.to_string()),
+                    ("azurebench.workers", &p.workers.to_string()),
+                ])
+            })
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +361,30 @@ mod tests {
             assert!(e2e.quantile(0.95) <= e2e.quantile(0.99));
             assert!(stats.outcome_count(TraceOutcome::Ok) > 0);
         }
+    }
+
+    #[test]
+    fn otlp_export_matches_schema_and_shares_the_snapshot() {
+        let r = small_profile();
+        let otlp = r.to_otlp();
+        let doc = serde::value::parse(otlp.as_bytes()).expect("OTLP export parses");
+        let errors = crate::schema::validate_against_file(
+            &doc,
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../schemas/otlp_metrics.schema.json"
+            ),
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+        // Same top-ladder snapshot feeds Prometheus and OTLP: the total
+        // completed count appears in both.
+        let completed = r.points.last().unwrap().snapshot.totals.completed;
+        assert!(r.to_prometheus().contains(&format!("outcome=\"ok\"}} {}", {
+            let snap = &r.points.last().unwrap().snapshot;
+            snap.ops.first().unwrap().completed
+        })));
+        assert!(completed > 0);
+        assert!(otlp.contains("azurebench.workers"));
     }
 
     #[test]

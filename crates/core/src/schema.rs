@@ -1,0 +1,145 @@
+//! A tiny JSON-Schema-subset validator shared by the `export_check` bin
+//! and the in-tree schema tests.
+//!
+//! Supports exactly the keywords the checked-in `schemas/*.schema.json`
+//! files use — `type` (with the JSON-Schema rule that every integer is
+//! also a number), `const` (strings), `required`, `properties` and
+//! `items` — and nothing more. Non-object schema nodes accept anything,
+//! matching JSON Schema's boolean-schema semantics.
+
+use serde::value::{find, Value};
+
+/// The JSON type name of a value, distinguishing `integer` from
+/// `number` by the presence of a fraction or exponent in the raw text.
+pub fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Num(n) => {
+            if n.contains(['.', 'e', 'E']) {
+                "number"
+            } else {
+                "integer"
+            }
+        }
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    }
+}
+
+/// Walk `doc` against `schema`, appending one message per violation.
+/// `path` seeds the JSON-path prefix of the messages (use `"$"`).
+pub fn validate(doc: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(schema) = schema.as_object() else {
+        return; // non-object schema nodes (e.g. booleans) accept anything
+    };
+
+    if let Some(Value::Str(want)) = find(schema, "type") {
+        let got = type_name(doc);
+        // JSON Schema: every integer is also a number.
+        let ok = got == want || (want == "number" && got == "integer");
+        if !ok {
+            errors.push(format!("{path}: expected {want}, got {got}"));
+            return;
+        }
+    }
+
+    if let Some(Value::Str(want)) = find(schema, "const") {
+        if doc.as_str() != Some(want) {
+            errors.push(format!("{path}: expected constant {want:?}, got {doc:?}"));
+        }
+    }
+
+    if let Some(Value::Arr(required)) = find(schema, "required") {
+        if let Some(members) = doc.as_object() {
+            for req in required {
+                if let Some(key) = req.as_str() {
+                    if find(members, key).is_none() {
+                        errors.push(format!("{path}: missing required key {key:?}"));
+                    }
+                }
+            }
+        }
+    }
+
+    if let (Some(Value::Obj(props)), Some(members)) = (find(schema, "properties"), doc.as_object())
+    {
+        for (key, sub) in props {
+            if let Some(child) = find(members, key) {
+                validate(child, sub, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+
+    if let (Some(item_schema), Some(elems)) = (find(schema, "items"), doc.as_array()) {
+        for (i, elem) in elems.iter().enumerate() {
+            validate(elem, item_schema, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+/// Validate `doc` against the schema file at `schema_path`, returning
+/// every violation. Panics on unreadable or invalid schema files — the
+/// schemas are checked-in artifacts, not user input.
+pub fn validate_against_file(doc: &Value, schema_path: &str) -> Vec<String> {
+    let bytes = std::fs::read(schema_path)
+        .unwrap_or_else(|e| panic!("cannot read schema {schema_path}: {e}"));
+    let schema = serde::value::parse(&bytes)
+        .unwrap_or_else(|e| panic!("schema {schema_path} is not valid JSON: {e}"));
+    let mut errors = Vec::new();
+    validate(doc, &schema, "$", &mut errors);
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::parse;
+
+    #[test]
+    fn type_mismatches_and_missing_keys_are_reported_with_paths() {
+        let schema = parse(
+            br#"{"type": "object", "required": ["a", "b"],
+                 "properties": {"a": {"type": "integer"},
+                                "c": {"type": "array", "items": {"type": "string"}}}}"#,
+        )
+        .unwrap();
+        let doc = parse(br#"{"a": 1.5, "c": ["x", 3]}"#).unwrap();
+        let mut errors = Vec::new();
+        validate(&doc, &schema, "$", &mut errors);
+        assert!(errors
+            .iter()
+            .any(|e| e == "$.a: expected integer, got number"));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing required key \"b\"")));
+        assert!(errors.iter().any(|e| e.contains("$.c[1]")));
+    }
+
+    #[test]
+    fn integers_satisfy_number_and_const_pins_strings() {
+        let schema = parse(
+            br#"{"type": "object",
+                 "properties": {"v": {"type": "number"},
+                                "s": {"type": "string", "const": "tag/v1"}}}"#,
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        validate(
+            &parse(br#"{"v": 3, "s": "tag/v1"}"#).unwrap(),
+            &schema,
+            "$",
+            &mut errors,
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+        validate(
+            &parse(br#"{"v": 3, "s": "tag/v2"}"#).unwrap(),
+            &schema,
+            "$",
+            &mut errors,
+        );
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("expected constant"));
+    }
+}

@@ -59,6 +59,10 @@ pub struct TimelineReport {
     pub requests: u64,
     /// Time-weighted per-resource usage over the run.
     pub usage: Vec<ResourceUsage>,
+    /// The cluster's metrics snapshot at end of run — the same value the
+    /// Prometheus and OTLP exports render, so every telemetry format of a
+    /// timeline run derives from one snapshot.
+    pub snapshot: azsim_fabric::metrics::MetricsSnapshot,
     recorder: GaugeRecorder,
     events: Vec<TimelineEvent>,
     records: Vec<TraceRecord>,
@@ -169,6 +173,7 @@ pub fn run_timeline(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) ->
         .map(|t| t.records().to_vec())
         .unwrap_or_default();
     let usage = model.resource_usage(report.end_time);
+    let snapshot = model.snapshot();
     TimelineReport {
         workers,
         ops_per_worker,
@@ -178,6 +183,7 @@ pub fn run_timeline(cfg: &BenchConfig, workers: usize, ops_per_worker: usize) ->
         end_time: report.end_time,
         requests: report.requests,
         usage,
+        snapshot,
         recorder,
         events,
         records,
@@ -394,6 +400,23 @@ impl TimelineReport {
             }
         }
         out
+    }
+
+    /// Prometheus text-format render of the end-of-run metrics snapshot —
+    /// the same [`MetricsSnapshot`](azsim_fabric::metrics::MetricsSnapshot)
+    /// that [`to_otlp`](Self::to_otlp) and the Chrome trace derive from.
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot.to_prometheus()
+    }
+
+    /// OTLP-shaped JSON render of the end-of-run metrics snapshot, tagged
+    /// with the run's scale/seed/workers as resource attributes.
+    pub fn to_otlp(&self) -> String {
+        self.snapshot.to_otlp_json(&[
+            ("azurebench.scale", &format!("{:?}", self.scale)),
+            ("azurebench.seed", &self.seed.to_string()),
+            ("azurebench.workers", &self.workers.to_string()),
+        ])
     }
 
     /// Export the run in Chrome Trace Event format, loadable in Perfetto

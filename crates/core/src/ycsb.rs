@@ -165,7 +165,7 @@ impl Default for YcsbConfig {
     }
 }
 
-fn record_key(i: u64) -> (String, String) {
+pub(crate) fn record_key(i: u64) -> (String, String) {
     // Spread records over 16 partitions by hashed prefix — a "good
     // partitioning" per the paper's advice — with the row key carrying the
     // record id.

@@ -4,7 +4,9 @@
 //! allocation per op). [`MetricsSnapshot`] is the cold-path export view the
 //! cluster produces on demand: per-class counters, per-partition hot-key
 //! heat, fault tallies and — when phase profiling is enabled — per-phase
-//! latency histograms, serializable to JSON and Prometheus text format.
+//! latency histograms, serializable to JSON, Prometheus text format and
+//! OTLP/HTTP-shaped JSON (`resourceMetrics` → `scopeMetrics` → metric
+//! points) — one snapshot feeds every export.
 
 use crate::faults::FaultMetrics;
 use crate::trace::{Phase, PhaseAggregate, TraceOutcome};
@@ -451,6 +453,162 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Render as OTLP/HTTP-shaped JSON (the `ExportMetricsServiceRequest`
+    /// wire shape: `resourceMetrics` → `resource`/`scopeMetrics` →
+    /// `scope`/`metrics`), hand-encoded offline — no collector, no new
+    /// crates. Cumulative sums carry `asInt` (OTLP encodes int64 as a JSON
+    /// string); phase latencies export as OTLP summaries with the same
+    /// quantiles as the Prometheus view. Timestamps are `"0"`: the
+    /// simulation runs in virtual time, and a deterministic export must
+    /// not embed wall clocks. `resource` attributes are appended after
+    /// `service.name=azurebench`, letting callers tag host/run provenance.
+    pub fn to_otlp_json(&self, resource: &[(&str, &str)]) -> String {
+        let mut attrs = vec![otlp_attr("service.name", "azurebench")];
+        attrs.extend(resource.iter().map(|(k, v)| otlp_attr(k, v)));
+
+        let mut metrics = Vec::new();
+
+        let mut points = Vec::new();
+        for o in &self.ops {
+            for (outcome, v) in [
+                ("ok", o.completed),
+                ("throttled", o.throttled),
+                ("failed", o.failed),
+            ] {
+                points.push(otlp_int_point(
+                    &[otlp_attr("class", &o.class), otlp_attr("outcome", outcome)],
+                    v,
+                ));
+            }
+        }
+        metrics.push(otlp_sum("azsim.ops", "{operation}", &points));
+
+        let mut points = Vec::new();
+        for o in &self.ops {
+            for (direction, v) in [("up", o.bytes_up), ("down", o.bytes_down)] {
+                points.push(otlp_int_point(
+                    &[
+                        otlp_attr("class", &o.class),
+                        otlp_attr("direction", direction),
+                    ],
+                    v,
+                ));
+            }
+        }
+        metrics.push(otlp_sum("azsim.bytes", "By", &points));
+
+        let mut points = Vec::new();
+        for (kind, v) in [
+            ("busy", self.faults.injected_busy),
+            ("crash", self.faults.crash_faults),
+            ("blackout", self.faults.blackout_faults),
+            ("drop", self.faults.dropped),
+            ("ack_loss", self.faults.ack_losses),
+            ("crash_ambiguous", self.faults.crash_ambiguous),
+            ("replica_stall", self.faults.replica_stalls),
+        ] {
+            points.push(otlp_int_point(&[otlp_attr("kind", kind)], v));
+        }
+        metrics.push(otlp_sum("azsim.fault.injections", "{fault}", &points));
+        metrics.push(otlp_sum(
+            "azsim.ambiguous.outcomes",
+            "{operation}",
+            &[otlp_int_point(&[], self.faults.ambiguous)],
+        ));
+
+        let mut points = Vec::new();
+        for h in &self.partitions {
+            points.push(otlp_int_point(
+                &[
+                    otlp_attr("partition", &h.partition),
+                    otlp_attr("server", &h.server.to_string()),
+                ],
+                h.ops,
+            ));
+        }
+        metrics.push(otlp_sum("azsim.partition.ops", "{operation}", &points));
+
+        let mut points = Vec::new();
+        for c in &self.phases {
+            let mut emit = |q: &QuantileSnapshot| {
+                points.push(otlp_summary_point(
+                    &[otlp_attr("class", &c.class), otlp_attr("phase", &q.phase)],
+                    q,
+                ));
+            };
+            emit(&c.end_to_end);
+            for q in &c.phases {
+                emit(q);
+            }
+        }
+        metrics.push(format!(
+            "{{\"name\":\"azsim.phase.latency\",\"unit\":\"s\",\
+             \"summary\":{{\"dataPoints\":[{}]}}}}",
+            points.join(",")
+        ));
+
+        format!(
+            "{{\"resourceMetrics\":[{{\"resource\":{{\"attributes\":[{}]}},\
+             \"scopeMetrics\":[{{\"scope\":{{\"name\":\"azsim_fabric.metrics\",\
+             \"version\":\"{}\"}},\"metrics\":[{}]}}]}}]}}",
+            attrs.join(","),
+            self.schema,
+            metrics.join(",")
+        )
+    }
+}
+
+/// One OTLP string attribute: `{"key":…,"value":{"stringValue":…}}`.
+fn otlp_attr(key: &str, value: &str) -> String {
+    let mut s = String::from("{\"key\":");
+    serde::ser::write_escaped(key, &mut s);
+    s.push_str(",\"value\":{\"stringValue\":");
+    serde::ser::write_escaped(value, &mut s);
+    s.push_str("}}");
+    s
+}
+
+/// One cumulative integer data point (int64 rides as a JSON string on the
+/// OTLP/HTTP wire).
+fn otlp_int_point(attrs: &[String], v: u64) -> String {
+    format!(
+        "{{\"attributes\":[{}],\"startTimeUnixNano\":\"0\",\"timeUnixNano\":\"0\",\
+         \"asInt\":\"{v}\"}}",
+        attrs.join(",")
+    )
+}
+
+/// One cumulative sum metric.
+fn otlp_sum(name: &str, unit: &str, points: &[String]) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"unit\":\"{unit}\",\"sum\":{{\"aggregationTemporality\":2,\
+         \"isMonotonic\":true,\"dataPoints\":[{}]}}}}",
+        points.join(",")
+    )
+}
+
+/// One summary data point mirroring the Prometheus summary view, with the
+/// exact maximum exported as the 1.0 quantile.
+fn otlp_summary_point(attrs: &[String], q: &QuantileSnapshot) -> String {
+    let quantiles = [
+        (0.5, q.p50_s),
+        (0.95, q.p95_s),
+        (0.99, q.p99_s),
+        (0.999, q.p999_s),
+        (1.0, q.max_s),
+    ]
+    .iter()
+    .map(|&(quantile, v)| format!("{{\"quantile\":{quantile:?},\"value\":{v:?}}}"))
+    .collect::<Vec<_>>()
+    .join(",");
+    format!(
+        "{{\"attributes\":[{}],\"startTimeUnixNano\":\"0\",\"timeUnixNano\":\"0\",\
+         \"count\":\"{}\",\"sum\":{:?},\"quantileValues\":[{quantiles}]}}",
+        attrs.join(","),
+        q.count,
+        q.sum_s
+    )
 }
 
 /// Escape a label value for the Prometheus text exposition format:
@@ -613,6 +771,52 @@ mod tests {
             "azsim_phase_latency_seconds_count{class=\"queue.put\",phase=\"service\"} 1"
         ));
         assert!(prom.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn otlp_export_is_shaped_and_deterministic() {
+        let snap = sample_snapshot();
+        let otlp = snap.to_otlp_json(&[("host.name", "ci-runner")]);
+        // The ExportMetricsServiceRequest wire shape, outermost first.
+        assert!(otlp.starts_with("{\"resourceMetrics\":[{\"resource\":"));
+        assert!(
+            otlp.contains("{\"key\":\"service.name\",\"value\":{\"stringValue\":\"azurebench\"}}")
+        );
+        assert!(otlp.contains("{\"key\":\"host.name\",\"value\":{\"stringValue\":\"ci-runner\"}}"));
+        assert!(otlp.contains(
+            "\"scope\":{\"name\":\"azsim_fabric.metrics\",\"version\":\"azurebench-metrics/v1\"}"
+        ));
+        // Cumulative monotonic sums with int64-as-string points.
+        assert!(otlp.contains("\"name\":\"azsim.ops\""));
+        assert!(otlp.contains("\"aggregationTemporality\":2,\"isMonotonic\":true"));
+        assert!(otlp.contains("\"asInt\":\"3\""));
+        assert!(otlp.contains("{\"key\":\"outcome\",\"value\":{\"stringValue\":\"throttled\"}}"));
+        // The summary mirrors the Prometheus quantiles plus the exact max.
+        assert!(otlp.contains("\"name\":\"azsim.phase.latency\""));
+        assert!(otlp.contains("\"quantile\":0.999"));
+        assert!(otlp.contains("\"quantile\":1.0"));
+        // Virtual time: no wall-clock timestamps, ever.
+        assert!(otlp.contains("\"timeUnixNano\":\"0\""));
+        // Same snapshot → byte-identical export.
+        assert_eq!(
+            otlp,
+            sample_snapshot().to_otlp_json(&[("host.name", "ci-runner")])
+        );
+        // It parses as JSON (the shim parser is strict about structure).
+        serde::value::parse(otlp.as_bytes()).expect("OTLP export parses");
+    }
+
+    #[test]
+    fn otlp_prometheus_and_json_derive_from_one_snapshot() {
+        // One snapshot value feeds all three exports: the counts any two
+        // exports report for the same series must agree.
+        let snap = sample_snapshot();
+        let (json, prom, otlp) = (snap.to_json(), snap.to_prometheus(), snap.to_otlp_json(&[]));
+        assert!(json.contains("\"completed\":3"));
+        assert!(prom.contains("azsim_ops_total{class=\"queue.put\",outcome=\"ok\"} 3"));
+        assert!(otlp.contains("\"asInt\":\"3\""));
+        assert!(prom.contains("azsim_partition_ops_total{partition=\"queue:hot\",server=\"2\"} 4"));
+        assert!(otlp.contains("{\"key\":\"partition\",\"value\":{\"stringValue\":\"queue:hot\"}}"));
     }
 
     #[test]

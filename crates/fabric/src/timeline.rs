@@ -66,12 +66,10 @@ pub struct ClusterTimeline {
     submitted: u64,
     throttled: u64,
     ambiguous: u64,
-    /// Per-slot gauge handles, lazily registered up to the series cap.
+    /// Per-slot gauge handles, lazily registered — every partition gets a
+    /// series; the recorder's adaptive budget bounds total memory.
     slot_series: Vec<Option<SlotSeries>>,
-    registered_slots: usize,
-    dropped_slot_series: u64,
-    /// Per-slot bucket saturation — uncapped, O(1) each, so attribution
-    /// covers every partition even past the gauge-series cap.
+    /// Per-slot bucket saturation, O(1) each.
     slot_sat: Vec<SaturationTracker>,
     account_tx_sat: SaturationTracker,
     /// Completion times of operations still in flight.
@@ -79,13 +77,17 @@ pub struct ClusterTimeline {
 }
 
 impl ClusterTimeline {
-    /// At most this many partitions get their own gauge series; the rest
-    /// still get saturation tracking (used for attribution).
-    pub const MAX_SLOT_SERIES: usize = 64;
+    /// Global bucket budget across every gauge/counter series. Equal to
+    /// the worst case of the old design (64 capped slot series × 512
+    /// buckets each), but spent adaptively: any number of partitions may
+    /// register series, and when the total overflows, each series coarsens
+    /// its own resolution to a fair share instead of later partitions
+    /// being dropped outright.
+    pub const BUCKET_BUDGET: usize = 64 * 512;
 
     /// A timeline sampling at the given virtual-time resolution.
     pub fn new(resolution: Duration) -> Self {
-        let mut recorder = GaugeRecorder::new(resolution);
+        let mut recorder = GaugeRecorder::new(resolution).with_adaptive_budget(Self::BUCKET_BUDGET);
         let g_account_tx_fill = recorder.register_gauge("account_tx.fill", "tokens");
         let g_inflight = recorder.register_gauge("cluster.inflight", "ops");
         let g_fault_windows = recorder.register_gauge("faults.active_windows", "windows");
@@ -112,8 +114,6 @@ impl ClusterTimeline {
             throttled: 0,
             ambiguous: 0,
             slot_series: Vec::new(),
-            registered_slots: 0,
-            dropped_slot_series: 0,
             slot_sat: Vec::new(),
             account_tx_sat: SaturationTracker::new(),
             inflight: BinaryHeap::new(),
@@ -123,11 +123,6 @@ impl ClusterTimeline {
     /// The recorded series and events.
     pub fn recorder(&self) -> &GaugeRecorder {
         &self.recorder
-    }
-
-    /// Partitions that wanted a gauge series after the cap was reached.
-    pub fn dropped_slot_series(&self) -> u64 {
-        self.dropped_slot_series
     }
 
     /// Record one slot's state at an arrival. `bucket_fill` is present for
@@ -152,28 +147,23 @@ impl ClusterTimeline {
             self.slot_sat[slot_id].observe(now, fill < 1.0);
         }
         if self.slot_series[slot_id].is_none() {
-            if self.registered_slots < Self::MAX_SLOT_SERIES {
-                self.registered_slots += 1;
-                let label = key.to_string();
-                let fill_id = bucket_fill.map(|_| {
-                    self.recorder
-                        .register_gauge(format!("bucket_fill:{label}"), "tokens")
-                });
-                let pipe_id = pipe_backlog_s.map(|_| {
-                    self.recorder
-                        .register_gauge(format!("blob_write_backlog:{label}"), "seconds")
-                });
-                let fifo_id = self
-                    .recorder
-                    .register_gauge(format!("fifo_backlog:{label}"), "seconds");
-                self.slot_series[slot_id] = Some(SlotSeries {
-                    fill: fill_id,
-                    pipe_backlog: pipe_id,
-                    fifo_backlog: fifo_id,
-                });
-            } else {
-                self.dropped_slot_series += 1;
-            }
+            let label = key.to_string();
+            let fill_id = bucket_fill.map(|_| {
+                self.recorder
+                    .register_gauge(format!("bucket_fill:{label}"), "tokens")
+            });
+            let pipe_id = pipe_backlog_s.map(|_| {
+                self.recorder
+                    .register_gauge(format!("blob_write_backlog:{label}"), "seconds")
+            });
+            let fifo_id = self
+                .recorder
+                .register_gauge(format!("fifo_backlog:{label}"), "seconds");
+            self.slot_series[slot_id] = Some(SlotSeries {
+                fill: fill_id,
+                pipe_backlog: pipe_id,
+                fifo_backlog: fifo_id,
+            });
         }
         if let Some(series) = &self.slot_series[slot_id] {
             if let (Some(id), Some(v)) = (series.fill, bucket_fill) {
@@ -312,20 +302,30 @@ mod tests {
     }
 
     #[test]
-    fn slot_series_register_lazily_and_cap() {
+    fn every_slot_gets_a_series_within_the_adaptive_budget() {
+        // 5 slots past the old 64-series cap: all of them get gauge series
+        // now (no drop cliff), and the adaptive budget keeps total bucket
+        // memory bounded no matter how many slots register.
         let mut tl = ClusterTimeline::new(Duration::from_millis(10));
-        for i in 0..(ClusterTimeline::MAX_SLOT_SERIES + 5) {
+        let slots = 69;
+        for i in 0..slots {
             let key = PartitionKey::Queue {
                 queue: format!("q{i}"),
             };
-            tl.observe_slot(at(i as u64), i, &key, Some(50.0), None, 0.0);
+            for t in 0..20u64 {
+                tl.observe_slot(at(i as u64 * 100 + t), i, &key, Some(50.0), None, 0.0);
+            }
         }
-        assert_eq!(tl.registered_slots, ClusterTimeline::MAX_SLOT_SERIES);
-        assert_eq!(tl.dropped_slot_series(), 5);
-        // Saturation tracking covers every slot, capped or not.
-        assert!(tl
-            .slot_saturation(ClusterTimeline::MAX_SLOT_SERIES + 4, at(1000))
-            .is_some());
+        let fills = tl
+            .recorder()
+            .gauges()
+            .iter()
+            .filter(|g| g.name.starts_with("bucket_fill:"))
+            .count();
+        assert_eq!(fills, slots, "every partition slot has its own series");
+        assert!(tl.recorder().total_buckets() <= ClusterTimeline::BUCKET_BUDGET);
+        // Saturation tracking covers every slot too.
+        assert!(tl.slot_saturation(slots - 1, at(100_000)).is_some());
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! bounded for arbitrarily long runs: when a series exceeds its bucket
 //! budget it **coarsens by merging** — adjacent buckets are pairwise
 //! merged and the resolution doubles, so a series always covers the whole
-//! run at the finest resolution its budget allows.
+//! run at the finest resolution its budget allows. An optional **adaptive
+//! global budget** ([`GaugeRecorder::with_adaptive_budget`]) additionally
+//! bounds the total across all series: when exceeded, every series
+//! shrinks to its fair share, so per-series resolution degrades with
+//! observed sample rate instead of capping how many series may exist.
 //!
 //! Everything here is passive: recording reads the virtual clock it is
 //! handed and never advances or perturbs simulation state. The intended
@@ -138,6 +142,17 @@ impl TimeSeries {
         self.buckets = out;
     }
 
+    /// Tighten the bucket budget to `max` (never below 2) and coarsen
+    /// until the series fits. Tightening is permanent: later samples keep
+    /// respecting the new budget. Used by [`GaugeRecorder`]'s adaptive
+    /// global budget to shrink each series to its fair share.
+    pub fn shrink_to(&mut self, max: usize) {
+        self.max_buckets = max.max(2);
+        while self.buckets.len() > self.max_buckets {
+            self.coarsen();
+        }
+    }
+
     /// Current bucket width (grows as the series coarsens).
     pub fn resolution(&self) -> Duration {
         Duration::from_nanos(self.resolution_ns)
@@ -192,6 +207,12 @@ impl CounterSeries {
         self.series.record(t, delta);
     }
 
+    /// Tighten the underlying series' bucket budget (see
+    /// [`TimeSeries::shrink_to`]).
+    pub fn shrink_to(&mut self, max: usize) {
+        self.series.shrink_to(max);
+    }
+
     /// The delta series.
     pub fn series(&self) -> &TimeSeries {
         &self.series
@@ -241,6 +262,11 @@ pub struct GaugeRecorder {
     events: Vec<TimelineEvent>,
     max_events: usize,
     dropped_events: u64,
+    /// Global bucket budget across every series (None: per-series caps
+    /// only, the original behavior).
+    bucket_budget: Option<usize>,
+    /// Running total of live buckets across every series.
+    total_buckets: usize,
 }
 
 impl GaugeRecorder {
@@ -268,7 +294,72 @@ impl GaugeRecorder {
             events: Vec::new(),
             max_events,
             dropped_events: 0,
+            bucket_budget: None,
+            total_buckets: 0,
         }
+    }
+
+    /// Floor below which the adaptive budget never shrinks one series: a
+    /// handful of buckets keeps even starved series able to show shape.
+    pub const MIN_SERIES_BUCKETS: usize = 8;
+
+    /// Enable the adaptive global bucket budget: the recorder tracks total
+    /// buckets across *all* series, and whenever the total exceeds
+    /// `total`, every non-empty series shrinks to its fair share
+    /// (`total / live_series`, floored at [`Self::MIN_SERIES_BUCKETS`]) by
+    /// coarsening its own resolution. A series' resolution thus degrades
+    /// with its own sample rate and with global series pressure — memory
+    /// stays bounded without any fixed cap on the *number* of series. When
+    /// the floor dominates (more than `total / MIN_SERIES_BUCKETS` live
+    /// series) the budget is exceeded by at most the floor per series.
+    pub fn with_adaptive_budget(mut self, total: usize) -> Self {
+        self.bucket_budget = Some(total.max(Self::MIN_SERIES_BUCKETS));
+        self
+    }
+
+    /// The configured global bucket budget, if adaptive mode is on.
+    pub fn bucket_budget(&self) -> Option<usize> {
+        self.bucket_budget
+    }
+
+    /// Live buckets across every series right now.
+    pub fn total_buckets(&self) -> usize {
+        self.total_buckets
+    }
+
+    /// Account a series' bucket-count change and re-balance if the global
+    /// budget is exceeded.
+    fn note_growth(&mut self, before: usize, after: usize) {
+        self.total_buckets = (self.total_buckets + after).saturating_sub(before);
+        if let Some(budget) = self.bucket_budget {
+            if self.total_buckets > budget {
+                self.enforce_budget(budget);
+            }
+        }
+    }
+
+    /// Shrink every non-empty series to its fair share of the budget.
+    fn enforce_budget(&mut self, budget: usize) {
+        let live = self.gauges.iter().filter(|g| !g.series.is_empty()).count()
+            + self
+                .counters
+                .iter()
+                .filter(|c| !c.series.series().is_empty())
+                .count();
+        if live == 0 {
+            return;
+        }
+        let fair = (budget / live).clamp(Self::MIN_SERIES_BUCKETS, self.max_buckets.max(2));
+        let mut total = 0usize;
+        for g in &mut self.gauges {
+            g.series.shrink_to(fair);
+            total += g.series.len();
+        }
+        for c in &mut self.counters {
+            c.series.shrink_to(fair);
+            total += c.series.series().len();
+        }
+        self.total_buckets = total;
     }
 
     /// Configured base resolution (individual series may have coarsened).
@@ -288,7 +379,10 @@ impl GaugeRecorder {
 
     /// Record one gauge sample.
     pub fn record_gauge(&mut self, id: GaugeId, t: SimTime, v: f64) {
+        let before = self.gauges[id.0].series.len();
         self.gauges[id.0].series.record(t, v);
+        let after = self.gauges[id.0].series.len();
+        self.note_growth(before, after);
     }
 
     /// Register a counter series (fed cumulative totals).
@@ -302,7 +396,10 @@ impl GaugeRecorder {
 
     /// Record a counter's cumulative value.
     pub fn record_counter(&mut self, id: CounterId, t: SimTime, total: f64) {
+        let before = self.counters[id.0].series.series().len();
         self.counters[id.0].series.record_total(t, total);
+        let after = self.counters[id.0].series.series().len();
+        self.note_growth(before, after);
     }
 
     /// Append a discrete event (bounded; overflow is counted, not kept).
@@ -491,6 +588,83 @@ mod tests {
         }
         assert_eq!(r.events().len(), 2);
         assert_eq!(r.dropped_events(), 3);
+    }
+
+    #[test]
+    fn adaptive_budget_bounds_total_buckets_across_series() {
+        let mut r = GaugeRecorder::new(Duration::from_millis(1)).with_adaptive_budget(1024);
+        let ids: Vec<_> = (0..64)
+            .map(|i| r.register_gauge(format!("g{i}"), "x"))
+            .collect();
+        for t in 0..200u64 {
+            for &id in &ids {
+                r.record_gauge(id, at(t), t as f64);
+            }
+        }
+        let total: usize = r.gauges().iter().map(|g| g.series.len()).sum();
+        assert!(total <= 1024, "budget exceeded: {total} buckets");
+        assert_eq!(r.total_buckets(), total);
+        // No series was dropped and no sample was lost — only coarsened.
+        assert_eq!(r.gauges().len(), 64);
+        for g in r.gauges() {
+            assert_eq!(g.series.sample_count(), 200, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn hot_series_coarsen_while_cold_series_stay_fine() {
+        let mut r = GaugeRecorder::new(Duration::from_millis(1)).with_adaptive_budget(64);
+        let hot = r.register_gauge("hot", "x");
+        let cold = r.register_gauge("cold", "x");
+        r.record_gauge(cold, at(0), 1.0);
+        r.record_gauge(cold, at(5), 1.0);
+        for t in 0..500u64 {
+            r.record_gauge(hot, at(t), 1.0);
+        }
+        let (hot_s, cold_s) = (&r.gauges()[0].series, &r.gauges()[1].series);
+        // The fast sampler absorbed the coarsening; the quiet series kept
+        // the base resolution.
+        assert!(hot_s.resolution() > cold_s.resolution());
+        assert_eq!(cold_s.resolution(), Duration::from_millis(1));
+        assert_eq!(hot_s.sample_count(), 500);
+    }
+
+    #[test]
+    fn without_adaptive_budget_behavior_is_unchanged() {
+        let mut adaptive = GaugeRecorder::with_limits(Duration::from_millis(1), 512, 16);
+        let mut plain = GaugeRecorder::with_limits(Duration::from_millis(1), 512, 16);
+        let a = adaptive.register_gauge("g", "x");
+        let p = plain.register_gauge("g", "x");
+        for t in 0..300u64 {
+            adaptive.record_gauge(a, at(t), t as f64);
+            plain.record_gauge(p, at(t), t as f64);
+        }
+        assert_eq!(
+            adaptive.gauges()[0].series.len(),
+            plain.gauges()[0].series.len()
+        );
+        assert_eq!(
+            adaptive.gauges()[0].series.resolution(),
+            plain.gauges()[0].series.resolution()
+        );
+        assert_eq!(plain.bucket_budget(), None);
+    }
+
+    #[test]
+    fn shrink_to_coarsens_and_keeps_mass() {
+        let mut s = TimeSeries::new(Duration::from_millis(1), 512);
+        for t in 0..100u64 {
+            s.record(at(t), 1.0);
+        }
+        assert_eq!(s.len(), 100);
+        s.shrink_to(10);
+        assert!(s.len() <= 10, "{} buckets", s.len());
+        assert_eq!(s.sample_count(), 100);
+        // The tightened budget holds for future samples too.
+        for t in 100..300u64 {
+            s.record(at(t), 1.0);
+        }
+        assert!(s.len() <= 10, "{} buckets", s.len());
     }
 
     #[test]
