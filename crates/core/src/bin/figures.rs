@@ -42,12 +42,17 @@
 //! `all`) sweeps the multi-tenant fleet scenario — the partition-parallel
 //! workload where sharding gives real speedup — over the tenant ladder.
 //! The `bench` target runs the engine micro-benchmark ladder (serial
-//! always; sharded rungs too when `--shards` > 1, including a 100 000
-//! actor smoke rung) plus a timed pass over the figure suite, writes
-//! `BENCH_engine.json`, and appends one `azurebench-bench-history/v1`
-//! row per rung to `BENCH_history.jsonl` (host/commit/backend provenance,
-//! stale-timestamp appends refused) so engine throughput is tracked over
-//! time — `bench_check trend` gates on deviation from that history.
+//! always; sharded rungs too when `--shards` > 1, climbing through a
+//! 100 000-actor rung to a 1 000 000-actor smoke rung that runs
+//! *windowed* under adaptive lookahead) plus a timed pass over the
+//! figure suite, writes `BENCH_engine.json`, and appends one
+//! `azurebench-bench-history/v1` row per rung to `BENCH_history.jsonl`
+//! (host/commit/backend provenance, stale-timestamp appends refused) so
+//! engine throughput is tracked over time — `bench_check trend` gates on
+//! deviation from that history. `--ladder quick` restricts the climb to
+//! the two cheapest rungs (same rung keys as the full ladder, so history
+//! series stay comparable) — CI uses it to build per-backend trend
+//! history without paying for the full climb.
 
 use azsim_fabric::BackendKind;
 use azurebench::{
@@ -71,6 +76,7 @@ struct Args {
     verify_seeds: usize,
     naive: bool,
     expect_violation: bool,
+    quick_ladder: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         verify_seeds: 50,
         naive: false,
         expect_violation: false,
+        quick_ladder: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -146,6 +153,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--naive" => args.naive = true,
             "--expect-violation" => args.expect_violation = true,
+            "--ladder" => {
+                let v = it.next().ok_or("--ladder needs quick|full")?;
+                args.quick_ladder = match v.as_str() {
+                    "quick" => true,
+                    "full" => false,
+                    _ => return Err(format!("bad ladder {v:?} (expected quick or full)")),
+                };
+            }
             t if !t.starts_with('-') => args.targets.push(t.to_owned()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -181,7 +196,7 @@ fn main() {
             "usage: figures [table1|fig4|fig5|fig6|fig7|fig8|fig9|latency|profile|timeline|\
              bottleneck|chaos|fleet|verify|bench|all]... \
              [--scale S] [--workers 1,2,...] [--seed N] [--csv DIR] [--threads N] [--shards N] \
-             [--backend was,s3,gcs,file|all] \
+             [--backend was,s3,gcs,file|all] [--ladder quick|full] \
              [--timeline] [--extrapolate] [--verify-seeds N] [--naive] [--expect-violation]"
         );
         std::process::exit(2);
@@ -221,6 +236,14 @@ fn main() {
         }
     );
 
+    // One timestamp per invocation: a multi-backend `bench` run appends
+    // every backend's rungs under the same unix_ts, so `bench_check trend`
+    // sees them all as one run and gates every backend's series (not just
+    // whichever backend happened to finish last).
+    let bench_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+
     // One full pass per selected backend. `was` keeps the unsuffixed
     // output names (the committed goldens); peers suffix every artifact
     // with `-{backend}` so one run can emit all four side by side.
@@ -228,12 +251,12 @@ fn main() {
         if args.backends.len() > 1 {
             eprintln!("# ---- backend: {kind} ----");
         }
-        run_targets(&args, cfg.clone().with_backend(kind), kind);
+        run_targets(&args, cfg.clone().with_backend(kind), kind, bench_ts);
     }
 }
 
 /// Run every requested target once, against one backend.
-fn run_targets(args: &Args, cfg: BenchConfig, kind: BackendKind) {
+fn run_targets(args: &Args, cfg: BenchConfig, kind: BackendKind, bench_ts: u64) {
     let sfx = if kind == BackendKind::Was {
         String::new()
     } else {
@@ -385,7 +408,7 @@ fn run_targets(args: &Args, cfg: BenchConfig, kind: BackendKind) {
     // `bench` is opt-in only (not part of `all`): it re-runs the figure
     // suite purely for timing and writes BENCH_engine.json.
     if args.targets.iter().any(|t| t == "bench") {
-        run_bench(&cfg, &args.csv_dir, kind, sfx);
+        run_bench(&cfg, &args.csv_dir, kind, sfx, args.quick_ladder, bench_ts);
     }
 }
 
@@ -485,14 +508,19 @@ struct EngineRun {
     wall: f64,
     /// Events processed per executor shard (length = shard count).
     shard_events: Vec<u64>,
+    /// Mean lookahead-window multiple across shards that ran windows
+    /// (0.0 for serial and free-run rungs).
+    window_multiple: f64,
 }
 
 /// Measure raw engine throughput: `actors` workers each issuing `per_actor`
 /// back-to-back requests against [`NullModel`]. With `shards == 1` this is
 /// the serial coroutine executor (the committed-baseline path); with more,
-/// the sharded executor under a striped one-partition-per-actor plan
-/// (embarrassingly parallel — shards free-run with no barriers).
-fn engine_ops(actors: usize, per_actor: u64, shards: u32) -> EngineRun {
+/// the sharded executor under a striped one-partition-per-actor plan —
+/// free-running (embarrassingly parallel, no barriers) unless `windowed`,
+/// which adds a lookahead hop plus adaptive window tuning so the rung
+/// exercises the synchronized engine path.
+fn engine_ops(actors: usize, per_actor: u64, shards: u32, windowed: bool) -> EngineRun {
     let body = move |ctx: azsim_core::ActorCtx<NullModel>| async move {
         let mut acc = 0u64;
         for i in 0..per_actor {
@@ -504,27 +532,52 @@ fn engine_ops(actors: usize, per_actor: u64, shards: u32) -> EngineRun {
     let report = if shards <= 1 {
         azsim_core::Simulation::new(NullModel, 1).run_workers(actors, body)
     } else {
-        let plan = azsim_core::ShardPlan::striped(actors, actors as u32, shards);
+        let mut plan = azsim_core::ShardPlan::striped(actors, actors as u32, shards);
+        if windowed {
+            plan = plan
+                .with_hop(std::time::Duration::from_micros(2))
+                .with_window_tuning(azsim_core::WindowTuning::Adaptive { target: 0.25 });
+        }
         azsim_core::ShardedSimulation::new(NullModel, 1, plan).run_workers(body)
+    };
+    let active: Vec<f64> = report
+        .window_stats
+        .iter()
+        .filter(|w| w.windows > 0)
+        .map(|w| w.mean_multiple)
+        .collect();
+    let window_multiple = if active.is_empty() {
+        0.0
+    } else {
+        active.iter().sum::<f64>() / active.len() as f64
     };
     EngineRun {
         ops: report.requests,
         wall: t.elapsed().as_secs_f64(),
         shard_events: report.shard_events,
+        window_multiple,
     }
 }
 
 /// The `bench` target: engine micro-benchmark plus a timed pass over every
 /// figure at the current config, written as `BENCH_engine.json` (into the
 /// `--csv` directory if given, else the working directory).
-fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>, kind: BackendKind, sfx: &str) {
+fn run_bench(
+    cfg: &BenchConfig,
+    csv_dir: &Option<String>,
+    kind: BackendKind,
+    sfx: &str,
+    quick: bool,
+    ts: u64,
+) {
     let backend = kind.name();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut lines = String::from("{\n");
 
-    // The ladder climbs to 10 000 actors; per-actor ops shrink past 512 so
-    // every rung stays near a constant 25.6 M total ops.
-    const LADDER: [(usize, u64); 7] = [
+    // The ladder climbs through 100 000 actors to a 1 000 000-actor smoke
+    // rung; per-actor ops shrink past 512 so every rung stays near a
+    // constant 25.6 M total ops (25 M at the million-actor rung).
+    const LADDER: [(usize, u64); 9] = [
         (1, 50_000),
         (8, 50_000),
         (32, 50_000),
@@ -532,34 +585,44 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>, kind: BackendKind, sfx
         (512, 50_000),
         (2_048, 12_500),
         (10_000, 2_560),
+        (100_000, 256),
+        (1_000_000, 25),
     ];
-    let mut rungs: Vec<(usize, u64, u32)> = LADDER.iter().map(|&(a, p)| (a, p, 1)).collect();
+    // `--ladder quick`: the two cheapest representative rungs, with the
+    // same (actors, per-actor) tuples as the full ladder so history
+    // series stay comparable across ladder modes.
+    const QUICK: [(usize, u64); 2] = [(1, 50_000), (128, 50_000)];
+    let ladder: &[(usize, u64)] = if quick { &QUICK } else { &LADDER };
+    let mut rungs: Vec<(usize, u64, u32, bool)> =
+        ladder.iter().map(|&(a, p)| (a, p, 1, false)).collect();
     if cfg.shards > 1 {
-        // Sharded rungs from 8 actors up, plus a 100 000-actor smoke rung
-        // (million-actor-ladder territory; small per-actor count keeps it
-        // a smoke test rather than a soak).
+        // Sharded rungs from 8 actors up. Rungs below a million actors
+        // free-run (one partition per actor, no barriers); the
+        // million-actor smoke rung runs windowed under adaptive lookahead
+        // so the flagship rung exercises the synchronized engine path.
         rungs.extend(
-            LADDER
+            ladder
                 .iter()
                 .filter(|&&(a, _)| a >= 8)
-                .map(|&(a, p)| (a, p, cfg.shards)),
+                .map(|&(a, p)| (a, p, cfg.shards, a >= 1_000_000)),
         );
-        rungs.push((100_000, 256, cfg.shards));
     }
 
-    let ts = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs());
     let (host, commit) = (benchhist::detect_host(), benchhist::detect_commit());
     let mut engines = Vec::new();
     let mut history_rows = Vec::new();
-    for (actors, per_actor, shards) in rungs {
-        let run = engine_ops(actors, per_actor, shards);
+    for (actors, per_actor, shards, windowed) in rungs {
+        let run = engine_ops(actors, per_actor, shards, windowed);
         let (ops, wall) = (run.ops, run.wall);
         let rate = ops as f64 / wall;
         eprintln!(
-            "# engine: {actors} actors x {shards} shard(s), {ops} simulated ops \
-             in {wall:.3}s = {rate:.0} ops/s"
+            "# engine: {actors} actors x {shards} shard(s){}, {ops} simulated ops \
+             in {wall:.3}s = {rate:.0} ops/s",
+            if windowed {
+                format!(" (windowed, mean multiple {:.3})", run.window_multiple)
+            } else {
+                String::new()
+            }
         );
         let per_shard = run
             .shard_events
@@ -570,7 +633,9 @@ fn run_bench(cfg: &BenchConfig, csv_dir: &Option<String>, kind: BackendKind, sfx
         engines.push(format!(
             "    {{ \"backend\": \"{backend}\", \"actors\": {actors}, \"shards\": {shards}, \
              \"cores\": {cores}, \"simulated_ops\": {ops}, \"wall_seconds\": {wall:.6}, \
-             \"ops_per_second\": {rate:.1}, \"per_shard_events\": [{per_shard}] }}"
+             \"ops_per_second\": {rate:.1}, \"window_multiple\": {:.4}, \
+             \"per_shard_events\": [{per_shard}] }}",
+            run.window_multiple
         ));
         // The snapshot rounds wall/ops-per-second; the history row must
         // carry the same rounded values so `bench_check` sees snapshot and

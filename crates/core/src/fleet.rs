@@ -115,8 +115,11 @@ pub fn run_fleet(cfg: &BenchConfig, tenants: u32, workers_per_tenant: usize) -> 
 /// Tenant ladder swept by the `fleet` figure target.
 pub const TENANT_LADDER: [u32; 4] = [1, 2, 4, 8];
 
-/// The `fleet` figure: throughput and cross-tenant share over the tenant
-/// ladder at a fixed per-tenant worker count.
+/// Shard ladder swept by the fleet *scaling* figure.
+pub const SHARD_LADDER: [u32; 4] = [1, 2, 4, 8];
+
+/// The `fleet` target's figures: the tenant-ladder throughput figure, plus
+/// the shard-ladder scaling figure.
 pub fn figure_fleet(cfg: &BenchConfig) -> Vec<Figure> {
     let workers_per_tenant = 4;
     let mut throughput = Series::new("ops-per-vsec");
@@ -134,7 +137,61 @@ pub fn figure_fleet(cfg: &BenchConfig) -> Vec<Figure> {
     );
     fig.series.push(throughput);
     fig.series.push(cross);
-    vec![fig]
+    vec![fig, figure_fleet_scaling(cfg)]
+}
+
+/// The fleet scaling figure: the same fleet workload at a fixed tenant and
+/// worker count, swept over the executor shard ladder (ignoring
+/// `cfg.shards`, so the emitted CSV is identical no matter which executor
+/// the rest of the run used). Every series is deterministic and therefore
+/// committable as a golden: `ops-per-vsec` is the virtual throughput,
+/// bit-identical at every shard count — the executor's determinism
+/// guarantee made visible as a flat line; `events-max-shard` is the
+/// busiest shard's event count, which falls as shards are added and shows
+/// the striped plan actually spreading load; `history-stable` is 1 when
+/// the `(time, actor, seq)` observable-history fingerprint matches the
+/// serial reference. Wall-clock scaling is measured by the `bench` target
+/// (`BENCH_engine.json`), never committed in goldens.
+pub fn figure_fleet_scaling(cfg: &BenchConfig) -> Figure {
+    let (tenants, workers_per_tenant) = (8u32, 4usize);
+    let mut throughput = Series::new("ops-per-vsec");
+    let mut max_shard = Series::new("events-max-shard");
+    let mut stable = Series::new("history-stable");
+    let mut reference: Option<Option<u64>> = None;
+    for &shards in &SHARD_LADDER {
+        let r = run_fleet(
+            &cfg.clone().with_shards(shards),
+            tenants,
+            workers_per_tenant,
+        );
+        let hash = r.history_hash;
+        let ok = match &reference {
+            None => {
+                reference = Some(hash);
+                true
+            }
+            Some(base) => *base == hash,
+        };
+        throughput.push(shards as f64, r.throughput());
+        max_shard.push(
+            shards as f64,
+            *r.shard_events.iter().max().unwrap_or(&0) as f64,
+        );
+        stable.push(shards as f64, if ok { 1.0 } else { 0.0 });
+    }
+    let mut fig = Figure::new(
+        "fleet-scaling",
+        format!(
+            "Fleet shard scaling ({tenants} tenants x {workers_per_tenant} workers, \
+             deterministic series)"
+        ),
+        "shards",
+        "ops/s (virtual)",
+    );
+    fig.series.push(throughput);
+    fig.series.push(max_shard);
+    fig.series.push(stable);
+    fig
 }
 
 #[cfg(test)]
@@ -170,5 +227,36 @@ mod tests {
         let r = run_fleet(&tiny(), 1, 2);
         assert_eq!(r.cross_ops, 0);
         assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn scaling_figure_is_flat_stable_and_spreads_load() {
+        let fig = figure_fleet_scaling(&tiny());
+        assert_eq!(fig.id, "fleet-scaling");
+        let [vops, max_shard, stable] = &fig.series[..] else {
+            panic!("expected 3 series, got {}", fig.series.len());
+        };
+        assert_eq!(vops.points.len(), SHARD_LADDER.len());
+        // Virtual throughput is bit-identical at every shard count.
+        let first = vops.points[0].1;
+        assert!(first > 0.0);
+        assert!(vops.points.iter().all(|&(_, y)| y == first));
+        // The history fingerprint matched the serial reference everywhere.
+        assert!(stable.points.iter().all(|&(_, y)| y == 1.0));
+        // Adding shards strictly sheds load off the busiest shard (until
+        // the tenant count stops dividing further).
+        let loads: Vec<f64> = max_shard.points.iter().map(|&(_, y)| y).collect();
+        assert!(
+            loads.windows(2).all(|w| w[1] <= w[0]),
+            "busiest-shard load must not grow with shards: {loads:?}"
+        );
+        assert!(loads[loads.len() - 1] < loads[0]);
+    }
+
+    #[test]
+    fn scaling_figure_ignores_the_ambient_shard_count() {
+        let a = figure_fleet_scaling(&tiny());
+        let b = figure_fleet_scaling(&tiny().with_shards(4));
+        assert_eq!(a.to_csv(), b.to_csv());
     }
 }

@@ -25,9 +25,25 @@
 //! Freed payload slots are recycled LIFO, so steady-state simulations (each
 //! actor keeping one or two events in flight) touch the same few slab lines
 //! over and over.
+//!
+//! ## Monotone tail fast path
+//!
+//! Discrete-event workloads push most events in already-sorted key order:
+//! the executor pops events in key order, and a popped actor typically
+//! schedules its next event one latency hop in the future — past every
+//! pending key. Sifting such a push through a 100 000-entry heap pays
+//! `log n` scattered cache misses for nothing. The heap therefore keeps a
+//! second structure, a strictly-sorted **tail deque**: a push whose key
+//! exceeds the tail's back is appended in O(1) (contiguous memory, no
+//! sift); anything out of order falls back to the 4-ary heap. `pop` takes
+//! whichever front is smaller, so the merged view stays a total order no
+//! matter how pushes were routed. Steady-state ladder rungs route every
+//! event through the tail, making both push and pop O(1) ring-buffer
+//! operations regardless of actor count.
 
 use crate::runtime::ActorId;
 use crate::time::SimTime;
+use std::collections::VecDeque;
 
 /// A totally ordered event key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -51,7 +67,11 @@ struct Entry {
 /// Min-heap of timestamped events with deterministic total ordering.
 pub struct EventHeap<T> {
     /// Implicit 4-ary min-heap: children of `i` are `4i+1 ..= 4i+4`.
+    /// Holds only the out-of-order pushes; in-order pushes go to `tail`.
     entries: Vec<Entry>,
+    /// Strictly-sorted monotone tail: pushes whose key exceeds the back
+    /// are appended here in O(1) instead of sifting through `entries`.
+    tail: VecDeque<Entry>,
     /// Payload slab addressed by `Entry::slot`.
     slab: Vec<Option<T>>,
     /// Recycled slab slots (LIFO for cache locality).
@@ -73,6 +93,7 @@ impl<T> EventHeap<T> {
     pub fn new() -> Self {
         EventHeap {
             entries: Vec::new(),
+            tail: VecDeque::new(),
             slab: Vec::new(),
             free: Vec::new(),
             watermark: SimTime::ZERO,
@@ -85,6 +106,7 @@ impl<T> EventHeap<T> {
     pub fn with_capacity(n: usize) -> Self {
         EventHeap {
             entries: Vec::with_capacity(n),
+            tail: VecDeque::with_capacity(n),
             slab: Vec::with_capacity(n),
             free: Vec::new(),
             watermark: SimTime::ZERO,
@@ -113,36 +135,135 @@ impl<T> EventHeap<T> {
                 s
             }
         };
-        self.entries.push(Entry { key, slot });
-        self.sift_up(self.entries.len() - 1);
+        self.insert_entry(Entry { key, slot });
+    }
+
+    /// Route one entry: in-order keys append to the sorted tail in O(1);
+    /// out-of-order keys sift into the 4-ary heap.
+    #[inline]
+    fn insert_entry(&mut self, e: Entry) {
+        if self.tail.back().is_none_or(|b| b.key < e.key) {
+            self.tail.push_back(e);
+        } else {
+            self.entries.push(e);
+            self.sift_up(self.entries.len() - 1);
+        }
+    }
+
+    /// Schedule a whole batch of events at once — the bulk-insert path
+    /// behind the sharded executor's window drain.
+    ///
+    /// Semantically identical to pushing each event in iteration order,
+    /// but the causality check runs once per batch (against the batch
+    /// minimum) and the heap property is restored with one pass: either
+    /// an incremental sift per appended entry, or — when the batch
+    /// rivals the heap itself — a single O(n) heapify.
+    pub fn push_batch(&mut self, batch: impl IntoIterator<Item = (EventKey, T)>) {
+        let batch = batch.into_iter();
+        let before = self.entries.len();
+        self.tail.reserve(batch.size_hint().0);
+        let mut batch_min: Option<EventKey> = None;
+        for (key, payload) in batch {
+            if batch_min.is_none_or(|m| key < m) {
+                batch_min = Some(key);
+            }
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.slab[s as usize] = Some(payload);
+                    s
+                }
+                None => {
+                    let s = self.slab.len() as u32;
+                    self.slab.push(Some(payload));
+                    s
+                }
+            };
+            // In-order runs (lane drains arrive nearly sorted) append to
+            // the tail; stragglers collect in `entries` for one restore
+            // pass below.
+            if self.tail.back().is_none_or(|b| b.key < key) {
+                self.tail.push_back(Entry { key, slot });
+            } else {
+                self.entries.push(Entry { key, slot });
+            }
+        }
+        let Some(min) = batch_min else {
+            return;
+        };
+        assert!(
+            min.time >= self.watermark,
+            "event scheduled in the past: {:?} < watermark {:?}",
+            min.time,
+            self.watermark
+        );
+        let n = self.entries.len();
+        let added = n - before;
+        if added == 0 {
+            return;
+        }
+        if added >= n / 2 && n >= 2 {
+            // The batch dominates: one bottom-up heapify beats `added`
+            // sift-up walks.
+            for i in (0..=(n - 2) / ARITY).rev() {
+                self.sift_down(i);
+            }
+        } else {
+            // Sifting appended entries up in index order is equivalent to
+            // having pushed them one at a time: a sift at index `i` only
+            // touches ancestors of `i`, never later appended entries.
+            for i in before..n {
+                self.sift_up(i);
+            }
+        }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(EventKey, T)> {
-        let root = *self.entries.first()?;
-        let last = self.entries.pop().expect("non-empty heap has a last entry");
-        if !self.entries.is_empty() {
-            self.entries[0] = last;
-            self.sift_down(0);
-        }
-        self.watermark = root.key.time;
-        let payload = self.slab[root.slot as usize]
+        let from_tail = match (self.entries.first(), self.tail.front()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(h), Some(t)) => t.key < h.key,
+        };
+        let e = if from_tail {
+            self.tail.pop_front().expect("tail checked non-empty")
+        } else {
+            let root = *self.entries.first().expect("heap checked non-empty");
+            let last = self.entries.pop().expect("non-empty heap has a last entry");
+            if !self.entries.is_empty() {
+                self.entries[0] = last;
+                self.sift_down(0);
+            }
+            root
+        };
+        self.watermark = e.key.time;
+        let payload = self.slab[e.slot as usize]
             .take()
             .expect("heap entry pointed at an empty payload slot");
-        self.free.push(root.slot);
-        Some((root.key, payload))
+        self.free.push(e.slot);
+        Some((e.key, payload))
+    }
+
+    /// The smaller of the heap root and the tail front, if any.
+    #[inline]
+    fn front(&self) -> Option<&Entry> {
+        match (self.entries.first(), self.tail.front()) {
+            (None, t) => t,
+            (h, None) => h,
+            (Some(h), Some(t)) => Some(if t.key < h.key { t } else { h }),
+        }
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.entries.first().map(|e| e.key.time)
+        self.front().map(|e| e.key.time)
     }
 
     /// The earliest pending event without removing it. The scheduler uses
     /// this to decide whether the next event may join the current wake
     /// batch before committing to the pop.
     pub fn peek(&self) -> Option<(&EventKey, &T)> {
-        let e = self.entries.first()?;
+        let e = self.front()?;
         let payload = self.slab[e.slot as usize]
             .as_ref()
             .expect("heap entry pointed at an empty payload slot");
@@ -151,12 +272,12 @@ impl<T> EventHeap<T> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() + self.tail.len()
     }
 
     /// Whether the heap is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.tail.is_empty()
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -285,7 +406,109 @@ mod tests {
         assert!(h.slab.len() <= 2, "slab grew to {}", h.slab.len());
     }
 
+    #[test]
+    fn monotone_pushes_bypass_the_sift_path() {
+        let mut h = EventHeap::new();
+        // Pops at time T proceed in ascending actor order, each scheduling
+        // (T+hop, actor): the exact steady-state push pattern. Every key
+        // exceeds the previous one, so all land in the O(1) tail.
+        for round in 0..4u64 {
+            for a in 0..8usize {
+                h.push(key(round * 10 + 10, a, round), (round, a));
+            }
+            for a in 0..8usize {
+                assert_eq!(h.pop().unwrap().0.actor, ActorId(a));
+            }
+        }
+        assert_eq!(h.entries.len(), 0, "monotone pushes must not hit the heap");
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_pushes_merge_with_the_tail() {
+        let mut h = EventHeap::new();
+        h.push(key(10, 0, 0), "t10");
+        h.push(key(30, 0, 1), "t30"); // tail: [10, 30]
+        h.push(key(20, 0, 2), "t20"); // out of order -> heap
+        h.push(key(40, 0, 3), "t40"); // tail again
+        h.push(key(25, 0, 4), "t25"); // heap again
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.peek_time(), Some(SimTime(10)));
+        let order: Vec<&str> = std::iter::from_fn(|| h.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!["t10", "t20", "t25", "t30", "t40"]);
+    }
+
+    #[test]
+    fn batch_push_matches_sequential_pushes() {
+        let mut seq = EventHeap::new();
+        let mut bat = EventHeap::new();
+        let events: Vec<(EventKey, u64)> = (0..50)
+            .map(|i| (key((i * 37) % 100 + 1, i as usize % 5, i), i))
+            .collect();
+        // Pre-populate both, then batch the rest into one and compare.
+        for (k, v) in &events[..10] {
+            seq.push(*k, *v);
+            bat.push(*k, *v);
+        }
+        for (k, v) in &events[10..] {
+            seq.push(*k, *v);
+        }
+        bat.push_batch(events[10..].iter().copied());
+        while let Some(a) = seq.pop() {
+            assert_eq!(Some(a), bat.pop());
+        }
+        assert!(bat.pop().is_none());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut h: EventHeap<()> = EventHeap::new();
+        h.push(key(10, 0, 0), ());
+        let _ = h.pop();
+        h.push_batch(std::iter::empty());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn batch_rejects_events_in_the_past() {
+        let mut h = EventHeap::new();
+        h.push(key(10, 0, 0), ());
+        let _ = h.pop();
+        h.push_batch([(key(12, 0, 1), ()), (key(5, 0, 2), ())]);
+    }
+
     proptest::proptest! {
+        /// Batch insert is observably identical to sequential pushes, at
+        /// every split point (exercises both the sift-up and the heapify
+        /// restore paths).
+        #[test]
+        fn prop_batch_equals_sequential(
+            events in proptest::collection::vec((1u64..1000, 0usize..8), 0..120),
+            split in 0usize..120,
+        ) {
+            let split = split.min(events.len());
+            let mut seq = EventHeap::new();
+            let mut bat = EventHeap::new();
+            for (i, (t, a)) in events.iter().enumerate() {
+                seq.push(key(*t, *a, i as u64), i);
+            }
+            for (i, (t, a)) in events[..split].iter().enumerate() {
+                bat.push(key(*t, *a, i as u64), i);
+            }
+            bat.push_batch(
+                events[split..]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, (t, a))| (key(*t, *a, (split + j) as u64), split + j)),
+            );
+            let mut a = Vec::new();
+            while let Some(e) = seq.pop() { a.push(e); }
+            let mut b = Vec::new();
+            while let Some(e) = bat.pop() { b.push(e); }
+            proptest::prop_assert_eq!(a, b);
+        }
+
         /// Pop order is always non-decreasing in time no matter the push order.
         #[test]
         fn prop_pops_monotone(mut events in proptest::collection::vec((0u64..1000, 0usize..8), 0..200)) {

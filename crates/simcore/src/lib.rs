@@ -44,8 +44,8 @@ pub mod timeline;
 
 pub use heap::EventHeap;
 pub use rng::actor_rng;
-pub use runtime::{actor, block_on, ActorCtx, ActorId, Model, SimReport, Simulation};
-pub use shard::{ShardPlan, ShardableModel, ShardedSimulation};
+pub use runtime::{actor, block_on, ActorCtx, ActorId, Model, SimReport, Simulation, WindowStats};
+pub use shard::{ShardPlan, ShardableModel, ShardedSimulation, WindowTuning};
 pub use threaded::{ThreadedActorCtx, ThreadedSimulation};
 pub use time::SimTime;
 pub use timeline::{CounterId, GaugeId, GaugeRecorder, SaturationTracker, TimeSeries};

@@ -88,6 +88,7 @@ use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
@@ -155,14 +156,25 @@ pub(crate) enum Mail<Resp> {
 
 /// Routing state for partitioned (and possibly sharded) runs. Absent on
 /// plain single-model runs, whose requests all stay on the fast local path.
+///
+/// The global-indexed tables (`home`, `owner`, `local_rank`) are pure
+/// functions of the plan and identical on every shard, so they are built
+/// once and `Arc`-shared instead of cloned per shard — at a million actors
+/// a per-shard copy would cost megabytes of duplicated, cache-hostile
+/// working set.
 pub(crate) struct RouteTable<M: Model> {
-    /// Each actor's home partition.
-    pub(crate) home: Vec<u32>,
+    /// Each actor's home partition (indexed by **global** actor id).
+    pub(crate) home: Arc<Vec<u32>>,
+    /// Each actor's dense local index on its owning shard (indexed by
+    /// **global** actor id): the rank of the actor among the actors the
+    /// owning shard hosts, in ascending global-id order. On the serial
+    /// executor (one shard owning everything) this is the identity.
+    pub(crate) local_rank: Arc<Vec<u32>>,
     /// partition → local sub-model slot in [`ExecState::models`], or `None`
     /// when the partition is owned by another shard.
     pub(crate) slot: Vec<Option<u32>>,
     /// partition → owning shard.
-    pub(crate) owner: Vec<u32>,
+    pub(crate) owner: Arc<Vec<u32>>,
     /// The shard this executor instance runs (0 on the serial executor,
     /// where every partition is local).
     pub(crate) self_shard: u32,
@@ -181,8 +193,12 @@ pub(crate) struct RouteTable<M: Model> {
 /// transient: the executor drops its borrow before polling an actor, and the
 /// [`Wait`] future drops its borrow before returning from `poll`.
 ///
-/// All per-actor vectors are indexed by **global** actor id, also on shard
-/// executors that host only a subset of the actors.
+/// All per-actor vectors are indexed by **dense local** actor index — the
+/// store slot of the actor on this executor instance. On the serial
+/// executor local index equals global actor id; a shard hosting a quarter
+/// of a striped fleet packs its quarter contiguously, so its per-event
+/// working set is a quarter of the global arrays rather than a strided
+/// walk over all of them ([`RouteTable::local_rank`] maps ids to indices).
 pub(crate) struct ExecState<M: Model> {
     pub(crate) heap: EventHeap<Payload<M>>,
     /// Per-actor event sequence counters (tie-break within one instant).
@@ -250,9 +266,11 @@ impl<M: Model> ExecState<M> {
     /// Schedule the arrival for a [`ActorCtx::call`]: allocate the arrival
     /// and reply sequence numbers, resolve the target partition, apply the
     /// inbound network leg for a foreign partition, and push either locally
-    /// or into the owning shard's outbox.
-    pub(crate) fn push_call(&mut self, actor: ActorId, home_slot: u32, req: M::Req) {
-        let a = actor.0;
+    /// or into the owning shard's outbox. `local` is the caller's dense
+    /// local index (its per-actor state); `actor` its global id (the event
+    /// key).
+    pub(crate) fn push_call(&mut self, actor: ActorId, local: usize, home_slot: u32, req: M::Req) {
+        let a = local;
         let seq = self.seq[a];
         self.seq[a] += 2;
         let now = self.actor_time[a];
@@ -272,7 +290,7 @@ impl<M: Model> ExecState<M> {
             );
             return;
         };
-        let home = rt.home[a];
+        let home = rt.home[actor.0];
         let part = self.models[home_slot as usize]
             .partition_of(&req)
             .unwrap_or(home);
@@ -305,15 +323,15 @@ impl<M: Model> ExecState<M> {
         }
     }
 
-    /// Schedule a timer `delay` after `actor`'s clock.
-    pub(crate) fn push_timer(&mut self, actor: ActorId, delay: Duration) {
-        let a = actor.0;
+    /// Schedule a timer `delay` after `actor`'s clock (`local` is the
+    /// actor's dense local index).
+    pub(crate) fn push_timer(&mut self, actor: ActorId, local: usize, delay: Duration) {
         let k = EventKey {
-            time: self.actor_time[a] + delay,
+            time: self.actor_time[local] + delay,
             actor,
-            seq: self.seq[a],
+            seq: self.seq[local],
         };
-        self.seq[a] += 1;
+        self.seq[local] += 1;
         self.heap.push(k, Payload::Timer);
     }
 
@@ -381,6 +399,23 @@ pub(crate) fn fnv1a_keys(keys: &[EventKey]) -> u64 {
     h
 }
 
+/// The per-executor arena of deterministic actor random streams, indexed by
+/// dense local actor index. One allocation per executor instead of one
+/// `Rc<RefCell<SmallRng>>` per actor — at a million actors the per-actor
+/// boxes were a million launch-time allocations and a pointer chase on
+/// every draw.
+pub(crate) type RngArena = Rc<RefCell<Vec<SmallRng>>>;
+
+/// Build the RNG arena for the actors with the given **global** ids, in
+/// store order. Streams are keyed by the stable global actor id
+/// ([`actor_rng`]), never by launch order or placement, so every shard
+/// count draws identical per-actor randomness.
+pub(crate) fn rng_arena(seed: u64, global_ids: impl Iterator<Item = usize>) -> RngArena {
+    Rc::new(RefCell::new(
+        global_ids.map(|g| actor_rng(seed, ActorId(g))).collect(),
+    ))
+}
+
 /// Handle through which an actor body interacts with virtual time.
 ///
 /// Cheap to clone (two `Rc` bumps): clones share the same actor identity,
@@ -391,7 +426,10 @@ pub struct ActorCtx<M: Model> {
     /// Local slot of this actor's home-partition sub-model (always 0 on
     /// plain runs).
     slot: u32,
-    rng: Rc<RefCell<SmallRng>>,
+    /// Dense local index of this actor on its executor (equals `id.0` on
+    /// the serial executor); indexes every per-actor array.
+    local: u32,
+    rngs: RngArena,
     state: Rc<RefCell<ExecState<M>>>,
 }
 
@@ -400,26 +438,27 @@ impl<M: Model> Clone for ActorCtx<M> {
         ActorCtx {
             id: self.id,
             slot: self.slot,
-            rng: Rc::clone(&self.rng),
+            local: self.local,
+            rngs: Rc::clone(&self.rngs),
             state: Rc::clone(&self.state),
         }
     }
 }
 
 impl<M: Model> ActorCtx<M> {
-    /// Build the context for actor `id`. The random stream is keyed by the
-    /// stable actor id ([`actor_rng`]), never by launch order, so shard-local
-    /// launch order cannot perturb determinism.
+    /// Build the context for actor `id` at dense local index `local`.
     pub(crate) fn make(
         id: ActorId,
         slot: u32,
-        seed: u64,
+        local: u32,
+        rngs: RngArena,
         state: Rc<RefCell<ExecState<M>>>,
     ) -> Self {
         ActorCtx {
             id,
             slot,
-            rng: Rc::new(RefCell::new(actor_rng(seed, id))),
+            local,
+            rngs,
             state,
         }
     }
@@ -431,18 +470,18 @@ impl<M: Model> ActorCtx<M> {
 
     /// Current virtual time as observed by this actor.
     pub fn now(&self) -> SimTime {
-        self.state.borrow().actor_time[self.id.0]
+        self.state.borrow().actor_time[self.local as usize]
     }
 
     /// Number of [`ActorCtx::call`]s issued so far.
     pub fn call_count(&self) -> u64 {
-        self.state.borrow().calls[self.id.0]
+        self.state.borrow().calls[self.local as usize]
     }
 
     /// Submit a request to the model and wait (in virtual time) until its
     /// response is delivered.
     pub async fn call(&self, req: M::Req) -> M::Resp {
-        self.state.borrow_mut().calls[self.id.0] += 1;
+        self.state.borrow_mut().calls[self.local as usize] += 1;
         match (Wait {
             ctx: self,
             pending: Some(Pending::Call(req)),
@@ -471,7 +510,7 @@ impl<M: Model> ActorCtx<M> {
 
     /// Run `f` with this actor's deterministic random stream.
     pub fn with_rng<R>(&self, f: impl FnOnce(&mut SmallRng) -> R) -> R {
-        f(&mut self.rng.borrow_mut())
+        f(&mut self.rngs.borrow_mut()[self.local as usize])
     }
 }
 
@@ -498,12 +537,12 @@ impl<M: Model> Future for Wait<'_, M> {
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        let i = this.ctx.id.0;
+        let i = this.ctx.local as usize;
         if let Some(pending) = this.pending.take() {
             let mut st = this.ctx.state.borrow_mut();
             match pending {
-                Pending::Call(req) => st.push_call(this.ctx.id, this.ctx.slot, req),
-                Pending::Sleep(d) => st.push_timer(this.ctx.id, d),
+                Pending::Call(req) => st.push_call(this.ctx.id, i, this.ctx.slot, req),
+                Pending::Sleep(d) => st.push_timer(this.ctx.id, i, d),
             }
             return Poll::Pending;
         }
@@ -668,15 +707,29 @@ pub(crate) fn fire_event<M: Model, R, S: ActorStore<R>>(
     };
     {
         let mut st = state.borrow_mut();
-        let a = k.actor.0;
-        st.actor_time[a] = k.time;
-        st.mailbox[a] = Some(mail);
+        st.actor_time[local] = k.time;
+        st.mailbox[local] = Some(mail);
     }
     // The `ExecState` borrow is released: user code inside the future is
     // free to touch the heap, clocks and RNG through its own context.
     if let Poll::Ready(r) = store.poll(local, cx) {
         results[local] = Some(r);
     }
+}
+
+/// Per-shard lookahead-window statistics from one windowed sharded run.
+///
+/// Wall-clock-derived metadata, **not** an observable: the adaptive window
+/// controller may execute a different number of windows from run to run
+/// without perturbing the `(time, actor, seq)` history (see
+/// [`crate::shard::WindowTuning`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowStats {
+    /// Synchronization windows this shard executed.
+    pub windows: u64,
+    /// Mean lookahead multiple (fraction of the plan's `hop`) across those
+    /// windows; 1.0 under fixed tuning.
+    pub mean_multiple: f64,
 }
 
 /// Outcome of a completed simulation.
@@ -693,6 +746,10 @@ pub struct SimReport<M, R> {
     pub events: u64,
     /// Events fired per shard (one entry on single-threaded executors).
     pub shard_events: Vec<u64>,
+    /// Per-shard window statistics — one entry per shard on sharded runs
+    /// (all-zero entries for free-running shards), empty on single-threaded
+    /// executors.
+    pub window_stats: Vec<WindowStats>,
     /// FNV-1a fingerprint of the sorted `(time, actor, seq)` history, when
     /// recording was requested — the cross-executor equivalence check.
     pub history_hash: Option<u64>,
@@ -748,9 +805,16 @@ impl<M: Model> Simulation<M> {
         Fut: Future<Output = R>,
     {
         let (state, seed) = self.into_state(n);
+        let rngs = rng_arena(seed, 0..n);
         let mut store = ArenaStore::with_capacity(n);
         for i in 0..n {
-            store.push(body(ActorCtx::make(ActorId(i), 0, seed, Rc::clone(&state))));
+            store.push(body(ActorCtx::make(
+                ActorId(i),
+                0,
+                i as u32,
+                Rc::clone(&rngs),
+                Rc::clone(&state),
+            )));
         }
         execute(state, store)
     }
@@ -760,9 +824,10 @@ impl<M: Model> Simulation<M> {
     pub fn run<'a, R>(self, actors: Vec<ActorFn<'a, M, R>>) -> SimReport<M, R> {
         let n = actors.len();
         let (state, seed) = self.into_state(n);
+        let rngs = rng_arena(seed, 0..n);
         let mut slots = Vec::with_capacity(n);
         for (i, make) in actors.into_iter().enumerate() {
-            let ctx = ActorCtx::make(ActorId(i), 0, seed, Rc::clone(&state));
+            let ctx = ActorCtx::make(ActorId(i), 0, i as u32, Rc::clone(&rngs), Rc::clone(&state));
             slots.push(Some(make(ctx)));
         }
         execute(state, BoxedStore { slots })
@@ -806,7 +871,9 @@ fn execute<M: Model, R, S: ActorStore<R>>(
         }
     }
 
-    // Event loop: one event at a time, in (time, actor, seq) order.
+    // Event loop: one event at a time, in (time, actor, seq) order. On the
+    // serial executor local index == global id by construction (a serial
+    // route hosts every actor in ascending id order).
     loop {
         let popped = state.borrow_mut().pop_due(None);
         let Some((k, payload)) = popped else { break };
@@ -850,6 +917,7 @@ fn execute<M: Model, R, S: ActorStore<R>>(
         requests: st.requests,
         events: st.events,
         shard_events: vec![st.events],
+        window_stats: Vec::new(),
         history_hash,
     }
 }
@@ -1290,9 +1358,10 @@ mod tests {
 
     fn two_part_route(hop: Option<Duration>) -> RouteTable<PartModel> {
         RouteTable {
-            home: vec![0, 1],
+            home: Arc::new(vec![0, 1]),
+            local_rank: Arc::new(vec![0, 1]),
             slot: vec![Some(0), Some(0)],
-            owner: vec![0, 0],
+            owner: Arc::new(vec![0, 0]),
             self_shard: 0,
             hop,
             outbox: Vec::new(),

@@ -27,33 +27,66 @@
 //!   multiset — checked end-to-end by fingerprint
 //!   ([`crate::runtime::SimReport::history_hash`]).
 //!
+//! Per-actor scheduler state is stored **dense per shard**: a shard hosting
+//! a quarter of a striped fleet packs its actors contiguously
+//! ([`crate::runtime::RouteTable::local_rank`]) instead of striding over
+//! global-length arrays, and the global tables it does need (`home`,
+//! `owner`, `local_rank`) are built once and `Arc`-shared rather than cloned
+//! per shard.
+//!
 //! ## Conservative synchronization (null-message-free)
 //!
 //! With lookahead `hop`, shards synchronize in bounded windows — a
-//! three-barrier round, no null messages, no rollback:
+//! **single-barrier** round, no null messages, no rollback:
 //!
-//! 1. **Flush**: stage every cross-shard message generated last window into
-//!    the destination shard's inbox. *(barrier)*
-//! 2. **Drain + min-reduce**: push inbox messages into the local heap, then
-//!    publish the local next-event time into a shared atomic minimum.
-//!    *(barrier)*
-//! 3. **Process**: read the global minimum `G`; every shard fires its local
-//!    events with `time < G + hop`, staging any cross-shard sends for the
-//!    next flush. *(barrier)*
+//! 1. **Publish + flush**: each shard publishes its earliest future event —
+//!    the minimum over its heap and its staged outbox — into its own slot of
+//!    a parity-banked atomic array, then appends each outbox run in bulk to
+//!    the per-`(src, dst)` staging lane (one lock per populated shard pair
+//!    per window). *(barrier)*
+//! 2. **Reduce + drain + process**: every shard reads all published slots,
+//!    computing the same global minimum `G`; `G == ∞` means every heap,
+//!    outbox and lane is empty and the run is over. Otherwise the shard
+//!    bulk-drains its incoming lanes into the heap
+//!    ([`crate::heap::EventHeap::push_batch`]) and fires its local events
+//!    with `time < G + m·hop`, where `m ≤ 1` is the window multiple chosen
+//!    by the [`WindowTuning`] controller. Cross-shard sends stage into the
+//!    outbox for the next window's flush.
 //!
 //! **Why no message can arrive below the horizon:** a cross-shard message is
-//! only created while processing an event at time `τ`, and both directions
-//! of a cross-partition call add `hop`, so its timestamp is `≥ τ + hop`.
-//! Every processed event has `τ ≥ G` (the global minimum), hence every
-//! in-flight message has `timestamp ≥ G + hop` — at or beyond everyone's
-//! horizon. Within the window each shard's events are causally closed: they
-//! interact only through same-shard state, which the local heap already
-//! fires in exact `(time, actor, seq)` order. The union of per-shard
+//! only created while processing an event at time `τ ≥ G`, and both
+//! directions of a cross-partition call add `hop`, so its timestamp is
+//! `≥ G + hop ≥ G + m·hop` — at or beyond everyone's horizon, for any
+//! multiple `m ≤ 1`. Within the window each shard's events are causally
+//! closed: they interact only through same-shard state, which the local heap
+//! already fires in exact `(time, actor, seq)` order. The union of per-shard
 //! schedules therefore equals the serial schedule (full argument in
-//! `DESIGN.md`).
+//! `DESIGN.md` §18).
 //!
-//! The loop terminates when the reduced minimum is `u64::MAX`: every heap,
-//! inbox and outbox is empty, so no event exists anywhere.
+//! **Why one barrier suffices:**
+//!
+//! * *Every in-flight message is always accounted for.* A shard publishes
+//!   its minimum **including** the staged outbox before flushing it, so at
+//!   the barrier each message is counted either by its sender's published
+//!   slot or, once drained, by its receiver's heap. `G` can never skip past
+//!   an undelivered message.
+//! * *Same-window delivery.* The barrier sits between flush and drain, so a
+//!   message flushed in window `w` is in its lane before the receiver
+//!   drains in window `w` — and its timestamp `≥ G + hop` keeps it beyond
+//!   window `w`'s horizon anyway.
+//! * *Racing flushes are harmless.* A fast shard may flush window `w+1`
+//!   into a lane its receiver is still draining for window `w`; the append
+//!   happens under the lane mutex, and an early-drained message (timestamp
+//!   beyond the horizon) just waits in the receiver's heap, where the
+//!   receiver's own next publish counts it.
+//! * *Published minima cannot be overwritten early.* Slots are banked by
+//!   window parity: window `w+2`'s publish (the next reuse of bank `w % 2`)
+//!   happens after barrier `w+1`, which every shard reaches only after
+//!   reading bank `w % 2` for window `w`.
+//!
+//! The loop terminates when the reduced minimum is `u64::MAX`: every heap
+//! and outbox was empty at publish time, and every earlier flush was
+//! already drained in its own window, so no event exists anywhere.
 //!
 //! With no lookahead (`hop == None`) cross-partition calls are forbidden
 //! and shards **free-run** to completion with zero synchronization — the
@@ -61,21 +94,27 @@
 //! actor owns its partition.
 //!
 //! A panicking shard poisons the window barrier so the remaining shards
-//! unwind instead of waiting forever; the root-cause payload is re-raised.
+//! unwind instead of waiting forever; the earliest-window genuine panic is
+//! recorded at the barrier and re-raised as the root cause.
 
 use crate::heap::EventKey;
 use crate::runtime::{
-    fire_event, fnv1a_keys, ActorCtx, ActorId, ActorStore, ArenaStore, ExecState, Model, Payload,
-    RouteTable, SimReport, Simulation,
+    fire_event, fnv1a_keys, rng_arena, ActorCtx, ActorId, ActorStore, ArenaStore, ExecState, Model,
+    Payload, RouteTable, SimReport, Simulation, WindowStats,
 };
 use crate::time::SimTime;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Shared routing tables, one entry per actor (or partition for the
+/// middle table): home partition, partition → owning shard, and each
+/// actor's dense local index on its owning shard.
+type RouteTables = (Arc<Vec<u32>>, Arc<Vec<u32>>, Arc<Vec<u32>>);
 
 /// A model whose state splits cleanly along partition boundaries.
 ///
@@ -94,6 +133,103 @@ pub trait ShardableModel: Model + Sized {
     fn merge(parts: Vec<Self>) -> Self;
 }
 
+/// How the windowed executor chooses the per-window lookahead multiple
+/// `m ∈ [1/64, 1]` (each window processes events in `[G, G + m·hop)`).
+///
+/// The multiple trades barrier frequency against per-window lead, and is
+/// **never observable**: every in-flight message carries the full `hop` of
+/// lookahead regardless of how much of it a window consumes, so any
+/// schedule of multiples — fixed, measured, or scripted — replays the
+/// identical serial history (pinned by the window-schedule proptest).
+#[derive(Clone, Debug, Default)]
+pub enum WindowTuning {
+    /// Process the full `hop` every window.
+    #[default]
+    Fixed,
+    /// Closed-loop control on the measured barrier-wait fraction of wall
+    /// time. A high wait fraction means this shard is outrunning a
+    /// straggler — narrowing the multiple bounds its speculative lead so
+    /// the shards' virtual clocks stay close and re-balance sooner. A low
+    /// fraction means work dominates, so the multiple widens back toward
+    /// the full hop to amortize barrier crossings.
+    Adaptive {
+        /// Barrier-wait fraction to regulate toward: above it the multiple
+        /// halves, below half of it the multiple doubles, in between it
+        /// holds.
+        target: f64,
+    },
+    /// Cycle through a fixed schedule of multiples (clamped to `[1/64, 1]`);
+    /// used by the determinism suite to prove schedule-independence.
+    Scripted(Vec<f64>),
+}
+
+/// Smallest lookahead multiple the controller will narrow to.
+pub(crate) const MIN_WINDOW_MULTIPLE: f64 = 1.0 / 64.0;
+
+/// Per-shard window-multiple controller (see [`WindowTuning`]).
+struct WindowAdapter<'a> {
+    tuning: &'a WindowTuning,
+    multiple: f64,
+    script_pos: usize,
+    windows: u64,
+    sum_multiple: f64,
+}
+
+impl<'a> WindowAdapter<'a> {
+    fn new(tuning: &'a WindowTuning) -> Self {
+        WindowAdapter {
+            tuning,
+            multiple: 1.0,
+            script_pos: 0,
+            windows: 0,
+            sum_multiple: 0.0,
+        }
+    }
+
+    /// The lookahead (nanos) for the coming window: `m·hop`, at least 1 ns
+    /// so the window always clears the events at exactly `G`, and never
+    /// more than `hop`, beyond which the conservative bound is unsound.
+    fn lookahead(&mut self, hop_ns: u64) -> u64 {
+        if let WindowTuning::Scripted(seq) = self.tuning {
+            if !seq.is_empty() {
+                self.multiple = seq[self.script_pos % seq.len()].clamp(MIN_WINDOW_MULTIPLE, 1.0);
+                self.script_pos += 1;
+            }
+        }
+        self.windows += 1;
+        self.sum_multiple += self.multiple;
+        ((hop_ns as f64 * self.multiple) as u64).clamp(1, hop_ns.max(1))
+    }
+
+    /// Feed back one window's measured barrier wait and drain+process time.
+    fn observe(&mut self, wait: Duration, work: Duration) {
+        let WindowTuning::Adaptive { target } = *self.tuning else {
+            return;
+        };
+        let total = wait.as_secs_f64() + work.as_secs_f64();
+        if total <= 0.0 {
+            return;
+        }
+        let frac = wait.as_secs_f64() / total;
+        if frac > target {
+            self.multiple = (self.multiple * 0.5).max(MIN_WINDOW_MULTIPLE);
+        } else if frac < target * 0.5 {
+            self.multiple = (self.multiple * 2.0).min(1.0);
+        }
+    }
+
+    fn stats(&self) -> WindowStats {
+        WindowStats {
+            windows: self.windows,
+            mean_multiple: if self.windows == 0 {
+                0.0
+            } else {
+                self.sum_multiple / self.windows as f64
+            },
+        }
+    }
+}
+
 /// The virtual-partition structure and physical placement of one run.
 #[derive(Clone, Debug)]
 pub struct ShardPlan {
@@ -108,6 +244,8 @@ pub struct ShardPlan {
     /// One-way cross-partition network leg; doubles as the conservative
     /// lookahead. `None` forbids cross-partition calls (free-run mode).
     pub hop: Option<Duration>,
+    /// Lookahead-multiple policy for windowed runs (never observable).
+    pub tuning: WindowTuning,
 }
 
 impl ShardPlan {
@@ -121,6 +259,7 @@ impl ShardPlan {
             shards: 1,
             placement: vec![0],
             hop: None,
+            tuning: WindowTuning::Fixed,
         }
     }
 
@@ -139,6 +278,7 @@ impl ShardPlan {
             shards: 1,
             placement: Vec::new(),
             hop: None,
+            tuning: WindowTuning::Fixed,
         }
         .with_shards(shards)
     }
@@ -153,10 +293,16 @@ impl ShardPlan {
 
     /// Set the cross-partition network leg / lookahead window. Must be
     /// positive: the window protocol only makes progress because the horizon
-    /// `G + hop` lies strictly beyond the global minimum `G`.
+    /// `G + m·hop` lies strictly beyond the global minimum `G`.
     pub fn with_hop(mut self, hop: Duration) -> Self {
         assert!(hop > Duration::ZERO, "lookahead hop must be positive");
         self.hop = Some(hop);
+        self
+    }
+
+    /// Choose the lookahead-multiple policy for windowed runs.
+    pub fn with_window_tuning(mut self, tuning: WindowTuning) -> Self {
+        self.tuning = tuning;
         self
     }
 
@@ -184,10 +330,35 @@ impl ShardPlan {
         }
     }
 
+    /// The `Arc`-shared global routing tables, built once per run: each
+    /// actor's home partition, each partition's owning shard, and each
+    /// actor's dense local index on its owning shard (its rank among that
+    /// shard's actors in ascending global-id order).
+    fn shared_tables(&self) -> RouteTables {
+        let mut next_rank = vec![0u32; self.shards as usize];
+        let mut ranks = vec![0u32; self.home.len()];
+        for (a, &h) in self.home.iter().enumerate() {
+            let s = self.placement[h as usize] as usize;
+            ranks[a] = next_rank[s];
+            next_rank[s] += 1;
+        }
+        (
+            Arc::new(self.home.clone()),
+            Arc::new(self.placement.clone()),
+            Arc::new(ranks),
+        )
+    }
+
     /// Routing table for one shard: locally owned partitions get dense slot
     /// indices in ascending partition order (matching the sub-model order
     /// built by [`ShardedSimulation::run_workers`]).
-    fn route_for_shard<M: Model>(&self, shard: u32) -> RouteTable<M> {
+    fn route_for_shard<M: Model>(
+        &self,
+        shard: u32,
+        home: &Arc<Vec<u32>>,
+        owner: &Arc<Vec<u32>>,
+        local_rank: &Arc<Vec<u32>>,
+    ) -> RouteTable<M> {
         let mut slot = vec![None; self.partitions as usize];
         let mut next = 0u32;
         for (p, &s) in self.placement.iter().enumerate() {
@@ -197,9 +368,10 @@ impl ShardPlan {
             }
         }
         RouteTable {
-            home: self.home.clone(),
+            home: Arc::clone(home),
+            local_rank: Arc::clone(local_rank),
             slot,
-            owner: self.placement.clone(),
+            owner: Arc::clone(owner),
             self_shard: shard,
             hop: self.hop,
             outbox: (0..self.shards).map(|_| Vec::new()).collect(),
@@ -208,12 +380,13 @@ impl ShardPlan {
 
     /// Routing table for the serial reference executor: the identical
     /// virtual structure (homes + hop), with every partition mapped to the
-    /// single unsplit model.
+    /// single unsplit model and local index = global id.
     fn serial_route<M: Model>(&self) -> RouteTable<M> {
         RouteTable {
-            home: self.home.clone(),
+            home: Arc::new(self.home.clone()),
+            local_rank: Arc::new((0..self.home.len() as u32).collect()),
             slot: vec![Some(0); self.partitions as usize],
-            owner: vec![0; self.partitions as usize],
+            owner: Arc::new(vec![0; self.partitions as usize]),
             self_shard: 0,
             hop: self.hop,
             outbox: Vec::new(),
@@ -244,10 +417,18 @@ fn is_cascade(p: &(dyn std::any::Any + Send)) -> bool {
 /// A reusable barrier that can be poisoned: a panicking shard marks it so
 /// every parked (or later-arriving) shard wakes with `Err` and unwinds
 /// instead of waiting forever on a participant that will never arrive.
+///
+/// The barrier also records the **root cause** of a poisoned run: the
+/// lexicographically least `(window, shard)` whose guard observed a genuine
+/// (non-cascade) panic. Thread join order is unrelated to causal order — a
+/// shard ahead of the culprit can observe the poison and finish unwinding
+/// first — so the caller asks the barrier, not the join sequence, whose
+/// payload to re-raise.
 struct PoisonBarrier {
     state: Mutex<BarrierInner>,
     cvar: Condvar,
     n: usize,
+    root: Mutex<Option<(u64, u32)>>,
 }
 
 struct BarrierInner {
@@ -268,6 +449,7 @@ impl PoisonBarrier {
             }),
             cvar: Condvar::new(),
             n,
+            root: Mutex::new(None),
         }
     }
 
@@ -287,7 +469,11 @@ impl PoisonBarrier {
         while st.generation == gen && !st.poisoned {
             st = self.cvar.wait(st).unwrap_or_else(|p| p.into_inner());
         }
-        if st.poisoned {
+        // Generation advancement wins over poison: if the round completed,
+        // every waiter proceeds with its window (a fast sibling may have
+        // panicked right after release — its poison is caught at the next
+        // barrier). Otherwise the round can never complete: unwind now.
+        if st.generation == gen {
             Err(Poisoned)
         } else {
             Ok(())
@@ -299,16 +485,57 @@ impl PoisonBarrier {
         st.poisoned = true;
         self.cvar.notify_all();
     }
+
+    /// Record a genuine panic at `(window, shard)`, keeping the earliest.
+    fn record_root(&self, window: u64, shard: u32) {
+        let mut r = self.root.lock().unwrap_or_else(|p| p.into_inner());
+        if r.is_none_or(|cur| (window, shard) < cur) {
+            *r = Some((window, shard));
+        }
+    }
+
+    /// The shard whose panic is the run's root cause, if one was recorded.
+    fn root_shard(&self) -> Option<u32> {
+        self.root
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .map(|(_, shard)| shard)
+    }
 }
 
 /// Poisons the barrier if the owning shard unwinds, so sibling shards never
-/// deadlock on a dead participant.
-struct PoisonGuard<'a>(&'a PoisonBarrier);
+/// deadlock on a dead participant, and records the panic's `(window, shard)`
+/// as a root-cause candidate — unless disarmed first, which cascade unwinds
+/// do so they are never mistaken for the culprit.
+struct PoisonGuard<'a> {
+    barrier: &'a PoisonBarrier,
+    shard: u32,
+    window: Cell<u64>,
+    armed: Cell<bool>,
+}
+
+impl<'a> PoisonGuard<'a> {
+    fn new(barrier: &'a PoisonBarrier, shard: u32) -> Self {
+        PoisonGuard {
+            barrier,
+            shard,
+            window: Cell::new(0),
+            armed: Cell::new(true),
+        }
+    }
+
+    fn disarm(&self) {
+        self.armed.set(false);
+    }
+}
 
 impl Drop for PoisonGuard<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.0.poison();
+            if self.armed.get() {
+                self.barrier.record_root(self.window.get(), self.shard);
+            }
+            self.barrier.poison();
         }
     }
 }
@@ -319,10 +546,17 @@ type Staged<M> = Vec<(EventKey, Payload<M>)>;
 /// Cross-shard rendezvous state for windowed runs.
 struct SyncShared<M: Model> {
     barrier: PoisonBarrier,
-    /// Min-reduced next-event time across shards (nanos; `u64::MAX` = none).
-    global_min: AtomicU64,
-    /// Per-destination message staging, filled during the flush phase.
-    inboxes: Vec<Mutex<Staged<M>>>,
+    shards: usize,
+    /// Published per-shard minima, banked by window parity (`2 × shards`
+    /// slots): bank `w % 2` serves window `w`, and its next reuse (window
+    /// `w + 2`) cannot begin until barrier `w + 1` proves every shard has
+    /// finished reading it.
+    mins: Vec<AtomicU64>,
+    /// Per-`(src, dst)` staging lanes (`shards × shards`, row-major by
+    /// source). Bulk-appended by the sender's flush, bulk-drained by the
+    /// receiver — one lock per populated shard pair per window, and the
+    /// lane buffers keep their capacity across windows.
+    lanes: Vec<Mutex<Staged<M>>>,
 }
 
 /// Everything one shard needs to run, built on the coordinating thread and
@@ -350,6 +584,7 @@ struct ShardOutcome<M, R> {
     events: u64,
     history: Option<Vec<EventKey>>,
     blocked: usize,
+    window: WindowStats,
 }
 
 /// A virtual-time simulation executed across shard threads under a
@@ -401,6 +636,7 @@ impl<M: ShardableModel> ShardedSimulation<M> {
         let n = plan.actors();
         let shards = plan.shards as usize;
         let parts_total = plan.partitions as usize;
+        let (home, owner, local_rank) = plan.shared_tables();
 
         // Split the model and bucket sub-models + actors by owning shard.
         let mut parts: Vec<Option<M>> =
@@ -416,7 +652,7 @@ impl<M: ShardableModel> ShardedSimulation<M> {
                 models: Vec::new(),
                 local_parts: Vec::new(),
                 actors: Vec::new(),
-                route: plan.route_for_shard(s as u32),
+                route: plan.route_for_shard(s as u32, &home, &owner, &local_rank),
             })
             .collect();
         for (p, part) in parts.iter_mut().enumerate() {
@@ -426,8 +662,8 @@ impl<M: ShardableModel> ShardedSimulation<M> {
                 .push(part.take().expect("partition placed twice"));
             inputs[s].local_parts.push(p as u32);
         }
-        for (a, &home) in plan.home.iter().enumerate() {
-            inputs[plan.placement[home as usize] as usize]
+        for (a, &home_part) in plan.home.iter().enumerate() {
+            inputs[plan.placement[home_part as usize] as usize]
                 .actors
                 .push(a);
         }
@@ -439,22 +675,33 @@ impl<M: ShardableModel> ShardedSimulation<M> {
                 inputs.pop().expect("one shard input"),
                 seed,
                 record,
-                n,
                 &body,
                 None,
                 plan.hop,
+                &plan.tuning,
             )]
         } else if plan.hop.is_none() {
             // Free-run: no cross-partition traffic is possible, so shards
             // are fully independent.
-            run_on_threads(inputs, seed, record, n, &body, None, None)
+            run_on_threads(inputs, seed, record, &body, None, None, &plan.tuning)
         } else {
             let sync = SyncShared {
                 barrier: PoisonBarrier::new(shards),
-                global_min: AtomicU64::new(u64::MAX),
-                inboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+                shards,
+                mins: (0..2 * shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+                lanes: (0..shards * shards)
+                    .map(|_| Mutex::new(Vec::new()))
+                    .collect(),
             };
-            run_on_threads(inputs, seed, record, n, &body, Some(&sync), plan.hop)
+            run_on_threads(
+                inputs,
+                seed,
+                record,
+                &body,
+                Some(&sync),
+                plan.hop,
+                &plan.tuning,
+            )
         };
 
         merge_outcomes(outcomes, n, parts_total, record)
@@ -462,15 +709,17 @@ impl<M: ShardableModel> ShardedSimulation<M> {
 }
 
 /// Spawn one scoped thread per shard, join them all, and re-raise the
-/// root-cause panic (preferring it over "another shard failed" cascades).
+/// root-cause panic: the earliest `(window, shard)` genuine panic recorded
+/// at the barrier, falling back to the first non-cascade payload in shard
+/// order for unsynchronized runs.
 fn run_on_threads<M, R, F, Fut>(
     inputs: Vec<ShardInput<M>>,
     seed: u64,
     record: bool,
-    n: usize,
     body: &F,
     sync: Option<&SyncShared<M>>,
     hop: Option<Duration>,
+    tuning: &WindowTuning,
 ) -> Vec<ShardOutcome<M, R>>
 where
     M: Model,
@@ -478,30 +727,42 @@ where
     F: Fn(ActorCtx<M>) -> Fut + Sync,
     Fut: Future<Output = R>,
 {
-    let joined: Vec<Result<ShardOutcome<M, R>, Box<dyn std::any::Any + Send>>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = inputs
-                .into_iter()
-                .map(|input| {
-                    scope.spawn(move || run_shard(input, seed, record, n, body, sync, hop))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join()).collect()
-        });
+    type Joined<M, R> = (
+        u32,
+        Result<ShardOutcome<M, R>, Box<dyn std::any::Any + Send>>,
+    );
+    let joined: Vec<Joined<M, R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|input| {
+                let me = input.me;
+                (
+                    me,
+                    scope.spawn(move || run_shard(input, seed, record, body, sync, hop, tuning)),
+                )
+            })
+            .collect();
+        handles.into_iter().map(|(me, h)| (me, h.join())).collect()
+    });
     let mut outcomes = Vec::with_capacity(joined.len());
-    let mut panics = Vec::new();
-    for j in joined {
+    let mut panics: Vec<(u32, Box<dyn std::any::Any + Send>)> = Vec::new();
+    for (shard, j) in joined {
         match j {
             Ok(o) => outcomes.push(o),
-            Err(p) => panics.push(p),
+            Err(p) => panics.push((shard, p)),
         }
     }
     if !panics.is_empty() {
-        let root = panics
-            .iter()
-            .position(|p| !is_cascade(p.as_ref()))
+        let root_shard = sync.and_then(|s| s.barrier.root_shard());
+        let idx = root_shard
+            .and_then(|rs| {
+                panics
+                    .iter()
+                    .position(|(s, p)| *s == rs && !is_cascade(p.as_ref()))
+            })
+            .or_else(|| panics.iter().position(|(_, p)| !is_cascade(p.as_ref())))
             .unwrap_or(0);
-        std::panic::resume_unwind(panics.into_iter().nth(root).expect("root panic index"));
+        std::panic::resume_unwind(panics.swap_remove(idx).1);
     }
     outcomes
 }
@@ -512,10 +773,10 @@ fn run_shard<M, R, F, Fut>(
     input: ShardInput<M>,
     seed: u64,
     record: bool,
-    n_total: usize,
     body: &F,
     sync: Option<&SyncShared<M>>,
     hop: Option<Duration>,
+    tuning: &WindowTuning,
 ) -> ShardOutcome<M, R>
 where
     M: Model,
@@ -529,17 +790,19 @@ where
         actors,
         route,
     } = input;
+    let n_local = actors.len();
+    // Held outside the RefCell so the event loops can map a popped key's
+    // global actor id to its dense local index without borrowing state.
+    let local_rank = Arc::clone(&route.local_rank);
     let state = Rc::new(RefCell::new(ExecState::new(
-        n_total,
+        n_local,
         models,
         Some(route),
         record,
     )));
-    let n_local = actors.len();
+    let rngs = rng_arena(seed, actors.iter().copied());
     let mut store = ArenaStore::with_capacity(n_local);
-    let mut local_of = vec![usize::MAX; n_total];
     for (li, &a) in actors.iter().enumerate() {
-        local_of[a] = li;
         let slot = {
             let st = state.borrow();
             let rt = st.route.as_ref().expect("shard state always has a route");
@@ -549,7 +812,8 @@ where
         store.push(body(ActorCtx::make(
             ActorId(a),
             slot,
-            seed,
+            li as u32,
+            Rc::clone(&rngs),
             Rc::clone(&state),
         )));
     }
@@ -564,72 +828,99 @@ where
         }
     }
 
-    match sync {
-        None => loop {
-            let popped = state.borrow_mut().pop_due(None);
-            let Some((k, payload)) = popped else { break };
-            fire_event(
-                &state,
-                k,
-                payload,
-                &mut store,
-                &mut results,
-                local_of[k.actor.0],
-                &mut cx,
-            );
-        },
+    let window_stats = match sync {
+        None => {
+            loop {
+                let popped = state.borrow_mut().pop_due(None);
+                let Some((k, payload)) = popped else { break };
+                fire_event(
+                    &state,
+                    k,
+                    payload,
+                    &mut store,
+                    &mut results,
+                    local_rank[k.actor.0] as usize,
+                    &mut cx,
+                );
+            }
+            WindowStats::default()
+        }
         Some(sync) => {
             let hop = hop.expect("windowed sync requires a lookahead hop");
-            let _guard = PoisonGuard(&sync.barrier);
-            let mut first = true;
+            let hop_ns = hop.as_nanos() as u64;
+            let me_us = me as usize;
+            let guard = PoisonGuard::new(&sync.barrier, me);
+            let mut adapter = WindowAdapter::new(tuning);
+            let mut window: u64 = 0;
             loop {
-                // The reduced minimum is reset by shard 0 between windows:
-                // after the processing barrier everyone has read it, and no
-                // shard can publish a new minimum before the flush barrier
-                // (which needs shard 0) passes.
-                if me == 0 && !first {
-                    sync.global_min.store(u64::MAX, Ordering::SeqCst);
-                }
-                first = false;
-                // Phase 1: flush staged cross-shard messages to inboxes.
+                guard.window.set(window);
+                let bank = (window & 1) as usize * sync.shards;
+                // Publish our earliest future event — heap or staged
+                // outbox — then flush the outbox in bulk, one lane lock
+                // per populated destination.
                 {
                     let mut st = state.borrow_mut();
+                    let mut local_min = st.heap.peek_time().map_or(u64::MAX, |t| t.as_nanos());
                     let rt = st.route.as_mut().expect("shard state always has a route");
+                    for msgs in &rt.outbox {
+                        for (k, _) in msgs.iter() {
+                            local_min = local_min.min(k.time.as_nanos());
+                        }
+                    }
+                    sync.mins[bank + me_us].store(local_min, Ordering::Release);
                     for (dest, msgs) in rt.outbox.iter_mut().enumerate() {
                         if !msgs.is_empty() {
-                            sync.inboxes[dest]
+                            sync.lanes[me_us * sync.shards + dest]
                                 .lock()
                                 .unwrap_or_else(|p| p.into_inner())
                                 .append(msgs);
                         }
                     }
                 }
+                let wait_start = Instant::now();
                 if sync.barrier.wait().is_err() {
+                    guard.disarm();
                     std::panic::panic_any(SHARD_DEAD);
                 }
-                // Phase 2: drain our inbox, publish our next-event time.
-                {
-                    let mut st = state.borrow_mut();
-                    let mut inbox = sync.inboxes[me as usize]
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner());
-                    for (k, payload) in inbox.drain(..) {
-                        st.heap.push(k, payload);
-                    }
-                    drop(inbox);
-                    let local_min = st.heap.peek_time().map_or(u64::MAX, |t| t.as_nanos());
-                    sync.global_min.fetch_min(local_min, Ordering::SeqCst);
+                let wait = wait_start.elapsed();
+                // Reduce: every shard reads the same parity bank, so all
+                // agree on G. (The barrier's lock handoff orders the
+                // Release stores above before these Acquire loads.)
+                let mut g = u64::MAX;
+                for slot in &sync.mins[bank..bank + sync.shards] {
+                    g = g.min(slot.load(Ordering::Acquire));
                 }
-                if sync.barrier.wait().is_err() {
-                    std::panic::panic_any(SHARD_DEAD);
-                }
-                // Phase 3: process strictly below the shared horizon.
-                let g = sync.global_min.load(Ordering::SeqCst);
                 if g == u64::MAX {
-                    // No event in any heap, inbox or outbox: done.
+                    // No event in any heap or outbox, and every earlier
+                    // flush was drained in its own window: done.
+                    #[cfg(debug_assertions)]
+                    for src in 0..sync.shards {
+                        debug_assert!(
+                            sync.lanes[src * sync.shards + me_us]
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .is_empty(),
+                            "staging lane not empty at termination"
+                        );
+                    }
                     break;
                 }
-                let horizon = SimTime(g) + hop;
+                let work_start = Instant::now();
+                // Drain incoming lanes in bulk; buffers keep their
+                // capacity, so the steady state allocates nothing.
+                {
+                    let mut st = state.borrow_mut();
+                    for src in 0..sync.shards {
+                        let mut lane = sync.lanes[src * sync.shards + me_us]
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner());
+                        if !lane.is_empty() {
+                            st.heap.push_batch(lane.drain(..));
+                        }
+                    }
+                }
+                // Process strictly below the (possibly narrowed) horizon.
+                let horizon = SimTime(g.saturating_add(adapter.lookahead(hop_ns)));
                 loop {
                     let popped = state.borrow_mut().pop_due(Some(horizon));
                     let Some((k, payload)) = popped else { break };
@@ -639,16 +930,16 @@ where
                         payload,
                         &mut store,
                         &mut results,
-                        local_of[k.actor.0],
+                        local_rank[k.actor.0] as usize,
                         &mut cx,
                     );
                 }
-                if sync.barrier.wait().is_err() {
-                    std::panic::panic_any(SHARD_DEAD);
-                }
+                adapter.observe(wait, work_start.elapsed());
+                window += 1;
             }
+            adapter.stats()
         }
-    }
+    };
 
     let blocked = store.live_count();
     drop(store);
@@ -671,6 +962,7 @@ where
         events: st.events,
         history: st.history.take(),
         blocked,
+        window: window_stats,
     }
 }
 
@@ -694,9 +986,11 @@ fn merge_outcomes<M: ShardableModel, R>(
     let mut requests = 0u64;
     let mut events = 0u64;
     let mut shard_events = Vec::with_capacity(outcomes.len());
+    let mut window_stats = Vec::with_capacity(outcomes.len());
     let mut history: Vec<EventKey> = Vec::new();
     for o in outcomes {
         shard_events.push(o.events);
+        window_stats.push(o.window);
         events += o.events;
         requests += o.requests;
         end_time = end_time.max(o.end_time);
@@ -730,6 +1024,7 @@ fn merge_outcomes<M: ShardableModel, R>(
         requests,
         events,
         shard_events,
+        window_stats,
         history_hash,
     }
 }
@@ -913,6 +1208,118 @@ mod tests {
     }
 
     #[test]
+    fn window_tuning_never_changes_observables() {
+        // Fixed, adaptive and scripted multiples must replay the identical
+        // serial schedule — the multiple only decides how much of the
+        // lookahead each window consumes, never event timing.
+        let partitions = 4;
+        let actors = 8;
+        let rounds = 6;
+        let base = ShardPlan::striped(actors, partitions, 1).with_hop(Duration::from_millis(1));
+        let serial = serial_reference(&base, actors, partitions, rounds);
+        for tuning in [
+            WindowTuning::Fixed,
+            WindowTuning::Adaptive { target: 0.25 },
+            WindowTuning::Scripted(vec![1.0, 0.25, MIN_WINDOW_MULTIPLE, 0.5]),
+        ] {
+            let shd = sharded(
+                base.clone()
+                    .with_shards(2)
+                    .with_window_tuning(tuning.clone()),
+                partitions,
+                rounds,
+            );
+            assert_eq!(
+                report_fingerprint(&serial),
+                report_fingerprint(&shd),
+                "observables diverged under {tuning:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_run_reports_window_stats() {
+        let plan = ShardPlan::striped(8, 4, 2).with_hop(Duration::from_millis(1));
+        let shd = sharded(plan, 4, 6);
+        assert_eq!(shd.window_stats.len(), 2);
+        for w in &shd.window_stats {
+            assert!(w.windows > 0, "windowed shard ran zero windows");
+            assert!(
+                (w.mean_multiple - 1.0).abs() < 1e-9,
+                "fixed tuning must hold the full multiple"
+            );
+        }
+        // The serial executor reports no window stats at all.
+        let base = ShardPlan::striped(8, 4, 1).with_hop(Duration::from_millis(1));
+        assert!(serial_reference(&base, 8, 4, 6).window_stats.is_empty());
+    }
+
+    #[test]
+    fn adapter_narrows_under_barrier_heavy_load_and_recovers() {
+        let tuning = WindowTuning::Adaptive { target: 0.25 };
+        let mut ad = WindowAdapter::new(&tuning);
+        let hop = 1_000_000u64;
+        assert_eq!(ad.lookahead(hop), hop);
+        // Barrier wait dominating the window → the multiple halves…
+        ad.observe(Duration::from_millis(9), Duration::from_millis(1));
+        assert_eq!(ad.lookahead(hop), hop / 2);
+        // …and keeps halving down to the floor.
+        for _ in 0..10 {
+            ad.observe(Duration::from_millis(9), Duration::from_millis(1));
+        }
+        assert_eq!(ad.lookahead(hop), (hop as f64 * MIN_WINDOW_MULTIPLE) as u64);
+        // Work-dominated windows widen back to the full hop.
+        for _ in 0..10 {
+            ad.observe(Duration::from_millis(1), Duration::from_millis(99));
+        }
+        assert_eq!(ad.lookahead(hop), hop);
+        // Inside the deadband the multiple holds steady.
+        ad.observe(Duration::from_millis(2), Duration::from_millis(8));
+        assert_eq!(ad.lookahead(hop), hop);
+        let stats = ad.stats();
+        assert_eq!(stats.windows, 5);
+        assert!(stats.mean_multiple > 0.0 && stats.mean_multiple <= 1.0);
+    }
+
+    #[test]
+    fn adapter_lookahead_never_leaves_bounds() {
+        let tuning = WindowTuning::Scripted(vec![0.0, 10.0, -3.0, 0.5]);
+        let mut ad = WindowAdapter::new(&tuning);
+        let hop = 1_000u64;
+        for _ in 0..8 {
+            let la = ad.lookahead(hop);
+            assert!((1..=hop).contains(&la), "lookahead {la} out of bounds");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        /// Any schedule of window multiples — including degenerate and
+        /// out-of-range ones — reproduces the serial observable history
+        /// bit-for-bit at every shard count.
+        #[test]
+        fn prop_any_window_schedule_matches_serial(
+            raw in proptest::collection::vec(0u32..160, 1..10),
+            shards in 2u32..5,
+        ) {
+            let multiples: Vec<f64> = raw.iter().map(|&v| v as f64 / 64.0).collect();
+            let partitions = 4;
+            let actors = 8;
+            let rounds = 5;
+            let base =
+                ShardPlan::striped(actors, partitions, 1).with_hop(Duration::from_millis(1));
+            let serial = serial_reference(&base, actors, partitions, rounds);
+            let shd = sharded(
+                base.with_shards(shards)
+                    .with_window_tuning(WindowTuning::Scripted(multiples)),
+                partitions,
+                rounds,
+            );
+            proptest::prop_assert_eq!(report_fingerprint(&serial), report_fingerprint(&shd));
+        }
+    }
+
+    #[test]
     fn free_run_striped_matches_serial() {
         // One partition per actor and home-only calls: embarrassingly
         // parallel, no hop, no barriers.
@@ -955,6 +1362,7 @@ mod tests {
             shards: 1,
             placement: vec![0],
             hop: None,
+            tuning: WindowTuning::Fixed,
         }
         .with_shards(4)
         .with_hop(Duration::from_millis(2));
@@ -987,6 +1395,23 @@ mod tests {
                         panic!("boom on shard 1");
                     }
                 }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom from shard 0")]
+    fn double_panic_selects_lowest_window_then_lowest_shard() {
+        // Both shards panic genuinely in the same window: their timers fire
+        // at the same virtual time, and the barrier releases both threads
+        // into the processing phase together. The barrier must pick the
+        // lexicographically least (window, shard) root — shard 0 —
+        // regardless of which thread unwinds or joins first.
+        let plan = ShardPlan::striped(2, 2, 2).with_hop(Duration::from_millis(1));
+        ShardedSimulation::new(PartEcho::new(2, 300), 7, plan).run_workers(
+            |ctx: ActorCtx<PartEcho>| async move {
+                ctx.sleep(Duration::from_micros(10)).await;
+                panic!("boom from shard {}", ctx.id().0 % 2);
             },
         );
     }

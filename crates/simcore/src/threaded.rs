@@ -447,6 +447,7 @@ impl<M: Model> ThreadedSimulation<M> {
             requests: st.requests,
             events: st.events,
             shard_events: vec![st.events],
+            window_stats: Vec::new(),
             history_hash: None,
         }
     }

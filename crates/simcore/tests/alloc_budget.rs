@@ -1,0 +1,161 @@
+//! Allocation budget for the engine's steady state.
+//!
+//! The per-shard arenas exist so the hot loop never allocates: actor
+//! futures, RNG streams, mailbox slots, the event slab and the heap's
+//! entry storage are all sized at launch. These tests pin that property
+//! with a counting global allocator: a probe actor snapshots the global
+//! allocation count after warmup and again near the end of the run, and
+//! the delta across millions of processed events must stay at (near)
+//! zero.
+//!
+//! The allocator counts every allocation in the process, so each
+//! measurement holds a global lock to keep concurrently running tests
+//! from polluting the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Serializes measurements: the counter is process-global.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+struct FreeModel;
+
+impl azsim_core::runtime::Model for FreeModel {
+    type Req = u64;
+    type Resp = u64;
+    fn handle(
+        &mut self,
+        now: azsim_core::SimTime,
+        _actor: azsim_core::runtime::ActorId,
+        req: u64,
+    ) -> (azsim_core::SimTime, u64) {
+        (now + std::time::Duration::from_micros(1), req)
+    }
+}
+
+impl azsim_core::ShardableModel for FreeModel {
+    fn split(self, partitions: u32) -> Vec<Self> {
+        (0..partitions).map(|_| FreeModel).collect()
+    }
+    fn merge(_parts: Vec<Self>) -> Self {
+        FreeModel
+    }
+}
+
+/// Run `actors` workers for `per_actor` calls each on the serial executor;
+/// actor 0 snapshots the allocation counter after its second call (all
+/// launch-time allocation is behind us: every actor future, RNG stream and
+/// arena slot is built before the first event pops) and again two calls
+/// before the end (before any actor completes). Returns (allocation delta,
+/// events inside the window).
+fn measured_delta(actors: usize, per_actor: u64) -> (u64, u64) {
+    static SNAP_A: AtomicU64 = AtomicU64::new(0);
+    static SNAP_B: AtomicU64 = AtomicU64::new(0);
+    SNAP_A.store(0, Ordering::SeqCst);
+    SNAP_B.store(0, Ordering::SeqCst);
+    let body = move |ctx: azsim_core::ActorCtx<FreeModel>| async move {
+        let probe = ctx.id().0 == 0;
+        let mut acc = 0u64;
+        for i in 0..per_actor {
+            if probe && i == 2 {
+                SNAP_A.store(ALLOCS.load(Ordering::Relaxed), Ordering::SeqCst);
+            }
+            if probe && i == per_actor - 2 {
+                SNAP_B.store(ALLOCS.load(Ordering::Relaxed), Ordering::SeqCst);
+            }
+            acc = acc.wrapping_add(ctx.call(i).await);
+        }
+        acc
+    };
+    let report = azsim_core::Simulation::new(FreeModel, 1).run_workers(actors, body);
+    assert_eq!(report.requests, actors as u64 * per_actor);
+    let (a, b) = (SNAP_A.load(Ordering::SeqCst), SNAP_B.load(Ordering::SeqCst));
+    assert!(b >= a, "snapshots out of order");
+    // Window spans per-actor calls 2 .. per_actor-2 across every actor.
+    (b - a, (per_actor - 4) * actors as u64)
+}
+
+#[test]
+fn steady_state_does_not_allocate_at_10k_actors() {
+    let _guard = MEASURE.lock().unwrap();
+    let (delta, events) = measured_delta(10_000, 16);
+    assert!(events > 100_000);
+    assert!(
+        delta <= 64,
+        "steady state allocated {delta} times across {events} events"
+    );
+}
+
+/// The million-actor rung. Ignored by default (release-only territory);
+/// CI runs it with `--release -- --ignored`.
+#[test]
+#[ignore]
+fn steady_state_does_not_allocate_at_1m_actors() {
+    let _guard = MEASURE.lock().unwrap();
+    let (delta, events) = measured_delta(1_000_000, 8);
+    assert!(events > 3_000_000);
+    assert!(
+        delta <= 64,
+        "steady state allocated {delta} times across {events} events"
+    );
+}
+
+/// The windowed sharded path (staging lanes, parity min-banks, batched
+/// drains) must not allocate per event either. Thread spawns and lane
+/// setup allocate a fixed amount per run, so compare two runs that differ
+/// only in event count: the extra events must cost (near) zero extra
+/// allocations.
+#[test]
+fn windowed_path_allocation_is_independent_of_event_count() {
+    let _guard = MEASURE.lock().unwrap();
+    let run = |per_actor: u64| -> u64 {
+        let body = move |ctx: azsim_core::ActorCtx<FreeModel>| async move {
+            let mut acc = 0u64;
+            for i in 0..per_actor {
+                acc = acc.wrapping_add(ctx.call(i).await);
+            }
+            acc
+        };
+        let plan = azsim_core::ShardPlan::striped(256, 256, 4)
+            .with_hop(std::time::Duration::from_micros(2));
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let report = azsim_core::ShardedSimulation::new(FreeModel, 1, plan).run_workers(body);
+        assert_eq!(report.requests, 256 * per_actor);
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
+    // Warm both rungs once so lazy one-time allocation (thread-local
+    // interners, lock shards, ...) is off the books.
+    run(64);
+    run(128);
+    let small = run(64);
+    let big = run(128);
+    let extra_events = 256 * 64;
+    let extra_allocs = big.saturating_sub(small);
+    assert!(
+        extra_allocs < extra_events / 20,
+        "doubling events cost {extra_allocs} extra allocations \
+         ({extra_events} extra events)"
+    );
+}

@@ -1,0 +1,144 @@
+//! Large-rung differential tests: the sharded windowed executor must
+//! reproduce the serial observable history bit-for-bit at 100 000 actors
+//! (always) and 1 000 000 actors (`--ignored`; CI runs it in release).
+//!
+//! The model is a partitioned ring echo: partition = actor, every eighth
+//! call goes to the neighbouring partition, so at shard counts > 1 a
+//! steady stream of events crosses shards through the staging lanes and
+//! the adaptive lookahead windows — the full synchronized path, not the
+//! free-running fast case.
+
+use azsim_core::runtime::{ActorCtx, ActorId, Model};
+use azsim_core::shard::{ShardPlan, ShardableModel, ShardedSimulation, WindowTuning};
+use azsim_core::SimTime;
+use std::time::Duration;
+
+const SERVICE: Duration = Duration::from_micros(4);
+const HOP: Duration = Duration::from_micros(2);
+
+struct Ring {
+    partitions: u32,
+    /// `(partition, handled)` pairs owned by this instance; the unsplit
+    /// model owns every partition in index order, a split part exactly one.
+    counts: Vec<(u32, u64)>,
+}
+
+impl Ring {
+    fn new(partitions: u32) -> Self {
+        Ring {
+            partitions,
+            counts: (0..partitions).map(|p| (p, 0)).collect(),
+        }
+    }
+}
+
+impl Model for Ring {
+    type Req = (u32, u32);
+    type Resp = u32;
+
+    fn handle(&mut self, now: SimTime, _actor: ActorId, req: (u32, u32)) -> (SimTime, u32) {
+        let p = req.0;
+        let e = if self.counts.len() == 1 {
+            &mut self.counts[0]
+        } else {
+            &mut self.counts[p as usize]
+        };
+        debug_assert_eq!(e.0, p, "request routed to a part that does not own it");
+        e.1 += 1;
+        (now + SERVICE, req.1)
+    }
+
+    fn partition_of(&self, req: &(u32, u32)) -> Option<u32> {
+        Some(req.0)
+    }
+}
+
+impl ShardableModel for Ring {
+    fn split(self, partitions: u32) -> Vec<Self> {
+        assert_eq!(partitions, self.partitions);
+        self.counts
+            .into_iter()
+            .map(|c| Ring {
+                partitions,
+                counts: vec![c],
+            })
+            .collect()
+    }
+
+    fn merge(parts: Vec<Self>) -> Self {
+        let partitions = parts.len() as u32;
+        let mut counts: Vec<(u32, u64)> = parts.into_iter().flat_map(|p| p.counts).collect();
+        counts.sort_unstable();
+        Ring { partitions, counts }
+    }
+}
+
+struct RunOutcome {
+    end_time: SimTime,
+    requests: u64,
+    history_hash: Option<u64>,
+    counts: Vec<(u32, u64)>,
+    total_events: u64,
+    shard_count: usize,
+}
+
+fn run(actors: usize, calls: u32, plan: ShardPlan) -> RunOutcome {
+    let n = actors as u32;
+    let report = ShardedSimulation::new(Ring::new(n), 2012, plan)
+        .record_history()
+        .run_workers(move |ctx: ActorCtx<Ring>| async move {
+            let me = ctx.id().0 as u32;
+            let mut acc = 0u64;
+            for i in 0..calls {
+                let target = if i % 8 == 7 { (me + 1) % n } else { me };
+                acc = acc.wrapping_add(ctx.call((target, i)).await as u64);
+            }
+            acc
+        });
+    RunOutcome {
+        end_time: report.end_time,
+        requests: report.requests,
+        history_hash: report.history_hash,
+        counts: report.model.counts.clone(),
+        total_events: report.shard_events.iter().sum(),
+        shard_count: report.shard_events.len(),
+    }
+}
+
+fn differential(actors: usize, calls: u32) {
+    let base = ShardPlan::striped(actors, actors as u32, 1).with_hop(HOP);
+    let serial = run(actors, calls, base.clone());
+    assert_eq!(serial.requests, actors as u64 * calls as u64);
+    assert!(serial.counts.iter().all(|&(_, c)| c == calls as u64));
+    for shards in [2u32, 4] {
+        let shd = run(
+            actors,
+            calls,
+            base.clone()
+                .with_shards(shards)
+                .with_window_tuning(WindowTuning::Adaptive { target: 0.25 }),
+        );
+        assert_eq!(
+            serial.history_hash, shd.history_hash,
+            "observable history diverged at {shards} shards"
+        );
+        assert_eq!(serial.end_time, shd.end_time);
+        assert_eq!(serial.requests, shd.requests);
+        assert_eq!(serial.counts, shd.counts);
+        assert_eq!(serial.total_events, shd.total_events);
+        assert_eq!(shd.shard_count, shards as usize);
+    }
+}
+
+#[test]
+fn hundred_thousand_actor_rung_matches_serial() {
+    differential(100_000, 6);
+}
+
+/// The million-actor rung. Ignored by default; CI runs it with
+/// `--release -- --ignored`.
+#[test]
+#[ignore]
+fn million_actor_rung_matches_serial() {
+    differential(1_000_000, 8);
+}
